@@ -1,0 +1,45 @@
+"""Shared benchmark fixtures and the result-table writer.
+
+Benchmarks both *time* the core computations (pytest-benchmark) and
+*regenerate* the paper's figures/scenario outputs.  Regenerated tables are
+written to ``benchmarks/out/<experiment>.txt`` so they survive pytest's
+stdout capture; EXPERIMENTS.md records the values measured in the final
+run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.pipeline import VapSession
+from repro.data.generator.simulate import CityConfig, generate_city
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def bench_city():
+    """The standard benchmark data set: 300 customers x 1 year."""
+    return generate_city(CityConfig(n_customers=300, n_days=365, seed=17))
+
+
+@pytest.fixture(scope="session")
+def bench_session(bench_city):
+    return VapSession.from_city(bench_city)
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Writer appending experiment tables to benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, lines: list[str]) -> None:
+        path = OUT_DIR / f"{name}.txt"
+        text = "\n".join(lines) + "\n"
+        path.write_text(text)
+        print(f"\n--- {name} ---")
+        print(text)
+
+    return write

@@ -1,0 +1,151 @@
+"""ABLATIONS — the design choices behind the headline results.
+
+Three knobs DESIGN.md calls out are swept here:
+
+- **KDE bandwidth** (Eq. 3): too narrow fragments the shift field into
+  per-customer speckle, too wide washes the commercial→residential flow
+  out; Silverman's rule must land in the working range.
+- **Feature folding** for the embedding: which view of the series (mean
+  day / mean week / monthly totals / summary stats) recovers the
+  archetypes best under the paper's Pearson metric.
+- **t-SNE perplexity**: neighbourhood size vs cluster purity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.metrics import adjusted_rand_index
+from repro.core.reduction.quality import neighborhood_hit
+from repro.core.reduction.tsne import tsne
+from repro.core.shift.flow import major_flows
+from repro.core.shift.kde import bandwidth_silverman, kde_density
+from repro.core.shift.flow import ShiftField
+from repro.data.meter import ZoneKind
+from repro.data.timeseries import HourWindow
+from repro.db.geo import meters_per_degree
+from repro.preprocess.features import FeatureKind
+
+DAY = 24 * 2
+T1 = HourWindow(DAY + 13, DAY + 15)
+T2 = HourWindow(DAY + 19, DAY + 21)
+
+
+def test_ablation_kde_bandwidth(benchmark, bench_session, bench_city, report):
+    """Sweep the bandwidth; record flow count and whether the headline
+    commercial→residential arrow survives."""
+    db = bench_session.db
+    spec = bench_session.grid()
+    pos1, val1 = db.demand(T1)
+    pos2, val2 = db.demand(T2)
+    m_lon, m_lat = meters_per_degree(spec.bbox.center.lat)
+    px = (pos1[:, 0] - spec.bbox.center.lon) * m_lon
+    py = (pos1[:, 1] - spec.bbox.center.lat) * m_lat
+    silverman = bandwidth_silverman(np.column_stack([px, py]))
+
+    def sweep():
+        rows = []
+        for bandwidth in (50.0, 150.0, 400.0, silverman, 1200.0, 3000.0):
+            before = kde_density(pos1, val1, spec, bandwidth_m=bandwidth)
+            after = kde_density(pos2, val2, spec, bandwidth_m=bandwidth)
+            field = ShiftField.between(before, after)
+            flows = major_flows(field)
+            main_ok = False
+            if flows:
+                src = bench_city.layout.nearest_zone(flows[0].lon, flows[0].lat)
+                dst = bench_city.layout.nearest_zone(*flows[0].tip)
+                main_ok = (
+                    src.kind is ZoneKind.COMMERCIAL
+                    and dst.kind is ZoneKind.RESIDENTIAL
+                )
+            rows.append((bandwidth, len(flows), main_ok))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "ABLATION  KDE bandwidth vs flow recovery",
+        "",
+        f"(Silverman's rule for this data: {silverman:.0f} m)",
+        f"{'bandwidth m':<14}{'flows':>6}{'  commercial->residential?':<28}",
+    ]
+    for bandwidth, n_flows, ok in rows:
+        tag = " *silverman*" if abs(bandwidth - silverman) < 1e-9 else ""
+        lines.append(f"{bandwidth:<14.0f}{n_flows:>6}  {str(ok):<14}{tag}")
+    report("ablation_bandwidth", lines)
+    by_bw = {round(b): ok for b, _, ok in rows}
+    # The working range includes Silverman's choice; the extremes fail or
+    # fragment.
+    assert by_bw[round(silverman)]
+    fragmented = rows[0][1]  # 50 m
+    assert fragmented != 1 or not rows[0][2] or rows[0][1] > 1
+
+
+def test_ablation_feature_kind(benchmark, bench_session, bench_city, report):
+    """Which folding of the series separates the archetypes best?"""
+    truth = bench_city.archetype_labels()
+
+    def sweep():
+        rows = []
+        for kind in (
+            FeatureKind.MEAN_DAY,
+            FeatureKind.MEAN_WEEK,
+            FeatureKind.MONTHLY_TOTAL,
+            FeatureKind.SUMMARY,
+        ):
+            info = bench_session.embed(feature_kind=kind, n_iter=400)
+            rows.append((kind.value, neighborhood_hit(info.coords, truth)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "ABLATION  feature folding vs archetype separation (t-SNE)",
+        "",
+        f"{'features':<16}{'neighbourhood hit':>18}",
+    ]
+    for name, hit in rows:
+        lines.append(f"{name:<16}{hit:>18.3f}")
+    report("ablation_features", lines)
+    by_kind = dict(rows)
+    # Findings: the compact summary (level + peak statistics) separates
+    # *these* archetypes best because they differ strongly in level; the
+    # shape foldings follow closely and every folding beats chance
+    # (6 classes -> ~0.17) by a wide margin.
+    assert max(by_kind.values()) > 0.9
+    assert by_kind["mean_week"] > by_kind["monthly_total"] - 0.02
+    assert min(by_kind.values()) > 0.5
+
+
+def test_ablation_perplexity(benchmark, bench_session, bench_city, report):
+    """Perplexity sweep: neighbourhood purity and ground-truth agreement
+    of the embedding's own kNN structure."""
+    truth = bench_city.archetype_labels()
+    feats = bench_session.features()
+
+    def sweep():
+        rows = []
+        for perplexity in (5.0, 15.0, 30.0, 60.0):
+            result = tsne(
+                feats, perplexity=perplexity, n_iter=400, seed=0
+            )
+            rows.append(
+                (
+                    perplexity,
+                    result.kl_divergence,
+                    neighborhood_hit(result.embedding, truth),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "ABLATION  t-SNE perplexity",
+        "",
+        f"{'perplexity':<12}{'KL':>8}{'nhit':>8}",
+    ]
+    for perplexity, kl, hit in rows:
+        lines.append(f"{perplexity:<12.0f}{kl:>8.3f}{hit:>8.3f}")
+    report("ablation_perplexity", lines)
+    hits = [hit for _, _, hit in rows]
+    assert max(hits) > 0.85
+    # KL grows with perplexity (a harder target distribution), but every
+    # setting keeps clusters usable for selection.
+    assert min(hits) > 0.6

@@ -1,0 +1,71 @@
+"""FIG2 — the flow-map method schematic (paper Figure 2).
+
+Figure 2 illustrates the method on two density-strength maps: discrete
+demand at t1 and t2 → KDE (Eq. 3) → density difference (Eq. 4) → flow
+arrows from the losing region to the gaining region.  This bench
+regenerates exactly that construction on the canonical two-blob workload
+and asserts its defining properties, then times the KDE evaluation across
+grid resolutions (the interactive knob of view A).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.shift.flow import ShiftField, flow_vectors, major_flows
+from repro.core.shift.grids import GridSpec
+from repro.core.shift.kde import kde_density
+from repro.db.spatial import BBox
+
+
+def _two_blob_field(nx: int = 96) -> ShiftField:
+    rng = np.random.default_rng(2)
+    spec = GridSpec(BBox(0.0, 0.0, 1.0, 1.0), nx=nx, ny=nx)
+    west = rng.normal([0.25, 0.5], 0.03, size=(150, 2))
+    east = rng.normal([0.75, 0.5], 0.03, size=(150, 2))
+    demand = rng.uniform(0.5, 2.0, 150)
+    # Bandwidth wide enough that the two kernels overlap, giving the
+    # monotone west->east slope between the blobs that Figure 2 sketches.
+    before = kde_density(west, demand, spec, bandwidth_m=12_000.0)
+    after = kde_density(east, demand, spec, bandwidth_m=12_000.0)
+    return ShiftField.between(before, after)
+
+
+def test_fig2_flow_map_construction(benchmark, report):
+    field = benchmark.pedantic(_two_blob_field, rounds=1, iterations=1)
+    lon_gain, lat_gain, gain = field.peak_gain()
+    lon_loss, lat_loss, loss = field.peak_loss()
+    flows = major_flows(field)
+    vectors = flow_vectors(field)
+
+    lines = [
+        "FIG2  flow-map method on the two-blob schematic",
+        "",
+        f"peak loss  at ({lon_loss:.3f}, {lat_loss:.3f})  value {loss:+.3e}",
+        f"peak gain  at ({lon_gain:.3f}, {lat_gain:.3f})  value {gain:+.3e}",
+        f"field zero-sum residual: {field.values.sum():+.3e}",
+        f"major transport arrows: {len(flows)}",
+    ]
+    main = flows[0]
+    lines.append(
+        f"main arrow: ({main.lon:.3f}, {main.lat:.3f}) -> "
+        f"({main.tip[0]:.3f}, {main.tip[1]:.3f})  mass {main.magnitude:.3e}"
+    )
+    lines.append(f"gradient arrows (view A texture): {len(vectors)}")
+    report("fig2_flowmap", lines)
+
+    # Paper-shape assertions: loss west, gain east, arrow west->east.
+    assert lon_loss < 0.5 < lon_gain
+    assert main.lon < 0.5 < main.tip[0]
+    assert abs(field.values.sum()) < 1e-6
+    total = sum(v.magnitude for v in vectors)
+    mean_dlon = sum(v.dlon * v.magnitude for v in vectors) / total
+    assert mean_dlon > 0
+
+
+@pytest.mark.parametrize("nx", [48, 96, 192])
+def test_fig2_kde_grid_scaling(benchmark, nx):
+    rng = np.random.default_rng(2)
+    spec = GridSpec(BBox(0.0, 0.0, 1.0, 1.0), nx=nx, ny=nx)
+    pts = rng.normal([0.5, 0.5], 0.1, size=(300, 2))
+    demand = rng.uniform(0.5, 2.0, 300)
+    benchmark(kde_density, pts, demand, spec, 5_000.0)

@@ -1,0 +1,97 @@
+"""FIG3 — the main VAP user interface (paper Figure 3).
+
+Regenerates the composed dashboard on the case-study city and verifies the
+two findings the figure narrates:
+
+- the embedding exposes the five typical patterns (each canonical pattern
+  occupies a coherent neighbourhood that selection + labelling recovers);
+- the flow map points from the commercial core toward a residential area
+  in the office-hours → evening transition.
+
+Also times the dashboard render (the paper's interactivity claim).
+"""
+
+import re
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.core.patterns.selection import KnnSelection
+from repro.data.meter import ZoneKind
+from repro.data.timeseries import HourWindow
+from repro.viz.dashboard import render_dashboard
+
+DAY = 24 * 2  # a Wednesday
+T1 = HourWindow(DAY + 13, DAY + 15)
+T2 = HourWindow(DAY + 19, DAY + 21)
+
+CANONICAL = ("bimodal", "energy_saving", "idle", "constant_high", "suspicious")
+
+
+def test_fig3_five_patterns_in_view_c(benchmark, bench_session, bench_city, report):
+    info = benchmark.pedantic(bench_session.embed, rounds=1, iterations=1)
+    truth = bench_city.archetype_labels()
+    lines = [
+        "FIG3  typical patterns recovered by selection in view C",
+        "",
+        f"{'pattern':<16}{'selected':>9}{'label':>16}{'share':>7}",
+    ]
+    consistent = 0
+    for pattern in CANONICAL:
+        exemplars = np.flatnonzero(truth == pattern)
+        seed = int(exemplars[0])
+        idx = KnnSelection(
+            info.coords[seed, 0], info.coords[seed, 1], 10
+        ).apply(info.coords)
+        label = bench_session.pattern_of(idx)
+        values, counts = np.unique(truth[idx], return_counts=True)
+        acceptable = set(values[counts >= counts.max() - 1])
+        ok = label.archetype.value in acceptable
+        consistent += ok
+        lines.append(
+            f"{pattern:<16}{idx.size:>9}{label.archetype.value:>16}"
+            f"{label.score:>7.0%}" + ("" if ok else "  (inconsistent)")
+        )
+    report("fig3_patterns", lines)
+    assert consistent >= 4
+
+
+def test_fig3_commercial_to_residential_flow(benchmark, bench_session, bench_city, report):
+    flows = benchmark.pedantic(bench_session.flows, args=(T1, T2), rounds=1, iterations=1)
+    lines = [
+        "FIG3  demand flows, office hours (13-15) -> evening (19-21)",
+        "",
+    ]
+    kinds = []
+    for flow in flows:
+        src = bench_city.layout.nearest_zone(flow.lon, flow.lat)
+        dst = bench_city.layout.nearest_zone(*flow.tip)
+        kinds.append((src.kind, dst.kind))
+        lines.append(
+            f"{src.name:<16}({src.kind.value:<11}) -> "
+            f"{dst.name:<16}({dst.kind.value:<11})  mass {flow.magnitude:.3e}"
+        )
+    report("fig3_flows", lines)
+    # The headline arrow: commercial origin, residential destination.
+    assert (ZoneKind.COMMERCIAL, ZoneKind.RESIDENTIAL) in kinds
+    assert kinds[0][1] is ZoneKind.RESIDENTIAL
+
+
+def test_fig3_dashboard_render(benchmark, bench_session, bench_city):
+    bench_session.embed()  # exclude the (cached) embedding from the timing
+
+    def render() -> str:
+        return render_dashboard(
+            bench_session,
+            T1,
+            T2,
+            labels=bench_city.archetype_labels(),
+            layout=bench_city.layout,
+        )
+
+    html_text = benchmark(render)
+    svgs = re.findall(r"<svg.*?</svg>", html_text, re.S)
+    assert len(svgs) == 3
+    for svg in svgs:
+        ET.fromstring(svg)

@@ -1,0 +1,52 @@
+"""OUTLOOK — the paper's closing outlook, made quantitative.
+
+The conclusion promises "an outlook on the use potentials ... on other
+urban energy uses".  We operationalise it with the EV-adoption scenario:
+as a growing share of residential customers charge vehicles in the
+evening, the commercial→residential evening shift the tool visualises
+should strengthen monotonically — the planning signal VAP exists to show.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import VapSession
+from repro.data.generator.scenario import apply_ev_adoption
+from repro.data.timeseries import HourWindow
+
+DAY = 24 * 2
+T1 = HourWindow(DAY + 13, DAY + 15)
+T2 = HourWindow(DAY + 19, DAY + 21)
+
+RATES = (0.0, 0.2, 0.5, 0.8)
+
+
+def test_outlook_ev_adoption_sweep(benchmark, bench_city, report):
+    def sweep():
+        rows = []
+        for rate in RATES:
+            scenario, adopters = apply_ev_adoption(bench_city, rate, seed=11)
+            session = VapSession.from_city(
+                scenario, use_raw=False, preprocess=False
+            )
+            field = session.shift(T1, T2)
+            rows.append((rate, len(adopters), field.energy()))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    baseline = rows[0][2]
+    lines = [
+        "OUTLOOK  evening shift vs EV adoption among residential customers",
+        "",
+        f"{'adoption':<10}{'adopters':>9}{'|shift| energy':>16}{'vs baseline':>13}",
+    ]
+    for rate, n_adopters, energy in rows:
+        lines.append(
+            f"{rate:<10.0%}{n_adopters:>9}{energy:>16.3e}"
+            f"{energy / baseline:>12.2f}x"
+        )
+    report("outlook_ev", lines)
+    energies = [energy for _, _, energy in rows]
+    # The planning signal: monotone amplification with adoption.
+    assert all(a < b for a, b in zip(energies, energies[1:]))
+    assert energies[-1] > 1.5 * energies[0]

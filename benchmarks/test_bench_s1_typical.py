@@ -1,0 +1,156 @@
+"""S1 — typical-pattern discovery scenario (all four demo steps).
+
+S1a  early-birds query: selection precision/recall against ground truth.
+S1b  pattern transition: neighbour-walk smoothness vs a random order.
+S1c  t-SNE vs MDS: KL (Eq. 1), trustworthiness, continuity, neighbourhood
+     hit and wall time.
+S1d  k-means vs visual analysis: purity / ARI / NMI (+ silhouette).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster.metrics import (
+    adjusted_rand_index,
+    normalized_mutual_information,
+    purity,
+    silhouette,
+)
+from repro.core.patterns.selection import KnnSelection
+from repro.core.patterns.transition import random_walk_baseline, transition_walk
+from repro.core.reduction.distances import pairwise_distances
+from repro.core.reduction.quality import (
+    continuity,
+    kl_divergence_embedding,
+    neighborhood_hit,
+    trustworthiness,
+)
+from repro.core.reduction.tsne import tsne
+
+
+def test_s1a_early_birds(benchmark, bench_session, bench_city, report):
+    truth = bench_city.archetype_labels()
+    info = benchmark.pedantic(bench_session.embed, rounds=1, iterations=1)
+    exemplar = int(np.flatnonzero(truth == "early_bird")[0])
+    n_true = int((truth == "early_bird").sum())
+    idx = KnnSelection(
+        info.coords[exemplar, 0], info.coords[exemplar, 1], n_true
+    ).apply(info.coords)
+    hits = truth[idx] == "early_bird"
+    precision = float(hits.mean())
+    recall = float(hits.sum() / n_true)
+    report(
+        "s1a_early_birds",
+        [
+            "S1a  early-birds query (morning peak 05:00-07:00)",
+            "",
+            f"true early birds : {n_true}",
+            f"selected         : {idx.size}",
+            f"precision        : {precision:.0%}",
+            f"recall           : {recall:.0%}",
+        ],
+    )
+    assert precision > 0.8
+    assert recall > 0.8
+
+
+def test_s1b_pattern_transition(benchmark, bench_session, report):
+    info = bench_session.embed()
+    walk = benchmark.pedantic(
+        transition_walk,
+        args=(info.coords, bench_session.series),
+        kwargs={"start": 0, "n_steps": 100},
+        rounds=1,
+        iterations=1,
+    )
+    baseline = random_walk_baseline(bench_session.series, n_steps=100, seed=1)
+    lags = walk.similarity_by_lag(8)
+    report(
+        "s1b_transition",
+        [
+            "S1b  pattern transition along closely placed points",
+            "",
+            f"neighbour walk mean similarity : {walk.mean_step_similarity:.3f}",
+            f"random order mean similarity   : {baseline.mean_step_similarity:.3f}",
+            "similarity by walk distance    : "
+            + " ".join(f"{v:.3f}" for v in lags),
+        ],
+    )
+    assert walk.mean_step_similarity > baseline.mean_step_similarity + 0.1
+    assert lags[0] > lags[-1]
+
+
+def test_s1c_reducer_comparison(benchmark, bench_session, bench_city, report):
+    truth = bench_city.archetype_labels()
+    dist = benchmark.pedantic(
+        pairwise_distances, args=(bench_session.features(), "pearson"),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        "S1c  t-SNE vs MDS (Pearson distance, mean-week features)",
+        "",
+        f"{'method':<14}{'KL':>8}{'trust':>8}{'cont':>8}{'nhit':>8}{'sec':>8}",
+    ]
+    results = {}
+    for method in ("tsne", "mds", "mds_classical"):
+        t0 = time.perf_counter()
+        info = bench_session.embed(method=method)
+        seconds = time.perf_counter() - t0
+        kl = (
+            info.objective
+            if method == "tsne"
+            else kl_divergence_embedding(dist, info.coords)
+        )
+        results[method] = {
+            "kl": kl,
+            "trust": trustworthiness(dist, info.coords),
+            "cont": continuity(dist, info.coords),
+            "nhit": neighborhood_hit(info.coords, truth),
+        }
+        rows.append(
+            f"{method:<14}{kl:>8.3f}{results[method]['trust']:>8.3f}"
+            f"{results[method]['cont']:>8.3f}{results[method]['nhit']:>8.3f}"
+            f"{seconds:>8.2f}"
+        )
+    report("s1c_reducers", rows)
+    # Shape: t-SNE wins the KL objective it optimises and local structure.
+    assert results["tsne"]["kl"] < results["mds"]["kl"]
+    assert results["tsne"]["nhit"] >= results["mds"]["nhit"] - 0.02
+
+
+def test_s1d_kmeans_vs_visual(benchmark, bench_session, bench_city, report):
+    truth = bench_city.archetype_labels()
+    dist = pairwise_distances(bench_session.features(), "pearson")
+    km = benchmark.pedantic(
+        bench_session.kmeans_baseline, kwargs={"k": 6}, rounds=1, iterations=1
+    )
+    visual = np.array([p.archetype.value for p in bench_session.member_labels()])
+    rows = [
+        "S1d  k-means baseline vs visual analysis (6 archetypes)",
+        "",
+        f"{'method':<18}{'purity':>8}{'ARI':>8}{'NMI':>8}{'silh':>8}",
+    ]
+    scores = {}
+    for name, labels in (("k-means (k=6)", km.labels), ("visual analysis", visual)):
+        scores[name] = {
+            "purity": purity(truth, labels),
+            "ari": adjusted_rand_index(truth, labels),
+            "nmi": normalized_mutual_information(truth, labels),
+            "silh": silhouette(dist, labels),
+        }
+        s = scores[name]
+        rows.append(
+            f"{name:<18}{s['purity']:>8.3f}{s['ari']:>8.3f}"
+            f"{s['nmi']:>8.3f}{s['silh']:>8.3f}"
+        )
+    report("s1d_kmeans_vs_visual", rows)
+    # The paper's S1 step 4 claim.
+    assert scores["visual analysis"]["ari"] > scores["k-means (k=6)"]["ari"]
+    assert scores["visual analysis"]["purity"] > scores["k-means (k=6)"]["purity"]
+
+
+def test_s1_tsne_runtime(benchmark, bench_session):
+    feats = bench_session.features()[:150]
+    benchmark(tsne, feats, perplexity=25, n_iter=300, seed=0)

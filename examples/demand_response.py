@@ -1,0 +1,63 @@
+"""Demand-response targeting from discovered patterns.
+
+The paper's motivating use: "the identified patterns represent customers
+with similar consumption behaviors or habits, which can be used to develop
+targeting demand-response programs".  This example builds that targeting
+study:
+
+1. segment the fleet by discovered pattern (the archetype each customer's
+   series matches);
+2. compute the utility-planning statistics per segment — load factor,
+   coincidence factor, contribution to the system peak;
+3. rank segments by demand-response priority;
+4. re-run the study under 50% EV adoption to see how the target list
+   shifts (the paper's outlook scenario).
+
+Run:  python examples/demand_response.py
+"""
+
+import numpy as np
+
+from repro import CityConfig, VapSession, generate_city
+from repro.core.patterns.segmentation import build_report
+from repro.data.generator.scenario import apply_ev_adoption
+
+
+def _segments_by_pattern(session: VapSession) -> dict[str, np.ndarray]:
+    labels = np.array([p.archetype.value for p in session.member_labels()])
+    return {
+        name: np.flatnonzero(labels == name) for name in np.unique(labels)
+    }
+
+
+def _print_report(session: VapSession, title: str) -> None:
+    report = build_report(session.series, _segments_by_pattern(session))
+    print(f"\n== {title} ==")
+    print(
+        f"system peak {report.system_peak_kw:.1f} kW at "
+        f"{report.system_peak_hour_of_day:02d}:00"
+    )
+    for row in report.rows():
+        print(row)
+    targets = report.targeting_order()
+    print("demand-response target order:", " > ".join(s.name for s in targets[:3]))
+
+
+def main() -> None:
+    city = generate_city(CityConfig(n_customers=300, n_days=60, seed=53))
+    # Planning studies run on settled, billing-grade data: use the clean
+    # readings directly.  (Running the raw path instead would also filter
+    # out most EV charging — a 7 kW charger looks like an 8x spike to the
+    # anomaly detector on a 1 kW household.)
+    baseline = VapSession.from_city(city, use_raw=False, preprocess=False)
+    _print_report(baseline, "baseline fleet, segments by discovered pattern")
+
+    scenario, adopters = apply_ev_adoption(city, adoption_rate=0.5, seed=1)
+    with_ev = VapSession.from_city(scenario, use_raw=False, preprocess=False)
+    _print_report(
+        with_ev, f"after 50% EV adoption ({len(adopters)} residential adopters)"
+    )
+
+
+if __name__ == "__main__":
+    main()

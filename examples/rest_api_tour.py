@@ -1,0 +1,77 @@
+"""Tour of the RESTful JSON API (the paper's logic-layer contract).
+
+Drives the WSGI app in-process through the test client so no port is
+needed; `python -m repro.server` serves the identical app over HTTP.
+
+Run:  python examples/rest_api_tour.py
+"""
+
+from repro import CityConfig, VapSession, generate_city
+from repro.server import TestClient, VapApp
+
+
+def main() -> None:
+    city = generate_city(CityConfig(n_customers=150, n_days=60, seed=29))
+    session = VapSession.from_city(city)
+    client = TestClient(VapApp(session, layout=city.layout))
+
+    print("GET /api/health")
+    print("  ", client.get("/api/health").json)
+
+    print("GET /api/quality")
+    quality = client.get("/api/quality").json
+    print(
+        f"   missing {quality['missing_fraction']:.1%}, "
+        f"spikes {quality['n_suspected_spikes']}, "
+        f"removed {quality['anomalies_removed']}"
+    )
+
+    print("GET /api/customers?zone=commercial")
+    commercial = client.get("/api/customers?zone=commercial").json
+    print(f"   {commercial['count']} commercial customers")
+
+    box = session.db.bounding_box()
+    mid = box.center
+    url = f"/api/customers?bbox={box.min_lon},{box.min_lat},{mid.lon},{mid.lat}"
+    print(f"GET {url}")
+    print(f"   {client.get(url).json['count']} customers in the SW quadrant")
+
+    print("GET /api/embedding")
+    embedding = client.get("/api/embedding").json
+    print(
+        f"   {len(embedding['points'])} points, method {embedding['method']}, "
+        f"objective {embedding['objective']:.3f}"
+    )
+
+    x, y = embedding["points"][0]
+    print("POST /api/selection (knn around the first point)")
+    selection = client.post(
+        "/api/selection", json={"type": "knn", "x": x, "y": y, "k": 12}
+    ).json
+    print(
+        f"   {selection['count']} customers -> pattern "
+        f"{selection['pattern']!r} (share {selection['pattern_score']:.0%})"
+    )
+
+    print("GET /api/shift (Wednesday 13-15h vs 19-21h)")
+    day = 24 * 2
+    shift = client.get(
+        f"/api/shift?t1_start={day + 13}&t1_end={day + 15}"
+        f"&t2_start={day + 19}&t2_end={day + 21}"
+    ).json
+    print(f"   energy {shift['energy']:.3e}, {len(shift['flows'])} major flows")
+    for flow in shift["flows"][:3]:
+        print(f"   flow {flow['from']} -> {flow['to']}")
+
+    print("GET /api/kmeans?k=5")
+    km = client.get("/api/kmeans?k=5").json
+    print(f"   inertia {km['inertia']:.1f} over {len(km['labels'])} customers")
+
+    print("error handling:")
+    print(f"   GET /api/customers/999999 -> {client.get('/api/customers/999999').status}")
+    print(f"   GET /api/embedding?method=umap -> {client.get('/api/embedding?method=umap').status}")
+    print(f"   POST /api/health -> {client.post('/api/health', json={}).status}")
+
+
+if __name__ == "__main__":
+    main()

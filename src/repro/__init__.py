@@ -1,0 +1,34 @@
+"""Reproduction of VAP (EDBT 2020): visual analysis of energy consumption
+spatio-temporal patterns.
+
+The package is organised in the same three layers as the paper's tool:
+
+- **data layer** — :mod:`repro.data` (domain model, synthetic-city generator,
+  CSV I/O) and :mod:`repro.db` (embedded spatio-temporal store standing in
+  for PostgreSQL/PostGIS).
+- **logic layer** — :mod:`repro.preprocess`, :mod:`repro.core` (dimension
+  reduction, typical-pattern discovery, shift-pattern discovery),
+  :mod:`repro.cluster` (k-means baseline) and :mod:`repro.server`
+  (RESTful JSON API).
+- **presentation layer** — :mod:`repro.viz` (SVG scatter / time-series /
+  heat-map / flow-map views composed into an HTML dashboard) and
+  :mod:`repro.stream` (near-real-time replay).
+
+The most convenient entry point is :class:`repro.core.pipeline.VapSession`,
+which wires the layers together the way the paper's Figure 1 describes.
+"""
+
+from repro.core.pipeline import VapSession
+from repro.data.generator.simulate import CityConfig, generate_city
+from repro.data.timeseries import SeriesSet, TimeSeries
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CityConfig",
+    "SeriesSet",
+    "TimeSeries",
+    "VapSession",
+    "generate_city",
+    "__version__",
+]

@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the tool's operational surface:
+
+- ``generate`` — synthesise a city and write customers + readings CSVs;
+- ``dashboard`` — build the composed Figure-3 HTML page from CSVs (or a
+  freshly generated city when no input is given);
+- ``quality`` — print the data-quality report for a readings CSV;
+- ``sql`` — run a SQL SELECT against a customers CSV.
+
+``python -m repro.server`` (a separate entry point) serves the REST API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.pipeline import VapSession
+from repro.data.generator.simulate import CityConfig, generate_city
+from repro.data.loader import (
+    load_customers,
+    load_readings_wide,
+    save_customers,
+    save_readings_wide,
+)
+from repro.data.timeseries import HourWindow
+from repro.db.engine import EnergyDatabase
+from repro.preprocess.quality import assess_quality
+from repro.viz.dashboard import render_dashboard
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="VAP reproduction command line"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    gen = commands.add_parser("generate", help="synthesise a city to CSV")
+    gen.add_argument("--customers", type=int, default=200)
+    gen.add_argument("--days", type=int, default=90)
+    gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument("--out-dir", type=Path, default=Path("."))
+
+    dash = commands.add_parser("dashboard", help="render the Figure-3 page")
+    dash.add_argument("--customers-csv", type=Path, default=None)
+    dash.add_argument("--readings-csv", type=Path, default=None)
+    dash.add_argument("--t1", type=int, nargs=2, default=(61, 63),
+                      metavar=("START", "END"))
+    dash.add_argument("--t2", type=int, nargs=2, default=(67, 69),
+                      metavar=("START", "END"))
+    dash.add_argument("--out", type=Path, default=Path("vap_dashboard.html"))
+    dash.add_argument("--seed", type=int, default=7)
+
+    quality = commands.add_parser("quality", help="data-quality report")
+    quality.add_argument("readings_csv", type=Path)
+
+    sql = commands.add_parser("sql", help="query a customers CSV with SQL")
+    sql.add_argument("customers_csv", type=Path)
+    sql.add_argument("query")
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    city = generate_city(
+        CityConfig(n_customers=args.customers, n_days=args.days, seed=args.seed)
+    )
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    customers_path = args.out_dir / "customers.csv"
+    readings_path = args.out_dir / "readings.csv"
+    save_customers(city.customers, customers_path)
+    save_readings_wide(city.raw, readings_path)
+    print(
+        f"wrote {len(city.customers)} customers to {customers_path} and "
+        f"{city.raw.n_steps} hourly readings each to {readings_path}"
+    )
+    return 0
+
+
+def _load_or_generate(args: argparse.Namespace):
+    if (args.customers_csv is None) != (args.readings_csv is None):
+        raise SystemExit(
+            "pass both --customers-csv and --readings-csv, or neither"
+        )
+    if args.customers_csv is None:
+        city = generate_city(CityConfig(seed=args.seed))
+        session = VapSession.from_city(city)
+        return session, city.layout, city.archetype_labels()
+    customers = load_customers(args.customers_csv)
+    readings = load_readings_wide(args.readings_csv)
+    session = VapSession(EnergyDatabase(customers, readings))
+    return session, None, None
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    session, layout, labels = _load_or_generate(args)
+    html_text = render_dashboard(
+        session,
+        HourWindow(*args.t1),
+        HourWindow(*args.t2),
+        labels=labels,
+        layout=layout,
+    )
+    args.out.write_text(html_text)
+    print(f"dashboard written to {args.out}")
+    return 0
+
+
+def _cmd_quality(args: argparse.Namespace) -> int:
+    readings = load_readings_wide(args.readings_csv)
+    record = assess_quality(readings).to_record()
+    width = max(len(k) for k in record)
+    for key, value in record.items():
+        print(f"{key:<{width}}  {value}")
+    return 0
+
+
+def _cmd_sql(args: argparse.Namespace) -> int:
+    from repro.db.sql import SqlError, execute_sql
+    from repro.db.table import Table
+    from repro.db.engine import CUSTOMER_SCHEMA
+
+    customers = load_customers(args.customers_csv)
+    table = Table("customers", CUSTOMER_SCHEMA)
+    table.insert_columns(
+        {
+            "customer_id": [c.customer_id for c in customers],
+            "lon": [c.lon for c in customers],
+            "lat": [c.lat for c in customers],
+            "zone": [c.zone.value for c in customers],
+            "archetype": [c.archetype.value for c in customers],
+        }
+    )
+    try:
+        rows = execute_sql({"customers": table}, args.query)
+    except SqlError as exc:
+        print(f"SQL error: {exc}", file=sys.stderr)
+        return 1
+    if not rows:
+        print("(no rows)")
+        return 0
+    headers = list(rows[0])
+    print("\t".join(headers))
+    for row in rows:
+        print("\t".join(str(row[h]) for h in headers))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "dashboard": _cmd_dashboard,
+    "quality": _cmd_quality,
+    "sql": _cmd_sql,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

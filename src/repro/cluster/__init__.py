@@ -1,0 +1,30 @@
+"""Clustering baseline and validation metrics.
+
+Demo S1 step 4 runs "the k-mean algorithm on the sampled data to discover
+typical patterns, compare the results, and explain the advantages of using
+the visual analysis method".  This package provides that baseline (k-means
+with k-means++ seeding, plus average-linkage agglomerative as a second
+reference) and the internal/external validation metrics the comparison is
+scored with.
+"""
+
+from repro.cluster.kmeans import KMeansResult, kmeans
+from repro.cluster.hierarchy import agglomerative
+from repro.cluster.metrics import (
+    adjusted_rand_index,
+    davies_bouldin,
+    normalized_mutual_information,
+    purity,
+    silhouette,
+)
+
+__all__ = [
+    "KMeansResult",
+    "adjusted_rand_index",
+    "agglomerative",
+    "davies_bouldin",
+    "kmeans",
+    "normalized_mutual_information",
+    "purity",
+    "silhouette",
+]

@@ -1,0 +1,157 @@
+"""Clustering validation metrics for the S1d comparison.
+
+Internal (no ground truth): *silhouette* and *Davies-Bouldin* score the
+geometric quality of a partition.  External (against the generator's
+archetype labels): *purity*, *adjusted Rand index* and *normalised mutual
+information* score agreement with the truth — the numbers that decide
+whether visual selection beats k-means.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_labels(labels: np.ndarray, n: int, name: str) -> np.ndarray:
+    labels = np.asarray(labels)
+    if labels.shape != (n,):
+        raise ValueError(f"{name} must have shape ({n},), got {labels.shape}")
+    return labels
+
+
+def silhouette(distances: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient in [-1, 1] from a distance matrix.
+
+    Singleton clusters contribute 0, the usual convention.
+
+    Raises
+    ------
+    ValueError
+        If fewer than 2 clusters are present.
+    """
+    distances = np.asarray(distances, dtype=np.float64)
+    n = distances.shape[0]
+    labels = _check_labels(labels, n, "labels")
+    unique = np.unique(labels)
+    if unique.size < 2:
+        raise ValueError("silhouette needs at least 2 clusters")
+    scores = np.zeros(n)
+    members = {c: np.flatnonzero(labels == c) for c in unique}
+    for i in range(n):
+        own = members[labels[i]]
+        if own.size <= 1:
+            scores[i] = 0.0
+            continue
+        a = distances[i, own].sum() / (own.size - 1)
+        b = np.inf
+        for c in unique:
+            if c == labels[i]:
+                continue
+            other = members[c]
+            b = min(b, float(distances[i, other].mean()))
+        denom = max(a, b)
+        scores[i] = (b - a) / denom if denom > 0 else 0.0
+    return float(scores.mean())
+
+
+def davies_bouldin(features: np.ndarray, labels: np.ndarray) -> float:
+    """Davies-Bouldin index (lower is better) in feature space.
+
+    Raises
+    ------
+    ValueError
+        If fewer than 2 clusters are present.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    n = features.shape[0]
+    labels = _check_labels(labels, n, "labels")
+    unique = np.unique(labels)
+    k = unique.size
+    if k < 2:
+        raise ValueError("davies_bouldin needs at least 2 clusters")
+    centroids = np.stack([features[labels == c].mean(axis=0) for c in unique])
+    scatter = np.array(
+        [
+            float(
+                np.linalg.norm(features[labels == c] - centroids[i], axis=1).mean()
+            )
+            for i, c in enumerate(unique)
+        ]
+    )
+    total = 0.0
+    for i in range(k):
+        worst = 0.0
+        for j in range(k):
+            if i == j:
+                continue
+            gap = float(np.linalg.norm(centroids[i] - centroids[j]))
+            if gap == 0:
+                continue
+            worst = max(worst, (scatter[i] + scatter[j]) / gap)
+        total += worst
+    return total / k
+
+
+def _contingency(truth: np.ndarray, pred: np.ndarray) -> np.ndarray:
+    t_vals, t_idx = np.unique(truth, return_inverse=True)
+    p_vals, p_idx = np.unique(pred, return_inverse=True)
+    table = np.zeros((t_vals.size, p_vals.size), dtype=np.int64)
+    np.add.at(table, (t_idx, p_idx), 1)
+    return table
+
+
+def purity(truth: np.ndarray, pred: np.ndarray) -> float:
+    """Share of points whose cluster's majority truth label matches them."""
+    truth = np.asarray(truth)
+    pred = _check_labels(pred, truth.shape[0], "pred")
+    table = _contingency(truth, pred)
+    return float(table.max(axis=0).sum() / truth.shape[0])
+
+
+def adjusted_rand_index(truth: np.ndarray, pred: np.ndarray) -> float:
+    """Hubert & Arabie's chance-corrected Rand index."""
+    truth = np.asarray(truth)
+    pred = _check_labels(pred, truth.shape[0], "pred")
+    table = _contingency(truth, pred)
+    n = truth.shape[0]
+
+    def comb2(x: np.ndarray) -> np.ndarray:
+        return x * (x - 1) / 2.0
+
+    sum_cells = comb2(table.astype(np.float64)).sum()
+    sum_rows = comb2(table.sum(axis=1).astype(np.float64)).sum()
+    sum_cols = comb2(table.sum(axis=0).astype(np.float64)).sum()
+    total = comb2(np.array([float(n)]))[0]
+    expected = sum_rows * sum_cols / total if total > 0 else 0.0
+    max_index = (sum_rows + sum_cols) / 2.0
+    denom = max_index - expected
+    if denom == 0:
+        return 1.0 if sum_cells == expected else 0.0
+    return float((sum_cells - expected) / denom)
+
+
+def normalized_mutual_information(truth: np.ndarray, pred: np.ndarray) -> float:
+    """NMI with arithmetic-mean normalisation, in [0, 1]."""
+    truth = np.asarray(truth)
+    pred = _check_labels(pred, truth.shape[0], "pred")
+    table = _contingency(truth, pred).astype(np.float64)
+    n = table.sum()
+    if n == 0:
+        return 1.0
+    p_joint = table / n
+    p_t = p_joint.sum(axis=1)
+    p_p = p_joint.sum(axis=0)
+    mask = p_joint > 0
+    outer = np.outer(p_t, p_p)
+    mi = float((p_joint[mask] * np.log(p_joint[mask] / outer[mask])).sum())
+
+    def entropy(p: np.ndarray) -> float:
+        q = p[p > 0]
+        return float(-(q * np.log(q)).sum())
+
+    h_t = entropy(p_t)
+    h_p = entropy(p_p)
+    denom = (h_t + h_p) / 2.0
+    if denom == 0:
+        return 1.0
+    return float(np.clip(mi / denom, 0.0, 1.0))

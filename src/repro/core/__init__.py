@@ -1,0 +1,16 @@
+"""The paper's analytical models.
+
+- :mod:`repro.core.reduction` — t-SNE and MDS with the Pearson-correlation
+  distance (paper Eq. 1-2), plus embedding-quality metrics;
+- :mod:`repro.core.patterns` — typical-pattern discovery: canonical
+  templates, interactive selection operators, labelling, transitions;
+- :mod:`repro.core.shift` — spatio-temporal shift patterns: weighted
+  Gaussian KDE (Eq. 3), density difference (Eq. 4), flow extraction and the
+  S2 sensitivity sweeps;
+- :mod:`repro.core.pipeline` — the :class:`~repro.core.pipeline.VapSession`
+  facade wiring data, models and views together (paper Figure 1).
+"""
+
+from repro.core.pipeline import VapSession
+
+__all__ = ["VapSession"]

@@ -1,0 +1,56 @@
+"""Typical-pattern discovery (paper Section 2.1, demo scenario S1).
+
+The paper's workflow: reduce series to 2-D, let the analyst select closely
+placed points, and interpret each selection as a *typical pattern*.  This
+package models every step so the workflow is scriptable and testable:
+
+- :mod:`repro.core.patterns.canonical` — the five patterns of Figure 3 as
+  analytic templates with the paper's interpretations;
+- :mod:`repro.core.patterns.selection` — the selection gestures view C
+  supports (rectangle, lasso, radius, k-nearest), plus a session object
+  that accumulates named selections;
+- :mod:`repro.core.patterns.labeling` — template matching that plays the
+  analyst's role when benchmarks need labels at scale;
+- :mod:`repro.core.patterns.transition` — the S1 "pattern transition"
+  walk across neighbouring points.
+"""
+
+from repro.core.patterns.autodiscover import Proposal, dbscan, propose_selections
+from repro.core.patterns.canonical import CANONICAL_PATTERNS, CanonicalPattern
+from repro.core.patterns.labeling import PatternLabel, label_customers, label_selection
+from repro.core.patterns.selection import (
+    KnnSelection,
+    LassoSelection,
+    RadiusSelection,
+    RectSelection,
+    SelectionSession,
+)
+from repro.core.patterns.segmentation import (
+    SegmentationReport,
+    SegmentStats,
+    build_report,
+    segment_statistics,
+)
+from repro.core.patterns.transition import TransitionWalk, transition_walk
+
+__all__ = [
+    "CANONICAL_PATTERNS",
+    "CanonicalPattern",
+    "KnnSelection",
+    "LassoSelection",
+    "PatternLabel",
+    "Proposal",
+    "RadiusSelection",
+    "RectSelection",
+    "SegmentStats",
+    "SegmentationReport",
+    "SelectionSession",
+    "TransitionWalk",
+    "build_report",
+    "dbscan",
+    "label_customers",
+    "propose_selections",
+    "segment_statistics",
+    "label_selection",
+    "transition_walk",
+]

@@ -1,0 +1,197 @@
+"""The paper's five typical patterns as analytic templates.
+
+Figure 3 of the paper names five discovered patterns — *bimodal*,
+*energy-saving*, *idle*, *constant high* and *suspicious* — and the demo's
+S1 question singles out the *early birds* (05:00-07:00 morning peak).  Each
+is encoded here as a :class:`CanonicalPattern`: an idealised normalised
+daily profile, an idealised monthly (seasonal) profile, coarse level bounds
+and the interpretation text an analyst would attach.
+
+Templates are deliberately *independent of the data generator's* shapes —
+they describe the published interpretation, not the synthesis code — so
+template matching in :mod:`repro.core.patterns.labeling` is a genuine
+recovery test rather than a tautology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.meter import CustomerType
+
+
+def _unit(values: list[float] | np.ndarray) -> np.ndarray:
+    """Normalise a template to zero mean, unit norm (correlation-ready)."""
+    arr = np.asarray(values, dtype=np.float64)
+    arr = arr - arr.mean()
+    norm = float(np.linalg.norm(arr))
+    if norm == 0:
+        return arr
+    return arr / norm
+
+
+@dataclass(frozen=True)
+class CanonicalPattern:
+    """One typical pattern with its matching signature.
+
+    Attributes
+    ----------
+    archetype:
+        The :class:`~repro.data.meter.CustomerType` the pattern names.
+    title / interpretation:
+        The label and reading the paper's demo narration gives.
+    day_template:
+        24-value idealised hour-of-day shape (zero-mean, unit norm), or
+        ``None`` when the pattern is not defined by its diurnal shape.
+    month_template:
+        12-value idealised month-of-year shape, or ``None``.
+    level_band:
+        ``(low, high)`` bounds on mean hourly kWh as *population quantiles*
+        (0-1): e.g. idle lives in the bottom decile, constant-high in the
+        top quintile.
+    flatness_max:
+        Upper bound on the coefficient of variation of the day profile for
+        "flat" patterns, or ``None``.
+    """
+
+    archetype: CustomerType
+    title: str
+    interpretation: str
+    day_template: np.ndarray | None
+    month_template: np.ndarray | None
+    level_band: tuple[float, float]
+    flatness_max: float | None = None
+
+
+def _residential_day(morning: float, evening: float, early: float = 0.0) -> np.ndarray:
+    """Helper building a 24 h shape from morning/evening/early-bird weights."""
+    hours = np.arange(24, dtype=np.float64)
+
+    def bump(center: float, width: float) -> np.ndarray:
+        delta = np.minimum(np.abs(hours - center), 24 - np.abs(hours - center))
+        return np.exp(-0.5 * (delta / width) ** 2)
+
+    return (
+        0.2
+        + early * bump(6.0, 1.0)
+        + morning * bump(7.5, 1.5)
+        + evening * bump(19.5, 2.2)
+    )
+
+
+#: Winter+summer double hump: electric heating (Dec-Feb) and cooling (Jun-Aug).
+_BIMODAL_MONTHS = [1.0, 0.9, 0.6, 0.35, 0.25, 0.5, 0.7, 0.65, 0.3, 0.4, 0.7, 0.95]
+#: Mild winter-only seasonality for ordinary homes.
+_FLATISH_MONTHS = [0.55, 0.5, 0.45, 0.4, 0.35, 0.35, 0.35, 0.35, 0.4, 0.45, 0.5, 0.55]
+
+CANONICAL_PATTERNS: tuple[CanonicalPattern, ...] = (
+    CanonicalPattern(
+        archetype=CustomerType.BIMODAL,
+        title="Bimodal pattern",
+        interpretation=(
+            "A peak in winter and summer respectively, likely caused by "
+            "electrical heating and cooling appliances."
+        ),
+        day_template=_unit(_residential_day(morning=0.5, evening=1.0)),
+        month_template=_unit(_BIMODAL_MONTHS),
+        level_band=(0.35, 1.0),
+    ),
+    CanonicalPattern(
+        archetype=CustomerType.ENERGY_SAVING,
+        title="Energy-saving pattern",
+        interpretation=(
+            "Consistently low consumption with a small evening presence — "
+            "an energy-conscious household or an efficient dwelling."
+        ),
+        day_template=_unit(_residential_day(morning=0.15, evening=0.5)),
+        month_template=_unit(_FLATISH_MONTHS),
+        level_band=(0.08, 0.45),
+    ),
+    CanonicalPattern(
+        archetype=CustomerType.IDLE,
+        title="Idle pattern",
+        interpretation=(
+            "Near-zero baseline consumption — a vacant or rarely used "
+            "premise."
+        ),
+        day_template=None,
+        month_template=None,
+        level_band=(0.0, 0.08),
+    ),
+    CanonicalPattern(
+        archetype=CustomerType.CONSTANT_HIGH,
+        title="Constant high pattern",
+        interpretation=(
+            "High, nearly flat around-the-clock consumption — refrigeration, "
+            "server rooms or other continuously running equipment."
+        ),
+        day_template=None,
+        month_template=None,
+        level_band=(0.75, 1.0),
+        flatness_max=0.35,
+    ),
+    CanonicalPattern(
+        archetype=CustomerType.SUSPICIOUS,
+        title="Suspicious pattern",
+        interpretation=(
+            "Erratic spikes, sudden level shifts or implausible outage runs — "
+            "possible meter tampering or faults worth inspection."
+        ),
+        day_template=None,
+        month_template=None,
+        level_band=(0.0, 1.0),
+    ),
+    CanonicalPattern(
+        archetype=CustomerType.EARLY_BIRD,
+        title="Early-bird pattern",
+        interpretation=(
+            "A pronounced morning peak between 05:00 and 07:00 — households "
+            "that rise early; the S1 demo question."
+        ),
+        day_template=_unit(_residential_day(morning=0.2, evening=0.35, early=1.4)),
+        month_template=None,
+        level_band=(0.2, 0.95),
+    ),
+)
+
+#: Lookup by archetype.
+PATTERN_BY_ARCHETYPE: dict[CustomerType, CanonicalPattern] = {
+    p.archetype: p for p in CANONICAL_PATTERNS
+}
+
+
+def day_correlation(day_profile: np.ndarray, pattern: CanonicalPattern) -> float:
+    """Pearson correlation of a 24 h profile with the pattern's template.
+
+    Returns 0 for templates that do not constrain the diurnal shape.
+    """
+    if pattern.day_template is None:
+        return 0.0
+    profile = np.asarray(day_profile, dtype=np.float64)
+    if profile.shape != (24,):
+        raise ValueError(f"day profile must have 24 values, got {profile.shape}")
+    unit = _unit(profile)
+    if not unit.any():
+        return 0.0
+    return float(unit @ pattern.day_template)
+
+
+def month_correlation(month_profile: np.ndarray, pattern: CanonicalPattern) -> float:
+    """Pearson correlation of a 12-month profile with the pattern's template.
+
+    Returns 0 for templates without a seasonal signature.  Accepts profiles
+    shorter than 12 months (sub-year data) by comparing the covered prefix.
+    """
+    if pattern.month_template is None:
+        return 0.0
+    profile = np.asarray(month_profile, dtype=np.float64)
+    if profile.ndim != 1 or profile.size < 3:
+        return 0.0
+    k = min(12, profile.size)
+    unit = _unit(profile[:k])
+    if not unit.any():
+        return 0.0
+    template = _unit(pattern.month_template[:k])
+    return float(unit @ template)

@@ -1,0 +1,148 @@
+"""Pattern transitions across the embedding (demo S1, step 2).
+
+Attendees "select the closely placed points continuously, and observe the
+pattern transition over the spatial space".  The computational analogue is
+a *walk*: start at a point, repeatedly hop to the nearest unvisited
+neighbour, and watch how the consumption pattern morphs step by step.
+
+If the embedding is faithful, consecutive stops should have highly
+correlated profiles and the correlation should *decay with walk distance* —
+exactly what :func:`transition_walk` measures and what the S1 bench
+compares against a random-order baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.timeseries import SeriesSet
+
+
+@dataclass(slots=True)
+class TransitionWalk:
+    """A nearest-neighbour walk with its pattern-similarity trace.
+
+    Attributes
+    ----------
+    order:
+        Row indices in visit order.
+    step_similarity:
+        Pearson correlation between consecutive stops' profiles
+        (length ``len(order) - 1``).
+    """
+
+    order: np.ndarray
+    step_similarity: np.ndarray
+
+    @property
+    def mean_step_similarity(self) -> float:
+        """Average profile correlation along the walk — the smoothness the
+        S1 demo narrates."""
+        if self.step_similarity.size == 0:
+            return float("nan")
+        return float(self.step_similarity.mean())
+
+    def similarity_by_lag(self, max_lag: int = 10) -> np.ndarray:
+        """Mean profile correlation between stops ``lag`` apart; a faithful
+        embedding shows monotone-ish decay."""
+        out = np.full(max_lag, np.nan)
+        for lag in range(1, max_lag + 1):
+            if self.order.size <= lag:
+                break
+            pairs = self._profile_corr(self.order[:-lag], self.order[lag:])
+            out[lag - 1] = float(pairs.mean())
+        return out
+
+    # Filled at construction time by transition_walk.
+    _profiles: np.ndarray | None = None
+
+    def _profile_corr(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        assert self._profiles is not None
+        pa = self._profiles[a]
+        pb = self._profiles[b]
+        return (pa * pb).sum(axis=1)
+
+
+def _unit_rows(matrix: np.ndarray) -> np.ndarray:
+    """Zero-mean unit-norm rows, so dot products are Pearson correlations."""
+    centered = matrix - matrix.mean(axis=1, keepdims=True)
+    norms = np.linalg.norm(centered, axis=1, keepdims=True)
+    safe = np.where(norms > 0, norms, 1.0)
+    return centered / safe
+
+
+def transition_walk(
+    embedding: np.ndarray,
+    series_set: SeriesSet,
+    start: int = 0,
+    n_steps: int | None = None,
+) -> TransitionWalk:
+    """Greedy nearest-unvisited-neighbour walk from ``start``.
+
+    Parameters
+    ----------
+    embedding:
+        ``(n, 2)`` view-C coordinates, rows aligned with ``series_set``.
+    start:
+        Row index of the first stop.
+    n_steps:
+        Number of stops (including the start); default all points.
+
+    Raises
+    ------
+    ValueError
+        On misaligned inputs or an out-of-range start.
+    """
+    embedding = np.asarray(embedding, dtype=np.float64)
+    if embedding.ndim != 2 or embedding.shape[1] != 2:
+        raise ValueError(f"embedding must be (n, 2), got {embedding.shape}")
+    n = embedding.shape[0]
+    if series_set.n_customers != n:
+        raise ValueError(
+            f"embedding has {n} rows but series set has "
+            f"{series_set.n_customers} customers"
+        )
+    if not 0 <= start < n:
+        raise ValueError(f"start {start} out of range 0..{n - 1}")
+    n_steps = n if n_steps is None else min(n_steps, n)
+    if n_steps < 1:
+        raise ValueError(f"n_steps must be >= 1, got {n_steps}")
+
+    matrix = np.where(np.isnan(series_set.matrix), 0.0, series_set.matrix)
+    profiles = _unit_rows(matrix)
+
+    visited = np.zeros(n, dtype=bool)
+    order = np.empty(n_steps, dtype=np.int64)
+    current = start
+    visited[current] = True
+    order[0] = current
+    for step in range(1, n_steps):
+        d2 = ((embedding - embedding[current]) ** 2).sum(axis=1)
+        d2[visited] = np.inf
+        current = int(np.argmin(d2))
+        visited[current] = True
+        order[step] = current
+
+    sims = (profiles[order[:-1]] * profiles[order[1:]]).sum(axis=1)
+    walk = TransitionWalk(order=order, step_similarity=sims)
+    walk._profiles = profiles
+    return walk
+
+
+def random_walk_baseline(
+    series_set: SeriesSet, n_steps: int | None = None, seed: int = 0
+) -> TransitionWalk:
+    """Same trace for a random visiting order — the null the S1 bench
+    compares the embedding walk against."""
+    n = series_set.n_customers
+    n_steps = n if n_steps is None else min(n_steps, n)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)[:n_steps].astype(np.int64)
+    matrix = np.where(np.isnan(series_set.matrix), 0.0, series_set.matrix)
+    profiles = _unit_rows(matrix)
+    sims = (profiles[order[:-1]] * profiles[order[1:]]).sum(axis=1)
+    walk = TransitionWalk(order=order, step_similarity=sims)
+    walk._profiles = profiles
+    return walk

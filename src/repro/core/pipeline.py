@@ -1,0 +1,295 @@
+"""The VAP logic layer: one facade over data, models and views.
+
+:class:`VapSession` is the object the paper's Figure 1 loop runs through —
+Data → Models → Visualization → Users → (refine parameters) → Models.  It
+owns an :class:`~repro.db.engine.EnergyDatabase`, performs preprocessing
+once, caches embeddings per parameter set (the "refine and re-explore"
+loop), and exposes every analytical operation the REST API and the
+dashboard need:
+
+- typical patterns: ``embed`` → ``selection_session`` → ``pattern_of`` /
+  ``profile_of`` (views C and B);
+- shift patterns: ``density`` / ``shift`` / ``flows`` (view A);
+- baselines: ``kmeans_baseline`` for the S1d comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.kmeans import KMeansResult, kmeans
+from repro.core.patterns.labeling import (
+    PatternLabel,
+    label_customers,
+    label_selection,
+)
+from repro.core.patterns.selection import SelectionSession
+from repro.core.reduction.mds import mds
+from repro.core.reduction.tsne import tsne
+from repro.core.shift.flow import FlowArrow, ShiftField, flow_vectors, major_flows
+from repro.core.shift.grids import DensityGrid, GridSpec
+from repro.core.shift.kde import kde_density
+from repro.data.timeseries import HourWindow, SeriesSet
+from repro.db.engine import EnergyDatabase
+from repro.preprocess.cleaning import AnomalyReport, remove_anomalies
+from repro.preprocess.features import FeatureKind, extract_features
+from repro.preprocess.imputation import impute
+from repro.preprocess.normalize import normalize_matrix
+from repro.preprocess.quality import DataQualityReport, assess_quality
+
+EMBED_METHODS = ("tsne", "mds", "mds_classical")
+
+
+@dataclass(slots=True)
+class EmbeddingInfo:
+    """An embedding plus the diagnostics its reducer reported."""
+
+    coords: np.ndarray
+    method: str
+    metric: str
+    feature_kind: FeatureKind
+    objective: float  # KL for t-SNE, stress for MDS
+
+
+class VapSession:
+    """One analysis session over one data set (the paper's logic layer).
+
+    Parameters
+    ----------
+    db:
+        The data layer.
+    feature_kind:
+        Default profile folding for embeddings (see
+        :class:`~repro.preprocess.features.FeatureKind`).
+    preprocess:
+        When True (default), readings are anomaly-filtered and imputed at
+        construction — the paper's stated preprocessing.  Pass False when
+        the readings are already clean.
+    """
+
+    def __init__(
+        self,
+        db: EnergyDatabase,
+        feature_kind: FeatureKind = FeatureKind.MEAN_WEEK,
+        preprocess: bool = True,
+    ) -> None:
+        self.db = db
+        self.feature_kind = feature_kind
+        self.quality: DataQualityReport = assess_quality(db.readings)
+        self.anomalies: AnomalyReport | None = None
+        if preprocess:
+            cleaned, self.anomalies = remove_anomalies(db.readings)
+            self.series: SeriesSet = impute(cleaned)
+        else:
+            self.series = db.readings
+        self._features: dict[FeatureKind, np.ndarray] = {}
+        self._member_labels: list[PatternLabel] | None = None
+        self._embeddings: dict[tuple, EmbeddingInfo] = {}
+        self._grid: GridSpec | None = None
+
+    @classmethod
+    def from_city(cls, dataset, use_raw: bool = True, **kwargs) -> "VapSession":
+        """Build a session from a generated
+        :class:`~repro.data.generator.simulate.CityDataset`."""
+        readings = dataset.raw if use_raw else dataset.clean
+        db = EnergyDatabase(dataset.customers, readings)
+        return cls(db, **kwargs)
+
+    # ------------------------------------------------------------------
+    # typical patterns (views B and C)
+    # ------------------------------------------------------------------
+    def features(self, kind: FeatureKind | None = None) -> np.ndarray:
+        """Feature matrix for the embedding, cached per kind."""
+        kind = kind or self.feature_kind
+        if kind not in self._features:
+            self._features[kind] = extract_features(self.series, kind)
+        return self._features[kind]
+
+    def embed(
+        self,
+        method: str = "tsne",
+        metric: str = "pearson",
+        feature_kind: FeatureKind | None = None,
+        perplexity: float = 30.0,
+        n_iter: int = 500,
+        seed: int = 0,
+    ) -> EmbeddingInfo:
+        """Reduce the series to 2-D; cached per parameter set.
+
+        Raises
+        ------
+        ValueError
+            For an unknown method.
+        """
+        if method not in EMBED_METHODS:
+            raise ValueError(
+                f"unknown method {method!r}; pick one of {EMBED_METHODS}"
+            )
+        kind = feature_kind or self.feature_kind
+        key = (method, metric, kind, perplexity, n_iter, seed)
+        if key in self._embeddings:
+            return self._embeddings[key]
+        feats = self.features(kind)
+        if method == "tsne":
+            result = tsne(
+                feats,
+                metric=metric,
+                perplexity=perplexity,
+                n_iter=n_iter,
+                seed=seed,
+            )
+            info = EmbeddingInfo(
+                coords=result.embedding,
+                method=method,
+                metric=metric,
+                feature_kind=kind,
+                objective=result.kl_divergence,
+            )
+        else:
+            mds_method = "classical" if method == "mds_classical" else "smacof"
+            result = mds(feats, metric=metric, method=mds_method)
+            info = EmbeddingInfo(
+                coords=result.embedding,
+                method=method,
+                metric=metric,
+                feature_kind=kind,
+                objective=result.stress,
+            )
+        self._embeddings[key] = info
+        return info
+
+    def selection_session(
+        self, embedding: EmbeddingInfo | None = None
+    ) -> SelectionSession:
+        """Start an interactive selection session over an embedding."""
+        info = embedding or self.embed()
+        return SelectionSession(embedding=info.coords)
+
+    def member_labels(self) -> list[PatternLabel]:
+        """Template labels for every customer (population context), cached."""
+        if self._member_labels is None:
+            self._member_labels = label_customers(self.series)
+        return self._member_labels
+
+    def pattern_of(self, indices: np.ndarray) -> PatternLabel:
+        """Name the pattern of a selection (what the analyst reads off
+        view B)."""
+        return label_selection(
+            self.series, indices, member_labels=self.member_labels()
+        )
+
+    def profile_of(self, indices: np.ndarray) -> np.ndarray:
+        """View B's aggregated consumption curve for a selection.
+
+        Raises
+        ------
+        ValueError
+            If the selection is empty.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            raise ValueError("cannot aggregate an empty selection")
+        ids = [int(self.series.customer_ids[i]) for i in indices]
+        return self.series.select_customers(ids).mean_profile()
+
+    def customers_of(self, indices: np.ndarray) -> list[int]:
+        """Customer ids behind embedding row indices."""
+        return [int(self.series.customer_ids[int(i)]) for i in np.asarray(indices)]
+
+    def kmeans_baseline(
+        self, k: int = 5, feature_kind: FeatureKind | None = None, seed: int = 0
+    ) -> KMeansResult:
+        """The S1d baseline: k-means on z-scored features."""
+        feats = normalize_matrix(self.features(feature_kind), "zscore")
+        return kmeans(feats, k=k, seed=seed)
+
+    def forecast(
+        self, customer_id: int, horizon: int = 24, method: str = "profile"
+    ) -> np.ndarray:
+        """Day-ahead-style forecast for one customer.
+
+        ``method`` is ``"profile"`` (pattern-based, the paper's downstream
+        claim), ``"seasonal"`` (repeat last week) or ``"naive"``.
+
+        Raises
+        ------
+        ValueError
+            For an unknown method or customer.
+        KeyError
+            For an unknown customer id.
+        """
+        from repro.forecast.baselines import NaiveForecaster, SeasonalNaive
+        from repro.forecast.profile import ProfileForecaster
+
+        history = self.series.series(customer_id).values
+        if method == "profile":
+            model = ProfileForecaster()
+            model.fit(history, start_phase=self.series.start_hour % model.season)
+        elif method == "seasonal":
+            model = SeasonalNaive(168).fit(history)
+        elif method == "naive":
+            model = NaiveForecaster().fit(history)
+        else:
+            raise ValueError(
+                f"unknown method {method!r}; pick profile/seasonal/naive"
+            )
+        return model.predict(horizon)
+
+    # ------------------------------------------------------------------
+    # shift patterns (view A)
+    # ------------------------------------------------------------------
+    def grid(self, nx: int = 96, ny: int = 96) -> GridSpec:
+        """The session's shared density grid (covers every customer)."""
+        if self._grid is None or (self._grid.nx, self._grid.ny) != (nx, ny):
+            positions = self.db.positions_of(self.db.customer_ids)
+            self._grid = GridSpec.covering(positions, nx=nx, ny=ny)
+        return self._grid
+
+    def density(
+        self,
+        window: HourWindow,
+        bandwidth_m: float | None = None,
+        customer_ids: list[int] | None = None,
+    ) -> DensityGrid:
+        """Eq. 3: demand-weighted density for one window (view A heat map)."""
+        positions, values = self.db.demand(window, customer_ids)
+        return kde_density(positions, values, self.grid(), bandwidth_m=bandwidth_m)
+
+    def shift(
+        self,
+        t1: HourWindow,
+        t2: HourWindow,
+        bandwidth_m: float | None = None,
+        customer_ids: list[int] | None = None,
+    ) -> ShiftField:
+        """Eq. 4: the density difference between two windows."""
+        before = self.density(t1, bandwidth_m, customer_ids)
+        after = self.density(t2, bandwidth_m, customer_ids)
+        return ShiftField.between(before, after)
+
+    def flows(
+        self,
+        t1: HourWindow,
+        t2: HourWindow,
+        style: str = "major",
+        bandwidth_m: float | None = None,
+        customer_ids: list[int] | None = None,
+    ) -> list[FlowArrow]:
+        """Flow arrows for view A.
+
+        ``style`` is ``"major"`` (blob-to-blob transport, the Figure 3
+        narrative arrows) or ``"field"`` (dense gradient arrows).
+
+        Raises
+        ------
+        ValueError
+            For an unknown style.
+        """
+        if style not in ("major", "field"):
+            raise ValueError(f"style must be 'major' or 'field', got {style!r}")
+        field = self.shift(t1, t2, bandwidth_m, customer_ids)
+        if style == "major":
+            return major_flows(field)
+        return flow_vectors(field)

@@ -1,0 +1,49 @@
+"""Dimension reduction for the embedding view (view C).
+
+The paper reduces high-dimensional consumption series to 2-D with t-SNE or
+MDS, using the Pearson correlation coefficient as the distance metric
+"as it can better reflect the correlation of the trend between two time
+series".  Both reducers are implemented from scratch here, along with the
+distance functions and the quality metrics the S1c comparison reports.
+"""
+
+from repro.core.reduction.distances import (
+    euclidean_distance_matrix,
+    pairwise_distances,
+    pearson_distance_matrix,
+)
+from repro.core.reduction.dtw import dtw_distance, dtw_distance_matrix
+from repro.core.reduction.mds import MDSResult, mds
+from repro.core.reduction.pca import PCAResult, pca
+from repro.core.reduction.quality import (
+    continuity,
+    kl_divergence_embedding,
+    neighborhood_hit,
+    shepard_correlation,
+    trustworthiness,
+)
+from repro.core.reduction.procrustes import embedding_stability, procrustes_align
+from repro.core.reduction.project import EmbeddingProjector
+from repro.core.reduction.tsne import TSNEResult, tsne
+
+__all__ = [
+    "MDSResult",
+    "PCAResult",
+    "TSNEResult",
+    "EmbeddingProjector",
+    "continuity",
+    "dtw_distance",
+    "dtw_distance_matrix",
+    "embedding_stability",
+    "euclidean_distance_matrix",
+    "kl_divergence_embedding",
+    "mds",
+    "neighborhood_hit",
+    "pairwise_distances",
+    "pca",
+    "pearson_distance_matrix",
+    "procrustes_align",
+    "shepard_correlation",
+    "trustworthiness",
+    "tsne",
+]

@@ -1,0 +1,103 @@
+"""Distance functions for the embedding models.
+
+The paper's stated choice is the Pearson correlation coefficient, turned
+into a distance as ``d = 1 - r`` so that perfectly trend-correlated series
+sit at distance 0 and anti-correlated ones at distance 2.  Euclidean (on
+normalised rows) is provided for comparison sweeps, plus a small dispatch
+helper the reducers share.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+METRICS = ("pearson", "euclidean")
+
+
+def _validated(features: np.ndarray) -> np.ndarray:
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise ValueError(f"features must be 2-D, got shape {features.shape}")
+    if features.shape[0] < 2:
+        raise ValueError(
+            f"need at least 2 rows to compute pairwise distances, "
+            f"got {features.shape[0]}"
+        )
+    if not np.isfinite(features).all():
+        raise ValueError(
+            "features contain NaN/inf; run preprocessing (impute) first"
+        )
+    return features
+
+
+def pearson_distance_matrix(features: np.ndarray) -> np.ndarray:
+    """``1 - r`` distance between all row pairs (paper's metric).
+
+    Rows with zero variance carry no trend information; their correlation
+    with anything is defined as 0, i.e. distance 1 — except to themselves
+    (distance 0), keeping the matrix a proper dissimilarity (zero diagonal,
+    symmetric, non-negative, bounded by 2).
+    """
+    features = _validated(features)
+    n = features.shape[0]
+    centered = features - features.mean(axis=1, keepdims=True)
+    norms = np.sqrt((centered**2).sum(axis=1))
+    flat = norms == 0
+    safe = np.where(flat, 1.0, norms)
+    unit = centered / safe[:, None]
+    corr = unit @ unit.T
+    corr[flat, :] = 0.0
+    corr[:, flat] = 0.0
+    np.clip(corr, -1.0, 1.0, out=corr)
+    dist = 1.0 - corr
+    np.fill_diagonal(dist, 0.0)
+    # Exact symmetry despite floating-point noise.
+    return (dist + dist.T) / 2.0
+
+
+def euclidean_distance_matrix(features: np.ndarray) -> np.ndarray:
+    """Plain Euclidean distance between all row pairs."""
+    features = _validated(features)
+    sq = (features**2).sum(axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (features @ features.T)
+    np.clip(d2, 0.0, None, out=d2)
+    dist = np.sqrt(d2)
+    np.fill_diagonal(dist, 0.0)
+    return (dist + dist.T) / 2.0
+
+
+def pairwise_distances(features: np.ndarray, metric: str = "pearson") -> np.ndarray:
+    """Dispatch on metric name.
+
+    Raises
+    ------
+    ValueError
+        For an unknown metric name.
+    """
+    if metric == "pearson":
+        return pearson_distance_matrix(features)
+    if metric == "euclidean":
+        return euclidean_distance_matrix(features)
+    raise ValueError(f"unknown metric {metric!r}; pick one of {METRICS}")
+
+
+def validate_distance_matrix(dist: np.ndarray) -> np.ndarray:
+    """Check a precomputed matrix is a usable dissimilarity.
+
+    Requirements: square, finite, non-negative, symmetric (to tolerance)
+    and zero diagonal.  Returns the symmetrised copy.
+    """
+    dist = np.asarray(dist, dtype=np.float64)
+    if dist.ndim != 2 or dist.shape[0] != dist.shape[1]:
+        raise ValueError(f"distance matrix must be square, got {dist.shape}")
+    if not np.isfinite(dist).all():
+        raise ValueError("distance matrix contains NaN/inf")
+    if (dist < 0).any():
+        raise ValueError("distance matrix contains negative entries")
+    if not np.allclose(dist, dist.T, atol=1e-8):
+        raise ValueError("distance matrix is not symmetric")
+    if not np.allclose(np.diag(dist), 0.0, atol=1e-8):
+        raise ValueError("distance matrix diagonal is not zero")
+    out = (dist + dist.T) / 2.0
+    np.fill_diagonal(out, 0.0)
+    return out

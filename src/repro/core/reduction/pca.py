@@ -1,0 +1,63 @@
+"""Principal component analysis.
+
+Not a headline method of the paper, but needed twice: as the standard
+initialisation of t-SNE (reproducible layouts instead of random starts) and
+as a cheap linear baseline in the reducer comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(slots=True)
+class PCAResult:
+    """Projection plus the variance bookkeeping callers chart."""
+
+    embedding: np.ndarray
+    components: np.ndarray
+    explained_variance: np.ndarray
+    explained_variance_ratio: np.ndarray
+
+
+def pca(features: np.ndarray, n_components: int = 2) -> PCAResult:
+    """Project rows onto the top principal components via SVD.
+
+    Deterministic up to sign; signs are fixed so each component's largest
+    loading is positive.
+
+    Raises
+    ------
+    ValueError
+        If inputs are not finite 2-D or n_components is out of range.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise ValueError(f"features must be 2-D, got shape {features.shape}")
+    if not np.isfinite(features).all():
+        raise ValueError("features contain NaN/inf; impute first")
+    n, d = features.shape
+    max_components = min(n, d)
+    if not 1 <= n_components <= max_components:
+        raise ValueError(
+            f"n_components must be in [1, {max_components}], got {n_components}"
+        )
+    centered = features - features.mean(axis=0, keepdims=True)
+    u, s, vt = np.linalg.svd(centered, full_matrices=False)
+    # Deterministic sign: largest-magnitude loading of each component > 0.
+    for i in range(vt.shape[0]):
+        pivot = np.argmax(np.abs(vt[i]))
+        if vt[i, pivot] < 0:
+            vt[i] *= -1.0
+            u[:, i] *= -1.0
+    explained = (s**2) / max(n - 1, 1)
+    total = explained.sum()
+    ratio = explained / total if total > 0 else np.zeros_like(explained)
+    return PCAResult(
+        embedding=u[:, :n_components] * s[:n_components],
+        components=vt[:n_components],
+        explained_variance=explained[:n_components],
+        explained_variance_ratio=ratio[:n_components],
+    )

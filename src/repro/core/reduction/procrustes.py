@@ -1,0 +1,81 @@
+"""Orthogonal Procrustes alignment and embedding-stability measurement.
+
+t-SNE layouts are only defined up to rotation/reflection/translation (and
+runs with different seeds differ even more).  To compare two embeddings of
+the *same* customers — different seeds, different iteration counts, before
+/after new data — one first aligns them: the orthogonal Procrustes problem
+``min_R ||A R - B||_F`` over rotations/reflections, solved in closed form
+by an SVD, with optional uniform scaling.
+
+``embedding_stability`` reports the residual disparity in [0, 1] (0 =
+identical up to similarity transform), the number the demo would quote
+when an attendee asks "does the map change every time?".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def procrustes_align(
+    source: np.ndarray, target: np.ndarray, allow_scaling: bool = True
+) -> tuple[np.ndarray, float]:
+    """Align ``source`` onto ``target``; returns ``(aligned, disparity)``.
+
+    Both inputs are centred first; ``disparity`` is the normalised residual
+    ``||aligned - target_centred||^2 / ||target_centred||^2`` in [0, 1+]
+    (values above 1 are possible only without scaling).
+
+    Raises
+    ------
+    ValueError
+        On shape mismatch, non-finite input or degenerate (all-identical)
+        configurations.
+    """
+    source = np.asarray(source, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if source.shape != target.shape or source.ndim != 2:
+        raise ValueError(
+            f"source {source.shape} and target {target.shape} must be "
+            f"equal-shape 2-D arrays"
+        )
+    if not (np.isfinite(source).all() and np.isfinite(target).all()):
+        raise ValueError("embeddings contain NaN/inf")
+    a = source - source.mean(axis=0, keepdims=True)
+    b = target - target.mean(axis=0, keepdims=True)
+    norm_a = float(np.linalg.norm(a))
+    norm_b = float(np.linalg.norm(b))
+    if norm_a == 0 or norm_b == 0:
+        raise ValueError("degenerate embedding: all points coincide")
+    a = a / norm_a
+    b = b / norm_b
+    u, s, vt = np.linalg.svd(a.T @ b)
+    rotation = u @ vt
+    scale = float(s.sum()) if allow_scaling else 1.0
+    aligned = scale * (a @ rotation)
+    disparity = float(((aligned - b) ** 2).sum())
+    # Return in the target's original frame.
+    restored = aligned * norm_b + target.mean(axis=0, keepdims=True)
+    return restored, disparity
+
+
+def embedding_stability(
+    embeddings: list[np.ndarray], allow_scaling: bool = True
+) -> float:
+    """Mean pairwise Procrustes disparity across runs (0 = fully stable).
+
+    Raises
+    ------
+    ValueError
+        With fewer than two embeddings.
+    """
+    if len(embeddings) < 2:
+        raise ValueError("stability needs at least two embeddings")
+    disparities = []
+    for i in range(len(embeddings)):
+        for j in range(i + 1, len(embeddings)):
+            _, disparity = procrustes_align(
+                embeddings[i], embeddings[j], allow_scaling=allow_scaling
+            )
+            disparities.append(disparity)
+    return float(np.mean(disparities))

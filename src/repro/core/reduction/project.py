@@ -1,0 +1,93 @@
+"""Out-of-sample projection into an existing embedding.
+
+When the live feed introduces a new customer (or a customer's recent data
+changes), recomputing t-SNE for the whole fleet would break the analyst's
+mental map.  The standard remedy is interpolation: place the new point at
+the distance-weighted barycentre of its ``k`` nearest *training* points'
+embedding coordinates.  Distances use the same metric as the original
+embedding (Pearson by default), so new points land inside their pattern's
+cluster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.reduction.distances import pairwise_distances
+
+
+class EmbeddingProjector:
+    """kNN barycentric out-of-sample projector.
+
+    Parameters
+    ----------
+    train_features:
+        Feature rows the embedding was computed from.
+    train_embedding:
+        The fitted 2-D coordinates, row-aligned with the features.
+    k:
+        Neighbours used for interpolation.
+    metric:
+        Distance metric, matching the embedding's.
+    """
+
+    def __init__(
+        self,
+        train_features: np.ndarray,
+        train_embedding: np.ndarray,
+        k: int = 8,
+        metric: str = "pearson",
+    ) -> None:
+        self.features = np.asarray(train_features, dtype=np.float64)
+        self.embedding = np.asarray(train_embedding, dtype=np.float64)
+        if self.features.ndim != 2:
+            raise ValueError(
+                f"train_features must be 2-D, got {self.features.shape}"
+            )
+        if (
+            self.embedding.ndim != 2
+            or self.embedding.shape[0] != self.features.shape[0]
+        ):
+            raise ValueError(
+                f"embedding {self.embedding.shape} is not row-aligned with "
+                f"features {self.features.shape}"
+            )
+        if not 1 <= k <= self.features.shape[0]:
+            raise ValueError(
+                f"k must be in [1, {self.features.shape[0]}], got {k}"
+            )
+        self.k = k
+        self.metric = metric
+
+    def project(self, new_features: np.ndarray) -> np.ndarray:
+        """Project new rows; returns ``(m, dim)`` coordinates.
+
+        Raises
+        ------
+        ValueError
+            If the new rows' width differs from the training features.
+        """
+        new_features = np.asarray(new_features, dtype=np.float64)
+        if new_features.ndim == 1:
+            new_features = new_features[None, :]
+        if new_features.shape[1] != self.features.shape[1]:
+            raise ValueError(
+                f"new features have width {new_features.shape[1]}, "
+                f"training features have {self.features.shape[1]}"
+            )
+        n_train = self.features.shape[0]
+        stacked = np.vstack([self.features, new_features])
+        dist = pairwise_distances(stacked, metric=self.metric)
+        cross = dist[n_train:, :n_train]  # (m, n_train)
+        out = np.empty((new_features.shape[0], self.embedding.shape[1]))
+        for i in range(cross.shape[0]):
+            order = np.argsort(cross[i], kind="stable")[: self.k]
+            d = cross[i, order]
+            if d[0] == 0.0:
+                # Exact duplicate of a training row: land on it.
+                out[i] = self.embedding[order[0]]
+                continue
+            weights = 1.0 / (d + 1e-12)
+            weights /= weights.sum()
+            out[i] = weights @ self.embedding[order]
+        return out

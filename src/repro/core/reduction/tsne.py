@@ -1,0 +1,191 @@
+"""t-distributed Stochastic Neighbor Embedding (exact, from scratch).
+
+This is the paper's primary reducer (its Eq. 1 is the KL objective, Eq. 2
+the Student-t low-dimensional kernel).  The implementation follows van der
+Maaten & Hinton (2008):
+
+1. per-point Gaussian bandwidths found by binary search so each conditional
+   distribution has the requested *perplexity*;
+2. symmetrised joint probabilities ``P = (P_c + P_c^T) / 2n``;
+3. gradient descent on the KL divergence with early exaggeration, momentum
+   switching and adaptive per-coordinate gains.
+
+Distances default to the paper's Pearson metric; any precomputed
+dissimilarity is accepted too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.reduction.distances import pairwise_distances, validate_distance_matrix
+from repro.core.reduction.pca import pca
+
+_P_MIN = 1e-12
+
+
+@dataclass(slots=True)
+class TSNEResult:
+    """Embedding plus convergence diagnostics.
+
+    ``kl_divergence`` is the paper's Eq. 1 objective at the final iterate
+    (without exaggeration); ``kl_trace`` samples it every 50 iterations.
+    """
+
+    embedding: np.ndarray
+    kl_divergence: float
+    n_iter: int
+    perplexity: float
+    kl_trace: list[float]
+
+
+def _conditional_probabilities(
+    dist: np.ndarray, perplexity: float, tol: float = 1e-5, max_tries: int = 64
+) -> np.ndarray:
+    """Row-stochastic P(j|i) with per-row bandwidth matched to perplexity.
+
+    Binary search on the precision ``beta_i`` of ``exp(-beta_i * d_ij^2)``
+    until the row entropy equals ``log(perplexity)``.
+    """
+    n = dist.shape[0]
+    target_entropy = np.log(perplexity)
+    d2 = dist**2
+    cond = np.zeros((n, n))
+    for i in range(n):
+        row = np.delete(d2[i], i)
+        beta, beta_lo, beta_hi = 1.0, 0.0, np.inf
+        probs = np.ones_like(row) / max(row.size, 1)
+        for _ in range(max_tries):
+            weights = np.exp(-beta * (row - row.min()))
+            total = weights.sum()
+            if total <= 0:
+                probs = np.ones_like(row) / max(row.size, 1)
+                break
+            probs = weights / total
+            entropy = float(-(probs * np.log(np.clip(probs, _P_MIN, None))).sum())
+            diff = entropy - target_entropy
+            if abs(diff) < tol:
+                break
+            if diff > 0:  # entropy too high -> sharpen
+                beta_lo = beta
+                beta = beta * 2.0 if beta_hi == np.inf else (beta + beta_hi) / 2.0
+            else:
+                beta_hi = beta
+                beta = beta / 2.0 if beta_lo == 0.0 else (beta + beta_lo) / 2.0
+        cond[i, np.arange(n) != i] = probs
+    return cond
+
+
+def joint_probabilities(dist: np.ndarray, perplexity: float) -> np.ndarray:
+    """Symmetrised joint P of the t-SNE objective (sums to 1, zero diag)."""
+    n = dist.shape[0]
+    if not 1.0 < perplexity < n:
+        raise ValueError(
+            f"perplexity must be in (1, n_points={n}), got {perplexity}"
+        )
+    cond = _conditional_probabilities(dist, perplexity)
+    joint = (cond + cond.T) / (2.0 * n)
+    return np.clip(joint, _P_MIN, None)
+
+
+def _q_matrix(embedding: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Student-t similarities Q (paper Eq. 2) and the unnormalised kernel."""
+    sq = (embedding**2).sum(axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (embedding @ embedding.T)
+    np.clip(d2, 0.0, None, out=d2)
+    kernel = 1.0 / (1.0 + d2)
+    np.fill_diagonal(kernel, 0.0)
+    total = kernel.sum()
+    q = np.clip(kernel / max(total, _P_MIN), _P_MIN, None)
+    return q, kernel
+
+
+def _kl(p: np.ndarray, q: np.ndarray) -> float:
+    """KL(P || Q), the paper's Eq. 1 (diagonal contributes nothing)."""
+    mask = ~np.eye(p.shape[0], dtype=bool)
+    return float((p[mask] * np.log(p[mask] / q[mask])).sum())
+
+
+def tsne(
+    features: np.ndarray | None = None,
+    *,
+    distances: np.ndarray | None = None,
+    metric: str = "pearson",
+    perplexity: float = 30.0,
+    n_iter: int = 500,
+    learning_rate: float = 200.0,
+    early_exaggeration: float = 12.0,
+    exaggeration_iter: int = 250,
+    n_components: int = 2,
+    init: str = "pca",
+    seed: int = 0,
+) -> TSNEResult:
+    """Embed rows into ``n_components`` dimensions.
+
+    Exactly one of ``features`` / ``distances`` must be given.  ``init`` is
+    ``"pca"`` (deterministic, needs features) or ``"random"``.  Perplexity
+    is clamped to ``(n - 1) / 3`` when the data set is small, the standard
+    guardrail.
+
+    Raises
+    ------
+    ValueError
+        On inconsistent inputs.
+    """
+    if (features is None) == (distances is None):
+        raise ValueError("pass exactly one of features or distances")
+    if init not in ("pca", "random"):
+        raise ValueError(f"init must be 'pca' or 'random', got {init!r}")
+    if n_iter < 1:
+        raise ValueError(f"n_iter must be positive, got {n_iter}")
+    if distances is None:
+        assert features is not None
+        dist = pairwise_distances(features, metric=metric)
+    else:
+        dist = validate_distance_matrix(distances)
+        if init == "pca":
+            if features is None:
+                init = "random"  # PCA needs raw features
+    n = dist.shape[0]
+    if n < 3:
+        raise ValueError(f"need at least 3 points for t-SNE, got {n}")
+    perplexity = float(min(perplexity, max(2.0, (n - 1) / 3.0)))
+
+    p = joint_probabilities(dist, perplexity)
+    rng = np.random.default_rng(seed)
+    if init == "pca" and features is not None:
+        base = pca(np.asarray(features, dtype=np.float64), n_components).embedding
+        scale = base[:, 0].std() or 1.0
+        y = base / scale * 1e-4
+    else:
+        y = rng.normal(0.0, 1e-4, size=(n, n_components))
+
+    velocity = np.zeros_like(y)
+    gains = np.ones_like(y)
+    kl_trace: list[float] = []
+    exaggerated = p * early_exaggeration
+    for iteration in range(n_iter):
+        current_p = exaggerated if iteration < exaggeration_iter else p
+        q, kernel = _q_matrix(y)
+        # Gradient: 4 * sum_j (p_ij - q_ij) * kernel_ij * (y_i - y_j)
+        coeff = (current_p - q) * kernel
+        grad = 4.0 * ((np.diag(coeff.sum(axis=1)) - coeff) @ y)
+        momentum = 0.5 if iteration < exaggeration_iter else 0.8
+        same_sign = np.sign(grad) == np.sign(velocity)
+        gains = np.where(same_sign, gains * 0.8, gains + 0.2)
+        np.clip(gains, 0.01, None, out=gains)
+        velocity = momentum * velocity - learning_rate * gains * grad
+        y = y + velocity
+        y = y - y.mean(axis=0, keepdims=True)
+        if iteration % 50 == 0 or iteration == n_iter - 1:
+            kl_trace.append(_kl(p, q))
+    q, _ = _q_matrix(y)
+    return TSNEResult(
+        embedding=y,
+        kl_divergence=_kl(p, q),
+        n_iter=n_iter,
+        perplexity=perplexity,
+        kl_trace=kl_trace,
+    )

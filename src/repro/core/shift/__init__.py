@@ -1,0 +1,35 @@
+"""Spatio-temporal shift-pattern discovery (paper Section 2.1, Figure 2).
+
+Pipeline: per-customer demand in two windows → weighted Gaussian KDE on a
+geographic grid (Eq. 3) → density difference (Eq. 4) → flow arrows from
+losing areas toward gaining areas → (optionally) origin-destination
+smoothing.  The S2 sensitivity sweeps vary temporal granularity and the
+consumption-intensity quantile.
+"""
+
+from repro.core.shift.flow import FlowArrow, ShiftField, flow_vectors, major_flows
+from repro.core.shift.grids import DensityGrid, GridSpec
+from repro.core.shift.kde import bandwidth_silverman, kde_density
+from repro.core.shift.odflow import smooth_od_flows
+from repro.core.shift.sensitivity import (
+    GranularityResult,
+    QuantileResult,
+    granularity_sweep,
+    quantile_sweep,
+)
+
+__all__ = [
+    "DensityGrid",
+    "FlowArrow",
+    "GranularityResult",
+    "GridSpec",
+    "QuantileResult",
+    "ShiftField",
+    "bandwidth_silverman",
+    "flow_vectors",
+    "granularity_sweep",
+    "kde_density",
+    "major_flows",
+    "quantile_sweep",
+    "smooth_od_flows",
+]

@@ -1,0 +1,141 @@
+"""Geographic evaluation grids for the density and shift maps.
+
+A :class:`GridSpec` fixes the geographic extent and resolution once so the
+two density maps of Eq. 4 are guaranteed to be evaluated on identical cells
+(subtracting grids with different extents would be meaningless).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.spatial import BBox
+
+
+@dataclass(frozen=True, slots=True)
+class GridSpec:
+    """Extent and resolution of a density evaluation grid.
+
+    ``nx`` cells across longitude, ``ny`` across latitude; cell centres are
+    used as evaluation points.
+    """
+
+    bbox: BBox
+    nx: int = 96
+    ny: int = 96
+
+    def __post_init__(self) -> None:
+        if self.nx < 2 or self.ny < 2:
+            raise ValueError(f"grid must be at least 2x2, got {self.nx}x{self.ny}")
+        if self.bbox.width <= 0 or self.bbox.height <= 0:
+            raise ValueError("grid bbox must have positive extent")
+
+    @property
+    def cell_width(self) -> float:
+        return self.bbox.width / self.nx
+
+    @property
+    def cell_height(self) -> float:
+        return self.bbox.height / self.ny
+
+    def lon_centers(self) -> np.ndarray:
+        """Longitudes of cell centres, ascending, length ``nx``."""
+        return self.bbox.min_lon + (np.arange(self.nx) + 0.5) * self.cell_width
+
+    def lat_centers(self) -> np.ndarray:
+        """Latitudes of cell centres, ascending, length ``ny``."""
+        return self.bbox.min_lat + (np.arange(self.ny) + 0.5) * self.cell_height
+
+    def mesh(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(lons, lats)`` arrays of shape ``(ny, nx)`` for all centres."""
+        return np.meshgrid(self.lon_centers(), self.lat_centers())
+
+    def cell_of(self, lon: float, lat: float) -> tuple[int, int]:
+        """``(row, col)`` of the cell containing a point, clipped to bounds."""
+        col = int((lon - self.bbox.min_lon) / self.cell_width)
+        row = int((lat - self.bbox.min_lat) / self.cell_height)
+        return (
+            int(np.clip(row, 0, self.ny - 1)),
+            int(np.clip(col, 0, self.nx - 1)),
+        )
+
+    @classmethod
+    def covering(
+        cls, positions: np.ndarray, nx: int = 96, ny: int = 96, margin: float = 0.15
+    ) -> "GridSpec":
+        """Grid covering a point set with a relative margin on each side.
+
+        Raises
+        ------
+        ValueError
+            If fewer than one position is given.
+        """
+        positions = np.asarray(positions, dtype=np.float64)
+        if positions.ndim != 2 or positions.shape[1] != 2 or positions.shape[0] == 0:
+            raise ValueError(
+                f"positions must be a non-empty (n, 2) array, got {positions.shape}"
+            )
+        box = BBox.from_points(positions[:, 0], positions[:, 1])
+        pad_lon = max(box.width * margin, 1e-4)
+        pad_lat = max(box.height * margin, 1e-4)
+        return cls(
+            bbox=BBox(
+                box.min_lon - pad_lon,
+                box.min_lat - pad_lat,
+                box.max_lon + pad_lon,
+                box.max_lat + pad_lat,
+            ),
+            nx=nx,
+            ny=ny,
+        )
+
+
+@dataclass(slots=True)
+class DensityGrid:
+    """A density surface evaluated on a :class:`GridSpec`.
+
+    ``values[row, col]`` is the density at the cell centre with latitude row
+    ``row`` (south→north) and longitude column ``col`` (west→east).
+    """
+
+    spec: GridSpec
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.values.shape != (self.spec.ny, self.spec.nx):
+            raise ValueError(
+                f"values shape {self.values.shape} does not match grid "
+                f"({self.spec.ny}, {self.spec.nx})"
+            )
+
+    def total_mass(self) -> float:
+        """Density integrated over the grid extent.
+
+        Densities from :func:`repro.core.shift.kde.kde_density` are per
+        square metre, so cell areas are converted to metres at the grid
+        centre; for a grid that covers the kernels' support this is ~1.
+        """
+        from repro.db.geo import meters_per_degree  # local: avoid cycle
+
+        m_per_lon, m_per_lat = meters_per_degree(self.spec.bbox.center.lat)
+        cell_area = (self.spec.cell_width * m_per_lon) * (
+            self.spec.cell_height * m_per_lat
+        )
+        return float(self.values.sum() * cell_area)
+
+    def max_cell(self) -> tuple[float, float, float]:
+        """``(lon, lat, value)`` of the hottest cell."""
+        row, col = np.unravel_index(int(np.argmax(self.values)), self.values.shape)
+        return (
+            float(self.spec.lon_centers()[col]),
+            float(self.spec.lat_centers()[row]),
+            float(self.values[row, col]),
+        )
+
+    def value_at(self, lon: float, lat: float) -> float:
+        """Density of the cell containing a point."""
+        row, col = self.spec.cell_of(lon, lat)
+        return float(self.values[row, col])

@@ -1,0 +1,14 @@
+"""Domain model, time-series containers, synthetic data generation and I/O."""
+
+from repro.data.meter import Customer, CustomerType, Meter, ZoneKind
+from repro.data.timeseries import Resolution, SeriesSet, TimeSeries
+
+__all__ = [
+    "Customer",
+    "CustomerType",
+    "Meter",
+    "Resolution",
+    "SeriesSet",
+    "TimeSeries",
+    "ZoneKind",
+]

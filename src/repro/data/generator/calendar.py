@@ -1,0 +1,77 @@
+"""Calendar features driving the load profiles.
+
+Consumption depends on the position of an hour within day, week and year.
+This module converts hour offsets (since :data:`repro.data.timeseries.EPOCH`)
+into those features once, vectorised, so profile synthesis stays cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.timeseries import EPOCH, HOURS_PER_DAY
+
+HOURS_PER_WEEK = HOURS_PER_DAY * 7
+DAYS_PER_YEAR = 365.0
+
+#: Day-of-year numbers treated as public holidays (no-work days).  A small
+#: fixed set keeps the generator deterministic without a holiday database.
+HOLIDAY_DAYS_OF_YEAR: frozenset[int] = frozenset({1, 90, 121, 359, 360, 365})
+
+
+@dataclass(slots=True)
+class CalendarFrame:
+    """Vectorised calendar features for a run of consecutive hours.
+
+    Attributes
+    ----------
+    hour_of_day:
+        0..23 for every hour.
+    day_of_week:
+        0=Monday .. 6=Sunday (the epoch is a Monday).
+    day_of_year:
+        1..365/366 approximation based on 365-day years.
+    is_workday:
+        True when the hour falls on Mon-Fri and not on a holiday.
+    year_phase:
+        Position within the year in radians, 0 at Jan 1, 2*pi at Dec 31 —
+        input of the seasonal temperature model.
+    """
+
+    hour_of_day: np.ndarray
+    day_of_week: np.ndarray
+    day_of_year: np.ndarray
+    is_workday: np.ndarray
+    year_phase: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.hour_of_day.shape[0])
+
+
+def build_calendar(start_hour: int, n_hours: int) -> CalendarFrame:
+    """Compute calendar features for ``n_hours`` hours from ``start_hour``.
+
+    Note the epoch (2018-01-01) is a Monday, so ``day_of_week`` follows from
+    simple integer arithmetic; years are treated as exactly 365 days, which
+    is adequate for synthetic seasonality.
+    """
+    if n_hours < 0:
+        raise ValueError(f"n_hours must be non-negative, got {n_hours}")
+    assert EPOCH.weekday() == 0, "epoch must be a Monday for the day-of-week math"
+    hours = np.arange(start_hour, start_hour + n_hours, dtype=np.int64)
+    days = hours // HOURS_PER_DAY
+    hour_of_day = hours % HOURS_PER_DAY
+    day_of_week = days % 7
+    day_of_year = (days % 365) + 1
+    holiday = np.isin(day_of_year, list(HOLIDAY_DAYS_OF_YEAR))
+    is_workday = (day_of_week < 5) & ~holiday
+    year_phase = 2.0 * np.pi * ((days % 365) / DAYS_PER_YEAR)
+    return CalendarFrame(
+        hour_of_day=hour_of_day.astype(np.int64),
+        day_of_week=day_of_week.astype(np.int64),
+        day_of_year=day_of_year.astype(np.int64),
+        is_workday=is_workday,
+        year_phase=year_phase.astype(np.float64),
+    )

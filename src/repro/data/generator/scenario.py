@@ -1,0 +1,140 @@
+"""What-if scenarios on top of a generated city.
+
+The paper closes with "an outlook on the use potentials on a higher
+spatial scale as well as on other urban energy uses".  The canonical
+what-if for distribution planners is electric-vehicle adoption: a share of
+residential customers gains an evening charging load, which *amplifies*
+the commercial→residential evening shift the tool visualises.  The
+scenario machinery lets the S2 analyses quantify that amplification.
+
+``apply_ev_adoption`` is pure: it returns a new
+:class:`~repro.data.generator.simulate.CityDataset` with the charging load
+added to both the clean and raw readings of the adopters, leaving the
+input untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.data.generator.simulate import CityDataset
+from repro.data.meter import ZoneKind
+from repro.data.timeseries import HOURS_PER_DAY, SeriesSet
+
+
+@dataclass(frozen=True, slots=True)
+class EvConfig:
+    """Electric-vehicle charging behaviour.
+
+    Defaults model a 7 kW home charger used most workday evenings:
+    plug-in between 17:00 and 21:00, 2-4 hours to full.
+    """
+
+    charger_kw: float = 7.0
+    plugin_hour_range: tuple[int, int] = (17, 21)
+    duration_range: tuple[int, int] = (2, 5)
+    charge_probability_workday: float = 0.8
+    charge_probability_weekend: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.charger_kw <= 0:
+            raise ValueError(f"charger_kw must be positive, got {self.charger_kw}")
+        lo, hi = self.plugin_hour_range
+        if not 0 <= lo <= hi <= 23:
+            raise ValueError(f"bad plugin_hour_range {self.plugin_hour_range}")
+        lo, hi = self.duration_range
+        if not 1 <= lo <= hi:
+            raise ValueError(f"bad duration_range {self.duration_range}")
+        for p in (self.charge_probability_workday, self.charge_probability_weekend):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"charge probability {p} outside [0, 1]")
+
+
+def _charging_profile(
+    n_hours: int, config: EvConfig, rng: np.random.Generator
+) -> np.ndarray:
+    """One adopter's hourly EV load over the horizon."""
+    load = np.zeros(n_hours)
+    n_days = n_hours // HOURS_PER_DAY
+    for day in range(n_days):
+        weekday = day % 7 < 5  # epoch is a Monday
+        probability = (
+            config.charge_probability_workday
+            if weekday
+            else config.charge_probability_weekend
+        )
+        if rng.random() >= probability:
+            continue
+        start_hour = int(rng.integers(*config.plugin_hour_range)) if (
+            config.plugin_hour_range[0] < config.plugin_hour_range[1]
+        ) else config.plugin_hour_range[0]
+        duration = int(rng.integers(config.duration_range[0],
+                                    config.duration_range[1] + 1))
+        start = day * HOURS_PER_DAY + start_hour
+        load[start : min(start + duration, n_hours)] += config.charger_kw
+    return load
+
+
+def apply_ev_adoption(
+    dataset: CityDataset,
+    adoption_rate: float,
+    config: EvConfig | None = None,
+    seed: int = 0,
+) -> tuple[CityDataset, list[int]]:
+    """Give a share of residential customers an EV charging load.
+
+    Parameters
+    ----------
+    dataset:
+        The baseline city (not modified).
+    adoption_rate:
+        Share of *residential* customers that adopt, in [0, 1].
+    seed:
+        Adopter choice and charging behaviour are deterministic per seed.
+
+    Returns the scenario data set and the adopter customer ids.
+
+    Raises
+    ------
+    ValueError
+        For an adoption rate outside [0, 1].
+    """
+    if not 0.0 <= adoption_rate <= 1.0:
+        raise ValueError(f"adoption_rate must be in [0, 1], got {adoption_rate}")
+    config = config or EvConfig()
+    rng = np.random.default_rng(seed)
+    residential = [
+        c.customer_id
+        for c in dataset.customers
+        if c.zone is ZoneKind.RESIDENTIAL
+    ]
+    n_adopters = int(round(adoption_rate * len(residential)))
+    adopters = sorted(
+        rng.choice(residential, size=n_adopters, replace=False).tolist()
+    ) if n_adopters else []
+
+    clean = dataset.clean.matrix.copy()
+    raw = dataset.raw.matrix.copy()
+    for cid in adopters:
+        row = dataset.clean.row_index(cid)
+        ev = _charging_profile(dataset.clean.n_steps, config, rng)
+        clean[row] += ev
+        # Raw readings keep their missing cells; observed cells gain load.
+        observed = np.isfinite(raw[row])
+        raw[row, observed] += ev[observed]
+
+    def rebuild(template: SeriesSet, matrix: np.ndarray) -> SeriesSet:
+        return SeriesSet(
+            customer_ids=template.customer_ids.tolist(),
+            start_hour=template.start_hour,
+            matrix=matrix,
+        )
+
+    scenario = replace(
+        dataset,
+        clean=rebuild(dataset.clean, clean),
+        raw=rebuild(dataset.raw, raw),
+    )
+    return scenario, [int(c) for c in adopters]

@@ -1,0 +1,93 @@
+"""Synthetic outdoor temperature model.
+
+The paper's bimodal pattern — "a peak in winter and summer ... caused by the
+use of electrical heating and cooling appliances" — needs a temperature
+driver.  We use a standard two-harmonic model: a seasonal sinusoid (cold in
+January, warm in July for a northern-hemisphere city), a diurnal sinusoid
+(coolest near 05:00, warmest near 14:00) and an AR(1) weather-noise process
+so consecutive days are correlated the way real weather is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.generator.calendar import CalendarFrame
+
+
+@dataclass(frozen=True, slots=True)
+class WeatherConfig:
+    """Parameters of the temperature model (degrees Celsius).
+
+    Defaults describe a temperate coastal city: yearly mean 9 °C with a
+    +/-10 °C seasonal swing and a +/-4 °C diurnal swing.
+    """
+
+    mean_temp: float = 9.0
+    seasonal_amplitude: float = 10.0
+    diurnal_amplitude: float = 4.0
+    noise_std: float = 2.5
+    noise_persistence: float = 0.85
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.noise_persistence < 1.0:
+            raise ValueError(
+                "noise_persistence must be in [0, 1), got "
+                f"{self.noise_persistence}"
+            )
+        if self.noise_std < 0:
+            raise ValueError(f"noise_std must be non-negative, got {self.noise_std}")
+
+
+def synthesize_temperature(
+    calendar: CalendarFrame,
+    config: WeatherConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Hourly outdoor temperature for every hour in ``calendar``.
+
+    The seasonal term peaks in mid-July (phase shift of ~196 days); the
+    diurnal term peaks at 14:00.  Noise is an hourly AR(1) process.
+    """
+    config = config or WeatherConfig()
+    rng = rng or np.random.default_rng(0)
+    n = len(calendar)
+    if n == 0:
+        return np.empty(0)
+    # Seasonal: coldest mid-January, warmest mid-July.
+    seasonal = -config.seasonal_amplitude * np.cos(
+        calendar.year_phase - 2.0 * np.pi * (15.0 / 365.0)
+    )
+    # Diurnal: warmest at 14:00, coldest at 02:00.
+    diurnal = config.diurnal_amplitude * np.cos(
+        2.0 * np.pi * (calendar.hour_of_day - 14) / 24.0
+    )
+    noise = np.empty(n)
+    innovations = rng.normal(
+        0.0, config.noise_std * np.sqrt(1.0 - config.noise_persistence**2), size=n
+    )
+    state = rng.normal(0.0, config.noise_std)
+    for i in range(n):
+        state = config.noise_persistence * state + innovations[i]
+        noise[i] = state
+    return config.mean_temp + seasonal + diurnal + noise
+
+
+def heating_demand_factor(temperature: np.ndarray, base_temp: float = 15.0) -> np.ndarray:
+    """Heating degree signal: grows linearly as temperature drops below base.
+
+    Normalised so that a temperature ``base_temp - 20`` gives factor 1.0.
+    """
+    return np.clip(base_temp - temperature, 0.0, None) / 20.0
+
+
+def cooling_demand_factor(temperature: np.ndarray, base_temp: float = 17.0) -> np.ndarray:
+    """Cooling degree signal: grows linearly as temperature rises above base.
+
+    Normalised so that ``base_temp + 15`` gives factor 1.0.  The base is set
+    low enough that summer cooling is visible even in a temperate climate —
+    the paper's bimodal pattern needs both a winter and a summer peak.
+    """
+    return np.clip(temperature - base_temp, 0.0, None) / 15.0

@@ -1,0 +1,178 @@
+"""CSV import/export for customers and readings.
+
+The paper loads smart-meter extracts into PostgreSQL; the practical interface
+to such systems is CSV.  Two layouts are supported:
+
+- **wide** readings: one row per customer, one column per hour — compact and
+  the natural serialisation of :class:`~repro.data.timeseries.SeriesSet`;
+- **long** readings: ``customer_id,hour,kwh`` triples — the layout utility
+  data warehouses export, converted on load.
+
+Missing readings round-trip as empty cells.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from repro.data.meter import Customer
+from repro.data.timeseries import SeriesSet
+
+
+def save_customers(customers: Iterable[Customer], path: str | Path) -> int:
+    """Write customers to CSV; returns the number of rows written."""
+    customers = list(customers)
+    fieldnames = [
+        "customer_id",
+        "lon",
+        "lat",
+        "zone",
+        "archetype",
+        "meter_id",
+        "resolution_minutes",
+    ]
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for cust in customers:
+            writer.writerow(cust.to_record())
+    return len(customers)
+
+
+def load_customers(path: str | Path) -> list[Customer]:
+    """Read customers written by :func:`save_customers`.
+
+    Raises
+    ------
+    ValueError
+        If the file has no rows or a row is malformed.
+    """
+    customers: list[Customer] = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        for line_no, record in enumerate(reader, start=2):
+            try:
+                customers.append(Customer.from_record(record))
+            except (KeyError, ValueError) as exc:
+                raise ValueError(f"{path}:{line_no}: bad customer row: {exc}") from exc
+    if not customers:
+        raise ValueError(f"{path}: no customer rows found")
+    return customers
+
+
+def save_readings_wide(series_set: SeriesSet, path: str | Path) -> int:
+    """Write a :class:`SeriesSet` as wide CSV; returns rows written.
+
+    The header carries the hour offsets so the time axis round-trips:
+    ``customer_id,h<start>,h<start+1>,...``.  NaN serialises as empty cell.
+    """
+    header = ["customer_id"] + [f"h{h}" for h in series_set.hours]
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for row, cid in enumerate(series_set.customer_ids):
+            values = [
+                "" if math.isnan(v) else repr(float(v))
+                for v in series_set.matrix[row]
+            ]
+            writer.writerow([int(cid)] + values)
+    return series_set.n_customers
+
+
+def load_readings_wide(path: str | Path) -> SeriesSet:
+    """Read wide CSV written by :func:`save_readings_wide`.
+
+    Raises
+    ------
+    ValueError
+        If the header is malformed, hours are not contiguous, or row widths
+        disagree with the header.
+    """
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path}: empty file") from None
+        if not header or header[0] != "customer_id":
+            raise ValueError(f"{path}: first column must be customer_id")
+        try:
+            hours = [int(col[1:]) for col in header[1:]]
+        except ValueError as exc:
+            raise ValueError(f"{path}: bad hour column in header: {exc}") from exc
+        if hours and hours != list(range(hours[0], hours[0] + len(hours))):
+            raise ValueError(f"{path}: hour columns are not contiguous")
+        customer_ids: list[int] = []
+        rows: list[list[float]] = []
+        for line_no, record in enumerate(reader, start=2):
+            if len(record) != len(header):
+                raise ValueError(
+                    f"{path}:{line_no}: expected {len(header)} cells, "
+                    f"got {len(record)}"
+                )
+            customer_ids.append(int(record[0]))
+            rows.append([float(cell) if cell else float("nan") for cell in record[1:]])
+    if not rows:
+        raise ValueError(f"{path}: no reading rows found")
+    return SeriesSet(
+        customer_ids=customer_ids,
+        start_hour=hours[0] if hours else 0,
+        matrix=np.array(rows, dtype=np.float64),
+    )
+
+
+def save_readings_long(series_set: SeriesSet, path: str | Path) -> int:
+    """Write ``customer_id,hour,kwh`` triples; missing readings are skipped.
+
+    Returns the number of data rows written.
+    """
+    written = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["customer_id", "hour", "kwh"])
+        hours = series_set.hours
+        for row, cid in enumerate(series_set.customer_ids):
+            values = series_set.matrix[row]
+            for col in np.flatnonzero(~np.isnan(values)):
+                writer.writerow([int(cid), int(hours[col]), repr(float(values[col]))])
+                written += 1
+    return written
+
+
+def load_readings_long(path: str | Path) -> SeriesSet:
+    """Read long CSV into a dense :class:`SeriesSet`.
+
+    The time axis spans the min..max hour present; unobserved cells are NaN.
+    Duplicate ``(customer, hour)`` pairs keep the last value, matching
+    upsert semantics of a warehouse load.
+    """
+    triples: list[tuple[int, int, float]] = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        for line_no, record in enumerate(reader, start=2):
+            try:
+                triples.append(
+                    (
+                        int(record["customer_id"]),
+                        int(record["hour"]),
+                        float(record["kwh"]),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(f"{path}:{line_no}: bad reading row: {exc}") from exc
+    if not triples:
+        raise ValueError(f"{path}: no reading rows found")
+    customer_ids = sorted({cid for cid, _, _ in triples})
+    min_hour = min(h for _, h, _ in triples)
+    max_hour = max(h for _, h, _ in triples)
+    n_steps = max_hour - min_hour + 1
+    row_of = {cid: i for i, cid in enumerate(customer_ids)}
+    matrix = np.full((len(customer_ids), n_steps), np.nan)
+    for cid, hour, kwh in triples:
+        matrix[row_of[cid], hour - min_hour] = kwh
+    return SeriesSet(customer_ids=customer_ids, start_hour=min_hour, matrix=matrix)

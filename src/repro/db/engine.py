@@ -1,0 +1,236 @@
+"""The database facade: customers + readings + spatial index.
+
+:class:`EnergyDatabase` is the data layer the rest of the tool talks to —
+the role PostgreSQL/PostGIS plays in the paper.  It owns
+
+- a typed customers table (id, lon, lat, zone, archetype) queryable through
+  :mod:`repro.db.query`,
+- the dense hourly readings (:class:`~repro.data.timeseries.SeriesSet`),
+- a spatial index over customer positions (grid, quadtree or R-tree),
+
+and answers the composed spatio-temporal requests the logic layer issues:
+"customers in this polygon", "their readings for this window", "per-customer
+demand between t1 and t2" (the input of the KDE shift model).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.meter import Customer
+from repro.data.timeseries import HourWindow, SeriesSet
+from repro.db.index.grid import GridIndex
+from repro.db.index.quadtree import QuadTree
+from repro.db.index.rtree import RTree
+from repro.db.query import Query
+from repro.db.spatial import BBox, Circle, Polygon
+from repro.db.table import ColumnSpec, Schema, Table
+
+INDEX_KINDS = ("grid", "quadtree", "rtree")
+
+CUSTOMER_SCHEMA = Schema(
+    [
+        ColumnSpec("customer_id", "int"),
+        ColumnSpec("lon", "float"),
+        ColumnSpec("lat", "float"),
+        ColumnSpec("zone", "str"),
+        ColumnSpec("archetype", "str"),
+    ]
+)
+
+DEMAND_STATISTICS = ("mean", "sum", "max")
+
+
+class EnergyDatabase:
+    """In-memory spatio-temporal store for one metering data set.
+
+    Parameters
+    ----------
+    customers:
+        Customer rows; ids must be unique.
+    readings:
+        Hourly readings whose customer ids exactly match ``customers``.
+    index_kind:
+        Spatial index implementation, one of :data:`INDEX_KINDS`.
+    """
+
+    def __init__(
+        self,
+        customers: Sequence[Customer],
+        readings: SeriesSet,
+        index_kind: str = "rtree",
+    ) -> None:
+        if index_kind not in INDEX_KINDS:
+            raise ValueError(
+                f"unknown index_kind {index_kind!r}; pick one of {INDEX_KINDS}"
+            )
+        customers = list(customers)
+        if not customers:
+            raise ValueError("a database needs at least one customer")
+        ids = [c.customer_id for c in customers]
+        if len(set(ids)) != len(ids):
+            raise ValueError("customer ids contain duplicates")
+        if set(ids) != {int(cid) for cid in readings.customer_ids}:
+            raise ValueError("customers and readings cover different ids")
+
+        self._customers = {c.customer_id: c for c in customers}
+        self.readings = readings
+        self.table = Table("customers", CUSTOMER_SCHEMA)
+        self.table.insert_columns(
+            {
+                "customer_id": ids,
+                "lon": [c.lon for c in customers],
+                "lat": [c.lat for c in customers],
+                "zone": [c.zone.value for c in customers],
+                "archetype": [c.archetype.value for c in customers],
+            }
+        )
+        lons = np.array([c.lon for c in customers])
+        lats = np.array([c.lat for c in customers])
+        if index_kind == "grid":
+            self.index = GridIndex(ids, lons, lats)
+        elif index_kind == "quadtree":
+            self.index = QuadTree(ids, lons, lats)
+        else:
+            self.index = RTree(ids, lons, lats)
+        self.index_kind = index_kind
+
+    # ------------------------------------------------------------------
+    # metadata
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._customers)
+
+    @property
+    def customer_ids(self) -> list[int]:
+        """All customer ids, ascending."""
+        return sorted(self._customers)
+
+    @property
+    def time_span(self) -> HourWindow:
+        """The hour window covered by the readings."""
+        return HourWindow(self.readings.start_hour, self.readings.end_hour)
+
+    def customer(self, customer_id: int) -> Customer:
+        """Look up one customer; raises ``KeyError`` if unknown."""
+        if customer_id not in self._customers:
+            raise KeyError(f"unknown customer_id {customer_id}")
+        return self._customers[customer_id]
+
+    def query(self) -> Query:
+        """A fresh fluent query over the customers table."""
+        return Query(self.table)
+
+    def sql(self, statement: str) -> list[dict[str, object]]:
+        """Run a SQL SELECT against the ``customers`` table.
+
+        See :mod:`repro.db.sql` for the supported dialect.
+
+        Raises
+        ------
+        repro.db.sql.SqlError
+            On parse errors or unknown tables/columns.
+        """
+        from repro.db.sql import execute_sql  # local: avoid import cycle
+
+        return execute_sql({"customers": self.table}, statement)
+
+    def bounding_box(self) -> BBox:
+        """Smallest box covering every customer."""
+        return BBox.from_points(self.table.column("lon"), self.table.column("lat"))
+
+    # ------------------------------------------------------------------
+    # spatial queries
+    # ------------------------------------------------------------------
+    def ids_in_bbox(self, box: BBox) -> np.ndarray:
+        """Customer ids inside the box, ascending."""
+        return self.index.query_bbox(box)
+
+    def ids_in_radius(self, circle: Circle) -> np.ndarray:
+        """Customer ids inside the circle, ascending."""
+        return self.index.query_radius(circle)
+
+    def ids_in_polygon(self, polygon: Polygon) -> np.ndarray:
+        """Customer ids inside the polygon (index pre-filter + exact test)."""
+        candidates = self.index.query_bbox(polygon.bbox())
+        if candidates.size == 0:
+            return candidates
+        lons = np.array([self._customers[int(cid)].lon for cid in candidates])
+        lats = np.array([self._customers[int(cid)].lat for cid in candidates])
+        hit = polygon.contains_many(lons, lats)
+        return candidates[hit]
+
+    def nearest(self, lon: float, lat: float, k: int = 1) -> np.ndarray:
+        """Ids of the k customers nearest to a point, closest first."""
+        return self.index.nearest(lon, lat, k=k)
+
+    def ids_in_zone(self, zone: str) -> np.ndarray:
+        """Customer ids in a land-use zone, ascending."""
+        positions = np.flatnonzero(self.table.column("zone") == zone)
+        return np.sort(self.table.column("customer_id")[positions])
+
+    def positions_of(self, customer_ids: Sequence[int]) -> np.ndarray:
+        """``(n, 2)`` array of (lon, lat) for the given ids, same order."""
+        return np.array(
+            [
+                (self._customers[int(cid)].lon, self._customers[int(cid)].lat)
+                for cid in customer_ids
+            ],
+            dtype=np.float64,
+        ).reshape(len(list(customer_ids)), 2)
+
+    # ------------------------------------------------------------------
+    # temporal queries
+    # ------------------------------------------------------------------
+    def readings_for(
+        self,
+        customer_ids: Sequence[int] | None = None,
+        window: HourWindow | None = None,
+    ) -> SeriesSet:
+        """Readings sliced to a customer subset and/or an hour window."""
+        out = self.readings
+        if customer_ids is not None:
+            out = out.select_customers([int(cid) for cid in customer_ids])
+        if window is not None:
+            out = out.slice_hours(window.start_hour, window.end_hour)
+        return out
+
+    def demand(
+        self,
+        window: HourWindow,
+        customer_ids: Sequence[int] | None = None,
+        statistic: str = "mean",
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-customer demand over a window — the KDE model's input.
+
+        Returns ``(positions, values)`` where positions is ``(n, 2)`` of
+        (lon, lat) and values the chosen per-customer statistic over the
+        window (NaN-aware; customers with no readings in the window get 0).
+
+        Raises
+        ------
+        ValueError
+            For an unknown statistic or a window outside the data span.
+        """
+        if statistic not in DEMAND_STATISTICS:
+            raise ValueError(
+                f"unknown statistic {statistic!r}; pick one of {DEMAND_STATISTICS}"
+            )
+        if customer_ids is None:
+            customer_ids = [int(cid) for cid in self.readings.customer_ids]
+        sliced = self.readings_for(customer_ids, window)
+        matrix = sliced.matrix
+        values = np.zeros(len(customer_ids))
+        if matrix.shape[1] > 0:
+            observed = ~np.isnan(matrix).all(axis=1)
+            with np.errstate(invalid="ignore"):
+                if statistic == "mean":
+                    stat = np.nanmean(matrix[observed], axis=1)
+                elif statistic == "sum":
+                    stat = np.nansum(matrix[observed], axis=1)
+                else:  # max
+                    stat = np.nanmax(matrix[observed], axis=1)
+            values[observed] = stat
+        return self.positions_of(customer_ids), values

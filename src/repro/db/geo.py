@@ -1,0 +1,74 @@
+"""Geodesy helpers: great-circle distance and Web-Mercator projection.
+
+PostGIS gives the paper geography-aware distance and the Leaflet basemap is
+Web Mercator; both are a handful of formulas reproduced here.  All functions
+accept scalars or numpy arrays and broadcast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Mean Earth radius in metres (IUGG).
+EARTH_RADIUS_M = 6_371_008.8
+
+#: Web-Mercator latitude clamp (the projection diverges at the poles).
+MAX_MERCATOR_LAT = 85.05112878
+
+
+def haversine_m(
+    lon1: np.ndarray | float,
+    lat1: np.ndarray | float,
+    lon2: np.ndarray | float,
+    lat2: np.ndarray | float,
+) -> np.ndarray | float:
+    """Great-circle distance in metres between WGS-84 points.
+
+    Broadcasts like numpy arithmetic; scalars in, scalar out.
+    """
+    lon1r, lat1r, lon2r, lat2r = map(np.radians, (lon1, lat1, lon2, lat2))
+    dlon = lon2r - lon1r
+    dlat = lat2r - lat1r
+    a = np.sin(dlat / 2.0) ** 2 + np.cos(lat1r) * np.cos(lat2r) * np.sin(dlon / 2.0) ** 2
+    out = 2.0 * EARTH_RADIUS_M * np.arcsin(np.sqrt(np.clip(a, 0.0, 1.0)))
+    if np.isscalar(lon1) and np.isscalar(lat1) and np.isscalar(lon2) and np.isscalar(lat2):
+        return float(out)
+    return out
+
+
+def mercator_xy(
+    lon: np.ndarray | float, lat: np.ndarray | float
+) -> tuple[np.ndarray | float, np.ndarray | float]:
+    """Project WGS-84 degrees to Web-Mercator metres (EPSG:3857).
+
+    Latitudes beyond the Mercator clamp are clipped rather than rejected —
+    matching what web map libraries do.
+    """
+    lat_clamped = np.clip(lat, -MAX_MERCATOR_LAT, MAX_MERCATOR_LAT)
+    x = EARTH_RADIUS_M * np.radians(lon)
+    y = EARTH_RADIUS_M * np.log(np.tan(np.pi / 4.0 + np.radians(lat_clamped) / 2.0))
+    if np.isscalar(lon) and np.isscalar(lat):
+        return float(x), float(y)
+    return x, y
+
+
+def inverse_mercator(
+    x: np.ndarray | float, y: np.ndarray | float
+) -> tuple[np.ndarray | float, np.ndarray | float]:
+    """Inverse of :func:`mercator_xy`: metres back to degrees."""
+    lon = np.degrees(np.asarray(x) / EARTH_RADIUS_M)
+    lat = np.degrees(2.0 * np.arctan(np.exp(np.asarray(y) / EARTH_RADIUS_M)) - np.pi / 2.0)
+    if np.isscalar(x) and np.isscalar(y):
+        return float(lon), float(lat)
+    return lon, lat
+
+
+def meters_per_degree(lat: float) -> tuple[float, float]:
+    """Local metres-per-degree of (longitude, latitude) at a latitude.
+
+    Useful for converting KDE bandwidths between metres and degrees on
+    city-scale extents where a local equirectangular approximation holds.
+    """
+    lat_m = EARTH_RADIUS_M * np.pi / 180.0
+    lon_m = lat_m * float(np.cos(np.radians(lat)))
+    return lon_m, float(lat_m)

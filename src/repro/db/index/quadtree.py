@@ -1,0 +1,176 @@
+"""Point quadtree index.
+
+Adaptive recursive splitting: a leaf holding more than ``leaf_capacity``
+points splits into four quadrants.  Handles skewed point distributions
+(e.g. a dense commercial core inside a sparse region) better than the
+uniform grid.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.db.spatial import BBox, Circle
+
+_MAX_DEPTH = 24
+
+
+@dataclass(slots=True)
+class _Node:
+    """One quadtree node; a leaf holds point positions, an inner node holds
+    four children ordered (SW, SE, NW, NE)."""
+
+    box: BBox
+    points: np.ndarray | None = None  # positions into the point arrays
+    children: list["_Node"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class QuadTree:
+    """Quadtree over (lon, lat) points with box/radius/kNN queries."""
+
+    def __init__(
+        self,
+        ids: Sequence[int],
+        lons: Sequence[float],
+        lats: Sequence[float],
+        leaf_capacity: int = 16,
+    ) -> None:
+        self.ids = np.asarray(ids, dtype=np.int64)
+        self.lons = np.asarray(lons, dtype=np.float64)
+        self.lats = np.asarray(lats, dtype=np.float64)
+        if not (self.ids.shape == self.lons.shape == self.lats.shape):
+            raise ValueError("ids, lons and lats must have equal length")
+        if self.ids.size == 0:
+            raise ValueError("cannot index zero points")
+        if len(set(self.ids.tolist())) != self.ids.size:
+            raise ValueError("ids contain duplicates")
+        if leaf_capacity < 1:
+            raise ValueError(f"leaf_capacity must be >= 1, got {leaf_capacity}")
+        self.leaf_capacity = leaf_capacity
+        bounds = BBox.from_points(self.lons, self.lats)
+        # Pad zero-extent bounds so splitting always reduces area.
+        if bounds.width == 0 or bounds.height == 0:
+            bounds = bounds.expanded(max(bounds.width, bounds.height, 1e-9))
+        self.root = _Node(box=bounds, points=np.arange(self.ids.size))
+        self._split(self.root, depth=0)
+
+    def __len__(self) -> int:
+        return int(self.ids.size)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _split(self, node: _Node, depth: int) -> None:
+        assert node.points is not None
+        if node.points.size <= self.leaf_capacity or depth >= _MAX_DEPTH:
+            return
+        box = node.box
+        mid_lon = (box.min_lon + box.max_lon) / 2.0
+        mid_lat = (box.min_lat + box.max_lat) / 2.0
+        pts = node.points
+        east = self.lons[pts] > mid_lon
+        north = self.lats[pts] > mid_lat
+        quads = [
+            (~east & ~north, BBox(box.min_lon, box.min_lat, mid_lon, mid_lat)),
+            (east & ~north, BBox(mid_lon, box.min_lat, box.max_lon, mid_lat)),
+            (~east & north, BBox(box.min_lon, mid_lat, mid_lon, box.max_lat)),
+            (east & north, BBox(mid_lon, mid_lat, box.max_lon, box.max_lat)),
+        ]
+        # Degenerate split (all points in one quadrant at max precision):
+        # keep the node a leaf to guarantee termination.
+        occupancy = [int(sel.sum()) for sel, _ in quads]
+        if max(occupancy) == pts.size and depth > 0:
+            all_same = (
+                np.all(self.lons[pts] == self.lons[pts[0]])
+                and np.all(self.lats[pts] == self.lats[pts[0]])
+            )
+            if all_same:
+                return
+        node.children = []
+        for sel, child_box in quads:
+            child = _Node(box=child_box, points=pts[sel])
+            node.children.append(child)
+            self._split(child, depth + 1)
+        node.points = None
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _collect_box(self, node: _Node, box: BBox, out: list[np.ndarray]) -> None:
+        if not node.box.intersects(box):
+            return
+        if node.is_leaf:
+            pts = node.points
+            assert pts is not None
+            if pts.size:
+                hit = box.contains_many(self.lons[pts], self.lats[pts])
+                if hit.any():
+                    out.append(pts[hit])
+            return
+        for child in node.children:
+            self._collect_box(child, box, out)
+
+    def query_bbox(self, box: BBox) -> np.ndarray:
+        out: list[np.ndarray] = []
+        self._collect_box(self.root, box, out)
+        if not out:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(self.ids[np.concatenate(out)])
+
+    def query_radius(self, circle: Circle) -> np.ndarray:
+        box = circle.bbox()
+        out: list[np.ndarray] = []
+        self._collect_box(self.root, box, out)
+        if not out:
+            return np.empty(0, dtype=np.int64)
+        cand = np.concatenate(out)
+        hit = circle.contains_many(self.lons[cand], self.lats[cand])
+        return np.sort(self.ids[cand[hit]])
+
+    @staticmethod
+    def _box_distance2(box: BBox, lon: float, lat: float) -> float:
+        """Squared planar distance from a point to a box (0 inside)."""
+        dx = max(box.min_lon - lon, 0.0, lon - box.max_lon)
+        dy = max(box.min_lat - lat, 0.0, lat - box.max_lat)
+        return dx * dx + dy * dy
+
+    def nearest(self, lon: float, lat: float, k: int = 1) -> np.ndarray:
+        """Best-first kNN over the tree (priority queue on box distance)."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        k = min(k, len(self))
+        # Heap entries: (distance2, tiebreak, node-or-point, is_point)
+        counter = 0
+        heap: list[tuple[float, int, object, bool]] = [
+            (self._box_distance2(self.root.box, lon, lat), counter, self.root, False)
+        ]
+        found: list[tuple[float, int]] = []
+        while heap and len(found) < k:
+            dist2, _, item, is_point = heapq.heappop(heap)
+            if is_point:
+                found.append((dist2, int(item)))  # type: ignore[arg-type]
+                continue
+            node: _Node = item  # type: ignore[assignment]
+            if node.is_leaf:
+                pts = node.points
+                assert pts is not None
+                d2 = (self.lons[pts] - lon) ** 2 + (self.lats[pts] - lat) ** 2
+                for pos, dd in zip(pts, d2):
+                    counter += 1
+                    heapq.heappush(heap, (float(dd), counter, int(pos), True))
+            else:
+                for child in node.children:
+                    counter += 1
+                    heapq.heappush(
+                        heap,
+                        (self._box_distance2(child.box, lon, lat), counter, child, False),
+                    )
+        return self.ids[np.asarray([pos for _, pos in found], dtype=np.int64)]

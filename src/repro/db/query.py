@@ -1,0 +1,253 @@
+"""Predicate and query evaluation over :class:`~repro.db.table.Table`.
+
+A composable predicate algebra (comparisons, set membership, ranges,
+boolean combinators) plus a fluent ``Query`` supporting where / select /
+order_by / limit and grouped aggregation — the subset of SQL the VAP REST
+endpoints would issue against PostgreSQL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.db.table import Table
+
+AGG_FUNCS = ("count", "sum", "mean", "min", "max")
+
+
+class Predicate:
+    """Base class: a predicate maps a table to a boolean row mask."""
+
+    def mask(self, table: Table) -> np.ndarray:
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Compare(Predicate):
+    """column <op> literal, with ``op`` one of == != < <= > >=."""
+
+    column: str
+    op: str
+    value: object
+
+    _OPS = {
+        "==": np.equal,
+        "!=": np.not_equal,
+        "<": np.less,
+        "<=": np.less_equal,
+        ">": np.greater,
+        ">=": np.greater_equal,
+    }
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPS:
+            raise ValueError(f"unknown operator {self.op!r}; use {sorted(self._OPS)}")
+
+    def mask(self, table: Table) -> np.ndarray:
+        return self._OPS[self.op](table.column(self.column), self.value)
+
+
+@dataclass(frozen=True)
+class IsIn(Predicate):
+    """column value is one of a literal set."""
+
+    column: str
+    values: tuple
+
+    def __init__(self, column: str, values: Sequence[object]) -> None:
+        object.__setattr__(self, "column", column)
+        object.__setattr__(self, "values", tuple(values))
+
+    def mask(self, table: Table) -> np.ndarray:
+        return np.isin(table.column(self.column), list(self.values))
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    """low <= column <= high (inclusive both ends, like SQL BETWEEN)."""
+
+    column: str
+    low: object
+    high: object
+
+    def mask(self, table: Table) -> np.ndarray:
+        col = table.column(self.column)
+        return (col >= self.low) & (col <= self.high)
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def mask(self, table: Table) -> np.ndarray:
+        return self.left.mask(table) & self.right.mask(table)
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def mask(self, table: Table) -> np.ndarray:
+        return self.left.mask(table) | self.right.mask(table)
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    inner: Predicate
+
+    def mask(self, table: Table) -> np.ndarray:
+        return ~self.inner.mask(table)
+
+
+class Query:
+    """Fluent query over one table.
+
+    Example
+    -------
+    >>> q = (Query(customers)
+    ...      .where(Compare("zone", "==", "residential"))
+    ...      .order_by("lat", descending=True)
+    ...      .limit(10))
+    >>> rows = q.rows()
+    """
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+        self._predicate: Predicate | None = None
+        self._columns: tuple[str, ...] | None = None
+        self._order_by: str | None = None
+        self._descending = False
+        self._limit: int | None = None
+
+    def where(self, predicate: Predicate) -> "Query":
+        """AND another predicate into the filter."""
+        if self._predicate is None:
+            self._predicate = predicate
+        else:
+            self._predicate = And(self._predicate, predicate)
+        return self
+
+    def select(self, *columns: str) -> "Query":
+        for name in columns:
+            self.table.schema.column(name)  # validate eagerly
+        self._columns = columns
+        return self
+
+    def order_by(self, column: str, descending: bool = False) -> "Query":
+        self.table.schema.column(column)
+        self._order_by = column
+        self._descending = descending
+        return self
+
+    def limit(self, n: int) -> "Query":
+        if n < 0:
+            raise ValueError(f"limit must be non-negative, got {n}")
+        self._limit = n
+        return self
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def positions(self) -> np.ndarray:
+        """Row positions satisfying the query, in output order."""
+        if self._predicate is None:
+            pos = np.arange(len(self.table))
+        else:
+            pos = np.flatnonzero(self._predicate.mask(self.table))
+        if self._order_by is not None:
+            keys = self.table.column(self._order_by)[pos]
+            order = np.argsort(keys, kind="stable")
+            if self._descending:
+                order = order[::-1]
+            pos = pos[order]
+        if self._limit is not None:
+            pos = pos[: self._limit]
+        return pos
+
+    def count(self) -> int:
+        return int(self.positions().size)
+
+    def columns(self) -> dict[str, np.ndarray]:
+        """Result as column arrays."""
+        pos = self.positions()
+        names = self._columns or self.table.schema.names
+        data = self.table.take(pos)
+        return {name: data[name] for name in names}
+
+    def rows(self) -> list[dict[str, object]]:
+        """Result as row dicts of Python scalars."""
+        cols = self.columns()
+        names = list(cols)
+        n = cols[names[0]].size if names else 0
+        return [
+            {
+                name: (
+                    cols[name][i].item()
+                    if hasattr(cols[name][i], "item")
+                    else cols[name][i]
+                )
+                for name in names
+            }
+            for i in range(n)
+        ]
+
+    def group_by(self, key: str, aggregates: dict[str, tuple[str, str]]) -> list[dict[str, object]]:
+        """Grouped aggregation.
+
+        Parameters
+        ----------
+        key:
+            Grouping column.
+        aggregates:
+            ``{output_name: (column, func)}`` with func in
+            :data:`AGG_FUNCS`; ``count`` ignores its column.
+
+        Returns rows sorted by group key.
+        """
+        self.table.schema.column(key)
+        for out_name, (column, func) in aggregates.items():
+            if func not in AGG_FUNCS:
+                raise ValueError(
+                    f"aggregate {out_name!r}: unknown func {func!r}; "
+                    f"use {AGG_FUNCS}"
+                )
+            if func != "count":
+                self.table.schema.column(column)
+        pos = self.positions()
+        keys = self.table.column(key)[pos]
+        uniques = np.unique(keys)
+        out: list[dict[str, object]] = []
+        for value in uniques:
+            sel = pos[keys == value]
+            row: dict[str, object] = {key: value.item() if hasattr(value, "item") else value}
+            for out_name, (column, func) in aggregates.items():
+                if func == "count":
+                    row[out_name] = int(sel.size)
+                    continue
+                data = self.table.column(column)[sel]
+                if data.size == 0:
+                    row[out_name] = float("nan")
+                elif func == "sum":
+                    row[out_name] = float(data.sum())
+                elif func == "mean":
+                    row[out_name] = float(data.mean())
+                elif func == "min":
+                    row[out_name] = data.min().item()
+                else:  # max
+                    row[out_name] = data.max().item()
+            out.append(row)
+        return out

@@ -1,0 +1,442 @@
+"""A small SQL SELECT dialect over the embedded table engine.
+
+The paper's tool sits on PostgreSQL; the operational queries its REST
+layer issues are plain ``SELECT``s with filters and aggregates.  This
+module implements that surface as a classic three-stage pipeline —
+tokenizer → recursive-descent parser → compiler to the
+:mod:`repro.db.query` algebra — so ad-hoc exploration works without
+writing Python:
+
+    SELECT zone, count(*) AS n, avg(lat) AS mid
+    FROM customers
+    WHERE archetype IN ('bimodal', 'early_bird') AND lon > 12.5
+    GROUP BY zone
+    ORDER BY n DESC
+    LIMIT 3
+
+Supported grammar (case-insensitive keywords)::
+
+    select    := SELECT items FROM name [WHERE expr] [GROUP BY name]
+                 [ORDER BY name [ASC|DESC]] [LIMIT int]
+    items     := '*' | item (',' item)*
+    item      := name | func '(' (name | '*') ')' [AS name]
+    expr      := term (OR term)*
+    term      := factor (AND factor)*
+    factor    := NOT factor | '(' expr ')' | predicate
+    predicate := name op literal | name IN '(' literal, ... ')'
+                 | name BETWEEN literal AND literal
+    op        := = | != | <> | < | <= | > | >=
+
+Aggregates: ``count``, ``sum``, ``avg``, ``min``, ``max``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.db.query import Between, Compare, IsIn, Not, Predicate, Query
+from repro.db.table import Table
+
+
+class SqlError(ValueError):
+    """Raised for any lexical, syntactic or semantic SQL problem."""
+
+
+# ---------------------------------------------------------------------------
+# tokenizer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>-?\d+\.\d*|-?\.\d+|-?\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<op><=|>=|<>|!=|=|<|>|\(|\)|,|\*)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+KEYWORDS = frozenset(
+    "select from where group by order limit and or not in between as asc desc".split()
+)
+
+AGG_NAMES = {"count": "count", "sum": "sum", "avg": "mean", "min": "min", "max": "max"}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str  # keyword | name | number | string | op
+    value: object
+    position: int
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Lex SQL text into tokens.
+
+    Raises
+    ------
+    SqlError
+        On any character that no token rule accepts.
+    """
+    tokens: list[Token] = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_RE.match(sql, position)
+        if match is None:
+            raise SqlError(f"unexpected character {sql[position]!r} at {position}")
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        text = match.group()
+        if match.lastgroup == "number":
+            value = float(text) if ("." in text) else int(text)
+            tokens.append(Token("number", value, match.start()))
+        elif match.lastgroup == "string":
+            tokens.append(
+                Token("string", text[1:-1].replace("''", "'"), match.start())
+            )
+        elif match.lastgroup == "op":
+            tokens.append(Token("op", text, match.start()))
+        else:
+            lowered = text.lower()
+            kind = "keyword" if lowered in KEYWORDS else "name"
+            tokens.append(
+                Token(kind, lowered if kind == "keyword" else text, match.start())
+            )
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class SelectItem:
+    """One output column: plain column or aggregate call."""
+
+    column: str  # '*' allowed only inside count(*)
+    func: str | None  # internal aggregate name, None for plain columns
+    alias: str
+
+
+@dataclass(frozen=True, slots=True)
+class SelectStatement:
+    items: list[SelectItem] | None  # None means SELECT *
+    table: str
+    where: Predicate | None
+    group_by: str | None
+    order_by: str | None
+    descending: bool
+    limit: int | None
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # -- primitives ------------------------------------------------------
+    def _peek(self) -> Token | None:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise SqlError("unexpected end of statement")
+        self.index += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> None:
+        token = self._next()
+        if token.kind != "keyword" or token.value != word:
+            raise SqlError(f"expected {word.upper()!r} at {token.position}")
+
+    def _expect_op(self, op: str) -> None:
+        token = self._next()
+        if token.kind != "op" or token.value != op:
+            raise SqlError(f"expected {op!r} at {token.position}")
+
+    def _accept_keyword(self, word: str) -> bool:
+        token = self._peek()
+        if token and token.kind == "keyword" and token.value == word:
+            self.index += 1
+            return True
+        return False
+
+    def _name(self) -> str:
+        token = self._next()
+        if token.kind != "name":
+            raise SqlError(f"expected identifier at {token.position}")
+        return str(token.value)
+
+    def _literal(self) -> object:
+        token = self._next()
+        if token.kind not in ("number", "string"):
+            raise SqlError(f"expected literal at {token.position}")
+        return token.value
+
+    # -- grammar ----------------------------------------------------------
+    def parse(self) -> SelectStatement:
+        self._expect_keyword("select")
+        items = self._select_items()
+        self._expect_keyword("from")
+        table = self._name()
+        where = None
+        if self._accept_keyword("where"):
+            where = self._expr()
+        group_by = None
+        order_by = None
+        descending = False
+        limit = None
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            group_by = self._name()
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            order_by = self._name()
+            if self._accept_keyword("desc"):
+                descending = True
+            else:
+                self._accept_keyword("asc")
+        if self._accept_keyword("limit"):
+            token = self._next()
+            if token.kind != "number" or not isinstance(token.value, int):
+                raise SqlError(f"LIMIT expects an integer at {token.position}")
+            if token.value < 0:
+                raise SqlError("LIMIT must be non-negative")
+            limit = token.value
+        trailing = self._peek()
+        if trailing is not None:
+            raise SqlError(f"unexpected input at {trailing.position}")
+        return SelectStatement(
+            items=items,
+            table=table,
+            where=where,
+            group_by=group_by,
+            order_by=order_by,
+            descending=descending,
+            limit=limit,
+        )
+
+    def _select_items(self) -> list[SelectItem] | None:
+        token = self._peek()
+        if token and token.kind == "op" and token.value == "*":
+            self.index += 1
+            return None
+        items = [self._select_item()]
+        while True:
+            token = self._peek()
+            if token and token.kind == "op" and token.value == ",":
+                self.index += 1
+                items.append(self._select_item())
+            else:
+                return items
+
+    def _select_item(self) -> SelectItem:
+        name = self._name()
+        func = None
+        column = name
+        token = self._peek()
+        if token and token.kind == "op" and token.value == "(":
+            lowered = name.lower()
+            if lowered not in AGG_NAMES:
+                raise SqlError(f"unknown aggregate {name!r}")
+            func = AGG_NAMES[lowered]
+            self.index += 1
+            inner = self._next()
+            if inner.kind == "op" and inner.value == "*":
+                if lowered != "count":
+                    raise SqlError(f"{name}(*) is only valid for count")
+                column = "*"
+            elif inner.kind == "name":
+                column = str(inner.value)
+            else:
+                raise SqlError(f"expected column name at {inner.position}")
+            self._expect_op(")")
+        alias = column if func is None else f"{name.lower()}_{column}".replace(
+            "*", "all"
+        )
+        if self._accept_keyword("as"):
+            alias = self._name()
+        return SelectItem(column=column, func=func, alias=alias)
+
+    def _expr(self) -> Predicate:
+        left = self._term()
+        while self._accept_keyword("or"):
+            left = left | self._term()
+        return left
+
+    def _term(self) -> Predicate:
+        left = self._factor()
+        while self._accept_keyword("and"):
+            left = left & self._factor()
+        return left
+
+    def _factor(self) -> Predicate:
+        if self._accept_keyword("not"):
+            return Not(self._factor())
+        token = self._peek()
+        if token and token.kind == "op" and token.value == "(":
+            self.index += 1
+            inner = self._expr()
+            self._expect_op(")")
+            return inner
+        return self._predicate()
+
+    def _predicate(self) -> Predicate:
+        column = self._name()
+        token = self._next()
+        if token.kind == "keyword" and token.value == "in":
+            self._expect_op("(")
+            values = [self._literal()]
+            while True:
+                nxt = self._next()
+                if nxt.kind == "op" and nxt.value == ",":
+                    values.append(self._literal())
+                elif nxt.kind == "op" and nxt.value == ")":
+                    break
+                else:
+                    raise SqlError(f"expected ',' or ')' at {nxt.position}")
+            return IsIn(column, values)
+        if token.kind == "keyword" and token.value == "between":
+            low = self._literal()
+            self._expect_keyword("and")
+            high = self._literal()
+            return Between(column, low, high)
+        if token.kind == "op" and token.value in ("=", "!=", "<>", "<", "<=", ">", ">="):
+            op = {"=": "==", "<>": "!="}.get(str(token.value), str(token.value))
+            return Compare(column, op, self._literal())
+        raise SqlError(f"expected comparison operator at {token.position}")
+
+
+def parse_select(sql: str) -> SelectStatement:
+    """Parse one SELECT statement into an AST.
+
+    Raises
+    ------
+    SqlError
+        On any lexical or syntactic problem.
+    """
+    return _Parser(tokenize(sql)).parse()
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+
+
+def execute_sql(tables: dict[str, Table], sql: str) -> list[dict[str, object]]:
+    """Run a SELECT against named tables; rows come back as plain dicts.
+
+    Raises
+    ------
+    SqlError
+        On parse errors, unknown tables/columns or invalid aggregate use.
+    """
+    statement = parse_select(sql)
+    if statement.table not in tables:
+        raise SqlError(
+            f"unknown table {statement.table!r}; known: {sorted(tables)}"
+        )
+    table = tables[statement.table]
+    query = Query(table)
+    if statement.where is not None:
+        query.where(statement.where)
+    try:
+        if statement.group_by is not None:
+            return _execute_grouped(table, query, statement)
+        return _execute_plain(table, query, statement)
+    except KeyError as exc:
+        raise SqlError(str(exc)) from exc
+
+
+def _execute_plain(
+    table: Table, query: Query, statement: SelectStatement
+) -> list[dict[str, object]]:
+    items = statement.items
+    has_aggregate = items is not None and any(i.func for i in items)
+    if has_aggregate:
+        # Aggregates without GROUP BY collapse to a single row.
+        if any(i.func is None for i in items):
+            raise SqlError(
+                "mixing aggregates with plain columns requires GROUP BY"
+            )
+        positions = query.positions()
+        row: dict[str, object] = {}
+        for item in items:
+            row[item.alias] = _aggregate(table, positions, item)
+        return [row]
+    if statement.order_by is not None:
+        query.order_by(statement.order_by, descending=statement.descending)
+    if statement.limit is not None:
+        query.limit(statement.limit)
+    if items is not None:
+        query.select(*[i.column for i in items])
+    rows = query.rows()
+    if items is not None:
+        rows = [
+            {item.alias: row[item.column] for item in items} for row in rows
+        ]
+    return rows
+
+
+def _execute_grouped(
+    table: Table, query: Query, statement: SelectStatement
+) -> list[dict[str, object]]:
+    items = statement.items
+    if items is None:
+        raise SqlError("SELECT * cannot be combined with GROUP BY")
+    key = statement.group_by
+    assert key is not None
+    aggregates: dict[str, tuple[str, str]] = {}
+    for item in items:
+        if item.func is None:
+            if item.column != key:
+                raise SqlError(
+                    f"non-aggregated column {item.column!r} must be the "
+                    f"GROUP BY key {key!r}"
+                )
+            continue
+        column = key if item.column == "*" else item.column
+        aggregates[item.alias] = (column, item.func)
+    rows = query.group_by(key, aggregates)
+    # Rename the key to its alias if one was requested.
+    key_alias = next(
+        (i.alias for i in items if i.func is None and i.column == key), key
+    )
+    out = []
+    for row in rows:
+        renamed = {key_alias if k == key else k: v for k, v in row.items()}
+        out.append(renamed)
+    if statement.order_by is not None:
+        order_key = statement.order_by
+        if out and order_key not in out[0]:
+            raise SqlError(
+                f"ORDER BY column {order_key!r} is not in the output"
+            )
+        out.sort(key=lambda r: r[order_key], reverse=statement.descending)  # type: ignore[arg-type]
+    if statement.limit is not None:
+        out = out[: statement.limit]
+    return out
+
+
+def _aggregate(table: Table, positions, item: SelectItem) -> object:
+    import numpy as np
+
+    if item.func == "count":
+        return int(positions.size)
+    data = table.column(item.column)[positions]
+    if data.size == 0:
+        return float("nan")
+    if item.func == "sum":
+        return float(data.sum())
+    if item.func == "mean":
+        return float(data.mean())
+    if item.func == "min":
+        return data.min().item()
+    if item.func == "max":
+        return data.max().item()
+    raise SqlError(f"unknown aggregate {item.func!r}")  # pragma: no cover

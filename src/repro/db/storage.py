@@ -1,0 +1,107 @@
+"""Durable storage for a data set: save/load an EnergyDatabase.
+
+The paper lists "data acquisition, processing, **storage**, analysis and
+visualization" as the pipeline stages.  This module gives the embedded
+engine a durable on-disk format:
+
+- ``customers.csv`` — the customer table (human-readable interchange);
+- ``readings.npz`` — the dense hourly matrix (compressed numpy, ~10x
+  smaller and ~100x faster to load than CSV at fleet scale);
+- ``meta.json`` — format version and shape metadata, checked on load.
+
+``save_database`` / ``load_database`` round-trip exactly, including NaN
+cells and the spatial-index choice.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.loader import load_customers, save_customers
+from repro.data.timeseries import SeriesSet
+from repro.db.engine import EnergyDatabase
+
+FORMAT_VERSION = 1
+
+CUSTOMERS_FILE = "customers.csv"
+READINGS_FILE = "readings.npz"
+META_FILE = "meta.json"
+
+
+class StorageError(ValueError):
+    """Raised when a stored data set is missing, corrupt or incompatible."""
+
+
+def save_database(db: EnergyDatabase, directory: str | Path) -> Path:
+    """Write a database to a directory (created if needed); returns it.
+
+    Existing files of a previous save are overwritten atomically enough
+    for single-writer use (metadata is written last).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    customers = [db.customer(cid) for cid in db.customer_ids]
+    save_customers(customers, directory / CUSTOMERS_FILE)
+    np.savez_compressed(
+        directory / READINGS_FILE,
+        customer_ids=db.readings.customer_ids,
+        matrix=db.readings.matrix,
+        start_hour=np.int64(db.readings.start_hour),
+    )
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "n_customers": len(db),
+        "n_steps": db.readings.n_steps,
+        "start_hour": db.readings.start_hour,
+        "index_kind": db.index_kind,
+    }
+    (directory / META_FILE).write_text(json.dumps(meta, indent=2))
+    return directory
+
+
+def load_database(directory: str | Path) -> EnergyDatabase:
+    """Load a database saved by :func:`save_database`.
+
+    Raises
+    ------
+    StorageError
+        If files are missing, the version is unknown, or the contents
+        disagree with the metadata.
+    """
+    directory = Path(directory)
+    meta_path = directory / META_FILE
+    if not meta_path.exists():
+        raise StorageError(f"{directory} does not contain {META_FILE}")
+    try:
+        meta = json.loads(meta_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise StorageError(f"{meta_path} is not valid JSON: {exc}") from exc
+    if meta.get("format_version") != FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported format version {meta.get('format_version')!r} "
+            f"(this build reads {FORMAT_VERSION})"
+        )
+    for name in (CUSTOMERS_FILE, READINGS_FILE):
+        if not (directory / name).exists():
+            raise StorageError(f"{directory} is missing {name}")
+    customers = load_customers(directory / CUSTOMERS_FILE)
+    with np.load(directory / READINGS_FILE) as payload:
+        readings = SeriesSet(
+            customer_ids=payload["customer_ids"].tolist(),
+            start_hour=int(payload["start_hour"]),
+            matrix=payload["matrix"],
+        )
+    if readings.n_customers != meta["n_customers"] or (
+        readings.n_steps != meta["n_steps"]
+    ):
+        raise StorageError(
+            f"stored readings shape ({readings.n_customers}, "
+            f"{readings.n_steps}) disagrees with metadata "
+            f"({meta['n_customers']}, {meta['n_steps']})"
+        )
+    return EnergyDatabase(
+        customers, readings, index_kind=meta.get("index_kind", "rtree")
+    )

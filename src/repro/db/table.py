@@ -1,0 +1,189 @@
+"""Typed column tables.
+
+A deliberately small column-store: each column is a numpy array (float64,
+int64 or unicode), rows are appended in batches, and filters evaluate to
+boolean masks.  It gives the engine and the query layer a PostgreSQL-shaped
+surface (schema, predicates, projections, group-by) without a SQL parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+#: Supported logical column types and their numpy dtypes.
+COLUMN_TYPES: dict[str, type] = {"int": np.int64, "float": np.float64, "str": np.str_}
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnSpec:
+    """Declared name and logical type of one column."""
+
+    name: str
+    kind: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise ValueError(f"column name must be an identifier, got {self.name!r}")
+        if self.kind not in COLUMN_TYPES:
+            raise ValueError(
+                f"unknown column kind {self.kind!r}; pick one of "
+                f"{sorted(COLUMN_TYPES)}"
+            )
+
+
+class Schema:
+    """An ordered set of column specs with name lookup."""
+
+    def __init__(self, columns: Sequence[ColumnSpec]) -> None:
+        if not columns:
+            raise ValueError("a schema needs at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in schema: {names}")
+        self.columns = tuple(columns)
+        self._by_name = {c.name: c for c in columns}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def column(self, name: str) -> ColumnSpec:
+        if name not in self._by_name:
+            raise KeyError(
+                f"no column {name!r}; known: {[c.name for c in self.columns]}"
+            )
+        return self._by_name[name]
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+
+class Table:
+    """A growable column table bound to a :class:`Schema`.
+
+    Appends amortise through chunking: batches accumulate in a staging list
+    and consolidate lazily on first read, so bulk loads stay O(n).
+    """
+
+    def __init__(self, name: str, schema: Schema) -> None:
+        if not name:
+            raise ValueError("table name must be non-empty")
+        self.name = name
+        self.schema = schema
+        self._chunks: list[dict[str, np.ndarray]] = []
+        self._consolidated: dict[str, np.ndarray] | None = None
+        self._n_rows = 0
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def insert(self, rows: Iterable[Mapping[str, object]]) -> int:
+        """Append row dicts; returns the number inserted.
+
+        Raises
+        ------
+        KeyError
+            If a row misses a schema column.
+        ValueError
+            If a value cannot coerce to the declared type.
+        """
+        rows = list(rows)
+        if not rows:
+            return 0
+        chunk: dict[str, np.ndarray] = {}
+        for spec in self.schema:
+            dtype = COLUMN_TYPES[spec.kind]
+            try:
+                values = [row[spec.name] for row in rows]
+            except KeyError:
+                raise KeyError(
+                    f"table {self.name!r}: row is missing column {spec.name!r}"
+                ) from None
+            try:
+                chunk[spec.name] = np.asarray(values, dtype=dtype)
+            except (TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"table {self.name!r}: column {spec.name!r} expects "
+                    f"{spec.kind}: {exc}"
+                ) from exc
+        self._chunks.append(chunk)
+        self._consolidated = None
+        self._n_rows += len(rows)
+        return len(rows)
+
+    def insert_columns(self, columns: Mapping[str, Sequence[object]]) -> int:
+        """Append columnar data directly (bulk-load path).
+
+        All schema columns must be present and equal length.
+        """
+        missing = [c.name for c in self.schema if c.name not in columns]
+        if missing:
+            raise KeyError(f"table {self.name!r}: missing columns {missing}")
+        lengths = {name: len(columns[name]) for name in self.schema.names}
+        if len(set(lengths.values())) != 1:
+            raise ValueError(f"table {self.name!r}: ragged columns {lengths}")
+        n = next(iter(lengths.values()))
+        if n == 0:
+            return 0
+        chunk = {}
+        for spec in self.schema:
+            dtype = COLUMN_TYPES[spec.kind]
+            chunk[spec.name] = np.asarray(columns[spec.name], dtype=dtype)
+        self._chunks.append(chunk)
+        self._consolidated = None
+        self._n_rows += n
+        return n
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def _data(self) -> dict[str, np.ndarray]:
+        if self._consolidated is None:
+            if not self._chunks:
+                self._consolidated = {
+                    spec.name: np.empty(0, dtype=COLUMN_TYPES[spec.kind])
+                    for spec in self.schema
+                }
+            elif len(self._chunks) == 1:
+                self._consolidated = self._chunks[0]
+            else:
+                self._consolidated = {
+                    name: np.concatenate([c[name] for c in self._chunks])
+                    for name in self.schema.names
+                }
+                self._chunks = [self._consolidated]
+        return self._consolidated
+
+    def column(self, name: str) -> np.ndarray:
+        """Full column as a numpy array (a view of internal storage —
+        callers must not mutate it)."""
+        self.schema.column(name)
+        return self._data()[name]
+
+    def row(self, position: int) -> dict[str, object]:
+        """One row as a plain dict of Python scalars."""
+        if not 0 <= position < self._n_rows:
+            raise IndexError(f"row {position} out of range 0..{self._n_rows - 1}")
+        data = self._data()
+        out: dict[str, object] = {}
+        for spec in self.schema:
+            value = data[spec.name][position]
+            out[spec.name] = value.item() if hasattr(value, "item") else value
+        return out
+
+    def take(self, positions: np.ndarray) -> dict[str, np.ndarray]:
+        """Select rows by position, all columns."""
+        data = self._data()
+        return {name: data[name][positions] for name in self.schema.names}

@@ -1,0 +1,102 @@
+"""Classic forecasting baselines.
+
+All forecasters share one contract: ``fit(history)`` learns from a 1-D
+array of past hourly readings (NaN-free — run preprocessing first), and
+``predict(horizon)`` returns the next ``horizon`` hourly values.  The
+contract is deliberately minimal so the backtest harness can sweep any
+mixture of models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.timeseries import HOURS_PER_DAY
+
+HOURS_PER_WEEK = HOURS_PER_DAY * 7
+
+
+def _validated_history(history: np.ndarray, min_length: int) -> np.ndarray:
+    history = np.asarray(history, dtype=np.float64)
+    if history.ndim != 1:
+        raise ValueError(f"history must be 1-D, got shape {history.shape}")
+    if history.shape[0] < min_length:
+        raise ValueError(
+            f"history needs at least {min_length} readings, got "
+            f"{history.shape[0]}"
+        )
+    if not np.isfinite(history).all():
+        raise ValueError("history contains NaN/inf; impute first")
+    return history
+
+
+class NaiveForecaster:
+    """Every future hour equals the last observed reading."""
+
+    def __init__(self) -> None:
+        self._last: float | None = None
+
+    def fit(self, history: np.ndarray) -> "NaiveForecaster":
+        history = _validated_history(history, min_length=1)
+        self._last = float(history[-1])
+        return self
+
+    def predict(self, horizon: int) -> np.ndarray:
+        if self._last is None:
+            raise RuntimeError("fit() must be called before predict()")
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        return np.full(horizon, self._last)
+
+
+class SeasonalNaive:
+    """Each future hour equals the reading one season earlier.
+
+    The default season is a week (168 h), the strongest cycle in
+    residential load; pass 24 for a pure diurnal model.
+    """
+
+    def __init__(self, season: int = HOURS_PER_WEEK) -> None:
+        if season < 1:
+            raise ValueError(f"season must be >= 1, got {season}")
+        self.season = season
+        self._tail: np.ndarray | None = None
+
+    def fit(self, history: np.ndarray) -> "SeasonalNaive":
+        history = _validated_history(history, min_length=self.season)
+        self._tail = history[-self.season :].copy()
+        return self
+
+    def predict(self, horizon: int) -> np.ndarray:
+        if self._tail is None:
+            raise RuntimeError("fit() must be called before predict()")
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        reps = int(np.ceil(horizon / self.season))
+        return np.tile(self._tail, reps)[:horizon]
+
+
+class DriftForecaster:
+    """Linear extrapolation of the first→last trend (clipped at zero).
+
+    The standard "drift" method; consumption cannot be negative, so the
+    extrapolated line is floored at 0.
+    """
+
+    def __init__(self) -> None:
+        self._last: float | None = None
+        self._slope: float = 0.0
+
+    def fit(self, history: np.ndarray) -> "DriftForecaster":
+        history = _validated_history(history, min_length=2)
+        self._last = float(history[-1])
+        self._slope = float(history[-1] - history[0]) / (history.shape[0] - 1)
+        return self
+
+    def predict(self, horizon: int) -> np.ndarray:
+        if self._last is None:
+            raise RuntimeError("fit() must be called before predict()")
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        steps = np.arange(1, horizon + 1, dtype=np.float64)
+        return np.clip(self._last + self._slope * steps, 0.0, None)

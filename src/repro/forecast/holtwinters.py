@@ -1,0 +1,120 @@
+"""Holt-Winters triple exponential smoothing (additive), from scratch.
+
+Level + trend + additive seasonal components with smoothing parameters
+``alpha`` (level), ``beta`` (trend) and ``gamma`` (seasonality).  A small
+grid search over the parameters (minimising in-sample one-step SSE) is
+provided because hand-picking smoothing constants per customer is not
+practical at fleet scale.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+from repro.data.timeseries import HOURS_PER_DAY
+from repro.forecast.baselines import _validated_history
+
+_DEFAULT_GRID = (0.1, 0.3, 0.6)
+
+
+class HoltWinters:
+    """Additive Holt-Winters forecaster.
+
+    Parameters
+    ----------
+    season:
+        Seasonal period in hours (24 = diurnal, 168 = weekly).
+    alpha, beta, gamma:
+        Smoothing constants in (0, 1); any left as ``None`` is chosen by
+        grid search during :meth:`fit`.
+    """
+
+    def __init__(
+        self,
+        season: int = HOURS_PER_DAY,
+        alpha: float | None = None,
+        beta: float | None = None,
+        gamma: float | None = None,
+    ) -> None:
+        if season < 2:
+            raise ValueError(f"season must be >= 2, got {season}")
+        for name, value in (("alpha", alpha), ("beta", beta), ("gamma", gamma)):
+            if value is not None and not 0.0 < value < 1.0:
+                raise ValueError(f"{name} must be in (0, 1), got {value}")
+        self.season = season
+        self.alpha = alpha
+        self.beta = beta
+        self.gamma = gamma
+        self._level: float | None = None
+        self._trend: float = 0.0
+        self._seasonal: np.ndarray | None = None
+        self._next_phase: int = 0
+
+    # ------------------------------------------------------------------
+    # fitting
+    # ------------------------------------------------------------------
+    def _run(
+        self, history: np.ndarray, alpha: float, beta: float, gamma: float
+    ) -> tuple[float, float, np.ndarray, float]:
+        """One smoothing pass; returns (level, trend, seasonal, sse)."""
+        m = self.season
+        # Initialise from the first two seasons.
+        first = history[:m]
+        second = history[m : 2 * m]
+        level = float(first.mean())
+        trend = float((second.mean() - first.mean()) / m)
+        seasonal = (first - level).astype(np.float64)
+        sse = 0.0
+        for t in range(history.shape[0]):
+            s_idx = t % m
+            forecast = level + trend + seasonal[s_idx]
+            error = history[t] - forecast
+            sse += error * error
+            new_level = alpha * (history[t] - seasonal[s_idx]) + (1 - alpha) * (
+                level + trend
+            )
+            trend = beta * (new_level - level) + (1 - beta) * trend
+            seasonal[s_idx] = gamma * (history[t] - new_level) + (1 - gamma) * seasonal[
+                s_idx
+            ]
+            level = new_level
+        return level, trend, seasonal, sse
+
+    def fit(self, history: np.ndarray) -> "HoltWinters":
+        """Fit on at least two full seasons of readings.
+
+        Raises
+        ------
+        ValueError
+            If the history is too short or non-finite.
+        """
+        history = _validated_history(history, min_length=2 * self.season)
+        alphas = (self.alpha,) if self.alpha is not None else _DEFAULT_GRID
+        betas = (self.beta,) if self.beta is not None else _DEFAULT_GRID
+        gammas = (self.gamma,) if self.gamma is not None else _DEFAULT_GRID
+        best: tuple[float, tuple] | None = None
+        for a, b, g in product(alphas, betas, gammas):
+            level, trend, seasonal, sse = self._run(history, a, b, g)
+            if best is None or sse < best[0]:
+                best = (sse, (a, b, g, level, trend, seasonal))
+        assert best is not None
+        a, b, g, level, trend, seasonal = best[1]
+        self.alpha, self.beta, self.gamma = a, b, g
+        self._level = level
+        self._trend = trend
+        self._seasonal = seasonal
+        self._next_phase = history.shape[0] % self.season
+        return self
+
+    def predict(self, horizon: int) -> np.ndarray:
+        """Forecast the next ``horizon`` hours (floored at zero)."""
+        if self._level is None or self._seasonal is None:
+            raise RuntimeError("fit() must be called before predict()")
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        steps = np.arange(1, horizon + 1, dtype=np.float64)
+        phases = (self._next_phase + np.arange(horizon)) % self.season
+        seasonal = self._seasonal[phases]
+        return np.clip(self._level + self._trend * steps + seasonal, 0.0, None)

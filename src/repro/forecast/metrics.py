@@ -1,0 +1,94 @@
+"""Forecast error metrics.
+
+The standard suite: MAE, RMSE, MAPE, sMAPE and MASE (scaled against the
+in-sample seasonal-naive error, the scale-free metric of the M-series
+competitions — the right default for loads whose magnitude spans two
+orders across archetypes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _pair(actual: np.ndarray, predicted: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    actual = np.asarray(actual, dtype=np.float64)
+    predicted = np.asarray(predicted, dtype=np.float64)
+    if actual.shape != predicted.shape or actual.ndim != 1:
+        raise ValueError(
+            f"actual {actual.shape} and predicted {predicted.shape} must be "
+            f"equal-length 1-D arrays"
+        )
+    if actual.size == 0:
+        raise ValueError("cannot score an empty forecast")
+    if not (np.isfinite(actual).all() and np.isfinite(predicted).all()):
+        raise ValueError("inputs contain NaN/inf")
+    return actual, predicted
+
+
+def mae(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Mean absolute error."""
+    actual, predicted = _pair(actual, predicted)
+    return float(np.abs(actual - predicted).mean())
+
+
+def rmse(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Root mean squared error."""
+    actual, predicted = _pair(actual, predicted)
+    return float(np.sqrt(((actual - predicted) ** 2).mean()))
+
+
+def mape(actual: np.ndarray, predicted: np.ndarray, epsilon: float = 1e-9) -> float:
+    """Mean absolute percentage error (hours with ~zero actuals skipped).
+
+    Raises
+    ------
+    ValueError
+        If every actual is (near) zero — MAPE is undefined there.
+    """
+    actual, predicted = _pair(actual, predicted)
+    mask = np.abs(actual) > epsilon
+    if not mask.any():
+        raise ValueError("MAPE undefined: all actual values are ~zero")
+    return float(
+        (np.abs(actual[mask] - predicted[mask]) / np.abs(actual[mask])).mean()
+    )
+
+
+def smape(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Symmetric MAPE in [0, 2]; hours where both sides are zero score 0."""
+    actual, predicted = _pair(actual, predicted)
+    denom = (np.abs(actual) + np.abs(predicted)) / 2.0
+    out = np.zeros(actual.shape)
+    mask = denom > 0
+    out[mask] = np.abs(actual[mask] - predicted[mask]) / denom[mask]
+    return float(out.mean())
+
+
+def mase(
+    actual: np.ndarray,
+    predicted: np.ndarray,
+    history: np.ndarray,
+    season: int = 168,
+) -> float:
+    """Mean absolute scaled error vs the in-sample seasonal naive.
+
+    Values below 1 beat "repeat last week".
+
+    Raises
+    ------
+    ValueError
+        If the history is shorter than one season or has zero seasonal
+        naive error (constant series).
+    """
+    actual, predicted = _pair(actual, predicted)
+    history = np.asarray(history, dtype=np.float64)
+    if history.ndim != 1 or history.shape[0] <= season:
+        raise ValueError(
+            f"history must exceed one season ({season} h), got "
+            f"{history.shape[0]}"
+        )
+    scale = float(np.abs(history[season:] - history[:-season]).mean())
+    if scale == 0:
+        raise ValueError("MASE undefined: constant in-sample seasonal error")
+    return mae(actual, predicted) / scale

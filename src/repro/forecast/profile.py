@@ -1,0 +1,119 @@
+"""Pattern-based forecasting — the paper's downstream-use claim.
+
+The method the discovered typical patterns enable: a customer's future
+load is their *typical weekly shape* (phase-aligned hour-of-week profile
+learned from history) scaled to their *recent level* (ratio of the last
+days' consumption to the profile over the same hours).  Level changes are
+tracked quickly while the shape — the stable behavioural signature the
+embedding groups customers by — does the heavy lifting.
+
+``ProfileForecaster`` can also borrow a *segment profile*: given the mean
+shape of the customer's pattern group (e.g. a view-C selection), new or
+data-poor customers are forecast from the group's shape scaled to their
+own level — exactly the personalisation story of the paper's intro.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.timeseries import HOURS_PER_DAY
+from repro.forecast.baselines import _validated_history
+
+HOURS_PER_WEEK = HOURS_PER_DAY * 7
+
+
+class ProfileForecaster:
+    """Forecast = phase-aligned weekly profile x recent-level scale.
+
+    Parameters
+    ----------
+    season:
+        Profile period in hours (168 = weekly, 24 = diurnal).
+    level_window:
+        Trailing hours used to estimate the customer's current level.
+    group_profile:
+        Optional externally supplied shape of length ``season`` (e.g. the
+        mean profile of the customer's pattern group).  When given, the
+        customer's own history only sets the level, which needs far less
+        data.
+    """
+
+    def __init__(
+        self,
+        season: int = HOURS_PER_WEEK,
+        level_window: int = 3 * HOURS_PER_DAY,
+        group_profile: np.ndarray | None = None,
+    ) -> None:
+        if season < 2:
+            raise ValueError(f"season must be >= 2, got {season}")
+        if level_window < 1:
+            raise ValueError(f"level_window must be >= 1, got {level_window}")
+        self.season = season
+        self.level_window = level_window
+        if group_profile is not None:
+            group_profile = np.asarray(group_profile, dtype=np.float64)
+            if group_profile.shape != (season,):
+                raise ValueError(
+                    f"group_profile must have length {season}, got "
+                    f"{group_profile.shape}"
+                )
+            if not np.isfinite(group_profile).all():
+                raise ValueError("group_profile contains NaN/inf")
+        self.group_profile = group_profile
+        self._profile: np.ndarray | None = None
+        self._scale: float = 1.0
+        self._next_phase: int = 0
+
+    def fit(self, history: np.ndarray, start_phase: int = 0) -> "ProfileForecaster":
+        """Learn the profile (or just the level when a group profile is set).
+
+        Parameters
+        ----------
+        history:
+            Past hourly readings, NaN-free.
+        start_phase:
+            Hour-of-season of ``history[0]`` (0 when the history starts at
+            the epoch or any whole number of seasons after it).
+
+        Raises
+        ------
+        ValueError
+            If the history is too short: one full season without a group
+            profile, ``level_window`` hours with one.
+        """
+        min_length = self.level_window if self.group_profile is not None else self.season
+        history = _validated_history(history, min_length=min_length)
+        n = history.shape[0]
+        phases = (start_phase + np.arange(n)) % self.season
+        if self.group_profile is not None:
+            profile = self.group_profile
+        else:
+            sums = np.zeros(self.season)
+            counts = np.zeros(self.season)
+            np.add.at(sums, phases, history)
+            np.add.at(counts, phases, 1.0)
+            overall = float(history.mean())
+            with np.errstate(invalid="ignore", divide="ignore"):
+                profile = np.where(counts > 0, sums / counts, overall)
+        # Recent level: actual vs profile over the trailing window.
+        window = min(self.level_window, n)
+        recent = history[-window:]
+        expected = profile[phases[-window:]]
+        expected_mean = float(expected.mean())
+        if expected_mean > 0:
+            self._scale = float(recent.mean()) / expected_mean
+        else:
+            self._scale = 1.0
+        self._profile = profile
+        self._next_phase = int((start_phase + n) % self.season)
+        return self
+
+    def predict(self, horizon: int) -> np.ndarray:
+        """Forecast the next ``horizon`` hours (floored at zero)."""
+        if self._profile is None:
+            raise RuntimeError("fit() must be called before predict()")
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        phases = (self._next_phase + np.arange(horizon)) % self.season
+        return np.clip(self._profile[phases] * self._scale, 0.0, None)

@@ -1,0 +1,22 @@
+"""Preprocessing: the paper's "removal of anomalies and correction of
+missing values", plus the normalisation, resampling and feature extraction
+the pattern models consume."""
+
+from repro.preprocess.cleaning import AnomalyReport, remove_anomalies
+from repro.preprocess.features import FeatureKind, extract_features
+from repro.preprocess.imputation import impute
+from repro.preprocess.normalize import normalize
+from repro.preprocess.quality import DataQualityReport, assess_quality
+from repro.preprocess.resample import resample
+
+__all__ = [
+    "AnomalyReport",
+    "DataQualityReport",
+    "FeatureKind",
+    "assess_quality",
+    "extract_features",
+    "impute",
+    "normalize",
+    "remove_anomalies",
+    "resample",
+]

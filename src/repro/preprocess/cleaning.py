@@ -1,0 +1,149 @@
+"""Anomaly removal.
+
+Smart-meter extracts contain three gross error classes the paper's
+preprocessing removes before modelling: register *spikes* (a reading tens of
+times the local level), physically impossible *negatives*, and *stuck*
+meters repeating one value for hours.  Detected cells are set to NaN so the
+imputation stage repairs them alongside genuine gaps.
+
+Spike detection uses a robust per-customer rule: a reading is anomalous when
+its distance from the customer's median exceeds ``spike_sigma`` robust
+standard deviations (1.4826 x MAD).  Robust statistics matter here because
+the spikes themselves would wreck a mean/std rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.timeseries import SeriesSet
+
+#: Consistency factor turning a median absolute deviation into a sigma
+#: estimate for Gaussian data.
+MAD_TO_SIGMA = 1.4826
+
+
+@dataclass(frozen=True, slots=True)
+class AnomalyReport:
+    """What :func:`remove_anomalies` changed.
+
+    Counts are cells set to NaN, broken down by detector.
+    """
+
+    n_spikes: int
+    n_negatives: int
+    n_stuck: int
+
+    @property
+    def total(self) -> int:
+        return self.n_spikes + self.n_negatives + self.n_stuck
+
+
+def detect_spikes(matrix: np.ndarray, spike_sigma: float = 8.0) -> np.ndarray:
+    """Boolean mask of spike cells, per-row robust z-score rule.
+
+    Rows whose MAD is zero (constant or near-constant series) fall back to a
+    relative rule: a reading more than ``spike_sigma`` times the row median
+    (when the median is positive) is a spike.
+    """
+    if spike_sigma <= 0:
+        raise ValueError(f"spike_sigma must be positive, got {spike_sigma}")
+    mask = np.zeros(matrix.shape, dtype=bool)
+    if matrix.size == 0:
+        return mask
+    import warnings
+
+    with np.errstate(invalid="ignore"), warnings.catch_warnings():
+        # All-NaN rows legitimately produce NaN medians (handled below).
+        warnings.simplefilter("ignore", RuntimeWarning)
+        med = np.nanmedian(matrix, axis=1, keepdims=True)
+        mad = np.nanmedian(np.abs(matrix - med), axis=1, keepdims=True)
+    sigma = MAD_TO_SIGMA * mad
+    robust = sigma[:, 0] > 0
+    deviation = np.abs(matrix - med)
+    with np.errstate(invalid="ignore"):
+        mask[robust] = deviation[robust] > spike_sigma * sigma[robust]
+        fallback = ~robust & (med[:, 0] > 0)
+        mask[fallback] = matrix[fallback] > spike_sigma * med[fallback]
+    mask &= ~np.isnan(matrix)
+    return mask
+
+
+def detect_negatives(matrix: np.ndarray) -> np.ndarray:
+    """Boolean mask of physically impossible negative readings."""
+    with np.errstate(invalid="ignore"):
+        return ~np.isnan(matrix) & (matrix < 0.0)
+
+
+def _run_lengths_forward(flags: np.ndarray) -> np.ndarray:
+    """Length of the run of consecutive True values *ending* at each cell.
+
+    Vectorised along axis 1: positions of the last False are forward-filled
+    with ``numpy.maximum.accumulate`` and subtracted from the column index.
+    """
+    n = flags.shape[1]
+    reset_at = np.where(flags, 0, np.arange(1, n + 1))
+    np.maximum.accumulate(reset_at, axis=1, out=reset_at)
+    return np.arange(1, n + 1) - reset_at
+
+
+def detect_stuck(matrix: np.ndarray, min_run: int = 6) -> np.ndarray:
+    """Boolean mask of stuck-meter runs.
+
+    A run of ``min_run`` or more *identical, positive* consecutive readings
+    is flagged (zeros are excluded — a vacant premise legitimately reads 0).
+    The whole run except its first cell is flagged, keeping one honest
+    sample of the value.
+    """
+    if min_run < 2:
+        raise ValueError(f"min_run must be at least 2, got {min_run}")
+    n_cols = matrix.shape[1]
+    mask = np.zeros(matrix.shape, dtype=bool)
+    if n_cols < min_run:
+        return mask
+    with np.errstate(invalid="ignore"):
+        same = matrix[:, 1:] == matrix[:, :-1]
+        same &= ~np.isnan(matrix[:, 1:])
+        same &= matrix[:, 1:] > 0.0
+    # Total length of each cell's maximal run = forward + backward - 1.
+    fwd = _run_lengths_forward(same)
+    bwd = _run_lengths_forward(same[:, ::-1])[:, ::-1]
+    total = fwd + bwd - 1
+    # ``same[., j]`` says matrix cells j and j+1 are equal; a maximal run of
+    # R such pairs means R+1 identical readings.  Keep the first reading and
+    # flag the remaining R when R + 1 >= min_run.
+    mask[:, 1:] = same & (total >= min_run - 1)
+    return mask
+
+
+def remove_anomalies(
+    series_set: SeriesSet,
+    spike_sigma: float = 8.0,
+    stuck_min_run: int = 6,
+) -> tuple[SeriesSet, AnomalyReport]:
+    """Return a cleaned copy plus a report of what was removed.
+
+    Detected cells become NaN; call :func:`repro.preprocess.imputation.impute`
+    afterwards to fill them, mirroring the paper's two-step preprocessing.
+    """
+    matrix = series_set.matrix.copy()
+    negatives = detect_negatives(matrix)
+    # Make the detector masks disjoint (a negative reading is also far from
+    # the median) so report counts sum to the number of cells removed.
+    spikes = detect_spikes(matrix, spike_sigma=spike_sigma) & ~negatives
+    stuck = detect_stuck(matrix, min_run=stuck_min_run) & ~negatives & ~spikes
+    combined = spikes | negatives | stuck
+    matrix[combined] = np.nan
+    cleaned = SeriesSet(
+        customer_ids=series_set.customer_ids.tolist(),
+        start_hour=series_set.start_hour,
+        matrix=matrix,
+    )
+    report = AnomalyReport(
+        n_spikes=int(spikes.sum()),
+        n_negatives=int(negatives.sum()),
+        n_stuck=int(stuck.sum()),
+    )
+    return cleaned, report

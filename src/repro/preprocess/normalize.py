@@ -1,0 +1,76 @@
+"""Row-wise normalisation of consumption series.
+
+Dimension reduction should compare *shapes*, not magnitudes — the paper
+picks the Pearson correlation distance for exactly this reason.  Still,
+normalisation is needed wherever a Euclidean-geometry method (MDS stress,
+k-means) meets raw kWh rows.  Four schemes:
+
+- ``"zscore"`` — zero mean, unit variance per row (constant rows become 0);
+- ``"minmax"`` — map each row to [0, 1] (constant rows become 0);
+- ``"sum"`` — divide by the row total, turning a profile into a distribution
+  (rows summing to 0 stay 0);
+- ``"none"`` — pass-through, for symmetry in sweep code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.timeseries import SeriesSet
+
+SCHEMES = ("zscore", "minmax", "sum", "none")
+
+
+def normalize_matrix(matrix: np.ndarray, scheme: str = "zscore") -> np.ndarray:
+    """Normalise each row of a 2-D array; NaNs are ignored in statistics and
+    preserved in place.
+
+    Raises
+    ------
+    ValueError
+        For an unknown scheme or a non-2-D input.
+    """
+    if scheme not in SCHEMES:
+        raise ValueError(f"unknown scheme {scheme!r}; pick one of {SCHEMES}")
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {matrix.shape}")
+    if scheme == "none" or matrix.size == 0:
+        return matrix.copy()
+    out = matrix.copy()
+    with np.errstate(invalid="ignore", divide="ignore"):
+        if scheme == "zscore":
+            mean = np.nanmean(out, axis=1, keepdims=True)
+            std = np.nanstd(out, axis=1, keepdims=True)
+            # A constant row can report a *tiny nonzero* std purely from
+            # the rounding of its mean; treat std below the row's float
+            # noise floor as zero or the division would fabricate +/-1s.
+            with np.errstate(all="ignore"):
+                noise_floor = 1e-12 * np.maximum(
+                    np.nanmax(np.abs(out), axis=1, keepdims=True), 1.0
+                )
+            flat = ~np.isfinite(std) | (std <= noise_floor)
+            safe = np.where(flat, 1.0, std)
+            out = (out - mean) / safe
+            out[np.broadcast_to(flat, out.shape) & ~np.isnan(out)] = 0.0
+        elif scheme == "minmax":
+            lo = np.nanmin(out, axis=1, keepdims=True)
+            hi = np.nanmax(out, axis=1, keepdims=True)
+            span = hi - lo
+            safe = np.where(span > 0, span, 1.0)
+            out = (out - lo) / safe
+            out[np.broadcast_to(span == 0, out.shape) & ~np.isnan(out)] = 0.0
+        elif scheme == "sum":
+            total = np.nansum(out, axis=1, keepdims=True)
+            safe = np.where(total != 0, total, 1.0)
+            out = out / safe
+    return out
+
+
+def normalize(series_set: SeriesSet, scheme: str = "zscore") -> SeriesSet:
+    """Normalise a :class:`SeriesSet` row-wise (see :func:`normalize_matrix`)."""
+    return SeriesSet(
+        customer_ids=series_set.customer_ids.tolist(),
+        start_hour=series_set.start_hour,
+        matrix=normalize_matrix(series_set.matrix, scheme=scheme),
+    )

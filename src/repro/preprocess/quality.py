@@ -1,0 +1,99 @@
+"""Data-quality assessment.
+
+A one-stop report a data engineer would run before loading meter extracts:
+missingness (overall, per-customer worst cases, longest gap), value range
+sanity and suspected anomaly counts.  The REST layer exposes it so the
+dashboard can warn when the underlying extract is poor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.data.timeseries import SeriesSet
+from repro.preprocess.cleaning import (
+    _run_lengths_forward,
+    detect_negatives,
+    detect_spikes,
+    detect_stuck,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class DataQualityReport:
+    """Summary statistics of a raw meter extract."""
+
+    n_customers: int
+    n_steps: int
+    missing_fraction: float
+    worst_customer_missing_fraction: float
+    longest_gap_hours: int
+    n_suspected_spikes: int
+    n_negative_readings: int
+    n_suspected_stuck: int
+    min_value: float
+    max_value: float
+    mean_value: float
+
+    def to_record(self) -> dict[str, object]:
+        """JSON-friendly dict for the REST layer."""
+        return asdict(self)
+
+    @property
+    def is_clean(self) -> bool:
+        """Whether the extract needs no preprocessing at all."""
+        return (
+            self.missing_fraction == 0.0
+            and self.n_suspected_spikes == 0
+            and self.n_negative_readings == 0
+            and self.n_suspected_stuck == 0
+        )
+
+
+def _longest_gap(matrix: np.ndarray) -> int:
+    """Longest run of NaN in any row (vectorised run-length scan)."""
+    if matrix.size == 0:
+        return 0
+    runs = _run_lengths_forward(np.isnan(matrix))
+    return int(runs.max())
+
+
+def assess_quality(series_set: SeriesSet) -> DataQualityReport:
+    """Assess a raw extract; safe on empty and all-NaN inputs."""
+    matrix = series_set.matrix
+    if matrix.size == 0:
+        return DataQualityReport(
+            n_customers=series_set.n_customers,
+            n_steps=series_set.n_steps,
+            missing_fraction=0.0,
+            worst_customer_missing_fraction=0.0,
+            longest_gap_hours=0,
+            n_suspected_spikes=0,
+            n_negative_readings=0,
+            n_suspected_stuck=0,
+            min_value=float("nan"),
+            max_value=float("nan"),
+            mean_value=float("nan"),
+        )
+    missing = np.isnan(matrix)
+    per_customer_missing = missing.mean(axis=1)
+    all_missing = missing.all()
+    with np.errstate(invalid="ignore"):
+        min_value = float("nan") if all_missing else float(np.nanmin(matrix))
+        max_value = float("nan") if all_missing else float(np.nanmax(matrix))
+        mean_value = float("nan") if all_missing else float(np.nanmean(matrix))
+    return DataQualityReport(
+        n_customers=series_set.n_customers,
+        n_steps=series_set.n_steps,
+        missing_fraction=float(missing.mean()),
+        worst_customer_missing_fraction=float(per_customer_missing.max()),
+        longest_gap_hours=_longest_gap(matrix),
+        n_suspected_spikes=int(detect_spikes(matrix).sum()),
+        n_negative_readings=int(detect_negatives(matrix).sum()),
+        n_suspected_stuck=int(detect_stuck(matrix).sum()),
+        min_value=min_value,
+        max_value=max_value,
+        mean_value=mean_value,
+    )

@@ -1,0 +1,129 @@
+"""Temporal resampling to the paper's S2 granularities.
+
+Demo scenario S2 varies the shift-map interval over *hourly, every four
+hours, daily, weekly, monthly, quarterly, yearly*.  ``resample`` aggregates
+an hourly :class:`~repro.data.timeseries.SeriesSet` into those buckets.
+
+Because coarser data is no longer hourly it cannot live in a ``SeriesSet``;
+:class:`ResampledSet` carries the bucket boundaries explicitly and can hand
+back the ``(t1, t2)`` window pairs the shift model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.timeseries import HourWindow, Resolution, SeriesSet
+
+AGGREGATES = ("sum", "mean", "max")
+
+
+@dataclass(slots=True)
+class ResampledSet:
+    """Aggregated readings on a coarser-than-hourly grid.
+
+    Attributes
+    ----------
+    customer_ids:
+        Row labels, same order as the source set.
+    resolution:
+        Bucket granularity.
+    bucket_edges:
+        ``(n_buckets + 1,)`` hour offsets; bucket ``b`` covers
+        ``[bucket_edges[b], bucket_edges[b+1])``.
+    matrix:
+        ``(n_customers, n_buckets)`` aggregated values; a bucket with zero
+        observed readings is NaN.
+    aggregate:
+        Which statistic was taken over each bucket.
+    """
+
+    customer_ids: np.ndarray
+    resolution: Resolution
+    bucket_edges: np.ndarray
+    matrix: np.ndarray
+    aggregate: str
+
+    @property
+    def n_buckets(self) -> int:
+        return int(self.matrix.shape[1])
+
+    @property
+    def n_customers(self) -> int:
+        return int(self.matrix.shape[0])
+
+    def window(self, bucket: int) -> HourWindow:
+        """The hour window covered by bucket ``bucket``."""
+        if not 0 <= bucket < self.n_buckets:
+            raise IndexError(f"bucket {bucket} out of range 0..{self.n_buckets - 1}")
+        return HourWindow(
+            int(self.bucket_edges[bucket]), int(self.bucket_edges[bucket + 1])
+        )
+
+    def window_pairs(self) -> list[tuple[HourWindow, HourWindow]]:
+        """Consecutive ``(t1, t2)`` window pairs for shift-map sweeps."""
+        return [
+            (self.window(b), self.window(b + 1)) for b in range(self.n_buckets - 1)
+        ]
+
+
+def resample(
+    series_set: SeriesSet,
+    resolution: Resolution,
+    aggregate: str = "sum",
+) -> ResampledSet:
+    """Aggregate hourly readings into ``resolution`` buckets.
+
+    Buckets are aligned to the global epoch (so a daily bucket is a calendar
+    day, not "24 hours from the first reading").  Partial buckets at the
+    edges of the observation window aggregate whatever readings they cover.
+
+    Raises
+    ------
+    ValueError
+        For an unknown ``aggregate`` or an empty time axis.
+    """
+    if aggregate not in AGGREGATES:
+        raise ValueError(f"unknown aggregate {aggregate!r}; pick one of {AGGREGATES}")
+    if series_set.n_steps == 0:
+        raise ValueError("cannot resample a SeriesSet with no readings")
+
+    hours = series_set.hours
+    buckets = np.array([resolution.bucket_of(int(h)) for h in hours], dtype=np.int64)
+    unique, inverse = np.unique(buckets, return_inverse=True)
+    n_buckets = unique.shape[0]
+
+    # Edges: first hour of each bucket, plus one-past-the-end.
+    edges = np.empty(n_buckets + 1, dtype=np.int64)
+    for i, b in enumerate(unique):
+        edges[i] = hours[buckets == b][0]
+    edges[-1] = int(hours[-1]) + 1
+
+    matrix = series_set.matrix
+    observed = ~np.isnan(matrix)
+    filled = np.where(observed, matrix, 0.0)
+    counts = np.zeros((series_set.n_customers, n_buckets))
+    sums = np.zeros((series_set.n_customers, n_buckets))
+    np.add.at(counts, (slice(None), inverse), observed.astype(np.float64))
+    np.add.at(sums, (slice(None), inverse), filled)
+
+    if aggregate == "sum":
+        out = np.where(counts > 0, sums, np.nan)
+    elif aggregate == "mean":
+        with np.errstate(invalid="ignore", divide="ignore"):
+            out = np.where(counts > 0, sums / counts, np.nan)
+    else:  # max
+        out = np.full((series_set.n_customers, n_buckets), -np.inf)
+        masked = np.where(observed, matrix, -np.inf)
+        np.maximum.at(out, (slice(None), inverse), masked)
+        out = np.where(counts > 0, out, np.nan)
+
+    return ResampledSet(
+        customer_ids=series_set.customer_ids.copy(),
+        resolution=resolution,
+        bucket_edges=edges,
+        matrix=out,
+        aggregate=aggregate,
+    )

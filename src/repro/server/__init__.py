@@ -1,0 +1,13 @@
+"""The logic layer's RESTful JSON API.
+
+The paper: "RESTful APIs are implemented to exchange JSON-formatted data
+between client and server."  :class:`~repro.server.app.VapApp` is a plain
+WSGI application (stdlib only) exposing the data and model operations;
+:class:`~repro.server.client.TestClient` drives it in-process, and
+``python -m repro.server`` serves it with ``wsgiref`` for a real browser.
+"""
+
+from repro.server.app import VapApp
+from repro.server.client import TestClient
+
+__all__ = ["TestClient", "VapApp"]

@@ -1,0 +1,41 @@
+"""Serve the VAP API over HTTP with the stdlib WSGI server.
+
+Usage::
+
+    python -m repro.server [--port 8765] [--customers 200] [--days 90]
+
+Generates a synthetic city (there is no bundled real data set) and serves
+the REST API for it — the closest headless equivalent of the paper's demo
+deployment.
+"""
+
+from __future__ import annotations
+
+import argparse
+from wsgiref.simple_server import make_server
+
+from repro.core.pipeline import VapSession
+from repro.data.generator.simulate import CityConfig, generate_city
+from repro.server.app import VapApp
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--port", type=int, default=8765)
+    parser.add_argument("--customers", type=int, default=200)
+    parser.add_argument("--days", type=int, default=90)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    city = generate_city(
+        CityConfig(n_customers=args.customers, n_days=args.days, seed=args.seed)
+    )
+    session = VapSession.from_city(city)
+    app = VapApp(session, layout=city.layout)
+    with make_server("127.0.0.1", args.port, app) as server:
+        print(f"VAP API listening on http://127.0.0.1:{args.port}/api/health")
+        server.serve_forever()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,438 @@
+"""The VAP WSGI application.
+
+Endpoints mirror what the paper's three views request from the logic layer:
+
+====================================  =======================================
+``GET  /api/health``                  liveness + data set shape
+``GET  /api/quality``                 data-quality report of the raw extract
+``GET  /api/zones``                   zone geometry for the basemap
+``GET  /api/customers``               customer list; filters: ``zone``,
+                                      ``bbox=min_lon,min_lat,max_lon,max_lat``
+``GET  /api/customers/<id>``          one customer's metadata
+``GET  /api/customers/<id>/readings`` readings; ``start``/``end`` hour params
+``GET  /api/embedding``               view C coordinates; params ``method``,
+                                      ``metric``, ``perplexity``, ``seed``
+``POST /api/selection``               run a selection gesture; body gives
+                                      ``type`` (rect/radius/knn/lasso) and
+                                      geometry; returns indices, customer
+                                      ids, pattern label and view-B profile
+``GET  /api/density``                 Eq. 3 heat-map grid for a window
+``GET  /api/shift``                   Eq. 4 stats + major flows between two
+                                      windows (``t1_start`` ... ``t2_end``)
+``GET  /api/kmeans``                  S1d baseline labels; param ``k``
+``POST /api/sql``                     ad-hoc SELECT over the customers
+                                      table; body ``{"query": ...}``
+``GET  /api/customers/<id>/forecast`` day-ahead forecast; params
+                                      ``horizon``, ``method``
+                                      (profile/seasonal/naive)
+``GET  /api/proposals``               auto-discovered selection proposals
+                                      (DBSCAN over view C), labelled
+====================================  =======================================
+
+Errors return ``{"error": ...}`` with 400/404/405 status.  The app is a
+plain WSGI callable — serve it with any WSGI server, or in-process through
+:class:`repro.server.client.TestClient`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+from urllib.parse import parse_qs
+
+import numpy as np
+
+from repro.core.patterns.selection import (
+    KnnSelection,
+    LassoSelection,
+    RadiusSelection,
+    RectSelection,
+)
+from repro.core.pipeline import VapSession
+from repro.core.shift.flow import major_flows
+from repro.data.generator.city import CityLayout
+from repro.data.timeseries import HourWindow
+from repro.db.spatial import BBox
+from repro.server import json_codec
+from repro.server.router import MethodNotAllowed, Router
+
+_STATUS = {
+    200: "200 OK",
+    400: "400 Bad Request",
+    404: "404 Not Found",
+    405: "405 Method Not Allowed",
+    500: "500 Internal Server Error",
+}
+
+
+class ApiError(Exception):
+    """Handler-raised error carrying an HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class Request:
+    """Parsed request: query params and (for POST) JSON body."""
+
+    def __init__(self, environ: dict) -> None:
+        self.method = environ.get("REQUEST_METHOD", "GET").upper()
+        self.path = environ.get("PATH_INFO", "/")
+        self.query: dict[str, str] = {
+            k: v[-1] for k, v in parse_qs(environ.get("QUERY_STRING", "")).items()
+        }
+        self.body: object = None
+        length = int(environ.get("CONTENT_LENGTH") or 0)
+        if length > 0 and "wsgi.input" in environ:
+            raw = environ["wsgi.input"].read(length)
+            try:
+                self.body = json_codec.loads(raw)
+            except ValueError as exc:
+                raise ApiError(400, f"malformed JSON body: {exc}") from exc
+
+    def param_int(self, name: str, default: int | None = None) -> int:
+        if name not in self.query:
+            if default is None:
+                raise ApiError(400, f"missing required parameter {name!r}")
+            return default
+        try:
+            return int(self.query[name])
+        except ValueError:
+            raise ApiError(400, f"parameter {name!r} must be an integer") from None
+
+    def param_float(self, name: str, default: float | None = None) -> float:
+        if name not in self.query:
+            if default is None:
+                raise ApiError(400, f"missing required parameter {name!r}")
+            return default
+        try:
+            return float(self.query[name])
+        except ValueError:
+            raise ApiError(400, f"parameter {name!r} must be a number") from None
+
+    def param_str(self, name: str, default: str | None = None) -> str:
+        if name not in self.query:
+            if default is None:
+                raise ApiError(400, f"missing required parameter {name!r}")
+            return default
+        return self.query[name]
+
+
+class VapApp:
+    """WSGI application over one :class:`~repro.core.pipeline.VapSession`."""
+
+    def __init__(self, session: VapSession, layout: CityLayout | None = None) -> None:
+        self.session = session
+        self.layout = layout
+        self.router = Router()
+        self._register()
+
+    # ------------------------------------------------------------------
+    # WSGI plumbing
+    # ------------------------------------------------------------------
+    def __call__(self, environ: dict, start_response: Callable) -> Iterable[bytes]:
+        try:
+            request = Request(environ)
+            matched = self.router.match(request.method, request.path)
+            if matched is None:
+                raise ApiError(404, f"no such endpoint: {request.path}")
+            handler, params = matched
+            payload = handler(request, **params)
+            status = 200
+        except ApiError as exc:
+            payload = {"error": exc.message}
+            status = exc.status
+        except MethodNotAllowed:
+            payload = {"error": "method not allowed"}
+            status = 405
+        except ValueError as exc:
+            # Model-layer validation errors surface as 400s.
+            payload = {"error": str(exc)}
+            status = 400
+        body = json_codec.dumps(payload).encode("utf-8")
+        start_response(
+            _STATUS[status],
+            [
+                ("Content-Type", "application/json"),
+                ("Content-Length", str(len(body))),
+            ],
+        )
+        return [body]
+
+    # ------------------------------------------------------------------
+    # handlers
+    # ------------------------------------------------------------------
+    def _register(self) -> None:
+        r = self.router
+        r.add("GET", "/api/health", self.health)
+        r.add("GET", "/api/quality", self.quality)
+        r.add("GET", "/api/zones", self.zones)
+        r.add("GET", "/api/customers", self.customers)
+        r.add("GET", "/api/customers/<int:customer_id>", self.customer)
+        r.add(
+            "GET", "/api/customers/<int:customer_id>/readings", self.readings
+        )
+        r.add("GET", "/api/embedding", self.embedding)
+        r.add("POST", "/api/selection", self.selection)
+        r.add("GET", "/api/density", self.density)
+        r.add("GET", "/api/shift", self.shift)
+        r.add("GET", "/api/kmeans", self.kmeans)
+        r.add("POST", "/api/sql", self.sql)
+        r.add(
+            "GET", "/api/customers/<int:customer_id>/forecast", self.forecast
+        )
+        r.add("GET", "/api/proposals", self.proposals)
+
+    def health(self, request: Request) -> dict:
+        span = self.session.db.time_span
+        return {
+            "status": "ok",
+            "n_customers": len(self.session.db),
+            "start_hour": span.start_hour,
+            "end_hour": span.end_hour,
+        }
+
+    def quality(self, request: Request) -> dict:
+        report = self.session.quality.to_record()
+        if self.session.anomalies is not None:
+            report["anomalies_removed"] = {
+                "spikes": self.session.anomalies.n_spikes,
+                "negatives": self.session.anomalies.n_negatives,
+                "stuck": self.session.anomalies.n_stuck,
+            }
+        return report
+
+    def zones(self, request: Request) -> dict:
+        if self.layout is None:
+            raise ApiError(404, "no zone layout configured for this data set")
+        return {
+            "zones": [
+                {
+                    "name": z.name,
+                    "kind": z.kind.value,
+                    "center": [z.center_lon, z.center_lat],
+                    "radius_deg": z.radius_deg,
+                }
+                for z in self.layout.zones
+            ]
+        }
+
+    def customers(self, request: Request) -> dict:
+        db = self.session.db
+        ids: list[int]
+        if "bbox" in request.query:
+            parts = request.query["bbox"].split(",")
+            if len(parts) != 4:
+                raise ApiError(400, "bbox must be min_lon,min_lat,max_lon,max_lat")
+            try:
+                box = BBox(*(float(p) for p in parts))
+            except ValueError as exc:
+                raise ApiError(400, f"bad bbox: {exc}") from exc
+            ids = [int(i) for i in db.ids_in_bbox(box)]
+        else:
+            ids = db.customer_ids
+        zone = request.query.get("zone")
+        rows = []
+        for cid in ids:
+            cust = db.customer(cid)
+            if zone is not None and cust.zone.value != zone:
+                continue
+            rows.append(cust.to_record())
+        return {"customers": rows, "count": len(rows)}
+
+    def customer(self, request: Request, customer_id: int) -> dict:
+        try:
+            return self.session.db.customer(customer_id).to_record()
+        except KeyError:
+            raise ApiError(404, f"unknown customer {customer_id}") from None
+
+    def readings(self, request: Request, customer_id: int) -> dict:
+        db = self.session.db
+        span = db.time_span
+        start = request.param_int("start", span.start_hour)
+        end = request.param_int("end", span.end_hour)
+        if end < start:
+            raise ApiError(400, "end must not precede start")
+        try:
+            series = db.readings_for([customer_id], HourWindow(start, end))
+        except KeyError:
+            raise ApiError(404, f"unknown customer {customer_id}") from None
+        return {
+            "customer_id": customer_id,
+            "start_hour": series.start_hour,
+            "values": series.matrix[0],
+        }
+
+    def embedding(self, request: Request) -> dict:
+        info = self.session.embed(
+            method=request.param_str("method", "tsne"),
+            metric=request.param_str("metric", "pearson"),
+            perplexity=request.param_float("perplexity", 30.0),
+            n_iter=request.param_int("n_iter", 500),
+            seed=request.param_int("seed", 0),
+        )
+        return {
+            "method": info.method,
+            "metric": info.metric,
+            "objective": info.objective,
+            "customer_ids": self.session.series.customer_ids,
+            "points": info.coords,
+        }
+
+    def selection(self, request: Request) -> dict:
+        body = request.body
+        if not isinstance(body, dict):
+            raise ApiError(400, "selection body must be a JSON object")
+        kind = body.get("type")
+        try:
+            if kind == "rect":
+                selector = RectSelection(
+                    float(body["x_min"]),
+                    float(body["y_min"]),
+                    float(body["x_max"]),
+                    float(body["y_max"]),
+                )
+            elif kind == "radius":
+                selector = RadiusSelection(
+                    float(body["x"]), float(body["y"]), float(body["radius"])
+                )
+            elif kind == "knn":
+                selector = KnnSelection(
+                    float(body["x"]), float(body["y"]), int(body["k"])
+                )
+            elif kind == "lasso":
+                selector = LassoSelection(
+                    [(float(x), float(y)) for x, y in body["vertices"]]
+                )
+            else:
+                raise ApiError(
+                    400, f"unknown selection type {kind!r}; use rect/radius/knn/lasso"
+                )
+        except (KeyError, TypeError, ValueError) as exc:
+            if isinstance(exc, ApiError):
+                raise
+            raise ApiError(400, f"bad selection geometry: {exc}") from exc
+        info = self.session.embed(
+            method=str(body.get("method", "tsne")),
+        )
+        indices = selector.apply(info.coords)
+        if indices.size == 0:
+            return {"indices": [], "customer_ids": [], "count": 0}
+        pattern = self.session.pattern_of(indices)
+        return {
+            "indices": indices,
+            "customer_ids": self.session.customers_of(indices),
+            "count": int(indices.size),
+            "pattern": pattern.archetype.value,
+            "pattern_score": pattern.score,
+            "profile": self.session.profile_of(indices),
+        }
+
+    def _window(self, request: Request, prefix: str) -> HourWindow:
+        start = request.param_int(f"{prefix}_start")
+        end = request.param_int(f"{prefix}_end")
+        if end < start:
+            raise ApiError(400, f"{prefix}_end must not precede {prefix}_start")
+        return HourWindow(start, end)
+
+    def density(self, request: Request) -> dict:
+        window = self._window(request, "t")
+        grid = self.session.density(window)
+        return {
+            "nx": grid.spec.nx,
+            "ny": grid.spec.ny,
+            "bbox": [
+                grid.spec.bbox.min_lon,
+                grid.spec.bbox.min_lat,
+                grid.spec.bbox.max_lon,
+                grid.spec.bbox.max_lat,
+            ],
+            "values": grid.values,
+            "max_cell": list(grid.max_cell()),
+        }
+
+    def shift(self, request: Request) -> dict:
+        t1 = self._window(request, "t1")
+        t2 = self._window(request, "t2")
+        field = self.session.shift(t1, t2)
+        flows = major_flows(field)
+        return {
+            "energy": field.energy(),
+            "peak_gain": list(field.peak_gain()),
+            "peak_loss": list(field.peak_loss()),
+            "flows": [
+                {
+                    "from": [f.lon, f.lat],
+                    "to": list(f.tip),
+                    "magnitude": f.magnitude,
+                }
+                for f in flows
+            ],
+        }
+
+    def proposals(self, request: Request) -> dict:
+        """Auto-discovered selection proposals (DBSCAN over view C), each
+        labelled with its pattern; params ``min_points``, ``min_size``."""
+        from repro.core.patterns.autodiscover import propose_selections
+
+        info = self.session.embed(method=request.param_str("method", "tsne"))
+        proposals = propose_selections(
+            info.coords,
+            min_points=request.param_int("min_points", 5),
+            min_size=request.param_int("min_size", 5),
+        )
+        out = []
+        for proposal in proposals:
+            label = self.session.pattern_of(proposal.indices)
+            out.append(
+                {
+                    "cluster_id": proposal.cluster_id,
+                    "size": proposal.size,
+                    "center": list(proposal.center),
+                    "indices": proposal.indices,
+                    "pattern": label.archetype.value,
+                    "pattern_score": label.score,
+                }
+            )
+        return {"proposals": out, "count": len(out)}
+
+    def forecast(self, request: Request, customer_id: int) -> dict:
+        horizon = request.param_int("horizon", 24)
+        if not 1 <= horizon <= 24 * 14:
+            raise ApiError(400, "horizon must be between 1 and 336 hours")
+        method = request.param_str("method", "profile")
+        try:
+            values = self.session.forecast(customer_id, horizon, method)
+        except KeyError:
+            raise ApiError(404, f"unknown customer {customer_id}") from None
+        return {
+            "customer_id": customer_id,
+            "method": method,
+            "start_hour": self.session.series.end_hour,
+            "values": values,
+        }
+
+    def sql(self, request: Request) -> dict:
+        """Ad-hoc SQL over the customers table: ``{"query": "SELECT ..."}``."""
+        from repro.db.sql import SqlError
+
+        body = request.body
+        if not isinstance(body, dict) or not isinstance(body.get("query"), str):
+            raise ApiError(400, 'body must be {"query": "SELECT ..."}')
+        try:
+            rows = self.session.db.sql(body["query"])
+        except SqlError as exc:
+            raise ApiError(400, f"SQL error: {exc}") from exc
+        return {"rows": rows, "count": len(rows)}
+
+    def kmeans(self, request: Request) -> dict:
+        k = request.param_int("k", 5)
+        result = self.session.kmeans_baseline(k=k, seed=request.param_int("seed", 0))
+        return {
+            "k": k,
+            "inertia": result.inertia,
+            "n_iter": result.n_iter,
+            "labels": result.labels,
+            "customer_ids": self.session.series.customer_ids,
+        }

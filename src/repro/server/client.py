@@ -1,0 +1,87 @@
+"""In-process WSGI test client.
+
+Drives :class:`~repro.server.app.VapApp` (or any WSGI callable) without a
+socket: builds the environ, captures the response and parses the JSON —
+what the integration tests and the examples use to exercise the REST
+contract.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Callable
+from urllib.parse import urlsplit
+
+from repro.server import json_codec
+
+
+@dataclass(slots=True)
+class Response:
+    """Captured WSGI response."""
+
+    status: int
+    headers: dict[str, str]
+    body: bytes
+
+    @property
+    def json(self) -> object:
+        """Parse the body as JSON."""
+        return json_codec.loads(self.body)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class TestClient:
+    """Synchronous in-process client for a WSGI app."""
+
+    __test__ = False  # not a pytest collection target despite the name
+
+    def __init__(self, app: Callable) -> None:
+        self.app = app
+
+    def _request(self, method: str, url: str, body: bytes | None = None) -> Response:
+        parts = urlsplit(url)
+        payload = body or b""
+        environ = {
+            "REQUEST_METHOD": method.upper(),
+            "PATH_INFO": parts.path,
+            "QUERY_STRING": parts.query,
+            "CONTENT_LENGTH": str(len(payload)),
+            "wsgi.input": io.BytesIO(payload),
+            "wsgi.errors": io.StringIO(),
+            "wsgi.url_scheme": "http",
+            "SERVER_NAME": "testserver",
+            "SERVER_PORT": "80",
+        }
+        captured: dict[str, object] = {}
+
+        def start_response(status: str, headers: list[tuple[str, str]]) -> None:
+            captured["status"] = int(status.split(" ", 1)[0])
+            captured["headers"] = dict(headers)
+
+        chunks = self.app(environ, start_response)
+        try:
+            data = b"".join(chunks)
+        finally:
+            closer = getattr(chunks, "close", None)
+            if closer is not None:
+                closer()
+        if "status" not in captured:
+            raise RuntimeError("WSGI app never called start_response")
+        return Response(
+            status=captured["status"],  # type: ignore[arg-type]
+            headers=captured["headers"],  # type: ignore[arg-type]
+            body=data,
+        )
+
+    def get(self, url: str) -> Response:
+        """Issue a GET request."""
+        return self._request("GET", url)
+
+    def post(self, url: str, json: object = None) -> Response:
+        """Issue a POST request with a JSON body."""
+        body = json_codec.dumps(json).encode("utf-8") if json is not None else None
+        return self._request("POST", url, body)

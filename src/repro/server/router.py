@@ -1,0 +1,111 @@
+"""Minimal path router for the WSGI app.
+
+Routes are declared as ``"GET /api/customers/<int:customer_id>"`` style
+patterns; ``<int:name>`` captures an integer segment, ``<name>`` a string
+segment.  Matching returns the handler plus extracted path parameters.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable
+
+Handler = Callable[..., object]
+
+_SEGMENT = re.compile(r"<(?:(?P<kind>int):)?(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)>")
+
+
+@dataclass(slots=True)
+class Route:
+    """One method+pattern binding."""
+
+    method: str
+    pattern: re.Pattern
+    param_kinds: dict[str, str]
+    handler: Handler
+
+
+class Router:
+    """Registry of routes with first-match dispatch."""
+
+    def __init__(self) -> None:
+        self._routes: list[Route] = []
+
+    def add(self, method: str, path: str, handler: Handler) -> None:
+        """Register a route.
+
+        Raises
+        ------
+        ValueError
+            For malformed method or pattern.
+        """
+        method = method.upper()
+        if method not in ("GET", "POST", "PUT", "DELETE"):
+            raise ValueError(f"unsupported HTTP method {method!r}")
+        if not path.startswith("/"):
+            raise ValueError(f"path must start with '/', got {path!r}")
+        kinds: dict[str, str] = {}
+
+        def replace(match: re.Match) -> str:
+            name = match.group("name")
+            kind = match.group("kind") or "str"
+            if name in kinds:
+                raise ValueError(f"duplicate path parameter {name!r} in {path!r}")
+            kinds[name] = kind
+            if kind == "int":
+                return f"(?P<{name}>-?\\d+)"
+            return f"(?P<{name}>[^/]+)"
+
+        regex = _SEGMENT.sub(replace, path)
+        self._routes.append(
+            Route(
+                method=method,
+                pattern=re.compile(f"^{regex}$"),
+                param_kinds=kinds,
+                handler=handler,
+            )
+        )
+
+    def get(self, path: str) -> Callable[[Handler], Handler]:
+        """Decorator form: ``@router.get('/api/thing')``."""
+
+        def decorate(handler: Handler) -> Handler:
+            self.add("GET", path, handler)
+            return handler
+
+        return decorate
+
+    def post(self, path: str) -> Callable[[Handler], Handler]:
+        def decorate(handler: Handler) -> Handler:
+            self.add("POST", path, handler)
+            return handler
+
+        return decorate
+
+    def match(self, method: str, path: str) -> tuple[Handler, dict[str, object]] | None:
+        """Find the first route matching method+path, or None.
+
+        A path that matches some route with a different method raises
+        :class:`MethodNotAllowed`, so the app can answer 405 vs 404
+        correctly.
+        """
+        path_matched = False
+        for route in self._routes:
+            m = route.pattern.match(path)
+            if not m:
+                continue
+            path_matched = True
+            if route.method != method.upper():
+                continue
+            params: dict[str, object] = {}
+            for name, raw in m.groupdict().items():
+                params[name] = int(raw) if route.param_kinds[name] == "int" else raw
+            return route.handler, params
+        if path_matched:
+            raise MethodNotAllowed(path)
+        return None
+
+
+class MethodNotAllowed(Exception):
+    """The path exists but not for this HTTP method."""

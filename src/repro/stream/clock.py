@@ -1,0 +1,55 @@
+"""Simulated wall clock for the replay.
+
+Real sleeping would make the demo scenario untestable; the clock instead
+records logical time that advances only when told to, while still keeping
+the 10-second-tick vocabulary of the paper's narration.
+"""
+
+from __future__ import annotations
+
+
+class SimulatedClock:
+    """Logical seconds-since-start clock.
+
+    Parameters
+    ----------
+    tick_seconds:
+        How much wall time one replay tick represents (the paper's example
+        is 10 seconds).
+    """
+
+    def __init__(self, tick_seconds: float = 10.0) -> None:
+        if tick_seconds <= 0:
+            raise ValueError(f"tick_seconds must be positive, got {tick_seconds}")
+        self.tick_seconds = tick_seconds
+        self._now = 0.0
+        self._ticks = 0
+
+    @property
+    def now(self) -> float:
+        """Seconds since the replay started."""
+        return self._now
+
+    @property
+    def ticks(self) -> int:
+        """Number of completed ticks."""
+        return self._ticks
+
+    def tick(self) -> float:
+        """Advance by one tick; returns the new time."""
+        self._ticks += 1
+        self._now += self.tick_seconds
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance by an arbitrary non-negative amount (partial ticks).
+
+        Raises
+        ------
+        ValueError
+            For negative amounts (the clock never rewinds).
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot rewind the clock by {seconds}")
+        self._now += seconds
+        return self._now

@@ -1,0 +1,80 @@
+"""Replay feed: historical readings delivered tick by tick.
+
+Each tick carries ``hours_per_tick`` consecutive hourly columns of the
+source :class:`~repro.data.timeseries.SeriesSet` — the simulated equivalent
+of meters reporting in near real time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.timeseries import SeriesSet
+
+
+@dataclass(slots=True)
+class Batch:
+    """One tick's worth of readings.
+
+    Attributes
+    ----------
+    tick:
+        0-based tick index.
+    start_hour:
+        First hour offset covered by this batch.
+    values:
+        ``(n_customers, hours_in_batch)`` readings (NaN = missing).
+    """
+
+    tick: int
+    start_hour: int
+    values: np.ndarray
+
+    @property
+    def n_hours(self) -> int:
+        return int(self.values.shape[1])
+
+    @property
+    def end_hour(self) -> int:
+        return self.start_hour + self.n_hours
+
+
+class ReplayFeed:
+    """Iterator over the batches of a historical data set.
+
+    Parameters
+    ----------
+    series_set:
+        Source readings; customers stay fixed, time advances.
+    hours_per_tick:
+        How many hourly columns each tick delivers.
+    """
+
+    def __init__(self, series_set: SeriesSet, hours_per_tick: int = 1) -> None:
+        if hours_per_tick < 1:
+            raise ValueError(
+                f"hours_per_tick must be >= 1, got {hours_per_tick}"
+            )
+        self.series_set = series_set
+        self.hours_per_tick = hours_per_tick
+
+    @property
+    def n_ticks(self) -> int:
+        """Total batches the feed will deliver."""
+        steps = self.series_set.n_steps
+        return (steps + self.hours_per_tick - 1) // self.hours_per_tick
+
+    def __iter__(self) -> Iterator[Batch]:
+        matrix = self.series_set.matrix
+        start = self.series_set.start_hour
+        for tick in range(self.n_ticks):
+            a = tick * self.hours_per_tick
+            b = min(a + self.hours_per_tick, self.series_set.n_steps)
+            yield Batch(
+                tick=tick,
+                start_hour=start + a,
+                values=matrix[:, a:b],
+            )

@@ -1,0 +1,40 @@
+"""Presentation layer: SVG views and the HTML dashboard.
+
+The paper's front end draws SVG with Leaflet.js (map view A) and d3.js
+(time-series view B).  Headless reproduction renders the same three views
+as standalone SVG documents and composes them into a static HTML dashboard:
+
+- view A — zone basemap + demand heat map + flow arrows
+  (:mod:`repro.viz.heatmap`, :mod:`repro.viz.flowmap`,
+  :mod:`repro.viz.basemap`);
+- view B — aggregated consumption time series
+  (:mod:`repro.viz.timeseries_chart`);
+- view C — the 2-D embedding scatter with selections
+  (:mod:`repro.viz.scatter`);
+- :mod:`repro.viz.dashboard` — the composed page (paper Figure 3).
+
+Everything rests on a tiny SVG element tree (:mod:`repro.viz.svg`),
+colour maps (:mod:`repro.viz.color`) and tick-aware scales
+(:mod:`repro.viz.scales`).
+"""
+
+from repro.viz.choropleth import render_choropleth, zone_demand
+from repro.viz.dashboard import render_dashboard
+from repro.viz.fingerprint import render_fingerprint
+from repro.viz.flowmap import render_flow_layer
+from repro.viz.heatmap import render_heat_layer
+from repro.viz.scatter import render_scatter
+from repro.viz.svg import SvgDocument
+from repro.viz.timeseries_chart import render_timeseries
+
+__all__ = [
+    "SvgDocument",
+    "render_choropleth",
+    "render_dashboard",
+    "render_fingerprint",
+    "render_flow_layer",
+    "render_heat_layer",
+    "render_scatter",
+    "render_timeseries",
+    "zone_demand",
+]

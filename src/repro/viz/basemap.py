@@ -1,0 +1,106 @@
+"""Zone basemap and customer markers for view A.
+
+The Leaflet tiles of the paper's tool are replaced by a schematic basemap:
+each city district renders as a tinted disc with its name, and customers as
+small markers — the "different map types" and "geographical positions of
+customers with markers" options of view A.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.generator.city import CityLayout
+from repro.data.meter import ZoneKind
+from repro.db.spatial import BBox
+from repro.viz.scales import LinearScale
+from repro.viz.svg import Element, SvgDocument, path_data
+
+ZONE_FILL: dict[ZoneKind, str] = {
+    ZoneKind.COMMERCIAL: "#d9d0e8",
+    ZoneKind.RESIDENTIAL: "#f6d4cd",
+    ZoneKind.INDUSTRIAL: "#d5dfd2",
+    ZoneKind.PARK: "#cfe8cf",
+}
+
+
+class MapProjection:
+    """Shared lon/lat → pixel transform for all view-A layers.
+
+    Every layer (basemap, heat, flows, markers) must use one projection so
+    they overlay correctly; construct it once per figure.
+    """
+
+    def __init__(self, bbox: BBox, width: int, height: int, margin: int = 10) -> None:
+        if width <= 2 * margin or height <= 2 * margin:
+            raise ValueError("map size too small for the margin")
+        self.bbox = bbox
+        self.width = width
+        self.height = height
+        self.sx = LinearScale(bbox.min_lon, bbox.max_lon, margin, width - margin)
+        # Latitude grows north; SVG y grows down.
+        self.sy = LinearScale(bbox.min_lat, bbox.max_lat, height - margin, margin)
+
+    def to_pixel(self, lon: float, lat: float) -> tuple[float, float]:
+        return float(self.sx(lon)), float(self.sy(lat))
+
+
+def base_document(projection: MapProjection, title: str) -> SvgDocument:
+    """A view-A canvas with background and title."""
+    doc = SvgDocument(projection.width, projection.height)
+    doc.add_new(
+        "rect", x=0, y=0, width=projection.width, height=projection.height,
+        fill="#eef2f5",
+    )
+    doc.add_new(
+        "text", x=12, y=18, font_size=13, fill="#222",
+        font_family="sans-serif", font_weight="bold",
+    ).set_text(title)
+    return doc
+
+
+def render_zone_layer(layout: CityLayout, projection: MapProjection) -> Element:
+    """District discs with labels, as an SVG group."""
+    group = Element("g", class_="zones")
+    for zone in layout.zones:
+        cx, cy = projection.to_pixel(zone.center_lon, zone.center_lat)
+        ring = zone.boundary_polygon(n_vertices=48)
+        pixels = [projection.to_pixel(lon, lat) for lon, lat in ring]
+        group.add_new(
+            "path",
+            d=path_data(pixels, close=True),
+            fill=ZONE_FILL[zone.kind],
+            fill_opacity=0.65,
+            stroke="#a5a5a5",
+            stroke_width=0.8,
+        )
+        group.add_new(
+            "text", x=cx, y=cy, font_size=9, fill="#666",
+            text_anchor="middle", font_family="sans-serif",
+        ).set_text(zone.name)
+    return group
+
+
+def render_marker_layer(
+    positions: np.ndarray,
+    projection: MapProjection,
+    radius: float = 1.6,
+    fill: str = "#35506b",
+) -> Element:
+    """Customer position markers, as an SVG group.
+
+    Raises
+    ------
+    ValueError
+        If positions is not an (n, 2) array.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    if positions.ndim != 2 or positions.shape[1] != 2:
+        raise ValueError(f"positions must be (n, 2), got {positions.shape}")
+    group = Element("g", class_="markers")
+    for lon, lat in positions:
+        x, y = projection.to_pixel(float(lon), float(lat))
+        group.add_new(
+            "circle", cx=x, cy=y, r=radius, fill=fill, fill_opacity=0.75
+        )
+    return group

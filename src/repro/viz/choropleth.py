@@ -1,0 +1,101 @@
+"""Zone choropleth: district-level aggregate demand on the basemap.
+
+A coarser companion to the KDE heat map — "disaggregation analysis on
+several spatial levels" in the related work the paper cites.  Each city
+district is filled from a sequential colormap according to its aggregate
+value (e.g. mean demand per customer over a window).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.generator.city import CityLayout
+from repro.viz.basemap import MapProjection
+from repro.viz.color import colormap
+from repro.viz.svg import Element, path_data
+
+
+def render_choropleth(
+    layout: CityLayout,
+    zone_values: dict[str, float],
+    projection: MapProjection,
+    name: str = "blues",
+    opacity: float = 0.8,
+) -> Element:
+    """Fill districts by value; returns an SVG group.
+
+    Parameters
+    ----------
+    zone_values:
+        ``{zone name: value}``; zones missing from the dict render grey.
+
+    Raises
+    ------
+    ValueError
+        For an opacity outside [0, 1] or non-finite values.
+    """
+    if not 0.0 <= opacity <= 1.0:
+        raise ValueError(f"opacity must be in [0, 1], got {opacity}")
+    values = [v for v in zone_values.values()]
+    if values and not np.isfinite(values).all():
+        raise ValueError("zone values contain NaN/inf")
+    vmax = max(values) if values else 1.0
+    vmin = min(values) if values else 0.0
+    span = (vmax - vmin) or 1.0
+    group = Element("g", class_="choropleth", opacity=opacity)
+    for zone in layout.zones:
+        ring = zone.boundary_polygon(n_vertices=48)
+        pixels = [projection.to_pixel(lon, lat) for lon, lat in ring]
+        if zone.name in zone_values:
+            t = (zone_values[zone.name] - vmin) / span
+            fill = colormap(name, float(t))
+        else:
+            fill = "#e0e0e0"
+        group.add_new(
+            "path",
+            d=path_data(pixels, close=True),
+            fill=fill,
+            stroke="#888888",
+            stroke_width=0.8,
+        )
+        cx, cy = projection.to_pixel(zone.center_lon, zone.center_lat)
+        label = group.add_new(
+            "text", x=cx, y=cy, font_size=9, fill="#333",
+            text_anchor="middle", font_family="sans-serif",
+        )
+        if zone.name in zone_values:
+            label.set_text(f"{zone.name}: {zone_values[zone.name]:.2f}")
+        else:
+            label.set_text(zone.name)
+    return group
+
+
+def zone_demand(
+    layout: CityLayout,
+    positions: np.ndarray,
+    values: np.ndarray,
+) -> dict[str, float]:
+    """Aggregate per-customer values to mean-per-zone (nearest-zone rule).
+
+    Raises
+    ------
+    ValueError
+        On mismatched shapes.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if positions.ndim != 2 or positions.shape[1] != 2:
+        raise ValueError(f"positions must be (n, 2), got {positions.shape}")
+    if values.shape != (positions.shape[0],):
+        raise ValueError(
+            f"values shape {values.shape} does not match "
+            f"{positions.shape[0]} positions"
+        )
+    sums: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for (lon, lat), value in zip(positions, values):
+        zone = layout.nearest_zone(float(lon), float(lat))
+        sums[zone.name] = sums.get(zone.name, 0.0) + float(value)
+        counts[zone.name] = counts.get(zone.name, 0) + 1
+    return {name: sums[name] / counts[name] for name in sums}

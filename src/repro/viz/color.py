@@ -1,0 +1,123 @@
+"""Colour maps for the map and chart layers.
+
+Three families, mirroring what the paper's views need:
+
+- *sequential* (``"heat"``, ``"blues"``) for the demand heat map;
+- *diverging* (``"shift"``) for the Eq. 4 difference surface — blue for
+  demand loss, white for no change, red for gain;
+- *categorical* (:data:`CATEGORICAL`) for archetypes/selections in the
+  scatter view.
+
+Maps are piecewise-linear interpolations between control points in RGB;
+all functions take values in [0, 1] (clipped) and return ``#rrggbb``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Colour-blind-friendly categorical palette (Okabe-Ito).
+CATEGORICAL: tuple[str, ...] = (
+    "#0072B2",  # blue
+    "#E69F00",  # orange
+    "#009E73",  # green
+    "#D55E00",  # vermillion
+    "#CC79A7",  # purple-pink
+    "#56B4E9",  # sky
+    "#F0E442",  # yellow
+    "#000000",  # black
+)
+
+_STOPS: dict[str, list[tuple[float, tuple[int, int, int]]]] = {
+    # Dark blue -> yellow -> deep red, for demand heat.
+    "heat": [
+        (0.00, (13, 8, 135)),
+        (0.35, (156, 23, 158)),
+        (0.65, (237, 121, 83)),
+        (1.00, (240, 249, 33)),
+    ],
+    # White -> saturated blue, for simple densities.
+    "blues": [
+        (0.00, (247, 251, 255)),
+        (0.50, (107, 174, 214)),
+        (1.00, (8, 48, 107)),
+    ],
+    # Diverging blue-white-red for shift fields; 0.5 = no change.
+    "shift": [
+        (0.00, (5, 48, 97)),
+        (0.25, (67, 147, 195)),
+        (0.50, (247, 247, 247)),
+        (0.75, (214, 96, 77)),
+        (1.00, (103, 0, 31)),
+    ],
+    # Grey -> dark red for flow-arrow colour depth ("the darker the colour,
+    # the higher the rate").
+    "flow": [
+        (0.00, (189, 189, 189)),
+        (0.50, (203, 24, 29)),
+        (1.00, (103, 0, 13)),
+    ],
+}
+
+COLORMAPS = tuple(sorted(_STOPS))
+
+
+def rgb_to_hex(rgb: tuple[int, int, int]) -> str:
+    """``(r, g, b)`` integers to ``#rrggbb``."""
+    r, g, b = (int(np.clip(c, 0, 255)) for c in rgb)
+    return f"#{r:02x}{g:02x}{b:02x}"
+
+
+def hex_to_rgb(color: str) -> tuple[int, int, int]:
+    """``#rrggbb`` (or ``#rgb``) to integer components.
+
+    Raises
+    ------
+    ValueError
+        For malformed colour strings.
+    """
+    text = color.lstrip("#")
+    if len(text) == 3:
+        text = "".join(ch * 2 for ch in text)
+    if len(text) != 6:
+        raise ValueError(f"malformed hex colour {color!r}")
+    try:
+        return tuple(int(text[i : i + 2], 16) for i in (0, 2, 4))  # type: ignore[return-value]
+    except ValueError as exc:
+        raise ValueError(f"malformed hex colour {color!r}") from exc
+
+
+def colormap(name: str, value: float) -> str:
+    """Evaluate a named map at ``value`` in [0, 1] (clipped).
+
+    Raises
+    ------
+    ValueError
+        For an unknown map name.
+    """
+    if name not in _STOPS:
+        raise ValueError(f"unknown colormap {name!r}; pick one of {COLORMAPS}")
+    stops = _STOPS[name]
+    v = float(np.clip(value, 0.0, 1.0))
+    for (p0, c0), (p1, c1) in zip(stops, stops[1:]):
+        if v <= p1:
+            t = 0.0 if p1 == p0 else (v - p0) / (p1 - p0)
+            rgb = tuple(
+                round(a + t * (b - a)) for a, b in zip(c0, c1)
+            )
+            return rgb_to_hex(rgb)  # type: ignore[arg-type]
+    return rgb_to_hex(stops[-1][1])
+
+
+def categorical(index: int) -> str:
+    """Stable colour for a category index (wraps around the palette)."""
+    if index < 0:
+        raise ValueError(f"index must be non-negative, got {index}")
+    return CATEGORICAL[index % len(CATEGORICAL)]
+
+
+def with_alpha(color: str, alpha: float) -> str:
+    """``#rrggbb`` + alpha in [0, 1] → ``rgba(...)`` CSS string."""
+    r, g, b = hex_to_rgb(color)
+    a = float(np.clip(alpha, 0.0, 1.0))
+    return f"rgba({r},{g},{b},{a:.3f})"

@@ -1,0 +1,190 @@
+"""The composed VAP dashboard (paper Figure 3).
+
+``render_dashboard`` lays the three views out on one static HTML page:
+
+- **View A** (left): zone basemap, demand heat map for the ``t2`` window,
+  shift flow arrows from ``t1`` to ``t2`` and customer markers;
+- **View B** (top right): the aggregated consumption pattern of the active
+  selection, with member series as context;
+- **View C** (bottom right): the embedding scatter with the selection
+  highlighted.
+
+The output is self-contained (inline SVG, no scripts) so it can be opened
+from disk — the headless stand-in for the paper's web front end.
+"""
+
+from __future__ import annotations
+
+import html
+
+import numpy as np
+
+from repro.core.pipeline import VapSession
+from repro.core.shift.flow import major_flows
+from repro.data.generator.city import CityLayout
+from repro.data.timeseries import HourWindow
+from repro.viz.basemap import (
+    MapProjection,
+    base_document,
+    render_marker_layer,
+    render_zone_layer,
+)
+from repro.viz.flowmap import render_flow_layer
+from repro.viz.heatmap import render_heat_layer, render_shift_layer
+from repro.viz.legend import colorbar
+from repro.viz.scatter import render_scatter
+from repro.viz.svg import SvgDocument
+from repro.viz.timeseries_chart import render_timeseries
+
+_PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8"/>
+<title>{title}</title>
+<style>
+ body {{ font-family: sans-serif; margin: 16px; background: #f4f5f7; }}
+ h1 {{ font-size: 18px; }} p.caption {{ color: #555; max-width: 70em; }}
+ .grid {{ display: flex; gap: 12px; align-items: flex-start; }}
+ .col {{ display: flex; flex-direction: column; gap: 12px; }}
+ .panel {{ background: #fff; border: 1px solid #ddd; border-radius: 4px;
+          padding: 6px; }}
+</style>
+</head>
+<body>
+<h1>{title}</h1>
+<p class="caption">{caption}</p>
+<div class="grid">
+  <div class="col"><div class="panel">{view_a}</div></div>
+  <div class="col">
+    <div class="panel">{view_b}</div>
+    <div class="panel">{view_c}</div>
+  </div>
+</div>
+</body>
+</html>
+"""
+
+
+def render_map_view(
+    session: VapSession,
+    t1: HourWindow,
+    t2: HourWindow,
+    layout: CityLayout | None = None,
+    width: int = 560,
+    height: int = 560,
+    show_markers: bool = True,
+    show_heat: bool = True,
+) -> SvgDocument:
+    """View A as a standalone SVG document."""
+    bbox = session.grid().bbox
+    projection = MapProjection(bbox, width, height)
+    doc = base_document(
+        projection,
+        title="View A — demand heat map and shift flows",
+    )
+    if layout is not None:
+        doc.add(render_zone_layer(layout, projection))
+    field = session.shift(t1, t2)
+    if show_heat:
+        density = session.density(t2)
+        doc.add(render_heat_layer(density, projection, opacity=0.45))
+        doc.add(
+            colorbar(
+                "heat",
+                0.0,
+                float(density.values.max()),
+                x=12,
+                y=height - 40,
+                title="demand density (t2)",
+            )
+        )
+    else:
+        doc.add(render_shift_layer(field, projection))
+        vmax = float(np.abs(field.values).max())
+        doc.add(
+            colorbar(
+                "shift", -vmax, vmax, x=12, y=height - 40, title="density shift"
+            )
+        )
+    if show_markers:
+        doc.add(
+            render_marker_layer(
+                session.db.positions_of(session.db.customer_ids), projection
+            )
+        )
+    doc.add(render_flow_layer(major_flows(field), projection))
+    return doc
+
+
+def render_dashboard(
+    session: VapSession,
+    t1: HourWindow,
+    t2: HourWindow,
+    selection: np.ndarray | None = None,
+    labels: np.ndarray | None = None,
+    layout: CityLayout | None = None,
+    title: str = "VAP — energy consumption spatio-temporal patterns",
+    profile_window: HourWindow | None = None,
+) -> str:
+    """Render the full Figure 3 page; returns HTML text.
+
+    Parameters
+    ----------
+    session:
+        The analysis session (embedding is computed on demand).
+    t1, t2:
+        Windows of the shift map in view A.
+    selection:
+        Optional embedding row indices whose aggregate view B shows; when
+        omitted, view B shows the all-customer aggregate.
+    labels:
+        Optional per-customer group names colouring view C.
+    layout:
+        Optional city layout for the zone basemap.
+    profile_window:
+        Hour window view B covers; defaults to the first fortnight of data
+        (a readable slice of a year-long series).
+    """
+    info = session.embed()
+    view_a = render_map_view(session, t1, t2, layout=layout)
+
+    if selection is None:
+        selection = np.arange(session.series.n_customers)
+    selection = np.asarray(selection, dtype=np.int64)
+    window = profile_window or HourWindow(
+        session.series.start_hour,
+        min(session.series.start_hour + 14 * 24, session.series.end_hour),
+    )
+    ids = [int(session.series.customer_ids[i]) for i in selection]
+    subset = session.series.select_customers(ids).slice_hours(
+        window.start_hour, window.end_hour
+    )
+    pattern = session.pattern_of(selection)
+    view_b = render_timeseries(
+        hours=subset.hours,
+        aggregate=subset.mean_profile(),
+        members=subset.matrix,
+        title=(
+            f"View B — {pattern.archetype.value} pattern "
+            f"({selection.size} customers)"
+        ),
+    )
+    view_c = render_scatter(
+        info.coords,
+        labels=labels,
+        highlight=selection if selection.size < info.coords.shape[0] else None,
+        title=f"View C — {info.method} navigator",
+    )
+    caption = (
+        f"Shift map between hours [{t1.start_hour}, {t1.end_hour}) and "
+        f"[{t2.start_hour}, {t2.end_hour}); embedding: {info.method} on "
+        f"{info.feature_kind.value} features with {info.metric} distance "
+        f"(objective {info.objective:.3f})."
+    )
+    return _PAGE.format(
+        title=html.escape(title),
+        caption=html.escape(caption),
+        view_a=view_a.render(),
+        view_b=view_b.render(),
+        view_c=view_c.render(),
+    )

@@ -1,0 +1,83 @@
+"""Flow-arrow layer for view A.
+
+"The flow patterns are displayed as colored arrows on the map, and the
+color depth represents the rate of change of the flow patterns; the darker
+the color, the higher the rate."  Arrows are polygons (shaft + head) whose
+fill comes from the ``flow`` colormap indexed by relative magnitude.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.shift.flow import FlowArrow
+from repro.viz.basemap import MapProjection
+from repro.viz.color import colormap
+from repro.viz.svg import Element, path_data
+
+
+def _arrow_polygon(
+    x0: float, y0: float, x1: float, y1: float, width: float
+) -> list[tuple[float, float]]:
+    """Seven-point arrow polygon from tail (x0, y0) to tip (x1, y1)."""
+    dx, dy = x1 - x0, y1 - y0
+    length = float(np.hypot(dx, dy))
+    if length == 0:
+        return [(x0, y0)] * 3
+    ux, uy = dx / length, dy / length  # unit along
+    px, py = -uy, ux  # unit perpendicular
+    head_len = min(0.35 * length, 4.0 * width)
+    head_w = 1.9 * width
+    bx, by = x1 - head_len * ux, y1 - head_len * uy  # head base
+    half = width / 2.0
+    return [
+        (x0 + px * half, y0 + py * half),
+        (bx + px * half, by + py * half),
+        (bx + px * head_w, by + py * head_w),
+        (x1, y1),
+        (bx - px * head_w, by - py * head_w),
+        (bx - px * half, by - py * half),
+        (x0 - px * half, y0 - py * half),
+    ]
+
+
+def render_flow_layer(
+    arrows: list[FlowArrow],
+    projection: MapProjection,
+    base_width: float = 2.2,
+    opacity: float = 0.9,
+) -> Element:
+    """Arrow layer as an SVG group; colour depth encodes magnitude.
+
+    The strongest arrow gets the darkest colour and the widest shaft; the
+    rest scale relative to it.
+
+    Raises
+    ------
+    ValueError
+        For non-positive width or an opacity outside [0, 1].
+    """
+    if base_width <= 0:
+        raise ValueError(f"base_width must be positive, got {base_width}")
+    if not 0.0 <= opacity <= 1.0:
+        raise ValueError(f"opacity must be in [0, 1], got {opacity}")
+    group = Element("g", class_="flows", opacity=opacity)
+    if not arrows:
+        return group
+    max_mag = max(a.magnitude for a in arrows)
+    if max_mag <= 0:
+        return group
+    for arrow in arrows:
+        t = arrow.magnitude / max_mag
+        x0, y0 = projection.to_pixel(arrow.lon, arrow.lat)
+        x1, y1 = projection.to_pixel(*arrow.tip)
+        width = base_width * (0.5 + 1.5 * t)
+        polygon = _arrow_polygon(x0, y0, x1, y1, width)
+        group.add_new(
+            "path",
+            d=path_data(polygon, close=True),
+            fill=colormap("flow", float(t)),
+            stroke="#ffffff",
+            stroke_width=0.4,
+        )
+    return group

@@ -1,0 +1,116 @@
+"""Heat-map layers for view A.
+
+Two layer kinds over the shared map projection:
+
+- a *density* layer (sequential colormap) visualising Eq. 3 — "the spatial
+  distribution density with a heat map";
+- a *shift* layer (diverging colormap, symmetric around zero) visualising
+  Eq. 4 before arrows are drawn on top.
+
+Cells render as rects with per-cell colour; near-zero cells are left
+transparent so the basemap shows through.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.shift.flow import ShiftField
+from repro.core.shift.grids import DensityGrid
+from repro.viz.basemap import MapProjection
+from repro.viz.color import colormap
+from repro.viz.svg import Element
+
+
+def render_heat_layer(
+    grid: DensityGrid,
+    projection: MapProjection,
+    name: str = "heat",
+    opacity: float = 0.55,
+    threshold: float = 0.02,
+) -> Element:
+    """Sequential heat layer for a density grid, as an SVG group.
+
+    ``threshold`` is the fraction of the max density below which cells stay
+    transparent (keeps the map readable away from the city).
+
+    Raises
+    ------
+    ValueError
+        For an opacity or threshold outside [0, 1].
+    """
+    if not 0.0 <= opacity <= 1.0:
+        raise ValueError(f"opacity must be in [0, 1], got {opacity}")
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+    group = Element("g", class_="heat", opacity=opacity)
+    values = grid.values
+    vmax = float(values.max())
+    if vmax <= 0:
+        return group
+    spec = grid.spec
+    lons = spec.lon_centers()
+    lats = spec.lat_centers()
+    half_w = spec.cell_width / 2.0
+    half_h = spec.cell_height / 2.0
+    for row in range(spec.ny):
+        for col in range(spec.nx):
+            t = values[row, col] / vmax
+            if t < threshold:
+                continue
+            x0, y0 = projection.to_pixel(lons[col] - half_w, lats[row] + half_h)
+            x1, y1 = projection.to_pixel(lons[col] + half_w, lats[row] - half_h)
+            group.add_new(
+                "rect",
+                x=x0,
+                y=y0,
+                width=max(x1 - x0, 0.1) + 0.25,
+                height=max(y1 - y0, 0.1) + 0.25,
+                fill=colormap(name, float(t)),
+            )
+    return group
+
+
+def render_shift_layer(
+    field: ShiftField,
+    projection: MapProjection,
+    opacity: float = 0.6,
+    threshold: float = 0.04,
+) -> Element:
+    """Diverging layer for a shift field, symmetric around zero.
+
+    Raises
+    ------
+    ValueError
+        For an opacity or threshold outside [0, 1].
+    """
+    if not 0.0 <= opacity <= 1.0:
+        raise ValueError(f"opacity must be in [0, 1], got {opacity}")
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+    group = Element("g", class_="shift", opacity=opacity)
+    values = field.values
+    vmax = float(np.abs(values).max())
+    if vmax <= 0:
+        return group
+    spec = field.spec
+    lons = spec.lon_centers()
+    lats = spec.lat_centers()
+    half_w = spec.cell_width / 2.0
+    half_h = spec.cell_height / 2.0
+    for row in range(spec.ny):
+        for col in range(spec.nx):
+            t = values[row, col] / vmax  # in [-1, 1]
+            if abs(t) < threshold:
+                continue
+            x0, y0 = projection.to_pixel(lons[col] - half_w, lats[row] + half_h)
+            x1, y1 = projection.to_pixel(lons[col] + half_w, lats[row] - half_h)
+            group.add_new(
+                "rect",
+                x=x0,
+                y=y0,
+                width=max(x1 - x0, 0.1) + 0.25,
+                height=max(y1 - y0, 0.1) + 0.25,
+                fill=colormap("shift", 0.5 + 0.5 * float(t)),
+            )
+    return group

@@ -1,0 +1,86 @@
+"""Legend widgets shared by the views."""
+
+from __future__ import annotations
+
+from repro.viz.color import categorical, colormap
+from repro.viz.scales import format_tick
+from repro.viz.svg import Element
+
+
+def categorical_legend(
+    labels: list[str], x: float, y: float, row_height: float = 16.0
+) -> Element:
+    """Swatch + label rows for category colours, as an SVG group.
+
+    Raises
+    ------
+    ValueError
+        If no labels are given.
+    """
+    if not labels:
+        raise ValueError("a legend needs at least one label")
+    group = Element("g", class_="legend")
+    for i, label in enumerate(labels):
+        yy = y + i * row_height
+        group.add_new(
+            "rect", x=x, y=yy, width=10, height=10, fill=categorical(i), rx=2
+        )
+        group.add_new(
+            "text",
+            x=x + 15,
+            y=yy + 9,
+            font_size=11,
+            fill="#333",
+            font_family="sans-serif",
+        ).set_text(label)
+    return group
+
+
+def colorbar(
+    name: str,
+    vmin: float,
+    vmax: float,
+    x: float,
+    y: float,
+    width: float = 120.0,
+    height: float = 10.0,
+    n_segments: int = 24,
+    title: str = "",
+) -> Element:
+    """Horizontal colour bar for a named colormap, as an SVG group.
+
+    Raises
+    ------
+    ValueError
+        For non-positive size or segments.
+    """
+    if width <= 0 or height <= 0 or n_segments < 2:
+        raise ValueError("colorbar needs positive size and >= 2 segments")
+    group = Element("g", class_="colorbar")
+    if title:
+        group.add_new(
+            "text", x=x, y=y - 4, font_size=11, fill="#333",
+            font_family="sans-serif",
+        ).set_text(title)
+    seg_w = width / n_segments
+    for i in range(n_segments):
+        t = (i + 0.5) / n_segments
+        group.add_new(
+            "rect",
+            x=x + i * seg_w,
+            y=y,
+            width=seg_w + 0.5,  # slight overlap hides hairline seams
+            height=height,
+            fill=colormap(name, t),
+        )
+    for t, value in ((0.0, vmin), (1.0, vmax)):
+        group.add_new(
+            "text",
+            x=x + t * width,
+            y=y + height + 12,
+            font_size=10,
+            fill="#333",
+            text_anchor="middle" if 0 < t < 1 else ("start" if t == 0 else "end"),
+            font_family="sans-serif",
+        ).set_text(format_tick(value))
+    return group

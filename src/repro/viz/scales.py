@@ -1,0 +1,102 @@
+"""Linear scales and tick generation for the chart axes.
+
+The d3-style pieces the views need: a linear domain→range mapping (with
+optional inversion for SVG's downward y axis) and "nice" tick positions at
+1/2/5 multiples.  Time axes label hour offsets via the shared epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.timeseries import hour_to_datetime
+
+
+@dataclass(frozen=True, slots=True)
+class LinearScale:
+    """Affine map from a data domain onto a pixel range.
+
+    A degenerate domain (min == max) maps everything to the range midpoint,
+    so callers never divide by zero on constant data.
+    """
+
+    domain_min: float
+    domain_max: float
+    range_min: float
+    range_max: float
+
+    def __post_init__(self) -> None:
+        if not np.isfinite([self.domain_min, self.domain_max]).all():
+            raise ValueError("scale domain must be finite")
+
+    def __call__(self, value: float | np.ndarray) -> float | np.ndarray:
+        span = self.domain_max - self.domain_min
+        if span == 0:
+            mid = (self.range_min + self.range_max) / 2.0
+            if np.isscalar(value):
+                return mid
+            return np.full(np.shape(value), mid)
+        t = (np.asarray(value, dtype=np.float64) - self.domain_min) / span
+        out = self.range_min + t * (self.range_max - self.range_min)
+        if np.isscalar(value):
+            return float(out)
+        return out
+
+    def invert(self, pixel: float) -> float:
+        """Pixel back to data coordinates (for hit-testing)."""
+        span = self.range_max - self.range_min
+        if span == 0:
+            return self.domain_min
+        t = (pixel - self.range_min) / span
+        return self.domain_min + t * (self.domain_max - self.domain_min)
+
+
+def nice_ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    """~n tick positions at 1/2/5 x 10^k steps covering [lo, hi].
+
+    Raises
+    ------
+    ValueError
+        For non-finite bounds or n < 2.
+    """
+    if not np.isfinite([lo, hi]).all():
+        raise ValueError("tick bounds must be finite")
+    if n < 2:
+        raise ValueError(f"need at least 2 ticks, got {n}")
+    if hi < lo:
+        lo, hi = hi, lo
+    if hi == lo:
+        return [lo]
+    raw_step = (hi - lo) / (n - 1)
+    magnitude = 10.0 ** np.floor(np.log10(raw_step))
+    for mult in (1.0, 2.0, 5.0, 10.0):
+        step = mult * magnitude
+        if (hi - lo) / step <= n - 1 + 1e-9:
+            break
+    start = np.ceil(lo / step) * step
+    ticks = []
+    value = start
+    while value <= hi + 1e-9 * step:
+        # Snap tiny float noise to zero.
+        ticks.append(0.0 if abs(value) < step * 1e-6 else float(value))
+        value += step
+    return ticks
+
+
+def format_tick(value: float) -> str:
+    """Compact tick label: integers plain, small magnitudes in scientific."""
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e5 or abs(value) < 1e-3:
+        return f"{value:.1e}"
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+def format_hour(hour_offset: int) -> str:
+    """Human label for an hour offset, e.g. ``Jan 03 18:00``."""
+    when = hour_to_datetime(hour_offset)
+    return when.strftime("%b %d %H:%M")

@@ -1,0 +1,115 @@
+"""View C: the 2-D embedding scatter.
+
+"An interactive navigator that allows users to explore different energy
+consumption patterns by selecting the points ... the closer the points are
+to each other, the more similar the patterns will be."  Rendered headless:
+points coloured by group (archetype, cluster or selection), optional
+highlighted selection outline, axes-free (embedding coordinates carry no
+units) with a frame and legend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.viz.color import categorical
+from repro.viz.legend import categorical_legend
+from repro.viz.scales import LinearScale
+from repro.viz.svg import SvgDocument
+
+
+def render_scatter(
+    embedding: np.ndarray,
+    labels: np.ndarray | None = None,
+    highlight: np.ndarray | None = None,
+    width: int = 420,
+    height: int = 420,
+    title: str = "View C — pattern navigator",
+    point_radius: float = 3.0,
+) -> SvgDocument:
+    """Render the embedding as an SVG scatter.
+
+    Parameters
+    ----------
+    embedding:
+        ``(n, 2)`` coordinates.
+    labels:
+        Optional per-point group names; points are coloured per group and a
+        legend is drawn.
+    highlight:
+        Optional row indices to emphasise (the active selection).
+
+    Raises
+    ------
+    ValueError
+        On malformed inputs.
+    """
+    embedding = np.asarray(embedding, dtype=np.float64)
+    if embedding.ndim != 2 or embedding.shape[1] != 2:
+        raise ValueError(f"embedding must be (n, 2), got {embedding.shape}")
+    n = embedding.shape[0]
+    if labels is not None:
+        labels = np.asarray(labels)
+        if labels.shape[0] != n:
+            raise ValueError(f"{labels.shape[0]} labels for {n} points")
+    doc = SvgDocument(width, height)
+    doc.add_new("rect", x=0, y=0, width=width, height=height, fill="#ffffff")
+    margin = 34
+    plot_w = width - 2 * margin
+    plot_h = height - 2 * margin
+    doc.add_new(
+        "rect",
+        x=margin,
+        y=margin,
+        width=plot_w,
+        height=plot_h,
+        fill="#fafafa",
+        stroke="#cccccc",
+    )
+    doc.add_new(
+        "text", x=margin, y=margin - 10, font_size=13, fill="#222",
+        font_family="sans-serif", font_weight="bold",
+    ).set_text(title)
+
+    if n > 0:
+        pad_x = (float(np.ptp(embedding[:, 0])) or 1.0) * 0.05
+        pad_y = (float(np.ptp(embedding[:, 1])) or 1.0) * 0.05
+        sx = LinearScale(
+            float(embedding[:, 0].min() - pad_x),
+            float(embedding[:, 0].max() + pad_x),
+            margin,
+            margin + plot_w,
+        )
+        # SVG y grows downward; flip the range.
+        sy = LinearScale(
+            float(embedding[:, 1].min() - pad_y),
+            float(embedding[:, 1].max() + pad_y),
+            margin + plot_h,
+            margin,
+        )
+        if labels is not None:
+            names = sorted({str(v) for v in labels.tolist()})
+            color_of = {name: categorical(i) for i, name in enumerate(names)}
+        points = doc.add_new("g", class_="points")
+        highlight_set = (
+            set(np.asarray(highlight, dtype=np.int64).tolist())
+            if highlight is not None
+            else set()
+        )
+        for i in range(n):
+            fill = (
+                color_of[str(labels[i])] if labels is not None else "#4477aa"
+            )
+            attrs = dict(
+                cx=float(sx(embedding[i, 0])),
+                cy=float(sy(embedding[i, 1])),
+                r=point_radius,
+                fill=fill,
+                fill_opacity=0.8,
+            )
+            if i in highlight_set:
+                attrs.update(stroke="#000000", stroke_width=1.4, r=point_radius + 1.2)
+            points.add_new("circle", **attrs)
+        if labels is not None:
+            doc.add(categorical_legend(names, x=margin + 6, y=margin + 8))
+    return doc

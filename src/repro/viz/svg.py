@@ -1,0 +1,115 @@
+"""A minimal SVG element tree.
+
+Just enough structure to build the three VAP views as well-formed SVG:
+elements with escaped attributes, nesting, text nodes and document
+serialisation.  No dependency on any XML library — the output is verified
+well-formed by the test suite using :mod:`xml.etree.ElementTree`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}
+
+
+def escape(value: object) -> str:
+    """Escape a value for use in attribute or text position."""
+    out = str(value)
+    for char, repl in _ESCAPES.items():
+        out = out.replace(char, repl)
+    return out
+
+
+def fmt(value: float) -> str:
+    """Compact numeric formatting for coordinates (3 decimals, no trail)."""
+    if isinstance(value, float):
+        text = f"{value:.3f}".rstrip("0").rstrip(".")
+        return text if text not in ("", "-") else "0"
+    return str(value)
+
+
+class Element:
+    """One SVG element with attributes, children and optional text."""
+
+    def __init__(self, tag: str, **attrs: object) -> None:
+        if not tag or not tag.replace("-", "").isalnum():
+            raise ValueError(f"invalid SVG tag {tag!r}")
+        self.tag = tag
+        self.attrs: dict[str, object] = {}
+        self.children: list[Element] = []
+        self.text: str | None = None
+        self.set(**attrs)
+
+    def set(self, **attrs: object) -> "Element":
+        """Set attributes; trailing underscores strip (``class_`` →
+        ``class``) and underscores map to dashes (``stroke_width`` →
+        ``stroke-width``)."""
+        for key, value in attrs.items():
+            name = key.rstrip("_").replace("_", "-")
+            self.attrs[name] = value
+        return self
+
+    def add(self, child: "Element") -> "Element":
+        """Append a child; returns the child for chaining."""
+        self.children.append(child)
+        return child
+
+    def add_new(self, tag: str, **attrs: object) -> "Element":
+        """Create, append and return a new child element."""
+        return self.add(Element(tag, **attrs))
+
+    def set_text(self, text: str) -> "Element":
+        self.text = text
+        return self
+
+    def render(self) -> str:
+        attrs = "".join(
+            f' {name}="{escape(fmt(value) if isinstance(value, float) else value)}"'
+            for name, value in self.attrs.items()
+        )
+        if not self.children and self.text is None:
+            return f"<{self.tag}{attrs}/>"
+        inner = "".join(child.render() for child in self.children)
+        if self.text is not None:
+            inner = escape(self.text) + inner
+        return f"<{self.tag}{attrs}>{inner}</{self.tag}>"
+
+
+class SvgDocument(Element):
+    """An ``<svg>`` root with fixed pixel size and viewBox."""
+
+    def __init__(self, width: int, height: int) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError(f"size must be positive, got {width}x{height}")
+        super().__init__(
+            "svg",
+            xmlns="http://www.w3.org/2000/svg",
+            width=width,
+            height=height,
+            viewBox=f"0 0 {width} {height}",
+        )
+        self.width = width
+        self.height = height
+
+    def render_document(self) -> str:
+        """Full standalone SVG file content."""
+        return '<?xml version="1.0" encoding="UTF-8"?>\n' + self.render()
+
+
+def path_data(points: Iterable[tuple[float, float]], close: bool = False) -> str:
+    """Build an SVG path ``d`` string through the given points.
+
+    Raises
+    ------
+    ValueError
+        If no points are given.
+    """
+    points = list(points)
+    if not points:
+        raise ValueError("a path needs at least one point")
+    parts = [f"M{fmt(float(points[0][0]))},{fmt(float(points[0][1]))}"]
+    parts.extend(f"L{fmt(float(x))},{fmt(float(y))}" for x, y in points[1:])
+    if close:
+        parts.append("Z")
+    return " ".join(parts)

@@ -1,0 +1,137 @@
+"""View B: aggregated consumption time series.
+
+"View B shows the time series for the customers selected in view C ... and
+visualizes the typical consumption pattern for all selected customers."
+Renders one or more series (individual members faint, the aggregate bold)
+with value ticks and time labels derived from the shared epoch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.viz.scales import LinearScale, format_hour, format_tick, nice_ticks
+from repro.viz.svg import SvgDocument, path_data
+
+
+def render_timeseries(
+    hours: np.ndarray,
+    aggregate: np.ndarray,
+    members: np.ndarray | None = None,
+    width: int = 560,
+    height: int = 260,
+    title: str = "View B — selected consumption pattern",
+    max_members: int = 30,
+    aggregate_color: str = "#c23726",
+) -> SvgDocument:
+    """Render a selection's consumption curve.
+
+    Parameters
+    ----------
+    hours:
+        Hour offsets (x axis), length T.
+    aggregate:
+        The selection's mean profile, length T (NaN gaps are skipped).
+    members:
+        Optional ``(m, T)`` member series drawn as faint context lines;
+        at most ``max_members`` evenly chosen rows are drawn.
+
+    Raises
+    ------
+    ValueError
+        On shape mismatches.
+    """
+    hours = np.asarray(hours, dtype=np.float64)
+    aggregate = np.asarray(aggregate, dtype=np.float64)
+    if hours.ndim != 1 or aggregate.shape != hours.shape:
+        raise ValueError(
+            f"hours {hours.shape} and aggregate {aggregate.shape} must be "
+            f"equal-length 1-D arrays"
+        )
+    if members is not None:
+        members = np.asarray(members, dtype=np.float64)
+        if members.ndim != 2 or members.shape[1] != hours.shape[0]:
+            raise ValueError(
+                f"members must be (m, {hours.shape[0]}), got {members.shape}"
+            )
+    doc = SvgDocument(width, height)
+    doc.add_new("rect", x=0, y=0, width=width, height=height, fill="#ffffff")
+    left, right, top, bottom = 52, 14, 30, 34
+    plot_w = width - left - right
+    plot_h = height - top - bottom
+    doc.add_new(
+        "text", x=left, y=top - 12, font_size=13, fill="#222",
+        font_family="sans-serif", font_weight="bold",
+    ).set_text(title)
+    doc.add_new(
+        "rect", x=left, y=top, width=plot_w, height=plot_h,
+        fill="#fafafa", stroke="#cccccc",
+    )
+    if hours.size == 0:
+        return doc
+
+    candidates = [aggregate[np.isfinite(aggregate)]]
+    if members is not None and members.size:
+        candidates.append(members[np.isfinite(members)])
+    values = np.concatenate([c for c in candidates if c.size]) if any(
+        c.size for c in candidates
+    ) else np.zeros(1)
+    vmin = float(min(values.min(), 0.0))
+    vmax = float(values.max()) or 1.0
+    sx = LinearScale(float(hours[0]), float(hours[-1]) or 1.0, left, left + plot_w)
+    sy = LinearScale(vmin, vmax, top + plot_h, top)
+
+    axes = doc.add_new("g", class_="axes")
+    for tick in nice_ticks(vmin, vmax, 5):
+        y = float(sy(tick))
+        axes.add_new(
+            "line", x1=left, y1=y, x2=left + plot_w, y2=y,
+            stroke="#e5e5e5", stroke_width=1,
+        )
+        axes.add_new(
+            "text", x=left - 6, y=y + 3, font_size=10, fill="#555",
+            text_anchor="end", font_family="sans-serif",
+        ).set_text(format_tick(tick))
+    n_time_ticks = min(6, hours.size)
+    for pos in np.linspace(0, hours.size - 1, n_time_ticks).astype(int):
+        x = float(sx(hours[pos]))
+        axes.add_new(
+            "line", x1=x, y1=top + plot_h, x2=x, y2=top + plot_h + 4,
+            stroke="#999999",
+        )
+        axes.add_new(
+            "text", x=x, y=top + plot_h + 16, font_size=9, fill="#555",
+            text_anchor="middle", font_family="sans-serif",
+        ).set_text(format_hour(int(hours[pos])))
+
+    def polyline(series: np.ndarray) -> list[str]:
+        """Split a NaN-gapped series into path strings."""
+        paths: list[str] = []
+        run: list[tuple[float, float]] = []
+        for h, v in zip(hours, series):
+            if np.isfinite(v):
+                run.append((float(sx(h)), float(sy(v))))
+            elif run:
+                if len(run) > 1:
+                    paths.append(path_data(run))
+                run = []
+        if len(run) > 1:
+            paths.append(path_data(run))
+        return paths
+
+    lines = doc.add_new("g", class_="series")
+    if members is not None and members.shape[0] > 0:
+        picks = np.linspace(
+            0, members.shape[0] - 1, min(max_members, members.shape[0])
+        ).astype(int)
+        for row in np.unique(picks):
+            for d in polyline(members[row]):
+                lines.add_new(
+                    "path", d=d, fill="none", stroke="#99aabb",
+                    stroke_width=0.7, stroke_opacity=0.45,
+                )
+    for d in polyline(aggregate):
+        lines.add_new(
+            "path", d=d, fill="none", stroke=aggregate_color, stroke_width=1.8
+        )
+    return doc

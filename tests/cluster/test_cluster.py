@@ -1,0 +1,180 @@
+"""Tests for k-means, agglomerative clustering and validation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.hierarchy import agglomerative
+from repro.cluster.kmeans import kmeans
+from repro.cluster.metrics import (
+    adjusted_rand_index,
+    davies_bouldin,
+    normalized_mutual_information,
+    purity,
+    silhouette,
+)
+from repro.core.reduction.distances import euclidean_distance_matrix
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(5)
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    feats = np.vstack([rng.normal(c, 0.6, size=(25, 2)) for c in centers])
+    labels = np.repeat([0, 1, 2], 25)
+    return feats, labels
+
+
+class TestKmeans:
+    def test_recovers_blobs(self, blobs):
+        feats, truth = blobs
+        result = kmeans(feats, k=3, seed=0)
+        assert adjusted_rand_index(truth, result.labels) == pytest.approx(1.0)
+
+    def test_inertia_monotone_within_run(self, blobs):
+        feats, _ = blobs
+        result = kmeans(feats, k=3, n_init=1, seed=1)
+        trace = result.inertia_trace
+        assert all(a >= b - 1e-9 for a, b in zip(trace, trace[1:]))
+
+    def test_assignment_is_nearest_centroid(self, blobs):
+        feats, _ = blobs
+        result = kmeans(feats, k=3, seed=0)
+        d2 = ((feats[:, None, :] - result.centroids[None]) ** 2).sum(axis=2)
+        np.testing.assert_array_equal(result.labels, d2.argmin(axis=1))
+
+    def test_more_clusters_lower_inertia(self, blobs):
+        feats, _ = blobs
+        i3 = kmeans(feats, k=3, seed=0).inertia
+        i6 = kmeans(feats, k=6, seed=0).inertia
+        assert i6 < i3
+
+    def test_k_equals_n_zero_inertia(self):
+        rng = np.random.default_rng(2)
+        feats = rng.normal(size=(8, 3))
+        result = kmeans(feats, k=8, seed=0)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+        assert np.unique(result.labels).size == 8
+
+    def test_k_one(self, blobs):
+        feats, _ = blobs
+        result = kmeans(feats, k=1, seed=0)
+        assert (result.labels == 0).all()
+        np.testing.assert_allclose(result.centroids[0], feats.mean(axis=0))
+
+    def test_deterministic(self, blobs):
+        feats, _ = blobs
+        a = kmeans(feats, k=3, seed=9)
+        b = kmeans(feats, k=3, seed=9)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_validation(self, blobs):
+        feats, _ = blobs
+        with pytest.raises(ValueError):
+            kmeans(feats, k=0)
+        with pytest.raises(ValueError):
+            kmeans(feats, k=1000)
+        with pytest.raises(ValueError, match="NaN"):
+            kmeans(np.array([[np.nan, 1.0], [0.0, 1.0]]), k=1)
+
+    def test_duplicate_points(self):
+        feats = np.tile([[1.0, 1.0]], (10, 1))
+        result = kmeans(feats, k=3, seed=0)
+        assert result.inertia == pytest.approx(0.0)
+
+
+class TestAgglomerative:
+    def test_recovers_blobs(self, blobs):
+        feats, truth = blobs
+        dist = euclidean_distance_matrix(feats)
+        labels = agglomerative(dist, k=3)
+        assert adjusted_rand_index(truth, labels) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("linkage", ["average", "single", "complete"])
+    def test_linkages_produce_k_clusters(self, blobs, linkage):
+        feats, _ = blobs
+        dist = euclidean_distance_matrix(feats)
+        labels = agglomerative(dist, k=4, linkage=linkage)
+        assert np.unique(labels).size == 4
+
+    def test_k_equals_n(self, blobs):
+        feats, _ = blobs
+        dist = euclidean_distance_matrix(feats[:10])
+        labels = agglomerative(dist, k=10)
+        assert np.unique(labels).size == 10
+
+    def test_k_one(self, blobs):
+        feats, _ = blobs
+        dist = euclidean_distance_matrix(feats[:12])
+        assert (agglomerative(dist, k=1) == 0).all()
+
+    def test_validation(self, blobs):
+        feats, _ = blobs
+        dist = euclidean_distance_matrix(feats)
+        with pytest.raises(ValueError):
+            agglomerative(dist, k=0)
+        with pytest.raises(ValueError, match="linkage"):
+            agglomerative(dist, k=2, linkage="ward")
+
+
+class TestMetrics:
+    def test_silhouette_perfect_vs_random(self, blobs):
+        feats, truth = blobs
+        dist = euclidean_distance_matrix(feats)
+        rng = np.random.default_rng(0)
+        good = silhouette(dist, truth)
+        bad = silhouette(dist, rng.integers(0, 3, truth.size))
+        assert good > 0.8
+        assert bad < 0.3
+
+    def test_silhouette_needs_two_clusters(self, blobs):
+        feats, truth = blobs
+        dist = euclidean_distance_matrix(feats)
+        with pytest.raises(ValueError):
+            silhouette(dist, np.zeros_like(truth))
+
+    def test_silhouette_singleton_contributes_zero(self):
+        dist = euclidean_distance_matrix(np.array([[0.0], [1.0], [2.0]]))
+        labels = np.array([0, 0, 1])
+        value = silhouette(dist, labels)
+        assert -1.0 <= value <= 1.0
+
+    def test_davies_bouldin_prefers_truth(self, blobs):
+        feats, truth = blobs
+        rng = np.random.default_rng(1)
+        assert davies_bouldin(feats, truth) < davies_bouldin(
+            feats, rng.integers(0, 3, truth.size)
+        )
+
+    def test_purity_bounds(self, blobs):
+        _, truth = blobs
+        assert purity(truth, truth) == 1.0
+        assert purity(truth, np.zeros_like(truth)) == pytest.approx(1 / 3)
+
+    def test_ari_properties(self, blobs):
+        _, truth = blobs
+        assert adjusted_rand_index(truth, truth) == pytest.approx(1.0)
+        # Permuting label names does not change ARI.
+        renamed = (truth + 1) % 3
+        assert adjusted_rand_index(truth, renamed) == pytest.approx(1.0)
+        rng = np.random.default_rng(3)
+        random_ari = adjusted_rand_index(truth, rng.integers(0, 3, truth.size))
+        assert abs(random_ari) < 0.15
+
+    def test_nmi_properties(self, blobs):
+        _, truth = blobs
+        assert normalized_mutual_information(truth, truth) == pytest.approx(1.0)
+        rng = np.random.default_rng(4)
+        assert normalized_mutual_information(
+            truth, rng.integers(0, 3, truth.size)
+        ) < 0.2
+
+    def test_string_labels_supported(self):
+        truth = np.array(["a", "a", "b", "b"])
+        pred = np.array([0, 0, 1, 1])
+        assert purity(truth, pred) == 1.0
+        assert adjusted_rand_index(truth, pred) == 1.0
+
+    def test_length_mismatch(self, blobs):
+        _, truth = blobs
+        with pytest.raises(ValueError):
+            purity(truth, truth[:-1])

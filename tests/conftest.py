@@ -1,0 +1,47 @@
+"""Shared fixtures.
+
+City datasets and sessions are expensive; the standard ones are
+session-scoped and must be treated as read-only by tests (tests that need
+to mutate build their own).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import VapSession
+from repro.data.generator.simulate import CityConfig, generate_city
+from repro.db.engine import EnergyDatabase
+
+
+@pytest.fixture(scope="session")
+def small_city():
+    """60 customers x 3 weeks — fast, exercises every archetype/zone."""
+    return generate_city(CityConfig(n_customers=60, n_days=21, seed=101))
+
+
+@pytest.fixture(scope="session")
+def year_city():
+    """120 customers x 1 year — seasonal effects (bimodal) visible."""
+    return generate_city(CityConfig(n_customers=120, n_days=365, seed=202))
+
+
+@pytest.fixture(scope="session")
+def small_db(small_city):
+    return EnergyDatabase(small_city.customers, small_city.raw)
+
+
+@pytest.fixture(scope="session")
+def small_session(small_city):
+    return VapSession.from_city(small_city)
+
+
+@pytest.fixture(scope="session")
+def year_session(year_city):
+    return VapSession.from_city(year_city)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,293 @@
+"""Tests for the synthetic-city generator (calendar, weather, profiles,
+city layout, simulation)."""
+
+import numpy as np
+import pytest
+
+from repro.data.generator.calendar import build_calendar
+from repro.data.generator.city import (
+    ZONE_ARCHETYPE_MIX,
+    CityLayout,
+    Zone,
+    default_zones,
+)
+from repro.data.generator.profiles import (
+    draw_profile_params,
+    synthesize_profile,
+    zone_envelope,
+)
+from repro.data.generator.simulate import (
+    CityConfig,
+    CorruptionConfig,
+    generate_city,
+)
+from repro.data.generator.weather import (
+    WeatherConfig,
+    cooling_demand_factor,
+    heating_demand_factor,
+    synthesize_temperature,
+)
+from repro.data.meter import CustomerType, ZoneKind
+
+
+class TestCalendar:
+    def test_epoch_is_monday(self):
+        cal = build_calendar(0, 24)
+        assert cal.day_of_week[0] == 0
+
+    def test_hour_of_day_cycles(self):
+        cal = build_calendar(0, 48)
+        assert cal.hour_of_day[23] == 23
+        assert cal.hour_of_day[24] == 0
+
+    def test_weekend_detection(self):
+        cal = build_calendar(0, 24 * 7)
+        # Saturday = day 5 from Monday epoch.
+        assert not cal.is_workday[5 * 24]
+        assert cal.is_workday[2 * 24]
+
+    def test_holiday_is_not_workday(self):
+        cal = build_calendar(0, 24)  # Jan 1 is a configured holiday
+        assert not cal.is_workday.any()
+
+    def test_negative_n_hours_rejected(self):
+        with pytest.raises(ValueError):
+            build_calendar(0, -1)
+
+    def test_year_phase_range(self):
+        cal = build_calendar(0, 24 * 365)
+        assert cal.year_phase.min() >= 0.0
+        assert cal.year_phase.max() < 2 * np.pi + 1e-9
+
+
+class TestWeather:
+    def test_seasonal_swing(self, rng):
+        cal = build_calendar(0, 24 * 365)
+        temp = synthesize_temperature(cal, WeatherConfig(noise_std=0.0), rng)
+        january = temp[: 31 * 24].mean()
+        july = temp[181 * 24 : 212 * 24].mean()
+        assert july - january > 10.0
+
+    def test_diurnal_swing(self, rng):
+        cal = build_calendar(0, 24 * 30)
+        temp = synthesize_temperature(cal, WeatherConfig(noise_std=0.0), rng)
+        by_hour = temp.reshape(-1, 24).mean(axis=0)
+        assert by_hour.argmax() == 14
+        assert by_hour[14] > by_hour[2]
+
+    def test_deterministic_for_seed(self):
+        cal = build_calendar(0, 100)
+        a = synthesize_temperature(cal, rng=np.random.default_rng(5))
+        b = synthesize_temperature(cal, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_empty_calendar(self, rng):
+        assert synthesize_temperature(build_calendar(0, 0), rng=rng).size == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="persistence"):
+            WeatherConfig(noise_persistence=1.0)
+        with pytest.raises(ValueError, match="noise_std"):
+            WeatherConfig(noise_std=-1.0)
+
+    def test_degree_factors(self):
+        temps = np.array([-5.0, 15.0, 20.0, 35.0])
+        heat = heating_demand_factor(temps, base_temp=15.0)
+        cool = cooling_demand_factor(temps, base_temp=20.0)
+        assert heat[0] == 1.0 and heat[1] == 0.0
+        assert cool[2] == 0.0 and cool[3] == 1.0
+        assert (heat >= 0).all() and (cool >= 0).all()
+        # Defaults: heating below ~15 C, cooling above ~17 C, never both
+        # at moderate temperatures.
+        mild = np.array([16.0])
+        assert heating_demand_factor(mild)[0] == 0.0
+        assert cooling_demand_factor(mild)[0] == 0.0
+
+
+class TestProfiles:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        cal = build_calendar(0, 24 * 60)
+        temp = synthesize_temperature(cal, rng=np.random.default_rng(1))
+        return cal, temp
+
+    @pytest.mark.parametrize("archetype", list(CustomerType))
+    @pytest.mark.parametrize("zone", list(ZoneKind))
+    def test_all_combinations_nonnegative(self, setup, archetype, zone):
+        cal, temp = setup
+        load = synthesize_profile(
+            archetype, zone, cal, temp, np.random.default_rng(2)
+        )
+        assert load.shape == (len(cal),)
+        assert (load >= 0).all()
+        assert np.isfinite(load).all()
+
+    def test_constant_high_is_high_and_flat(self, setup):
+        cal, temp = setup
+        rng = np.random.default_rng(3)
+        high = synthesize_profile(
+            CustomerType.CONSTANT_HIGH, ZoneKind.COMMERCIAL, cal, temp, rng
+        )
+        idle = synthesize_profile(
+            CustomerType.IDLE, ZoneKind.COMMERCIAL, cal, temp, rng
+        )
+        assert high.mean() > 10 * idle.mean()
+        day_profile = high.reshape(-1, 24).mean(axis=0)
+        assert day_profile.std() / day_profile.mean() < 0.3
+
+    def test_early_bird_peaks_in_morning(self, setup):
+        cal, temp = setup
+        load = synthesize_profile(
+            CustomerType.EARLY_BIRD,
+            ZoneKind.RESIDENTIAL,
+            cal,
+            temp,
+            np.random.default_rng(4),
+        )
+        day = load.reshape(-1, 24).mean(axis=0)
+        assert day[5:8].mean() > 1.3 * day[11:15].mean()
+
+    def test_commercial_envelope_peaks_in_office_hours(self):
+        cal = build_calendar(24, 24)  # a Tuesday
+        env = zone_envelope(ZoneKind.COMMERCIAL, cal)
+        assert 9 <= env.argmax() <= 16
+
+    def test_residential_envelope_peaks_in_evening(self):
+        cal = build_calendar(24, 24)
+        env = zone_envelope(ZoneKind.RESIDENTIAL, cal)
+        assert 17 <= env.argmax() <= 22
+
+    def test_params_deterministic_per_rng(self):
+        a = draw_profile_params(CustomerType.BIMODAL, np.random.default_rng(9))
+        b = draw_profile_params(CustomerType.BIMODAL, np.random.default_rng(9))
+        assert a == b
+
+    def test_misaligned_inputs_rejected(self, setup):
+        cal, temp = setup
+        with pytest.raises(ValueError, match="aligned"):
+            synthesize_profile(
+                CustomerType.IDLE,
+                ZoneKind.PARK,
+                cal,
+                temp[:10],
+                np.random.default_rng(0),
+            )
+
+
+class TestCityLayout:
+    def test_default_zones_cover_land_uses(self):
+        kinds = {z.kind for z in default_zones()}
+        assert kinds == set(ZoneKind)
+
+    def test_archetype_mixes_are_distributions(self):
+        for mix in ZONE_ARCHETYPE_MIX.values():
+            assert sum(mix.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_sample_position_within_two_radii(self, rng):
+        layout = CityLayout()
+        zone = layout.zones[0]
+        for _ in range(50):
+            lon, lat = layout.sample_position(zone, rng)
+            assert zone.contains(lon, lat, slack=2.0)
+
+    def test_nearest_zone(self):
+        layout = CityLayout()
+        core = layout.zones[0]
+        assert layout.nearest_zone(core.center_lon, core.center_lat) is core
+
+    def test_bounding_box_contains_all_zones(self):
+        layout = CityLayout()
+        min_lon, min_lat, max_lon, max_lat = layout.bounding_box()
+        for zone in layout.zones:
+            assert min_lon < zone.center_lon < max_lon
+            assert min_lat < zone.center_lat < max_lat
+
+    def test_zone_validation(self):
+        with pytest.raises(ValueError):
+            Zone("bad", ZoneKind.PARK, 0.0, 0.0, radius_deg=-1.0, weight=1.0)
+        with pytest.raises(ValueError):
+            CityLayout(zones=[])
+
+    def test_boundary_polygon_closes(self):
+        ring = default_zones()[0].boundary_polygon(16)
+        assert ring[0] == ring[-1]
+        assert len(ring) == 17
+
+
+class TestGenerateCity:
+    def test_shapes_and_determinism(self):
+        config = CityConfig(n_customers=25, n_days=10, seed=55)
+        a = generate_city(config)
+        b = generate_city(config)
+        assert a.raw.matrix.shape == (25, 240)
+        np.testing.assert_array_equal(a.clean.matrix, b.clean.matrix)
+        assert [c.archetype for c in a.customers] == [
+            c.archetype for c in b.customers
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate_city(CityConfig(n_customers=25, n_days=10, seed=1))
+        b = generate_city(CityConfig(n_customers=25, n_days=10, seed=2))
+        assert not np.array_equal(a.clean.matrix, b.clean.matrix)
+
+    def test_raw_has_missing_but_clean_does_not(self, small_city):
+        assert small_city.clean.missing_fraction() == 0.0
+        assert small_city.raw.missing_fraction() > 0.0
+
+    def test_labels_align_with_matrix_rows(self, small_city):
+        labels = small_city.archetype_labels()
+        assert labels.shape[0] == small_city.clean.n_customers
+        first = small_city.customers[0]
+        row = small_city.clean.row_index(first.customer_id)
+        assert labels[row] == first.archetype.value
+
+    def test_positions_align(self, small_city):
+        positions = small_city.positions()
+        first = small_city.customers[0]
+        row = small_city.clean.row_index(first.customer_id)
+        assert positions[row, 0] == first.lon
+
+    def test_customer_lookup(self, small_city):
+        cid = small_city.customers[3].customer_id
+        assert small_city.customer(cid).customer_id == cid
+        with pytest.raises(KeyError):
+            small_city.customer(10**6)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CityConfig(n_customers=0)
+        with pytest.raises(ValueError):
+            CityConfig(n_days=0)
+        with pytest.raises(ValueError):
+            CorruptionConfig(missing_rate=1.5)
+
+    def test_zero_corruption_gives_clean_raw(self):
+        city = generate_city(
+            CityConfig(
+                n_customers=10,
+                n_days=5,
+                seed=3,
+                corruption=CorruptionConfig(
+                    missing_rate=0.0,
+                    gap_rate_per_customer=0.0,
+                    spike_rate_per_customer=0.0,
+                    stuck_rate_per_customer=0.0,
+                ),
+            )
+        )
+        np.testing.assert_array_equal(city.raw.matrix, city.clean.matrix)
+
+    def test_commercial_day_vs_evening_shift_exists(self, small_city):
+        """The mass-mobility premise of Figure 3 holds in the data itself."""
+        zones = small_city.zone_labels()
+        matrix = small_city.clean.matrix
+        hours = np.arange(matrix.shape[1]) % 24
+        workday_cols = (np.arange(matrix.shape[1]) // 24 % 7) < 5
+        midday = (hours >= 12) & (hours < 15) & workday_cols
+        evening = (hours >= 19) & (hours < 22) & workday_cols
+        com = zones == "commercial"
+        res = zones == "residential"
+        com_ratio = matrix[com][:, midday].mean() / matrix[com][:, evening].mean()
+        res_ratio = matrix[res][:, midday].mean() / matrix[res][:, evening].mean()
+        assert com_ratio > 1.0, "commercial demand should peak midday"
+        assert res_ratio < 1.0, "residential demand should peak in the evening"

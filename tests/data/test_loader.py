@@ -1,0 +1,126 @@
+"""Tests for CSV import/export."""
+
+import numpy as np
+import pytest
+
+from repro.data.loader import (
+    load_customers,
+    load_readings_long,
+    load_readings_wide,
+    save_customers,
+    save_readings_long,
+    save_readings_wide,
+)
+from repro.data.timeseries import SeriesSet
+
+
+@pytest.fixture()
+def sample_set():
+    return SeriesSet(
+        customer_ids=[4, 1],
+        start_hour=7,
+        matrix=np.array([[1.5, np.nan, 0.0], [2.25, 3.0, np.nan]]),
+    )
+
+
+class TestCustomersCsv:
+    def test_round_trip(self, small_city, tmp_path):
+        path = tmp_path / "customers.csv"
+        written = save_customers(small_city.customers, path)
+        assert written == len(small_city.customers)
+        loaded = load_customers(path)
+        assert loaded == small_city.customers
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("customer_id,lon,lat,zone,archetype\n")
+        with pytest.raises(ValueError, match="no customer rows"):
+            load_customers(path)
+
+    def test_malformed_row_reports_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "customer_id,lon,lat,zone,archetype,meter_id,resolution_minutes\n"
+            "0,999.0,55.0,residential,bimodal,0,60\n"
+        )
+        with pytest.raises(ValueError, match=":2:"):
+            load_customers(path)
+
+
+class TestWideCsv:
+    def test_round_trip_preserves_nan_and_axis(self, sample_set, tmp_path):
+        path = tmp_path / "wide.csv"
+        save_readings_wide(sample_set, path)
+        loaded = load_readings_wide(path)
+        assert loaded.start_hour == 7
+        assert loaded.customer_ids.tolist() == [4, 1]
+        np.testing.assert_array_equal(
+            np.isnan(loaded.matrix), np.isnan(sample_set.matrix)
+        )
+        np.testing.assert_allclose(
+            loaded.matrix[~np.isnan(loaded.matrix)],
+            sample_set.matrix[~np.isnan(sample_set.matrix)],
+        )
+
+    def test_exact_float_round_trip(self, sample_set, tmp_path):
+        """repr() serialisation must be bit-exact, not approximate."""
+        path = tmp_path / "wide.csv"
+        save_readings_wide(sample_set, path)
+        loaded = load_readings_wide(path)
+        assert loaded.matrix[1, 0] == sample_set.matrix[1, 0]
+
+    def test_rejects_ragged_rows(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("customer_id,h0,h1\n1,1.0\n")
+        with pytest.raises(ValueError, match="expected 3 cells"):
+            load_readings_wide(path)
+
+    def test_rejects_non_contiguous_hours(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text("customer_id,h0,h2\n1,1.0,2.0\n")
+        with pytest.raises(ValueError, match="contiguous"):
+            load_readings_wide(path)
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "none.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_readings_wide(path)
+
+
+class TestLongCsv:
+    def test_round_trip(self, sample_set, tmp_path):
+        path = tmp_path / "long.csv"
+        written = save_readings_long(sample_set, path)
+        assert written == 4  # non-NaN cells only
+        loaded = load_readings_long(path)
+        assert loaded.start_hour == 7
+        # Long format sorts customers ascending.
+        assert loaded.customer_ids.tolist() == [1, 4]
+        assert loaded.series(4).values[0] == 1.5
+        assert np.isnan(loaded.series(4).values[1])
+
+    def test_duplicate_keeps_last(self, tmp_path):
+        path = tmp_path / "dup.csv"
+        path.write_text("customer_id,hour,kwh\n1,0,5.0\n1,0,9.0\n")
+        assert load_readings_long(path).series(1).values[0] == 9.0
+
+    def test_bad_row_reports_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("customer_id,hour,kwh\n1,zero,5.0\n")
+        with pytest.raises(ValueError, match=":2:"):
+            load_readings_long(path)
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("customer_id,hour,kwh\n")
+        with pytest.raises(ValueError, match="no reading rows"):
+            load_readings_long(path)
+
+    def test_city_scale_round_trip(self, small_city, tmp_path):
+        path = tmp_path / "city.csv"
+        save_readings_long(small_city.raw, path)
+        loaded = load_readings_long(path)
+        assert loaded.n_customers == small_city.raw.n_customers
+        original_total = np.nansum(small_city.raw.matrix)
+        assert np.nansum(loaded.matrix) == pytest.approx(original_total)

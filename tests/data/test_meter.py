@@ -1,0 +1,91 @@
+"""Tests for the customer/meter domain model."""
+
+import pytest
+
+from repro.data.meter import (
+    CANONICAL_TYPES,
+    Customer,
+    CustomerType,
+    Meter,
+    ZoneKind,
+)
+
+
+class TestMeter:
+    def test_defaults_to_hourly(self):
+        assert Meter(3).resolution_minutes == 60
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(ValueError, match="meter_id"):
+            Meter(-1)
+
+    def test_rejects_nonpositive_resolution(self):
+        with pytest.raises(ValueError, match="resolution"):
+            Meter(1, resolution_minutes=0)
+
+    def test_is_hashable(self):
+        assert len({Meter(1), Meter(1), Meter(2)}) == 2
+
+
+class TestCustomer:
+    def _customer(self, **overrides):
+        base = dict(
+            customer_id=5,
+            lon=12.5,
+            lat=55.7,
+            zone=ZoneKind.RESIDENTIAL,
+            archetype=CustomerType.BIMODAL,
+        )
+        base.update(overrides)
+        return Customer(**base)
+
+    def test_position_is_lon_lat(self):
+        assert self._customer().position == (12.5, 55.7)
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(ValueError, match="customer_id"):
+            self._customer(customer_id=-2)
+
+    @pytest.mark.parametrize("lon", [-181.0, 180.5, 1e6])
+    def test_rejects_bad_longitude(self, lon):
+        with pytest.raises(ValueError, match="longitude"):
+            self._customer(lon=lon)
+
+    @pytest.mark.parametrize("lat", [-90.1, 95.0])
+    def test_rejects_bad_latitude(self, lat):
+        with pytest.raises(ValueError, match="latitude"):
+            self._customer(lat=lat)
+
+    def test_record_round_trip(self):
+        original = self._customer()
+        assert Customer.from_record(original.to_record()) == original
+
+    def test_from_record_rejects_unknown_zone(self):
+        record = self._customer().to_record()
+        record["zone"] = "swamp"
+        with pytest.raises(ValueError):
+            Customer.from_record(record)
+
+    def test_from_record_accepts_string_numbers(self):
+        record = self._customer().to_record()
+        record["lon"] = "12.5"
+        record["customer_id"] = "5"
+        assert Customer.from_record(record) == self._customer()
+
+
+class TestEnums:
+    def test_canonical_types_are_the_paper_five(self):
+        names = {t.value for t in CANONICAL_TYPES}
+        assert names == {
+            "bimodal",
+            "energy_saving",
+            "idle",
+            "constant_high",
+            "suspicious",
+        }
+
+    def test_early_bird_is_extra(self):
+        assert CustomerType.EARLY_BIRD not in CANONICAL_TYPES
+
+    def test_zone_kinds_cover_figure3_geography(self):
+        assert {z.value for z in ZoneKind} >= {"commercial", "residential"}

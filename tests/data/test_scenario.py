@@ -1,0 +1,98 @@
+"""Tests for the EV-adoption what-if scenario."""
+
+import numpy as np
+import pytest
+
+from repro.data.generator.scenario import EvConfig, apply_ev_adoption
+from repro.data.meter import ZoneKind
+
+
+class TestEvConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EvConfig(charger_kw=0.0)
+        with pytest.raises(ValueError):
+            EvConfig(plugin_hour_range=(22, 5))
+        with pytest.raises(ValueError):
+            EvConfig(duration_range=(0, 3))
+        with pytest.raises(ValueError):
+            EvConfig(charge_probability_workday=1.5)
+
+
+class TestApplyEvAdoption:
+    def test_zero_adoption_is_identity(self, small_city):
+        scenario, adopters = apply_ev_adoption(small_city, 0.0)
+        assert adopters == []
+        np.testing.assert_array_equal(
+            scenario.clean.matrix, small_city.clean.matrix
+        )
+
+    def test_input_not_mutated(self, small_city):
+        before = small_city.clean.matrix.copy()
+        apply_ev_adoption(small_city, 0.5, seed=1)
+        np.testing.assert_array_equal(small_city.clean.matrix, before)
+
+    def test_only_residential_customers_adopt(self, small_city):
+        _, adopters = apply_ev_adoption(small_city, 1.0, seed=2)
+        for cid in adopters:
+            assert small_city.customer(cid).zone is ZoneKind.RESIDENTIAL
+        n_residential = sum(
+            1 for c in small_city.customers if c.zone is ZoneKind.RESIDENTIAL
+        )
+        assert len(adopters) == n_residential
+
+    def test_adoption_rate_counts(self, small_city):
+        _, half = apply_ev_adoption(small_city, 0.5, seed=3)
+        n_residential = sum(
+            1 for c in small_city.customers if c.zone is ZoneKind.RESIDENTIAL
+        )
+        assert len(half) == round(0.5 * n_residential)
+
+    def test_load_added_in_evening_hours(self, small_city):
+        scenario, adopters = apply_ev_adoption(small_city, 0.6, seed=4)
+        added = scenario.clean.matrix - small_city.clean.matrix
+        rows = [small_city.clean.row_index(cid) for cid in adopters]
+        extra = added[rows]
+        assert extra.sum() > 0
+        hours = np.arange(extra.shape[1]) % 24
+        evening = extra[:, (hours >= 17) & (hours < 24)].sum()
+        morning = extra[:, (hours >= 4) & (hours < 12)].sum()
+        assert evening > 5 * morning
+        # Non-adopters untouched.
+        others = [r for r in range(added.shape[0]) if r not in rows]
+        assert np.abs(added[others]).sum() == 0.0
+
+    def test_raw_missing_cells_stay_missing(self, small_city):
+        scenario, _ = apply_ev_adoption(small_city, 0.8, seed=5)
+        np.testing.assert_array_equal(
+            np.isnan(scenario.raw.matrix), np.isnan(small_city.raw.matrix)
+        )
+
+    def test_deterministic_per_seed(self, small_city):
+        a, adopters_a = apply_ev_adoption(small_city, 0.4, seed=7)
+        b, adopters_b = apply_ev_adoption(small_city, 0.4, seed=7)
+        assert adopters_a == adopters_b
+        np.testing.assert_array_equal(a.clean.matrix, b.clean.matrix)
+
+    def test_bad_rate_rejected(self, small_city):
+        with pytest.raises(ValueError):
+            apply_ev_adoption(small_city, 1.5)
+
+    def test_amplifies_evening_shift(self, small_city):
+        """The planning story: EV adoption strengthens the evening
+        commercial→residential shift the tool visualises."""
+        from repro.core.pipeline import VapSession
+        from repro.data.timeseries import HourWindow
+
+        scenario, _ = apply_ev_adoption(small_city, 0.8, seed=6)
+        day = 24 * 2
+        t1, t2 = HourWindow(day + 13, day + 15), HourWindow(day + 19, day + 21)
+        base = VapSession.from_city(small_city, use_raw=False, preprocess=False)
+        more = VapSession.from_city(scenario, use_raw=False, preprocess=False)
+        # The gain may split across several residential blobs, so compare
+        # the field's total churn rather than any single arrow.
+        assert more.shift(t1, t2).energy() > 1.3 * base.shift(t1, t2).energy()
+        # The flow geography stays work -> home.
+        main = more.flows(t1, t2)[0]
+        dst = small_city.layout.nearest_zone(*main.tip)
+        assert dst.kind is ZoneKind.RESIDENTIAL

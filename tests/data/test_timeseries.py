@@ -1,0 +1,203 @@
+"""Tests for TimeSeries / SeriesSet / Resolution / HourWindow."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.data.timeseries import (
+    ALL_RESOLUTIONS,
+    EPOCH,
+    HourWindow,
+    Resolution,
+    SeriesSet,
+    TimeSeries,
+    datetime_to_hour,
+    hour_to_datetime,
+)
+
+
+class TestHourConversions:
+    def test_epoch_is_hour_zero(self):
+        assert datetime_to_hour(EPOCH) == 0
+        assert hour_to_datetime(0) == EPOCH
+
+    def test_round_trip(self):
+        for hour in (1, 25, 9000, 24 * 365 * 3):
+            assert datetime_to_hour(hour_to_datetime(hour)) == hour
+
+    def test_rejects_unaligned_datetimes(self):
+        with pytest.raises(ValueError, match="whole hour"):
+            datetime_to_hour(EPOCH + dt.timedelta(minutes=30))
+
+
+class TestResolution:
+    def test_fixed_hours(self):
+        assert Resolution.HOURLY.fixed_hours == 1
+        assert Resolution.FOUR_HOURLY.fixed_hours == 4
+        assert Resolution.DAILY.fixed_hours == 24
+        assert Resolution.WEEKLY.fixed_hours == 168
+        assert Resolution.MONTHLY.fixed_hours is None
+
+    def test_bucket_of_fixed(self):
+        assert Resolution.DAILY.bucket_of(0) == 0
+        assert Resolution.DAILY.bucket_of(23) == 0
+        assert Resolution.DAILY.bucket_of(24) == 1
+
+    def test_bucket_of_monthly_uses_calendar(self):
+        # January 2018 has 31 days = 744 hours.
+        assert Resolution.MONTHLY.bucket_of(743) == 0
+        assert Resolution.MONTHLY.bucket_of(744) == 1
+
+    def test_bucket_of_quarterly(self):
+        jan_hours = 31 * 24
+        assert Resolution.QUARTERLY.bucket_of(jan_hours) == 0
+        # April 1st starts Q2: Jan(31)+Feb(28)+Mar(31) days.
+        q2_start = (31 + 28 + 31) * 24
+        assert Resolution.QUARTERLY.bucket_of(q2_start) == 1
+
+    def test_bucket_of_yearly(self):
+        assert Resolution.YEARLY.bucket_of(24 * 364) == 0
+        assert Resolution.YEARLY.bucket_of(24 * 366) == 1
+
+    def test_sweep_order_coarsens(self):
+        # Every fixed resolution in the sweep is coarser than the previous.
+        fixed = [r.fixed_hours for r in ALL_RESOLUTIONS if r.fixed_hours]
+        assert fixed == sorted(fixed)
+
+
+class TestTimeSeries:
+    def test_basic_properties(self):
+        ts = TimeSeries(start_hour=5, values=[1.0, 2.0, np.nan])
+        assert len(ts) == 3
+        assert ts.end_hour == 8
+        assert ts.hours.tolist() == [5, 6, 7]
+        assert ts.missing_fraction == pytest.approx(1 / 3)
+
+    def test_rejects_2d_values(self):
+        with pytest.raises(ValueError, match="1-D"):
+            TimeSeries(0, np.zeros((2, 2)))
+
+    def test_slice_clips_to_bounds(self):
+        ts = TimeSeries(10, np.arange(5.0))
+        sliced = ts.slice_hours(8, 12)
+        assert sliced.start_hour == 10
+        assert sliced.values.tolist() == [0.0, 1.0]
+
+    def test_slice_empty(self):
+        ts = TimeSeries(10, np.arange(5.0))
+        assert len(ts.slice_hours(100, 200)) == 0
+
+    def test_slice_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            TimeSeries(0, np.arange(3.0)).slice_hours(5, 2)
+
+    def test_total_and_mean_ignore_nan(self):
+        ts = TimeSeries(0, [1.0, np.nan, 3.0])
+        assert ts.total() == 4.0
+        assert ts.mean() == 2.0
+
+    def test_mean_of_all_missing_is_nan(self):
+        assert np.isnan(TimeSeries(0, [np.nan, np.nan]).mean())
+
+
+class TestSeriesSet:
+    def _set(self):
+        return SeriesSet(
+            customer_ids=[7, 3, 9],
+            start_hour=100,
+            matrix=np.array(
+                [[1.0, 2.0, 3.0], [4.0, np.nan, 6.0], [0.0, 0.0, 0.0]]
+            ),
+        )
+
+    def test_shape_accessors(self):
+        ss = self._set()
+        assert (ss.n_customers, ss.n_steps) == (3, 3)
+        assert ss.end_hour == 103
+        assert 3 in ss and 8 not in ss
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(ValueError, match="duplicates"):
+            SeriesSet([1, 1], 0, np.zeros((2, 2)))
+
+    def test_rejects_mismatched_ids(self):
+        with pytest.raises(ValueError):
+            SeriesSet([1, 2, 3], 0, np.zeros((2, 2)))
+
+    def test_series_extraction(self):
+        ts = self._set().series(3)
+        assert ts.start_hour == 100
+        assert np.isnan(ts.values[1])
+
+    def test_select_customers_preserves_order(self):
+        sub = self._set().select_customers([9, 7])
+        assert sub.customer_ids.tolist() == [9, 7]
+        assert sub.matrix[1, 0] == 1.0
+
+    def test_select_unknown_customer_raises(self):
+        with pytest.raises(KeyError):
+            self._set().select_customers([42])
+
+    def test_slice_hours(self):
+        sub = self._set().slice_hours(101, 103)
+        assert sub.start_hour == 101
+        assert sub.matrix.shape == (3, 2)
+
+    def test_from_series_round_trip(self):
+        ss = self._set()
+        rebuilt = SeriesSet.from_series(
+            (int(cid), ss.series(int(cid))) for cid in ss.customer_ids
+        )
+        np.testing.assert_array_equal(
+            rebuilt.matrix[~np.isnan(rebuilt.matrix)],
+            ss.matrix[~np.isnan(ss.matrix)],
+        )
+
+    def test_from_series_rejects_misaligned(self):
+        with pytest.raises(ValueError, match="not aligned"):
+            SeriesSet.from_series(
+                [(1, TimeSeries(0, [1.0])), (2, TimeSeries(5, [1.0]))]
+            )
+
+    def test_from_series_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SeriesSet.from_series([])
+
+    def test_mean_profile_is_nan_aware(self):
+        profile = self._set().mean_profile()
+        assert profile[1] == pytest.approx((2.0 + 0.0) / 2)
+
+    def test_per_customer_mean(self):
+        means = self._set().per_customer_mean()
+        assert means[1] == pytest.approx(5.0)
+        assert means[2] == 0.0
+
+    def test_missing_fraction(self):
+        assert self._set().missing_fraction() == pytest.approx(1 / 9)
+
+    def test_copy_is_independent(self):
+        ss = self._set()
+        dup = ss.copy()
+        dup.matrix[0, 0] = 99.0
+        assert ss.matrix[0, 0] == 1.0
+
+
+class TestHourWindow:
+    def test_n_hours(self):
+        assert HourWindow(3, 7).n_hours == 4
+
+    def test_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            HourWindow(5, 4)
+
+    def test_shifted(self):
+        assert HourWindow(0, 4).shifted(24) == HourWindow(24, 28)
+
+    def test_overlaps(self):
+        assert HourWindow(0, 4).overlaps(HourWindow(3, 8))
+        assert not HourWindow(0, 4).overlaps(HourWindow(4, 8))
+
+    def test_record_round_trip(self):
+        w = HourWindow(10, 20)
+        assert HourWindow.from_record(w.to_record()) == w

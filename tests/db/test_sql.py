@@ -1,0 +1,203 @@
+"""Tests for the SQL SELECT dialect."""
+
+import numpy as np
+import pytest
+
+from repro.db.sql import SqlError, execute_sql, parse_select, tokenize
+from repro.db.table import ColumnSpec, Schema, Table
+
+
+@pytest.fixture()
+def tables():
+    schema = Schema(
+        [
+            ColumnSpec("pid", "int"),
+            ColumnSpec("height", "float"),
+            ColumnSpec("city", "str"),
+        ]
+    )
+    table = Table("people", schema)
+    table.insert(
+        [
+            {"pid": 1, "height": 1.80, "city": "cph"},
+            {"pid": 2, "height": 1.65, "city": "aar"},
+            {"pid": 3, "height": 1.75, "city": "cph"},
+            {"pid": 4, "height": 1.90, "city": "odn"},
+            {"pid": 5, "height": 1.70, "city": "aar"},
+        ]
+    )
+    return {"people": table}
+
+
+class TestTokenizer:
+    def test_token_kinds(self):
+        tokens = tokenize("SELECT a, 'it''s', 3.5, -2 FROM t WHERE x >= 1")
+        kinds = [t.kind for t in tokens]
+        assert kinds[0] == "keyword"
+        assert "string" in kinds and "number" in kinds
+        string = next(t for t in tokens if t.kind == "string")
+        assert string.value == "it's"
+
+    def test_negative_numbers(self):
+        tokens = tokenize("-3 -4.5")
+        assert [t.value for t in tokens] == [-3, -4.5]
+
+    def test_rejects_bad_character(self):
+        with pytest.raises(SqlError, match="unexpected character"):
+            tokenize("SELECT @ FROM t")
+
+
+class TestParser:
+    def test_full_statement_shape(self):
+        stmt = parse_select(
+            "SELECT city, count(*) AS n FROM people WHERE height > 1.7 "
+            "GROUP BY city ORDER BY n DESC LIMIT 2"
+        )
+        assert stmt.table == "people"
+        assert stmt.group_by == "city"
+        assert stmt.order_by == "n"
+        assert stmt.descending is True
+        assert stmt.limit == 2
+
+    def test_select_star(self):
+        assert parse_select("SELECT * FROM t").items is None
+
+    def test_errors(self):
+        for bad in (
+            "SELECT FROM t",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t LIMIT x",
+            "SELECT a FROM t LIMIT -1",
+            "SELECT median(a) FROM t",
+            "SELECT sum(*) FROM t",
+            "SELECT a FROM t extra",
+            "SELECT a FROM t WHERE a LIKE 'x'",
+        ):
+            with pytest.raises(SqlError):
+                parse_select(bad)
+
+
+class TestExecution:
+    def test_select_star(self, tables):
+        rows = execute_sql(tables, "SELECT * FROM people")
+        assert len(rows) == 5
+        assert set(rows[0]) == {"pid", "height", "city"}
+
+    def test_projection_and_alias(self, tables):
+        rows = execute_sql(tables, "SELECT pid AS id, city FROM people LIMIT 1")
+        assert rows[0] == {"id": 1, "city": "cph"}
+
+    def test_where_and_or_not(self, tables):
+        rows = execute_sql(
+            tables,
+            "SELECT pid FROM people WHERE (city = 'cph' OR city = 'aar') "
+            "AND NOT height < 1.7",
+        )
+        assert sorted(r["pid"] for r in rows) == [1, 3, 5]
+
+    def test_in_and_between(self, tables):
+        rows = execute_sql(
+            tables,
+            "SELECT pid FROM people WHERE city IN ('aar', 'odn') "
+            "AND height BETWEEN 1.6 AND 1.7",
+        )
+        assert sorted(r["pid"] for r in rows) == [2, 5]
+
+    def test_order_and_limit(self, tables):
+        rows = execute_sql(
+            tables, "SELECT pid FROM people ORDER BY height DESC LIMIT 2"
+        )
+        assert [r["pid"] for r in rows] == [4, 1]
+
+    def test_inequality_operators(self, tables):
+        rows = execute_sql(tables, "SELECT pid FROM people WHERE pid <> 3")
+        assert len(rows) == 4
+        rows = execute_sql(tables, "SELECT pid FROM people WHERE pid != 3")
+        assert len(rows) == 4
+
+    def test_global_aggregates(self, tables):
+        rows = execute_sql(
+            tables,
+            "SELECT count(*) AS n, avg(height) AS mean_h, max(height) AS top "
+            "FROM people WHERE city = 'cph'",
+        )
+        assert rows == [
+            {"n": 2, "mean_h": pytest.approx(1.775), "top": 1.80}
+        ]
+
+    def test_group_by_with_aggregates(self, tables):
+        rows = execute_sql(
+            tables,
+            "SELECT city, count(*) AS n, min(height) AS low FROM people "
+            "GROUP BY city ORDER BY n DESC",
+        )
+        assert rows[0]["city"] in ("cph", "aar")
+        assert rows[0]["n"] == 2
+        by_city = {r["city"]: r for r in rows}
+        assert by_city["odn"]["n"] == 1
+        assert by_city["aar"]["low"] == 1.65
+
+    def test_group_by_key_alias(self, tables):
+        rows = execute_sql(
+            tables, "SELECT city AS town, count(*) AS n FROM people GROUP BY city"
+        )
+        assert "town" in rows[0]
+
+    def test_semantic_errors(self, tables):
+        with pytest.raises(SqlError, match="unknown table"):
+            execute_sql(tables, "SELECT * FROM nope")
+        with pytest.raises(SqlError, match="no column"):
+            execute_sql(tables, "SELECT wat FROM people")
+        with pytest.raises(SqlError, match="GROUP BY"):
+            execute_sql(tables, "SELECT pid, count(*) FROM people")
+        with pytest.raises(SqlError, match="GROUP BY key"):
+            execute_sql(
+                tables, "SELECT pid, count(*) AS n FROM people GROUP BY city"
+            )
+        with pytest.raises(SqlError):
+            execute_sql(
+                tables, "SELECT * FROM people GROUP BY city"
+            )
+
+
+class TestDatabaseIntegration:
+    def test_sql_against_energy_database(self, small_db):
+        rows = small_db.sql(
+            "SELECT zone, count(*) AS n, avg(lat) AS mid FROM customers "
+            "GROUP BY zone ORDER BY n DESC"
+        )
+        total = sum(r["n"] for r in rows)
+        assert total == len(small_db)
+        want = len(small_db.ids_in_zone(rows[0]["zone"]))
+        assert rows[0]["n"] == want
+
+    def test_sql_where_matches_query_api(self, small_db):
+        rows = small_db.sql(
+            "SELECT customer_id FROM customers WHERE zone = 'residential' "
+            "AND lon > 12.55"
+        )
+        from repro.db.query import Compare
+
+        want = (
+            small_db.query()
+            .where(Compare("zone", "==", "residential"))
+            .where(Compare("lon", ">", 12.55))
+            .count()
+        )
+        assert len(rows) == want
+
+    def test_rest_endpoint(self, small_session, small_city):
+        from repro.server import TestClient, VapApp
+
+        client = TestClient(VapApp(small_session))
+        resp = client.post(
+            "/api/sql",
+            json={"query": "SELECT archetype, count(*) AS n FROM customers GROUP BY archetype"},
+        )
+        assert resp.ok
+        assert sum(r["n"] for r in resp.json["rows"]) == len(small_session.db)
+        bad = client.post("/api/sql", json={"query": "DROP TABLE customers"})
+        assert bad.status == 400
+        missing = client.post("/api/sql", json={})
+        assert missing.status == 400

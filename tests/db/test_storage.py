@@ -1,0 +1,83 @@
+"""Tests for the on-disk database format."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.db.storage import (
+    META_FILE,
+    READINGS_FILE,
+    StorageError,
+    load_database,
+    save_database,
+)
+
+
+class TestRoundTrip:
+    def test_exact_round_trip(self, small_db, tmp_path):
+        save_database(small_db, tmp_path / "store")
+        loaded = load_database(tmp_path / "store")
+        assert len(loaded) == len(small_db)
+        assert loaded.index_kind == small_db.index_kind
+        np.testing.assert_array_equal(
+            loaded.readings.customer_ids, small_db.readings.customer_ids
+        )
+        # NaN cells and values round-trip bit-exactly via npz.
+        np.testing.assert_array_equal(
+            loaded.readings.matrix, small_db.readings.matrix
+        )
+        cid = small_db.customer_ids[0]
+        assert loaded.customer(cid) == small_db.customer(cid)
+
+    def test_queries_identical_after_reload(self, small_db, tmp_path):
+        save_database(small_db, tmp_path / "store")
+        loaded = load_database(tmp_path / "store")
+        box = small_db.bounding_box()
+        mid = box.center
+        from repro.db.spatial import BBox
+
+        query = BBox(box.min_lon, box.min_lat, mid.lon, mid.lat)
+        np.testing.assert_array_equal(
+            loaded.ids_in_bbox(query), small_db.ids_in_bbox(query)
+        )
+
+    def test_overwrite_save(self, small_db, tmp_path):
+        target = tmp_path / "store"
+        save_database(small_db, target)
+        save_database(small_db, target)  # no error on re-save
+        assert load_database(target).readings.n_steps == small_db.readings.n_steps
+
+
+class TestErrors:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(StorageError, match="meta.json"):
+            load_database(tmp_path / "nope")
+
+    def test_corrupt_meta(self, small_db, tmp_path):
+        target = save_database(small_db, tmp_path / "store")
+        (target / META_FILE).write_text("{not json")
+        with pytest.raises(StorageError, match="JSON"):
+            load_database(target)
+
+    def test_wrong_version(self, small_db, tmp_path):
+        target = save_database(small_db, tmp_path / "store")
+        meta = json.loads((target / META_FILE).read_text())
+        meta["format_version"] = 99
+        (target / META_FILE).write_text(json.dumps(meta))
+        with pytest.raises(StorageError, match="version"):
+            load_database(target)
+
+    def test_missing_readings_file(self, small_db, tmp_path):
+        target = save_database(small_db, tmp_path / "store")
+        (target / READINGS_FILE).unlink()
+        with pytest.raises(StorageError, match=READINGS_FILE):
+            load_database(target)
+
+    def test_shape_mismatch_detected(self, small_db, tmp_path):
+        target = save_database(small_db, tmp_path / "store")
+        meta = json.loads((target / META_FILE).read_text())
+        meta["n_steps"] = 1
+        (target / META_FILE).write_text(json.dumps(meta))
+        with pytest.raises(StorageError, match="disagrees"):
+            load_database(target)

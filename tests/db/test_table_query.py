@@ -1,0 +1,183 @@
+"""Tests for the column-table engine and the query layer."""
+
+import numpy as np
+import pytest
+
+from repro.db.query import And, Between, Compare, IsIn, Not, Or, Query
+from repro.db.table import ColumnSpec, Schema, Table
+
+
+@pytest.fixture()
+def people():
+    schema = Schema(
+        [
+            ColumnSpec("pid", "int"),
+            ColumnSpec("height", "float"),
+            ColumnSpec("city", "str"),
+        ]
+    )
+    table = Table("people", schema)
+    table.insert(
+        [
+            {"pid": 1, "height": 1.80, "city": "cph"},
+            {"pid": 2, "height": 1.65, "city": "aar"},
+            {"pid": 3, "height": 1.75, "city": "cph"},
+            {"pid": 4, "height": 1.90, "city": "odn"},
+        ]
+    )
+    return table
+
+
+class TestSchema:
+    def test_rejects_duplicate_columns(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Schema([ColumnSpec("a", "int"), ColumnSpec("a", "float")])
+
+    def test_rejects_bad_names_and_kinds(self):
+        with pytest.raises(ValueError):
+            ColumnSpec("1bad", "int")
+        with pytest.raises(ValueError):
+            ColumnSpec("x", "decimal")
+
+    def test_lookup(self):
+        schema = Schema([ColumnSpec("a", "int")])
+        assert "a" in schema and "b" not in schema
+        with pytest.raises(KeyError):
+            schema.column("b")
+
+
+class TestTable:
+    def test_insert_and_len(self, people):
+        assert len(people) == 4
+
+    def test_column_types(self, people):
+        assert people.column("pid").dtype == np.int64
+        assert people.column("height").dtype == np.float64
+
+    def test_insert_missing_column(self, people):
+        with pytest.raises(KeyError, match="height"):
+            people.insert([{"pid": 9, "city": "cph"}])
+
+    def test_insert_bad_type(self, people):
+        with pytest.raises(ValueError, match="height"):
+            people.insert([{"pid": 9, "height": "tall", "city": "cph"}])
+
+    def test_insert_empty_is_noop(self, people):
+        assert people.insert([]) == 0
+        assert len(people) == 4
+
+    def test_chunked_inserts_consolidate(self, people):
+        people.insert([{"pid": 5, "height": 1.7, "city": "cph"}])
+        people.insert([{"pid": 6, "height": 1.6, "city": "aar"}])
+        assert people.column("pid").tolist() == [1, 2, 3, 4, 5, 6]
+
+    def test_insert_columns_bulk(self):
+        table = Table("t", Schema([ColumnSpec("a", "int")]))
+        assert table.insert_columns({"a": [1, 2, 3]}) == 3
+        assert len(table) == 3
+
+    def test_insert_columns_ragged(self):
+        schema = Schema([ColumnSpec("a", "int"), ColumnSpec("b", "int")])
+        table = Table("t", schema)
+        with pytest.raises(ValueError, match="ragged"):
+            table.insert_columns({"a": [1], "b": [1, 2]})
+
+    def test_row_access(self, people):
+        row = people.row(1)
+        assert row == {"pid": 2, "height": 1.65, "city": "aar"}
+        with pytest.raises(IndexError):
+            people.row(99)
+
+    def test_empty_table_columns(self):
+        table = Table("t", Schema([ColumnSpec("a", "float")]))
+        assert table.column("a").size == 0
+
+
+class TestPredicates:
+    def test_compare_operators(self, people):
+        assert Compare("height", ">", 1.7).mask(people).sum() == 3
+        assert Compare("city", "==", "cph").mask(people).sum() == 2
+        assert Compare("pid", "!=", 1).mask(people).sum() == 3
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            Compare("a", "~", 1)
+
+    def test_isin(self, people):
+        assert IsIn("city", ["cph", "odn"]).mask(people).sum() == 3
+
+    def test_between_inclusive(self, people):
+        assert Between("height", 1.65, 1.80).mask(people).sum() == 3
+
+    def test_combinators(self, people):
+        p = Compare("city", "==", "cph") & Compare("height", ">", 1.78)
+        assert p.mask(people).sum() == 1
+        q = Compare("city", "==", "aar") | Compare("city", "==", "odn")
+        assert q.mask(people).sum() == 2
+        assert (~q).mask(people).sum() == 2
+        assert isinstance(~q, Not)
+        assert isinstance(p, And) and isinstance(q, Or)
+
+
+class TestQuery:
+    def test_where_order_limit(self, people):
+        rows = (
+            Query(people)
+            .where(Compare("height", ">", 1.6))
+            .order_by("height", descending=True)
+            .limit(2)
+            .rows()
+        )
+        assert [r["pid"] for r in rows] == [4, 1]
+
+    def test_select_projection(self, people):
+        cols = Query(people).select("pid").columns()
+        assert list(cols) == ["pid"]
+
+    def test_select_unknown_column(self, people):
+        with pytest.raises(KeyError):
+            Query(people).select("age")
+
+    def test_chained_where_is_and(self, people):
+        q = (
+            Query(people)
+            .where(Compare("city", "==", "cph"))
+            .where(Compare("height", "<", 1.78))
+        )
+        assert q.count() == 1
+
+    def test_negative_limit(self, people):
+        with pytest.raises(ValueError):
+            Query(people).limit(-1)
+
+    def test_group_by(self, people):
+        rows = Query(people).group_by(
+            "city",
+            {
+                "n": ("pid", "count"),
+                "tallest": ("height", "max"),
+                "avg": ("height", "mean"),
+            },
+        )
+        by_city = {r["city"]: r for r in rows}
+        assert by_city["cph"]["n"] == 2
+        assert by_city["cph"]["tallest"] == 1.80
+        assert by_city["aar"]["avg"] == pytest.approx(1.65)
+
+    def test_group_by_respects_where(self, people):
+        rows = (
+            Query(people)
+            .where(Compare("height", ">", 1.7))
+            .group_by("city", {"n": ("pid", "count")})
+        )
+        assert {r["city"] for r in rows} == {"cph", "odn"}
+
+    def test_group_by_unknown_func(self, people):
+        with pytest.raises(ValueError, match="func"):
+            Query(people).group_by("city", {"x": ("height", "median")})
+
+    def test_rows_are_python_scalars(self, people):
+        row = Query(people).limit(1).rows()[0]
+        assert isinstance(row["pid"], int)
+        assert isinstance(row["height"], float)
+        assert isinstance(row["city"], str)

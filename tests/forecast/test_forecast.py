@@ -1,0 +1,192 @@
+"""Tests for the forecasting subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.forecast.backtest import backtest
+from repro.forecast.baselines import DriftForecaster, NaiveForecaster, SeasonalNaive
+from repro.forecast.holtwinters import HoltWinters
+from repro.forecast.metrics import mae, mape, mase, rmse, smape
+from repro.forecast.profile import ProfileForecaster
+from repro.preprocess import impute, remove_anomalies
+
+
+@pytest.fixture(scope="module")
+def sinusoid():
+    """Four weeks of a clean daily sinusoid with weekly modulation."""
+    hours = np.arange(28 * 24)
+    daily = 2.0 + np.sin(2 * np.pi * hours / 24)
+    weekly = 1.0 + 0.3 * np.sin(2 * np.pi * hours / 168)
+    return daily * weekly
+
+
+class TestBaselines:
+    def test_naive_repeats_last(self):
+        model = NaiveForecaster().fit(np.array([1.0, 2.0, 7.0]))
+        np.testing.assert_array_equal(model.predict(3), [7.0, 7.0, 7.0])
+
+    def test_seasonal_naive_repeats_season(self):
+        history = np.tile(np.arange(24.0), 3)
+        model = SeasonalNaive(season=24).fit(history)
+        np.testing.assert_array_equal(model.predict(48), np.tile(np.arange(24.0), 2))
+
+    def test_seasonal_naive_partial_horizon(self):
+        model = SeasonalNaive(season=24).fit(np.tile(np.arange(24.0), 2))
+        assert model.predict(5).tolist() == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_drift_extrapolates_and_floors(self):
+        down = np.linspace(10.0, 1.0, 10)
+        model = DriftForecaster().fit(down)
+        forecast = model.predict(30)
+        assert forecast[0] < 1.0
+        assert (forecast >= 0.0).all()
+
+    def test_contract_errors(self):
+        with pytest.raises(RuntimeError):
+            NaiveForecaster().predict(3)
+        with pytest.raises(ValueError):
+            NaiveForecaster().fit(np.array([1.0])).predict(0)
+        with pytest.raises(ValueError, match="NaN"):
+            NaiveForecaster().fit(np.array([1.0, np.nan]))
+        with pytest.raises(ValueError):
+            SeasonalNaive(season=24).fit(np.arange(10.0))
+
+
+class TestHoltWinters:
+    def test_tracks_seasonal_signal(self, sinusoid):
+        model = HoltWinters(season=24).fit(sinusoid)
+        forecast = model.predict(24)
+        actual = 2.0 + np.sin(2 * np.pi * (np.arange(28 * 24, 29 * 24)) / 24)
+        actual = actual * (1.0 + 0.3 * np.sin(2 * np.pi * np.arange(28 * 24, 29 * 24) / 168))
+        assert smape(actual, forecast) < 0.15
+
+    def test_phase_continuity(self):
+        """Forecast hour 0 must continue the season, not restart it."""
+        history = np.tile(np.arange(24.0), 4)[: 4 * 24 - 6]  # ends mid-season
+        model = HoltWinters(season=24, alpha=0.3, beta=0.1, gamma=0.3).fit(history)
+        forecast = model.predict(6)
+        # The next hours of the pattern are 18..23 (ascending ramp).
+        assert np.all(np.diff(forecast) > 0)
+
+    def test_beats_naive_on_seasonal_data(self, sinusoid):
+        actual = sinusoid[-24:]
+        history = sinusoid[:-24]
+        hw = HoltWinters(season=24).fit(history).predict(24)
+        naive = NaiveForecaster().fit(history).predict(24)
+        assert mae(actual, hw) < mae(actual, naive)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HoltWinters(season=1)
+        with pytest.raises(ValueError):
+            HoltWinters(alpha=1.5)
+        with pytest.raises(ValueError):
+            HoltWinters(season=24).fit(np.arange(30.0))
+
+
+class TestProfileForecaster:
+    def test_perfect_on_exact_weekly_signal(self):
+        week = 2.0 + np.sin(2 * np.pi * np.arange(168) / 168)
+        history = np.tile(week, 4)
+        model = ProfileForecaster().fit(history)
+        np.testing.assert_allclose(model.predict(168), week, rtol=1e-9)
+
+    def test_level_adaptation(self):
+        """A customer whose level doubled recently is forecast at the new
+        level while keeping the shape."""
+        week = 1.0 + 0.5 * np.sin(2 * np.pi * np.arange(168) / 24)
+        history = np.concatenate([np.tile(week, 3), 2.0 * np.tile(week, 1)])
+        model = ProfileForecaster(level_window=168).fit(history)
+        forecast = model.predict(168)
+        # Profile mixes old and new level; the scale must push it well
+        # above the historical week.
+        assert forecast.mean() > 1.4 * week.mean()
+
+    def test_group_profile_needs_little_history(self):
+        week = 1.0 + 0.5 * np.sin(2 * np.pi * np.arange(168) / 24)
+        model = ProfileForecaster(group_profile=week, level_window=48)
+        model.fit(2.0 * week[:72], start_phase=0)
+        forecast = model.predict(24)
+        np.testing.assert_allclose(forecast, 2.0 * week[72:96], rtol=0.05)
+
+    def test_start_phase_alignment(self):
+        week = np.arange(168, dtype=float)
+        history = np.tile(week, 2)[24:]  # starts at phase 24
+        model = ProfileForecaster().fit(history, start_phase=24)
+        forecast = model.predict(5)
+        np.testing.assert_allclose(forecast, [0.0, 1.0, 2.0, 3.0, 4.0], atol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="length"):
+            ProfileForecaster(season=24, group_profile=np.ones(10))
+        with pytest.raises(ValueError):
+            ProfileForecaster().fit(np.ones(10))
+
+
+class TestMetrics:
+    def test_known_values(self):
+        actual = np.array([1.0, 2.0, 4.0])
+        predicted = np.array([1.0, 3.0, 2.0])
+        assert mae(actual, predicted) == pytest.approx(1.0)
+        assert rmse(actual, predicted) == pytest.approx(np.sqrt(5 / 3))
+        assert mape(actual, predicted) == pytest.approx((0 + 0.5 + 0.5) / 3)
+
+    def test_smape_bounds_and_zero_case(self):
+        assert smape(np.array([0.0]), np.array([0.0])) == 0.0
+        assert smape(np.array([0.0]), np.array([5.0])) == pytest.approx(2.0)
+
+    def test_mape_undefined_for_zero_actuals(self):
+        with pytest.raises(ValueError):
+            mape(np.zeros(3), np.ones(3))
+
+    def test_mase_scale(self):
+        rng = np.random.default_rng(0)
+        history = np.tile(np.arange(24.0), 8) + rng.normal(0, 0.5, 8 * 24)
+        actual = np.arange(24.0)
+        # Perfect forecast scores 0; a forecast with MAE equal to the
+        # in-sample seasonal error scores 1.
+        assert mase(actual, actual, history, season=24) == 0.0
+        scale = np.abs(history[24:] - history[:-24]).mean()
+        off = actual + scale
+        assert mase(actual, off, history, season=24) == pytest.approx(1.0)
+        with pytest.raises(ValueError, match="constant"):
+            mase(actual, actual, np.ones(400), season=24)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mae(np.ones(3), np.ones(4))
+
+
+class TestBacktest:
+    @pytest.fixture(scope="class")
+    def fleet(self, small_city):
+        return impute(remove_anomalies(small_city.raw)[0])
+
+    def test_profile_beats_naive_on_fleet(self, fleet):
+        results = backtest(
+            fleet,
+            {
+                "naive": NaiveForecaster,
+                "seasonal": lambda: SeasonalNaive(168),
+                "profile": lambda: ProfileForecaster(),
+            },
+            horizon=24,
+            n_folds=2,
+            min_history=14 * 24,
+        )
+        by_name = {r.model: r for r in results}
+        assert by_name["profile"].mae < by_name["naive"].mae
+        assert by_name["profile"].smape < by_name["seasonal"].smape
+
+    def test_too_short_series_rejected(self, fleet):
+        short = fleet.slice_hours(0, 100)
+        with pytest.raises(ValueError, match="folds"):
+            backtest(short, {"naive": NaiveForecaster}, min_history=90)
+
+    def test_result_rows_format(self, fleet):
+        results = backtest(
+            fleet, {"naive": NaiveForecaster}, horizon=12, n_folds=1,
+            min_history=14 * 24,
+        )
+        assert "naive" in results[0].row()
+        assert results[0].n_customers == fleet.n_customers

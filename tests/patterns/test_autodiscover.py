@@ -1,0 +1,114 @@
+"""Tests for automatic selection proposals (DBSCAN)."""
+
+import numpy as np
+import pytest
+
+from repro.core.patterns.autodiscover import (
+    NOISE,
+    auto_epsilon,
+    dbscan,
+    propose_selections,
+)
+
+
+@pytest.fixture(scope="module")
+def blobs_with_noise():
+    rng = np.random.default_rng(4)
+    a = rng.normal([0.0, 0.0], 0.3, size=(40, 2))
+    b = rng.normal([10.0, 0.0], 0.3, size=(30, 2))
+    noise = rng.uniform([-5, -20], [15, -10], size=(6, 2))
+    return np.vstack([a, b, noise])
+
+
+class TestDbscan:
+    def test_finds_two_clusters_and_noise(self, blobs_with_noise):
+        labels = dbscan(blobs_with_noise, epsilon=1.0, min_points=5)
+        clusters = set(labels.tolist()) - {NOISE}
+        assert len(clusters) == 2
+        # Every blob member shares its blob's label.
+        assert len(set(labels[:40].tolist())) == 1
+        assert len(set(labels[40:70].tolist())) == 1
+        assert (labels[70:] == NOISE).all()
+
+    def test_auto_epsilon_recovers_structure(self, blobs_with_noise):
+        labels = dbscan(blobs_with_noise, min_points=5)
+        clusters = set(labels.tolist()) - {NOISE}
+        assert len(clusters) == 2
+
+    def test_tiny_epsilon_all_noise(self, blobs_with_noise):
+        labels = dbscan(blobs_with_noise, epsilon=1e-9, min_points=5)
+        assert (labels == NOISE).all()
+
+    def test_huge_epsilon_one_cluster(self, blobs_with_noise):
+        labels = dbscan(blobs_with_noise, epsilon=1e3, min_points=5)
+        assert set(labels.tolist()) == {0}
+
+    def test_border_points_join_a_cluster(self):
+        # A chain: dense core plus one border point within epsilon of the
+        # edge; the border point joins despite not being core itself.
+        core = np.column_stack([np.linspace(0, 1, 10), np.zeros(10)])
+        border = np.array([[1.4, 0.0]])
+        labels = dbscan(np.vstack([core, border]), epsilon=0.5, min_points=4)
+        assert labels[-1] == labels[0]
+
+    def test_validation(self, blobs_with_noise):
+        with pytest.raises(ValueError):
+            dbscan(blobs_with_noise, epsilon=0.0)
+        with pytest.raises(ValueError):
+            dbscan(blobs_with_noise, min_points=0)
+        with pytest.raises(ValueError, match="\\(n, 2\\)"):
+            dbscan(np.ones((5, 3)))
+        with pytest.raises(ValueError, match="NaN"):
+            dbscan(np.array([[0.0, np.nan], [1.0, 1.0]]))
+
+    def test_auto_epsilon_needs_enough_points(self):
+        with pytest.raises(ValueError, match="more than"):
+            auto_epsilon(np.zeros((3, 2)), min_points=5)
+
+
+class TestProposals:
+    def test_ordered_by_size(self, blobs_with_noise):
+        proposals = propose_selections(blobs_with_noise, epsilon=1.0)
+        assert len(proposals) == 2
+        assert proposals[0].size >= proposals[1].size
+        assert proposals[0].size == 40
+
+    def test_min_size_filter(self, blobs_with_noise):
+        proposals = propose_selections(
+            blobs_with_noise, epsilon=1.0, min_size=35
+        )
+        assert len(proposals) == 1
+
+    def test_centers_inside_their_blob(self, blobs_with_noise):
+        proposals = propose_selections(blobs_with_noise, epsilon=1.0)
+        big = proposals[0]
+        assert abs(big.center[0] - 0.0) < 0.5
+        assert abs(big.center[1] - 0.0) < 0.5
+
+    def test_validation(self, blobs_with_noise):
+        with pytest.raises(ValueError):
+            propose_selections(blobs_with_noise, min_size=0)
+
+    def test_proposals_label_cleanly_on_city(self, year_session, year_city):
+        """End-to-end: every auto-proposal is coherent in *shape* terms.
+
+        The Pearson metric the paper chooses is level-blind, so the flat
+        archetypes (constant-high / idle / energy-saving / suspicious) can
+        legitimately share a cluster; shape-distinct archetypes (bimodal,
+        early-bird) must come out essentially pure.
+        """
+        info = year_session.embed()
+        proposals = propose_selections(info.coords, min_points=4, min_size=8)
+        assert proposals, "expected at least one dense cluster"
+        truth = year_city.archetype_labels()
+        flat_family = {"constant_high", "idle", "energy_saving", "suspicious"}
+        pure = 0
+        for proposal in proposals:
+            members = set(truth[proposal.indices].tolist())
+            values, counts = np.unique(truth[proposal.indices], return_counts=True)
+            purity = counts.max() / proposal.size
+            assert purity >= 0.9 or members <= flat_family, members
+            if purity >= 0.9:
+                pure += 1
+        # The two shape-distinct archetypes produce pure proposals.
+        assert pure >= 2

@@ -1,0 +1,125 @@
+"""Tests for template labelling and transition walks."""
+
+import numpy as np
+import pytest
+
+from repro.core.patterns.labeling import label_customers, label_selection
+from repro.core.patterns.transition import random_walk_baseline, transition_walk
+from repro.core.reduction.tsne import tsne
+from repro.data.meter import CustomerType
+from repro.preprocess.cleaning import remove_anomalies
+from repro.preprocess.features import FeatureKind, extract_features
+from repro.preprocess.imputation import impute
+
+
+@pytest.fixture(scope="module")
+def labeled_year(year_city):
+    """Preprocessed year-long data plus truth and predictions."""
+    cleaned, _ = remove_anomalies(year_city.raw)
+    filled = impute(cleaned)
+    truth = year_city.archetype_labels()
+    predictions = label_customers(filled)
+    return filled, truth, predictions
+
+
+class TestLabelCustomers:
+    def test_row_alignment_and_scores(self, labeled_year):
+        filled, truth, predictions = labeled_year
+        assert len(predictions) == filled.n_customers
+        for label in predictions:
+            assert 0.0 <= label.score <= 1.0
+            assert set(label.scores) == set(CustomerType)
+
+    def test_recovery_accuracy(self, labeled_year):
+        """Template matching must recover most ground-truth archetypes —
+        the quantified version of 'the five patterns are identifiable'."""
+        _, truth, predictions = labeled_year
+        predicted = np.array([p.archetype.value for p in predictions])
+        accuracy = float((predicted == truth).mean())
+        assert accuracy > 0.8
+
+    def test_idle_never_confused_with_constant_high(self, labeled_year):
+        _, truth, predictions = labeled_year
+        predicted = np.array([p.archetype.value for p in predictions])
+        idle_rows = truth == "idle"
+        assert not (predicted[idle_rows] == "constant_high").any()
+
+    def test_ranked_orders_scores(self, labeled_year):
+        _, _, predictions = labeled_year
+        ranked = predictions[0].ranked()
+        values = [v for _, v in ranked]
+        assert values == sorted(values, reverse=True)
+        assert ranked[0][0] == predictions[0].archetype
+
+    def test_empty_set_rejected(self, labeled_year):
+        filled, _, _ = labeled_year
+        from repro.data.timeseries import SeriesSet
+
+        with pytest.raises(ValueError):
+            label_customers(
+                SeriesSet([], 0, np.empty((0, filled.n_steps)))
+            )
+
+
+class TestLabelSelection:
+    def test_pure_selection_scores_high(self, labeled_year):
+        filled, truth, _ = labeled_year
+        rows = np.flatnonzero(truth == "constant_high")[:10]
+        label = label_selection(filled, rows)
+        assert label.archetype == CustomerType.CONSTANT_HIGH
+        assert label.score > 0.6  # winning share of the member vote
+
+    def test_mixed_selection_scores_lower(self, labeled_year):
+        filled, truth, _ = labeled_year
+        a = np.flatnonzero(truth == "constant_high")[:5]
+        b = np.flatnonzero(truth == "idle")[:5]
+        label = label_selection(filled, np.concatenate([a, b]))
+        assert label.score <= 0.8  # the vote is split
+
+    def test_empty_selection_rejected(self, labeled_year):
+        filled, _, _ = labeled_year
+        with pytest.raises(ValueError):
+            label_selection(filled, np.array([], dtype=np.int64))
+
+
+class TestTransitionWalk:
+    @pytest.fixture(scope="class")
+    def walk_setup(self, small_city):
+        cleaned, _ = remove_anomalies(small_city.raw)
+        filled = impute(cleaned)
+        feats = extract_features(filled, FeatureKind.MEAN_WEEK)
+        emb = tsne(feats, perplexity=15, n_iter=300, seed=0).embedding
+        return emb, filled
+
+    def test_walk_visits_unique_points(self, walk_setup):
+        emb, filled = walk_setup
+        walk = transition_walk(emb, filled, start=0)
+        assert len(set(walk.order.tolist())) == emb.shape[0]
+        assert walk.order[0] == 0
+
+    def test_walk_smoother_than_random(self, walk_setup):
+        """The S1 claim: hopping between close embedding points gives
+        gradual pattern transitions."""
+        emb, filled = walk_setup
+        walk = transition_walk(emb, filled, start=0)
+        baseline = random_walk_baseline(filled, seed=1)
+        assert walk.mean_step_similarity > baseline.mean_step_similarity + 0.1
+
+    def test_similarity_decays_with_lag(self, walk_setup):
+        emb, filled = walk_setup
+        walk = transition_walk(emb, filled, start=0)
+        lags = walk.similarity_by_lag(8)
+        assert lags[0] > lags[-1]
+
+    def test_n_steps_limits_walk(self, walk_setup):
+        emb, filled = walk_setup
+        walk = transition_walk(emb, filled, start=3, n_steps=10)
+        assert walk.order.size == 10
+        assert walk.step_similarity.size == 9
+
+    def test_validation(self, walk_setup):
+        emb, filled = walk_setup
+        with pytest.raises(ValueError, match="start"):
+            transition_walk(emb, filled, start=10**6)
+        with pytest.raises(ValueError, match="\\(n, 2\\)"):
+            transition_walk(emb[:, :1], filled)

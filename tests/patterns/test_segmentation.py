@@ -1,0 +1,112 @@
+"""Tests for segment statistics and the demand-response report."""
+
+import numpy as np
+import pytest
+
+from repro.core.patterns.segmentation import (
+    SegmentationReport,
+    build_report,
+    segment_statistics,
+)
+from repro.data.timeseries import SeriesSet
+
+
+def _fleet():
+    """Three synthetic customers with known statistics.
+
+    - rows 0-1: identical peaky profiles peaking at hour 2;
+    - row 2: flat profile.
+    """
+    peaky = np.array([1.0, 1.0, 4.0, 1.0])
+    flat = np.array([2.0, 2.0, 2.0, 2.0])
+    return SeriesSet([0, 1, 2], 0, np.vstack([peaky, peaky, flat]))
+
+
+class TestSegmentStatistics:
+    def test_known_values_peaky_segment(self):
+        fleet = _fleet()
+        stats = segment_statistics(fleet, np.array([0, 1]), name="peaky")
+        assert stats.n_customers == 2
+        assert stats.peak_kw == 8.0
+        assert stats.mean_kw == pytest.approx((2 + 2 + 8 + 2) / 4)
+        assert stats.load_factor == pytest.approx(3.5 / 8.0)
+        # Identical profiles peak together: coincidence factor 1.
+        assert stats.coincidence_factor == pytest.approx(1.0)
+        assert stats.peak_hour_of_day == 2
+        # System peaks at hour 2 (total 10); the segment contributes 8.
+        assert stats.demand_at_system_peak_kw == 8.0
+        assert stats.share_of_system_peak == pytest.approx(0.8)
+
+    def test_flat_segment(self):
+        fleet = _fleet()
+        stats = segment_statistics(fleet, np.array([2]), name="flat")
+        assert stats.load_factor == pytest.approx(1.0)
+        assert stats.dr_priority == pytest.approx(0.0)
+
+    def test_diversity_lowers_coincidence(self):
+        a = np.array([4.0, 1.0, 1.0, 1.0])
+        b = np.array([1.0, 1.0, 1.0, 4.0])
+        fleet = SeriesSet([0, 1], 0, np.vstack([a, b]))
+        stats = segment_statistics(fleet, np.array([0, 1]))
+        assert stats.coincidence_factor == pytest.approx(5.0 / 8.0)
+
+    def test_peak_hour_respects_start_hour(self):
+        peaky = np.array([1.0, 5.0, 1.0])
+        fleet = SeriesSet([0], 22, peaky[None, :])
+        stats = segment_statistics(fleet, np.array([0]))
+        assert stats.peak_hour_of_day == 23
+
+    def test_validation(self):
+        fleet = _fleet()
+        with pytest.raises(ValueError, match="empty"):
+            segment_statistics(fleet, np.array([], dtype=np.int64))
+        with pytest.raises(ValueError, match="range"):
+            segment_statistics(fleet, np.array([99]))
+
+    def test_nan_tolerance(self):
+        matrix = np.array([[1.0, np.nan, 3.0]])
+        fleet = SeriesSet([0], 0, matrix)
+        stats = segment_statistics(fleet, np.array([0]))
+        assert stats.total_kwh == 4.0
+        assert np.isfinite(stats.peak_kw)
+
+
+class TestReport:
+    def test_build_report_shapes(self):
+        fleet = _fleet()
+        report = build_report(
+            fleet, {"peaky": np.array([0, 1]), "flat": np.array([2])}
+        )
+        assert report.system_peak_kw == 10.0
+        assert report.system_peak_hour_of_day == 2
+        rows = report.rows()
+        assert len(rows) == 3  # header + 2 segments
+        assert "peaky" in rows[1] or "peaky" in rows[2]
+
+    def test_targeting_order_prefers_peaky_contributors(self):
+        fleet = _fleet()
+        report = build_report(
+            fleet, {"peaky": np.array([0, 1]), "flat": np.array([2])}
+        )
+        order = report.targeting_order()
+        assert order[0].name == "peaky"
+
+    def test_empty_report_rejected(self):
+        with pytest.raises(ValueError):
+            build_report(_fleet(), {})
+
+    def test_on_city_archetypes(self, small_city, small_session):
+        truth = small_city.archetype_labels()
+        segments = {
+            name: np.flatnonzero(truth == name)
+            for name in np.unique(truth)
+        }
+        report = build_report(small_session.series, segments)
+        assert len(report.segments) == len(segments)
+        # Shares at the system peak cannot exceed 1 in total.
+        assert sum(s.share_of_system_peak for s in report.segments) == pytest.approx(
+            1.0, abs=1e-9
+        )
+        # Constant-high premises have the flattest load.
+        by_name = {s.name: s for s in report.segments}
+        assert by_name["constant_high"].load_factor > by_name["bimodal"].load_factor

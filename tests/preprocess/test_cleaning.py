@@ -1,0 +1,122 @@
+"""Tests for anomaly detection/removal."""
+
+import numpy as np
+import pytest
+
+from repro.data.timeseries import SeriesSet
+from repro.preprocess.cleaning import (
+    detect_negatives,
+    detect_spikes,
+    detect_stuck,
+    remove_anomalies,
+)
+
+
+def _series_set(matrix):
+    matrix = np.asarray(matrix, dtype=np.float64)
+    return SeriesSet(list(range(matrix.shape[0])), 0, matrix)
+
+
+class TestSpikes:
+    def test_detects_obvious_spike(self, rng):
+        row = rng.normal(1.0, 0.1, size=200)
+        row[50] = 50.0
+        mask = detect_spikes(row[None, :])
+        assert mask[0, 50]
+        assert mask.sum() == 1
+
+    def test_ignores_normal_variation(self, rng):
+        row = rng.normal(1.0, 0.1, size=500)
+        assert detect_spikes(row[None, :]).sum() == 0
+
+    def test_constant_row_fallback(self):
+        row = np.full(100, 2.0)
+        row[10] = 40.0
+        mask = detect_spikes(row[None, :])
+        assert mask[0, 10]
+
+    def test_nan_cells_never_flagged(self):
+        row = np.array([1.0, np.nan, 1.0, 100.0])
+        mask = detect_spikes(row[None, :])
+        assert not mask[0, 1]
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            detect_spikes(np.zeros((1, 5)), spike_sigma=0)
+
+    def test_empty_matrix(self):
+        assert detect_spikes(np.zeros((0, 0))).shape == (0, 0)
+
+
+class TestNegatives:
+    def test_flags_negatives_only(self):
+        mask = detect_negatives(np.array([[1.0, -0.1, np.nan, 0.0]]))
+        assert mask.tolist() == [[False, True, False, False]]
+
+
+class TestStuck:
+    def test_flags_long_run_keeps_first(self):
+        row = np.array([1.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 3.0])
+        mask = detect_stuck(row[None, :], min_run=6)
+        # Six identical 2.0s: first kept, remaining five flagged.
+        assert mask[0].tolist() == [
+            False, False, True, True, True, True, True, False,
+        ]
+
+    def test_short_run_not_flagged(self):
+        row = np.array([1.0, 2.0, 2.0, 2.0, 3.0, 4.0])
+        assert detect_stuck(row[None, :], min_run=6).sum() == 0
+
+    def test_zero_runs_not_flagged(self):
+        row = np.zeros(50)
+        assert detect_stuck(row[None, :]).sum() == 0
+
+    def test_run_at_end_of_series(self):
+        row = np.concatenate([np.arange(1, 5, dtype=float), np.full(10, 7.0)])
+        mask = detect_stuck(row[None, :], min_run=6)
+        assert mask[0, -9:].all()
+        assert not mask[0, 4]  # first of the run survives
+
+    def test_nan_breaks_runs(self):
+        row = np.array([2.0, 2.0, 2.0, np.nan, 2.0, 2.0, 2.0])
+        assert detect_stuck(row[None, :], min_run=6).sum() == 0
+
+    def test_rejects_min_run_below_two(self):
+        with pytest.raises(ValueError):
+            detect_stuck(np.zeros((1, 5)), min_run=1)
+
+    def test_matrix_shorter_than_run(self):
+        assert detect_stuck(np.ones((2, 3)), min_run=6).sum() == 0
+
+
+class TestRemoveAnomalies:
+    def test_report_counts_match_nans_added(self, rng):
+        base = rng.normal(1.0, 0.1, size=(5, 300)).clip(0.01)
+        base[0, 10] = 99.0  # spike
+        base[1, 20] = -5.0  # negative
+        base[2, 30:40] = 0.7  # stuck run
+        ss = _series_set(base)
+        cleaned, report = remove_anomalies(ss)
+        added_nans = int(np.isnan(cleaned.matrix).sum() - np.isnan(ss.matrix).sum())
+        assert report.total == added_nans
+        assert report.n_spikes >= 1
+        assert report.n_negatives == 1
+        assert report.n_stuck == 9
+
+    def test_clean_data_untouched(self, rng):
+        base = rng.normal(1.0, 0.2, size=(3, 400)).clip(0.01)
+        cleaned, report = remove_anomalies(_series_set(base))
+        assert report.total == 0
+        np.testing.assert_array_equal(cleaned.matrix, base)
+
+    def test_input_not_mutated(self, rng):
+        base = rng.normal(1.0, 0.1, size=(2, 100)).clip(0.01)
+        base[0, 5] = 80.0
+        ss = _series_set(base)
+        remove_anomalies(ss)
+        assert ss.matrix[0, 5] == 80.0
+
+    def test_generator_spikes_get_caught(self, small_city):
+        _, report = remove_anomalies(small_city.raw)
+        assert report.n_spikes > 0
+        assert report.n_stuck > 0

@@ -1,0 +1,114 @@
+"""Tests for feature extraction and the data-quality report."""
+
+import numpy as np
+import pytest
+
+from repro.data.timeseries import SeriesSet
+from repro.preprocess.features import FeatureKind, extract_features
+from repro.preprocess.quality import assess_quality
+
+
+def _set(matrix, start_hour=0):
+    matrix = np.asarray(matrix, dtype=np.float64)
+    return SeriesSet(list(range(matrix.shape[0])), start_hour, matrix)
+
+
+class TestFeatures:
+    def test_mean_day_shape_and_values(self):
+        # Value = hour-of-day for 3 days -> mean-day profile is identity.
+        matrix = np.tile(np.arange(24, dtype=float), 3)[None, :]
+        feats = extract_features(_set(matrix), FeatureKind.MEAN_DAY)
+        assert feats.shape == (1, 24)
+        np.testing.assert_allclose(feats[0], np.arange(24))
+
+    def test_mean_day_respects_phase(self):
+        matrix = np.tile(np.arange(24, dtype=float), 2)[None, :]
+        feats = extract_features(_set(matrix, start_hour=6), FeatureKind.MEAN_DAY)
+        # Column 6 of the profile corresponds to value 0 readings.
+        assert feats[0, 6] == pytest.approx(0.0)
+
+    def test_mean_week_shape(self, small_city):
+        feats = extract_features(small_city.clean, FeatureKind.MEAN_WEEK)
+        assert feats.shape == (small_city.clean.n_customers, 168)
+        assert np.isfinite(feats).all()
+
+    def test_monthly_total_shape(self, year_city):
+        feats = extract_features(year_city.clean, FeatureKind.MONTHLY_TOTAL)
+        assert feats.shape == (year_city.clean.n_customers, 12)
+
+    def test_summary_is_8dim_finite(self, small_city):
+        feats = extract_features(small_city.clean, FeatureKind.SUMMARY)
+        assert feats.shape == (small_city.clean.n_customers, 8)
+        assert np.isfinite(feats).all()
+
+    def test_full_passthrough_copy(self):
+        matrix = np.ones((2, 24))
+        ss = _set(matrix)
+        feats = extract_features(ss, FeatureKind.FULL)
+        feats[0, 0] = 9.0
+        assert ss.matrix[0, 0] == 1.0
+
+    def test_nan_tolerant(self):
+        matrix = np.tile(np.arange(24, dtype=float), 3)[None, :]
+        matrix[0, 5] = np.nan
+        feats = extract_features(_set(matrix), FeatureKind.MEAN_DAY)
+        assert np.isfinite(feats).all()
+        # Hour 5 mean now comes from the 2 remaining days.
+        assert feats[0, 5] == pytest.approx(5.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            extract_features(_set(np.ones((1, 0))), FeatureKind.MEAN_DAY)
+
+    def test_bimodal_has_bimodal_months(self, year_city):
+        """The year fixture must show the paper's winter+summer humps for
+        bimodal customers (sanity that MONTHLY_TOTAL is the right lens)."""
+        labels = year_city.archetype_labels()
+        feats = extract_features(year_city.clean, FeatureKind.MONTHLY_TOTAL)
+        rows = feats[labels == "bimodal"]
+        profile = rows.mean(axis=0)
+        # Winter peak: January well above the May trough.
+        assert profile[0] > 1.5 * profile[4]
+        # Summer peak: July a local maximum above both shoulders.
+        assert profile[6] > 1.1 * profile[4]
+        assert profile[6] > 1.1 * profile[8]
+
+
+class TestQuality:
+    def test_clean_report(self, small_city):
+        report = assess_quality(small_city.clean)
+        assert report.missing_fraction == 0.0
+        assert report.is_clean is False or report.n_suspected_spikes == 0
+        assert report.n_negative_readings == 0
+
+    def test_raw_report_counts(self, small_city):
+        report = assess_quality(small_city.raw)
+        assert 0.0 < report.missing_fraction < 0.5
+        assert report.longest_gap_hours >= 2
+        assert report.n_suspected_spikes > 0
+        assert not report.is_clean
+
+    def test_longest_gap_exact(self):
+        matrix = np.ones((2, 20))
+        matrix[0, 3:9] = np.nan
+        matrix[1, 0:4] = np.nan
+        report = assess_quality(_set(matrix))
+        assert report.longest_gap_hours == 6
+
+    def test_empty_matrix(self):
+        report = assess_quality(_set(np.ones((2, 0))))
+        assert report.missing_fraction == 0.0
+        assert np.isnan(report.mean_value)
+
+    def test_all_missing(self):
+        report = assess_quality(_set(np.full((2, 5), np.nan)))
+        assert report.missing_fraction == 1.0
+        assert np.isnan(report.max_value)
+
+    def test_record_is_json_friendly(self, small_city):
+        record = assess_quality(small_city.raw).to_record()
+        assert set(record) >= {
+            "missing_fraction",
+            "longest_gap_hours",
+            "n_suspected_spikes",
+        }

@@ -1,0 +1,104 @@
+"""Tests for missing-value correction."""
+
+import numpy as np
+import pytest
+
+from repro.data.timeseries import SeriesSet
+from repro.preprocess.imputation import STRATEGIES, impute
+
+
+def _set(matrix, start_hour=0):
+    matrix = np.asarray(matrix, dtype=np.float64)
+    return SeriesSet(list(range(matrix.shape[0])), start_hour, matrix)
+
+
+class TestImputeContract:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_no_nan_out(self, strategy, rng):
+        matrix = rng.normal(1.0, 0.3, size=(4, 200))
+        matrix[rng.random(matrix.shape) < 0.2] = np.nan
+        filled = impute(_set(matrix), strategy=strategy)
+        assert not np.isnan(filled.matrix).any()
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_observed_cells_unchanged(self, strategy, rng):
+        matrix = rng.normal(1.0, 0.3, size=(3, 120))
+        holes = rng.random(matrix.shape) < 0.15
+        matrix[holes] = np.nan
+        filled = impute(_set(matrix), strategy=strategy)
+        np.testing.assert_array_equal(filled.matrix[~holes], matrix[~holes])
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="strategy"):
+            impute(_set(np.ones((1, 3))), strategy="magic")
+
+    def test_bad_max_gap_rejected(self):
+        with pytest.raises(ValueError, match="max_gap"):
+            impute(_set(np.ones((1, 3))), max_gap=0)
+
+    def test_all_missing_customer_becomes_zero(self):
+        filled = impute(_set(np.full((1, 48), np.nan)))
+        assert (filled.matrix == 0.0).all()
+
+    def test_input_not_mutated(self):
+        ss = _set(np.array([[1.0, np.nan, 3.0]]))
+        impute(ss)
+        assert np.isnan(ss.matrix[0, 1])
+
+
+class TestInterpolate:
+    def test_linear_midpoint(self):
+        filled = impute(_set(np.array([[0.0, np.nan, 2.0]])), strategy="interpolate")
+        assert filled.matrix[0, 1] == pytest.approx(1.0)
+
+    def test_edges_extend(self):
+        filled = impute(
+            _set(np.array([[np.nan, 5.0, np.nan]])), strategy="interpolate"
+        )
+        assert filled.matrix[0].tolist() == [5.0, 5.0, 5.0]
+
+
+class TestDiurnal:
+    def test_fills_with_hour_of_day_mean(self):
+        # Two full days; hour 3 of day 2 missing; hour-3 mean is from day 1.
+        values = np.arange(48, dtype=float)
+        values[27] = np.nan  # hour-of-day 3 on day 2
+        filled = impute(_set(values[None, :]), strategy="diurnal")
+        assert filled.matrix[0, 27] == pytest.approx(3.0)
+
+    def test_respects_start_hour_phase(self):
+        # start_hour=12 means column 0 is 12:00.
+        values = np.tile(np.arange(24, dtype=float), 2)
+        values[24] = np.nan  # also 12:00
+        filled = impute(_set(values[None, :], start_hour=12), strategy="diurnal")
+        assert filled.matrix[0, 24] == pytest.approx(0.0)
+
+
+class TestHybrid:
+    def test_short_gap_interpolates_long_gap_uses_profile(self):
+        """A short gap inside a ramp interpolates; a 20 h gap uses the
+        customer's diurnal profile, not a straight line."""
+        days = 6
+        base = np.tile(
+            10.0 + 5.0 * np.sin(2 * np.pi * np.arange(24) / 24), days
+        )
+        values = base.copy()
+        values[30:32] = np.nan  # short gap -> interpolation
+        values[60:80] = np.nan  # long gap -> diurnal profile
+        filled = impute(_set(values[None, :]), strategy="hybrid", max_gap=6)
+        # Short gap: close to the linear bridge of its neighbours.
+        bridge = np.interp([30, 31], [29, 32], [base[29], base[32]])
+        np.testing.assert_allclose(filled.matrix[0, 30:32], bridge, rtol=1e-6)
+        # Long gap: should track the sinusoid (profile), which a straight
+        # line cannot do — check correlation with the truth is high.
+        truth = base[60:80]
+        got = filled.matrix[0, 60:80]
+        corr = np.corrcoef(truth, got)[0, 1]
+        assert corr > 0.95
+
+    def test_city_scale(self, small_city):
+        filled = impute(small_city.raw, strategy="hybrid")
+        assert filled.missing_fraction() == 0.0
+        # Imputed totals should stay within a few percent of the truth.
+        truth_total = small_city.clean.matrix.sum()
+        assert filled.matrix.sum() == pytest.approx(truth_total, rel=0.10)

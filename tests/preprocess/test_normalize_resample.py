@@ -1,0 +1,145 @@
+"""Tests for normalisation and temporal resampling."""
+
+import numpy as np
+import pytest
+
+from repro.data.timeseries import Resolution, SeriesSet
+from repro.preprocess.normalize import SCHEMES, normalize, normalize_matrix
+from repro.preprocess.resample import AGGREGATES, resample
+
+
+def _set(matrix, start_hour=0):
+    matrix = np.asarray(matrix, dtype=np.float64)
+    return SeriesSet(list(range(matrix.shape[0])), start_hour, matrix)
+
+
+class TestNormalize:
+    def test_zscore_moments(self, rng):
+        matrix = rng.normal(5.0, 2.0, size=(6, 100))
+        out = normalize_matrix(matrix, "zscore")
+        np.testing.assert_allclose(out.mean(axis=1), 0.0, atol=1e-12)
+        np.testing.assert_allclose(out.std(axis=1), 1.0, atol=1e-12)
+
+    def test_minmax_range(self, rng):
+        out = normalize_matrix(rng.normal(size=(4, 50)), "minmax")
+        np.testing.assert_allclose(out.min(axis=1), 0.0, atol=1e-12)
+        np.testing.assert_allclose(out.max(axis=1), 1.0, atol=1e-12)
+
+    def test_sum_normalisation(self, rng):
+        out = normalize_matrix(rng.uniform(1, 2, size=(3, 40)), "sum")
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+
+    def test_constant_rows_become_zero(self):
+        matrix = np.full((2, 10), 3.0)
+        assert (normalize_matrix(matrix, "zscore") == 0).all()
+        assert (normalize_matrix(matrix, "minmax") == 0).all()
+
+    def test_none_is_identity_copy(self, rng):
+        matrix = rng.normal(size=(2, 5))
+        out = normalize_matrix(matrix, "none")
+        np.testing.assert_array_equal(out, matrix)
+        assert out is not matrix
+
+    def test_nan_preserved_in_place(self):
+        matrix = np.array([[1.0, np.nan, 3.0]])
+        out = normalize_matrix(matrix, "zscore")
+        assert np.isnan(out[0, 1])
+        assert np.isfinite(out[0, [0, 2]]).all()
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="scheme"):
+            normalize_matrix(np.ones((1, 2)), "weird")
+
+    def test_all_schemes_listed_work(self, rng):
+        matrix = rng.uniform(1, 2, size=(2, 8))
+        for scheme in SCHEMES:
+            normalize_matrix(matrix, scheme)
+
+    def test_series_set_wrapper(self, rng):
+        ss = _set(rng.normal(size=(2, 10)))
+        out = normalize(ss, "zscore")
+        assert out.start_hour == ss.start_hour
+        assert out.customer_ids.tolist() == ss.customer_ids.tolist()
+
+
+class TestResample:
+    def test_daily_sum(self):
+        matrix = np.ones((2, 48))
+        out = resample(_set(matrix), Resolution.DAILY, "sum")
+        assert out.matrix.shape == (2, 2)
+        np.testing.assert_allclose(out.matrix, 24.0)
+
+    def test_sum_preserved_exactly(self, rng):
+        matrix = rng.uniform(0, 3, size=(3, 24 * 10))
+        ss = _set(matrix)
+        for resolution in (
+            Resolution.FOUR_HOURLY,
+            Resolution.DAILY,
+            Resolution.WEEKLY,
+        ):
+            out = resample(ss, resolution, "sum")
+            np.testing.assert_allclose(
+                out.matrix.sum(axis=1), matrix.sum(axis=1)
+            )
+
+    def test_mean_aggregate(self):
+        matrix = np.arange(24, dtype=float)[None, :]
+        out = resample(_set(matrix), Resolution.FOUR_HOURLY, "mean")
+        np.testing.assert_allclose(out.matrix[0, 0], np.arange(4).mean())
+
+    def test_max_aggregate(self):
+        matrix = np.arange(24, dtype=float)[None, :]
+        out = resample(_set(matrix), Resolution.DAILY, "max")
+        assert out.matrix[0, 0] == 23.0
+
+    def test_nan_only_bucket_is_nan(self):
+        matrix = np.ones((1, 48))
+        matrix[0, :24] = np.nan
+        out = resample(_set(matrix), Resolution.DAILY, "sum")
+        assert np.isnan(out.matrix[0, 0])
+        assert out.matrix[0, 1] == 24.0
+
+    def test_partial_nan_bucket_sums_observed(self):
+        matrix = np.ones((1, 24))
+        matrix[0, :12] = np.nan
+        out = resample(_set(matrix), Resolution.DAILY, "sum")
+        assert out.matrix[0, 0] == 12.0
+
+    def test_buckets_align_to_epoch_not_series_start(self):
+        # Starting mid-day: the first daily bucket is the partial day.
+        matrix = np.ones((1, 36))
+        out = resample(_set(matrix, start_hour=12), Resolution.DAILY, "sum")
+        assert out.n_buckets == 2
+        assert out.matrix[0].tolist() == [12.0, 24.0]
+
+    def test_window_pairs_are_consecutive(self):
+        out = resample(_set(np.ones((1, 72))), Resolution.DAILY)
+        pairs = out.window_pairs()
+        assert len(pairs) == 2
+        t1, t2 = pairs[0]
+        assert t1.end_hour == t2.start_hour
+
+    def test_window_out_of_range(self):
+        out = resample(_set(np.ones((1, 24))), Resolution.DAILY)
+        with pytest.raises(IndexError):
+            out.window(5)
+
+    def test_monthly_calendar_boundaries(self):
+        # 60 days from Jan 1 2018: Jan (31 d), Feb (28 d), 1 day of March.
+        matrix = np.ones((1, 60 * 24))
+        out = resample(_set(matrix), Resolution.MONTHLY, "sum")
+        assert out.n_buckets == 3
+        assert out.matrix[0].tolist() == [31 * 24, 28 * 24, 24]
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(ValueError, match="aggregate"):
+            resample(_set(np.ones((1, 24))), Resolution.DAILY, "median")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            resample(_set(np.ones((1, 0))), Resolution.DAILY)
+
+    def test_all_aggregates_listed_work(self):
+        ss = _set(np.ones((1, 48)))
+        for aggregate in AGGREGATES:
+            resample(ss, Resolution.DAILY, aggregate)

@@ -1,0 +1,89 @@
+"""Tests for the DTW distance."""
+
+import numpy as np
+import pytest
+
+from repro.core.reduction.distances import validate_distance_matrix
+from repro.core.reduction.dtw import dtw_distance, dtw_distance_matrix
+
+
+class TestDtwDistance:
+    def test_identical_series_zero(self):
+        a = np.sin(np.linspace(0, 6, 50))
+        assert dtw_distance(a, a) == pytest.approx(0.0, abs=1e-12)
+
+    def test_symmetric(self, rng):
+        a = rng.normal(size=40)
+        b = rng.normal(size=40)
+        assert dtw_distance(a, b) == pytest.approx(dtw_distance(b, a))
+
+    def test_phase_shift_tolerance(self):
+        """A small phase shift barely moves DTW but wrecks pointwise
+        distance — the reason to offer DTW at all."""
+        t = np.linspace(0, 4 * np.pi, 96)
+        a = np.sin(t)
+        shifted = np.sin(t - 0.4)
+        other = np.cos(2 * t)
+        assert dtw_distance(a, shifted, band=10) < 0.05
+        assert dtw_distance(a, other, band=10) > 5 * dtw_distance(a, shifted, band=10)
+
+    def test_normalization_ignores_scale(self):
+        a = np.sin(np.linspace(0, 6, 50))
+        assert dtw_distance(a, 100 * a + 7) == pytest.approx(0.0, abs=1e-9)
+        # Without normalisation, scale matters.
+        assert dtw_distance(a, 100 * a + 7, normalize=False) > 1.0
+
+    def test_different_lengths(self):
+        a = np.sin(np.linspace(0, 6, 50))
+        b = np.sin(np.linspace(0, 6, 46))
+        assert dtw_distance(a, b, band=8) < 0.2
+
+    def test_band_too_narrow_for_length_gap(self):
+        with pytest.raises(ValueError, match="band"):
+            dtw_distance(np.ones(50), np.ones(10), band=5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dtw_distance(np.empty(0), np.ones(3))
+        with pytest.raises(ValueError, match="NaN"):
+            dtw_distance(np.array([1.0, np.nan]), np.ones(2))
+        with pytest.raises(ValueError, match="1-D"):
+            dtw_distance(np.ones((2, 2)), np.ones(2))
+
+
+class TestDtwMatrix:
+    def test_is_valid_dissimilarity(self, rng):
+        feats = rng.normal(size=(8, 30))
+        dist = dtw_distance_matrix(feats)
+        validate_distance_matrix(dist)  # symmetric, zero diag, non-negative
+
+    def test_groups_shape_families(self):
+        t = np.linspace(0, 4 * np.pi, 60)
+        sines = np.stack([np.sin(t - s) for s in (0.0, 0.2, 0.4)])
+        squares = np.stack(
+            [np.sign(np.sin(t - s)) for s in (0.0, 0.2, 0.4)]
+        ).astype(float)
+        feats = np.vstack([sines, squares])
+        dist = dtw_distance_matrix(feats, band=8)
+        within = max(dist[0, 1], dist[0, 2], dist[3, 4], dist[3, 5])
+        across = min(dist[0, 3], dist[1, 4], dist[2, 5])
+        assert across > within
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            dtw_distance_matrix(rng.normal(size=(1, 10)))
+        with pytest.raises(ValueError, match="2-D"):
+            dtw_distance_matrix(rng.normal(size=10))
+
+    def test_usable_by_reducers(self, rng):
+        """The DTW matrix plugs straight into t-SNE/MDS as distances."""
+        from repro.core.reduction.mds import mds
+
+        t = np.linspace(0, 4 * np.pi, 48)
+        feats = np.vstack(
+            [np.sin(t - s) for s in np.linspace(0, 1, 6)]
+            + [np.cos(3 * t - s) for s in np.linspace(0, 1, 6)]
+        )
+        dist = dtw_distance_matrix(feats, band=6)
+        result = mds(distances=dist, method="smacof")
+        assert result.embedding.shape == (12, 2)

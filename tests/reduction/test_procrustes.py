@@ -1,0 +1,118 @@
+"""Tests for Procrustes alignment and embedding stability."""
+
+import numpy as np
+import pytest
+
+from repro.core.reduction.procrustes import embedding_stability, procrustes_align
+from repro.core.reduction.tsne import tsne
+
+
+def _rotate(points: np.ndarray, theta: float) -> np.ndarray:
+    rot = np.array(
+        [[np.cos(theta), -np.sin(theta)], [np.sin(theta), np.cos(theta)]]
+    )
+    return points @ rot
+
+
+class TestProcrustes:
+    def test_identity(self, rng):
+        points = rng.normal(size=(30, 2))
+        aligned, disparity = procrustes_align(points, points)
+        assert disparity == pytest.approx(0.0, abs=1e-12)
+        np.testing.assert_allclose(aligned, points, atol=1e-9)
+
+    def test_undoes_rotation_translation_scale(self, rng):
+        points = rng.normal(size=(30, 2))
+        transformed = 3.0 * _rotate(points, 0.8) + np.array([5.0, -2.0])
+        aligned, disparity = procrustes_align(transformed, points)
+        assert disparity == pytest.approx(0.0, abs=1e-12)
+        np.testing.assert_allclose(aligned, points, atol=1e-8)
+
+    def test_undoes_reflection(self, rng):
+        points = rng.normal(size=(20, 2))
+        mirrored = points * np.array([-1.0, 1.0])
+        _, disparity = procrustes_align(mirrored, points)
+        assert disparity == pytest.approx(0.0, abs=1e-12)
+
+    def test_noise_gives_positive_disparity(self, rng):
+        points = rng.normal(size=(30, 2))
+        noisy = points + rng.normal(0, 0.5, size=points.shape)
+        _, disparity = procrustes_align(noisy, points)
+        assert 0.0 < disparity < 1.0
+
+    def test_unrelated_configurations_score_high(self, rng):
+        a = rng.normal(size=(40, 2))
+        b = rng.normal(size=(40, 2))
+        _, disparity = procrustes_align(a, b)
+        assert disparity > 0.5
+
+    def test_no_scaling_option(self, rng):
+        points = rng.normal(size=(25, 2))
+        doubled = 2.0 * points
+        _, with_scale = procrustes_align(doubled, points, allow_scaling=True)
+        assert with_scale == pytest.approx(0.0, abs=1e-12)
+        # Without scaling the shapes still match after normalisation, so
+        # the disparity stays 0 here; a sheared copy would not.
+        sheared = points @ np.array([[1.0, 0.7], [0.0, 1.0]])
+        _, sheared_disparity = procrustes_align(
+            sheared, points, allow_scaling=False
+        )
+        assert sheared_disparity > 0.0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            procrustes_align(rng.normal(size=(5, 2)), rng.normal(size=(6, 2)))
+        with pytest.raises(ValueError, match="NaN"):
+            procrustes_align(
+                np.array([[np.nan, 1.0]]), np.array([[0.0, 1.0]])
+            )
+        with pytest.raises(ValueError, match="degenerate"):
+            procrustes_align(np.ones((4, 2)), rng.normal(size=(4, 2)))
+
+
+class TestEmbeddingStability:
+    def test_tsne_cluster_structure_is_stable_across_seeds(self):
+        """The reassurance the demo needs: different random seeds place the
+        *clusters* in the same relative layout (centroid disparity near 0),
+        even though within-cluster point placement is arbitrary — which is
+        why point-level disparity stays below but near the unrelated-layout
+        level."""
+        rng = np.random.default_rng(8)
+        centers = np.array(
+            [[6.0] + [0.0] * 7, [0.0] * 4 + [6.0] + [0.0] * 3,
+             [3.0] * 2 + [6.0] + [0.0] * 5]
+        )
+        feats = np.vstack([rng.normal(c, 0.5, size=(20, 8)) for c in centers])
+        labels = np.repeat([0, 1, 2], 20)
+        runs = [
+            tsne(feats, metric="euclidean", perplexity=10, n_iter=350,
+                 init="random", seed=seed).embedding
+            for seed in (0, 1, 2)
+        ]
+        centroids = [
+            np.stack([r[labels == c].mean(axis=0) for c in (0, 1, 2)])
+            for r in runs
+        ]
+        assert embedding_stability(centroids) < 0.1
+        # Point-level: still distinguishable from a fully random layout.
+        point_level = embedding_stability(runs)
+        random_pair = embedding_stability(
+            [runs[0], np.random.default_rng(3).normal(size=runs[0].shape)]
+        )
+        assert point_level < random_pair
+
+    def test_pca_init_runs_are_identical(self):
+        """With the default PCA init the layout is deterministic: seeds
+        change nothing, so disparity is exactly 0."""
+        rng = np.random.default_rng(1)
+        feats = rng.normal(size=(30, 6))
+        runs = [
+            tsne(feats, metric="euclidean", perplexity=8, n_iter=150,
+                 seed=seed).embedding
+            for seed in (0, 7)
+        ]
+        assert embedding_stability(runs) == pytest.approx(0.0, abs=1e-12)
+
+    def test_needs_two(self, rng):
+        with pytest.raises(ValueError):
+            embedding_stability([rng.normal(size=(5, 2))])

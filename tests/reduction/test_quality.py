@@ -1,0 +1,90 @@
+"""Tests for embedding-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.reduction.distances import euclidean_distance_matrix
+from repro.core.reduction.quality import (
+    continuity,
+    kl_divergence_embedding,
+    neighborhood_hit,
+    shepard_correlation,
+    trustworthiness,
+)
+
+
+@pytest.fixture(scope="module")
+def planar():
+    """Points that are already 2-D: a perfect embedding exists."""
+    rng = np.random.default_rng(11)
+    points = rng.normal(size=(40, 2))
+    return euclidean_distance_matrix(points), points
+
+
+class TestPerfectEmbedding:
+    def test_identity_embedding_scores_one(self, planar):
+        dist, points = planar
+        assert trustworthiness(dist, points, k=5) == pytest.approx(1.0)
+        assert continuity(dist, points, k=5) == pytest.approx(1.0)
+        assert shepard_correlation(dist, points) == pytest.approx(1.0)
+
+    def test_scaled_rotation_still_perfect(self, planar):
+        dist, points = planar
+        theta = 0.7
+        rot = np.array(
+            [[np.cos(theta), -np.sin(theta)], [np.sin(theta), np.cos(theta)]]
+        )
+        transformed = 3.0 * points @ rot
+        assert trustworthiness(dist, transformed, k=5) == pytest.approx(1.0)
+        assert shepard_correlation(dist, transformed) == pytest.approx(1.0)
+
+
+class TestBrokenEmbedding:
+    def test_random_embedding_scores_low(self, planar):
+        dist, points = planar
+        rng = np.random.default_rng(0)
+        scrambled = rng.normal(size=points.shape)
+        assert trustworthiness(dist, scrambled, k=5) < 0.85
+        assert continuity(dist, scrambled, k=5) < 0.85
+        assert abs(shepard_correlation(dist, scrambled)) < 0.4
+
+    def test_metrics_bounded(self, planar):
+        dist, points = planar
+        rng = np.random.default_rng(1)
+        for _ in range(3):
+            emb = rng.normal(size=points.shape)
+            for metric in (trustworthiness, continuity):
+                value = metric(dist, emb, k=7)
+                assert 0.0 <= value <= 1.0
+
+
+class TestNeighborhoodHit:
+    def test_separated_labels_hit_one(self):
+        emb = np.vstack(
+            [np.random.default_rng(0).normal(0, 0.1, (15, 2)),
+             np.random.default_rng(1).normal(10, 0.1, (15, 2))]
+        )
+        labels = np.repeat(["a", "b"], 15)
+        assert neighborhood_hit(emb, labels, k=5) == pytest.approx(1.0)
+
+    def test_mixed_labels_hit_near_half(self, rng):
+        emb = rng.normal(size=(100, 2))
+        labels = np.array(["a", "b"] * 50)
+        hit = neighborhood_hit(emb, labels, k=10)
+        assert 0.3 < hit < 0.7
+
+    def test_label_length_checked(self, rng):
+        with pytest.raises(ValueError):
+            neighborhood_hit(rng.normal(size=(5, 2)), np.array(["a"] * 4))
+
+
+class TestKlEmbedding:
+    def test_good_embedding_beats_bad(self, planar):
+        dist, points = planar
+        rng = np.random.default_rng(2)
+        good = kl_divergence_embedding(dist, points, perplexity=10)
+        bad = kl_divergence_embedding(
+            dist, rng.normal(size=points.shape), perplexity=10
+        )
+        assert good < bad
+        assert good >= 0.0

@@ -1,0 +1,217 @@
+"""Tests for t-SNE, MDS and PCA."""
+
+import numpy as np
+import pytest
+
+from repro.core.reduction.distances import (
+    euclidean_distance_matrix,
+    pearson_distance_matrix,
+)
+from repro.core.reduction.mds import classical_mds, kruskal_stress, mds, smacof
+from repro.core.reduction.pca import pca
+from repro.core.reduction.tsne import joint_probabilities, tsne
+
+
+@pytest.fixture(scope="module")
+def three_blobs():
+    """Three well-separated Gaussian blobs in 10-D."""
+    rng = np.random.default_rng(42)
+    centers = np.array(
+        [[8.0] + [0.0] * 9, [0.0, 8.0] + [0.0] * 8, [0.0, 0.0, 8.0] + [0.0] * 7]
+    )
+    feats = np.vstack(
+        [rng.normal(center, 0.5, size=(20, 10)) for center in centers]
+    )
+    labels = np.repeat([0, 1, 2], 20)
+    return feats, labels
+
+
+def _cluster_separation(embedding, labels):
+    """Mean inter-centroid distance divided by mean within-cluster spread."""
+    centroids = np.stack(
+        [embedding[labels == c].mean(axis=0) for c in np.unique(labels)]
+    )
+    within = np.mean(
+        [
+            np.linalg.norm(embedding[labels == c] - centroids[i], axis=1).mean()
+            for i, c in enumerate(np.unique(labels))
+        ]
+    )
+    pairs = [
+        np.linalg.norm(centroids[i] - centroids[j])
+        for i in range(len(centroids))
+        for j in range(i + 1, len(centroids))
+    ]
+    return np.mean(pairs) / max(within, 1e-12)
+
+
+class TestJointProbabilities:
+    def test_symmetric_normalised(self, three_blobs):
+        feats, _ = three_blobs
+        dist = euclidean_distance_matrix(feats)
+        p = joint_probabilities(dist, perplexity=10.0)
+        np.testing.assert_allclose(p, p.T, atol=1e-15)
+        # The numeric floor (clip to 1e-12) can add up to n^2 * 1e-12.
+        assert p.sum() == pytest.approx(1.0, abs=1e-7)
+        assert (p > 0).all()  # clipped to a floor
+
+    def test_perplexity_out_of_range(self, three_blobs):
+        feats, _ = three_blobs
+        dist = euclidean_distance_matrix(feats)
+        with pytest.raises(ValueError, match="perplexity"):
+            joint_probabilities(dist, perplexity=1.0)
+        with pytest.raises(ValueError, match="perplexity"):
+            joint_probabilities(dist, perplexity=1e6)
+
+    def test_neighbours_get_more_mass(self, three_blobs):
+        feats, labels = three_blobs
+        dist = euclidean_distance_matrix(feats)
+        p = joint_probabilities(dist, perplexity=10.0)
+        same = labels[:, None] == labels[None, :]
+        np.fill_diagonal(same, False)
+        assert p[same].mean() > 10 * p[~same & ~np.eye(len(labels), dtype=bool)].mean()
+
+
+class TestTsne:
+    def test_separates_blobs(self, three_blobs):
+        feats, labels = three_blobs
+        result = tsne(feats, metric="euclidean", perplexity=10, n_iter=400, seed=0)
+        assert result.embedding.shape == (60, 2)
+        assert _cluster_separation(result.embedding, labels) > 2.0
+
+    def test_kl_decreases(self, three_blobs):
+        feats, _ = three_blobs
+        result = tsne(feats, metric="euclidean", perplexity=10, n_iter=400, seed=0)
+        # KL after optimisation far below the early-exaggeration start.
+        assert result.kl_divergence < result.kl_trace[0]
+        assert result.kl_divergence >= 0.0
+
+    def test_deterministic_for_seed(self, three_blobs):
+        feats, _ = three_blobs
+        a = tsne(feats, perplexity=10, n_iter=150, seed=3)
+        b = tsne(feats, perplexity=10, n_iter=150, seed=3)
+        np.testing.assert_array_equal(a.embedding, b.embedding)
+
+    def test_accepts_precomputed_distances(self, three_blobs):
+        feats, labels = three_blobs
+        dist = pearson_distance_matrix(feats)
+        result = tsne(distances=dist, perplexity=10, n_iter=200, seed=1)
+        assert result.embedding.shape == (60, 2)
+
+    def test_rejects_both_inputs(self, three_blobs):
+        feats, _ = three_blobs
+        with pytest.raises(ValueError, match="exactly one"):
+            tsne(feats, distances=euclidean_distance_matrix(feats))
+
+    def test_rejects_neither_input(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            tsne()
+
+    def test_perplexity_clamped_for_small_n(self):
+        rng = np.random.default_rng(0)
+        feats = rng.normal(size=(9, 4))
+        result = tsne(feats, perplexity=50, n_iter=50)
+        assert result.perplexity <= (9 - 1) / 3.0
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            tsne(np.ones((2, 4)))
+
+    def test_embedding_centered(self, three_blobs):
+        feats, _ = three_blobs
+        result = tsne(feats, perplexity=10, n_iter=100, seed=0)
+        np.testing.assert_allclose(
+            result.embedding.mean(axis=0), 0.0, atol=1e-9
+        )
+
+    def test_random_init(self, three_blobs):
+        feats, labels = three_blobs
+        result = tsne(feats, perplexity=10, n_iter=300, init="random", seed=5)
+        assert _cluster_separation(result.embedding, labels) > 2.0
+
+    def test_bad_init_name(self, three_blobs):
+        feats, _ = three_blobs
+        with pytest.raises(ValueError, match="init"):
+            tsne(feats, init="spectral")
+
+
+class TestMds:
+    def test_classical_recovers_euclidean_geometry(self):
+        """Classical MDS on exact Euclidean distances of 2-D points must
+        reproduce the configuration up to rotation: distances preserved."""
+        rng = np.random.default_rng(7)
+        points = rng.normal(size=(25, 2))
+        dist = euclidean_distance_matrix(points)
+        embedding = classical_mds(dist, 2)
+        rebuilt = euclidean_distance_matrix(embedding)
+        np.testing.assert_allclose(rebuilt, dist, atol=1e-8)
+
+    def test_smacof_reduces_stress(self, three_blobs):
+        feats, _ = three_blobs
+        dist = pearson_distance_matrix(feats)
+        start = classical_mds(dist, 2)
+        initial = kruskal_stress(dist, start)
+        _, final, n_iter = smacof(dist, 2, init=start)
+        assert final <= initial + 1e-12
+        assert n_iter >= 1
+
+    def test_mds_facade_methods(self, three_blobs):
+        feats, labels = three_blobs
+        for method in ("classical", "smacof"):
+            result = mds(feats, metric="euclidean", method=method)
+            assert result.embedding.shape == (60, 2)
+            assert result.method == method
+            assert _cluster_separation(result.embedding, labels) > 2.0
+
+    def test_stress_in_unit_range(self, three_blobs):
+        feats, _ = three_blobs
+        result = mds(feats, method="smacof")
+        assert 0.0 <= result.stress < 1.0
+
+    def test_unknown_method(self, three_blobs):
+        feats, _ = three_blobs
+        with pytest.raises(ValueError, match="method"):
+            mds(feats, method="sammon")
+
+    def test_rejects_both_inputs(self, three_blobs):
+        feats, _ = three_blobs
+        with pytest.raises(ValueError):
+            mds(feats, distances=euclidean_distance_matrix(feats))
+
+    def test_deterministic(self, three_blobs):
+        feats, _ = three_blobs
+        a = mds(feats, method="smacof")
+        b = mds(feats, method="smacof")
+        np.testing.assert_array_equal(a.embedding, b.embedding)
+
+
+class TestPca:
+    def test_explains_variance_in_order(self, three_blobs):
+        feats, _ = three_blobs
+        result = pca(feats, n_components=3)
+        ratios = result.explained_variance_ratio
+        assert (np.diff(ratios) <= 1e-12).all()
+        assert ratios.sum() <= 1.0 + 1e-9
+
+    def test_reconstruction_of_low_rank_data(self):
+        rng = np.random.default_rng(3)
+        base = rng.normal(size=(30, 2)) @ rng.normal(size=(2, 8))
+        result = pca(base, n_components=2)
+        assert result.explained_variance_ratio.sum() == pytest.approx(1.0)
+
+    def test_deterministic_sign(self, three_blobs):
+        feats, _ = three_blobs
+        a = pca(feats)
+        b = pca(feats)
+        np.testing.assert_array_equal(a.embedding, b.embedding)
+
+    def test_bad_n_components(self, three_blobs):
+        feats, _ = three_blobs
+        with pytest.raises(ValueError):
+            pca(feats, n_components=0)
+        with pytest.raises(ValueError):
+            pca(feats, n_components=100)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            pca(np.array([[1.0, np.nan], [0.0, 1.0]]))

@@ -1,0 +1,46 @@
+"""Tests for the ``python -m repro.server`` entry point."""
+
+from wsgiref.simple_server import WSGIServer
+
+import pytest
+
+from repro.server import __main__ as server_main
+
+
+class _FakeServer:
+    """Stands in for wsgiref's server: records the app, never blocks."""
+
+    instances: list["_FakeServer"] = []
+
+    def __init__(self, host, port, app):
+        self.host = host
+        self.port = port
+        self.app = app
+        _FakeServer.instances.append(self)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def serve_forever(self):
+        raise KeyboardInterrupt  # return immediately in tests
+
+
+def test_main_builds_app_and_serves(monkeypatch, capsys):
+    monkeypatch.setattr(
+        server_main, "make_server", lambda host, port, app: _FakeServer(host, port, app)
+    )
+    _FakeServer.instances.clear()
+    with pytest.raises(KeyboardInterrupt):
+        server_main.main(["--port", "9999", "--customers", "15", "--days", "7"])
+    assert len(_FakeServer.instances) == 1
+    server = _FakeServer.instances[0]
+    assert server.port == 9999
+    # The app is a live VapApp over the generated city.
+    from repro.server.app import VapApp
+
+    assert isinstance(server.app, VapApp)
+    assert len(server.app.session.db) == 15
+    assert "listening" in capsys.readouterr().out

@@ -1,0 +1,162 @@
+"""Tests for shift fields, flow extraction and O-D smoothing (Eq. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.shift.flow import (
+    FlowArrow,
+    ShiftField,
+    flow_vectors,
+    major_flows,
+)
+from repro.core.shift.grids import GridSpec
+from repro.core.shift.kde import kde_density
+from repro.core.shift.odflow import smooth_od_flows
+from repro.db.spatial import BBox
+
+
+@pytest.fixture()
+def spec():
+    return GridSpec(BBox(0.0, 0.0, 1.0, 1.0), nx=48, ny=48)
+
+
+@pytest.fixture()
+def two_blob_shift(spec):
+    """Demand moves from a west blob (t1) to an east blob (t2) — the
+    schematic of the paper's Figure 2."""
+    west = np.array([[0.25, 0.5]])
+    east = np.array([[0.75, 0.5]])
+    # Narrow kernels relative to the ~55 km blob separation keep the
+    # difference surface's extrema at the blob centres.
+    h = 12_000.0  # metres; the unit box is ~111 km wide
+    before = kde_density(west, None, spec, bandwidth_m=h)
+    after = kde_density(east, None, spec, bandwidth_m=h)
+    return ShiftField.between(before, after)
+
+
+class TestShiftField:
+    def test_between_requires_same_spec(self, spec, two_blob_shift):
+        other = GridSpec(BBox(0.0, 0.0, 1.0, 1.0), nx=24, ny=24)
+        west = np.array([[0.25, 0.5]])
+        a = kde_density(west, None, spec, bandwidth_m=1e4)
+        b = kde_density(west, None, other, bandwidth_m=1e4)
+        with pytest.raises(ValueError, match="spec"):
+            ShiftField.between(a, b)
+
+    def test_shift_sums_to_zero(self, two_blob_shift):
+        """Mass is conserved: the difference of two unit-mass densities has
+        (near) zero integral — gain equals loss."""
+        assert two_blob_shift.values.sum() == pytest.approx(0.0, abs=1e-6)
+
+    def test_peaks_at_blob_centres(self, two_blob_shift):
+        lon_gain, lat_gain, gain = two_blob_shift.peak_gain()
+        lon_loss, lat_loss, loss = two_blob_shift.peak_loss()
+        assert gain > 0 > loss
+        assert abs(lon_gain - 0.75) < 0.05 and abs(lat_gain - 0.5) < 0.05
+        assert abs(lon_loss - 0.25) < 0.05 and abs(lat_loss - 0.5) < 0.05
+
+    def test_energy_positive_for_real_shift(self, two_blob_shift):
+        assert two_blob_shift.energy() > 0
+
+    def test_identical_windows_zero_field(self, spec):
+        pts = np.array([[0.5, 0.5], [0.3, 0.7]])
+        d = kde_density(pts, None, spec, bandwidth_m=2e4)
+        field = ShiftField.between(d, d)
+        assert field.energy() == 0.0
+        assert major_flows(field) == []
+        assert flow_vectors(field) == []
+
+
+class TestFlowVectors:
+    def test_arrows_point_west_to_east(self, two_blob_shift):
+        arrows = flow_vectors(two_blob_shift, stride=4)
+        assert arrows
+        # Weighted by magnitude, the field flows east (positive dlon).
+        total = sum(a.magnitude for a in arrows)
+        mean_dlon = sum(a.dlon * a.magnitude for a in arrows) / total
+        assert mean_dlon > 0
+
+    def test_quantile_filters_weak_arrows(self, two_blob_shift):
+        all_arrows = flow_vectors(two_blob_shift, stride=4, min_magnitude_quantile=0.0)
+        strong = flow_vectors(two_blob_shift, stride=4, min_magnitude_quantile=0.9)
+        assert len(strong) < len(all_arrows)
+        min_strong = min(a.magnitude for a in strong)
+        assert all(a.magnitude <= min_strong or a in strong for a in all_arrows)
+
+    def test_validation(self, two_blob_shift):
+        with pytest.raises(ValueError, match="stride"):
+            flow_vectors(two_blob_shift, stride=0)
+        with pytest.raises(ValueError, match="quantile"):
+            flow_vectors(two_blob_shift, min_magnitude_quantile=1.5)
+
+
+class TestMajorFlows:
+    def test_single_transport_arrow(self, two_blob_shift):
+        flows = major_flows(two_blob_shift, max_flows=3)
+        assert len(flows) >= 1
+        main = flows[0]
+        # From the loss blob to the gain blob.
+        assert main.lon < 0.5 < main.tip[0]
+        assert main.magnitude > 0
+
+    def test_flows_sorted_by_magnitude(self, spec):
+        losses = np.array([[0.2, 0.2], [0.2, 0.8]])
+        gains = np.array([[0.8, 0.2], [0.8, 0.8]])
+        before = kde_density(losses, np.array([3.0, 1.0]), spec, bandwidth_m=3e4)
+        after = kde_density(gains, np.array([3.0, 1.0]), spec, bandwidth_m=3e4)
+        flows = major_flows(ShiftField.between(before, after), max_flows=4)
+        mags = [f.magnitude for f in flows]
+        assert mags == sorted(mags, reverse=True)
+
+    def test_validation(self, two_blob_shift):
+        with pytest.raises(ValueError):
+            major_flows(two_blob_shift, max_flows=0)
+        with pytest.raises(ValueError):
+            major_flows(two_blob_shift, threshold_quantile=1.0)
+
+
+class TestFlowArrow:
+    def test_tip(self):
+        arrow = FlowArrow(1.0, 2.0, 0.5, -0.5, 1.0)
+        assert arrow.tip == (1.5, 1.5)
+
+
+class TestOdSmoothing:
+    def _arrow(self, lon, lat, dlon, dlat, mag):
+        return FlowArrow(lon, lat, dlon, dlat, mag)
+
+    def test_merges_near_duplicates(self):
+        a = self._arrow(0.0, 0.0, 1.0, 0.0, 2.0)
+        b = self._arrow(0.01, 0.0, 0.99, 0.0, 1.0)
+        merged = smooth_od_flows([a, b], endpoint_scale=0.1)
+        assert len(merged) == 1
+        assert merged[0].magnitude == pytest.approx(3.0)
+
+    def test_keeps_distinct_flows(self):
+        a = self._arrow(0.0, 0.0, 1.0, 0.0, 2.0)
+        b = self._arrow(0.0, 5.0, 1.0, 0.0, 1.0)
+        merged = smooth_od_flows([a, b], endpoint_scale=0.1)
+        assert len(merged) == 2
+
+    def test_total_magnitude_conserved(self, two_blob_shift):
+        arrows = flow_vectors(two_blob_shift, stride=3)
+        merged = smooth_od_flows(arrows, endpoint_scale=0.2)
+        assert sum(m.magnitude for m in merged) == pytest.approx(
+            sum(a.magnitude for a in arrows)
+        )
+        assert len(merged) <= len(arrows)
+
+    def test_same_origin_different_destination_not_merged(self):
+        a = self._arrow(0.0, 0.0, 1.0, 0.0, 2.0)
+        b = self._arrow(0.0, 0.0, -1.0, 0.0, 1.0)
+        assert len(smooth_od_flows([a, b], endpoint_scale=0.1)) == 2
+
+    def test_max_flows_cap(self, two_blob_shift):
+        arrows = flow_vectors(two_blob_shift, stride=3)
+        merged = smooth_od_flows(arrows, endpoint_scale=0.01, max_flows=2)
+        assert len(merged) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            smooth_od_flows([], endpoint_scale=0.0)
+        assert smooth_od_flows([], endpoint_scale=1.0) == []

@@ -1,0 +1,146 @@
+"""Tests for density grids and the weighted KDE (paper Eq. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.shift.grids import DensityGrid, GridSpec
+from repro.core.shift.kde import bandwidth_silverman, kde_density, normalize_weights
+from repro.db.geo import meters_per_degree
+from repro.db.spatial import BBox
+
+
+@pytest.fixture()
+def spec():
+    return GridSpec(BBox(12.50, 55.62, 12.64, 55.74), nx=64, ny=64)
+
+
+class TestGridSpec:
+    def test_cell_geometry(self, spec):
+        assert spec.cell_width == pytest.approx(0.14 / 64)
+        lons = spec.lon_centers()
+        assert lons[0] == pytest.approx(12.50 + spec.cell_width / 2)
+        assert lons.size == 64
+
+    def test_mesh_shapes(self, spec):
+        lons, lats = spec.mesh()
+        assert lons.shape == (64, 64)
+        assert lats.shape == (64, 64)
+
+    def test_cell_of_clipping(self, spec):
+        assert spec.cell_of(12.50, 55.62) == (0, 0)
+        assert spec.cell_of(-50.0, -50.0) == (0, 0)
+        assert spec.cell_of(200.0, 89.0) == (63, 63)
+
+    def test_covering(self):
+        pts = np.array([[12.5, 55.6], [12.6, 55.7]])
+        spec = GridSpec.covering(pts, nx=32, ny=32, margin=0.1)
+        assert spec.bbox.min_lon < 12.5
+        assert spec.bbox.max_lat > 55.7
+        assert spec.nx == 32
+
+    def test_covering_rejects_empty(self):
+        with pytest.raises(ValueError):
+            GridSpec.covering(np.empty((0, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GridSpec(BBox(0, 0, 1, 1), nx=1)
+
+    def test_density_grid_shape_check(self, spec):
+        with pytest.raises(ValueError, match="shape"):
+            DensityGrid(spec=spec, values=np.zeros((3, 3)))
+
+
+class TestKde:
+    def test_mass_integrates_to_one(self, spec, rng):
+        """Eq. 3 with weights summing to n integrates to ~1 when the grid
+        covers the kernel support."""
+        pts = rng.normal([12.57, 55.68], 0.008, size=(200, 2))
+        weights = rng.uniform(0.5, 2.0, 200)
+        grid = kde_density(pts, weights, spec, bandwidth_m=200.0)
+        assert grid.total_mass() == pytest.approx(1.0, abs=0.03)
+
+    def test_density_nonnegative(self, spec, rng):
+        pts = rng.normal([12.57, 55.68], 0.01, size=(50, 2))
+        grid = kde_density(pts, None, spec)
+        assert (grid.values >= 0).all()
+
+    def test_uniform_weights_equal_unweighted(self, spec, rng):
+        pts = rng.normal([12.57, 55.68], 0.01, size=(60, 2))
+        unweighted = kde_density(pts, None, spec, bandwidth_m=300.0)
+        weighted = kde_density(
+            pts, np.full(60, 7.3), spec, bandwidth_m=300.0
+        )
+        np.testing.assert_allclose(weighted.values, unweighted.values, rtol=1e-9)
+
+    def test_weight_shifts_density_toward_heavy_customers(self, spec):
+        west = np.array([[12.53, 55.68]])
+        east = np.array([[12.61, 55.68]])
+        pts = np.vstack([west, east])
+        grid = kde_density(pts, np.array([10.0, 1.0]), spec, bandwidth_m=300.0)
+        lon_max, _, _ = grid.max_cell()
+        assert abs(lon_max - 12.53) < 0.01
+
+    def test_peak_at_point_mass(self, spec):
+        pts = np.array([[12.57, 55.68]])
+        grid = kde_density(pts, None, spec, bandwidth_m=250.0)
+        lon, lat, _ = grid.max_cell()
+        assert abs(lon - 12.57) < spec.cell_width
+        assert abs(lat - 55.68) < spec.cell_height
+
+    def test_bandwidth_controls_spread(self, spec):
+        pts = np.array([[12.57, 55.68]])
+        narrow = kde_density(pts, None, spec, bandwidth_m=100.0)
+        wide = kde_density(pts, None, spec, bandwidth_m=800.0)
+        assert narrow.values.max() > wide.values.max()
+
+    def test_anisotropy_corrected(self, spec):
+        """Equal metre offsets north and east must yield equal density —
+        the latitude distortion of degrees is compensated."""
+        m_per_lon, m_per_lat = meters_per_degree(55.68)
+        center = np.array([[12.57, 55.68]])
+        # Bandwidth well above the ~200 m cell size so grid quantisation
+        # cannot dominate the comparison.
+        grid = kde_density(center, None, spec, bandwidth_m=2000.0)
+        d_north = grid.value_at(12.57, 55.68 + 2000.0 / m_per_lat)
+        d_east = grid.value_at(12.57 + 2000.0 / m_per_lon, 55.68)
+        assert d_north == pytest.approx(d_east, rel=0.15)
+
+    def test_silverman_positive(self, rng):
+        pts_m = rng.normal(0, 500, size=(100, 2))
+        h = bandwidth_silverman(pts_m)
+        assert h > 0
+        with pytest.raises(ValueError):
+            bandwidth_silverman(pts_m[:1])
+
+    def test_coincident_points_fallback(self):
+        pts_m = np.zeros((10, 2))
+        assert bandwidth_silverman(pts_m) == 1.0
+
+    def test_input_validation(self, spec):
+        with pytest.raises(ValueError, match="positions"):
+            kde_density(np.zeros((3, 3)), None, spec)
+        with pytest.raises(ValueError, match="zero points"):
+            kde_density(np.empty((0, 2)), None, spec)
+        pts = np.array([[12.57, 55.68]])
+        with pytest.raises(ValueError, match="weights"):
+            kde_density(pts, np.ones(3), spec)
+        with pytest.raises(ValueError, match="NaN"):
+            kde_density(pts, np.array([np.nan]), spec)
+        with pytest.raises(ValueError, match="bandwidth"):
+            kde_density(pts, None, spec, bandwidth_m=0.0)
+
+
+class TestNormalizeWeights:
+    def test_sums_to_n(self, rng):
+        w = normalize_weights(rng.uniform(0, 5, size=40))
+        assert w.sum() == pytest.approx(40.0)
+
+    def test_all_zero_becomes_uniform(self):
+        w = normalize_weights(np.zeros(5))
+        np.testing.assert_array_equal(w, np.ones(5))
+
+    def test_negative_clipped(self):
+        w = normalize_weights(np.array([-1.0, 1.0]))
+        assert w[0] == 0.0
+        assert w.sum() == pytest.approx(2.0)

@@ -1,0 +1,118 @@
+"""Tests for shift alerting and out-of-sample embedding projection."""
+
+import numpy as np
+import pytest
+
+from repro.core.reduction.project import EmbeddingProjector
+from repro.core.reduction.tsne import tsne
+from repro.stream.alerts import ShiftAlertMonitor
+from repro.stream.online import ShiftUpdate
+
+
+def _update(tick: int, energy: float) -> ShiftUpdate:
+    return ShiftUpdate(
+        tick=tick,
+        clock_seconds=tick * 10.0,
+        hours_seen=tick,
+        energy=energy,
+        n_flows=1,
+        main_flow=None,
+    )
+
+
+class TestShiftAlerts:
+    def test_no_alerts_during_warmup(self, rng):
+        monitor = ShiftAlertMonitor(warmup_ticks=10)
+        for tick in range(9):
+            assert monitor.observe(_update(tick, 1e6)) is None
+
+    def test_spike_alerts_after_warmup(self, rng):
+        monitor = ShiftAlertMonitor(threshold_sigma=3.0, warmup_ticks=12)
+        baseline = 1.0 + 0.05 * rng.standard_normal(30)
+        for tick, energy in enumerate(baseline):
+            monitor.observe(_update(tick, float(energy)))
+        alert = monitor.observe(_update(99, 3.0))
+        assert alert is not None
+        assert alert.zscore > 3.0
+        assert "sigma" in alert.message
+
+    def test_normal_ticks_do_not_alert(self, rng):
+        monitor = ShiftAlertMonitor(threshold_sigma=4.0, warmup_ticks=12)
+        updates = [
+            _update(t, float(1.0 + 0.05 * rng.standard_normal()))
+            for t in range(60)
+        ]
+        assert monitor.observe_all(updates) == []
+
+    def test_sustained_event_keeps_alerting(self, rng):
+        """Anomalies are excluded from the baseline, so a long event fires
+        on every tick instead of normalising itself away."""
+        monitor = ShiftAlertMonitor(threshold_sigma=3.0, warmup_ticks=12)
+        for tick in range(20):
+            monitor.observe(_update(tick, float(1.0 + 0.01 * rng.standard_normal())))
+        alerts = monitor.observe_all([_update(100 + i, 5.0) for i in range(5)])
+        assert len(alerts) == 5
+
+    def test_running_moments(self, rng):
+        monitor = ShiftAlertMonitor(warmup_ticks=2, threshold_sigma=50.0)
+        data = rng.uniform(1.0, 2.0, 40)
+        monitor.observe_all([_update(t, float(v)) for t, v in enumerate(data)])
+        assert monitor.mean == pytest.approx(float(data.mean()), rel=1e-9)
+        assert monitor.std == pytest.approx(float(data.std(ddof=1)), rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShiftAlertMonitor(threshold_sigma=0.0)
+        with pytest.raises(ValueError):
+            ShiftAlertMonitor(warmup_ticks=1)
+        monitor = ShiftAlertMonitor()
+        with pytest.raises(ValueError, match="finite"):
+            monitor.observe(_update(0, float("nan")))
+
+
+class TestEmbeddingProjector:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        rng = np.random.default_rng(3)
+        centers = np.array([[6.0] + [0.0] * 9, [0.0] * 5 + [6.0] + [0.0] * 4])
+        feats = np.vstack(
+            [rng.normal(c, 0.4, size=(25, 10)) for c in centers]
+        )
+        labels = np.repeat([0, 1], 25)
+        emb = tsne(feats, metric="euclidean", perplexity=12, n_iter=300, seed=0)
+        return feats, emb.embedding, labels
+
+    def test_duplicate_lands_on_training_point(self, fitted):
+        feats, emb, _ = fitted
+        projector = EmbeddingProjector(feats, emb, metric="euclidean")
+        out = projector.project(feats[3])
+        np.testing.assert_allclose(out[0], emb[3])
+
+    def test_new_points_land_in_their_cluster(self, fitted):
+        feats, emb, labels = fitted
+        projector = EmbeddingProjector(feats, emb, metric="euclidean")
+        rng = np.random.default_rng(9)
+        new_a = rng.normal([6.0] + [0.0] * 9, 0.4, size=(5, 10))
+        coords = projector.project(new_a)
+        centroid_a = emb[labels == 0].mean(axis=0)
+        centroid_b = emb[labels == 1].mean(axis=0)
+        for point in coords:
+            assert np.linalg.norm(point - centroid_a) < np.linalg.norm(
+                point - centroid_b
+            )
+
+    def test_pearson_metric_projection(self, fitted):
+        feats, emb, _ = fitted
+        projector = EmbeddingProjector(feats, emb, metric="pearson")
+        out = projector.project(feats[:2] * 3.0 + 1.0)  # same trends
+        np.testing.assert_allclose(out, emb[:2], atol=1e-6)
+
+    def test_validation(self, fitted):
+        feats, emb, _ = fitted
+        with pytest.raises(ValueError, match="row-aligned"):
+            EmbeddingProjector(feats, emb[:-1])
+        with pytest.raises(ValueError, match="k must"):
+            EmbeddingProjector(feats, emb, k=0)
+        projector = EmbeddingProjector(feats, emb)
+        with pytest.raises(ValueError, match="width"):
+            projector.project(np.ones(3))

@@ -1,0 +1,160 @@
+"""Tests for the near-real-time replay (clock, feed, online monitor)."""
+
+import numpy as np
+import pytest
+
+from repro.core.shift.grids import GridSpec
+from repro.data.timeseries import HourWindow, SeriesSet
+from repro.stream.clock import SimulatedClock
+from repro.stream.feed import ReplayFeed
+from repro.stream.online import OnlineShiftMonitor, run_replay
+
+
+class TestClock:
+    def test_ticks_advance(self):
+        clock = SimulatedClock(tick_seconds=10.0)
+        assert clock.now == 0.0
+        clock.tick()
+        clock.tick()
+        assert clock.now == 20.0
+        assert clock.ticks == 2
+
+    def test_advance_partial(self):
+        clock = SimulatedClock()
+        clock.advance(2.5)
+        assert clock.now == 2.5
+        assert clock.ticks == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedClock(tick_seconds=0)
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-1.0)
+
+
+class TestFeed:
+    def _series(self, n_customers=4, n_hours=25, start=5):
+        matrix = np.arange(n_customers * n_hours, dtype=float).reshape(
+            n_customers, n_hours
+        )
+        return SeriesSet(list(range(n_customers)), start, matrix)
+
+    def test_batches_cover_everything_once(self):
+        ss = self._series()
+        feed = ReplayFeed(ss, hours_per_tick=4)
+        batches = list(feed)
+        assert len(batches) == feed.n_ticks == 7  # ceil(25 / 4)
+        total = sum(b.values.shape[1] for b in batches)
+        assert total == 25
+        assert batches[0].start_hour == 5
+        assert batches[-1].end_hour == 30
+        # Last batch is the 1-hour remainder.
+        assert batches[-1].n_hours == 1
+
+    def test_batch_values_match_source(self):
+        ss = self._series()
+        batch = next(iter(ReplayFeed(ss, hours_per_tick=3)))
+        np.testing.assert_array_equal(batch.values, ss.matrix[:, :3])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplayFeed(self._series(), hours_per_tick=0)
+
+
+class TestMonitor:
+    @pytest.fixture()
+    def setup(self):
+        rng = np.random.default_rng(8)
+        positions = rng.uniform([12.5, 55.6], [12.7, 55.8], size=(30, 2))
+        spec = GridSpec.covering(positions, nx=24, ny=24)
+        return positions, spec
+
+    def test_not_ready_before_two_windows(self, setup):
+        positions, spec = setup
+        monitor = OnlineShiftMonitor(positions, spec, window_hours=3)
+        for _ in range(5):
+            monitor.feed_hour(np.ones(30))
+        assert not monitor.ready
+        with pytest.raises(RuntimeError, match="needs 6 hours"):
+            monitor.current_field()
+        monitor.feed_hour(np.ones(30))
+        assert monitor.ready
+
+    def test_rolling_field_matches_batch_recompute(self, setup, small_db):
+        """The incremental path must agree with computing the two windows
+        directly from the data (within float tolerance)."""
+        positions, _ = setup
+        ids = small_db.customer_ids
+        positions = small_db.positions_of(ids)
+        spec = GridSpec.covering(positions, nx=24, ny=24)
+        w = 4
+        monitor = OnlineShiftMonitor(
+            positions, spec, window_hours=w, bandwidth_m=400.0
+        )
+        readings = small_db.readings_for(ids)
+        hours_fed = 3 * w
+        for col in range(hours_fed):
+            monitor.feed_hour(readings.matrix[:, col])
+        field = monitor.current_field()
+
+        from repro.core.shift.flow import ShiftField
+        from repro.core.shift.kde import kde_density
+
+        def window_mean(a, b):
+            sub = np.where(
+                np.isfinite(readings.matrix[:, a:b]), readings.matrix[:, a:b], 0.0
+            )
+            return sub.mean(axis=1)
+
+        t1 = window_mean(hours_fed - 2 * w, hours_fed - w)
+        t2 = window_mean(hours_fed - w, hours_fed)
+        want = ShiftField.between(
+            kde_density(positions, t1, spec, bandwidth_m=400.0),
+            kde_density(positions, t2, spec, bandwidth_m=400.0),
+        )
+        np.testing.assert_allclose(field.values, want.values, atol=1e-12)
+
+    def test_nan_readings_treated_as_zero(self, setup):
+        positions, spec = setup
+        monitor = OnlineShiftMonitor(positions, spec, window_hours=1)
+        monitor.feed_hour(np.full(30, np.nan))
+        monitor.feed_hour(np.ones(30))
+        field = monitor.current_field()
+        assert np.isfinite(field.values).all()
+
+    def test_wrong_length_rejected(self, setup):
+        positions, spec = setup
+        monitor = OnlineShiftMonitor(positions, spec)
+        with pytest.raises(ValueError, match="readings"):
+            monitor.feed_hour(np.ones(7))
+
+    def test_validation(self, setup):
+        positions, spec = setup
+        with pytest.raises(ValueError):
+            OnlineShiftMonitor(positions, spec, window_hours=0)
+        with pytest.raises(ValueError):
+            OnlineShiftMonitor(positions[:, :1], spec)
+
+
+class TestRunReplay:
+    def test_end_to_end(self, small_city):
+        feed = ReplayFeed(small_city.clean, hours_per_tick=2)
+        spec = GridSpec.covering(small_city.positions(), nx=20, ny=20)
+        clock = SimulatedClock(tick_seconds=10.0)
+        updates = run_replay(
+            feed,
+            small_city.positions(),
+            spec,
+            window_hours=4,
+            clock=clock,
+            max_ticks=20,
+            bandwidth_m=500.0,
+        )
+        # Monitor becomes ready after 8 hours = 4 ticks; ticks 3..19 emit.
+        assert len(updates) == 17
+        assert updates[0].tick == 3
+        assert updates[-1].clock_seconds == 200.0
+        assert all(np.isfinite(u.energy) for u in updates)
+        # The demand pattern changes through the day, so energy must vary.
+        energies = [u.energy for u in updates]
+        assert max(energies) > 1.5 * min(energies)

@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def generated(tmp_path_factory):
+    out_dir = tmp_path_factory.mktemp("cli")
+    code = main(
+        [
+            "generate",
+            "--customers", "30",
+            "--days", "14",
+            "--seed", "5",
+            "--out-dir", str(out_dir),
+        ]
+    )
+    assert code == 0
+    return out_dir
+
+
+class TestGenerate:
+    def test_writes_both_csvs(self, generated):
+        assert (generated / "customers.csv").exists()
+        assert (generated / "readings.csv").exists()
+
+    def test_csvs_load_back(self, generated):
+        from repro.data.loader import load_customers, load_readings_wide
+
+        customers = load_customers(generated / "customers.csv")
+        readings = load_readings_wide(generated / "readings.csv")
+        assert len(customers) == 30
+        assert readings.n_steps == 14 * 24
+
+
+class TestDashboard:
+    def test_from_csvs(self, generated, tmp_path, capsys):
+        out = tmp_path / "dash.html"
+        code = main(
+            [
+                "dashboard",
+                "--customers-csv", str(generated / "customers.csv"),
+                "--readings-csv", str(generated / "readings.csv"),
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        text = out.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert text.count("<svg") == 3
+
+    def test_mismatched_inputs_rejected(self, generated):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "dashboard",
+                    "--customers-csv", str(generated / "customers.csv"),
+                ]
+            )
+
+
+class TestQuality:
+    def test_prints_report(self, generated, capsys):
+        code = main(["quality", str(generated / "readings.csv")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "missing_fraction" in out
+        assert "n_suspected_spikes" in out
+
+
+class TestSql:
+    def test_query_runs(self, generated, capsys):
+        code = main(
+            [
+                "sql",
+                str(generated / "customers.csv"),
+                "SELECT zone, count(*) AS n FROM customers GROUP BY zone",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "zone\tn" in out
+
+    def test_bad_sql_is_exit_code_1(self, generated, capsys):
+        code = main(["sql", str(generated / "customers.csv"), "DELETE FROM x"])
+        assert code == 1
+        assert "SQL error" in capsys.readouterr().err
+
+    def test_no_rows(self, generated, capsys):
+        code = main(
+            [
+                "sql",
+                str(generated / "customers.csv"),
+                "SELECT customer_id FROM customers WHERE lon > 999",
+            ]
+        )
+        assert code == 0
+        assert "(no rows)" in capsys.readouterr().out

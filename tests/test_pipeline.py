@@ -1,0 +1,133 @@
+"""Tests for the VapSession facade (the logic layer)."""
+
+import numpy as np
+import pytest
+
+from repro.core.patterns.selection import KnnSelection, RectSelection
+from repro.core.pipeline import VapSession
+from repro.data.timeseries import HourWindow
+from repro.preprocess.features import FeatureKind
+
+
+class TestConstruction:
+    def test_preprocessing_runs_by_default(self, small_session):
+        assert small_session.series.missing_fraction() == 0.0
+        assert small_session.anomalies is not None
+        assert small_session.anomalies.total > 0
+        assert small_session.quality.missing_fraction > 0.0
+
+    def test_preprocess_false_keeps_raw(self, small_city):
+        session = VapSession.from_city(small_city, preprocess=False)
+        assert session.series.missing_fraction() > 0.0
+        assert session.anomalies is None
+
+    def test_from_city_clean(self, small_city):
+        session = VapSession.from_city(small_city, use_raw=False)
+        assert session.quality.missing_fraction == 0.0
+
+
+class TestEmbedding:
+    def test_caching_by_parameters(self, small_session):
+        a = small_session.embed(n_iter=150)
+        b = small_session.embed(n_iter=150)
+        assert a is b
+        c = small_session.embed(n_iter=151)
+        assert c is not a
+
+    def test_methods_produce_2d(self, small_session):
+        for method in ("tsne", "mds", "mds_classical"):
+            info = small_session.embed(method=method, n_iter=100)
+            assert info.coords.shape == (len(small_session.db), 2)
+            assert np.isfinite(info.objective)
+
+    def test_unknown_method(self, small_session):
+        with pytest.raises(ValueError, match="method"):
+            small_session.embed(method="umap")
+
+    def test_feature_cache(self, small_session):
+        a = small_session.features(FeatureKind.MEAN_DAY)
+        b = small_session.features(FeatureKind.MEAN_DAY)
+        assert a is b
+        assert a.shape[1] == 24
+
+
+class TestSelectionWorkflow:
+    def test_select_label_profile_round_trip(self, small_session):
+        info = small_session.embed(n_iter=150)
+        session = small_session.selection_session(info)
+        idx = session.select("g", KnnSelection(info.coords[0, 0], info.coords[0, 1], 8))
+        label = small_session.pattern_of(idx)
+        assert label.archetype is not None
+        profile = small_session.profile_of(idx)
+        assert profile.shape[0] == small_session.series.n_steps
+        ids = small_session.customers_of(idx)
+        assert len(ids) == 8
+
+    def test_member_labels_cached(self, small_session):
+        assert small_session.member_labels() is small_session.member_labels()
+
+    def test_empty_profile_rejected(self, small_session):
+        with pytest.raises(ValueError):
+            small_session.profile_of(np.array([], dtype=np.int64))
+
+    def test_kmeans_baseline(self, small_session):
+        result = small_session.kmeans_baseline(k=4)
+        assert np.unique(result.labels).size == 4
+
+
+class TestShiftWorkflow:
+    def test_density_and_shift(self, small_session):
+        t1 = HourWindow(61, 63)
+        t2 = HourWindow(67, 69)
+        density = small_session.density(t2)
+        assert density.total_mass() == pytest.approx(1.0, abs=0.15)
+        field = small_session.shift(t1, t2)
+        assert field.energy() > 0
+
+    def test_flow_styles(self, small_session):
+        t1 = HourWindow(61, 63)
+        t2 = HourWindow(67, 69)
+        major = small_session.flows(t1, t2, style="major")
+        dense = small_session.flows(t1, t2, style="field")
+        assert len(dense) > len(major) >= 1
+        with pytest.raises(ValueError, match="style"):
+            small_session.flows(t1, t2, style="spiral")
+
+    def test_grid_cached_per_resolution(self, small_session):
+        a = small_session.grid()
+        b = small_session.grid()
+        assert a is b
+        c = small_session.grid(nx=32, ny=32)
+        assert c is not a
+
+    def test_customer_subset_shift(self, small_session):
+        ids = small_session.db.customer_ids[:10]
+        field = small_session.shift(HourWindow(61, 63), HourWindow(67, 69), customer_ids=ids)
+        assert np.isfinite(field.values).all()
+
+
+class TestForecastApi:
+    def test_methods_agree_on_shapes(self, small_session):
+        cid = small_session.db.customer_ids[0]
+        for method in ("profile", "seasonal", "naive"):
+            out = small_session.forecast(cid, horizon=48, method=method)
+            assert out.shape == (48,)
+            assert (out >= 0).all()
+
+    def test_profile_tracks_diurnal_shape(self, small_session):
+        """The pattern forecast must vary within the day for a customer
+        with a diurnal pattern."""
+        import numpy as np
+
+        means = small_session.series.per_customer_mean()
+        cid = int(small_session.series.customer_ids[int(np.argmax(means))])
+        out = small_session.forecast(cid, horizon=24, method="profile")
+        assert out.max() > 1.05 * max(out.min(), 1e-9)
+
+    def test_unknown_method(self, small_session):
+        with pytest.raises(ValueError, match="method"):
+            small_session.forecast(small_session.db.customer_ids[0], method="arima")
+
+    def test_unknown_customer(self, small_session):
+        with pytest.raises(KeyError):
+            small_session.forecast(10**9)

@@ -1,0 +1,99 @@
+"""Tests for the fingerprint heat map and zone choropleth."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.data.timeseries import TimeSeries
+from repro.db.spatial import BBox
+from repro.viz.basemap import MapProjection
+from repro.viz.choropleth import render_choropleth, zone_demand
+from repro.viz.fingerprint import render_fingerprint
+
+
+def _tags(tree: ET.Element, name: str) -> list:
+    return [e for e in tree.iter() if e.tag.split("}")[-1] == name]
+
+
+class TestFingerprint:
+    def test_renders_one_cell_per_hour(self):
+        series = TimeSeries(0, np.arange(48.0))
+        doc = render_fingerprint(series)
+        tree = ET.fromstring(doc.render())
+        rects = _tags(tree, "rect")
+        # 48 cells + background + 24 colourbar segments.
+        assert len([r for r in rects]) >= 48
+
+    def test_midnight_alignment(self):
+        """A series starting at 07:00 pads the first column's top 7 cells."""
+        series = TimeSeries(7, np.ones(24))
+        doc = render_fingerprint(series)
+        rendered = doc.render()
+        # 7 lead padding cells + 17 tail cells complete the 2-day grid.
+        assert rendered.count('fill="#dddddd"') == 24
+
+    def test_nan_cells_grey(self):
+        values = np.ones(24)
+        values[3] = np.nan
+        doc = render_fingerprint(TimeSeries(0, values))
+        assert 'fill="#dddddd"' in doc.render()
+
+    def test_quantile_cap_saturates_spikes(self):
+        values = np.ones(48)
+        values[10] = 1000.0
+        doc = render_fingerprint(TimeSeries(0, values), quantile_cap=0.9)
+        rendered = doc.render()
+        # Ordinary cells must not be painted at the bottom of the scale.
+        from repro.viz.color import colormap
+
+        assert rendered.count(f'fill="{colormap("heat", 1.0)}"') >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_fingerprint(TimeSeries(0, np.empty(0)))
+        with pytest.raises(ValueError):
+            render_fingerprint(TimeSeries(0, np.ones(24)), quantile_cap=0.0)
+
+    def test_well_formed_on_city_data(self, small_city):
+        cid = int(small_city.raw.customer_ids[0])
+        series = small_city.raw.series(cid)
+        ET.fromstring(render_fingerprint(series).render())
+
+
+class TestChoropleth:
+    @pytest.fixture()
+    def projection(self, small_city):
+        min_lon, min_lat, max_lon, max_lat = small_city.layout.bounding_box()
+        return MapProjection(BBox(min_lon, min_lat, max_lon, max_lat), 400, 400)
+
+    def test_zone_demand_aggregation(self, small_city):
+        positions = small_city.positions()
+        values = np.ones(positions.shape[0])
+        per_zone = zone_demand(small_city.layout, positions, values)
+        for value in per_zone.values():
+            assert value == pytest.approx(1.0)
+
+    def test_zone_demand_validation(self, small_city):
+        with pytest.raises(ValueError):
+            zone_demand(small_city.layout, np.ones((3, 2)), np.ones(2))
+
+    def test_renders_all_zones(self, small_city, projection):
+        per_zone = {z.name: float(i) for i, z in enumerate(small_city.layout.zones)}
+        layer = render_choropleth(small_city.layout, per_zone, projection)
+        tree = ET.fromstring(layer.render())
+        assert len(_tags(tree, "path")) == len(small_city.layout.zones)
+
+    def test_missing_zone_is_grey(self, small_city, projection):
+        layer = render_choropleth(small_city.layout, {}, projection)
+        assert layer.render().count('fill="#e0e0e0"') == len(
+            small_city.layout.zones
+        )
+
+    def test_validation(self, small_city, projection):
+        with pytest.raises(ValueError):
+            render_choropleth(small_city.layout, {}, projection, opacity=2.0)
+        with pytest.raises(ValueError, match="NaN"):
+            render_choropleth(
+                small_city.layout, {"City Core": float("nan")}, projection
+            )

@@ -1,0 +1,158 @@
+"""Tests for the SVG tree, colormaps and scales."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.viz.color import (
+    CATEGORICAL,
+    COLORMAPS,
+    categorical,
+    colormap,
+    hex_to_rgb,
+    rgb_to_hex,
+    with_alpha,
+)
+from repro.viz.scales import LinearScale, format_hour, format_tick, nice_ticks
+from repro.viz.svg import Element, SvgDocument, escape, path_data
+
+
+class TestSvg:
+    def test_document_is_well_formed_xml(self):
+        doc = SvgDocument(100, 50)
+        group = doc.add_new("g", class_="layer")
+        group.add_new("circle", cx=5, cy=5, r=2.0)
+        group.add_new("text", x=1, y=1).set_text("a < b & c")
+        ET.fromstring(doc.render())  # raises on malformed output
+
+    def test_attribute_name_mapping(self):
+        el = Element("rect", stroke_width=2, class_="x")
+        rendered = el.render()
+        assert 'stroke-width="2"' in rendered
+        assert 'class="x"' in rendered
+
+    def test_escaping(self):
+        assert escape('a"b<c>&') == "a&quot;b&lt;c&gt;&amp;"
+        el = Element("text").set_text("<script>")
+        assert "<script>" not in el.render()
+
+    def test_self_closing_vs_nested(self):
+        assert Element("rect").render() == "<rect/>"
+        parent = Element("g")
+        parent.add_new("rect")
+        assert parent.render() == "<g><rect/></g>"
+
+    def test_invalid_tag_rejected(self):
+        with pytest.raises(ValueError):
+            Element("bad tag")
+
+    def test_document_size_validation(self):
+        with pytest.raises(ValueError):
+            SvgDocument(0, 10)
+
+    def test_render_document_has_xml_header(self):
+        assert SvgDocument(10, 10).render_document().startswith("<?xml")
+
+    def test_path_data(self):
+        d = path_data([(0, 0), (1.5, 2.25)], close=True)
+        assert d == "M0,0 L1.5,2.25 Z"
+        with pytest.raises(ValueError):
+            path_data([])
+
+    def test_float_formatting_compact(self):
+        el = Element("circle", cx=1.23456789)
+        assert 'cx="1.235"' in el.render()
+
+
+class TestColor:
+    def test_hex_round_trip(self):
+        assert rgb_to_hex(hex_to_rgb("#4477aa")) == "#4477aa"
+        assert hex_to_rgb("#fff") == (255, 255, 255)
+
+    def test_malformed_hex(self):
+        with pytest.raises(ValueError):
+            hex_to_rgb("#12345")
+        with pytest.raises(ValueError):
+            hex_to_rgb("#zzzzzz")
+
+    @pytest.mark.parametrize("name", COLORMAPS)
+    def test_colormaps_produce_valid_hex(self, name):
+        for t in np.linspace(0, 1, 11):
+            color = colormap(name, float(t))
+            assert len(color) == 7 and color.startswith("#")
+            hex_to_rgb(color)
+
+    def test_colormap_endpoints(self):
+        assert colormap("shift", 0.5) == "#f7f7f7"  # white at no-change
+        assert colormap("heat", 0.0) != colormap("heat", 1.0)
+
+    def test_colormap_clips(self):
+        assert colormap("heat", -1.0) == colormap("heat", 0.0)
+        assert colormap("heat", 2.0) == colormap("heat", 1.0)
+
+    def test_unknown_colormap(self):
+        with pytest.raises(ValueError):
+            colormap("jet", 0.5)
+
+    def test_categorical_wraps(self):
+        assert categorical(0) == CATEGORICAL[0]
+        assert categorical(len(CATEGORICAL)) == CATEGORICAL[0]
+        with pytest.raises(ValueError):
+            categorical(-1)
+
+    def test_with_alpha(self):
+        assert with_alpha("#000000", 0.5) == "rgba(0,0,0,0.500)"
+
+
+class TestScales:
+    def test_linear_forward_and_invert(self):
+        scale = LinearScale(0.0, 10.0, 100.0, 200.0)
+        assert scale(5.0) == 150.0
+        assert scale.invert(150.0) == 5.0
+
+    def test_flipped_range(self):
+        scale = LinearScale(0.0, 1.0, 200.0, 100.0)  # SVG y axis
+        assert scale(0.0) == 200.0
+        assert scale(1.0) == 100.0
+
+    def test_degenerate_domain_maps_to_mid(self):
+        scale = LinearScale(5.0, 5.0, 0.0, 10.0)
+        assert scale(5.0) == 5.0
+        assert scale(99.0) == 5.0
+
+    def test_vectorised(self):
+        scale = LinearScale(0.0, 1.0, 0.0, 10.0)
+        out = scale(np.array([0.0, 0.5, 1.0]))
+        np.testing.assert_allclose(out, [0.0, 5.0, 10.0])
+
+    def test_nice_ticks_cover_and_step(self):
+        ticks = nice_ticks(0.0, 100.0, 5)
+        assert ticks[0] >= 0.0 and ticks[-1] <= 100.0
+        steps = np.diff(ticks)
+        np.testing.assert_allclose(steps, steps[0])
+        mantissa = steps[0] / (10 ** np.floor(np.log10(steps[0])))
+        assert round(mantissa, 6) in (1.0, 2.0, 5.0, 10.0)
+
+    def test_nice_ticks_small_range(self):
+        ticks = nice_ticks(0.001, 0.0017, 4)
+        assert all(0.001 <= t <= 0.0017 for t in ticks)
+
+    def test_nice_ticks_degenerate(self):
+        assert nice_ticks(3.0, 3.0) == [3.0]
+
+    def test_nice_ticks_validation(self):
+        with pytest.raises(ValueError):
+            nice_ticks(0, float("inf"))
+        with pytest.raises(ValueError):
+            nice_ticks(0, 1, n=1)
+
+    def test_format_tick(self):
+        assert format_tick(0) == "0"
+        assert format_tick(5.0) == "5"
+        assert format_tick(1e-6) == "1.0e-06"
+        assert format_tick(0.25) == "0.25"
+
+    def test_format_hour(self):
+        assert format_hour(0) == "Jan 01 00:00"
+        assert format_hour(25) == "Jan 02 01:00"

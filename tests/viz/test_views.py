@@ -1,0 +1,253 @@
+"""Tests for the rendered views (scatter, time series, map layers,
+dashboard)."""
+
+import re
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.core.shift.flow import FlowArrow
+from repro.core.shift.grids import DensityGrid, GridSpec
+from repro.data.timeseries import HourWindow
+from repro.db.spatial import BBox
+from repro.viz.basemap import (
+    MapProjection,
+    base_document,
+    render_marker_layer,
+    render_zone_layer,
+)
+from repro.viz.dashboard import render_dashboard, render_map_view
+from repro.viz.flowmap import render_flow_layer
+from repro.viz.heatmap import render_heat_layer, render_shift_layer
+from repro.viz.legend import categorical_legend, colorbar
+from repro.viz.scatter import render_scatter
+from repro.viz.timeseries_chart import render_timeseries
+
+
+def _well_formed(element) -> ET.Element:
+    return ET.fromstring(element.render())
+
+
+def _tags(tree: ET.Element, name: str) -> list:
+    """Find descendants by local tag name, namespaced or not."""
+    return [e for e in tree.iter() if e.tag.split("}")[-1] == name]
+
+
+class TestScatter:
+    def test_renders_all_points(self, rng):
+        emb = rng.normal(size=(50, 2))
+        doc = render_scatter(emb)
+        tree = _well_formed(doc)
+        circles = _tags(tree, "circle")
+        assert len(circles) == 50
+
+    def test_labels_add_legend(self, rng):
+        emb = rng.normal(size=(20, 2))
+        labels = np.array(["a", "b"] * 10)
+        rendered = render_scatter(emb, labels=labels).render()
+        assert "legend" in rendered
+
+    def test_highlight_marks_points(self, rng):
+        emb = rng.normal(size=(10, 2))
+        doc = render_scatter(emb, highlight=np.array([0, 1]))
+        strokes = doc.render().count('stroke="#000000"')
+        assert strokes == 2
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            render_scatter(np.zeros((5, 3)))
+        with pytest.raises(ValueError):
+            render_scatter(np.zeros((5, 2)), labels=np.array(["a"]))
+
+    def test_empty_embedding_ok(self):
+        _well_formed(render_scatter(np.empty((0, 2))))
+
+
+class TestTimeseries:
+    def test_renders_aggregate_path(self):
+        hours = np.arange(48)
+        doc = render_timeseries(hours, np.sin(hours / 5.0))
+        tree = _well_formed(doc)
+        paths = _tags(tree, "path")
+        assert len(paths) >= 1
+
+    def test_nan_gaps_split_paths(self):
+        hours = np.arange(30)
+        values = np.sin(hours / 3.0)
+        values[10:15] = np.nan
+        doc = render_timeseries(hours, values)
+        tree = _well_formed(doc)
+        paths = _tags(tree, "path")
+        assert len(paths) == 2
+
+    def test_members_capped(self, rng):
+        hours = np.arange(24)
+        members = rng.normal(size=(100, 24))
+        doc = render_timeseries(hours, members.mean(axis=0), members, max_members=10)
+        tree = _well_formed(doc)
+        paths = _tags(tree, "path")
+        assert len(paths) <= 12  # 10 members + aggregate (maybe split)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            render_timeseries(np.arange(5), np.arange(4))
+        with pytest.raises(ValueError):
+            render_timeseries(np.arange(5), np.arange(5.0), members=np.ones((2, 4)))
+
+    def test_empty_series(self):
+        _well_formed(render_timeseries(np.empty(0), np.empty(0)))
+
+
+@pytest.fixture()
+def projection():
+    return MapProjection(BBox(12.5, 55.6, 12.7, 55.8), 400, 400)
+
+
+class TestMapLayers:
+    def test_projection_orientation(self, projection):
+        x_west, y_south = projection.to_pixel(12.5, 55.6)
+        x_east, y_north = projection.to_pixel(12.7, 55.8)
+        assert x_west < x_east
+        assert y_north < y_south  # north is up in pixels
+
+    def test_zone_layer(self, projection, small_city):
+        layer = render_zone_layer(small_city.layout, projection)
+        tree = _well_formed(layer)
+        texts = _tags(tree, "text")
+        assert len(texts) == len(small_city.layout.zones)
+
+    def test_marker_layer(self, projection, rng):
+        pts = np.column_stack(
+            [rng.uniform(12.5, 12.7, 30), rng.uniform(55.6, 55.8, 30)]
+        )
+        layer = render_marker_layer(pts, projection)
+        tree = _well_formed(layer)
+        assert len(_tags(tree, "circle")) == 30
+
+    def test_heat_layer_thresholds(self, projection):
+        spec = GridSpec(BBox(12.5, 55.6, 12.7, 55.8), nx=8, ny=8)
+        values = np.zeros((8, 8))
+        values[4, 4] = 1.0
+        grid = DensityGrid(spec=spec, values=values)
+        layer = render_heat_layer(grid, projection, threshold=0.5)
+        tree = _well_formed(layer)
+        rects = _tags(tree, "rect")
+        assert len(rects) == 1
+
+    def test_heat_layer_empty_grid(self, projection):
+        spec = GridSpec(BBox(12.5, 55.6, 12.7, 55.8), nx=4, ny=4)
+        grid = DensityGrid(spec=spec, values=np.zeros((4, 4)))
+        layer = render_heat_layer(grid, projection)
+        assert len(_well_formed(layer)) == 0
+
+    def test_shift_layer_diverging(self, projection):
+        from repro.core.shift.flow import ShiftField
+
+        spec = GridSpec(BBox(12.5, 55.6, 12.7, 55.8), nx=4, ny=4)
+        values = np.zeros((4, 4))
+        values[0, 0] = 1.0
+        values[3, 3] = -1.0
+        layer = render_shift_layer(
+            ShiftField(spec=spec, values=values), projection, threshold=0.5
+        )
+        rendered = layer.render()
+        assert rendered.count("<rect") == 2
+
+    def test_flow_layer_colors_by_magnitude(self, projection):
+        arrows = [
+            FlowArrow(12.55, 55.65, 0.05, 0.05, 1.0),
+            FlowArrow(12.60, 55.70, 0.05, 0.0, 10.0),
+        ]
+        layer = render_flow_layer(arrows, projection)
+        tree = _well_formed(layer)
+        paths = _tags(tree, "path")
+        assert len(paths) == 2
+        fills = {p.get("fill") for p in paths}
+        assert len(fills) == 2  # different colour depth
+
+    def test_flow_layer_empty(self, projection):
+        assert len(_well_formed(render_flow_layer([], projection))) == 0
+
+    def test_opacity_validation(self, projection):
+        with pytest.raises(ValueError):
+            render_flow_layer([], projection, opacity=1.5)
+
+
+class TestLegend:
+    def test_categorical_legend(self):
+        tree = _well_formed(categorical_legend(["a", "b", "c"], 0, 0))
+        assert len(_tags(tree, "rect")) == 3
+        with pytest.raises(ValueError):
+            categorical_legend([], 0, 0)
+
+    def test_colorbar(self):
+        tree = _well_formed(colorbar("heat", 0.0, 5.0, 0, 0, title="demand"))
+        rects = _tags(tree, "rect")
+        assert len(rects) == 24
+        with pytest.raises(ValueError):
+            colorbar("heat", 0, 1, 0, 0, n_segments=1)
+
+
+class TestDashboard:
+    def test_full_page_well_formed(self, small_session, small_city):
+        html_text = render_dashboard(
+            small_session,
+            HourWindow(61, 63),
+            HourWindow(67, 69),
+            labels=small_city.archetype_labels(),
+            layout=small_city.layout,
+        )
+        svgs = re.findall(r"<svg.*?</svg>", html_text, re.S)
+        assert len(svgs) == 3
+        for svg in svgs:
+            ET.fromstring(svg)
+        assert html_text.startswith("<!DOCTYPE html>")
+
+    def test_selection_drives_view_b(self, small_session):
+        selection = np.arange(5)
+        html_text = render_dashboard(
+            small_session,
+            HourWindow(61, 63),
+            HourWindow(67, 69),
+            selection=selection,
+        )
+        assert "5 customers" in html_text
+
+    def test_map_view_standalone(self, small_session, small_city):
+        doc = render_map_view(
+            small_session,
+            HourWindow(61, 63),
+            HourWindow(67, 69),
+            layout=small_city.layout,
+        )
+        _well_formed(doc)
+
+
+class TestMapViewVariants:
+    def test_shift_layer_variant(self, small_session, small_city):
+        """render_map_view with show_heat=False draws the diverging shift
+        layer and its colour bar instead of the density heat map."""
+        doc = render_map_view(
+            small_session,
+            HourWindow(61, 63),
+            HourWindow(67, 69),
+            layout=small_city.layout,
+            show_heat=False,
+        )
+        rendered = doc.render()
+        assert "density shift" in rendered
+        assert "demand density" not in rendered
+        ET.fromstring(rendered)
+
+    def test_markers_optional(self, small_session):
+        with_markers = render_map_view(
+            small_session, HourWindow(61, 63), HourWindow(67, 69)
+        ).render()
+        without = render_map_view(
+            small_session,
+            HourWindow(61, 63),
+            HourWindow(67, 69),
+            show_markers=False,
+        ).render()
+        assert with_markers.count("<circle") > without.count("<circle")
