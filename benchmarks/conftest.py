@@ -5,14 +5,21 @@ Benchmarks both *time* the core computations (pytest-benchmark) and
 written to ``benchmarks/out/<experiment>.txt`` so they survive pytest's
 stdout capture; EXPERIMENTS.md records the values measured in the final
 run.
+
+Set ``REPRO_BENCH_SPANS=1`` to also capture observability span trees
+during every bench and dump them to ``benchmarks/out/spans/<test>.txt`` —
+off by default so the timed numbers keep the zero-cost NullSink path.
 """
 
 from __future__ import annotations
 
+import os
+import re
 from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.core.pipeline import VapSession
 from repro.data.generator.simulate import CityConfig, generate_city
 
@@ -43,3 +50,35 @@ def report():
         print(text)
 
     return write
+
+
+@pytest.fixture(autouse=True)
+def span_dump(request):
+    """Dump each bench's span trees when ``REPRO_BENCH_SPANS=1``.
+
+    Keeps the default NullSink (tracing disabled, zero overhead) unless
+    the flag is set, so benchmark numbers are unaffected out of the box.
+    """
+    if os.environ.get("REPRO_BENCH_SPANS") != "1":
+        yield
+        return
+    sink = obs.RingBufferSink(capacity=1024)
+    previous = obs.get_tracer()
+    obs.configure(sink=sink)
+    try:
+        yield
+    finally:
+        obs.configure(tracer=previous)
+    roots = sink.records()
+    if not roots:
+        return
+    span_dir = OUT_DIR / "spans"
+    span_dir.mkdir(parents=True, exist_ok=True)
+    safe = re.sub(r"[^\w.-]+", "_", request.node.name)
+    lines: list[str] = [f"span trees for {request.node.name}", ""]
+    for root in roots:
+        lines.extend(root.format_tree())
+        lines.append("")
+    if sink.n_dropped:
+        lines.append(f"({sink.n_dropped} older root spans dropped)")
+    (span_dir / f"{safe}.txt").write_text("\n".join(lines) + "\n")

@@ -1,12 +1,15 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the tool's operational surface:
+Five commands cover the tool's operational surface:
 
 - ``generate`` — synthesise a city and write customers + readings CSVs;
 - ``dashboard`` — build the composed Figure-3 HTML page from CSVs (or a
   freshly generated city when no input is given);
 - ``quality`` — print the data-quality report for a readings CSV;
-- ``sql`` — run a SQL SELECT against a customers CSV.
+- ``sql`` — run a SQL SELECT against a customers CSV;
+- ``stats`` — run a representative workload through the full stack and
+  print the observability snapshot (metrics and, with ``--spans``, trace
+  trees).
 
 ``python -m repro.server`` (a separate entry point) serves the REST API.
 """
@@ -59,6 +62,20 @@ def _build_parser() -> argparse.ArgumentParser:
     sql = commands.add_parser("sql", help="query a customers CSV with SQL")
     sql.add_argument("customers_csv", type=Path)
     sql.add_argument("query")
+
+    stats = commands.add_parser(
+        "stats", help="run a sample workload and print collected metrics"
+    )
+    stats.add_argument("--customers", type=int, default=60)
+    stats.add_argument("--days", type=int, default=21)
+    stats.add_argument("--seed", type=int, default=7)
+    stats.add_argument(
+        "--json", action="store_true", help="print the raw JSON snapshot"
+    )
+    stats.add_argument(
+        "--spans", type=int, default=0, metavar="N",
+        help="also print up to N recorded span trees",
+    )
     return parser
 
 
@@ -147,11 +164,83 @@ def _cmd_sql(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Exercise the full stack once and print what the obs layer saw."""
+    from repro import obs
+    from repro.server import TestClient, VapApp
+
+    registry = obs.MetricsRegistry()
+    sink = obs.RingBufferSink(capacity=64)
+    previous_registry, previous_tracer = obs.get_registry(), obs.get_tracer()
+    obs.configure(registry=registry, sink=sink)
+    try:
+        city = generate_city(
+            CityConfig(n_customers=args.customers, n_days=args.days,
+                       seed=args.seed)
+        )
+        session = VapSession.from_city(city)
+        client = TestClient(VapApp(session, layout=city.layout))
+        day = min(2, args.days - 1) * 24
+        for url in (
+            "/api/health",
+            "/api/embedding?n_iter=100",
+            "/api/embedding?n_iter=100",  # second call exercises the cache
+            f"/api/shift?t1_start={day + 13}&t1_end={day + 15}"
+            f"&t2_start={day + 19}&t2_end={day + 21}",
+            "/api/kmeans?k=4",
+        ):
+            response = client.get(url)
+            if not response.ok:
+                print(f"workload request {url} failed: {response.json}",
+                      file=sys.stderr)
+                return 1
+    finally:
+        # Leave the process-wide defaults as we found them (tests call
+        # this in-process).
+        obs.configure(registry=previous_registry, tracer=previous_tracer)
+
+    if args.json:
+        from repro.server import json_codec
+
+        snapshot = registry.snapshot()
+        if args.spans:
+            snapshot["spans"] = [
+                r.to_record() for r in sink.records()[-args.spans:]
+            ]
+        print(json_codec.dumps(snapshot))
+        return 0
+
+    snapshot = registry.snapshot()
+    print(f"workload: {args.customers} customers x {args.days} days "
+          f"(seed {args.seed})\n")
+    print("counters")
+    for record in snapshot["counters"]:
+        labels = " ".join(f"{k}={v}" for k, v in record["labels"].items())
+        print(f"  {record['name']:<28}{record['value']:>10.0f}  {labels}")
+    print("\ngauges")
+    for record in snapshot["gauges"]:
+        labels = " ".join(f"{k}={v}" for k, v in record["labels"].items())
+        print(f"  {record['name']:<28}{record['value']:>10.4g}  {labels}")
+    print("\nhistograms (count / p50 / p99, seconds)")
+    for record in snapshot["histograms"]:
+        labels = " ".join(f"{k}={v}" for k, v in record["labels"].items())
+        print(
+            f"  {record['name']:<28}{record['count']:>6d}"
+            f"{record['p50']:>10.4g}{record['p99']:>10.4g}  {labels}"
+        )
+    if args.spans:
+        print("\nspan trees (most recent last)")
+        for root in sink.records()[-args.spans:]:
+            print("\n".join(root.format_tree(indent=1)))
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "dashboard": _cmd_dashboard,
     "quality": _cmd_quality,
     "sql": _cmd_sql,
+    "stats": _cmd_stats,
 }
 
 

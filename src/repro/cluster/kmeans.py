@@ -12,6 +12,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
+
 
 @dataclass(slots=True)
 class KMeansResult:
@@ -82,38 +84,48 @@ def kmeans(
         raise ValueError(f"n_init must be >= 1, got {n_init}")
     rng = np.random.default_rng(seed)
     best: KMeansResult | None = None
-    for _ in range(n_init):
-        centroids = _plus_plus_init(features, k, rng)
-        trace: list[float] = []
-        labels, d2 = _assign(features, centroids)
-        iterations = 0
-        for iterations in range(1, max_iter + 1):
-            # Update step.
-            for c in range(k):
-                members = features[labels == c]
-                if members.shape[0] == 0:
-                    # Re-seed an empty cluster at the worst-fitted point.
-                    centroids[c] = features[int(d2.argmax())]
-                else:
-                    centroids[c] = members.mean(axis=0)
-            new_labels, d2 = _assign(features, centroids)
+    total_iterations = 0
+    with obs.span("kernel.kmeans", n_points=n, k=k, n_init=n_init):
+        for _ in range(n_init):
+            centroids = _plus_plus_init(features, k, rng)
+            trace: list[float] = []
+            labels, d2 = _assign(features, centroids)
+            iterations = 0
+            for iterations in range(1, max_iter + 1):
+                # Update step.
+                for c in range(k):
+                    members = features[labels == c]
+                    if members.shape[0] == 0:
+                        # Re-seed an empty cluster at the worst-fitted point.
+                        centroids[c] = features[int(d2.argmax())]
+                    else:
+                        centroids[c] = members.mean(axis=0)
+                new_labels, d2 = _assign(features, centroids)
+                inertia = float(d2.sum())
+                trace.append(inertia)
+                if (new_labels == labels).all():
+                    labels = new_labels
+                    break
+                if len(trace) >= 2 and trace[-2] - trace[-1] < tol * max(trace[-2], 1e-30):
+                    labels = new_labels
+                    break
+                labels = new_labels
+            total_iterations += iterations
             inertia = float(d2.sum())
-            trace.append(inertia)
-            if (new_labels == labels).all():
-                labels = new_labels
-                break
-            if len(trace) >= 2 and trace[-2] - trace[-1] < tol * max(trace[-2], 1e-30):
-                labels = new_labels
-                break
-            labels = new_labels
-        inertia = float(d2.sum())
-        if best is None or inertia < best.inertia:
-            best = KMeansResult(
-                labels=labels.copy(),
-                centroids=centroids.copy(),
-                inertia=inertia,
-                n_iter=iterations,
-                inertia_trace=trace,
-            )
+            if best is None or inertia < best.inertia:
+                best = KMeansResult(
+                    labels=labels.copy(),
+                    centroids=centroids.copy(),
+                    inertia=inertia,
+                    n_iter=iterations,
+                    inertia_trace=trace,
+                )
     assert best is not None
+    registry = obs.get_registry()
+    registry.counter("kernel_runs_total", kernel="kmeans").inc()
+    registry.counter("kmeans_restarts_total").inc(n_init)
+    registry.histogram(
+        "kernel_iterations", buckets=obs.COUNT_BUCKETS, kernel="kmeans"
+    ).observe(total_iterations)
+    registry.gauge("kernel_last_objective", kernel="kmeans").set(best.inertia)
     return best

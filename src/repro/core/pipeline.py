@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.kmeans import KMeansResult, kmeans
 from repro.core.patterns.labeling import (
     PatternLabel,
@@ -67,6 +68,9 @@ class VapSession:
         When True (default), readings are anomaly-filtered and imputed at
         construction — the paper's stated preprocessing.  Pass False when
         the readings are already clean.
+    metrics:
+        Metrics registry receiving cache hit/miss counters and stage
+        timings; the process-wide default registry when omitted.
     """
 
     def __init__(
@@ -74,8 +78,10 @@ class VapSession:
         db: EnergyDatabase,
         feature_kind: FeatureKind = FeatureKind.MEAN_WEEK,
         preprocess: bool = True,
+        metrics: obs.MetricsRegistry | None = None,
     ) -> None:
         self.db = db
+        self._metrics = metrics
         self.feature_kind = feature_kind
         self.quality: DataQualityReport = assess_quality(db.readings)
         self.anomalies: AnomalyReport | None = None
@@ -94,8 +100,19 @@ class VapSession:
         """Build a session from a generated
         :class:`~repro.data.generator.simulate.CityDataset`."""
         readings = dataset.raw if use_raw else dataset.clean
-        db = EnergyDatabase(dataset.customers, readings)
+        db = EnergyDatabase(
+            dataset.customers, readings, metrics=kwargs.get("metrics")
+        )
         return cls(db, **kwargs)
+
+    @property
+    def metrics(self) -> obs.MetricsRegistry:
+        """This session's registry (the process default unless injected)."""
+        return self._metrics if self._metrics is not None else obs.get_registry()
+
+    def _cache(self, op: str, hit: bool) -> None:
+        result = "hit" if hit else "miss"
+        self.metrics.counter("pipeline_cache_total", op=op, result=result).inc()
 
     # ------------------------------------------------------------------
     # typical patterns (views B and C)
@@ -103,8 +120,11 @@ class VapSession:
     def features(self, kind: FeatureKind | None = None) -> np.ndarray:
         """Feature matrix for the embedding, cached per kind."""
         kind = kind or self.feature_kind
-        if kind not in self._features:
-            self._features[kind] = extract_features(self.series, kind)
+        hit = kind in self._features
+        self._cache("features", hit)
+        if not hit:
+            with obs.span("pipeline.features", kind=kind.value):
+                self._features[kind] = extract_features(self.series, kind)
         return self._features[kind]
 
     def embed(
@@ -129,34 +149,38 @@ class VapSession:
             )
         kind = feature_kind or self.feature_kind
         key = (method, metric, kind, perplexity, n_iter, seed)
-        if key in self._embeddings:
+        hit = key in self._embeddings
+        self._cache("embed", hit)
+        if hit:
             return self._embeddings[key]
-        feats = self.features(kind)
-        if method == "tsne":
-            result = tsne(
-                feats,
-                metric=metric,
-                perplexity=perplexity,
-                n_iter=n_iter,
-                seed=seed,
-            )
-            info = EmbeddingInfo(
-                coords=result.embedding,
-                method=method,
-                metric=metric,
-                feature_kind=kind,
-                objective=result.kl_divergence,
-            )
-        else:
-            mds_method = "classical" if method == "mds_classical" else "smacof"
-            result = mds(feats, metric=metric, method=mds_method)
-            info = EmbeddingInfo(
-                coords=result.embedding,
-                method=method,
-                metric=metric,
-                feature_kind=kind,
-                objective=result.stress,
-            )
+        with obs.span("pipeline.embed", method=method, metric=metric), \
+                self.metrics.timer("pipeline_seconds", op="embed"):
+            feats = self.features(kind)
+            if method == "tsne":
+                result = tsne(
+                    feats,
+                    metric=metric,
+                    perplexity=perplexity,
+                    n_iter=n_iter,
+                    seed=seed,
+                )
+                info = EmbeddingInfo(
+                    coords=result.embedding,
+                    method=method,
+                    metric=metric,
+                    feature_kind=kind,
+                    objective=result.kl_divergence,
+                )
+            else:
+                mds_method = "classical" if method == "mds_classical" else "smacof"
+                result = mds(feats, metric=metric, method=mds_method)
+                info = EmbeddingInfo(
+                    coords=result.embedding,
+                    method=method,
+                    metric=metric,
+                    feature_kind=kind,
+                    objective=result.stress,
+                )
         self._embeddings[key] = info
         return info
 
@@ -202,8 +226,10 @@ class VapSession:
         self, k: int = 5, feature_kind: FeatureKind | None = None, seed: int = 0
     ) -> KMeansResult:
         """The S1d baseline: k-means on z-scored features."""
-        feats = normalize_matrix(self.features(feature_kind), "zscore")
-        return kmeans(feats, k=k, seed=seed)
+        with obs.span("pipeline.kmeans_baseline", k=k), \
+                self.metrics.timer("pipeline_seconds", op="kmeans_baseline"):
+            feats = normalize_matrix(self.features(feature_kind), "zscore")
+            return kmeans(feats, k=k, seed=seed)
 
     def forecast(
         self, customer_id: int, horizon: int = 24, method: str = "profile"
@@ -254,8 +280,13 @@ class VapSession:
         customer_ids: list[int] | None = None,
     ) -> DensityGrid:
         """Eq. 3: demand-weighted density for one window (view A heat map)."""
-        positions, values = self.db.demand(window, customer_ids)
-        return kde_density(positions, values, self.grid(), bandwidth_m=bandwidth_m)
+        with obs.span(
+            "pipeline.density", start=window.start_hour, end=window.end_hour
+        ), self.metrics.timer("pipeline_seconds", op="density"):
+            positions, values = self.db.demand(window, customer_ids)
+            return kde_density(
+                positions, values, self.grid(), bandwidth_m=bandwidth_m
+            )
 
     def shift(
         self,
@@ -265,9 +296,11 @@ class VapSession:
         customer_ids: list[int] | None = None,
     ) -> ShiftField:
         """Eq. 4: the density difference between two windows."""
-        before = self.density(t1, bandwidth_m, customer_ids)
-        after = self.density(t2, bandwidth_m, customer_ids)
-        return ShiftField.between(before, after)
+        with obs.span("pipeline.shift"), \
+                self.metrics.timer("pipeline_seconds", op="shift"):
+            before = self.density(t1, bandwidth_m, customer_ids)
+            after = self.density(t2, bandwidth_m, customer_ids)
+            return ShiftField.between(before, after)
 
     def flows(
         self,

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.reduction.distances import pairwise_distances, validate_distance_matrix
 
 METHODS = ("classical", "smacof")
@@ -142,10 +143,22 @@ def mds(
         dist = validate_distance_matrix(distances)
     if dist.shape[0] < 3:
         raise ValueError(f"need at least 3 points for MDS, got {dist.shape[0]}")
-    if method == "classical":
-        y = classical_mds(dist, n_components)
-        return MDSResult(
-            embedding=y, stress=kruskal_stress(dist, y), n_iter=0, method=method
-        )
-    y, stress, iterations = smacof(dist, n_components, max_iter=max_iter)
-    return MDSResult(embedding=y, stress=stress, n_iter=iterations, method=method)
+    with obs.span("kernel.mds", n_points=dist.shape[0], method=method):
+        if method == "classical":
+            y = classical_mds(dist, n_components)
+            result = MDSResult(
+                embedding=y, stress=kruskal_stress(dist, y), n_iter=0,
+                method=method,
+            )
+        else:
+            y, stress, iterations = smacof(dist, n_components, max_iter=max_iter)
+            result = MDSResult(
+                embedding=y, stress=stress, n_iter=iterations, method=method
+            )
+    registry = obs.get_registry()
+    registry.counter("kernel_runs_total", kernel="mds").inc()
+    registry.histogram(
+        "kernel_iterations", buckets=obs.COUNT_BUCKETS, kernel="mds"
+    ).observe(result.n_iter)
+    registry.gauge("kernel_last_objective", kernel="mds").set(result.stress)
+    return result

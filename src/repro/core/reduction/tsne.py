@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.reduction.distances import pairwise_distances, validate_distance_matrix
 from repro.core.reduction.pca import pca
 
@@ -166,25 +167,33 @@ def tsne(
     gains = np.ones_like(y)
     kl_trace: list[float] = []
     exaggerated = p * early_exaggeration
-    for iteration in range(n_iter):
-        current_p = exaggerated if iteration < exaggeration_iter else p
-        q, kernel = _q_matrix(y)
-        # Gradient: 4 * sum_j (p_ij - q_ij) * kernel_ij * (y_i - y_j)
-        coeff = (current_p - q) * kernel
-        grad = 4.0 * ((np.diag(coeff.sum(axis=1)) - coeff) @ y)
-        momentum = 0.5 if iteration < exaggeration_iter else 0.8
-        same_sign = np.sign(grad) == np.sign(velocity)
-        gains = np.where(same_sign, gains * 0.8, gains + 0.2)
-        np.clip(gains, 0.01, None, out=gains)
-        velocity = momentum * velocity - learning_rate * gains * grad
-        y = y + velocity
-        y = y - y.mean(axis=0, keepdims=True)
-        if iteration % 50 == 0 or iteration == n_iter - 1:
-            kl_trace.append(_kl(p, q))
+    with obs.span("kernel.tsne", n_points=n, n_iter=n_iter):
+        for iteration in range(n_iter):
+            current_p = exaggerated if iteration < exaggeration_iter else p
+            q, kernel = _q_matrix(y)
+            # Gradient: 4 * sum_j (p_ij - q_ij) * kernel_ij * (y_i - y_j)
+            coeff = (current_p - q) * kernel
+            grad = 4.0 * ((np.diag(coeff.sum(axis=1)) - coeff) @ y)
+            momentum = 0.5 if iteration < exaggeration_iter else 0.8
+            same_sign = np.sign(grad) == np.sign(velocity)
+            gains = np.where(same_sign, gains * 0.8, gains + 0.2)
+            np.clip(gains, 0.01, None, out=gains)
+            velocity = momentum * velocity - learning_rate * gains * grad
+            y = y + velocity
+            y = y - y.mean(axis=0, keepdims=True)
+            if iteration % 50 == 0 or iteration == n_iter - 1:
+                kl_trace.append(_kl(p, q))
     q, _ = _q_matrix(y)
+    kl = _kl(p, q)
+    registry = obs.get_registry()
+    registry.counter("kernel_runs_total", kernel="tsne").inc()
+    registry.histogram(
+        "kernel_iterations", buckets=obs.COUNT_BUCKETS, kernel="tsne"
+    ).observe(n_iter)
+    registry.gauge("kernel_last_objective", kernel="tsne").set(kl)
     return TSNEResult(
         embedding=y,
-        kl_divergence=_kl(p, q),
+        kl_divergence=kl,
         n_iter=n_iter,
         perplexity=perplexity,
         kl_trace=kl_trace,

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.core.shift.grids import DensityGrid, GridSpec
 from repro.db.geo import meters_per_degree
 
@@ -118,9 +119,13 @@ def kde_density(
 
     # Separable Gaussian: exp(-(dx^2+dy^2)/2h^2) = exp(-dx^2/2h^2)*exp(-dy^2/2h^2)
     # lets the (ny, nx) surface come from two (grid, n) factor matrices.
-    inv = 1.0 / (2.0 * bandwidth_m**2)
-    fx = np.exp(-inv * (gx[:, None] - px[None, :]) ** 2)  # (nx, n)
-    fy = np.exp(-inv * (gy[:, None] - py[None, :]) ** 2)  # (ny, n)
-    norm = 1.0 / (n * 2.0 * np.pi * bandwidth_m**2)
-    values = norm * (fy * c[None, :]) @ fx.T  # (ny, nx)
+    with obs.span("kernel.kde", n_points=n, nx=spec.nx, ny=spec.ny):
+        inv = 1.0 / (2.0 * bandwidth_m**2)
+        fx = np.exp(-inv * (gx[:, None] - px[None, :]) ** 2)  # (nx, n)
+        fy = np.exp(-inv * (gy[:, None] - py[None, :]) ** 2)  # (ny, n)
+        norm = 1.0 / (n * 2.0 * np.pi * bandwidth_m**2)
+        values = norm * (fy * c[None, :]) @ fx.T  # (ny, nx)
+    registry = obs.get_registry()
+    registry.counter("kernel_runs_total", kernel="kde").inc()
+    registry.gauge("kernel_last_bandwidth_m", kernel="kde").set(bandwidth_m)
     return DensityGrid(spec=spec, values=values)

@@ -19,6 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.data.meter import Customer
 from repro.data.timeseries import HourWindow, SeriesSet
 from repro.db.index.grid import GridIndex
@@ -54,6 +55,9 @@ class EnergyDatabase:
         Hourly readings whose customer ids exactly match ``customers``.
     index_kind:
         Spatial index implementation, one of :data:`INDEX_KINDS`.
+    metrics:
+        Registry receiving ``db_query_seconds`` histograms (one per query
+        kind); the process-wide default registry when omitted.
     """
 
     def __init__(
@@ -61,7 +65,9 @@ class EnergyDatabase:
         customers: Sequence[Customer],
         readings: SeriesSet,
         index_kind: str = "rtree",
+        metrics: obs.MetricsRegistry | None = None,
     ) -> None:
+        self._metrics = metrics
         if index_kind not in INDEX_KINDS:
             raise ValueError(
                 f"unknown index_kind {index_kind!r}; pick one of {INDEX_KINDS}"
@@ -100,6 +106,15 @@ class EnergyDatabase:
     # ------------------------------------------------------------------
     # metadata
     # ------------------------------------------------------------------
+    @property
+    def metrics(self) -> obs.MetricsRegistry:
+        """This database's registry (the process default unless injected)."""
+        return self._metrics if self._metrics is not None else obs.get_registry()
+
+    def _timed(self, op: str):
+        """Timer context recording one query into ``db_query_seconds``."""
+        return self.metrics.timer("db_query_seconds", op=op)
+
     def __len__(self) -> int:
         return len(self._customers)
 
@@ -135,7 +150,8 @@ class EnergyDatabase:
         """
         from repro.db.sql import execute_sql  # local: avoid import cycle
 
-        return execute_sql({"customers": self.table}, statement)
+        with self._timed("sql"):
+            return execute_sql({"customers": self.table}, statement)
 
     def bounding_box(self) -> BBox:
         """Smallest box covering every customer."""
@@ -146,25 +162,29 @@ class EnergyDatabase:
     # ------------------------------------------------------------------
     def ids_in_bbox(self, box: BBox) -> np.ndarray:
         """Customer ids inside the box, ascending."""
-        return self.index.query_bbox(box)
+        with self._timed("bbox"):
+            return self.index.query_bbox(box)
 
     def ids_in_radius(self, circle: Circle) -> np.ndarray:
         """Customer ids inside the circle, ascending."""
-        return self.index.query_radius(circle)
+        with self._timed("radius"):
+            return self.index.query_radius(circle)
 
     def ids_in_polygon(self, polygon: Polygon) -> np.ndarray:
         """Customer ids inside the polygon (index pre-filter + exact test)."""
-        candidates = self.index.query_bbox(polygon.bbox())
-        if candidates.size == 0:
-            return candidates
-        lons = np.array([self._customers[int(cid)].lon for cid in candidates])
-        lats = np.array([self._customers[int(cid)].lat for cid in candidates])
-        hit = polygon.contains_many(lons, lats)
-        return candidates[hit]
+        with self._timed("polygon"):
+            candidates = self.index.query_bbox(polygon.bbox())
+            if candidates.size == 0:
+                return candidates
+            lons = np.array([self._customers[int(cid)].lon for cid in candidates])
+            lats = np.array([self._customers[int(cid)].lat for cid in candidates])
+            hit = polygon.contains_many(lons, lats)
+            return candidates[hit]
 
     def nearest(self, lon: float, lat: float, k: int = 1) -> np.ndarray:
         """Ids of the k customers nearest to a point, closest first."""
-        return self.index.nearest(lon, lat, k=k)
+        with self._timed("nearest"):
+            return self.index.nearest(lon, lat, k=k)
 
     def ids_in_zone(self, zone: str) -> np.ndarray:
         """Customer ids in a land-use zone, ascending."""
@@ -190,12 +210,13 @@ class EnergyDatabase:
         window: HourWindow | None = None,
     ) -> SeriesSet:
         """Readings sliced to a customer subset and/or an hour window."""
-        out = self.readings
-        if customer_ids is not None:
-            out = out.select_customers([int(cid) for cid in customer_ids])
-        if window is not None:
-            out = out.slice_hours(window.start_hour, window.end_hour)
-        return out
+        with self._timed("readings"):
+            out = self.readings
+            if customer_ids is not None:
+                out = out.select_customers([int(cid) for cid in customer_ids])
+            if window is not None:
+                out = out.slice_hours(window.start_hour, window.end_hour)
+            return out
 
     def demand(
         self,
@@ -218,19 +239,20 @@ class EnergyDatabase:
             raise ValueError(
                 f"unknown statistic {statistic!r}; pick one of {DEMAND_STATISTICS}"
             )
-        if customer_ids is None:
-            customer_ids = [int(cid) for cid in self.readings.customer_ids]
-        sliced = self.readings_for(customer_ids, window)
-        matrix = sliced.matrix
-        values = np.zeros(len(customer_ids))
-        if matrix.shape[1] > 0:
-            observed = ~np.isnan(matrix).all(axis=1)
-            with np.errstate(invalid="ignore"):
-                if statistic == "mean":
-                    stat = np.nanmean(matrix[observed], axis=1)
-                elif statistic == "sum":
-                    stat = np.nansum(matrix[observed], axis=1)
-                else:  # max
-                    stat = np.nanmax(matrix[observed], axis=1)
-            values[observed] = stat
-        return self.positions_of(customer_ids), values
+        with self._timed("demand"), obs.span("db.demand", statistic=statistic):
+            if customer_ids is None:
+                customer_ids = [int(cid) for cid in self.readings.customer_ids]
+            sliced = self.readings_for(customer_ids, window)
+            matrix = sliced.matrix
+            values = np.zeros(len(customer_ids))
+            if matrix.shape[1] > 0:
+                observed = ~np.isnan(matrix).all(axis=1)
+                with np.errstate(invalid="ignore"):
+                    if statistic == "mean":
+                        stat = np.nanmean(matrix[observed], axis=1)
+                    elif statistic == "sum":
+                        stat = np.nansum(matrix[observed], axis=1)
+                    else:  # max
+                        stat = np.nanmax(matrix[observed], axis=1)
+                values[observed] = stat
+            return self.positions_of(customer_ids), values

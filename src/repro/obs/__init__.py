@@ -1,0 +1,114 @@
+"""Observability: metrics registry + trace spans for every layer.
+
+The VAP reproduction aims at interactive latency on ever-larger data
+sets; this package is how any perf claim gets measured.  Two halves:
+
+- :class:`~repro.obs.registry.MetricsRegistry` — thread-safe counters,
+  gauges and fixed-bucket histograms (request rates, cache hit ratios,
+  latency percentiles);
+- :class:`~repro.obs.spans.Tracer` / :func:`~repro.obs.spans.span` —
+  nested wall-time spans exported as trees to a sink
+  (:class:`~repro.obs.sinks.RingBufferSink` in memory, or the default
+  :class:`~repro.obs.sinks.NullSink` which makes tracing free).
+
+One process-wide default registry and tracer serve call sites that are
+not handed an explicit one (the numeric kernels, the CLI); sessions,
+databases and apps accept their own for isolation.  Swap the defaults
+with :func:`configure`::
+
+    from repro import obs
+    from repro.obs import RingBufferSink
+
+    sink = RingBufferSink()
+    obs.configure(sink=sink)          # start collecting span trees
+    ... run a workload ...
+    for root in sink.records():
+        print("\\n".join(root.format_tree()))
+    print(obs.get_registry().snapshot())
+
+Outward surfaces: ``GET /api/metrics`` on the REST API, the ``repro
+stats`` CLI command, and the ``REPRO_BENCH_SPANS=1`` benchmark dump hook.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.obs.registry import (
+    COUNT_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.sinks import NullSink, RingBufferSink
+from repro.obs.spans import SpanRecord, Tracer, span
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullSink",
+    "RingBufferSink",
+    "SpanRecord",
+    "Tracer",
+    "configure",
+    "get_registry",
+    "get_tracer",
+    "reset",
+    "span",
+]
+
+_default_registry = MetricsRegistry()
+_default_tracer = Tracer()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _default_registry
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer (NullSink until configured)."""
+    return _default_tracer
+
+
+def configure(
+    *,
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    sink: object | None = None,
+    clock: Callable[[], float] | None = None,
+) -> tuple[MetricsRegistry, Tracer]:
+    """Swap the process-wide defaults; returns ``(registry, tracer)``.
+
+    Only the arguments given change: ``tracer`` installs that exact
+    tracer (use it to restore a saved one), ``sink``/``clock`` rebuild
+    the default tracer keeping the other half, ``registry`` replaces the
+    default registry wholesale.
+    """
+    global _default_registry, _default_tracer
+    if tracer is not None and (sink is not None or clock is not None):
+        raise ValueError("pass either tracer or sink/clock, not both")
+    if registry is not None:
+        _default_registry = registry
+    if tracer is not None:
+        _default_tracer = tracer
+    elif sink is not None or clock is not None:
+        _default_tracer = Tracer(
+            sink=sink if sink is not None else _default_tracer.sink,
+            clock=clock if clock is not None else _default_tracer.clock,
+        )
+    return _default_registry, _default_tracer
+
+
+def reset() -> tuple[MetricsRegistry, Tracer]:
+    """Restore a fresh registry and a NullSink tracer (test isolation)."""
+    global _default_registry, _default_tracer
+    _default_registry = MetricsRegistry()
+    _default_tracer = Tracer()
+    return _default_registry, _default_tracer

@@ -1,0 +1,322 @@
+"""Thread-safe metrics: counters, gauges and fixed-bucket histograms.
+
+The registry is the numeric half of the observability layer (spans are the
+structural half, see :mod:`repro.obs.spans`).  Instruments follow the
+Prometheus vocabulary — a *counter* only goes up, a *gauge* holds the last
+value, a *histogram* sorts observations into fixed ``le`` (less-or-equal)
+buckets so latency percentiles can be estimated without storing samples.
+
+Every instrument is identified by ``(name, labels)``; asking the registry
+for the same identity twice returns the same object, so call sites never
+need to pre-register anything.  All mutation goes through one registry
+lock — the hot operations are a dict lookup plus a float add, cheap next
+to any of the numeric kernels they wrap.
+
+The registry's clock is injectable (``perf_counter`` by default) so timing
+tests are deterministic: pass any zero-argument callable returning
+monotonic seconds.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import Callable, Iterator, Sequence
+
+# Latency buckets in seconds, spanning sub-millisecond JSON handlers to
+# multi-second t-SNE runs.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+    5.0, 10.0, 30.0,
+)
+
+# Buckets for discrete quantities — solver iterations, batch sizes.
+COUNT_BUCKETS: tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000,
+)
+
+Labels = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, object]) -> Labels:
+    """Canonical, hashable form of a label set (values stringified)."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: Labels, lock: threading.RLock) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = lock
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative — counters never go down).
+
+        Raises
+        ------
+        ValueError
+            For a negative amount.
+        """
+        if amount < 0:
+            raise ValueError(f"counters only increase; got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def to_record(self) -> dict:
+        return {"name": self.name, "labels": dict(self.labels), "value": self._value}
+
+
+class Gauge:
+    """Last-value instrument (can move in either direction)."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: Labels, lock: threading.RLock) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def to_record(self) -> dict:
+        return {"name": self.name, "labels": dict(self.labels), "value": self._value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with ``le`` (less-or-equal) edge semantics.
+
+    An observation lands in the first bucket whose upper bound is >= the
+    value; anything above the last bound goes to the implicit ``+Inf``
+    overflow bucket.  The per-bucket counts are *not* cumulative, so they
+    always sum to the observation count.
+    """
+
+    __slots__ = (
+        "name", "labels", "buckets", "_counts", "_sum", "_count", "_lock"
+    )
+
+    def __init__(
+        self,
+        name: str,
+        labels: Labels,
+        buckets: Sequence[float],
+        lock: threading.RLock,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must strictly increase: {bounds}")
+        self.name = name
+        self.labels = labels
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1 = +Inf overflow
+        self._sum = 0.0
+        self._count = 0
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        """Record one observation.
+
+        Raises
+        ------
+        ValueError
+            For NaN (it belongs to no bucket).
+        """
+        value = float(value)
+        if value != value:  # NaN
+            raise ValueError("cannot observe NaN")
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def bucket_counts(self) -> list[int]:
+        """Per-bucket counts (last entry is the +Inf overflow bucket)."""
+        with self._lock:
+            return list(self._counts)
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the q-quantile observation.
+
+        Returns 0.0 with no observations; observations in the overflow
+        bucket report the last finite bound (the estimate saturates).
+
+        Raises
+        ------
+        ValueError
+            For q outside [0, 1].
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            total = self._count
+            if total == 0:
+                return 0.0
+            rank = q * total
+            running = 0
+            for bound, count in zip(self.buckets, self._counts):
+                running += count
+                if running >= rank:
+                    return bound
+        return self.buckets[-1]
+
+    def to_record(self) -> dict:
+        with self._lock:
+            edges = [
+                {"le": bound, "count": count}
+                for bound, count in zip(self.buckets, self._counts)
+            ]
+            edges.append({"le": "+Inf", "count": self._counts[-1]})
+            return {
+                "name": self.name,
+                "labels": dict(self.labels),
+                "count": self._count,
+                "sum": self._sum,
+                "buckets": edges,
+                "p50": self.quantile(0.5),
+                "p90": self.quantile(0.9),
+                "p99": self.quantile(0.99),
+            }
+
+
+class MetricsRegistry:
+    """Get-or-create store for all instruments of one process/app.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument monotonic-seconds callable used by :meth:`timer`;
+        ``time.perf_counter`` by default, injectable for deterministic
+        tests.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self.clock = clock
+        self._lock = threading.RLock()
+        self._counters: dict[tuple[str, Labels], Counter] = {}
+        self._gauges: dict[tuple[str, Labels], Gauge] = {}
+        self._histograms: dict[tuple[str, Labels], Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # instrument access
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = (name, _label_key(labels))
+        with self._lock:
+            if key not in self._counters:
+                self._counters[key] = Counter(name, key[1], self._lock)
+            return self._counters[key]
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = (name, _label_key(labels))
+        with self._lock:
+            if key not in self._gauges:
+                self._gauges[key] = Gauge(name, key[1], self._lock)
+            return self._gauges[key]
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        **labels: object,
+    ) -> Histogram:
+        """Get-or-create a histogram.
+
+        Raises
+        ------
+        ValueError
+            If an existing histogram of the same identity was declared
+            with different buckets — silently mixing scales would corrupt
+            the percentiles.
+        """
+        key = (name, _label_key(labels))
+        with self._lock:
+            existing = self._histograms.get(key)
+            if existing is None:
+                self._histograms[key] = Histogram(
+                    name, key[1], buckets, self._lock
+                )
+                return self._histograms[key]
+            if existing.buckets != tuple(float(b) for b in buckets):
+                raise ValueError(
+                    f"histogram {name!r} {dict(key[1])} already declared "
+                    f"with buckets {existing.buckets}"
+                )
+            return existing
+
+    @contextmanager
+    def timer(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        **labels: object,
+    ) -> Iterator[Histogram]:
+        """Time a block into ``histogram(name, **labels)`` in seconds."""
+        hist = self.histogram(name, buckets=buckets, **labels)
+        start = self.clock()
+        try:
+            yield hist
+        finally:
+            hist.observe(self.clock() - start)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready dump of every instrument, sorted by identity."""
+        with self._lock:
+            return {
+                "counters": [
+                    c.to_record() for _, c in sorted(self._counters.items())
+                ],
+                "gauges": [
+                    g.to_record() for _, g in sorted(self._gauges.items())
+                ],
+                "histograms": [
+                    h.to_record() for _, h in sorted(self._histograms.items())
+                ],
+            }
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and benchmark isolation)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

@@ -1,0 +1,76 @@
+"""Span sinks: where finished trace trees go.
+
+The tracer exports one :class:`~repro.obs.spans.SpanRecord` per *root*
+span (children ride along inside the record).  :class:`NullSink` is the
+default — tracing disabled, spans cost nothing.  :class:`RingBufferSink`
+keeps the most recent trees in memory for ``/api/metrics``, ``repro
+stats`` and the benchmark dumps.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.spans import SpanRecord
+
+
+class NullSink:
+    """Drops everything; its presence tells the tracer to skip timing."""
+
+    __slots__ = ()
+
+    def export(self, record: "SpanRecord") -> None:
+        """Discard the record."""
+
+
+class RingBufferSink:
+    """Thread-safe ring buffer of the most recent root spans.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained root spans; the oldest is evicted (and counted
+        as dropped) when full.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._buffer: deque["SpanRecord"] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._exported = 0
+        self._dropped = 0
+
+    def export(self, record: "SpanRecord") -> None:
+        with self._lock:
+            if len(self._buffer) == self.capacity:
+                self._dropped += 1
+            self._buffer.append(record)
+            self._exported += 1
+
+    def records(self) -> list["SpanRecord"]:
+        """Retained root spans, oldest first."""
+        with self._lock:
+            return list(self._buffer)
+
+    @property
+    def n_exported(self) -> int:
+        """Total root spans ever exported (including evicted ones)."""
+        return self._exported
+
+    @property
+    def n_dropped(self) -> int:
+        """Root spans evicted because the buffer was full."""
+        return self._dropped
+
+    def clear(self) -> None:
+        with self._lock:
+            self._buffer.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buffer)

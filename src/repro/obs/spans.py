@@ -1,0 +1,215 @@
+"""Nested trace spans with wall time and tags.
+
+A *span* brackets one unit of work (``pipeline.embed``, ``db.demand``,
+one HTTP request).  Spans opened while another span is active on the same
+thread become its children, so a finished root span is a tree mirroring
+the call structure; the tracer exports each finished root to its sink.
+
+With the default :class:`~repro.obs.sinks.NullSink` the whole machinery
+short-circuits: ``span(...)`` yields ``None`` without even reading the
+clock, so instrumentation left in hot kernels is free until someone
+installs a real sink.
+
+The clock is injectable (any zero-argument monotonic-seconds callable),
+which keeps timing tests deterministic — no sleeping, no wall-time flake.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.obs.sinks import NullSink
+
+
+@dataclass(slots=True)
+class SpanRecord:
+    """One finished (or in-flight) span.
+
+    ``duration`` is wall seconds, filled in when the span closes;
+    ``error`` is the exception type name when the block raised.
+    """
+
+    name: str
+    tags: dict[str, object]
+    start: float
+    duration: float = 0.0
+    error: str | None = None
+    children: list["SpanRecord"] = field(default_factory=list)
+
+    def walk(self) -> Iterator["SpanRecord"]:
+        """This span then every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_record(self) -> dict:
+        """JSON-ready dict (recursive)."""
+        out: dict = {
+            "name": self.name,
+            "duration_ms": self.duration * 1000.0,
+        }
+        if self.tags:
+            out["tags"] = dict(self.tags)
+        if self.error is not None:
+            out["error"] = self.error
+        if self.children:
+            out["children"] = [c.to_record() for c in self.children]
+        return out
+
+    def format_tree(self, indent: int = 0) -> list[str]:
+        """Human-readable indented lines (for CLI / benchmark dumps)."""
+        tags = " ".join(f"{k}={v}" for k, v in self.tags.items())
+        suffix = f"  [{tags}]" if tags else ""
+        if self.error is not None:
+            suffix += f"  !{self.error}"
+        lines = [
+            f"{'  ' * indent}{self.name:<{max(28 - 2 * indent, 1)}}"
+            f"{self.duration * 1000.0:>10.2f} ms{suffix}"
+        ]
+        for child in self.children:
+            lines.extend(child.format_tree(indent + 1))
+        return lines
+
+
+class _SpanContext:
+    """Context manager for one span; not reusable."""
+
+    __slots__ = ("_tracer", "_record", "_parent")
+
+    def __init__(self, tracer: "Tracer", name: str, tags: dict[str, object]):
+        self._tracer = tracer
+        self._record = SpanRecord(name=name, tags=tags, start=0.0)
+        self._parent: SpanRecord | None = None
+
+    def __enter__(self) -> SpanRecord:
+        stack = self._tracer._stack()
+        self._parent = stack[-1] if stack else None
+        self._record.start = self._tracer.clock()
+        stack.append(self._record)
+        return self._record
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        record = self._record
+        record.duration = self._tracer.clock() - record.start
+        if exc_type is not None:
+            record.error = exc_type.__name__
+        stack = self._tracer._stack()
+        if stack and stack[-1] is record:
+            stack.pop()
+        if self._parent is not None:
+            self._parent.children.append(record)
+        else:
+            self._tracer.sink.export(record)
+
+
+class _NoopContext:
+    """Shared do-nothing context for the disabled (NullSink) path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NOOP = _NoopContext()
+
+
+class Tracer:
+    """Produces spans, threads their nesting, exports finished roots.
+
+    Parameters
+    ----------
+    sink:
+        Destination for finished root spans; :class:`NullSink` (the
+        default) disables tracing entirely.
+    clock:
+        Monotonic-seconds callable; injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        sink: object | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.sink = sink if sink is not None else NullSink()
+        self.clock = clock
+        self._local = threading.local()
+
+    @property
+    def enabled(self) -> bool:
+        """False when the sink is a :class:`NullSink` (spans are no-ops)."""
+        return not isinstance(self.sink, NullSink)
+
+    def _stack(self) -> list[SpanRecord]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str, **tags: object) -> _SpanContext | _NoopContext:
+        """Open a span; use as ``with tracer.span("work", k=1) as rec:``.
+
+        Yields the in-flight :class:`SpanRecord` (or ``None`` when
+        disabled — the disabled path never touches the clock).
+        """
+        if not self.enabled:
+            return _NOOP
+        return _SpanContext(self, name, tags)
+
+    def current(self) -> SpanRecord | None:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+
+class span:
+    """Module-level span handle bound to the *current* global tracer.
+
+    Works both ways::
+
+        with span("pipeline.embed", method="tsne"):
+            ...
+
+        @span("kernel.tsne")
+        def tsne(...): ...
+
+    The global tracer is looked up at ``__enter__``/call time, not at
+    construction, so ``repro.obs.configure(sink=...)`` takes effect even
+    for decorators applied at import time.
+    """
+
+    __slots__ = ("name", "tags", "_cm")
+
+    def __init__(self, name: str, **tags: object) -> None:
+        self.name = name
+        self.tags = tags
+        self._cm: _SpanContext | _NoopContext | None = None
+
+    def __enter__(self) -> SpanRecord | None:
+        from repro.obs import get_tracer  # late: avoid import cycle
+
+        self._cm = get_tracer().span(self.name, **self.tags)
+        return self._cm.__enter__()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        cm, self._cm = self._cm, None
+        assert cm is not None
+        return cm.__exit__(exc_type, exc, tb)
+
+    def __call__(self, func: Callable) -> Callable:
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            from repro.obs import get_tracer
+
+            with get_tracer().span(self.name, **self.tags):
+                return func(*args, **kwargs)
+
+        return wrapper

@@ -9,5 +9,6 @@ WSGI application (stdlib only) exposing the data and model operations;
 
 from repro.server.app import VapApp
 from repro.server.client import TestClient
+from repro.server.middleware import MetricsMiddleware
 
-__all__ = ["TestClient", "VapApp"]
+__all__ = ["MetricsMiddleware", "TestClient", "VapApp"]

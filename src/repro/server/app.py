@@ -27,6 +27,10 @@ Endpoints mirror what the paper's three views request from the logic layer:
                                       (profile/seasonal/naive)
 ``GET  /api/proposals``               auto-discovered selection proposals
                                       (DBSCAN over view C), labelled
+``GET  /api/metrics``                 observability snapshot: request
+                                      counters/latency histograms per
+                                      route, pipeline cache hit/miss,
+                                      kernel stats, recent trace spans
 ====================================  =======================================
 
 Errors return ``{"error": ...}`` with 400/404/405 status.  The app is a
@@ -41,6 +45,7 @@ from urllib.parse import parse_qs
 
 import numpy as np
 
+from repro import obs
 from repro.core.patterns.selection import (
     KnnSelection,
     LassoSelection,
@@ -53,6 +58,7 @@ from repro.data.generator.city import CityLayout
 from repro.data.timeseries import HourWindow
 from repro.db.spatial import BBox
 from repro.server import json_codec
+from repro.server.middleware import MetricsMiddleware
 from repro.server.router import MethodNotAllowed, Router
 
 _STATUS = {
@@ -120,18 +126,44 @@ class Request:
 
 
 class VapApp:
-    """WSGI application over one :class:`~repro.core.pipeline.VapSession`."""
+    """WSGI application over one :class:`~repro.core.pipeline.VapSession`.
 
-    def __init__(self, session: VapSession, layout: CityLayout | None = None) -> None:
+    Every request flows through a
+    :class:`~repro.server.middleware.MetricsMiddleware` that records
+    per-route counters and latency histograms into :attr:`metrics` —
+    the session's registry unless an explicit one is given — and
+    ``GET /api/metrics`` exposes the snapshot.
+    """
+
+    def __init__(
+        self,
+        session: VapSession,
+        layout: CityLayout | None = None,
+        registry: obs.MetricsRegistry | None = None,
+    ) -> None:
         self.session = session
         self.layout = layout
+        self._metrics = registry
         self.router = Router()
         self._register()
+        self._pipeline = MetricsMiddleware(
+            self._dispatch,
+            registry=lambda: self.metrics,
+            route_resolver=self.router.pattern_of,
+        )
+
+    @property
+    def metrics(self) -> obs.MetricsRegistry:
+        """The registry requests are recorded into."""
+        return self._metrics if self._metrics is not None else self.session.metrics
 
     # ------------------------------------------------------------------
     # WSGI plumbing
     # ------------------------------------------------------------------
     def __call__(self, environ: dict, start_response: Callable) -> Iterable[bytes]:
+        return self._pipeline(environ, start_response)
+
+    def _dispatch(self, environ: dict, start_response: Callable) -> Iterable[bytes]:
         try:
             request = Request(environ)
             matched = self.router.match(request.method, request.path)
@@ -183,6 +215,23 @@ class VapApp:
             "GET", "/api/customers/<int:customer_id>/forecast", self.forecast
         )
         r.add("GET", "/api/proposals", self.proposals)
+        r.add("GET", "/api/metrics", self.metrics_snapshot)
+
+    def metrics_snapshot(self, request: Request) -> dict:
+        """Observability snapshot: counters, gauges, histograms, spans.
+
+        Span trees appear only when the process tracer exports to a
+        :class:`~repro.obs.RingBufferSink`; ``?spans=N`` bounds how many
+        recent roots are included (default 20).
+        """
+        snapshot = self.metrics.snapshot()
+        limit = request.param_int("spans", 20)
+        sink = obs.get_tracer().sink
+        if isinstance(sink, obs.RingBufferSink) and limit > 0:
+            snapshot["spans"] = [
+                r.to_record() for r in sink.records()[-limit:]
+            ]
+        return snapshot
 
     def health(self, request: Request) -> dict:
         span = self.session.db.time_span

@@ -1,0 +1,106 @@
+"""WSGI timing middleware: one counter and one histogram per request.
+
+Wraps any WSGI callable and records, for every request,
+
+- ``http_requests_total{method, route, status}`` — request count,
+- ``http_errors_total{route, status}`` — 4xx/5xx subset,
+- ``http_request_seconds{route}`` — latency histogram,
+
+plus an ``http.request`` trace span when the tracer has a real sink.
+The response passes through byte-for-byte — error bodies, headers and
+status codes are untouched.
+
+Requests are tagged with the *declared route pattern* (e.g.
+``/api/customers/<int:customer_id>``), not the raw path, so per-customer
+URLs don't explode the label space; a resolver callable supplies the
+pattern and unmatched paths fall under ``<unmatched>``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro import obs
+
+UNMATCHED = "<unmatched>"
+
+
+class MetricsMiddleware:
+    """Times each request into a metrics registry.
+
+    Parameters
+    ----------
+    app:
+        The wrapped WSGI callable.
+    registry:
+        A :class:`~repro.obs.MetricsRegistry`, or a zero-argument callable
+        returning one (resolved per request, so late configuration wins).
+        The process-wide default registry when omitted.
+    route_resolver:
+        ``(method, path) -> pattern | None`` used for the ``route`` label;
+        raw paths collapse to :data:`UNMATCHED` when it returns None.
+        Without a resolver every request is labelled with its raw path.
+    clock:
+        Monotonic-seconds callable; defaults to the registry's clock.
+    """
+
+    def __init__(
+        self,
+        app: Callable,
+        registry: obs.MetricsRegistry | Callable[[], obs.MetricsRegistry] | None = None,
+        route_resolver: Callable[[str, str], str | None] | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        self.app = app
+        self._registry = registry
+        self.route_resolver = route_resolver
+        self._clock = clock
+
+    def _resolve_registry(self) -> obs.MetricsRegistry:
+        if self._registry is None:
+            return obs.get_registry()
+        if callable(self._registry) and not isinstance(
+            self._registry, obs.MetricsRegistry
+        ):
+            return self._registry()
+        return self._registry
+
+    def __call__(self, environ: dict, start_response: Callable) -> Iterable[bytes]:
+        registry = self._resolve_registry()
+        clock = self._clock if self._clock is not None else registry.clock
+        method = environ.get("REQUEST_METHOD", "GET").upper()
+        path = environ.get("PATH_INFO", "/")
+        if self.route_resolver is not None:
+            route = self.route_resolver(method, path) or UNMATCHED
+        else:
+            route = path
+        captured: dict[str, str] = {}
+
+        def recording_start_response(status, headers, exc_info=None):
+            captured["status"] = status.split(" ", 1)[0]
+            if exc_info is not None:
+                return start_response(status, headers, exc_info)
+            return start_response(status, headers)
+
+        start = clock()
+        with obs.span("http.request", method=method, route=route) as span_rec:
+            chunks = self.app(environ, recording_start_response)
+            try:
+                # Materialise so the timing covers body generation too.
+                body = b"".join(chunks)
+            finally:
+                closer = getattr(chunks, "close", None)
+                if closer is not None:
+                    closer()
+            status = captured.get("status", "500")
+            if span_rec is not None:
+                span_rec.tags["status"] = status
+        elapsed = clock() - start
+
+        registry.counter(
+            "http_requests_total", method=method, route=route, status=status
+        ).inc()
+        if int(status) >= 400:
+            registry.counter("http_errors_total", route=route, status=status).inc()
+        registry.histogram("http_request_seconds", route=route).observe(elapsed)
+        return [body]

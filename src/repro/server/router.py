@@ -21,6 +21,7 @@ class Route:
     """One method+pattern binding."""
 
     method: str
+    path: str
     pattern: re.Pattern
     param_kinds: dict[str, str]
     handler: Handler
@@ -61,6 +62,7 @@ class Router:
         self._routes.append(
             Route(
                 method=method,
+                path=path,
                 pattern=re.compile(f"^{regex}$"),
                 param_kinds=kinds,
                 handler=handler,
@@ -105,6 +107,22 @@ class Router:
         if path_matched:
             raise MethodNotAllowed(path)
         return None
+
+    def pattern_of(self, method: str, path: str) -> str | None:
+        """The declared pattern string a request path falls under, or None.
+
+        Unlike :meth:`match` this never raises: a path that exists under a
+        different method still reports its pattern, so metrics can tag a
+        405 with the route it hit.
+        """
+        method = method.upper()
+        fallback: str | None = None
+        for route in self._routes:
+            if route.pattern.match(path):
+                if route.method == method:
+                    return route.path
+                fallback = fallback or route.path
+        return fallback
 
 
 class MethodNotAllowed(Exception):

@@ -3,9 +3,15 @@
 Real sleeping would make the demo scenario untestable; the clock instead
 records logical time that advances only when told to, while still keeping
 the 10-second-tick vocabulary of the paper's narration.
+
+The clock also reports its progress to the observability layer — a
+``stream_ticks_total`` counter and a ``stream_clock_seconds`` gauge — so a
+dashboard (or ``GET /api/metrics``) can show how far a replay has run.
 """
 
 from __future__ import annotations
+
+from repro import obs
 
 
 class SimulatedClock:
@@ -16,14 +22,27 @@ class SimulatedClock:
     tick_seconds:
         How much wall time one replay tick represents (the paper's example
         is 10 seconds).
+    metrics:
+        Registry receiving tick metrics; the process-wide default
+        registry when omitted.
     """
 
-    def __init__(self, tick_seconds: float = 10.0) -> None:
+    def __init__(
+        self,
+        tick_seconds: float = 10.0,
+        metrics: obs.MetricsRegistry | None = None,
+    ) -> None:
         if tick_seconds <= 0:
             raise ValueError(f"tick_seconds must be positive, got {tick_seconds}")
         self.tick_seconds = tick_seconds
+        self._metrics = metrics
         self._now = 0.0
         self._ticks = 0
+
+    @property
+    def metrics(self) -> obs.MetricsRegistry:
+        """This clock's registry (the process default unless injected)."""
+        return self._metrics if self._metrics is not None else obs.get_registry()
 
     @property
     def now(self) -> float:
@@ -39,6 +58,9 @@ class SimulatedClock:
         """Advance by one tick; returns the new time."""
         self._ticks += 1
         self._now += self.tick_seconds
+        registry = self.metrics
+        registry.counter("stream_ticks_total").inc()
+        registry.gauge("stream_clock_seconds").set(self._now)
         return self._now
 
     def advance(self, seconds: float) -> float:
@@ -52,4 +74,5 @@ class SimulatedClock:
         if seconds < 0:
             raise ValueError(f"cannot rewind the clock by {seconds}")
         self._now += seconds
+        self.metrics.gauge("stream_clock_seconds").set(self._now)
         return self._now

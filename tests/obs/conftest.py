@@ -1,0 +1,35 @@
+"""Shared observability test helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+class FakeClock:
+    """Deterministic monotonic clock: advances only when told to."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.t = start
+        self.calls = 0
+
+    def __call__(self) -> float:
+        self.calls += 1
+        return self.t
+
+    def advance(self, seconds: float) -> None:
+        self.t += seconds
+
+
+@pytest.fixture()
+def fake_clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def fresh_obs():
+    """Swap in fresh process-wide defaults; restore the originals after."""
+    previous_registry, previous_tracer = obs.get_registry(), obs.get_tracer()
+    yield obs.reset()
+    obs.configure(registry=previous_registry, tracer=previous_tracer)

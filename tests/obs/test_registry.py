@@ -1,0 +1,219 @@
+"""Unit tests for the metrics registry: arithmetic, buckets, threads."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    COUNT_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("requests")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_labels_distinguish_series(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", route="/a").inc()
+        reg.counter("hits", route="/b").inc(3)
+        assert reg.counter("hits", route="/a").value == 1
+        assert reg.counter("hits", route="/b").value == 3
+
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        # Label order must not matter.
+        a = reg.counter("x", p=1, q=2)
+        b = reg.counter("x", q=2, p=1)
+        assert a is b
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(5.0)
+        gauge.inc()
+        gauge.dec(2.0)
+        assert gauge.value == 4.0
+
+
+class TestHistogramBuckets:
+    def test_value_on_edge_falls_in_that_bucket(self):
+        """``le`` semantics: an observation equal to a bound counts there."""
+        reg = MetricsRegistry()
+        hist = reg.histogram("h", buckets=(1.0, 2.0, 5.0))
+        hist.observe(1.0)  # exactly on the first edge
+        hist.observe(2.0)  # exactly on the second
+        assert hist.bucket_counts == [1, 1, 0, 0]
+
+    def test_below_first_and_above_last(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 2.0))
+        hist.observe(-10.0)
+        hist.observe(0.5)
+        hist.observe(99.0)  # overflow bucket
+        assert hist.bucket_counts == [2, 0, 1]
+
+    def test_counts_and_sum(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0,))
+        for v in (0.25, 0.5, 3.0):
+            hist.observe(v)
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(3.75)
+        assert sum(hist.bucket_counts) == hist.count
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h").observe(float("nan"))
+
+    def test_bucket_validation(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("empty", buckets=())
+        with pytest.raises(ValueError):
+            reg.histogram("unsorted", buckets=(2.0, 1.0))
+
+    def test_redeclaring_with_other_buckets_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="already declared"):
+            reg.histogram("h", buckets=(1.0, 3.0))
+        # Same buckets is fine and returns the same histogram.
+        assert reg.histogram("h", buckets=(1.0, 2.0)) is reg.histogram(
+            "h", buckets=(1.0, 2.0)
+        )
+
+    def test_quantile_estimates_bucket_bound(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 0.6, 1.5, 3.0):
+            hist.observe(v)
+        assert hist.quantile(0.5) == 1.0
+        assert hist.quantile(1.0) == 4.0
+        assert hist.quantile(0.0) == 1.0  # lowest non-empty bucket's bound
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_quantile_with_no_observations(self):
+        assert MetricsRegistry().histogram("h").quantile(0.9) == 0.0
+
+    def test_overflow_quantile_saturates_at_last_bound(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 2.0))
+        hist.observe(100.0)
+        assert hist.quantile(0.99) == 2.0
+
+
+class TestTimer:
+    def test_records_elapsed_seconds(self, fake_clock):
+        reg = MetricsRegistry(clock=fake_clock)
+        with reg.timer("op_seconds", op="embed"):
+            fake_clock.advance(0.3)
+        hist = reg.histogram("op_seconds", op="embed")
+        assert hist.count == 1
+        assert hist.sum == pytest.approx(0.3)
+
+    def test_records_even_when_block_raises(self, fake_clock):
+        reg = MetricsRegistry(clock=fake_clock)
+        with pytest.raises(RuntimeError):
+            with reg.timer("op_seconds"):
+                fake_clock.advance(0.1)
+                raise RuntimeError("boom")
+        assert reg.histogram("op_seconds").count == 1
+
+
+class TestSnapshotAndReset:
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c", a=1).inc()
+        reg.gauge("g").set(2.0)
+        hist = reg.histogram("h", buckets=(1.0, 2.0))
+        hist.observe(0.5)
+        snap = reg.snapshot()
+        assert [c["name"] for c in snap["counters"]] == ["c"]
+        assert snap["counters"][0] == {
+            "name": "c", "labels": {"a": "1"}, "value": 1.0,
+        }
+        assert snap["gauges"][0]["value"] == 2.0
+        record = snap["histograms"][0]
+        assert record["count"] == 1
+        assert record["buckets"][-1]["le"] == "+Inf"
+        assert sum(b["count"] for b in record["buckets"][:-1]) == 1
+        assert {"p50", "p90", "p99"} <= set(record)
+
+    def test_snapshot_is_json_safe(self):
+        from repro.server import json_codec
+
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(0.2)
+        reg.counter("c").inc()
+        parsed = json_codec.loads(json_codec.dumps(reg.snapshot()))
+        assert parsed["histograms"][0]["count"] == 1
+
+    def test_reset_drops_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap == {"counters": [], "gauges": [], "histograms": []}
+
+    def test_default_bucket_presets_are_valid(self):
+        for preset in (DEFAULT_LATENCY_BUCKETS, COUNT_BUCKETS):
+            assert all(b2 > b1 for b1, b2 in zip(preset, preset[1:]))
+
+
+class TestConcurrency:
+    def test_parallel_counter_increments_all_land(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("hits")
+        n_threads, n_incs = 8, 2000
+
+        def work():
+            for _ in range(n_incs):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == n_threads * n_incs
+
+    def test_parallel_histogram_observations_all_land(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h", buckets=(0.5,))
+        n_threads, n_obs = 8, 1000
+
+        def work():
+            for i in range(n_obs):
+                hist.observe(i % 2)  # alternates below/above the edge
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert hist.count == n_threads * n_obs
+        assert sum(hist.bucket_counts) == hist.count
+
+    def test_parallel_get_or_create_yields_one_instrument(self):
+        reg = MetricsRegistry()
+        seen = []
+
+        def work():
+            seen.append(reg.counter("shared", k="v"))
+
+        threads = [threading.Thread(target=work) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(c is seen[0] for c in seen)

@@ -1,0 +1,177 @@
+"""Unit tests for spans: nesting, sinks, the disabled path, threads."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import NullSink, RingBufferSink, SpanRecord, Tracer, span
+
+
+class TestNesting:
+    def test_children_attach_to_parent(self, fake_clock):
+        sink = RingBufferSink()
+        tracer = Tracer(sink=sink, clock=fake_clock)
+        with tracer.span("root") as root:
+            fake_clock.advance(1.0)
+            with tracer.span("child_a"):
+                fake_clock.advance(0.25)
+            with tracer.span("child_b"):
+                with tracer.span("grandchild"):
+                    fake_clock.advance(0.5)
+        roots = sink.records()
+        assert len(roots) == 1  # only the root is exported
+        assert roots[0] is root
+        assert [c.name for c in root.children] == ["child_a", "child_b"]
+        assert [c.name for c in root.children[1].children] == ["grandchild"]
+
+    def test_durations_from_injected_clock(self, fake_clock):
+        sink = RingBufferSink()
+        tracer = Tracer(sink=sink, clock=fake_clock)
+        with tracer.span("root"):
+            fake_clock.advance(1.0)
+            with tracer.span("child"):
+                fake_clock.advance(0.25)
+        root = sink.records()[0]
+        assert root.duration == pytest.approx(1.25)
+        assert root.children[0].duration == pytest.approx(0.25)
+
+    def test_sibling_roots_export_separately(self, fake_clock):
+        sink = RingBufferSink()
+        tracer = Tracer(sink=sink, clock=fake_clock)
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [r.name for r in sink.records()] == ["first", "second"]
+
+    def test_exception_recorded_and_propagated(self, fake_clock):
+        sink = RingBufferSink()
+        tracer = Tracer(sink=sink, clock=fake_clock)
+        with pytest.raises(KeyError):
+            with tracer.span("root"):
+                fake_clock.advance(0.1)
+                raise KeyError("missing")
+        root = sink.records()[0]
+        assert root.error == "KeyError"
+        assert root.duration == pytest.approx(0.1)
+
+    def test_current_tracks_innermost(self):
+        tracer = Tracer(sink=RingBufferSink())
+        assert tracer.current() is None
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                assert tracer.current().name == "inner"
+            assert tracer.current().name == "outer"
+        assert tracer.current() is None
+
+
+class TestDisabledPath:
+    def test_null_sink_spans_yield_none_and_skip_clock(self, fake_clock):
+        tracer = Tracer(clock=fake_clock)  # NullSink default
+        assert not tracer.enabled
+        with tracer.span("work", k=1) as record:
+            assert record is None
+        assert fake_clock.calls == 0  # zero-cost: the clock is never read
+
+    def test_null_sink_exports_nothing(self):
+        sink = NullSink()
+        sink.export(SpanRecord(name="x", tags={}, start=0.0))  # no-op
+
+
+class TestModuleLevelSpan:
+    def test_uses_current_global_tracer(self, fresh_obs, fake_clock):
+        sink = RingBufferSink()
+        obs.configure(sink=sink, clock=fake_clock)
+        with span("work", mode="test"):
+            fake_clock.advance(0.5)
+        roots = sink.records()
+        assert [r.name for r in roots] == ["work"]
+        assert roots[0].tags == {"mode": "test"}
+        assert roots[0].duration == pytest.approx(0.5)
+
+    def test_decorator_binds_tracer_at_call_time(self, fresh_obs, fake_clock):
+        @span("decorated")
+        def work():
+            fake_clock.advance(0.125)
+            return 42
+
+        sink = RingBufferSink()
+        # Configured AFTER decoration: the span must still be captured.
+        obs.configure(sink=sink, clock=fake_clock)
+        assert work() == 42
+        assert [r.name for r in sink.records()] == ["decorated"]
+
+    def test_disabled_by_default(self, fresh_obs):
+        registry, tracer = fresh_obs
+        assert not tracer.enabled
+        with span("invisible") as record:
+            assert record is None
+
+
+class TestRingBufferSink:
+    def test_capacity_eviction_and_drop_count(self):
+        sink = RingBufferSink(capacity=2)
+        for name in ("a", "b", "c"):
+            sink.export(SpanRecord(name=name, tags={}, start=0.0))
+        assert [r.name for r in sink.records()] == ["b", "c"]
+        assert sink.n_exported == 3
+        assert sink.n_dropped == 1
+        assert len(sink) == 2
+        sink.clear()
+        assert len(sink) == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+
+class TestThreadIsolation:
+    def test_spans_in_threads_do_not_nest_across_threads(self, fake_clock):
+        sink = RingBufferSink()
+        tracer = Tracer(sink=sink, clock=fake_clock)
+        barrier = threading.Barrier(2)
+
+        def work(name):
+            with tracer.span(name):
+                barrier.wait(timeout=5)  # both spans open simultaneously
+
+        threads = [
+            threading.Thread(target=work, args=(f"thread_{i}",))
+            for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        roots = sink.records()
+        assert sorted(r.name for r in roots) == ["thread_0", "thread_1"]
+        assert all(not r.children for r in roots)
+
+
+class TestSpanRecord:
+    def test_walk_is_depth_first(self):
+        root = SpanRecord(name="r", tags={}, start=0.0)
+        a = SpanRecord(name="a", tags={}, start=0.0)
+        b = SpanRecord(name="b", tags={}, start=0.0)
+        a.children.append(b)
+        root.children.append(a)
+        assert [s.name for s in root.walk()] == ["r", "a", "b"]
+
+    def test_to_record_and_format_tree(self):
+        root = SpanRecord(
+            name="r", tags={"k": "v"}, start=0.0, duration=0.002,
+            error="ValueError",
+        )
+        root.children.append(
+            SpanRecord(name="c", tags={}, start=0.0, duration=0.001)
+        )
+        record = root.to_record()
+        assert record["name"] == "r"
+        assert record["duration_ms"] == pytest.approx(2.0)
+        assert record["error"] == "ValueError"
+        assert record["children"][0]["name"] == "c"
+        lines = root.format_tree()
+        assert len(lines) == 2
+        assert "k=v" in lines[0] and "!ValueError" in lines[0]
+        assert lines[1].startswith("  ")

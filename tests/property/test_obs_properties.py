@@ -1,0 +1,106 @@
+"""Property-based tests for the observability layer and its KDE contract.
+
+Two invariants: the weighted KDE's normalisation makes the density scale-free
+in the raw consumption values (doubling every meter reading changes nothing),
+and histograms conserve observations — every ``observe`` lands in exactly one
+bucket, for any bucket layout.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.shift.grids import GridSpec
+from repro.core.shift.kde import kde_density, normalize_weights
+from repro.db.spatial import BBox
+from repro.obs import MetricsRegistry
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestHistogramConservation:
+    @given(
+        bounds=st.lists(
+            st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=8,
+            unique=True,
+        ),
+        values=st.lists(finite_floats, max_size=50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_every_observation_lands_in_exactly_one_bucket(
+        self, bounds, values
+    ):
+        hist = MetricsRegistry().histogram(
+            "h", buckets=tuple(sorted(bounds))
+        )
+        for v in values:
+            hist.observe(v)
+        assert hist.count == len(values)
+        assert sum(hist.bucket_counts) == len(values)
+        assert hist.sum == sum(values)
+
+    @given(values=st.lists(finite_floats, min_size=1, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_snapshot_buckets_are_monotone_cumulative_free(self, values):
+        """Snapshot bucket counts are per-bucket (not cumulative) and sum to
+        the observation count, so any consumer can rebuild the CDF."""
+        reg = MetricsRegistry()
+        hist = reg.histogram("h", buckets=(-1.0, 0.0, 1.0, 10.0))
+        for v in values:
+            hist.observe(v)
+        record = reg.snapshot()["histograms"][0]
+        assert sum(b["count"] for b in record["buckets"]) == len(values)
+        assert record["buckets"][-1]["le"] == "+Inf"
+
+
+class TestKdeWeightScaleInvariance:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        scale=st.floats(min_value=1e-3, max_value=1e3),
+        n=st.integers(min_value=2, max_value=12),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_uniform_weight_scaling_leaves_density_unchanged(
+        self, seed, scale, n
+    ):
+        """normalize_weights divides by the total, so c -> a*c (same meter
+        units, different scale) must yield the identical density surface."""
+        rng = np.random.default_rng(seed)
+        positions = np.column_stack(
+            [rng.uniform(11.6, 13.4, n), rng.uniform(54.6, 56.4, n)]
+        )
+        consumption = rng.uniform(0.1, 5.0, n)
+        spec = GridSpec(BBox(11.5, 54.5, 13.5, 56.5), nx=10, ny=10)
+        base = kde_density(
+            positions, normalize_weights(consumption), spec, bandwidth_m=800.0
+        )
+        scaled = kde_density(
+            positions,
+            normalize_weights(consumption * scale),
+            spec,
+            bandwidth_m=800.0,
+        )
+        np.testing.assert_allclose(scaled.values, base.values, rtol=1e-9)
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_uniform_consumption_matches_unweighted_kde(self, seed):
+        rng = np.random.default_rng(seed)
+        positions = np.column_stack(
+            [rng.uniform(11.6, 13.4, 8), rng.uniform(54.6, 56.4, 8)]
+        )
+        spec = GridSpec(BBox(11.5, 54.5, 13.5, 56.5), nx=10, ny=10)
+        weighted = kde_density(
+            positions,
+            normalize_weights(np.full(8, 3.7)),
+            spec,
+            bandwidth_m=800.0,
+        )
+        unweighted = kde_density(positions, None, spec, bandwidth_m=800.0)
+        np.testing.assert_allclose(
+            weighted.values, unweighted.values, rtol=1e-9
+        )

@@ -1,0 +1,160 @@
+"""Integration tests: /api/metrics reflects traffic; middleware is inert.
+
+Each test gets a fresh registry (sessions are cheap at this scale), so
+counter assertions are exact.
+"""
+
+import pytest
+
+from repro import obs
+from repro.core.pipeline import VapSession
+from repro.data.generator.simulate import CityConfig, generate_city
+from repro.obs import MetricsRegistry, RingBufferSink
+from repro.server import TestClient, VapApp
+
+
+@pytest.fixture(scope="module")
+def metrics_city():
+    return generate_city(CityConfig(n_customers=30, n_days=7, seed=11))
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture()
+def client(metrics_city, registry):
+    session = VapSession.from_city(metrics_city, metrics=registry)
+    return TestClient(VapApp(session, layout=metrics_city.layout))
+
+
+def _counters(snapshot, name):
+    return {
+        (c["labels"].get("route"), c["labels"].get("status")): c["value"]
+        for c in snapshot["counters"]
+        if c["name"] == name
+    }
+
+
+class TestRequestCounting:
+    def test_counts_per_route_and_status(self, client):
+        client.get("/api/health")
+        client.get("/api/health")
+        client.get("/api/quality")
+        snap = client.get("/api/metrics").json
+        requests = _counters(snap, "http_requests_total")
+        assert requests[("/api/health", "200")] == 2
+        assert requests[("/api/quality", "200")] == 1
+
+    def test_path_params_collapse_to_route_pattern(self, client):
+        ids = client.get("/api/customers").json["customers"]
+        for row in ids[:3]:
+            assert client.get(f"/api/customers/{row['customer_id']}").ok
+        snap = client.get("/api/metrics").json
+        requests = _counters(snap, "http_requests_total")
+        # Three distinct URLs, one label series.
+        assert requests[("/api/customers/<int:customer_id>", "200")] == 3
+
+    def test_metrics_endpoint_counts_itself_on_the_next_scrape(self, client):
+        client.get("/api/metrics")
+        snap = client.get("/api/metrics").json
+        assert _counters(snap, "http_requests_total")[("/api/metrics", "200")] == 1
+
+    def test_latency_histograms_per_route(self, client):
+        client.get("/api/health")
+        client.get("/api/health")
+        snap = client.get("/api/metrics").json
+        health = [
+            h for h in snap["histograms"]
+            if h["name"] == "http_request_seconds"
+            and h["labels"]["route"] == "/api/health"
+        ]
+        assert len(health) == 1
+        assert health[0]["count"] == 2
+        assert health[0]["buckets"][-1]["le"] == "+Inf"
+        assert sum(b["count"] for b in health[0]["buckets"][:-1]) == 2
+
+
+class TestErrorCounting:
+    def test_404_and_400_recorded(self, client):
+        client.get("/api/nowhere")                 # 404, unmatched
+        client.get("/api/customers/999999")        # 404, matched route
+        client.get("/api/density")                 # 400, missing params
+        snap = client.get("/api/metrics").json
+        errors = _counters(snap, "http_errors_total")
+        assert errors[("<unmatched>", "404")] == 1
+        assert errors[("/api/customers/<int:customer_id>", "404")] == 1
+        assert errors[("/api/density", "400")] == 1
+
+    def test_405_recorded_with_route(self, client):
+        response = client.post("/api/health", json={})
+        assert response.status == 405
+        snap = client.get("/api/metrics").json
+        assert _counters(snap, "http_errors_total")[("/api/health", "405")] == 1
+
+
+class TestMiddlewareTransparency:
+    def test_error_bodies_preserved(self, client):
+        missing = client.get("/api/nowhere")
+        assert missing.status == 404
+        assert missing.json == {"error": "no such endpoint: /api/nowhere"}
+
+        bad = client.get("/api/density")
+        assert bad.status == 400
+        assert "missing required parameter" in bad.json["error"]
+
+        wrong_method = client.post("/api/health", json={})
+        assert wrong_method.status == 405
+        assert wrong_method.json == {"error": "method not allowed"}
+
+    def test_success_bodies_and_headers_preserved(self, client):
+        response = client.get("/api/health")
+        assert response.ok
+        assert response.json["status"] == "ok"
+        assert response.headers["Content-Type"] == "application/json"
+        assert int(response.headers["Content-Length"]) == len(response.body)
+
+
+class TestPipelineMetricsThroughApi:
+    def test_embedding_cache_counters_exposed(self, client, registry):
+        url = "/api/embedding?n_iter=40&perplexity=5"
+        assert client.get(url).ok
+        assert client.get(url).ok  # identical parameters: cache hit
+        snap = client.get("/api/metrics").json
+        cache = {
+            (c["labels"]["op"], c["labels"]["result"]): c["value"]
+            for c in snap["counters"]
+            if c["name"] == "pipeline_cache_total"
+        }
+        assert cache[("embed", "miss")] == 1
+        assert cache[("embed", "hit")] == 1
+
+    def test_db_query_timing_exposed(self, client):
+        assert client.get(
+            "/api/density?t_start=13&t_end=15"
+        ).ok
+        snap = client.get("/api/metrics").json
+        db_ops = {
+            h["labels"]["op"]: h["count"]
+            for h in snap["histograms"]
+            if h["name"] == "db_query_seconds"
+        }
+        assert db_ops["demand"] >= 1
+
+
+class TestSpansInSnapshot:
+    def test_spans_included_when_ring_sink_active(self, client):
+        previous = obs.get_tracer()
+        obs.configure(sink=RingBufferSink())
+        try:
+            assert client.get("/api/density?t_start=13&t_end=15").ok
+            snap = client.get("/api/metrics?spans=10").json
+        finally:
+            obs.configure(tracer=previous)
+        assert "spans" in snap
+        names = {s["name"] for s in snap["spans"]}
+        assert "http.request" in names
+
+    def test_spans_absent_with_null_sink(self, client):
+        assert "spans" not in client.get("/api/metrics").json

@@ -98,3 +98,40 @@ class TestSql:
         )
         assert code == 0
         assert "(no rows)" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_pretty_output_has_counters_and_histograms(self, capsys):
+        code = main(["stats", "--customers", "20", "--days", "7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "http_requests_total" in out
+        assert "pipeline_cache_total" in out
+        assert "db_query_seconds" in out
+
+    def test_json_output_parses(self, capsys):
+        import json
+
+        code = main(["stats", "--customers", "20", "--days", "7", "--json"])
+        assert code == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert "counters" in snapshot
+        names = {c["name"] for c in snapshot["counters"]}
+        assert "http_requests_total" in names
+
+    def test_spans_flag_prints_trees(self, capsys):
+        code = main(
+            ["stats", "--customers", "20", "--days", "7", "--spans", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "span trees" in out
+        assert "http.request" in out
+
+    def test_leaves_global_defaults_untouched(self):
+        from repro import obs
+
+        before_registry, before_tracer = obs.get_registry(), obs.get_tracer()
+        assert main(["stats", "--customers", "20", "--days", "7"]) == 0
+        assert obs.get_registry() is before_registry
+        assert obs.get_tracer() is before_tracer
