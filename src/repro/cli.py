@@ -8,8 +8,9 @@ Five commands cover the tool's operational surface:
 - ``quality`` — print the data-quality report for a readings CSV;
 - ``sql`` — run a SQL SELECT against a customers CSV;
 - ``stats`` — run a representative workload through the full stack and
-  print the observability snapshot (metrics and, with ``--spans``, trace
-  trees).
+  print the observability snapshot (metrics, slowest operations and,
+  with ``--spans``, trace trees); ``--dashboard out.svg`` also writes
+  the self-monitoring telemetry panel.
 
 ``python -m repro.server`` (a separate entry point) serves the REST API.
 """
@@ -75,6 +76,10 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--spans", type=int, default=0, metavar="N",
         help="also print up to N recorded span trees",
+    )
+    stats.add_argument(
+        "--dashboard", type=Path, default=None, metavar="OUT_SVG",
+        help="also write the self-monitoring telemetry panel as SVG",
     )
     return parser
 
@@ -171,8 +176,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
     registry = obs.MetricsRegistry()
     sink = obs.RingBufferSink(capacity=64)
+    window_store = obs.TimeWindowStore()
+    slow_log = obs.SlowOpLog()
     previous_registry, previous_tracer = obs.get_registry(), obs.get_tracer()
-    obs.configure(registry=registry, sink=sink)
+    previous_window, previous_slow = obs.get_window_store(), obs.get_slow_log()
+    obs.configure(
+        registry=registry, sink=sink, window_store=window_store,
+        slow_log=slow_log,
+    )
     try:
         city = generate_city(
             CityConfig(n_customers=args.customers, n_days=args.days,
@@ -194,15 +205,27 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 print(f"workload request {url} failed: {response.json}",
                       file=sys.stderr)
                 return 1
+        if args.dashboard is not None:
+            panel = client.get("/api/telemetry?format=svg")
+            if not panel.ok:
+                print(f"telemetry panel failed: {panel.json}", file=sys.stderr)
+                return 1
+            args.dashboard.write_bytes(panel.body)
+            print(f"telemetry dashboard written to {args.dashboard}")
     finally:
         # Leave the process-wide defaults as we found them (tests call
         # this in-process).
-        obs.configure(registry=previous_registry, tracer=previous_tracer)
+        obs.configure(
+            registry=previous_registry, tracer=previous_tracer,
+            window_store=previous_window, slow_log=previous_slow,
+        )
 
     if args.json:
         from repro.server import json_codec
 
         snapshot = registry.snapshot()
+        snapshot["slow_ops"] = slow_log.records()
+        snapshot["windows"] = window_store.snapshot()
         if args.spans:
             snapshot["spans"] = [
                 r.to_record() for r in sink.records()[-args.spans:]
@@ -228,6 +251,15 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             f"  {record['name']:<28}{record['count']:>6d}"
             f"{record['p50']:>10.4g}{record['p99']:>10.4g}  {labels}"
         )
+    slow = slow_log.records()[:5]
+    if slow:
+        print("\nslowest operations (with request IDs)")
+        for record in slow:
+            rid = record.get("request_id") or "-"
+            print(
+                f"  {record['duration_ms']:>9.1f} ms  "
+                f"{record['name']:<20} req={rid}"
+            )
     if args.spans:
         print("\nspan trees (most recent last)")
         for root in sink.records()[-args.spans:]:

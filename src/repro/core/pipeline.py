@@ -153,6 +153,7 @@ class VapSession:
         self._cache("embed", hit)
         if hit:
             return self._embeddings[key]
+        start = self.metrics.clock()
         with obs.span("pipeline.embed", method=method, metric=metric), \
                 self.metrics.timer("pipeline_seconds", op="embed"):
             feats = self.features(kind)
@@ -181,6 +182,19 @@ class VapSession:
                     feature_kind=kind,
                     objective=result.stress,
                 )
+        elapsed = self.metrics.clock() - start
+        obs.get_slow_log().offer(
+            "pipeline.embed", elapsed, method=method, metric=metric
+        )
+        obs.log_event(
+            "pipeline.embed.compute",
+            method=method,
+            metric=metric,
+            perplexity=perplexity,
+            n_iter=n_iter,
+            seed=seed,
+            duration_ms=round(elapsed * 1000.0, 3),
+        )
         self._embeddings[key] = info
         return info
 

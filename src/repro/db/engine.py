@@ -15,6 +15,7 @@ demand between t1 and t2" (the input of the KDE shift model).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Sequence
 
 import numpy as np
@@ -58,6 +59,10 @@ class EnergyDatabase:
     metrics:
         Registry receiving ``db_query_seconds`` histograms (one per query
         kind); the process-wide default registry when omitted.
+    slow_query_seconds:
+        Queries slower than this are logged (``db.slow_query``, warning)
+        and offered to the process slow-op log with the request ID that
+        issued them.
     """
 
     def __init__(
@@ -66,8 +71,14 @@ class EnergyDatabase:
         readings: SeriesSet,
         index_kind: str = "rtree",
         metrics: obs.MetricsRegistry | None = None,
+        slow_query_seconds: float = 0.25,
     ) -> None:
         self._metrics = metrics
+        if slow_query_seconds <= 0:
+            raise ValueError(
+                f"slow_query_seconds must be positive, got {slow_query_seconds}"
+            )
+        self.slow_query_seconds = slow_query_seconds
         if index_kind not in INDEX_KINDS:
             raise ValueError(
                 f"unknown index_kind {index_kind!r}; pick one of {INDEX_KINDS}"
@@ -111,9 +122,27 @@ class EnergyDatabase:
         """This database's registry (the process default unless injected)."""
         return self._metrics if self._metrics is not None else obs.get_registry()
 
+    @contextmanager
     def _timed(self, op: str):
-        """Timer context recording one query into ``db_query_seconds``."""
-        return self.metrics.timer("db_query_seconds", op=op)
+        """Timer context recording one query into ``db_query_seconds``;
+        queries over :attr:`slow_query_seconds` are also logged and
+        offered to the slow-op log (correlated by request ID)."""
+        registry = self.metrics
+        hist = registry.histogram("db_query_seconds", op=op)
+        start = registry.clock()
+        try:
+            yield
+        finally:
+            elapsed = registry.clock() - start
+            hist.observe(elapsed)
+            if elapsed >= self.slow_query_seconds:
+                obs.get_slow_log().offer(f"db.{op}", elapsed)
+                obs.log_event(
+                    "db.slow_query",
+                    level="warning",
+                    op=op,
+                    duration_ms=round(elapsed * 1000.0, 3),
+                )
 
     def __len__(self) -> int:
         return len(self._customers)

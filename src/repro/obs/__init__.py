@@ -1,7 +1,7 @@
-"""Observability: metrics registry + trace spans for every layer.
+"""Observability: metrics, spans, structured logs, rolling windows.
 
 The VAP reproduction aims at interactive latency on ever-larger data
-sets; this package is how any perf claim gets measured.  Two halves:
+sets; this package is how any perf claim gets measured.  Four parts:
 
 - :class:`~repro.obs.registry.MetricsRegistry` — thread-safe counters,
   gauges and fixed-bucket histograms (request rates, cache hit ratios,
@@ -9,12 +9,20 @@ sets; this package is how any perf claim gets measured.  Two halves:
 - :class:`~repro.obs.spans.Tracer` / :func:`~repro.obs.spans.span` —
   nested wall-time spans exported as trees to a sink
   (:class:`~repro.obs.sinks.RingBufferSink` in memory, or the default
-  :class:`~repro.obs.sinks.NullSink` which makes tracing free).
+  :class:`~repro.obs.sinks.NullSink` which makes tracing free);
+- :class:`~repro.obs.logging.JsonLogger` — one-JSON-object-per-line
+  structured logs, correlated across layers by the request ID the WSGI
+  middleware binds in a context variable
+  (:func:`~repro.obs.logging.bind_request_id`);
+- :class:`~repro.obs.timewindow.TimeWindowStore` /
+  :class:`~repro.obs.timewindow.SlowOpLog` — rolling per-window
+  rates/quantiles and the K slowest operations with their request IDs,
+  the data behind ``GET /api/telemetry``.
 
-One process-wide default registry and tracer serve call sites that are
-not handed an explicit one (the numeric kernels, the CLI); sessions,
-databases and apps accept their own for isolation.  Swap the defaults
-with :func:`configure`::
+One process-wide default of each serves call sites that are not handed
+an explicit one (the numeric kernels, the CLI); sessions, databases and
+apps accept their own for isolation.  Swap the defaults with
+:func:`configure`::
 
     from repro import obs
     from repro.obs import RingBufferSink
@@ -26,14 +34,23 @@ with :func:`configure`::
         print("\\n".join(root.format_tree()))
     print(obs.get_registry().snapshot())
 
-Outward surfaces: ``GET /api/metrics`` on the REST API, the ``repro
-stats`` CLI command, and the ``REPRO_BENCH_SPANS=1`` benchmark dump hook.
+Outward surfaces: ``GET /api/metrics`` (JSON, or Prometheus text with
+``?format=prometheus``), ``GET /api/telemetry`` (windowed series, JSON
+or an SVG panel), the ``repro stats`` CLI command (``--dashboard`` for
+the SVG), and the ``REPRO_BENCH_SPANS=1`` benchmark dump hook.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
+from repro.obs.logging import (
+    JsonLogger,
+    bind_request_id,
+    current_request_id,
+    new_request_id,
+)
+from repro.obs.prometheus import render_prometheus
 from repro.obs.registry import (
     COUNT_BUCKETS,
     DEFAULT_LATENCY_BUCKETS,
@@ -44,6 +61,7 @@ from repro.obs.registry import (
 )
 from repro.obs.sinks import NullSink, RingBufferSink
 from repro.obs.spans import SpanRecord, Tracer, span
+from repro.obs.timewindow import SlowOpLog, TimeWindowStore
 
 __all__ = [
     "COUNT_BUCKETS",
@@ -51,20 +69,34 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "JsonLogger",
     "MetricsRegistry",
     "NullSink",
     "RingBufferSink",
+    "SlowOpLog",
     "SpanRecord",
+    "TimeWindowStore",
     "Tracer",
+    "bind_request_id",
     "configure",
+    "current_request_id",
+    "get_logger",
     "get_registry",
+    "get_slow_log",
     "get_tracer",
+    "get_window_store",
+    "log_event",
+    "new_request_id",
+    "render_prometheus",
     "reset",
     "span",
 ]
 
 _default_registry = MetricsRegistry()
 _default_tracer = Tracer()
+_default_logger = JsonLogger()
+_default_window_store = TimeWindowStore()
+_default_slow_log = SlowOpLog()
 
 
 def get_registry() -> MetricsRegistry:
@@ -77,21 +109,46 @@ def get_tracer() -> Tracer:
     return _default_tracer
 
 
+def get_logger() -> JsonLogger:
+    """The process-wide default structured logger (stderr, info level)."""
+    return _default_logger
+
+
+def get_window_store() -> TimeWindowStore:
+    """The process-wide default rolling time-window store."""
+    return _default_window_store
+
+
+def get_slow_log() -> SlowOpLog:
+    """The process-wide default slow-operation log."""
+    return _default_slow_log
+
+
+def log_event(event: str, level: str = "info", **fields: object) -> None:
+    """Emit one structured record through the default logger."""
+    _default_logger.log(event, level=level, **fields)
+
+
 def configure(
     *,
     registry: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
     sink: object | None = None,
     clock: Callable[[], float] | None = None,
+    logger: JsonLogger | None = None,
+    window_store: TimeWindowStore | None = None,
+    slow_log: SlowOpLog | None = None,
 ) -> tuple[MetricsRegistry, Tracer]:
     """Swap the process-wide defaults; returns ``(registry, tracer)``.
 
     Only the arguments given change: ``tracer`` installs that exact
     tracer (use it to restore a saved one), ``sink``/``clock`` rebuild
-    the default tracer keeping the other half, ``registry`` replaces the
-    default registry wholesale.
+    the default tracer keeping the other half, and ``registry``,
+    ``logger``, ``window_store`` and ``slow_log`` replace their defaults
+    wholesale.
     """
-    global _default_registry, _default_tracer
+    global _default_registry, _default_tracer, _default_logger
+    global _default_window_store, _default_slow_log
     if tracer is not None and (sink is not None or clock is not None):
         raise ValueError("pass either tracer or sink/clock, not both")
     if registry is not None:
@@ -103,12 +160,26 @@ def configure(
             sink=sink if sink is not None else _default_tracer.sink,
             clock=clock if clock is not None else _default_tracer.clock,
         )
+    if logger is not None:
+        _default_logger = logger
+    if window_store is not None:
+        _default_window_store = window_store
+    if slow_log is not None:
+        _default_slow_log = slow_log
     return _default_registry, _default_tracer
 
 
 def reset() -> tuple[MetricsRegistry, Tracer]:
-    """Restore a fresh registry and a NullSink tracer (test isolation)."""
-    global _default_registry, _default_tracer
+    """Restore fresh process-wide defaults (test isolation).
+
+    Returns ``(registry, tracer)`` like :func:`configure`; the logger,
+    window store and slow-op log are recreated too.
+    """
+    global _default_registry, _default_tracer, _default_logger
+    global _default_window_store, _default_slow_log
     _default_registry = MetricsRegistry()
     _default_tracer = Tracer()
+    _default_logger = JsonLogger()
+    _default_window_store = TimeWindowStore()
+    _default_slow_log = SlowOpLog()
     return _default_registry, _default_tracer

@@ -1,0 +1,131 @@
+"""Prometheus text-format (version 0.0.4) exposition of a snapshot.
+
+Renders the JSON-ready snapshot produced by
+:meth:`repro.obs.MetricsRegistry.snapshot` as the plain-text format every
+Prometheus-compatible scraper understands — so the reproduction's metrics
+can be wired into a real monitoring stack without any client library.
+
+Format rules honoured here:
+
+- metric and label names sanitised to ``[a-zA-Z_:][a-zA-Z0-9_:]*``
+  (labels additionally exclude the colon);
+- label values escaped: backslash, double quote and newline;
+- one ``# TYPE`` line per metric name, before its first sample;
+- histogram ``_bucket`` samples are *cumulative* over increasing ``le``
+  (our internal per-bucket counts are not) and always end with
+  ``le="+Inf"`` equal to ``_count``.
+"""
+
+from __future__ import annotations
+
+import re
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_name(name: str) -> str:
+    """Coerce a metric name into the allowed character set."""
+    if _NAME_OK.match(name):
+        return name
+    out = _NAME_BAD.sub("_", name) or "_"
+    if out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def sanitize_label_name(name: str) -> str:
+    """Coerce a label name (no colon allowed, no ``__`` prefix)."""
+    out = _LABEL_BAD.sub("_", name) or "_"
+    out = out.lstrip("_") or "_"  # "__" prefix is reserved by Prometheus
+    if out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value for use inside double quotes."""
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def format_value(value: float) -> str:
+    """Sample value formatting: integral floats without the ``.0``."""
+    value = float(value)
+    if value != value:
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _label_str(labels: dict[str, object], extra: list[tuple[str, str]] | None = None) -> str:
+    pairs = [
+        (sanitize_label_name(str(k)), escape_label_value(str(v)))
+        for k, v in sorted(labels.items())
+    ]
+    if extra:
+        pairs.extend(extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in pairs) + "}"
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a registry snapshot dict as Prometheus exposition text.
+
+    Accepts the exact schema :meth:`MetricsRegistry.snapshot` produces
+    (extra keys such as ``spans`` or ``span_sink`` are ignored) and
+    returns text ending in a newline.
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for record in snapshot.get("counters", ()):
+        name = sanitize_name(record["name"])
+        type_line(name, "counter")
+        lines.append(
+            f"{name}{_label_str(record['labels'])} "
+            f"{format_value(record['value'])}"
+        )
+    for record in snapshot.get("gauges", ()):
+        name = sanitize_name(record["name"])
+        type_line(name, "gauge")
+        lines.append(
+            f"{name}{_label_str(record['labels'])} "
+            f"{format_value(record['value'])}"
+        )
+    for record in snapshot.get("histograms", ()):
+        name = sanitize_name(record["name"])
+        type_line(name, "histogram")
+        labels = record["labels"]
+        running = 0
+        for bucket in record["buckets"]:
+            if bucket["le"] == "+Inf":
+                continue
+            running += bucket["count"]
+            le = format_value(float(bucket["le"]))
+            lines.append(
+                f"{name}_bucket{_label_str(labels, extra=[('le', le)])} "
+                f"{running}"
+            )
+        lines.append(
+            f"{name}_bucket{_label_str(labels, extra=[('le', '+Inf')])} "
+            f"{record['count']}"
+        )
+        lines.append(
+            f"{name}_sum{_label_str(labels)} {format_value(record['sum'])}"
+        )
+        lines.append(f"{name}_count{_label_str(labels)} {record['count']}")
+    return "\n".join(lines) + "\n"

@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
+from repro.obs.logging import current_request_id
 from repro.obs.sinks import NullSink
 
 
@@ -30,7 +31,9 @@ class SpanRecord:
     """One finished (or in-flight) span.
 
     ``duration`` is wall seconds, filled in when the span closes;
-    ``error`` is the exception type name when the block raised.
+    ``error`` is the exception type name when the block raised;
+    ``request_id`` is the correlation ID bound to the context when the
+    span opened (see :mod:`repro.obs.logging`), if any.
     """
 
     name: str
@@ -38,6 +41,7 @@ class SpanRecord:
     start: float
     duration: float = 0.0
     error: str | None = None
+    request_id: str | None = None
     children: list["SpanRecord"] = field(default_factory=list)
 
     def walk(self) -> Iterator["SpanRecord"]:
@@ -52,6 +56,8 @@ class SpanRecord:
             "name": self.name,
             "duration_ms": self.duration * 1000.0,
         }
+        if self.request_id is not None:
+            out["request_id"] = self.request_id
         if self.tags:
             out["tags"] = dict(self.tags)
         if self.error is not None:
@@ -88,6 +94,7 @@ class _SpanContext:
     def __enter__(self) -> SpanRecord:
         stack = self._tracer._stack()
         self._parent = stack[-1] if stack else None
+        self._record.request_id = current_request_id()
         self._record.start = self._tracer.clock()
         stack.append(self._record)
         return self._record

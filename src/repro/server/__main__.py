@@ -33,7 +33,10 @@ def main(argv: list[str] | None = None) -> None:
     session = VapSession.from_city(city)
     app = VapApp(session, layout=city.layout)
     with make_server("127.0.0.1", args.port, app) as server:
-        print(f"VAP API listening on http://127.0.0.1:{args.port}/api/health")
+        base = f"http://127.0.0.1:{args.port}"
+        print(f"VAP API listening on {base}/api/health")
+        print(f"  metrics:   {base}/api/metrics  (?format=prometheus)")
+        print(f"  telemetry: {base}/api/telemetry  (?format=svg)")
         server.serve_forever()
 
 

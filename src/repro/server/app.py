@@ -30,22 +30,37 @@ Endpoints mirror what the paper's three views request from the logic layer:
 ``GET  /api/metrics``                 observability snapshot: request
                                       counters/latency histograms per
                                       route, pipeline cache hit/miss,
-                                      kernel stats, recent trace spans
+                                      kernel stats, recent trace spans,
+                                      span-sink export/drop counts;
+                                      ``?format=prometheus`` returns
+                                      Prometheus text exposition
+``GET  /api/telemetry``               self-monitoring dashboard data:
+                                      rolling request-rate and latency
+                                      windows, cache hit ratios, per-op
+                                      runtimes, slowest operations with
+                                      request IDs; ``?format=svg``
+                                      renders the SVG panel
 ====================================  =======================================
 
 Errors return ``{"error": ...}`` with 400/404/405 status.  The app is a
 plain WSGI callable — serve it with any WSGI server, or in-process through
 :class:`repro.server.client.TestClient`.
+
+Every request carries a correlation ID (``X-Request-ID`` in and out) and
+emits one structured JSON log line; see :mod:`repro.server.middleware`.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable, Iterable
 from urllib.parse import parse_qs
 
 import numpy as np
 
-from repro import obs
+from repro import __version__, obs
+from repro.obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from repro.obs.prometheus import render_prometheus
 from repro.core.patterns.selection import (
     KnnSelection,
     LassoSelection,
@@ -68,6 +83,16 @@ _STATUS = {
     405: "405 Method Not Allowed",
     500: "500 Internal Server Error",
 }
+
+
+@dataclass(slots=True)
+class RawResponse:
+    """A handler result served as-is instead of being JSON-encoded."""
+
+    body: bytes
+    content_type: str = "application/octet-stream"
+    status: int = 200
+    headers: list[tuple[str, str]] = field(default_factory=list)
 
 
 class ApiError(Exception):
@@ -140,22 +165,48 @@ class VapApp:
         session: VapSession,
         layout: CityLayout | None = None,
         registry: obs.MetricsRegistry | None = None,
+        window_store: obs.TimeWindowStore | None = None,
+        slow_log: obs.SlowOpLog | None = None,
     ) -> None:
         self.session = session
         self.layout = layout
         self._metrics = registry
+        self._window_store = window_store
+        self._slow_log = slow_log
         self.router = Router()
         self._register()
         self._pipeline = MetricsMiddleware(
             self._dispatch,
             registry=lambda: self.metrics,
             route_resolver=self.router.pattern_of,
+            window_store=window_store,
+            slow_log=slow_log,
         )
+        self._start_time = self.metrics.clock()
 
     @property
     def metrics(self) -> obs.MetricsRegistry:
         """The registry requests are recorded into."""
         return self._metrics if self._metrics is not None else self.session.metrics
+
+    @property
+    def window_store(self) -> obs.TimeWindowStore:
+        """The rolling window store telemetry reads (default unless given)."""
+        return (
+            self._window_store
+            if self._window_store is not None
+            else obs.get_window_store()
+        )
+
+    @property
+    def slow_log(self) -> obs.SlowOpLog:
+        """The slow-op log telemetry reads (default unless given)."""
+        return self._slow_log if self._slow_log is not None else obs.get_slow_log()
+
+    @property
+    def uptime_seconds(self) -> float:
+        """Seconds since this app was constructed (registry clock)."""
+        return max(self.metrics.clock() - self._start_time, 0.0)
 
     # ------------------------------------------------------------------
     # WSGI plumbing
@@ -182,6 +233,16 @@ class VapApp:
             # Model-layer validation errors surface as 400s.
             payload = {"error": str(exc)}
             status = 400
+        if isinstance(payload, RawResponse):
+            start_response(
+                _STATUS[payload.status],
+                [
+                    ("Content-Type", payload.content_type),
+                    ("Content-Length", str(len(payload.body))),
+                    *payload.headers,
+                ],
+            )
+            return [payload.body]
         body = json_codec.dumps(payload).encode("utf-8")
         start_response(
             _STATUS[status],
@@ -216,27 +277,127 @@ class VapApp:
         )
         r.add("GET", "/api/proposals", self.proposals)
         r.add("GET", "/api/metrics", self.metrics_snapshot)
+        r.add("GET", "/api/telemetry", self.telemetry)
 
-    def metrics_snapshot(self, request: Request) -> dict:
+    def metrics_snapshot(self, request: Request) -> dict | RawResponse:
         """Observability snapshot: counters, gauges, histograms, spans.
 
-        Span trees appear only when the process tracer exports to a
-        :class:`~repro.obs.RingBufferSink`; ``?spans=N`` bounds how many
-        recent roots are included (default 20).
+        ``?format=prometheus`` returns the registry part as Prometheus
+        text exposition instead of JSON.  In the JSON form, span trees
+        appear only when the process tracer exports to a
+        :class:`~repro.obs.RingBufferSink` (``?spans=N`` bounds how many
+        recent roots are included, default 20), and ``span_sink`` reports
+        the sink's exported/dropped counts so span loss under load is
+        visible.
         """
+        fmt = request.param_str("format", "json")
+        if fmt == "prometheus":
+            text = render_prometheus(self.metrics.snapshot())
+            return RawResponse(
+                text.encode("utf-8"), content_type=PROMETHEUS_CONTENT_TYPE
+            )
+        if fmt != "json":
+            raise ApiError(400, f"unknown format {fmt!r}; use json or prometheus")
         snapshot = self.metrics.snapshot()
         limit = request.param_int("spans", 20)
         sink = obs.get_tracer().sink
-        if isinstance(sink, obs.RingBufferSink) and limit > 0:
-            snapshot["spans"] = [
-                r.to_record() for r in sink.records()[-limit:]
-            ]
+        if isinstance(sink, obs.RingBufferSink):
+            snapshot["span_sink"] = {
+                "exported": sink.n_exported,
+                "dropped": sink.n_dropped,
+                "buffered": len(sink),
+                "capacity": sink.capacity,
+            }
+            if limit > 0:
+                snapshot["spans"] = [
+                    r.to_record() for r in sink.records()[-limit:]
+                ]
         return snapshot
+
+    def telemetry(self, request: Request) -> dict | RawResponse:
+        """Self-monitoring dashboard data from the rolling window store.
+
+        ``?format=svg`` renders the SVG telemetry panel instead of JSON;
+        ``?top=N`` bounds the slow-op list (default 10).
+        """
+        fmt = request.param_str("format", "json")
+        payload = self.telemetry_payload(top=request.param_int("top", 10))
+        if fmt == "svg":
+            from repro.viz.telemetry import render_telemetry_panel
+
+            svg = render_telemetry_panel(payload).render_document()
+            return RawResponse(
+                svg.encode("utf-8"), content_type="image/svg+xml"
+            )
+        if fmt != "json":
+            raise ApiError(400, f"unknown format {fmt!r}; use json or svg")
+        return payload
+
+    def telemetry_payload(self, top: int = 10) -> dict:
+        """The ``/api/telemetry`` JSON document (also feeds the SVG)."""
+        from repro.server.middleware import WINDOW_ERROR_SERIES, WINDOW_SERIES
+
+        store = self.window_store
+        requests_overall = store.series(WINDOW_SERIES)
+        by_route = []
+        errors = []
+        for name, labels in store.keys():
+            if name == WINDOW_SERIES and labels:
+                by_route.append(store.series(name, **labels))
+            elif name == WINDOW_ERROR_SERIES:
+                errors.append(store.series(name, **labels))
+        snapshot = self.metrics.snapshot()
+        cache: dict[str, dict[str, float]] = {}
+        for record in snapshot["counters"]:
+            if record["name"] != "pipeline_cache_total":
+                continue
+            op = record["labels"].get("op", "?")
+            entry = cache.setdefault(op, {"hit": 0.0, "miss": 0.0})
+            entry[record["labels"].get("result", "miss")] = record["value"]
+        for entry in cache.values():
+            total = entry["hit"] + entry["miss"]
+            entry["ratio"] = entry["hit"] / total if total else 0.0
+        ops = [
+            {
+                "op": record["labels"].get("op", "?"),
+                "count": record["count"],
+                "mean_seconds": (
+                    record["sum"] / record["count"] if record["count"] else 0.0
+                ),
+                "p50": record["p50"],
+                "p99": record["p99"],
+            }
+            for record in snapshot["histograms"]
+            if record["name"] == "pipeline_seconds"
+        ]
+        payload: dict = {
+            "uptime_seconds": self.uptime_seconds,
+            "version": __version__,
+            "ready": len(self.session.db) > 0,
+            "window_seconds": store.width_seconds,
+            "requests": {"overall": requests_overall, "by_route": by_route},
+            "errors": errors,
+            "cache": cache,
+            "ops": ops,
+            "slow_ops": self.slow_log.records()[: max(top, 0)],
+        }
+        sink = obs.get_tracer().sink
+        if isinstance(sink, obs.RingBufferSink):
+            payload["span_sink"] = {
+                "exported": sink.n_exported,
+                "dropped": sink.n_dropped,
+                "buffered": len(sink),
+                "capacity": sink.capacity,
+            }
+        return payload
 
     def health(self, request: Request) -> dict:
         span = self.session.db.time_span
         return {
             "status": "ok",
+            "ready": len(self.session.db) > 0,
+            "version": __version__,
+            "uptime_seconds": self.uptime_seconds,
             "n_customers": len(self.session.db),
             "start_hour": span.start_hour,
             "end_hour": span.end_hour,

@@ -42,7 +42,13 @@ class TestClient:
     def __init__(self, app: Callable) -> None:
         self.app = app
 
-    def _request(self, method: str, url: str, body: bytes | None = None) -> Response:
+    def _request(
+        self,
+        method: str,
+        url: str,
+        body: bytes | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> Response:
         parts = urlsplit(url)
         payload = body or b""
         environ = {
@@ -56,6 +62,11 @@ class TestClient:
             "SERVER_NAME": "testserver",
             "SERVER_PORT": "80",
         }
+        for name, value in (headers or {}).items():
+            key = name.upper().replace("-", "_")
+            if key not in ("CONTENT_TYPE", "CONTENT_LENGTH"):
+                key = "HTTP_" + key
+            environ[key] = value
         captured: dict[str, object] = {}
 
         def start_response(status: str, headers: list[tuple[str, str]]) -> None:
@@ -77,11 +88,16 @@ class TestClient:
             body=data,
         )
 
-    def get(self, url: str) -> Response:
+    def get(self, url: str, headers: dict[str, str] | None = None) -> Response:
         """Issue a GET request."""
-        return self._request("GET", url)
+        return self._request("GET", url, headers=headers)
 
-    def post(self, url: str, json: object = None) -> Response:
+    def post(
+        self,
+        url: str,
+        json: object = None,
+        headers: dict[str, str] | None = None,
+    ) -> Response:
         """Issue a POST request with a JSON body."""
         body = json_codec.dumps(json).encode("utf-8") if json is not None else None
-        return self._request("POST", url, body)
+        return self._request("POST", url, body, headers=headers)

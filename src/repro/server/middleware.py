@@ -1,12 +1,21 @@
-"""WSGI timing middleware: one counter and one histogram per request.
+"""WSGI observability middleware: metrics, logs and windows per request.
 
-Wraps any WSGI callable and records, for every request,
+Wraps any WSGI callable and, for every request,
 
-- ``http_requests_total{method, route, status}`` — request count,
-- ``http_errors_total{route, status}`` — 4xx/5xx subset,
-- ``http_request_seconds{route}`` — latency histogram,
+- binds a *request ID* (honouring an incoming ``X-Request-ID`` header,
+  generating one otherwise) to the logging context variable, so every
+  span, log line and slow-op record produced while handling the request
+  carries the same ID — and echoes it back as an ``X-Request-ID``
+  response header;
+- records ``http_requests_total{method, route, status}``,
+  ``http_errors_total{route, status}`` (4xx/5xx subset) and the
+  ``http_request_seconds{route}`` latency histogram;
+- records the request into the rolling time-window store (overall and
+  per-route series, plus an error series) for ``GET /api/telemetry``;
+- offers the request to the slow-op log and emits one structured JSON
+  log line (``http.request``) with method, route, status and latency;
+- opens an ``http.request`` trace span when the tracer has a real sink.
 
-plus an ``http.request`` trace span when the tracer has a real sink.
 The response passes through byte-for-byte — error bodies, headers and
 status codes are untouched.
 
@@ -21,12 +30,18 @@ from __future__ import annotations
 from typing import Callable, Iterable
 
 from repro import obs
+from repro.obs.logging import bind_request_id, new_request_id
 
 UNMATCHED = "<unmatched>"
 
+# Overall request series in the window store (no labels); per-route
+# series use the same name with a route label.
+WINDOW_SERIES = "http_request"
+WINDOW_ERROR_SERIES = "http_error"
+
 
 class MetricsMiddleware:
-    """Times each request into a metrics registry.
+    """Times, logs and correlates each request.
 
     Parameters
     ----------
@@ -42,6 +57,15 @@ class MetricsMiddleware:
         Without a resolver every request is labelled with its raw path.
     clock:
         Monotonic-seconds callable; defaults to the registry's clock.
+    window_store:
+        Rolling :class:`~repro.obs.TimeWindowStore` receiving per-window
+        request/latency series; the process-wide default when omitted.
+    slow_log:
+        :class:`~repro.obs.SlowOpLog` receiving every request (it keeps
+        only the slowest); the process-wide default when omitted.
+    logger:
+        :class:`~repro.obs.JsonLogger` for the per-request log line; the
+        process-wide default when omitted.
     """
 
     def __init__(
@@ -50,11 +74,17 @@ class MetricsMiddleware:
         registry: obs.MetricsRegistry | Callable[[], obs.MetricsRegistry] | None = None,
         route_resolver: Callable[[str, str], str | None] | None = None,
         clock: Callable[[], float] | None = None,
+        window_store: obs.TimeWindowStore | None = None,
+        slow_log: obs.SlowOpLog | None = None,
+        logger: obs.JsonLogger | None = None,
     ) -> None:
         self.app = app
         self._registry = registry
         self.route_resolver = route_resolver
         self._clock = clock
+        self._window_store = window_store
+        self._slow_log = slow_log
+        self._logger = logger
 
     def _resolve_registry(self) -> obs.MetricsRegistry:
         if self._registry is None:
@@ -65,6 +95,22 @@ class MetricsMiddleware:
             return self._registry()
         return self._registry
 
+    @property
+    def window_store(self) -> obs.TimeWindowStore:
+        return (
+            self._window_store
+            if self._window_store is not None
+            else obs.get_window_store()
+        )
+
+    @property
+    def slow_log(self) -> obs.SlowOpLog:
+        return self._slow_log if self._slow_log is not None else obs.get_slow_log()
+
+    @property
+    def logger(self) -> obs.JsonLogger:
+        return self._logger if self._logger is not None else obs.get_logger()
+
     def __call__(self, environ: dict, start_response: Callable) -> Iterable[bytes]:
         registry = self._resolve_registry()
         clock = self._clock if self._clock is not None else registry.clock
@@ -74,33 +120,54 @@ class MetricsMiddleware:
             route = self.route_resolver(method, path) or UNMATCHED
         else:
             route = path
+        request_id = environ.get("HTTP_X_REQUEST_ID") or new_request_id()
         captured: dict[str, str] = {}
 
         def recording_start_response(status, headers, exc_info=None):
             captured["status"] = status.split(" ", 1)[0]
+            headers = list(headers) + [("X-Request-ID", request_id)]
             if exc_info is not None:
                 return start_response(status, headers, exc_info)
             return start_response(status, headers)
 
-        start = clock()
-        with obs.span("http.request", method=method, route=route) as span_rec:
-            chunks = self.app(environ, recording_start_response)
-            try:
-                # Materialise so the timing covers body generation too.
-                body = b"".join(chunks)
-            finally:
-                closer = getattr(chunks, "close", None)
-                if closer is not None:
-                    closer()
-            status = captured.get("status", "500")
-            if span_rec is not None:
-                span_rec.tags["status"] = status
-        elapsed = clock() - start
+        with bind_request_id(request_id):
+            start = clock()
+            with obs.span("http.request", method=method, route=route) as span_rec:
+                chunks = self.app(environ, recording_start_response)
+                try:
+                    # Materialise so the timing covers body generation too.
+                    body = b"".join(chunks)
+                finally:
+                    closer = getattr(chunks, "close", None)
+                    if closer is not None:
+                        closer()
+                status = captured.get("status", "500")
+                if span_rec is not None:
+                    span_rec.tags["status"] = status
+            elapsed = clock() - start
 
-        registry.counter(
-            "http_requests_total", method=method, route=route, status=status
-        ).inc()
-        if int(status) >= 400:
-            registry.counter("http_errors_total", route=route, status=status).inc()
-        registry.histogram("http_request_seconds", route=route).observe(elapsed)
+            registry.counter(
+                "http_requests_total", method=method, route=route, status=status
+            ).inc()
+            if int(status) >= 400:
+                registry.counter(
+                    "http_errors_total", route=route, status=status
+                ).inc()
+            registry.histogram("http_request_seconds", route=route).observe(elapsed)
+
+            window = self.window_store
+            window.record(WINDOW_SERIES, elapsed)
+            window.record(WINDOW_SERIES, elapsed, route=route)
+            if int(status) >= 400:
+                window.record(WINDOW_ERROR_SERIES, route=route)
+            self.slow_log.offer(
+                "http.request", elapsed, method=method, route=route, status=status
+            )
+            self.logger.info(
+                "http.request",
+                method=method,
+                route=route,
+                status=int(status),
+                duration_ms=round(elapsed * 1000.0, 3),
+            )
         return [body]

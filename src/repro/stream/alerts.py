@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.stream.online import ShiftUpdate
 
 
@@ -92,6 +93,14 @@ class ShiftAlertMonitor:
                     ),
                 )
                 self.alerts.append(alert)
+                obs.log_event(
+                    "stream.alert",
+                    level="warning",
+                    tick=alert.tick,
+                    energy=alert.energy,
+                    zscore=round(alert.zscore, 3),
+                    message=alert.message,
+                )
                 return alert
         # Welford update (only for non-alerting observations).
         self._count += 1

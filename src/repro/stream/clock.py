@@ -5,8 +5,10 @@ records logical time that advances only when told to, while still keeping
 the 10-second-tick vocabulary of the paper's narration.
 
 The clock also reports its progress to the observability layer — a
-``stream_ticks_total`` counter and a ``stream_clock_seconds`` gauge — so a
-dashboard (or ``GET /api/metrics``) can show how far a replay has run.
+``stream_ticks_total`` counter, a ``stream_clock_seconds`` gauge and a
+``stream_tick`` rolling-window series — so a dashboard (``GET
+/api/metrics`` or ``GET /api/telemetry``) can show how far a replay has
+run.
 """
 
 from __future__ import annotations
@@ -61,6 +63,9 @@ class SimulatedClock:
         registry = self.metrics
         registry.counter("stream_ticks_total").inc()
         registry.gauge("stream_clock_seconds").set(self._now)
+        # Ticks also land in the rolling window store so /api/telemetry
+        # can show replay progress alongside request traffic.
+        obs.get_window_store().record("stream_tick")
         return self._now
 
     def advance(self, seconds: float) -> float:

@@ -25,6 +25,7 @@ from repro.viz.flowmap import render_flow_layer
 from repro.viz.heatmap import render_heat_layer
 from repro.viz.scatter import render_scatter
 from repro.viz.svg import SvgDocument
+from repro.viz.telemetry import render_sparkline, render_telemetry_panel
 from repro.viz.timeseries_chart import render_timeseries
 
 __all__ = [
@@ -35,6 +36,8 @@ __all__ = [
     "render_flow_layer",
     "render_heat_layer",
     "render_scatter",
+    "render_sparkline",
+    "render_telemetry_panel",
     "render_timeseries",
     "zone_demand",
 ]

@@ -1,0 +1,345 @@
+"""The self-monitoring telemetry panel.
+
+Renders the ``/api/telemetry`` document — rolling request-rate windows,
+latency bands, cache hit ratios, per-op runtimes, a route×window traffic
+heat map and the slowest operations — as one standalone SVG, using the
+same primitives (:mod:`repro.viz.svg`, :mod:`repro.viz.color`,
+:mod:`repro.viz.scales`) the paper's three views are built from.  The
+system watches itself with its own visualisation layer.
+
+Reachable as ``GET /api/telemetry?format=svg`` on the REST API and as
+``repro stats --dashboard out.svg`` on the CLI.  The renderer is pure
+(dict in, SVG out) and tolerant of empty series, so it can run against a
+freshly started server.
+"""
+
+from __future__ import annotations
+
+from repro.viz.color import CATEGORICAL, colormap
+from repro.viz.scales import LinearScale, nice_ticks
+from repro.viz.svg import Element, SvgDocument, path_data
+
+_BG = "#ffffff"
+_PANEL_BG = "#fafafa"
+_FRAME = "#cccccc"
+_GRIDLINE = "#e5e5e5"
+_TEXT = "#222222"
+_MUTED = "#555555"
+_ACCENT = CATEGORICAL[0]
+
+
+def render_sparkline(
+    values: list[float | None],
+    x: float,
+    y: float,
+    width: float,
+    height: float,
+    color: str = _ACCENT,
+    fill: bool = True,
+) -> Element:
+    """A compact line-over-time mark; ``None`` entries break the line.
+
+    Raises
+    ------
+    ValueError
+        For a non-positive size.
+    """
+    if width <= 0 or height <= 0:
+        raise ValueError(f"size must be positive, got {width}x{height}")
+    group = Element("g", class_="sparkline")
+    finite = [v for v in values if v is not None]
+    if not finite:
+        return group
+    vmax = max(max(finite), 1e-12)
+    vmin = min(min(finite), 0.0)
+    sx = LinearScale(0.0, max(len(values) - 1, 1), x, x + width)
+    sy = LinearScale(vmin, vmax, y + height, y)
+    runs: list[list[tuple[float, float]]] = [[]]
+    for i, v in enumerate(values):
+        if v is None:
+            if runs[-1]:
+                runs.append([])
+            continue
+        runs[-1].append((float(sx(i)), float(sy(v))))
+    for run in runs:
+        if len(run) < 2:
+            continue
+        if fill:
+            base = float(sy(max(vmin, 0.0)))
+            area = run + [(run[-1][0], base), (run[0][0], base)]
+            group.add_new(
+                "path", d=path_data(area, close=True), fill=color,
+                fill_opacity=0.15, stroke="none",
+            )
+        group.add_new(
+            "path", d=path_data(run), fill="none", stroke=color,
+            stroke_width=1.6,
+        )
+    return group
+
+
+class _Panel:
+    """One titled sub-panel with a framed plot area."""
+
+    def __init__(
+        self, doc: Element, x: float, y: float, width: float, height: float,
+        title: str,
+    ) -> None:
+        self.group = doc.add_new("g", class_="panel")
+        self.x = x
+        self.y = y + 18  # room for the title
+        self.width = width
+        self.height = height - 18
+        self.group.add_new(
+            "text", x=x, y=y + 12, font_size=12, fill=_TEXT,
+            font_family="sans-serif", font_weight="bold",
+        ).set_text(title)
+        self.group.add_new(
+            "rect", x=self.x, y=self.y, width=self.width, height=self.height,
+            fill=_PANEL_BG, stroke=_FRAME,
+        )
+
+    def empty_note(self, message: str = "no data yet") -> None:
+        self.group.add_new(
+            "text", x=self.x + self.width / 2, y=self.y + self.height / 2,
+            font_size=11, fill=_MUTED, text_anchor="middle",
+            font_family="sans-serif",
+        ).set_text(message)
+
+    def caption(self, text: str) -> None:
+        self.group.add_new(
+            "text", x=self.x + 6, y=self.y + self.height - 6, font_size=9,
+            fill=_MUTED, font_family="sans-serif",
+        ).set_text(text)
+
+
+def _request_rate_panel(panel: _Panel, overall: dict) -> None:
+    windows = overall.get("windows", [])
+    rates = [w["count"] / overall.get("window_seconds", 1.0) for w in windows]
+    if not windows or not any(rates):
+        panel.empty_note()
+        return
+    panel.group.add(
+        render_sparkline(
+            rates, panel.x + 4, panel.y + 6, panel.width - 8,
+            panel.height - 26,
+        )
+    )
+    peak = max(rates)
+    total = sum(w["count"] for w in windows)
+    panel.caption(
+        f"{total} requests over {len(windows)} windows, peak "
+        f"{peak:.2f}/s"
+    )
+
+
+def _latency_band_panel(panel: _Panel, overall: dict) -> None:
+    windows = overall.get("windows", [])
+    p50 = [w.get("p50") for w in windows]
+    p99 = [w.get("p99") for w in windows]
+    if not any(v is not None for v in p99):
+        panel.empty_note()
+        return
+    ms50 = [None if v is None else v * 1000.0 for v in p50]
+    ms99 = [None if v is None else v * 1000.0 for v in p99]
+    panel.group.add(
+        render_sparkline(
+            ms99, panel.x + 4, panel.y + 6, panel.width - 8,
+            panel.height - 26, color=CATEGORICAL[3], fill=True,
+        )
+    )
+    panel.group.add(
+        render_sparkline(
+            ms50, panel.x + 4, panel.y + 6, panel.width - 8,
+            panel.height - 26, color=_ACCENT, fill=False,
+        )
+    )
+    worst = max(v for v in ms99 if v is not None)
+    panel.caption(f"p50 (blue) / p99 (red), worst window p99 {worst:.1f} ms")
+
+
+def _cache_panel(panel: _Panel, cache: dict) -> None:
+    if not cache:
+        panel.empty_note("no cached ops yet")
+        return
+    row_h = min(24.0, (panel.height - 16) / max(len(cache), 1))
+    bar_w = panel.width - 150
+    for i, (op, entry) in enumerate(sorted(cache.items())):
+        y = panel.y + 10 + i * row_h
+        ratio = float(entry.get("ratio", 0.0))
+        panel.group.add_new(
+            "text", x=panel.x + 6, y=y + row_h / 2 + 3, font_size=10,
+            fill=_TEXT, font_family="sans-serif",
+        ).set_text(op)
+        panel.group.add_new(
+            "rect", x=panel.x + 80, y=y, width=bar_w, height=row_h - 6,
+            fill="#e8e8e8",
+        )
+        panel.group.add_new(
+            "rect", x=panel.x + 80, y=y, width=bar_w * ratio,
+            height=row_h - 6, fill=CATEGORICAL[2],
+        )
+        hits = int(entry.get("hit", 0))
+        misses = int(entry.get("miss", 0))
+        panel.group.add_new(
+            "text", x=panel.x + 84 + bar_w, y=y + row_h / 2 + 2, font_size=9,
+            fill=_MUTED, font_family="sans-serif",
+        ).set_text(f"{ratio * 100.0:.0f}% ({hits}/{hits + misses})")
+
+
+def _ops_panel(panel: _Panel, ops: list[dict]) -> None:
+    ops = [op for op in ops if op.get("count")]
+    if not ops:
+        panel.empty_note("no pipeline ops yet")
+        return
+    ops = sorted(ops, key=lambda op: -op["mean_seconds"])[:8]
+    vmax = max(op["mean_seconds"] for op in ops) or 1.0
+    row_h = min(24.0, (panel.height - 16) / len(ops))
+    bar_w = panel.width - 200
+    ticks = nice_ticks(0.0, vmax, 3)
+    for i, op in enumerate(ops):
+        y = panel.y + 10 + i * row_h
+        panel.group.add_new(
+            "text", x=panel.x + 6, y=y + row_h / 2 + 3, font_size=10,
+            fill=_TEXT, font_family="sans-serif",
+        ).set_text(str(op["op"]))
+        panel.group.add_new(
+            "rect", x=panel.x + 120, y=y,
+            width=bar_w * op["mean_seconds"] / max(vmax, ticks[-1] or vmax),
+            height=row_h - 6, fill=CATEGORICAL[1],
+        )
+        panel.group.add_new(
+            "text", x=panel.x + 124 + bar_w, y=y + row_h / 2 + 2, font_size=9,
+            fill=_MUTED, font_family="sans-serif",
+        ).set_text(
+            f"{op['mean_seconds'] * 1000.0:.1f} ms x{int(op['count'])}"
+        )
+
+
+def _route_heatmap_panel(panel: _Panel, by_route: list[dict]) -> None:
+    """Route × window traffic heat map (count per cell, heat colormap)."""
+    series = [s for s in by_route if any(w["count"] for w in s["windows"])]
+    if not series:
+        panel.empty_note("no per-route traffic yet")
+        return
+    series = sorted(
+        series, key=lambda s: -sum(w["count"] for w in s["windows"])
+    )[:10]
+    n_windows = max(len(s["windows"]) for s in series)
+    vmax = max(w["count"] for s in series for w in s["windows"]) or 1
+    label_w = 150.0
+    cell_w = (panel.width - label_w - 10) / n_windows
+    cell_h = min(18.0, (panel.height - 14) / len(series))
+    for row, s in enumerate(series):
+        y = panel.y + 8 + row * cell_h
+        route = s["labels"].get("route", "?")
+        if len(route) > 24:
+            route = route[:21] + "..."
+        panel.group.add_new(
+            "text", x=panel.x + 6, y=y + cell_h / 2 + 3, font_size=9,
+            fill=_TEXT, font_family="sans-serif",
+        ).set_text(route)
+        for col, w in enumerate(s["windows"]):
+            if not w["count"]:
+                continue
+            panel.group.add_new(
+                "rect",
+                x=panel.x + label_w + col * cell_w,
+                y=y,
+                width=max(cell_w - 1, 0.5),
+                height=max(cell_h - 2, 0.5),
+                fill=colormap("heat", w["count"] / vmax),
+            )
+
+
+def _slow_ops_panel(panel: _Panel, slow_ops: list[dict]) -> None:
+    if not slow_ops:
+        panel.empty_note("no slow ops recorded")
+        return
+    row_h = min(16.0, (panel.height - 12) / max(len(slow_ops[:8]), 1))
+    for i, record in enumerate(slow_ops[:8]):
+        y = panel.y + 12 + i * row_h
+        rid = record.get("request_id") or "-"
+        panel.group.add_new(
+            "text", x=panel.x + 6, y=y, font_size=9, fill=_TEXT,
+            font_family="monospace",
+        ).set_text(
+            f"{record['duration_ms']:>8.1f} ms  {record['name']:<18} "
+            f"req={rid}"
+        )
+
+
+def render_telemetry_panel(
+    telemetry: dict, width: int = 880, height: int = 620
+) -> SvgDocument:
+    """Compose the telemetry document into the self-monitoring SVG panel.
+
+    ``telemetry`` is the dict served by ``GET /api/telemetry`` (see
+    :meth:`repro.server.app.VapApp.telemetry_payload`); missing keys
+    render as empty panels rather than failing, so partially populated
+    documents (fresh server, no traffic yet) still produce a valid SVG.
+
+    Raises
+    ------
+    ValueError
+        For a non-positive size.
+    """
+    doc = SvgDocument(width, height)
+    doc.add_new("rect", x=0, y=0, width=width, height=height, fill=_BG)
+    uptime = telemetry.get("uptime_seconds", 0.0)
+    version = telemetry.get("version", "?")
+    ready = telemetry.get("ready", False)
+    doc.add_new(
+        "text", x=16, y=24, font_size=15, fill=_TEXT,
+        font_family="sans-serif", font_weight="bold",
+    ).set_text("VAP telemetry — the tool watching itself")
+    doc.add_new(
+        "text", x=16, y=40, font_size=10, fill=_MUTED,
+        font_family="sans-serif",
+    ).set_text(
+        f"v{version} | uptime {uptime:.1f} s | "
+        f"{'ready' if ready else 'not ready'} | window "
+        f"{telemetry.get('window_seconds', 0)} s"
+    )
+    margin, gutter, top = 16, 14, 52
+    col_w = (width - 2 * margin - gutter) / 2
+    row_h = (height - top - margin - 2 * gutter) / 3
+
+    requests = telemetry.get("requests", {})
+    overall = requests.get("overall", {})
+    _request_rate_panel(
+        _Panel(doc, margin, top, col_w, row_h, "Request rate (per window)"),
+        overall,
+    )
+    _latency_band_panel(
+        _Panel(
+            doc, margin + col_w + gutter, top, col_w, row_h,
+            "Request latency p50/p99 (ms)",
+        ),
+        overall,
+    )
+    y2 = top + row_h + gutter
+    _cache_panel(
+        _Panel(doc, margin, y2, col_w, row_h, "Pipeline cache hit ratio"),
+        telemetry.get("cache", {}),
+    )
+    _ops_panel(
+        _Panel(
+            doc, margin + col_w + gutter, y2, col_w, row_h,
+            "Pipeline op runtimes (mean)",
+        ),
+        telemetry.get("ops", []),
+    )
+    y3 = y2 + row_h + gutter
+    _route_heatmap_panel(
+        _Panel(doc, margin, y3, col_w, row_h, "Traffic by route x window"),
+        requests.get("by_route", []),
+    )
+    _slow_ops_panel(
+        _Panel(
+            doc, margin + col_w + gutter, y3, col_w, row_h,
+            "Slowest operations (request IDs)",
+        ),
+        telemetry.get("slow_ops", []),
+    )
+    return doc

@@ -31,5 +31,13 @@ def fake_clock():
 def fresh_obs():
     """Swap in fresh process-wide defaults; restore the originals after."""
     previous_registry, previous_tracer = obs.get_registry(), obs.get_tracer()
+    previous_logger = obs.get_logger()
+    previous_window, previous_slow = obs.get_window_store(), obs.get_slow_log()
     yield obs.reset()
-    obs.configure(registry=previous_registry, tracer=previous_tracer)
+    obs.configure(
+        registry=previous_registry,
+        tracer=previous_tracer,
+        logger=previous_logger,
+        window_store=previous_window,
+        slow_log=previous_slow,
+    )

@@ -1,0 +1,161 @@
+"""A strict test-side mini-parser for Prometheus text exposition v0.0.4.
+
+Used by the exposition tests to assert that ``/api/metrics?format=
+prometheus`` output actually parses under the format's rules: metric and
+label name character sets, quoted-and-escaped label values, ``# TYPE``
+comment structure, and float sample values (including ``+Inf`` and
+``NaN``).  Deliberately rejects anything the spec does, so a renderer bug
+fails loudly instead of passing as "some text came back".
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import NamedTuple
+
+_METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_LABEL_NAME = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
+_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+class Sample(NamedTuple):
+    """One parsed sample line."""
+
+    name: str
+    labels: dict[str, str]
+    value: float
+
+
+def _parse_value(token: str) -> float:
+    if token == "+Inf":
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    if token == "NaN":
+        return math.nan
+    return float(token)
+
+
+def _parse_labels(body: str) -> dict[str, str]:
+    """Parse the inside of a ``{...}`` label block."""
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(body):
+        match = _LABEL_NAME.match(body, i)
+        if match is None:
+            raise ValueError(f"bad label name at {body[i:]!r}")
+        name = match.group(0)
+        i = match.end()
+        if i >= len(body) or body[i] != "=":
+            raise ValueError(f"expected '=' after label {name!r}")
+        i += 1
+        if i >= len(body) or body[i] != '"':
+            raise ValueError(f"label {name!r} value must be double-quoted")
+        i += 1
+        out: list[str] = []
+        while True:
+            if i >= len(body):
+                raise ValueError(f"unterminated value for label {name!r}")
+            ch = body[i]
+            if ch == "\\":
+                if i + 1 >= len(body):
+                    raise ValueError("dangling backslash in label value")
+                nxt = body[i + 1]
+                if nxt == "n":
+                    out.append("\n")
+                elif nxt in ('"', "\\"):
+                    out.append(nxt)
+                else:
+                    raise ValueError(f"bad escape \\{nxt} in label value")
+                i += 2
+            elif ch == '"':
+                i += 1
+                break
+            elif ch == "\n":
+                raise ValueError("raw newline inside label value")
+            else:
+                out.append(ch)
+                i += 1
+        if name in labels:
+            raise ValueError(f"duplicate label {name!r}")
+        labels[name] = "".join(out)
+        if i < len(body):
+            if body[i] != ",":
+                raise ValueError(f"expected ',' between labels at {body[i:]!r}")
+            i += 1
+    return labels
+
+
+def _split_label_block(rest: str) -> tuple[str, str]:
+    """Split ``{...} value`` into the block body and the remainder,
+    honouring quotes so '}' inside a label value does not terminate."""
+    assert rest.startswith("{")
+    i = 1
+    in_quotes = False
+    while i < len(rest):
+        ch = rest[i]
+        if in_quotes:
+            if ch == "\\":
+                i += 1
+            elif ch == '"':
+                in_quotes = False
+        elif ch == '"':
+            in_quotes = True
+        elif ch == "}":
+            return rest[1:i], rest[i + 1:]
+        i += 1
+    raise ValueError(f"unterminated label block in {rest!r}")
+
+
+def parse_prometheus(text: str) -> tuple[dict[str, str], list[Sample]]:
+    """Parse exposition text; returns ``(types, samples)``.
+
+    ``types`` maps metric name to its declared type.  Raises
+    :class:`ValueError` on any violation of the text format.
+    """
+    if not text.endswith("\n"):
+        raise ValueError("exposition must end with a newline")
+    types: dict[str, str] = {}
+    samples: list[Sample] = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ")
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    raise ValueError(f"malformed TYPE line: {line!r}")
+                _, _, name, kind = parts
+                if not _METRIC_NAME.fullmatch(name):
+                    raise ValueError(f"bad metric name in TYPE line: {name!r}")
+                if kind not in _TYPES:
+                    raise ValueError(f"unknown metric type {kind!r}")
+                if name in types:
+                    raise ValueError(f"duplicate TYPE for {name!r}")
+                types[name] = kind
+            continue
+        match = _METRIC_NAME.match(line)
+        if match is None or match.start() != 0:
+            raise ValueError(f"bad sample line: {line!r}")
+        name = match.group(0)
+        rest = line[match.end():]
+        labels: dict[str, str] = {}
+        if rest.startswith("{"):
+            body, rest = _split_label_block(rest)
+            labels = _parse_labels(body)
+        if not rest.startswith(" "):
+            raise ValueError(f"expected space before value in {line!r}")
+        tokens = rest.strip().split(" ")
+        if len(tokens) not in (1, 2):  # optional timestamp
+            raise ValueError(f"trailing junk in sample line: {line!r}")
+        samples.append(Sample(name, labels, _parse_value(tokens[0])))
+    return types, samples
+
+
+def base_name(sample_name: str) -> str:
+    """Strip histogram sample suffixes (``_bucket``/``_sum``/``_count``)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name

@@ -1,0 +1,148 @@
+"""Tests for structured JSON logging and request-ID propagation."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.logging import (
+    LEVELS,
+    JsonLogger,
+    bind_request_id,
+    current_request_id,
+    new_request_id,
+)
+
+
+def _lines(stream: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestJsonLogger:
+    def test_emits_one_json_object_per_line(self, fake_clock):
+        stream = io.StringIO()
+        logger = JsonLogger(stream=stream, clock=fake_clock)
+        logger.info("first", a=1)
+        fake_clock.advance(2.5)
+        logger.warning("second", b="two")
+        records = _lines(stream)
+        assert [r["event"] for r in records] == ["first", "second"]
+        assert records[0] == {"ts": 0.0, "level": "info", "event": "first", "a": 1}
+        assert records[1]["ts"] == 2.5
+        assert records[1]["level"] == "warning"
+        assert records[1]["b"] == "two"
+
+    def test_level_threshold_filters(self, fake_clock):
+        stream = io.StringIO()
+        logger = JsonLogger(stream=stream, level="warning", clock=fake_clock)
+        logger.debug("d")
+        logger.info("i")
+        logger.warning("w")
+        logger.error("e")
+        assert [r["event"] for r in _lines(stream)] == ["w", "e"]
+
+    def test_off_level_silences_everything(self, fake_clock):
+        stream = io.StringIO()
+        logger = JsonLogger(stream=stream, level="off", clock=fake_clock)
+        assert not logger.enabled
+        logger.error("nope")
+        assert stream.getvalue() == ""
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError, match="unknown level"):
+            JsonLogger(level="verbose")
+        logger = JsonLogger(stream=io.StringIO())
+        with pytest.raises(ValueError, match="unknown level"):
+            logger.log("x", level="loud")
+
+    def test_non_serialisable_fields_fall_back_to_str(self, fake_clock):
+        stream = io.StringIO()
+        logger = JsonLogger(stream=stream, clock=fake_clock)
+        logger.info("custom", obj=object())
+        (record,) = _lines(stream)
+        assert record["obj"].startswith("<object object")
+
+    def test_broken_stream_never_raises(self, fake_clock):
+        class Exploding(io.StringIO):
+            def write(self, s):  # noqa: ARG002
+                raise OSError("disk full")
+
+        logger = JsonLogger(stream=Exploding(), clock=fake_clock)
+        logger.info("still fine")  # must not raise
+
+    def test_levels_are_ordered(self):
+        assert (
+            LEVELS["debug"]
+            < LEVELS["info"]
+            < LEVELS["warning"]
+            < LEVELS["error"]
+            < LEVELS["off"]
+        )
+
+
+class TestRequestId:
+    def test_new_request_ids_are_unique_hex(self):
+        ids = {new_request_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(len(rid) == 16 and int(rid, 16) >= 0 for rid in ids)
+
+    def test_bind_attaches_id_to_records(self, fake_clock):
+        stream = io.StringIO()
+        logger = JsonLogger(stream=stream, clock=fake_clock)
+        logger.info("outside")
+        with bind_request_id("req-abc"):
+            logger.info("inside")
+        logger.info("after")
+        records = _lines(stream)
+        assert "request_id" not in records[0]
+        assert records[1]["request_id"] == "req-abc"
+        assert "request_id" not in records[2]
+
+    def test_nested_binds_shadow_and_restore(self):
+        assert current_request_id() is None
+        with bind_request_id("outer"):
+            assert current_request_id() == "outer"
+            with bind_request_id("inner"):
+                assert current_request_id() == "inner"
+            assert current_request_id() == "outer"
+        assert current_request_id() is None
+
+    def test_span_records_capture_bound_request_id(self, fresh_obs, fake_clock):
+        sink = obs.RingBufferSink()
+        obs.configure(sink=sink, clock=fake_clock)
+        with bind_request_id("req-span"):
+            with obs.span("work"):
+                with obs.span("child"):
+                    pass
+        (root,) = sink.records()
+        assert root.request_id == "req-span"
+        assert root.children[0].request_id == "req-span"
+        assert root.to_record()["request_id"] == "req-span"
+
+    def test_span_records_omit_request_id_when_unbound(self, fresh_obs, fake_clock):
+        sink = obs.RingBufferSink()
+        obs.configure(sink=sink, clock=fake_clock)
+        with obs.span("work"):
+            pass
+        (root,) = sink.records()
+        assert root.request_id is None
+        assert "request_id" not in root.to_record()
+
+
+class TestDefaultLogger:
+    def test_log_event_goes_through_default_logger(self, fresh_obs, capsys):
+        obs.log_event("hello", level="warning", n=3)
+        err = capsys.readouterr().err
+        record = json.loads(err.strip())
+        assert record["event"] == "hello"
+        assert record["level"] == "warning"
+        assert record["n"] == 3
+
+    def test_configure_swaps_logger(self, fresh_obs, fake_clock):
+        stream = io.StringIO()
+        obs.configure(logger=JsonLogger(stream=stream, clock=fake_clock))
+        obs.log_event("routed")
+        assert _lines(stream)[0]["event"] == "routed"

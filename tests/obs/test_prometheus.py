@@ -1,0 +1,176 @@
+"""Tests for Prometheus text exposition, validated by a strict mini-parser."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.prometheus import (
+    CONTENT_TYPE,
+    escape_label_value,
+    format_value,
+    render_prometheus,
+    sanitize_label_name,
+    sanitize_name,
+)
+
+from .prom import base_name, parse_prometheus
+
+
+class TestSanitizers:
+    def test_valid_names_pass_through(self):
+        assert sanitize_name("http_requests_total") == "http_requests_total"
+        assert sanitize_name("ns:metric") == "ns:metric"
+
+    def test_bad_characters_become_underscores(self):
+        assert sanitize_name("pipeline.embed-ms") == "pipeline_embed_ms"
+        assert sanitize_name("1weird") == "_1weird"
+        assert sanitize_name("") == "_"
+
+    def test_label_names_exclude_colon_and_dunder_prefix(self):
+        assert sanitize_label_name("route") == "route"
+        assert sanitize_label_name("ns:key") == "ns_key"
+        assert sanitize_label_name("__reserved") == "reserved"
+        assert sanitize_label_name("9lives") == "_9lives"
+        assert sanitize_label_name("___") == "_"
+
+    def test_escaping_order_backslash_first(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+        # a backslash already in the input must not double-escape the quote
+        assert escape_label_value('\\"') == '\\\\\\"'
+
+    def test_format_value(self):
+        assert format_value(3.0) == "3"
+        assert format_value(0.25) == "0.25"
+        assert format_value(float("inf")) == "+Inf"
+        assert format_value(float("-inf")) == "-Inf"
+        assert format_value(float("nan")) == "NaN"
+
+
+class TestRenderPrometheus:
+    def _registry(self):
+        registry = MetricsRegistry(clock=lambda: 0.0)
+        return registry
+
+    def test_counters_and_gauges_round_trip(self):
+        registry = self._registry()
+        registry.counter("http_requests_total", route="/api/density").inc(3)
+        registry.gauge("stream_clock_seconds").set(42.5)
+        text = render_prometheus(registry.snapshot())
+        types, samples = parse_prometheus(text)
+        assert types["http_requests_total"] == "counter"
+        assert types["stream_clock_seconds"] == "gauge"
+        by_name = {(s.name, tuple(sorted(s.labels.items()))): s.value for s in samples}
+        assert by_name[("http_requests_total", (("route", "/api/density"),))] == 3.0
+        assert by_name[("stream_clock_seconds", ())] == 42.5
+
+    def test_label_values_survive_adversarial_characters(self):
+        registry = self._registry()
+        nasty = 'pa\\th" with\nnewline'
+        registry.counter("c_total", route=nasty).inc()
+        text = render_prometheus(registry.snapshot())
+        _, samples = parse_prometheus(text)
+        (sample,) = [s for s in samples if s.name == "c_total"]
+        assert sample.labels["route"] == nasty
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = self._registry()
+        hist = registry.histogram("lat_seconds", buckets=(0.1, 0.5, 1.0))
+        for v in (0.05, 0.05, 0.3, 0.7, 2.0):
+            hist.observe(v)
+        text = render_prometheus(registry.snapshot())
+        types, samples = parse_prometheus(text)
+        assert types["lat_seconds"] == "histogram"
+        buckets = [s for s in samples if s.name == "lat_seconds_bucket"]
+        les = [s.labels["le"] for s in buckets]
+        assert les == ["0.1", "0.5", "1", "+Inf"]
+        counts = [s.value for s in buckets]
+        assert counts == [2.0, 3.0, 4.0, 5.0]  # cumulative, +Inf == count
+        assert counts == sorted(counts)
+        (count,) = [s for s in samples if s.name == "lat_seconds_count"]
+        assert count.value == 5.0
+        (total,) = [s for s in samples if s.name == "lat_seconds_sum"]
+        assert total.value == pytest.approx(3.1)
+
+    def test_one_type_line_per_name_across_label_sets(self):
+        registry = self._registry()
+        registry.counter("c_total", route="/a").inc()
+        registry.counter("c_total", route="/b").inc()
+        registry.histogram("h_seconds", buckets=(1.0,), op="x").observe(0.5)
+        registry.histogram("h_seconds", buckets=(1.0,), op="y").observe(0.5)
+        text = render_prometheus(registry.snapshot())
+        assert text.count("# TYPE c_total counter") == 1
+        assert text.count("# TYPE h_seconds histogram") == 1
+        types, samples = parse_prometheus(text)
+        # every sample's base name is declared
+        for sample in samples:
+            assert base_name(sample.name) in types
+
+    def test_dotted_metric_names_are_sanitised(self):
+        registry = self._registry()
+        registry.counter("pipeline.cache.total", op="embed").inc()
+        text = render_prometheus(registry.snapshot())
+        types, samples = parse_prometheus(text)
+        assert "pipeline_cache_total" in types
+        assert all("." not in s.name for s in samples)
+
+    def test_empty_snapshot_renders_parseable_text(self):
+        text = render_prometheus(self._registry().snapshot())
+        types, samples = parse_prometheus(text)
+        assert types == {} and samples == []
+        assert text.endswith("\n")
+
+    def test_extra_snapshot_keys_are_ignored(self):
+        registry = self._registry()
+        registry.counter("c_total").inc()
+        snapshot = registry.snapshot()
+        snapshot["span_sink"] = {"exported": 1, "dropped": 0}
+        snapshot["spans"] = [{"name": "x"}]
+        types, _ = parse_prometheus(render_prometheus(snapshot))
+        assert set(types) == {"c_total"}
+
+    def test_content_type_constant(self):
+        assert CONTENT_TYPE.startswith("text/plain")
+        assert "version=0.0.4" in CONTENT_TYPE
+
+
+class TestMiniParserIsStrict:
+    """The parser itself must reject malformed expositions, or the
+    round-trip tests above prove nothing."""
+
+    def test_rejects_missing_trailing_newline(self):
+        with pytest.raises(ValueError, match="newline"):
+            parse_prometheus("a_total 1")
+
+    def test_rejects_bad_metric_name(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("9bad 1\n")
+
+    def test_rejects_unquoted_label_value(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("a{route=/x} 1\n")
+
+    def test_rejects_bad_escape(self):
+        with pytest.raises(ValueError, match="escape"):
+            parse_prometheus('a{route="\\x"} 1\n')
+
+    def test_rejects_unterminated_label_block(self):
+        with pytest.raises(ValueError):
+            parse_prometheus('a{route="x" 1\n')
+
+    def test_rejects_non_numeric_value(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("a_total one\n")
+
+    def test_accepts_escaped_quote_and_brace_in_value(self):
+        _, samples = parse_prometheus('a{v="x\\"}\\\\y"} 1\n')
+        assert samples[0].labels["v"] == 'x"}\\y'
+
+    def test_parses_special_float_values(self):
+        _, samples = parse_prometheus("a NaN\nb +Inf\n")
+        assert math.isnan(samples[0].value)
+        assert samples[1].value == math.inf

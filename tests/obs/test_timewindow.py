@@ -1,0 +1,152 @@
+"""Tests for the rolling time-window store and the slow-op log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.logging import bind_request_id
+from repro.obs.timewindow import SlowOpLog, TimeWindowStore
+
+
+class TestTimeWindowStore:
+    def test_validates_parameters(self, fake_clock):
+        with pytest.raises(ValueError, match="width_seconds"):
+            TimeWindowStore(width_seconds=0, clock=fake_clock)
+        with pytest.raises(ValueError, match="n_windows"):
+            TimeWindowStore(n_windows=0, clock=fake_clock)
+        with pytest.raises(ValueError, match="max_samples"):
+            TimeWindowStore(max_samples=0, clock=fake_clock)
+
+    def test_counts_land_in_the_live_window(self, fake_clock):
+        store = TimeWindowStore(width_seconds=10, n_windows=3, clock=fake_clock)
+        store.record("req")
+        store.record("req")
+        fake_clock.advance(10)  # next window
+        store.record("req")
+        series = store.series("req")
+        counts = [w["count"] for w in series["windows"]]
+        assert counts == [0, 2, 1]
+        assert series["window_seconds"] == 10.0
+        assert [w["rate"] for w in series["windows"]] == [0.0, 0.2, 0.1]
+
+    def test_series_has_fixed_time_axis(self, fake_clock):
+        store = TimeWindowStore(width_seconds=5, n_windows=4, clock=fake_clock)
+        fake_clock.advance(17)  # live window index 3 -> t = 15
+        store.record("req")
+        series = store.series("req")
+        assert [w["t"] for w in series["windows"]] == [0.0, 5.0, 10.0, 15.0]
+        assert [w["count"] for w in series["windows"]] == [0, 0, 0, 1]
+
+    def test_old_windows_roll_off(self, fake_clock):
+        store = TimeWindowStore(width_seconds=10, n_windows=2, clock=fake_clock)
+        store.record("req")
+        fake_clock.advance(10)
+        store.record("req")
+        assert [w["count"] for w in store.series("req")["windows"]] == [1, 1]
+        fake_clock.advance(10)  # first window now beyond the horizon
+        assert [w["count"] for w in store.series("req")["windows"]] == [1, 0]
+        fake_clock.advance(10)
+        assert [w["count"] for w in store.series("req")["windows"]] == [0, 0]
+
+    def test_value_samples_produce_latency_stats(self, fake_clock):
+        store = TimeWindowStore(width_seconds=10, n_windows=2, clock=fake_clock)
+        for v in (0.1, 0.2, 0.3, 0.4):
+            store.record("lat", v)
+        (empty, live) = store.series("lat")["windows"]
+        assert empty["mean"] is None and empty["p50"] is None
+        assert live["count"] == 4
+        assert live["mean"] == pytest.approx(0.25)
+        assert live["max"] == pytest.approx(0.4)
+        assert live["p50"] == pytest.approx(0.2)
+        assert live["p99"] == pytest.approx(0.4)
+
+    def test_count_only_windows_have_null_latency(self, fake_clock):
+        store = TimeWindowStore(width_seconds=10, n_windows=1, clock=fake_clock)
+        store.record("tick")
+        (window,) = store.series("tick")["windows"]
+        assert window["count"] == 1
+        assert window["mean"] is None and window["max"] is None
+
+    def test_labels_separate_series(self, fake_clock):
+        store = TimeWindowStore(width_seconds=10, n_windows=1, clock=fake_clock)
+        store.record("req", route="/api/a")
+        store.record("req", route="/api/a")
+        store.record("req", route="/api/b")
+        a = store.series("req", route="/api/a")["windows"][0]
+        b = store.series("req", route="/api/b")["windows"][0]
+        assert (a["count"], b["count"]) == (2, 1)
+        assert store.series("req", route="/api/a")["labels"] == {"route": "/api/a"}
+
+    def test_keys_and_snapshot_cover_live_identities(self, fake_clock):
+        store = TimeWindowStore(width_seconds=10, n_windows=2, clock=fake_clock)
+        store.record("a")
+        store.record("b", route="/x")
+        assert store.keys() == [("a", {}), ("b", {"route": "/x"})]
+        snapshot = store.snapshot()
+        assert [s["name"] for s in snapshot] == ["a", "b"]
+        fake_clock.advance(100)  # everything rolls off
+        assert store.keys() == []
+        assert store.snapshot() == []
+
+    def test_sample_cap_keeps_counts_exact(self, fake_clock):
+        store = TimeWindowStore(
+            width_seconds=10, n_windows=1, clock=fake_clock, max_samples=2
+        )
+        for v in (1.0, 2.0, 3.0, 4.0):
+            store.record("lat", v)
+        (window,) = store.series("lat")["windows"]
+        assert window["count"] == 4
+        assert window["mean"] == pytest.approx(10.0 / 4)  # totals stay exact
+        assert window["max"] == pytest.approx(2.0)  # quantiles see the cap
+
+    def test_reset_drops_everything(self, fake_clock):
+        store = TimeWindowStore(width_seconds=10, n_windows=2, clock=fake_clock)
+        store.record("req")
+        store.reset()
+        assert [w["count"] for w in store.series("req")["windows"]] == [0, 0]
+
+
+class TestSlowOpLog:
+    def test_validates_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            SlowOpLog(capacity=0)
+
+    def test_keeps_only_the_k_slowest(self):
+        log = SlowOpLog(capacity=3)
+        for ms, name in [(5, "a"), (50, "b"), (20, "c"), (1, "d"), (30, "e")]:
+            log.offer(name, ms / 1000.0)
+        records = log.records()
+        assert [r["name"] for r in records] == ["b", "e", "c"]
+        assert [r["duration_ms"] for r in records] == [50.0, 30.0, 20.0]
+        assert len(log) == 3
+
+    def test_request_id_autofills_from_context(self):
+        log = SlowOpLog()
+        with bind_request_id("req-slow"):
+            log.offer("db.sql", 0.5)
+        log.offer("db.sql", 0.4)
+        log.offer("db.sql", 0.3, request_id="explicit")
+        by_name = {r["duration_ms"]: r["request_id"] for r in log.records()}
+        assert by_name[500.0] == "req-slow"
+        assert by_name[400.0] is None
+        assert by_name[300.0] == "explicit"
+
+    def test_tags_are_string_coerced(self):
+        log = SlowOpLog()
+        log.offer("http.request", 0.1, route="/api/x", status=500)
+        (record,) = log.records()
+        assert record["tags"] == {"route": "/api/x", "status": "500"}
+
+    def test_equal_durations_keep_insertion_order_stable(self):
+        log = SlowOpLog(capacity=2)
+        log.offer("first", 0.1)
+        log.offer("second", 0.1)
+        log.offer("third", 0.1)  # not strictly slower: dropped
+        assert [r["name"] for r in log.records()] == ["first", "second"]
+
+    def test_reset(self):
+        log = SlowOpLog()
+        log.offer("x", 1.0)
+        log.reset()
+        assert log.records() == []
+        assert len(log) == 0

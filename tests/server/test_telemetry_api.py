@@ -1,0 +1,234 @@
+"""Integration tests: request correlation, Prometheus exposition and the
+/api/telemetry self-monitoring surface."""
+
+import io
+import json
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro import obs
+from repro.core.pipeline import VapSession
+from repro.data.generator.simulate import CityConfig, generate_city
+from repro.obs import (
+    JsonLogger,
+    MetricsRegistry,
+    RingBufferSink,
+    SlowOpLog,
+    TimeWindowStore,
+)
+from repro.obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from repro.server import TestClient, VapApp
+
+from ..obs.prom import base_name, parse_prometheus
+
+
+@pytest.fixture(scope="module")
+def telemetry_city():
+    return generate_city(CityConfig(n_customers=30, n_days=7, seed=11))
+
+
+@pytest.fixture()
+def log_stream():
+    """Route the process-default logger into a buffer for the test."""
+    stream = io.StringIO()
+    previous = obs.get_logger()
+    obs.configure(logger=JsonLogger(stream=stream))
+    yield stream
+    obs.configure(logger=previous)
+
+
+@pytest.fixture()
+def app(telemetry_city):
+    session = VapSession.from_city(telemetry_city, metrics=MetricsRegistry())
+    return VapApp(
+        session,
+        layout=telemetry_city.layout,
+        window_store=TimeWindowStore(),
+        slow_log=SlowOpLog(),
+    )
+
+
+@pytest.fixture()
+def client(app):
+    return TestClient(app)
+
+
+def _log_records(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestRequestCorrelation:
+    def test_every_api_request_gets_a_request_id_header(self, client):
+        response = client.get("/api/health")
+        rid = response.headers["X-Request-ID"]
+        assert len(rid) == 16 and int(rid, 16) >= 0
+
+    def test_incoming_request_id_is_honoured_and_echoed(self, client, log_stream):
+        response = client.get("/api/health", headers={"X-Request-ID": "caller-id-7"})
+        assert response.headers["X-Request-ID"] == "caller-id-7"
+        (record,) = _log_records(log_stream)
+        assert record["request_id"] == "caller-id-7"
+
+    def test_log_line_and_span_share_the_response_request_id(
+        self, client, log_stream
+    ):
+        sink = RingBufferSink()
+        previous = obs.get_tracer()
+        obs.configure(sink=sink)
+        try:
+            response = client.get("/api/density?t_start=13&t_end=15")
+        finally:
+            obs.configure(tracer=previous)
+        assert response.ok
+        rid = response.headers["X-Request-ID"]
+
+        (record,) = [
+            r for r in _log_records(log_stream) if r["event"] == "http.request"
+        ]
+        assert record["request_id"] == rid
+        assert record["route"] == "/api/density"
+        assert record["status"] == 200
+        assert record["duration_ms"] >= 0
+
+        (root,) = [r for r in sink.records() if r.name == "http.request"]
+        assert root.request_id == rid
+        # children inherit the ID through the context variable
+        assert all(c.request_id == rid for c in root.children)
+
+    def test_slow_log_ties_requests_to_their_ids(self, app, client):
+        response = client.get("/api/health", headers={"X-Request-ID": "slow-req"})
+        assert response.ok
+        records = app.slow_log.records()
+        assert any(
+            r["name"] == "http.request" and r["request_id"] == "slow-req"
+            for r in records
+        )
+
+
+class TestPrometheusExposition:
+    def test_prometheus_format_parses_and_has_content_type(self, client):
+        client.get("/api/health")
+        client.get("/api/quality")
+        response = client.get("/api/metrics?format=prometheus")
+        assert response.ok
+        assert response.headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        types, samples = parse_prometheus(response.body.decode("utf-8"))
+        names = {base_name(s.name) for s in samples}
+        assert "http_requests_total" in names
+        assert "http_request_seconds" in names
+        for sample in samples:
+            assert base_name(sample.name) in types
+
+    def test_bucket_cumulativity_over_the_wire(self, client):
+        for _ in range(3):
+            client.get("/api/health")
+        response = client.get("/api/metrics?format=prometheus")
+        _, samples = parse_prometheus(response.body.decode("utf-8"))
+        buckets = [
+            s for s in samples
+            if s.name == "http_request_seconds_bucket"
+            and s.labels.get("route") == "/api/health"
+        ]
+        counts = [s.value for s in buckets]
+        assert counts == sorted(counts)  # cumulative over increasing le
+        assert buckets[-1].labels["le"] == "+Inf"
+        (total,) = [
+            s for s in samples
+            if s.name == "http_request_seconds_count"
+            and s.labels.get("route") == "/api/health"
+        ]
+        assert buckets[-1].value == total.value == 3.0
+
+    def test_unknown_format_is_a_400(self, client):
+        response = client.get("/api/metrics?format=yaml")
+        assert response.status == 400
+        assert "format" in response.json["error"]
+
+    def test_adversarial_paths_collapse_to_unmatched(self, client):
+        for i in range(20):
+            assert client.get(f"/api/bogus/{i}/x%22y%5C").status == 404
+        response = client.get("/api/metrics?format=prometheus")
+        _, samples = parse_prometheus(response.body.decode("utf-8"))
+        requests = [s for s in samples if s.name == "http_requests_total"]
+        routes = {s.labels["route"] for s in requests}
+        # 20 distinct hostile URLs produce exactly one route label
+        assert "<unmatched>" in routes
+        assert len(routes) <= 2  # <unmatched> + /api/metrics itself
+        (unmatched,) = [
+            s for s in requests if s.labels["route"] == "<unmatched>"
+        ]
+        assert unmatched.value == 20.0
+
+    def test_span_sink_counts_surface_in_json_snapshot(self, client):
+        previous = obs.get_tracer()
+        obs.configure(sink=RingBufferSink(capacity=4))
+        try:
+            for _ in range(6):
+                client.get("/api/health")
+            snap = client.get("/api/metrics").json
+        finally:
+            obs.configure(tracer=previous)
+        sink_stats = snap["span_sink"]
+        assert sink_stats["exported"] == 6
+        assert sink_stats["dropped"] == 2  # capacity 4 < 6 exported
+        assert sink_stats["buffered"] == 4
+        assert sink_stats["capacity"] == 4
+
+
+class TestTelemetryEndpoint:
+    def test_windowed_series_populate_after_a_workload(self, client):
+        client.get("/api/health")
+        client.get("/api/quality")
+        client.get("/api/nowhere")  # one error
+        payload = client.get("/api/telemetry").json
+        overall = payload["requests"]["overall"]
+        assert sum(w["count"] for w in overall["windows"]) == 3
+        by_route = {s["labels"]["route"]: s for s in payload["requests"]["by_route"]}
+        assert sum(w["count"] for w in by_route["/api/health"]["windows"]) == 1
+        errors = payload["errors"]
+        assert sum(
+            w["count"] for s in errors for w in s["windows"]
+        ) == 1
+        assert payload["window_seconds"] > 0
+        assert payload["ready"] is True
+        assert payload["uptime_seconds"] >= 0
+
+    def test_slow_ops_and_kernel_stats_present(self, client):
+        assert client.get("/api/embedding?n_iter=40&perplexity=5").ok
+        payload = client.get("/api/telemetry").json
+        assert any(r["name"] == "http.request" for r in payload["slow_ops"])
+        ops = {o["op"] for o in payload["ops"]}
+        assert "embed" in ops
+        cache = payload["cache"]
+        assert cache["embed"]["miss"] == 1
+
+    def test_top_parameter_bounds_slow_ops(self, client):
+        for _ in range(8):
+            client.get("/api/health")
+        payload = client.get("/api/telemetry?top=3").json
+        assert len(payload["slow_ops"]) <= 3
+
+    def test_svg_panel_is_well_formed(self, client):
+        client.get("/api/health")
+        response = client.get("/api/telemetry?format=svg")
+        assert response.ok
+        assert response.headers["Content-Type"] == "image/svg+xml"
+        root = ET.fromstring(response.body.decode("utf-8"))
+        assert root.tag.endswith("svg")
+
+    def test_unknown_format_is_a_400(self, client):
+        response = client.get("/api/telemetry?format=png")
+        assert response.status == 400
+
+
+class TestHealthEndpoint:
+    def test_health_reports_uptime_version_and_readiness(self, client):
+        payload = client.get("/api/health").json
+        assert payload["status"] == "ok"
+        assert payload["ready"] is True
+        assert payload["uptime_seconds"] >= 0
+        from repro import __version__
+
+        assert payload["version"] == __version__
+        assert payload["n_customers"] == 30

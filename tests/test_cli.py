@@ -132,6 +132,44 @@ class TestStats:
         from repro import obs
 
         before_registry, before_tracer = obs.get_registry(), obs.get_tracer()
+        before_window, before_slow = obs.get_window_store(), obs.get_slow_log()
         assert main(["stats", "--customers", "20", "--days", "7"]) == 0
         assert obs.get_registry() is before_registry
         assert obs.get_tracer() is before_tracer
+        assert obs.get_window_store() is before_window
+        assert obs.get_slow_log() is before_slow
+
+    def test_json_output_includes_slow_ops_and_windows(self, capsys):
+        import json
+
+        code = main(["stats", "--customers", "20", "--days", "7", "--json"])
+        assert code == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert any(r["name"] == "http.request" for r in snapshot["slow_ops"])
+        window_names = {s["name"] for s in snapshot["windows"]}
+        assert "http_request" in window_names
+
+    def test_pretty_output_lists_slowest_operations(self, capsys):
+        code = main(["stats", "--customers", "20", "--days", "7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "slowest operations" in out
+        assert "req=" in out
+
+    def test_dashboard_flag_writes_wellformed_svg(self, tmp_path, capsys):
+        import xml.etree.ElementTree as ET
+
+        out_svg = tmp_path / "telemetry.svg"
+        code = main(
+            [
+                "stats", "--customers", "20", "--days", "7",
+                "--dashboard", str(out_svg),
+            ]
+        )
+        assert code == 0
+        assert f"telemetry dashboard written to {out_svg}" in (
+            capsys.readouterr().out
+        )
+        root = ET.fromstring(out_svg.read_text())
+        assert root.tag.endswith("svg")
+        assert "VAP telemetry" in out_svg.read_text()

@@ -1,0 +1,119 @@
+"""Tests for the self-monitoring telemetry SVG panel."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.viz.telemetry import render_sparkline, render_telemetry_panel
+
+
+def _window(t, count, p50=None, p99=None, mean=None, vmax=None):
+    return {
+        "t": t, "count": count, "rate": count / 10.0,
+        "mean": mean, "max": vmax, "p50": p50, "p99": p99,
+    }
+
+
+def _synthetic_telemetry():
+    overall_windows = [
+        _window(0.0, 3, p50=0.01, p99=0.05, mean=0.02, vmax=0.05),
+        _window(10.0, 0),
+        _window(20.0, 5, p50=0.02, p99=0.2, mean=0.05, vmax=0.2),
+    ]
+    return {
+        "uptime_seconds": 123.4,
+        "version": "0.3.0",
+        "ready": True,
+        "window_seconds": 10.0,
+        "requests": {
+            "overall": {
+                "name": "http_request", "labels": {},
+                "window_seconds": 10.0, "windows": overall_windows,
+            },
+            "by_route": [
+                {
+                    "name": "http_request",
+                    "labels": {"route": route},
+                    "window_seconds": 10.0,
+                    "windows": overall_windows,
+                }
+                for route in ("/api/health", "/api/density", "<unmatched>")
+            ],
+        },
+        "errors": [],
+        "cache": {"embed": {"hit": 3, "miss": 1, "ratio": 0.75}},
+        "ops": [
+            {"op": "embed", "count": 4, "mean_seconds": 1.2,
+             "p50": 1.0, "p99": 2.0},
+            {"op": "kde", "count": 10, "mean_seconds": 0.02,
+             "p50": 0.01, "p99": 0.05},
+        ],
+        "slow_ops": [
+            {"name": "pipeline.embed", "duration_ms": 1234.5,
+             "request_id": "abcd1234abcd1234", "tags": {"method": "tsne"}},
+            {"name": "http.request", "duration_ms": 87.0,
+             "request_id": None},
+        ],
+    }
+
+
+class TestRenderSparkline:
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError, match="size"):
+            render_sparkline([1.0, 2.0], 0, 0, 0, 10)
+
+    def test_renders_line_and_fill(self):
+        element = render_sparkline([0.0, 1.0, 0.5], 0, 0, 100, 20)
+        rendered = element.render()
+        ET.fromstring(rendered)
+        assert rendered.count("<path") == 2  # area fill + line
+
+    def test_none_values_break_the_line_into_runs(self):
+        element = render_sparkline(
+            [1.0, 2.0, None, 3.0, 4.0], 0, 0, 100, 20, fill=False
+        )
+        assert element.render().count("<path") == 2  # two runs
+
+    def test_all_none_renders_empty_group(self):
+        element = render_sparkline([None, None], 0, 0, 100, 20)
+        assert "<path" not in element.render()
+
+
+class TestRenderTelemetryPanel:
+    def test_synthetic_telemetry_renders_well_formed_svg(self):
+        doc = render_telemetry_panel(_synthetic_telemetry())
+        rendered = doc.render()
+        root = ET.fromstring(rendered)
+        assert root.tag.endswith("svg")
+        text = rendered
+        assert "VAP telemetry" in text
+        assert "v0.3.0" in text
+        assert "ready" in text
+        # the slow-op rows carry request IDs
+        assert "abcd1234" in text
+        # route heatmap labels appear (possibly truncated)
+        assert "/api/health" in text
+
+    def test_empty_telemetry_renders_empty_panels(self):
+        doc = render_telemetry_panel({})
+        rendered = doc.render()
+        ET.fromstring(rendered)
+        for note in (
+            "no data yet",
+            "no cached ops yet",
+            "no pipeline ops yet",
+            "no per-route traffic yet",
+            "no slow ops recorded",
+        ):
+            assert note in rendered
+        assert "not ready" in rendered
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            render_telemetry_panel(_synthetic_telemetry(), width=0)
+
+    def test_custom_size_is_respected(self):
+        doc = render_telemetry_panel(_synthetic_telemetry(), 400, 300)
+        root = ET.fromstring(doc.render())
+        assert root.get("width") == "400"
+        assert root.get("height") == "300"
