@@ -1,0 +1,153 @@
+"""CONC — concurrent serving: single-flight dedup and backpressure.
+
+The tentpole claim of the concurrent-serving work: N identical requests
+racing into the API cost *one* kernel run (the rest wait on the leader),
+and requests beyond the in-flight cap are shed with 503 + ``Retry-After``
+instead of queueing without bound.  The dedup benchmark measures the
+wall-clock of the whole concurrent batch against one cold compute to show
+the dedup'd batch does not scale with thread count.
+"""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import obs
+from repro.core.pipeline import VapSession
+from repro.data.generator.simulate import CityConfig, generate_city
+from repro.obs import MetricsRegistry
+from repro.server import TestClient, VapApp
+
+N_THREADS = 8
+EMBED_URL = "/api/embedding?n_iter=250&perplexity=12"
+
+
+@pytest.fixture(scope="module")
+def conc_city():
+    return generate_city(CityConfig(n_customers=120, n_days=28, seed=41))
+
+
+@pytest.fixture()
+def swapped_registry():
+    """Route kernel counters into a private registry, restore after."""
+    registry = MetricsRegistry()
+    previous_registry, previous_tracer = obs.get_registry(), obs.get_tracer()
+    obs.configure(registry=registry)
+    try:
+        yield registry
+    finally:
+        obs.configure(registry=previous_registry, tracer=previous_tracer)
+
+
+def _fresh_client(conc_city, registry, **app_kwargs):
+    session = VapSession.from_city(conc_city, metrics=registry)
+    return TestClient(VapApp(session, **app_kwargs)), session
+
+
+def _concurrent_get(client, url, n):
+    barrier = threading.Barrier(n)
+
+    def worker(_):
+        barrier.wait(timeout=30)
+        return client.get(url)
+
+    with ThreadPoolExecutor(max_workers=n) as pool:
+        return list(pool.map(worker, range(n)))
+
+
+def test_conc_singleflight_dedup(conc_city, swapped_registry, report):
+    """8 identical embedding requests -> exactly one t-SNE run."""
+    client, _ = _fresh_client(conc_city, swapped_registry)
+
+    t_cold_start = time.perf_counter()
+    cold = client.get(EMBED_URL)
+    t_cold = time.perf_counter() - t_cold_start
+    assert cold.status == 200
+    assert swapped_registry.counter("kernel_runs_total", kernel="tsne").value == 1
+
+    # A fresh session: the concurrent batch races on an empty cache.
+    client, _ = _fresh_client(conc_city, swapped_registry)
+    t_batch_start = time.perf_counter()
+    responses = _concurrent_get(client, EMBED_URL, N_THREADS)
+    t_batch = time.perf_counter() - t_batch_start
+
+    assert all(r.status == 200 for r in responses)
+    assert len({r.body for r in responses}) == 1
+    runs = swapped_registry.counter("kernel_runs_total", kernel="tsne").value
+    assert runs == 2, f"batch must add exactly one run, saw {runs - 1}"
+
+    # Dedup means the batch costs ~one compute, not N: generous 3x bound
+    # absorbs scheduler noise while catching any O(N) regression (8
+    # serial runs would be ~8x).
+    assert t_batch < 3.0 * max(t_cold, 0.05), (
+        f"concurrent batch took {t_batch:.2f}s vs cold compute "
+        f"{t_cold:.2f}s - single-flight is not deduplicating"
+    )
+    report(
+        "conc_singleflight",
+        [
+            "single-flight dedup: 8 identical /api/embedding requests",
+            f"{'cold single compute':<28}{t_cold * 1000:>10.1f} ms",
+            f"{'concurrent batch of 8':<28}{t_batch * 1000:>10.1f} ms",
+            f"{'t-SNE kernel runs (batch)':<28}{1:>10d}",
+            f"{'batch / cold ratio':<28}{t_batch / max(t_cold, 1e-9):>10.2f}",
+        ],
+    )
+
+
+def test_conc_backpressure_sheds(conc_city, swapped_registry, report):
+    """Requests beyond the in-flight cap get 503 + Retry-After."""
+    client, _ = _fresh_client(
+        conc_city, swapped_registry, max_inflight=1, retry_after_seconds=1.0
+    )
+    started = threading.Event()
+    release = threading.Event()
+
+    def slow_handler(request):
+        started.set()
+        assert release.wait(timeout=30)
+        return {"ok": True}
+
+    client.app.router.add("GET", "/api/slow", slow_handler)
+    pool = ThreadPoolExecutor(max_workers=1)
+    held = pool.submit(client.get, "/api/slow")
+    assert started.wait(timeout=30)
+    shed = [client.get("/api/health") for _ in range(4)]
+    release.set()
+    assert held.result(timeout=30).status == 200
+    pool.shutdown()
+
+    assert all(r.status == 503 for r in shed)
+    assert all(r.headers.get("Retry-After") == "1" for r in shed)
+    throttled = swapped_registry.counter("http_throttled_total").value
+    assert throttled == 4
+    report(
+        "conc_backpressure",
+        [
+            "backpressure: cap 1 in-flight, 4 requests while slot held",
+            f"{'shed with 503':<28}{len(shed):>10d}",
+            f"{'http_throttled_total':<28}{int(throttled):>10d}",
+            f"{'Retry-After header':<28}{'1 s':>10}",
+        ],
+    )
+
+
+def test_conc_embedding_batch_bench(
+    benchmark, conc_city, swapped_registry
+):
+    """Timed: a warm concurrent batch (cache hits from 8 threads)."""
+    client, _ = _fresh_client(conc_city, swapped_registry)
+    assert client.get(EMBED_URL).status == 200  # warm the cache
+
+    def batch():
+        responses = _concurrent_get(client, EMBED_URL, N_THREADS)
+        assert all(r.status == 200 for r in responses)
+        return responses
+
+    benchmark(batch)
+    # Warm batches never re-run the kernel.
+    assert (
+        swapped_registry.counter("kernel_runs_total", kernel="tsne").value == 1
+    )

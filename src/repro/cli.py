@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the tool's operational surface:
+Six commands cover the tool's operational surface:
 
 - ``generate`` — synthesise a city and write customers + readings CSVs;
 - ``dashboard`` — build the composed Figure-3 HTML page from CSVs (or a
@@ -10,9 +10,10 @@ Five commands cover the tool's operational surface:
 - ``stats`` — run a representative workload through the full stack and
   print the observability snapshot (metrics, slowest operations and,
   with ``--spans``, trace trees); ``--dashboard out.svg`` also writes
-  the self-monitoring telemetry panel.
-
-``python -m repro.server`` (a separate entry point) serves the REST API.
+  the self-monitoring telemetry panel;
+- ``serve`` — serve the REST API with the threaded WSGI server
+  (``--threads``/``--max-inflight``/``--deadline-seconds`` control
+  concurrency and backpressure; same as ``python -m repro.server``).
 """
 
 from __future__ import annotations
@@ -80,6 +81,27 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--dashboard", type=Path, default=None, metavar="OUT_SVG",
         help="also write the self-monitoring telemetry panel as SVG",
+    )
+
+    serve = commands.add_parser(
+        "serve", help="serve the REST API (threaded WSGI server)"
+    )
+    serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument("--customers", type=int, default=200)
+    serve.add_argument("--days", type=int, default=90)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--threads", type=int, default=8,
+        help="worker threads handling requests concurrently",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=32,
+        help="concurrent-request cap; excess requests get 503 + "
+             "Retry-After (0 disables)",
+    )
+    serve.add_argument(
+        "--deadline-seconds", type=float, default=None,
+        help="per-request time budget for heavy kernel endpoints",
     )
     return parser
 
@@ -267,12 +289,31 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Delegate to the ``python -m repro.server`` entry point."""
+    from repro.server.__main__ import main as server_main
+
+    argv = [
+        "--port", str(args.port),
+        "--customers", str(args.customers),
+        "--days", str(args.days),
+        "--seed", str(args.seed),
+        "--threads", str(args.threads),
+        "--max-inflight", str(args.max_inflight),
+    ]
+    if args.deadline_seconds is not None:
+        argv += ["--deadline-seconds", str(args.deadline_seconds)]
+    server_main(argv)
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "dashboard": _cmd_dashboard,
     "quality": _cmd_quality,
     "sql": _cmd_sql,
     "stats": _cmd_stats,
+    "serve": _cmd_serve,
 }
 
 

@@ -1,0 +1,69 @@
+"""Per-request deadlines for the heavy kernel paths.
+
+A :class:`Deadline` is a wall-clock budget the serving layer attaches to
+a request (see ``BackpressureMiddleware``); the logic layer checks it
+before launching an expensive kernel and bounds single-flight waits by
+the remaining budget.  The binding travels in a :class:`~contextvars.
+ContextVar`, so it follows the request through nested calls without any
+plumbing — the same mechanism the request-ID correlation uses.
+
+An exceeded deadline raises :class:`DeadlineExceeded`, which the API
+layer maps to ``503`` + ``Retry-After`` (graceful degradation instead of
+queueing work nobody is waiting for anymore).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Callable, Iterator
+
+
+class DeadlineExceeded(Exception):
+    """The request's time budget ran out before the operation finished."""
+
+
+class Deadline:
+    """An absolute expiry instant on an injectable monotonic clock."""
+
+    __slots__ = ("expires_at", "clock")
+
+    def __init__(
+        self, seconds: float, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        if not seconds > 0:
+            raise ValueError(f"deadline must be positive seconds, got {seconds}")
+        self.clock = clock
+        self.expires_at = clock() + seconds
+
+    def remaining(self) -> float:
+        """Seconds left; negative once expired."""
+        return self.expires_at - self.clock()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        if self.expired:
+            raise DeadlineExceeded(f"request deadline exceeded before {what}")
+
+
+_current: ContextVar[Deadline | None] = ContextVar("repro_deadline", default=None)
+
+
+def current_deadline() -> Deadline | None:
+    """The deadline bound to the current context, if any."""
+    return _current.get()
+
+
+@contextmanager
+def bind_deadline(deadline: Deadline | None) -> Iterator[Deadline | None]:
+    """Bind a deadline (or explicitly none) for the duration of a block."""
+    token = _current.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _current.reset(token)

@@ -11,10 +11,18 @@ dashboard need:
   ``profile_of`` (views C and B);
 - shift patterns: ``density`` / ``shift`` / ``flows`` (view A);
 - baselines: ``kmeans_baseline`` for the S1d comparison.
+
+A session is safe to share between server threads.  Every cache is a
+:class:`~repro.core.singleflight.SingleFlightCache`: concurrent identical
+requests compute once (the leader) while the rest wait for its result,
+the embedding cache is LRU-bounded (embeddings are the big objects), and
+waits are capped by the request deadline when one is bound (see
+:mod:`repro.core.deadline`).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -27,11 +35,13 @@ from repro.core.patterns.labeling import (
     label_selection,
 )
 from repro.core.patterns.selection import SelectionSession
+from repro.core.deadline import DeadlineExceeded, current_deadline
 from repro.core.reduction.mds import mds
 from repro.core.reduction.tsne import tsne
 from repro.core.shift.flow import FlowArrow, ShiftField, flow_vectors, major_flows
 from repro.core.shift.grids import DensityGrid, GridSpec
 from repro.core.shift.kde import kde_density
+from repro.core.singleflight import HIT, SingleFlightCache, WaitTimeout
 from repro.data.timeseries import HourWindow, SeriesSet
 from repro.db.engine import EnergyDatabase
 from repro.preprocess.cleaning import AnomalyReport, remove_anomalies
@@ -71,6 +81,12 @@ class VapSession:
     metrics:
         Metrics registry receiving cache hit/miss counters and stage
         timings; the process-wide default registry when omitted.
+    max_embeddings:
+        LRU bound on the embedding cache — embeddings are the big cached
+        objects, so the "refine and re-explore" history is kept but does
+        not grow without limit.
+    max_densities:
+        LRU bound on the density-grid cache (windowed KDE surfaces).
     """
 
     def __init__(
@@ -79,6 +95,8 @@ class VapSession:
         feature_kind: FeatureKind = FeatureKind.MEAN_WEEK,
         preprocess: bool = True,
         metrics: obs.MetricsRegistry | None = None,
+        max_embeddings: int = 16,
+        max_densities: int = 32,
     ) -> None:
         self.db = db
         self._metrics = metrics
@@ -90,9 +108,25 @@ class VapSession:
             self.series: SeriesSet = impute(cleaned)
         else:
             self.series = db.readings
-        self._features: dict[FeatureKind, np.ndarray] = {}
-        self._member_labels: list[PatternLabel] | None = None
-        self._embeddings: dict[tuple, EmbeddingInfo] = {}
+        self._features: SingleFlightCache[FeatureKind, np.ndarray] = (
+            SingleFlightCache()
+        )
+        self._member_labels: SingleFlightCache[str, list[PatternLabel]] = (
+            SingleFlightCache()
+        )
+        self._embeddings: SingleFlightCache[tuple, EmbeddingInfo] = (
+            SingleFlightCache(
+                max_entries=max_embeddings,
+                on_evict=lambda key, value: self._evicted("embed"),
+            )
+        )
+        self._densities: SingleFlightCache[tuple, DensityGrid] = (
+            SingleFlightCache(
+                max_entries=max_densities,
+                on_evict=lambda key, value: self._evicted("density"),
+            )
+        )
+        self._grid_lock = threading.RLock()
         self._grid: GridSpec | None = None
 
     @classmethod
@@ -114,18 +148,54 @@ class VapSession:
         result = "hit" if hit else "miss"
         self.metrics.counter("pipeline_cache_total", op=op, result=result).inc()
 
+    def _evicted(self, cache: str) -> None:
+        self.metrics.counter("pipeline_cache_evictions_total", cache=cache).inc()
+
+    def _flight(self, cache: SingleFlightCache, op: str, key, compute):
+        """Run ``compute`` through a cache with single-flight semantics.
+
+        Leaders count as cache misses, hits and deduplicated waiters as
+        hits (they did not compute); both leader and waiter outcomes are
+        additionally recorded in ``pipeline_singleflight_total``.  A
+        bound request deadline caps how long a waiter blocks and is
+        checked before leading a computation.
+
+        Raises
+        ------
+        DeadlineExceeded
+            When the bound deadline expired, or elapsed while waiting
+            for another thread's in-flight computation.
+        """
+        deadline = current_deadline()
+        timeout = None
+        if deadline is not None:
+            deadline.check(op)
+            timeout = deadline.remaining()
+        try:
+            value, outcome = cache.get_or_compute(key, compute, timeout=timeout)
+        except WaitTimeout:
+            raise DeadlineExceeded(
+                f"request deadline exceeded waiting for in-flight {op}"
+            ) from None
+        self._cache(op, hit=outcome == HIT)
+        if outcome != HIT:
+            self.metrics.counter(
+                "pipeline_singleflight_total", op=op, result=outcome
+            ).inc()
+        return value
+
     # ------------------------------------------------------------------
     # typical patterns (views B and C)
     # ------------------------------------------------------------------
     def features(self, kind: FeatureKind | None = None) -> np.ndarray:
         """Feature matrix for the embedding, cached per kind."""
         kind = kind or self.feature_kind
-        hit = kind in self._features
-        self._cache("features", hit)
-        if not hit:
+
+        def compute() -> np.ndarray:
             with obs.span("pipeline.features", kind=kind.value):
-                self._features[kind] = extract_features(self.series, kind)
-        return self._features[kind]
+                return extract_features(self.series, kind)
+
+        return self._flight(self._features, "features", kind, compute)
 
     def embed(
         self,
@@ -149,54 +219,55 @@ class VapSession:
             )
         kind = feature_kind or self.feature_kind
         key = (method, metric, kind, perplexity, n_iter, seed)
-        hit = key in self._embeddings
-        self._cache("embed", hit)
-        if hit:
-            return self._embeddings[key]
-        start = self.metrics.clock()
-        with obs.span("pipeline.embed", method=method, metric=metric), \
-                self.metrics.timer("pipeline_seconds", op="embed"):
-            feats = self.features(kind)
-            if method == "tsne":
-                result = tsne(
-                    feats,
-                    metric=metric,
-                    perplexity=perplexity,
-                    n_iter=n_iter,
-                    seed=seed,
-                )
-                info = EmbeddingInfo(
-                    coords=result.embedding,
-                    method=method,
-                    metric=metric,
-                    feature_kind=kind,
-                    objective=result.kl_divergence,
-                )
-            else:
-                mds_method = "classical" if method == "mds_classical" else "smacof"
-                result = mds(feats, metric=metric, method=mds_method)
-                info = EmbeddingInfo(
-                    coords=result.embedding,
-                    method=method,
-                    metric=metric,
-                    feature_kind=kind,
-                    objective=result.stress,
-                )
-        elapsed = self.metrics.clock() - start
-        obs.get_slow_log().offer(
-            "pipeline.embed", elapsed, method=method, metric=metric
-        )
-        obs.log_event(
-            "pipeline.embed.compute",
-            method=method,
-            metric=metric,
-            perplexity=perplexity,
-            n_iter=n_iter,
-            seed=seed,
-            duration_ms=round(elapsed * 1000.0, 3),
-        )
-        self._embeddings[key] = info
-        return info
+
+        def compute() -> EmbeddingInfo:
+            start = self.metrics.clock()
+            with obs.span("pipeline.embed", method=method, metric=metric), \
+                    self.metrics.timer("pipeline_seconds", op="embed"):
+                feats = self.features(kind)
+                if method == "tsne":
+                    result = tsne(
+                        feats,
+                        metric=metric,
+                        perplexity=perplexity,
+                        n_iter=n_iter,
+                        seed=seed,
+                    )
+                    info = EmbeddingInfo(
+                        coords=result.embedding,
+                        method=method,
+                        metric=metric,
+                        feature_kind=kind,
+                        objective=result.kl_divergence,
+                    )
+                else:
+                    mds_method = (
+                        "classical" if method == "mds_classical" else "smacof"
+                    )
+                    result = mds(feats, metric=metric, method=mds_method)
+                    info = EmbeddingInfo(
+                        coords=result.embedding,
+                        method=method,
+                        metric=metric,
+                        feature_kind=kind,
+                        objective=result.stress,
+                    )
+            elapsed = self.metrics.clock() - start
+            obs.get_slow_log().offer(
+                "pipeline.embed", elapsed, method=method, metric=metric
+            )
+            obs.log_event(
+                "pipeline.embed.compute",
+                method=method,
+                metric=metric,
+                perplexity=perplexity,
+                n_iter=n_iter,
+                seed=seed,
+                duration_ms=round(elapsed * 1000.0, 3),
+            )
+            return info
+
+        return self._flight(self._embeddings, "embed", key, compute)
 
     def selection_session(
         self, embedding: EmbeddingInfo | None = None
@@ -207,13 +278,40 @@ class VapSession:
 
     def member_labels(self) -> list[PatternLabel]:
         """Template labels for every customer (population context), cached."""
-        if self._member_labels is None:
-            self._member_labels = label_customers(self.series)
-        return self._member_labels
+        return self._flight(
+            self._member_labels,
+            "member_labels",
+            "all",
+            lambda: label_customers(self.series),
+        )
+
+    def _validate_indices(self, indices: np.ndarray) -> np.ndarray:
+        """Embedding row indices as int64, bounds-checked.
+
+        Out-of-range values — including negative ones, which numpy would
+        silently wrap around to the *wrong customer* — raise ValueError.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        n = len(self.series.customer_ids)
+        if indices.size:
+            lo, hi = int(indices.min()), int(indices.max())
+            if lo < 0 or hi >= n:
+                raise ValueError(
+                    f"embedding row indices must be in [0, {n}); "
+                    f"got values spanning [{lo}, {hi}]"
+                )
+        return indices
 
     def pattern_of(self, indices: np.ndarray) -> PatternLabel:
         """Name the pattern of a selection (what the analyst reads off
-        view B)."""
+        view B).
+
+        Raises
+        ------
+        ValueError
+            For row indices outside the embedding.
+        """
+        indices = self._validate_indices(indices)
         return label_selection(
             self.series, indices, member_labels=self.member_labels()
         )
@@ -224,22 +322,39 @@ class VapSession:
         Raises
         ------
         ValueError
-            If the selection is empty.
+            If the selection is empty, or for row indices outside the
+            embedding.
         """
-        indices = np.asarray(indices, dtype=np.int64)
+        indices = self._validate_indices(indices)
         if indices.size == 0:
             raise ValueError("cannot aggregate an empty selection")
         ids = [int(self.series.customer_ids[i]) for i in indices]
         return self.series.select_customers(ids).mean_profile()
 
     def customers_of(self, indices: np.ndarray) -> list[int]:
-        """Customer ids behind embedding row indices."""
-        return [int(self.series.customer_ids[int(i)]) for i in np.asarray(indices)]
+        """Customer ids behind embedding row indices.
+
+        Raises
+        ------
+        ValueError
+            For row indices outside the embedding.
+        """
+        indices = self._validate_indices(indices)
+        return [int(self.series.customer_ids[int(i)]) for i in indices]
 
     def kmeans_baseline(
         self, k: int = 5, feature_kind: FeatureKind | None = None, seed: int = 0
     ) -> KMeansResult:
-        """The S1d baseline: k-means on z-scored features."""
+        """The S1d baseline: k-means on z-scored features.
+
+        Raises
+        ------
+        DeadlineExceeded
+            When the bound request deadline is already spent.
+        """
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check("kmeans_baseline")
         with obs.span("pipeline.kmeans_baseline", k=k), \
                 self.metrics.timer("pipeline_seconds", op="kmeans_baseline"):
             feats = normalize_matrix(self.features(feature_kind), "zscore")
@@ -280,12 +395,26 @@ class VapSession:
     # ------------------------------------------------------------------
     # shift patterns (view A)
     # ------------------------------------------------------------------
-    def grid(self, nx: int = 96, ny: int = 96) -> GridSpec:
-        """The session's shared density grid (covers every customer)."""
-        if self._grid is None or (self._grid.nx, self._grid.ny) != (nx, ny):
+    def grid(self, nx: int | None = None, ny: int | None = None) -> GridSpec:
+        """The session's shared density grid (covers every customer).
+
+        With no arguments, the current grid is returned as-is (building a
+        default 96x96 one on first use) — so a grid chosen with an
+        explicit resolution stays in force for later default-size calls
+        instead of being silently rebuilt and dropped.  Passing ``nx``/
+        ``ny`` rebuilds only when the resolution actually differs.
+        """
+        explicit = nx is not None or ny is not None
+        want_nx = 96 if nx is None else nx
+        want_ny = 96 if ny is None else ny
+        with self._grid_lock:
+            if self._grid is not None and (
+                not explicit or (self._grid.nx, self._grid.ny) == (want_nx, want_ny)
+            ):
+                return self._grid
             positions = self.db.positions_of(self.db.customer_ids)
-            self._grid = GridSpec.covering(positions, nx=nx, ny=ny)
-        return self._grid
+            self._grid = GridSpec.covering(positions, nx=want_nx, ny=want_ny)
+            return self._grid
 
     def density(
         self,
@@ -293,14 +422,28 @@ class VapSession:
         bandwidth_m: float | None = None,
         customer_ids: list[int] | None = None,
     ) -> DensityGrid:
-        """Eq. 3: demand-weighted density for one window (view A heat map)."""
-        with obs.span(
-            "pipeline.density", start=window.start_hour, end=window.end_hour
-        ), self.metrics.timer("pipeline_seconds", op="density"):
-            positions, values = self.db.demand(window, customer_ids)
-            return kde_density(
-                positions, values, self.grid(), bandwidth_m=bandwidth_m
-            )
+        """Eq. 3: demand-weighted density for one window (view A heat map).
+
+        Results are cached per ``(window, bandwidth, customers, grid)``
+        with single-flight misses, so concurrent identical heat-map
+        requests run the KDE kernel once.
+        """
+        spec = self.grid()
+        ids_key = None if customer_ids is None else tuple(
+            int(cid) for cid in customer_ids
+        )
+        key = (window.start_hour, window.end_hour, bandwidth_m, ids_key, spec)
+
+        def compute() -> DensityGrid:
+            with obs.span(
+                "pipeline.density", start=window.start_hour, end=window.end_hour
+            ), self.metrics.timer("pipeline_seconds", op="density"):
+                positions, values = self.db.demand(window, customer_ids)
+                return kde_density(
+                    positions, values, spec, bandwidth_m=bandwidth_m
+                )
+
+        return self._flight(self._densities, "density", key, compute)
 
     def shift(
         self,

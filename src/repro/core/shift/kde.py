@@ -84,7 +84,8 @@ def kde_density(
     Raises
     ------
     ValueError
-        On malformed inputs or a non-positive bandwidth.
+        On malformed inputs or a non-positive or non-finite bandwidth
+        (NaN/inf would silently poison every grid cell).
     """
     positions = np.asarray(positions, dtype=np.float64)
     if positions.ndim != 2 or positions.shape[1] != 2:
@@ -111,8 +112,12 @@ def kde_density(
     py = (positions[:, 1] - center_lat) * m_per_lat
     if bandwidth_m is None:
         bandwidth_m = bandwidth_silverman(np.column_stack([px, py]))
-    if bandwidth_m <= 0:
-        raise ValueError(f"bandwidth_m must be positive, got {bandwidth_m}")
+    else:
+        bandwidth_m = float(bandwidth_m)
+    if not np.isfinite(bandwidth_m) or bandwidth_m <= 0:
+        raise ValueError(
+            f"bandwidth_m must be a positive finite number, got {bandwidth_m}"
+        )
 
     gx = (spec.lon_centers() - spec.bbox.center.lon) * m_per_lon
     gy = (spec.lat_centers() - center_lat) * m_per_lat

@@ -15,6 +15,7 @@ demand between t1 and t2" (the input of the KDE shift model).
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Sequence
 
@@ -74,6 +75,10 @@ class EnergyDatabase:
         slow_query_seconds: float = 0.25,
     ) -> None:
         self._metrics = metrics
+        # Serving threads issue composed reads concurrently; a reentrant
+        # read lock keeps each query atomic over table + index + readings
+        # (the composed demand path nests readings_for inside demand).
+        self._read_lock = threading.RLock()
         if slow_query_seconds <= 0:
             raise ValueError(
                 f"slow_query_seconds must be positive, got {slow_query_seconds}"
@@ -131,7 +136,8 @@ class EnergyDatabase:
         hist = registry.histogram("db_query_seconds", op=op)
         start = registry.clock()
         try:
-            yield
+            with self._read_lock:
+                yield
         finally:
             elapsed = registry.clock() - start
             hist.observe(elapsed)
@@ -184,7 +190,10 @@ class EnergyDatabase:
 
     def bounding_box(self) -> BBox:
         """Smallest box covering every customer."""
-        return BBox.from_points(self.table.column("lon"), self.table.column("lat"))
+        with self._read_lock:
+            return BBox.from_points(
+                self.table.column("lon"), self.table.column("lat")
+            )
 
     # ------------------------------------------------------------------
     # spatial queries
@@ -217,18 +226,20 @@ class EnergyDatabase:
 
     def ids_in_zone(self, zone: str) -> np.ndarray:
         """Customer ids in a land-use zone, ascending."""
-        positions = np.flatnonzero(self.table.column("zone") == zone)
-        return np.sort(self.table.column("customer_id")[positions])
+        with self._read_lock:
+            positions = np.flatnonzero(self.table.column("zone") == zone)
+            return np.sort(self.table.column("customer_id")[positions])
 
     def positions_of(self, customer_ids: Sequence[int]) -> np.ndarray:
         """``(n, 2)`` array of (lon, lat) for the given ids, same order."""
-        return np.array(
-            [
-                (self._customers[int(cid)].lon, self._customers[int(cid)].lat)
-                for cid in customer_ids
-            ],
-            dtype=np.float64,
-        ).reshape(len(list(customer_ids)), 2)
+        with self._read_lock:
+            return np.array(
+                [
+                    (self._customers[int(cid)].lon, self._customers[int(cid)].lat)
+                    for cid in customer_ids
+                ],
+                dtype=np.float64,
+            ).reshape(len(list(customer_ids)), 2)
 
     # ------------------------------------------------------------------
     # temporal queries

@@ -4,11 +4,21 @@ The paper: "RESTful APIs are implemented to exchange JSON-formatted data
 between client and server."  :class:`~repro.server.app.VapApp` is a plain
 WSGI application (stdlib only) exposing the data and model operations;
 :class:`~repro.server.client.TestClient` drives it in-process, and
-``python -m repro.server`` serves it with ``wsgiref`` for a real browser.
+``python -m repro.server`` serves it concurrently with a pooled threaded
+WSGI server (:mod:`repro.server.serving`) plus backpressure
+(:class:`~repro.server.middleware.BackpressureMiddleware`).
 """
 
 from repro.server.app import VapApp
 from repro.server.client import TestClient
-from repro.server.middleware import MetricsMiddleware
+from repro.server.middleware import BackpressureMiddleware, MetricsMiddleware
+from repro.server.serving import PooledWSGIServer, make_threaded_server
 
-__all__ = ["MetricsMiddleware", "TestClient", "VapApp"]
+__all__ = [
+    "BackpressureMiddleware",
+    "MetricsMiddleware",
+    "PooledWSGIServer",
+    "TestClient",
+    "VapApp",
+    "make_threaded_server",
+]

@@ -1,22 +1,30 @@
-"""Serve the VAP API over HTTP with the stdlib WSGI server.
+"""Serve the VAP API over HTTP with a threaded stdlib WSGI server.
 
 Usage::
 
     python -m repro.server [--port 8765] [--customers 200] [--days 90]
+                           [--threads 8] [--max-inflight 32]
+                           [--deadline-seconds 30]
 
 Generates a synthetic city (there is no bundled real data set) and serves
 the REST API for it — the closest headless equivalent of the paper's demo
-deployment.
+deployment.  Requests are handled by a bounded worker pool
+(``--threads``); admission beyond ``--max-inflight`` concurrent requests
+is shed with ``503`` + ``Retry-After``, and ``--deadline-seconds`` bounds
+how long any single request may hold a worker on the heavy kernel paths.
 """
 
 from __future__ import annotations
 
 import argparse
-from wsgiref.simple_server import make_server
 
 from repro.core.pipeline import VapSession
 from repro.data.generator.simulate import CityConfig, generate_city
 from repro.server.app import VapApp
+from repro.server.serving import make_threaded_server
+
+# Module-level alias so tests (and embedders) can swap the server factory.
+make_server = make_threaded_server
 
 
 def main(argv: list[str] | None = None) -> None:
@@ -25,16 +33,39 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--customers", type=int, default=200)
     parser.add_argument("--days", type=int, default=90)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--threads", type=int, default=8,
+        help="worker threads handling requests concurrently (default 8)",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=32,
+        help="admit at most this many concurrent requests; the rest get "
+             "503 + Retry-After (0 disables the cap; default 32)",
+    )
+    parser.add_argument(
+        "--deadline-seconds", type=float, default=None,
+        help="per-request time budget for the heavy kernel endpoints "
+             "(unset = no deadline)",
+    )
     args = parser.parse_args(argv)
 
     city = generate_city(
         CityConfig(n_customers=args.customers, n_days=args.days, seed=args.seed)
     )
     session = VapSession.from_city(city)
-    app = VapApp(session, layout=city.layout)
-    with make_server("127.0.0.1", args.port, app) as server:
+    app = VapApp(
+        session,
+        layout=city.layout,
+        max_inflight=args.max_inflight if args.max_inflight > 0 else None,
+        deadline_seconds=args.deadline_seconds,
+    )
+    with make_server("127.0.0.1", args.port, app, threads=args.threads) as server:
         base = f"http://127.0.0.1:{args.port}"
-        print(f"VAP API listening on {base}/api/health")
+        print(
+            f"VAP API listening on {base}/api/health "
+            f"({args.threads} worker threads, "
+            f"max {args.max_inflight or 'unbounded'} in flight)"
+        )
         print(f"  metrics:   {base}/api/metrics  (?format=prometheus)")
         print(f"  telemetry: {base}/api/telemetry  (?format=svg)")
         server.serve_forever()

@@ -16,9 +16,12 @@ Endpoints mirror what the paper's three views request from the logic layer:
                                       ``type`` (rect/radius/knn/lasso) and
                                       geometry; returns indices, customer
                                       ids, pattern label and view-B profile
-``GET  /api/density``                 Eq. 3 heat-map grid for a window
+``GET  /api/density``                 Eq. 3 heat-map grid for a window;
+                                      optional ``bandwidth_m`` (metres,
+                                      Silverman's rule when absent)
 ``GET  /api/shift``                   Eq. 4 stats + major flows between two
-                                      windows (``t1_start`` ... ``t2_end``)
+                                      windows (``t1_start`` ... ``t2_end``);
+                                      optional ``bandwidth_m``
 ``GET  /api/kmeans``                  S1d baseline labels; param ``k``
 ``POST /api/sql``                     ad-hoc SELECT over the customers
                                       table; body ``{"query": ...}``
@@ -52,6 +55,7 @@ emits one structured JSON log line; see :mod:`repro.server.middleware`.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 from urllib.parse import parse_qs
@@ -59,6 +63,7 @@ from urllib.parse import parse_qs
 import numpy as np
 
 from repro import __version__, obs
+from repro.core.deadline import DeadlineExceeded
 from repro.obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
 from repro.obs.prometheus import render_prometheus
 from repro.core.patterns.selection import (
@@ -73,7 +78,7 @@ from repro.data.generator.city import CityLayout
 from repro.data.timeseries import HourWindow
 from repro.db.spatial import BBox
 from repro.server import json_codec
-from repro.server.middleware import MetricsMiddleware
+from repro.server.middleware import BackpressureMiddleware, MetricsMiddleware
 from repro.server.router import MethodNotAllowed, Router
 
 _STATUS = {
@@ -82,6 +87,7 @@ _STATUS = {
     404: "404 Not Found",
     405: "405 Method Not Allowed",
     500: "500 Internal Server Error",
+    503: "503 Service Unavailable",
 }
 
 
@@ -114,7 +120,14 @@ class Request:
             k: v[-1] for k, v in parse_qs(environ.get("QUERY_STRING", "")).items()
         }
         self.body: object = None
-        length = int(environ.get("CONTENT_LENGTH") or 0)
+        try:
+            length = int(environ.get("CONTENT_LENGTH") or 0)
+        except (TypeError, ValueError):
+            raise ApiError(
+                400,
+                f"malformed Content-Length header: "
+                f"{environ.get('CONTENT_LENGTH')!r}",
+            ) from None
         if length > 0 and "wsgi.input" in environ:
             raw = environ["wsgi.input"].read(length)
             try:
@@ -138,9 +151,17 @@ class Request:
                 raise ApiError(400, f"missing required parameter {name!r}")
             return default
         try:
-            return float(self.query[name])
+            value = float(self.query[name])
         except ValueError:
             raise ApiError(400, f"parameter {name!r} must be a number") from None
+        # "nan"/"inf" parse as floats but poison every downstream kernel
+        # (a NaN bandwidth slips past > 0 guards and yields a 200 full of
+        # NaNs), so the request layer rejects them outright.
+        if not math.isfinite(value):
+            raise ApiError(
+                400, f"parameter {name!r} must be a finite number"
+            )
+        return value
 
     def param_str(self, name: str, default: str | None = None) -> str:
         if name not in self.query:
@@ -158,6 +179,12 @@ class VapApp:
     per-route counters and latency histograms into :attr:`metrics` —
     the session's registry unless an explicit one is given — and
     ``GET /api/metrics`` exposes the snapshot.
+
+    The app is safe to serve from multiple threads: the session's caches
+    are single-flight, and ``max_inflight``/``deadline_seconds`` wire a
+    :class:`~repro.server.middleware.BackpressureMiddleware` between the
+    metrics layer and the handlers, so overload answers ``503`` +
+    ``Retry-After`` instead of queueing unboundedly.
     """
 
     def __init__(
@@ -167,6 +194,9 @@ class VapApp:
         registry: obs.MetricsRegistry | None = None,
         window_store: obs.TimeWindowStore | None = None,
         slow_log: obs.SlowOpLog | None = None,
+        max_inflight: int | None = None,
+        deadline_seconds: float | None = None,
+        retry_after_seconds: float = 1.0,
     ) -> None:
         self.session = session
         self.layout = layout
@@ -175,8 +205,15 @@ class VapApp:
         self._slow_log = slow_log
         self.router = Router()
         self._register()
-        self._pipeline = MetricsMiddleware(
+        self._backpressure = BackpressureMiddleware(
             self._dispatch,
+            max_inflight=max_inflight,
+            deadline_seconds=deadline_seconds,
+            retry_after_seconds=retry_after_seconds,
+            registry=lambda: self.metrics,
+        )
+        self._pipeline = MetricsMiddleware(
+            self._backpressure,
             registry=lambda: self.metrics,
             route_resolver=self.router.pattern_of,
             window_store=window_store,
@@ -215,6 +252,7 @@ class VapApp:
         return self._pipeline(environ, start_response)
 
     def _dispatch(self, environ: dict, start_response: Callable) -> Iterable[bytes]:
+        extra_headers: list[tuple[str, str]] = []
         try:
             request = Request(environ)
             matched = self.router.match(request.method, request.path)
@@ -229,6 +267,15 @@ class VapApp:
         except MethodNotAllowed:
             payload = {"error": "method not allowed"}
             status = 405
+        except DeadlineExceeded as exc:
+            # Graceful degradation: the request ran out of budget before
+            # (or while waiting on) a heavy kernel — tell the client to
+            # come back rather than hold the worker longer.
+            payload = {"error": str(exc)}
+            status = 503
+            extra_headers.append(
+                ("Retry-After", str(self._backpressure.retry_after))
+            )
         except ValueError as exc:
             # Model-layer validation errors surface as 400s.
             payload = {"error": str(exc)}
@@ -249,6 +296,7 @@ class VapApp:
             [
                 ("Content-Type", "application/json"),
                 ("Content-Length", str(len(body))),
+                *extra_headers,
             ],
         )
         return [body]
@@ -370,6 +418,19 @@ class VapApp:
             for record in snapshot["histograms"]
             if record["name"] == "pipeline_seconds"
         ]
+        throttled = sum(
+            record["value"]
+            for record in snapshot["counters"]
+            if record["name"] == "http_throttled_total"
+        )
+        inflight = next(
+            (
+                record["value"]
+                for record in snapshot["gauges"]
+                if record["name"] == "http_inflight_requests"
+            ),
+            0.0,
+        )
         payload: dict = {
             "uptime_seconds": self.uptime_seconds,
             "version": __version__,
@@ -379,6 +440,12 @@ class VapApp:
             "errors": errors,
             "cache": cache,
             "ops": ops,
+            "backpressure": {
+                "inflight": inflight,
+                "throttled_total": throttled,
+                "max_inflight": self._backpressure.max_inflight,
+                "deadline_seconds": self._backpressure.deadline_seconds,
+            },
             "slow_ops": self.slow_log.records()[: max(top, 0)],
         }
         sink = obs.get_tracer().sink
@@ -546,9 +613,15 @@ class VapApp:
             raise ApiError(400, f"{prefix}_end must not precede {prefix}_start")
         return HourWindow(start, end)
 
+    def _bandwidth(self, request: Request) -> float | None:
+        """Optional ``bandwidth_m`` query param (Silverman when absent)."""
+        if "bandwidth_m" not in request.query:
+            return None
+        return request.param_float("bandwidth_m")
+
     def density(self, request: Request) -> dict:
         window = self._window(request, "t")
-        grid = self.session.density(window)
+        grid = self.session.density(window, bandwidth_m=self._bandwidth(request))
         return {
             "nx": grid.spec.nx,
             "ny": grid.spec.ny,
@@ -565,7 +638,7 @@ class VapApp:
     def shift(self, request: Request) -> dict:
         t1 = self._window(request, "t1")
         t2 = self._window(request, "t2")
-        field = self.session.shift(t1, t2)
+        field = self.session.shift(t1, t2, bandwidth_m=self._bandwidth(request))
         flows = major_flows(field)
         return {
             "energy": field.energy(),

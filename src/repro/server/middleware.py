@@ -23,13 +23,23 @@ Requests are tagged with the *declared route pattern* (e.g.
 ``/api/customers/<int:customer_id>``), not the raw path, so per-customer
 URLs don't explode the label space; a resolver callable supplies the
 pattern and unmatched paths fall under ``<unmatched>``.
+
+:class:`BackpressureMiddleware` adds the load-shedding half of the
+concurrent serving story: a hard in-flight request cap answered with
+``503`` + ``Retry-After`` instead of unbounded queueing, and a
+per-request deadline bound into the context for the heavy kernel paths
+(see :mod:`repro.core.deadline`).
 """
 
 from __future__ import annotations
 
+import json
+import math
+import threading
 from typing import Callable, Iterable
 
 from repro import obs
+from repro.core.deadline import Deadline, bind_deadline
 from repro.obs.logging import bind_request_id, new_request_id
 
 UNMATCHED = "<unmatched>"
@@ -171,3 +181,118 @@ class MetricsMiddleware:
                 duration_ms=round(elapsed * 1000.0, 3),
             )
         return [body]
+
+
+class BackpressureMiddleware:
+    """Caps in-flight requests and binds per-request deadlines.
+
+    Sits *inside* :class:`MetricsMiddleware` so shed requests still show
+    up in the request counters, error series and latency windows.
+
+    Parameters
+    ----------
+    app:
+        The wrapped WSGI callable.  It must materialise its body before
+        returning (the VAP app does), because the in-flight slot is
+        released when the call returns.
+    max_inflight:
+        Admit at most this many concurrent requests; the rest are
+        answered immediately with ``503`` + ``Retry-After`` (shedding
+        beats queueing unboundedly once the server is saturated).
+        ``None`` disables the cap.
+    deadline_seconds:
+        Time budget bound to each admitted request's context; the heavy
+        kernel paths check it and raise
+        :class:`~repro.core.deadline.DeadlineExceeded` (mapped to 503)
+        instead of starting work nobody is waiting for.  ``None``
+        disables deadlines.
+    retry_after_seconds:
+        Value advertised in the ``Retry-After`` header of shed responses
+        (rounded up to whole seconds, minimum 1).
+    registry:
+        A :class:`~repro.obs.MetricsRegistry` or zero-argument callable
+        returning one; receives the ``http_inflight_requests`` gauge and
+        the ``http_throttled_total`` counter.  The process-wide default
+        when omitted.
+    """
+
+    def __init__(
+        self,
+        app: Callable,
+        max_inflight: int | None = None,
+        deadline_seconds: float | None = None,
+        retry_after_seconds: float = 1.0,
+        registry: obs.MetricsRegistry | Callable[[], obs.MetricsRegistry] | None = None,
+    ) -> None:
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if deadline_seconds is not None and not deadline_seconds > 0:
+            raise ValueError(
+                f"deadline_seconds must be positive, got {deadline_seconds}"
+            )
+        if not retry_after_seconds > 0:
+            raise ValueError(
+                f"retry_after_seconds must be positive, got {retry_after_seconds}"
+            )
+        self.app = app
+        self.max_inflight = max_inflight
+        self.deadline_seconds = deadline_seconds
+        self.retry_after = max(1, math.ceil(retry_after_seconds))
+        self._registry = registry
+        self._slots = (
+            threading.BoundedSemaphore(max_inflight)
+            if max_inflight is not None
+            else None
+        )
+
+    def _resolve_registry(self) -> obs.MetricsRegistry:
+        if self._registry is None:
+            return obs.get_registry()
+        if callable(self._registry) and not isinstance(
+            self._registry, obs.MetricsRegistry
+        ):
+            return self._registry()
+        return self._registry
+
+    def _shed(self, start_response: Callable) -> Iterable[bytes]:
+        body = json.dumps(
+            {
+                "error": "server at capacity; retry later",
+                "retry_after_seconds": self.retry_after,
+            }
+        ).encode("utf-8")
+        start_response(
+            "503 Service Unavailable",
+            [
+                ("Content-Type", "application/json"),
+                ("Content-Length", str(len(body))),
+                ("Retry-After", str(self.retry_after)),
+            ],
+        )
+        return [body]
+
+    def __call__(self, environ: dict, start_response: Callable) -> Iterable[bytes]:
+        registry = self._resolve_registry()
+        if self._slots is not None and not self._slots.acquire(blocking=False):
+            registry.counter("http_throttled_total").inc()
+            obs.log_event(
+                "http.throttled",
+                level="warning",
+                path=environ.get("PATH_INFO", "/"),
+                max_inflight=self.max_inflight,
+            )
+            return self._shed(start_response)
+        gauge = registry.gauge("http_inflight_requests")
+        gauge.inc()
+        try:
+            deadline = (
+                Deadline(self.deadline_seconds, clock=registry.clock)
+                if self.deadline_seconds is not None
+                else None
+            )
+            with bind_deadline(deadline):
+                return self.app(environ, start_response)
+        finally:
+            gauge.dec()
+            if self._slots is not None:
+                self._slots.release()

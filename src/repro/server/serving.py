@@ -1,0 +1,71 @@
+"""Threaded WSGI serving: a bounded worker pool instead of wsgiref's
+single thread.
+
+``wsgiref.simple_server`` handles one request at a time, which makes a
+multi-user deployment (the paper's interactive analysts plus the S2
+replay feed) queue head-of-line behind every t-SNE run.
+:class:`PooledWSGIServer` keeps wsgiref's protocol plumbing but accepts
+on the main thread and dispatches each connection to a fixed
+:class:`~concurrent.futures.ThreadPoolExecutor` — a *bounded* pool, so
+``--threads`` is a real resource cap rather than thread-per-connection
+growth.  Overload beyond the pool is handled one layer up by
+:class:`~repro.server.middleware.BackpressureMiddleware` (503 +
+``Retry-After``), not by an ever-longer accept queue.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer
+
+
+class PooledWSGIServer(WSGIServer):
+    """A :class:`~wsgiref.simple_server.WSGIServer` with a worker pool.
+
+    ``process_request`` hands the accepted connection to the pool and
+    returns immediately, so the accept loop never blocks on a slow
+    handler.  ``server_close`` shuts the pool down without waiting —
+    in-flight daemon workers die with the process, matching
+    ``ThreadingMixIn.daemon_threads = True`` semantics.
+    """
+
+    def __init__(
+        self,
+        server_address: tuple[str, int],
+        RequestHandlerClass: type = WSGIRequestHandler,
+        threads: int = 8,
+        bind_and_activate: bool = True,
+    ) -> None:
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        super().__init__(server_address, RequestHandlerClass, bind_and_activate)
+        self.threads = threads
+        self._pool = ThreadPoolExecutor(
+            max_workers=threads, thread_name_prefix="vap-http"
+        )
+
+    def process_request(self, request, client_address) -> None:
+        self._pool.submit(self._work, request, client_address)
+
+    def _work(self, request, client_address) -> None:
+        try:
+            self.finish_request(request, client_address)
+        except Exception:
+            self.handle_error(request, client_address)
+        finally:
+            self.shutdown_request(request)
+
+    def server_close(self) -> None:
+        super().server_close()
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+
+def make_threaded_server(
+    host: str, port: int, app: Callable, threads: int = 8
+) -> PooledWSGIServer:
+    """Build a pooled WSGI server for ``app`` (wsgiref's ``make_server``
+    signature plus a ``threads`` cap)."""
+    server = PooledWSGIServer((host, port), WSGIRequestHandler, threads=threads)
+    server.set_app(app)
+    return server

@@ -1,0 +1,260 @@
+"""Concurrent serving: single-flight caches, backpressure, deadlines.
+
+Drives one :class:`VapApp` from many threads through the in-process
+:class:`TestClient` (handlers run on the calling thread, so this
+exercises exactly the code paths a threaded WSGI server runs), plus one
+real-socket test of the pooled server.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import obs
+from repro.core.pipeline import VapSession
+from repro.data.generator.simulate import CityConfig, generate_city
+from repro.obs import MetricsRegistry
+from repro.server import TestClient, VapApp, make_threaded_server
+
+
+@pytest.fixture(scope="module")
+def conc_city():
+    return generate_city(CityConfig(n_customers=25, n_days=7, seed=23))
+
+
+@pytest.fixture()
+def fresh_obs_registry():
+    """Swap the process-wide registry (kernels record there), restore after."""
+    registry = MetricsRegistry()
+    previous_registry, previous_tracer = obs.get_registry(), obs.get_tracer()
+    obs.configure(registry=registry)
+    try:
+        yield registry
+    finally:
+        obs.configure(registry=previous_registry, tracer=previous_tracer)
+
+
+def _drive(client, urls, n_threads):
+    """Issue the urls concurrently from a barrier start; returns responses."""
+    barrier = threading.Barrier(n_threads)
+
+    def worker(url):
+        barrier.wait(timeout=10)
+        return client.get(url)
+
+    with ThreadPoolExecutor(max_workers=n_threads) as pool:
+        return list(pool.map(worker, urls))
+
+
+class TestSingleFlightServing:
+    def test_concurrent_identical_embeddings_compute_once(
+        self, conc_city, fresh_obs_registry
+    ):
+        session = VapSession.from_city(conc_city, metrics=fresh_obs_registry)
+        client = TestClient(VapApp(session))
+        n = 8
+        url = "/api/embedding?n_iter=120&perplexity=5"
+        responses = _drive(client, [url] * n, n)
+
+        assert all(r.status == 200 for r in responses)
+        bodies = {r.body for r in responses}
+        assert len(bodies) == 1, "all threads must see the same embedding"
+        # The expensive kernel ran exactly once for the 8 requests.
+        kernel_runs = fresh_obs_registry.counter(
+            "kernel_runs_total", kernel="tsne"
+        )
+        assert kernel_runs.value == 1
+        # One leader; everyone else deduplicated (waited or hit).
+        leaders = fresh_obs_registry.counter(
+            "pipeline_singleflight_total", op="embed", result="leader"
+        )
+        waiters = fresh_obs_registry.counter(
+            "pipeline_singleflight_total", op="embed", result="waiter"
+        )
+        hits = fresh_obs_registry.counter(
+            "pipeline_cache_total", op="embed", result="hit"
+        )
+        assert leaders.value == 1
+        assert waiters.value + hits.value == n - 1
+
+    def test_concurrent_identical_density_compute_once(
+        self, conc_city, fresh_obs_registry
+    ):
+        session = VapSession.from_city(conc_city, metrics=fresh_obs_registry)
+        client = TestClient(VapApp(session))
+        n = 6
+        url = "/api/density?t_start=13&t_end=15"
+        responses = _drive(client, [url] * n, n)
+        assert all(r.status == 200 for r in responses)
+        assert len({r.body for r in responses}) == 1
+        kde_runs = fresh_obs_registry.counter("kernel_runs_total", kernel="kde")
+        assert kde_runs.value == 1
+
+    def test_metrics_consistent_under_parallel_requests(self, conc_city):
+        registry = MetricsRegistry()
+        session = VapSession.from_city(conc_city, metrics=registry)
+        client = TestClient(VapApp(session))
+        n_threads, per_thread = 8, 20
+        barrier = threading.Barrier(n_threads)
+
+        def worker(_):
+            barrier.wait(timeout=10)
+            return [client.get("/api/health").status for _ in range(per_thread)]
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            results = list(pool.map(worker, range(n_threads)))
+        assert all(s == 200 for statuses in results for s in statuses)
+        counted = registry.counter(
+            "http_requests_total",
+            method="GET",
+            route="/api/health",
+            status="200",
+        )
+        assert counted.value == n_threads * per_thread
+        # Every in-flight slot was released.
+        assert registry.gauge("http_inflight_requests").value == 0
+
+
+class TestBackpressure:
+    def test_excess_requests_get_503_with_retry_after(self, conc_city):
+        registry = MetricsRegistry()
+        session = VapSession.from_city(conc_city, metrics=registry)
+        app = VapApp(session, max_inflight=1, retry_after_seconds=2.0)
+        client = TestClient(app)
+        started = threading.Event()
+        release = threading.Event()
+
+        def slow_handler(request):
+            started.set()
+            assert release.wait(timeout=10)
+            return {"ok": True}
+
+        app.router.add("GET", "/api/slow", slow_handler)
+
+        blocker = ThreadPoolExecutor(max_workers=1)
+        future = blocker.submit(client.get, "/api/slow")
+        assert started.wait(timeout=10)
+        # The single in-flight slot is held: the next request is shed.
+        shed = client.get("/api/health")
+        assert shed.status == 503
+        assert shed.headers.get("Retry-After") == "2"
+        assert "error" in shed.json
+        release.set()
+        assert future.result(timeout=10).status == 200
+        blocker.shutdown()
+        # Shed request is visible to observability.
+        assert registry.counter("http_throttled_total").value == 1
+        errors = registry.counter(
+            "http_errors_total", route="/api/health", status="503"
+        )
+        assert errors.value == 1
+
+    def test_no_cap_means_no_shedding(self, conc_city):
+        session = VapSession.from_city(
+            conc_city, metrics=MetricsRegistry()
+        )
+        client = TestClient(VapApp(session))
+        responses = _drive(client, ["/api/health"] * 6, 6)
+        assert all(r.status == 200 for r in responses)
+
+    def test_deadline_maps_to_503(self, conc_city):
+        session = VapSession.from_city(conc_city, metrics=MetricsRegistry())
+        # A microscopic budget: already spent by the time embed checks it.
+        app = VapApp(session, deadline_seconds=1e-9, retry_after_seconds=3.0)
+        client = TestClient(app)
+        response = client.get("/api/embedding?n_iter=50")
+        assert response.status == 503
+        assert response.headers.get("Retry-After") == "3"
+        assert "deadline" in response.json["error"]
+        # Cheap endpoints that never reach a kernel still answer.
+        assert client.get("/api/health").status == 200
+
+
+class TestPooledServer:
+    def test_real_socket_concurrent_requests(self, conc_city):
+        import json
+        from urllib.request import urlopen
+
+        session = VapSession.from_city(conc_city, metrics=MetricsRegistry())
+        app = VapApp(session, max_inflight=8)
+        server = make_threaded_server("127.0.0.1", 0, app, threads=4)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            def fetch(_):
+                with urlopen(
+                    f"http://127.0.0.1:{port}/api/health", timeout=10
+                ) as response:
+                    return response.status, json.loads(response.read())
+
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                results = list(pool.map(fetch, range(8)))
+            assert all(status == 200 for status, _ in results)
+            assert all(body["status"] == "ok" for _, body in results)
+        finally:
+            server.shutdown()
+            thread.join(timeout=10)
+            server.server_close()
+
+    def test_thread_count_validation(self):
+        with pytest.raises(ValueError, match="threads"):
+            make_threaded_server("127.0.0.1", 0, lambda e, s: [], threads=0)
+
+
+class TestTelemetryBackpressureSection:
+    def test_payload_reports_limits(self, conc_city):
+        session = VapSession.from_city(conc_city, metrics=MetricsRegistry())
+        app = VapApp(session, max_inflight=5, deadline_seconds=30.0)
+        client = TestClient(app)
+        client.get("/api/health")
+        payload = client.get("/api/telemetry").json
+        backpressure = payload["backpressure"]
+        assert backpressure["max_inflight"] == 5
+        assert backpressure["deadline_seconds"] == 30.0
+        assert backpressure["throttled_total"] == 0
+        # The telemetry request itself holds a slot while snapshotting.
+        assert backpressure["inflight"] == 1
+
+
+class TestWaiterDeadline:
+    def test_waiter_times_out_against_inflight_leader(self, conc_city):
+        """A waiter whose deadline expires while the leader computes gets
+        a DeadlineExceeded, not an indefinite block."""
+        from repro.core.deadline import (
+            Deadline,
+            DeadlineExceeded,
+            bind_deadline,
+        )
+
+        session = VapSession.from_city(conc_city, metrics=MetricsRegistry())
+        entered = threading.Event()
+        release = threading.Event()
+        original = session._features.get_or_compute
+
+        def stalling(key, compute, timeout=None):
+            def slow_compute():
+                entered.set()
+                assert release.wait(timeout=10)
+                return compute()
+
+            return original(key, slow_compute, timeout=timeout)
+
+        session._features.get_or_compute = stalling
+        leader_pool = ThreadPoolExecutor(max_workers=1)
+        future = leader_pool.submit(
+            session.features  # leader stalls inside the feature computation
+        )
+        assert entered.wait(timeout=10)
+        session._features.get_or_compute = original
+        try:
+            with bind_deadline(Deadline(0.05)):
+                with pytest.raises(DeadlineExceeded):
+                    session.features()
+        finally:
+            release.set()
+            future.result(timeout=10)
+            leader_pool.shutdown()
+        # After the leader finishes, the value is served normally.
+        assert session.features() is future.result()

@@ -1,21 +1,20 @@
 """Tests for the ``python -m repro.server`` entry point."""
 
-from wsgiref.simple_server import WSGIServer
-
 import pytest
 
 from repro.server import __main__ as server_main
 
 
 class _FakeServer:
-    """Stands in for wsgiref's server: records the app, never blocks."""
+    """Stands in for the pooled server: records the app, never blocks."""
 
     instances: list["_FakeServer"] = []
 
-    def __init__(self, host, port, app):
+    def __init__(self, host, port, app, threads=8):
         self.host = host
         self.port = port
         self.app = app
+        self.threads = threads
         _FakeServer.instances.append(self)
 
     def __enter__(self):
@@ -29,18 +28,37 @@ class _FakeServer:
 
 
 def test_main_builds_app_and_serves(monkeypatch, capsys):
-    monkeypatch.setattr(
-        server_main, "make_server", lambda host, port, app: _FakeServer(host, port, app)
-    )
+    monkeypatch.setattr(server_main, "make_server", _FakeServer)
     _FakeServer.instances.clear()
     with pytest.raises(KeyboardInterrupt):
-        server_main.main(["--port", "9999", "--customers", "15", "--days", "7"])
+        server_main.main(
+            [
+                "--port", "9999", "--customers", "15", "--days", "7",
+                "--threads", "4", "--max-inflight", "6",
+                "--deadline-seconds", "5",
+            ]
+        )
     assert len(_FakeServer.instances) == 1
     server = _FakeServer.instances[0]
     assert server.port == 9999
-    # The app is a live VapApp over the generated city.
+    assert server.threads == 4
+    # The app is a live VapApp over the generated city, with the
+    # backpressure limits from the CLI flags wired in.
     from repro.server.app import VapApp
 
     assert isinstance(server.app, VapApp)
     assert len(server.app.session.db) == 15
+    assert server.app._backpressure.max_inflight == 6
+    assert server.app._backpressure.deadline_seconds == 5.0
     assert "listening" in capsys.readouterr().out
+
+
+def test_main_inflight_cap_disabled_with_zero(monkeypatch):
+    monkeypatch.setattr(server_main, "make_server", _FakeServer)
+    _FakeServer.instances.clear()
+    with pytest.raises(KeyboardInterrupt):
+        server_main.main(
+            ["--customers", "10", "--days", "7", "--max-inflight", "0"]
+        )
+    app = _FakeServer.instances[0].app
+    assert app._backpressure.max_inflight is None

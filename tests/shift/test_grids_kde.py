@@ -130,6 +130,14 @@ class TestKde:
         with pytest.raises(ValueError, match="bandwidth"):
             kde_density(pts, None, spec, bandwidth_m=0.0)
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -250.0])
+    def test_non_finite_bandwidth_rejected(self, spec, bad):
+        """A NaN bandwidth slips past ``> 0`` guards and yields a grid of
+        NaNs; the kernel must reject it up front."""
+        pts = np.array([[12.57, 55.68]])
+        with pytest.raises(ValueError, match="bandwidth"):
+            kde_density(pts, None, spec, bandwidth_m=bad)
+
 
 class TestNormalizeWeights:
     def test_sums_to_n(self, rng):

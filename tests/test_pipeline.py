@@ -99,6 +99,10 @@ class TestShiftWorkflow:
         assert a is b
         c = small_session.grid(nx=32, ny=32)
         assert c is not a
+        # Explicit grids are sticky now; restore the default so the
+        # shared session keeps its 96x96 grid for later tests.
+        restored = small_session.grid(nx=96, ny=96)
+        assert (restored.nx, restored.ny) == (96, 96)
 
     def test_customer_subset_shift(self, small_session):
         ids = small_session.db.customer_ids[:10]
@@ -131,3 +135,132 @@ class TestForecastApi:
     def test_unknown_customer(self, small_session):
         with pytest.raises(KeyError):
             small_session.forecast(10**9)
+
+
+@pytest.fixture(scope="module")
+def tiny_city():
+    """A minimal city for tests that need their own mutable session."""
+    from repro.data.generator.simulate import CityConfig, generate_city
+
+    return generate_city(CityConfig(n_customers=25, n_days=7, seed=33))
+
+
+class TestIndexValidation:
+    """Out-of-range embedding rows must fail loudly, never wrap around."""
+
+    def test_profile_of_rejects_negative_indices(self, small_session):
+        with pytest.raises(ValueError, match="indices"):
+            small_session.profile_of(np.array([-1]))
+
+    def test_profile_of_rejects_out_of_range(self, small_session):
+        n = len(small_session.series.customer_ids)
+        with pytest.raises(ValueError, match="indices"):
+            small_session.profile_of(np.array([n]))
+
+    def test_customers_of_rejects_negative_indices(self, small_session):
+        with pytest.raises(ValueError, match="indices"):
+            small_session.customers_of(np.array([0, -3]))
+
+    def test_pattern_of_rejects_out_of_range(self, small_session):
+        n = len(small_session.series.customer_ids)
+        with pytest.raises(ValueError, match="indices"):
+            small_session.pattern_of(np.array([n + 5]))
+
+    def test_valid_bounds_still_work(self, small_session):
+        n = len(small_session.series.customer_ids)
+        ids = small_session.customers_of(np.array([0, n - 1]))
+        assert len(ids) == 2
+
+
+class TestGridReuse:
+    def test_density_reuses_custom_grid(self, tiny_city):
+        """A grid chosen explicitly must survive a later default-size
+        density call instead of being rebuilt at 96x96 and dropped."""
+        session = VapSession.from_city(tiny_city, preprocess=False)
+        custom = session.grid(nx=32, ny=48)
+        grid = session.density(HourWindow(13, 15))
+        assert grid.spec is custom
+        assert (grid.spec.nx, grid.spec.ny) == (32, 48)
+        # And the cached spec is still what grid() returns afterwards.
+        assert session.grid() is custom
+
+    def test_same_resolution_not_rebuilt(self, tiny_city):
+        session = VapSession.from_city(tiny_city, preprocess=False)
+        a = session.grid(nx=32, ny=32)
+        assert session.grid(nx=32, ny=32) is a
+
+
+class TestCacheBehaviour:
+    def test_embedding_lru_eviction(self, tiny_city):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        session = VapSession.from_city(
+            tiny_city, metrics=registry, max_embeddings=2
+        )
+        a = session.embed(n_iter=20, perplexity=4.0, seed=0)
+        session.embed(n_iter=20, perplexity=4.0, seed=1)
+        session.embed(n_iter=20, perplexity=4.0, seed=2)  # evicts seed=0
+        evictions = registry.counter(
+            "pipeline_cache_evictions_total", cache="embed"
+        )
+        assert evictions.value == 1
+        # seed=0 was evicted: asking again recomputes (fresh object).
+        b = session.embed(n_iter=20, perplexity=4.0, seed=0)
+        assert b is not a
+
+    def test_density_cached_per_window(self, tiny_city):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        session = VapSession.from_city(
+            tiny_city, preprocess=False, metrics=registry
+        )
+        a = session.density(HourWindow(13, 15))
+        b = session.density(HourWindow(13, 15))
+        assert a is b
+        c = session.density(HourWindow(19, 21))
+        assert c is not a
+        hits = registry.counter(
+            "pipeline_cache_total", op="density", result="hit"
+        )
+        misses = registry.counter(
+            "pipeline_cache_total", op="density", result="miss"
+        )
+        assert hits.value == 1
+        assert misses.value == 2
+
+    def test_density_bandwidth_distinguishes_cache_keys(self, tiny_city):
+        session = VapSession.from_city(tiny_city, preprocess=False)
+        a = session.density(HourWindow(13, 15), bandwidth_m=5000.0)
+        b = session.density(HourWindow(13, 15), bandwidth_m=9000.0)
+        assert a is not b
+
+
+class TestDeadlineIntegration:
+    def test_expired_deadline_blocks_embed(self, tiny_city):
+        from repro.core.deadline import (
+            Deadline,
+            DeadlineExceeded,
+            bind_deadline,
+        )
+
+        session = VapSession.from_city(tiny_city)
+        now = [0.0]
+        deadline = Deadline(0.5, clock=lambda: now[0])
+        now[0] = 1.0  # budget spent before the kernel starts
+        with bind_deadline(deadline):
+            with pytest.raises(DeadlineExceeded):
+                session.embed(n_iter=20, perplexity=4.0)
+            with pytest.raises(DeadlineExceeded):
+                session.density(HourWindow(13, 15))
+            with pytest.raises(DeadlineExceeded):
+                session.kmeans_baseline(k=3)
+
+    def test_unexpired_deadline_allows_work(self, tiny_city):
+        from repro.core.deadline import Deadline, bind_deadline
+
+        session = VapSession.from_city(tiny_city)
+        with bind_deadline(Deadline(3600.0)):
+            info = session.embed(n_iter=20, perplexity=4.0)
+        assert info.coords.shape[1] == 2
