@@ -1,0 +1,11 @@
+"""Perf-trajectory harness: timed kernel comparisons behind ``repro bench``.
+
+The paper's tool is interactive; the kernels behind its three views are the
+latency budget.  This package times each fast kernel against its exact
+ground-truth twin and writes a machine-readable ``BENCH_PERF.json`` so the
+perf trajectory is tracked across PRs instead of anecdotally.
+"""
+
+from repro.bench.perf import run_bench, write_bench
+
+__all__ = ["run_bench", "write_bench"]

@@ -1,0 +1,227 @@
+"""Kernel benchmarks: fast engines vs their exact ground-truth twins.
+
+Every entry measures the *same work* through both engines in one process,
+back-to-back, so the speedup ratio is meaningful even on noisy shared
+machines (absolute wall-clock is not — treat it as indicative only).
+Parity numbers ride along with every timing so a speedup can never hide
+a wrong answer:
+
+- t-SNE: exact vs Barnes–Hut gradients — final KL ratio;
+- KDE: exact vs binned Eq. 3 — max relative error over the grid;
+- perplexity search: per-row loop vs array-wide bisection — beta allclose;
+- DTW: row-sweep vs anti-diagonal DP — bit-identical distances.
+
+``run_bench(quick=True)`` is the CI smoke variant: same shape, small sizes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.reduction.distances import euclidean_distance_matrix
+from repro.core.reduction.dtw import dtw_distance
+from repro.core.reduction.tsne import (
+    _perplexity_search,
+    _perplexity_search_loop,
+    tsne,
+)
+from repro.core.shift.grids import GridSpec
+from repro.core.shift.kde import kde_density
+
+KERNELS = ("tsne", "kde", "perplexity", "dtw")
+
+
+def _blob_features(
+    n: int, dim: int = 24, clusters: int = 8, seed: int = 0
+) -> np.ndarray:
+    """Clustered synthetic features — the regime the paper's views live in."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=4.0, size=(clusters, dim))
+    assignment = rng.integers(0, clusters, size=n)
+    return centers[assignment] + rng.normal(scale=0.8, size=(n, dim))
+
+
+def _positions(n: int, seed: int = 0) -> np.ndarray:
+    """Clustered (lon, lat) points on a ~10 km city patch."""
+    rng = np.random.default_rng(seed)
+    centers = np.column_stack(
+        [116.0 + rng.random(8) * 0.1, 39.0 + rng.random(8) * 0.1]
+    )
+    assignment = rng.integers(0, 8, size=n)
+    return centers[assignment] + rng.normal(scale=0.004, size=(n, 2))
+
+
+def _dtw_row_sweep(a: np.ndarray, b: np.ndarray, band: int) -> float:
+    """The pre-vectorisation row-sweep DP, kept as the parity oracle."""
+    n, m = a.size, b.size
+    inf = np.inf
+    previous = np.full(m + 1, inf)
+    previous[0] = 0.0
+    current = np.empty(m + 1)
+    for i in range(1, n + 1):
+        current.fill(inf)
+        lo = max(1, i - band)
+        hi = min(m, i + band)
+        cost = np.abs(a[i - 1] - b[lo - 1 : hi])
+        segment_prev = previous[lo - 1 : hi]
+        segment_up = previous[lo : hi + 1]
+        running = inf
+        for k in range(hi - lo + 1):
+            best = min(segment_prev[k], segment_up[k], running)
+            running = cost[k] + best
+            current[lo + k] = running
+        previous, current = current, previous
+    return float(previous[m] / (n + m))
+
+
+def bench_tsne(
+    sizes: list[int], n_iter: int, theta: float = 0.5, seed: int = 0
+) -> dict:
+    runs = []
+    for n in sizes:
+        feats = _blob_features(n, seed=seed)
+        t0 = time.perf_counter()
+        exact = tsne(
+            feats, metric="euclidean", n_iter=n_iter, seed=seed, method="exact"
+        )
+        t1 = time.perf_counter()
+        fast = tsne(
+            feats, metric="euclidean", n_iter=n_iter, seed=seed,
+            method="bh", theta=theta,
+        )
+        t2 = time.perf_counter()
+        runs.append(
+            {
+                "n": n,
+                "n_iter": n_iter,
+                "exact_seconds": round(t1 - t0, 4),
+                "fast_seconds": round(t2 - t1, 4),
+                "speedup": round((t1 - t0) / max(t2 - t1, 1e-12), 2),
+                "kl_exact": round(exact.kl_divergence, 6),
+                "kl_fast": round(fast.kl_divergence, 6),
+                "kl_ratio": round(
+                    fast.kl_divergence / max(exact.kl_divergence, 1e-12), 4
+                ),
+            }
+        )
+    return {"theta": theta, "runs": runs}
+
+
+def bench_kde(
+    sizes: list[int], nx: int = 128, ny: int = 128, seed: int = 0
+) -> dict:
+    runs = []
+    for n in sizes:
+        pos = _positions(n, seed=seed)
+        weights = np.random.default_rng(seed + 1).gamma(2.0, 1.0, n)
+        spec = GridSpec.covering(pos, nx=nx, ny=ny)
+        t0 = time.perf_counter()
+        exact = kde_density(pos, weights, spec, method="exact")
+        t1 = time.perf_counter()
+        binned = kde_density(pos, weights, spec, method="binned")
+        t2 = time.perf_counter()
+        rel = np.abs(binned.values - exact.values) / exact.values.max()
+        runs.append(
+            {
+                "n": n,
+                "exact_seconds": round(t1 - t0, 4),
+                "fast_seconds": round(t2 - t1, 4),
+                "speedup": round((t1 - t0) / max(t2 - t1, 1e-12), 2),
+                "max_rel_error": float(f"{rel.max():.3e}"),
+            }
+        )
+    return {"grid": [nx, ny], "runs": runs}
+
+
+def bench_perplexity(sizes: list[int], seed: int = 0) -> dict:
+    runs = []
+    for n in sizes:
+        feats = _blob_features(n, seed=seed)
+        dist = euclidean_distance_matrix(feats)
+        t0 = time.perf_counter()
+        _, betas_loop = _perplexity_search_loop(dist, perplexity=30.0)
+        t1 = time.perf_counter()
+        _, betas_vec = _perplexity_search(dist, perplexity=30.0)
+        t2 = time.perf_counter()
+        runs.append(
+            {
+                "n": n,
+                "exact_seconds": round(t1 - t0, 4),
+                "fast_seconds": round(t2 - t1, 4),
+                "speedup": round((t1 - t0) / max(t2 - t1, 1e-12), 2),
+                "betas_allclose": bool(
+                    np.allclose(betas_loop, betas_vec, rtol=1e-9)
+                ),
+            }
+        )
+    return {"runs": runs}
+
+
+def bench_dtw(lengths: list[int], repeats: int = 5, seed: int = 0) -> dict:
+    runs = []
+    rng = np.random.default_rng(seed)
+    for length in lengths:
+        band = max(1, length // 10)
+        a = rng.normal(size=length)
+        b = rng.normal(size=length)
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            want = _dtw_row_sweep(a, b, band)
+        t1 = time.perf_counter()
+        for _ in range(repeats):
+            got = dtw_distance(a, b, band=band, normalize=False)
+        t2 = time.perf_counter()
+        runs.append(
+            {
+                "length": length,
+                "band": band,
+                "exact_seconds": round((t1 - t0) / repeats, 5),
+                "fast_seconds": round((t2 - t1) / repeats, 5),
+                "speedup": round((t1 - t0) / max(t2 - t1, 1e-12), 2),
+                "identical": bool(got == want),
+            }
+        )
+    return {"runs": runs}
+
+
+def run_bench(
+    quick: bool = False, kernels: list[str] | None = None, seed: int = 0
+) -> dict:
+    """Run the kernel benchmarks and return the BENCH_PERF document.
+
+    Raises
+    ------
+    ValueError
+        For an unknown kernel name.
+    """
+    wanted = list(KERNELS) if kernels is None else kernels
+    unknown = [k for k in wanted if k not in KERNELS]
+    if unknown:
+        raise ValueError(f"unknown kernels {unknown}; pick from {KERNELS}")
+    out: dict = {
+        "schema": 1,
+        "quick": quick,
+        "generated_unix": round(time.time(), 1),
+        "kernels": {},
+    }
+    if "tsne" in wanted:
+        sizes, n_iter = ([400], 150) if quick else ([500, 1000, 2000], 500)
+        out["kernels"]["tsne"] = bench_tsne(sizes, n_iter=n_iter, seed=seed)
+    if "kde" in wanted:
+        sizes = [20000] if quick else [10000, 50000]
+        out["kernels"]["kde"] = bench_kde(sizes, seed=seed)
+    if "perplexity" in wanted:
+        sizes = [400] if quick else [500, 1500]
+        out["kernels"]["perplexity"] = bench_perplexity(sizes, seed=seed)
+    if "dtw" in wanted:
+        lengths = [168] if quick else [168, 336, 720]
+        out["kernels"]["dtw"] = bench_dtw(lengths, seed=seed)
+    return out
+
+
+def write_bench(path: Path, document: dict) -> None:
+    path.write_text(json.dumps(document, indent=2) + "\n")

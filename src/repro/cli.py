@@ -13,7 +13,10 @@ Six commands cover the tool's operational surface:
   the self-monitoring telemetry panel;
 - ``serve`` — serve the REST API with the threaded WSGI server
   (``--threads``/``--max-inflight``/``--deadline-seconds`` control
-  concurrency and backpressure; same as ``python -m repro.server``).
+  concurrency and backpressure; same as ``python -m repro.server``);
+- ``bench`` — time the fast kernels against their exact twins and write
+  the machine-readable ``BENCH_PERF.json`` perf-trajectory document
+  (``--quick`` for the CI smoke variant).
 """
 
 from __future__ import annotations
@@ -82,6 +85,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "--dashboard", type=Path, default=None, metavar="OUT_SVG",
         help="also write the self-monitoring telemetry panel as SVG",
     )
+
+    bench = commands.add_parser(
+        "bench", help="benchmark fast kernels vs exact, write BENCH_PERF.json"
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="small sizes for CI smoke runs (same document shape)",
+    )
+    bench.add_argument(
+        "--out", type=Path, default=Path("BENCH_PERF.json"),
+        help="output path for the JSON document",
+    )
+    bench.add_argument(
+        "--kernel", action="append", default=None, metavar="NAME",
+        help="restrict to one kernel (repeatable): tsne/kde/perplexity/dtw",
+    )
+    bench.add_argument("--seed", type=int, default=0)
 
     serve = commands.add_parser(
         "serve", help="serve the REST API (threaded WSGI server)"
@@ -289,6 +309,24 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Time fast kernels vs exact twins; write the perf-trajectory JSON."""
+    from repro.bench import run_bench, write_bench
+
+    document = run_bench(quick=args.quick, kernels=args.kernel, seed=args.seed)
+    write_bench(args.out, document)
+    print(f"{'kernel':<12}{'n':>8}{'exact s':>10}{'fast s':>10}{'speedup':>9}")
+    for kernel, payload in document["kernels"].items():
+        for run in payload["runs"]:
+            size = run.get("n", run.get("length", "?"))
+            print(
+                f"{kernel:<12}{size:>8}{run['exact_seconds']:>10.3f}"
+                f"{run['fast_seconds']:>10.3f}{run['speedup']:>8.1f}x"
+            )
+    print(f"perf document written to {args.out}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Delegate to the ``python -m repro.server`` entry point."""
     from repro.server.__main__ import main as server_main
@@ -314,6 +352,7 @@ _COMMANDS = {
     "sql": _cmd_sql,
     "stats": _cmd_stats,
     "serve": _cmd_serve,
+    "bench": _cmd_bench,
 }
 
 

@@ -85,7 +85,8 @@ def kmeans(
     rng = np.random.default_rng(seed)
     best: KMeansResult | None = None
     total_iterations = 0
-    with obs.span("kernel.kmeans", n_points=n, k=k, n_init=n_init):
+    with obs.span("kernel.kmeans", n_points=n, k=k, n_init=n_init), \
+            obs.get_registry().timer("kernel_runtime_seconds", kernel="kmeans"):
         for _ in range(n_init):
             centroids = _plus_plus_init(features, k, rng)
             trace: list[float] = []

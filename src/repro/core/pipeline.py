@@ -205,8 +205,15 @@ class VapSession:
         perplexity: float = 30.0,
         n_iter: int = 500,
         seed: int = 0,
+        tsne_method: str = "auto",
+        theta: float = 0.5,
     ) -> EmbeddingInfo:
         """Reduce the series to 2-D; cached per parameter set.
+
+        ``tsne_method`` selects the t-SNE gradient engine (``"auto"``,
+        ``"exact"`` or ``"bh"`` for Barnes–Hut at opening angle ``theta``);
+        both are part of the cache key so exact and approximate embeddings
+        never alias.
 
         Raises
         ------
@@ -218,7 +225,7 @@ class VapSession:
                 f"unknown method {method!r}; pick one of {EMBED_METHODS}"
             )
         kind = feature_kind or self.feature_kind
-        key = (method, metric, kind, perplexity, n_iter, seed)
+        key = (method, metric, kind, perplexity, n_iter, seed, tsne_method, theta)
 
         def compute() -> EmbeddingInfo:
             start = self.metrics.clock()
@@ -232,6 +239,8 @@ class VapSession:
                         perplexity=perplexity,
                         n_iter=n_iter,
                         seed=seed,
+                        method=tsne_method,
+                        theta=theta,
                     )
                     info = EmbeddingInfo(
                         coords=result.embedding,
@@ -421,18 +430,24 @@ class VapSession:
         window: HourWindow,
         bandwidth_m: float | None = None,
         customer_ids: list[int] | None = None,
+        method: str = "auto",
     ) -> DensityGrid:
         """Eq. 3: demand-weighted density for one window (view A heat map).
 
-        Results are cached per ``(window, bandwidth, customers, grid)``
-        with single-flight misses, so concurrent identical heat-map
-        requests run the KDE kernel once.
+        ``method`` selects the KDE engine (``"auto"``, ``"exact"`` or
+        ``"binned"``) and is part of the cache key so exact and binned
+        surfaces never alias.  Results are cached per ``(window,
+        bandwidth, customers, grid, method)`` with single-flight misses,
+        so concurrent identical heat-map requests run the KDE kernel once.
         """
         spec = self.grid()
         ids_key = None if customer_ids is None else tuple(
             int(cid) for cid in customer_ids
         )
-        key = (window.start_hour, window.end_hour, bandwidth_m, ids_key, spec)
+        key = (
+            window.start_hour, window.end_hour, bandwidth_m, ids_key, spec,
+            method,
+        )
 
         def compute() -> DensityGrid:
             with obs.span(
@@ -440,7 +455,8 @@ class VapSession:
             ), self.metrics.timer("pipeline_seconds", op="density"):
                 positions, values = self.db.demand(window, customer_ids)
                 return kde_density(
-                    positions, values, spec, bandwidth_m=bandwidth_m
+                    positions, values, spec, bandwidth_m=bandwidth_m,
+                    method=method,
                 )
 
         return self._flight(self._densities, "density", key, compute)
@@ -451,12 +467,13 @@ class VapSession:
         t2: HourWindow,
         bandwidth_m: float | None = None,
         customer_ids: list[int] | None = None,
+        method: str = "auto",
     ) -> ShiftField:
         """Eq. 4: the density difference between two windows."""
         with obs.span("pipeline.shift"), \
                 self.metrics.timer("pipeline_seconds", op="shift"):
-            before = self.density(t1, bandwidth_m, customer_ids)
-            after = self.density(t2, bandwidth_m, customer_ids)
+            before = self.density(t1, bandwidth_m, customer_ids, method)
+            after = self.density(t2, bandwidth_m, customer_ids, method)
             return ShiftField.between(before, after)
 
     def flows(

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.preprocess.normalize import normalize_matrix
 
 
@@ -61,59 +62,84 @@ def dtw_distance(
         raise ValueError(
             f"band {band} cannot bridge length difference {abs(n - m)}"
         )
-    # Banded DP over the cumulative cost matrix.
+    # Banded DP over the cumulative cost matrix, swept along anti-diagonals:
+    # every cell on diagonal s = i + j depends only on diagonals s-1 and s-2,
+    # so each diagonal is one vectorised expression instead of a Python loop
+    # over j (the row-sweep recurrence D[i, j-1] is sequential within a row).
+    # Diagonal s is stored indexed by i: diag[i] = D[i, s - i].
     inf = np.inf
-    previous = np.full(m + 1, inf)
-    previous[0] = 0.0
-    current = np.empty(m + 1)
-    for i in range(1, n + 1):
+    prev2 = np.full(n + 1, inf)  # diagonal s-2
+    prev2[0] = 0.0               # D[0, 0]
+    prev1 = np.full(n + 1, inf)  # diagonal s-1: D[0,1] and D[1,0] are inf
+    current = np.empty(n + 1)
+    for s in range(2, n + m + 1):
+        # Cell (i, s-i) is in the DP iff 1<=i<=n, 1<=s-i<=m and
+        # |i - (s-i)| <= band  =>  ceil((s-band)/2) <= i <= (s+band)//2.
+        i_lo = max(1, s - m, -((band - s) // 2))
+        i_hi = min(n, s - 1, (s + band) // 2)
         current.fill(inf)
-        lo = max(1, i - band)
-        hi = min(m, i + band)
-        cost = np.abs(a[i - 1] - b[lo - 1 : hi])
-        segment_prev = previous[lo - 1 : hi]      # D[i-1, j-1]
-        segment_up = previous[lo : hi + 1]        # D[i-1, j]
-        running = inf  # D[i, j-1], filled as we sweep j
-        for k in range(hi - lo + 1):
-            best = min(segment_prev[k], segment_up[k], running)
-            running = cost[k] + best
-            current[lo + k] = running
-        previous, current = current, previous
-    total = previous[m]
+        if i_lo <= i_hi:
+            cost = np.abs(a[i_lo - 1 : i_hi] - b[s - i_hi - 1 : s - i_lo][::-1])
+            best = np.minimum(prev2[i_lo - 1 : i_hi], prev1[i_lo - 1 : i_hi])
+            np.minimum(best, prev1[i_lo : i_hi + 1], out=best)
+            current[i_lo : i_hi + 1] = cost + best
+        prev2, prev1, current = prev1, current, prev2
+    total = prev1[n]  # diagonal n+m holds only D[n, m]
     if not np.isfinite(total):
         raise ValueError("band too narrow: no warping path exists")
     return float(total / (n + m))  # path-length normalised
 
 
+MAX_DTW_ROWS = 512
+
+
 def dtw_distance_matrix(
-    features: np.ndarray, band: int | None = None, normalize: bool = True
+    features: np.ndarray,
+    band: int | None = None,
+    normalize: bool = True,
+    max_rows: int = MAX_DTW_ROWS,
 ) -> np.ndarray:
     """Pairwise DTW distances between the rows of a feature matrix.
 
     O(n^2) DTW evaluations — intended for selections and small fleets
-    (a few hundred rows), not the full-city default metric.
+    (a few hundred rows), not the full-city default metric.  ``max_rows``
+    guards against accidentally submitting a whole city: at fleet scale the
+    quadratic pair count would run for hours, so oversize inputs are
+    rejected up front rather than left to hang.
 
     Raises
     ------
     ValueError
-        On malformed input.
+        On malformed input, or more than ``max_rows`` rows.
     """
     features = np.asarray(features, dtype=np.float64)
     if features.ndim != 2:
         raise ValueError(f"features must be 2-D, got shape {features.shape}")
     if features.shape[0] < 2:
         raise ValueError("need at least 2 rows for pairwise distances")
+    if features.shape[0] > max_rows:
+        raise ValueError(
+            f"dtw_distance_matrix got {features.shape[0]} rows; the O(n^2) "
+            f"pairwise DTW is only practical up to max_rows={max_rows}. "
+            "Sample a subset of rows first (or use the euclidean/pearson "
+            "metrics, which scale to full fleets), or pass a larger "
+            "max_rows= explicitly if you really want the long run."
+        )
     if not np.isfinite(features).all():
         raise ValueError("features contain NaN/inf; impute first")
     if normalize:
         features = normalize_matrix(features, "zscore")
     n = features.shape[0]
     out = np.zeros((n, n))
-    for i in range(n):
-        for j in range(i + 1, n):
-            d = dtw_distance(
-                features[i], features[j], band=band, normalize=False
-            )
-            out[i, j] = d
-            out[j, i] = d
+    registry = obs.get_registry()
+    with obs.span("kernel.dtw", n_rows=n, length=features.shape[1]):
+        with registry.timer("kernel_runtime_seconds", kernel="dtw"):
+            for i in range(n):
+                for j in range(i + 1, n):
+                    d = dtw_distance(
+                        features[i], features[j], band=band, normalize=False
+                    )
+                    out[i, j] = d
+                    out[j, i] = d
+    registry.counter("kernel_runs_total", kernel="dtw").inc()
     return out

@@ -143,7 +143,8 @@ def mds(
         dist = validate_distance_matrix(distances)
     if dist.shape[0] < 3:
         raise ValueError(f"need at least 3 points for MDS, got {dist.shape[0]}")
-    with obs.span("kernel.mds", n_points=dist.shape[0], method=method):
+    with obs.span("kernel.mds", n_points=dist.shape[0], method=method), \
+            obs.get_registry().timer("kernel_runtime_seconds", kernel="mds"):
         if method == "classical":
             y = classical_mds(dist, n_components)
             result = MDSResult(

@@ -1,14 +1,28 @@
-"""t-distributed Stochastic Neighbor Embedding (exact, from scratch).
+"""t-distributed Stochastic Neighbor Embedding (exact and Barnes–Hut).
 
 This is the paper's primary reducer (its Eq. 1 is the KL objective, Eq. 2
 the Student-t low-dimensional kernel).  The implementation follows van der
 Maaten & Hinton (2008):
 
 1. per-point Gaussian bandwidths found by binary search so each conditional
-   distribution has the requested *perplexity*;
+   distribution has the requested *perplexity* — the search bisects all
+   rows simultaneously as one array-wide computation;
 2. symmetrised joint probabilities ``P = (P_c + P_c^T) / 2n``;
 3. gradient descent on the KL divergence with early exaggeration, momentum
    switching and adaptive per-coordinate gains.
+
+Two gradient engines share step 3:
+
+- ``method="exact"`` — the dense O(n^2)-per-iteration gradient, the
+  ground truth every approximation is parity-tested against;
+- ``method="bh"`` — Barnes–Hut (van der Maaten 2014): the repulsive term
+  comes from a quadtree over the embedding
+  (:mod:`repro.core.reduction.bh`) at accuracy/speed trade-off ``theta``,
+  and the attractive term runs over a sparse k-nearest-neighbour subset
+  of P (k = 3 * perplexity), for O(n log n) iterations.
+
+``method="auto"`` (the default) picks Barnes–Hut above
+``BH_THRESHOLD`` points and the exact engine below it.
 
 Distances default to the paper's Pearson metric; any precomputed
 dissimilarity is accepted too.
@@ -21,10 +35,25 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import obs
+from repro.core.reduction.bh import plan_repulsion, repulsion, run_plan
 from repro.core.reduction.distances import pairwise_distances, validate_distance_matrix
 from repro.core.reduction.pca import pca
 
 _P_MIN = 1e-12
+
+# The Barnes–Hut traversal plan (which cells are summarised for which
+# points) is reused for this many descent steps before being rebuilt,
+# like a Verlet neighbour list: forces always use current coordinates
+# and freshly recomputed centres of mass, only the far/near pair
+# classification goes slightly stale between rebuilds.
+_REPLAN_EVERY = 4
+
+TSNE_METHODS = ("auto", "exact", "bh")
+
+# ``method="auto"`` switches to Barnes–Hut at this many points: below it
+# the dense gradient's vectorisation beats the tree overhead, above it
+# the O(n^2) inner loop dominates.
+BH_THRESHOLD = 1000
 
 
 @dataclass(slots=True)
@@ -32,7 +61,14 @@ class TSNEResult:
     """Embedding plus convergence diagnostics.
 
     ``kl_divergence`` is the paper's Eq. 1 objective at the final iterate
-    (without exaggeration); ``kl_trace`` samples it every 50 iterations.
+    (without exaggeration), always computed against the dense P — also
+    for Barnes–Hut runs, so approximation error shows up in the
+    objective instead of hiding in it.  ``kl_trace`` samples the
+    objective every 50 iterations (for ``method="bh"`` the trace uses
+    the sparse-P approximation; only the final value is exact).
+    ``method`` records the engine that actually ran and
+    ``effective_init`` the initialisation that was actually used (PCA
+    silently needs raw features, see :func:`tsne`).
     """
 
     embedding: np.ndarray
@@ -40,20 +76,93 @@ class TSNEResult:
     n_iter: int
     perplexity: float
     kl_trace: list[float]
+    method: str = "exact"
+    effective_init: str = "pca"
 
 
-def _conditional_probabilities(
+def _perplexity_search(
     dist: np.ndarray, perplexity: float, tol: float = 1e-5, max_tries: int = 64
-) -> np.ndarray:
-    """Row-stochastic P(j|i) with per-row bandwidth matched to perplexity.
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-stochastic P(j|i) and precisions, all rows bisected at once.
 
     Binary search on the precision ``beta_i`` of ``exp(-beta_i * d_ij^2)``
-    until the row entropy equals ``log(perplexity)``.
+    until the row entropy equals ``log(perplexity)``.  Every row carries
+    its own ``(lo, hi)`` bracket; converged rows keep their beta while the
+    stragglers keep halving, so the result matches the per-row loop
+    (:func:`_perplexity_search_loop`) to floating-point noise without the
+    n x 64 Python-level iteration count.
+
+    Returns ``(cond, beta)`` — the conditional matrix (zero diagonal) and
+    the per-row precisions.
+    """
+    n = dist.shape[0]
+    target_entropy = np.log(perplexity)
+    d2 = np.where(np.eye(n, dtype=bool), np.inf, dist.astype(np.float64) ** 2)
+    # Shift each row by its off-diagonal min: exp(0) = 1 guarantees a
+    # positive normaliser, and the diagonal's exp(-inf) = 0 removes it.
+    d2 -= d2.min(axis=1, keepdims=True)
+    beta = np.ones(n)
+    beta_lo = np.zeros(n)
+    beta_hi = np.full(n, np.inf)
+    probs = np.full((n, n), 1.0 / max(n - 1, 1))
+    # Two savings over the naive max_tries full-matrix passes: only
+    # still-bisecting rows are recomputed each round, and the row entropy
+    # comes from the Gibbs identity H = ln S + beta * E[d^2] (with
+    # S = sum_j w_j, E = sum_j w_j d2_j / S), so the bisection needs no
+    # n^2 log/divide — probability rows materialise once, on convergence.
+    finite_d2 = np.where(np.isfinite(d2), d2, 0.0)  # 0 * w = 0 on the diagonal
+    active = np.arange(n)
+    for _ in range(max_tries):
+        with np.errstate(invalid="ignore"):
+            weights = np.exp(-beta[active, None] * d2[active])
+        norm = weights.sum(axis=1)
+        mean_d2 = np.einsum("ij,ij->i", weights, finite_d2[active]) / norm
+        entropy = np.log(norm) + beta[active] * mean_d2
+        diff = entropy - target_entropy
+        settled = np.abs(diff) < tol
+        if settled.any():
+            hit = active[settled]
+            probs[hit] = weights[settled] / norm[settled, None]
+        active = active[~settled]
+        if active.size == 0:
+            break
+        diff = diff[~settled]
+        sharpen = diff > 0
+        current = beta[active]
+        lo = beta_lo[active]
+        hi = beta_hi[active]
+        lo[sharpen] = current[sharpen]
+        hi[~sharpen] = current[~sharpen]
+        beta_lo[active] = lo
+        beta_hi[active] = hi
+        beta[active] = np.where(
+            sharpen,
+            np.where(np.isinf(hi), current * 2.0, (current + hi) / 2.0),
+            np.where(lo == 0.0, current / 2.0, (current + lo) / 2.0),
+        )
+    if active.size:
+        # Rows that never settled keep their last bisection iterate.
+        with np.errstate(invalid="ignore"):
+            weights = np.exp(-beta[active, None] * d2[active])
+        probs[active] = weights / weights.sum(axis=1, keepdims=True)
+    np.fill_diagonal(probs, 0.0)
+    return probs, beta
+
+
+def _perplexity_search_loop(
+    dist: np.ndarray, perplexity: float, tol: float = 1e-5, max_tries: int = 64
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reference per-row implementation of :func:`_perplexity_search`.
+
+    Kept as the parity oracle (and for the perf-trajectory bench): one
+    Python-level binary search per row, exactly the pre-vectorisation
+    behaviour.
     """
     n = dist.shape[0]
     target_entropy = np.log(perplexity)
     d2 = dist**2
     cond = np.zeros((n, n))
+    betas = np.ones(n)
     for i in range(n):
         row = np.delete(d2[i], i)
         beta, beta_lo, beta_hi = 1.0, 0.0, np.inf
@@ -76,6 +185,15 @@ def _conditional_probabilities(
                 beta_hi = beta
                 beta = beta / 2.0 if beta_lo == 0.0 else (beta + beta_lo) / 2.0
         cond[i, np.arange(n) != i] = probs
+        betas[i] = beta
+    return cond, betas
+
+
+def _conditional_probabilities(
+    dist: np.ndarray, perplexity: float, tol: float = 1e-5, max_tries: int = 64
+) -> np.ndarray:
+    """Row-stochastic P(j|i) with per-row bandwidth matched to perplexity."""
+    cond, _ = _perplexity_search(dist, perplexity, tol=tol, max_tries=max_tries)
     return cond
 
 
@@ -109,6 +227,54 @@ def _kl(p: np.ndarray, q: np.ndarray) -> float:
     return float((p[mask] * np.log(p[mask] / q[mask])).sum())
 
 
+def _sparse_joint(
+    p: np.ndarray, perplexity: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sparsify the dense joint P to its k-nearest entries per row.
+
+    Keeps ``k = 3 * perplexity`` largest entries per row (van der
+    Maaten's Barnes–Hut heuristic), symmetrises the support and rescales
+    to sum to 1.  Returns COO-style ``(rows, cols, vals)`` with both
+    ``(i, j)`` and ``(j, i)`` present for every kept pair.
+    """
+    n = p.shape[0]
+    k = min(n - 1, max(3, int(round(3.0 * perplexity))))
+    top = np.argpartition(p, n - 1 - k, axis=1)[:, n - k:]
+    mask = np.zeros((n, n), dtype=bool)
+    mask[np.arange(n)[:, None], top] = True
+    np.fill_diagonal(mask, False)
+    mask |= mask.T
+    rows, cols = np.nonzero(mask)
+    vals = p[rows, cols]
+    return rows, cols, vals / vals.sum()
+
+
+def _descend(
+    grad_fn, y: np.ndarray, n_iter: int, learning_rate: float,
+    exaggeration_iter: int, trace_fn,
+) -> tuple[np.ndarray, list[float]]:
+    """Shared gradient-descent loop: momentum switching + adaptive gains.
+
+    ``grad_fn(y, iteration)`` returns the (possibly exaggerated) gradient;
+    ``trace_fn(y)`` the objective sample recorded every 50 iterations.
+    """
+    velocity = np.zeros_like(y)
+    gains = np.ones_like(y)
+    kl_trace: list[float] = []
+    for iteration in range(n_iter):
+        grad = grad_fn(y, iteration)
+        momentum = 0.5 if iteration < exaggeration_iter else 0.8
+        same_sign = np.sign(grad) == np.sign(velocity)
+        gains = np.where(same_sign, gains * 0.8, gains + 0.2)
+        np.clip(gains, 0.01, None, out=gains)
+        velocity = momentum * velocity - learning_rate * gains * grad
+        y = y + velocity
+        y = y - y.mean(axis=0, keepdims=True)
+        if iteration % 50 == 0 or iteration == n_iter - 1:
+            kl_trace.append(trace_fn(y))
+    return y, kl_trace
+
+
 def tsne(
     features: np.ndarray | None = None,
     *,
@@ -122,13 +288,21 @@ def tsne(
     n_components: int = 2,
     init: str = "pca",
     seed: int = 0,
+    method: str = "auto",
+    theta: float = 0.5,
 ) -> TSNEResult:
     """Embed rows into ``n_components`` dimensions.
 
     Exactly one of ``features`` / ``distances`` must be given.  ``init`` is
-    ``"pca"`` (deterministic, needs features) or ``"random"``.  Perplexity
-    is clamped to ``(n - 1) / 3`` when the data set is small, the standard
-    guardrail.
+    ``"pca"`` (deterministic, needs features) or ``"random"``; asking for
+    PCA with only a distance matrix degrades to random init — the run
+    logs a structured warning and records the fallback in
+    ``TSNEResult.effective_init``.  Perplexity is clamped to
+    ``(n - 1) / 3`` when the data set is small, the standard guardrail.
+
+    ``method`` selects the gradient engine: ``"exact"`` (dense, ground
+    truth), ``"bh"`` (Barnes–Hut at accuracy knob ``theta``, 2-D only) or
+    ``"auto"`` (Barnes–Hut from ``BH_THRESHOLD`` points up).
 
     Raises
     ------
@@ -141,52 +315,124 @@ def tsne(
         raise ValueError(f"init must be 'pca' or 'random', got {init!r}")
     if n_iter < 1:
         raise ValueError(f"n_iter must be positive, got {n_iter}")
+    if method not in TSNE_METHODS:
+        raise ValueError(
+            f"method must be one of {TSNE_METHODS}, got {method!r}"
+        )
+    if not 0.0 < theta <= 1.0:
+        raise ValueError(f"theta must be in (0, 1], got {theta}")
     if distances is None:
         assert features is not None
         dist = pairwise_distances(features, metric=metric)
     else:
         dist = validate_distance_matrix(distances)
-        if init == "pca":
-            if features is None:
-                init = "random"  # PCA needs raw features
+    effective_init = init
+    if init == "pca" and features is None:
+        # PCA needs raw features; warn instead of silently degrading.
+        effective_init = "random"
+        obs.get_logger().warning(
+            "tsne.init_degraded",
+            requested="pca",
+            effective="random",
+            reason="pca init needs raw features, got a distance matrix",
+        )
     n = dist.shape[0]
     if n < 3:
         raise ValueError(f"need at least 3 points for t-SNE, got {n}")
+    if method == "bh" and n_components != 2:
+        raise ValueError(
+            f"Barnes–Hut t-SNE is 2-D only, got n_components={n_components}"
+        )
+    use_bh = method == "bh" or (
+        method == "auto" and n >= BH_THRESHOLD and n_components == 2
+    )
+    engine = "bh" if use_bh else "exact"
     perplexity = float(min(perplexity, max(2.0, (n - 1) / 3.0)))
 
-    p = joint_probabilities(dist, perplexity)
-    rng = np.random.default_rng(seed)
-    if init == "pca" and features is not None:
-        base = pca(np.asarray(features, dtype=np.float64), n_components).embedding
-        scale = base[:, 0].std() or 1.0
-        y = base / scale * 1e-4
-    else:
-        y = rng.normal(0.0, 1e-4, size=(n, n_components))
-
-    velocity = np.zeros_like(y)
-    gains = np.ones_like(y)
-    kl_trace: list[float] = []
-    exaggerated = p * early_exaggeration
-    with obs.span("kernel.tsne", n_points=n, n_iter=n_iter):
-        for iteration in range(n_iter):
-            current_p = exaggerated if iteration < exaggeration_iter else p
-            q, kernel = _q_matrix(y)
-            # Gradient: 4 * sum_j (p_ij - q_ij) * kernel_ij * (y_i - y_j)
-            coeff = (current_p - q) * kernel
-            grad = 4.0 * ((np.diag(coeff.sum(axis=1)) - coeff) @ y)
-            momentum = 0.5 if iteration < exaggeration_iter else 0.8
-            same_sign = np.sign(grad) == np.sign(velocity)
-            gains = np.where(same_sign, gains * 0.8, gains + 0.2)
-            np.clip(gains, 0.01, None, out=gains)
-            velocity = momentum * velocity - learning_rate * gains * grad
-            y = y + velocity
-            y = y - y.mean(axis=0, keepdims=True)
-            if iteration % 50 == 0 or iteration == n_iter - 1:
-                kl_trace.append(_kl(p, q))
-    q, _ = _q_matrix(y)
-    kl = _kl(p, q)
     registry = obs.get_registry()
+    with obs.span(
+        "kernel.tsne", n_points=n, n_iter=n_iter, method=engine
+    ), registry.timer("kernel_runtime_seconds", kernel="tsne"):
+        p = joint_probabilities(dist, perplexity)
+        rng = np.random.default_rng(seed)
+        if effective_init == "pca":
+            assert features is not None
+            base = pca(np.asarray(features, dtype=np.float64), n_components).embedding
+            scale = base[:, 0].std() or 1.0
+            y = base / scale * 1e-4
+        else:
+            y = rng.normal(0.0, 1e-4, size=(n, n_components))
+
+        if use_bh:
+            rows, cols, vals = _sparse_joint(p, perplexity)
+            rows32 = rows.astype(np.int32)
+            cols32 = cols.astype(np.int32)
+            vals32 = vals.astype(np.float32)
+            vals_exag = (early_exaggeration * vals).astype(np.float32)
+            one = np.float32(1.0)
+            plan_box: list = [None]
+
+            def grad_fn(y: np.ndarray, iteration: int) -> np.ndarray:
+                if plan_box[0] is None or iteration % _REPLAN_EVERY == 0:
+                    plan_box[0] = plan_repulsion(y, theta=theta)
+                rep, z = run_plan(plan_box[0], y)
+                # Attraction over the sparse P support, float32 like the
+                # repulsion traversal (the kept tail is a ~1e-2
+                # approximation already).
+                yx = np.ascontiguousarray(y[:, 0], dtype=np.float32)
+                yy = np.ascontiguousarray(y[:, 1], dtype=np.float32)
+                dx = np.take(yx, rows32)
+                dx -= np.take(yx, cols32)
+                dy = np.take(yy, rows32)
+                dy -= np.take(yy, cols32)
+                qn = dx * dx
+                qn += dy * dy
+                qn += one
+                np.reciprocal(qn, out=qn)
+                qn *= vals_exag if iteration < exaggeration_iter else vals32
+                dx *= qn
+                dy *= qn
+                attr = np.empty((n, 2))
+                attr[:, 0] = np.bincount(rows32, weights=dx, minlength=n)
+                attr[:, 1] = np.bincount(rows32, weights=dy, minlength=n)
+                return 4.0 * (attr - rep / max(z, _P_MIN))
+
+            def trace_fn(y: np.ndarray) -> float:
+                # Sparse-support approximation of Eq. 1 (the dropped tail
+                # of P carries negligible mass); the final objective in
+                # the result is still computed densely below.
+                delta = y[rows] - y[cols]
+                q_num = 1.0 / (1.0 + (delta**2).sum(axis=1))
+                if plan_box[0] is not None:
+                    _, z = run_plan(plan_box[0], y)
+                else:
+                    _, z = repulsion(y, theta=theta)
+                q = np.clip(q_num / max(z, _P_MIN), _P_MIN, None)
+                return float((vals * np.log(vals / q)).sum())
+
+        else:
+            exaggerated = p * early_exaggeration
+
+            def grad_fn(y: np.ndarray, iteration: int) -> np.ndarray:
+                current_p = (
+                    exaggerated if iteration < exaggeration_iter else p
+                )
+                q, kernel = _q_matrix(y)
+                # Gradient: 4 * sum_j (p_ij - q_ij) * kernel_ij * (y_i - y_j)
+                coeff = (current_p - q) * kernel
+                return 4.0 * ((np.diag(coeff.sum(axis=1)) - coeff) @ y)
+
+            def trace_fn(y: np.ndarray) -> float:
+                q, _ = _q_matrix(y)
+                return _kl(p, q)
+
+        y, kl_trace = _descend(
+            grad_fn, y, n_iter, learning_rate, exaggeration_iter, trace_fn
+        )
+        q, _ = _q_matrix(y)
+        kl = _kl(p, q)
     registry.counter("kernel_runs_total", kernel="tsne").inc()
+    registry.counter("kernel_method_total", kernel="tsne", method=engine).inc()
     registry.histogram(
         "kernel_iterations", buckets=obs.COUNT_BUCKETS, kernel="tsne"
     ).observe(n_iter)
@@ -197,4 +443,6 @@ def tsne(
         n_iter=n_iter,
         perplexity=perplexity,
         kl_trace=kl_trace,
+        method=engine,
+        effective_init=effective_init,
     )

@@ -11,17 +11,21 @@ Endpoints mirror what the paper's three views request from the logic layer:
 ``GET  /api/customers/<id>``          one customer's metadata
 ``GET  /api/customers/<id>/readings`` readings; ``start``/``end`` hour params
 ``GET  /api/embedding``               view C coordinates; params ``method``,
-                                      ``metric``, ``perplexity``, ``seed``
+                                      ``metric``, ``perplexity``, ``seed``,
+                                      ``tsne_method`` (auto/exact/bh) and
+                                      Barnes–Hut ``theta``
 ``POST /api/selection``               run a selection gesture; body gives
                                       ``type`` (rect/radius/knn/lasso) and
                                       geometry; returns indices, customer
                                       ids, pattern label and view-B profile
 ``GET  /api/density``                 Eq. 3 heat-map grid for a window;
                                       optional ``bandwidth_m`` (metres,
-                                      Silverman's rule when absent)
+                                      Silverman's rule when absent) and
+                                      ``kde_method`` (auto/exact/binned)
 ``GET  /api/shift``                   Eq. 4 stats + major flows between two
                                       windows (``t1_start`` ... ``t2_end``);
-                                      optional ``bandwidth_m``
+                                      optional ``bandwidth_m``,
+                                      ``kde_method``
 ``GET  /api/kmeans``                  S1d baseline labels; param ``k``
 ``POST /api/sql``                     ad-hoc SELECT over the customers
                                       table; body ``{"query": ...}``
@@ -418,6 +422,19 @@ class VapApp:
             for record in snapshot["histograms"]
             if record["name"] == "pipeline_seconds"
         ]
+        kernels = [
+            {
+                "kernel": record["labels"].get("kernel", "?"),
+                "count": record["count"],
+                "mean_seconds": (
+                    record["sum"] / record["count"] if record["count"] else 0.0
+                ),
+                "p50": record["p50"],
+                "p99": record["p99"],
+            }
+            for record in snapshot["histograms"]
+            if record["name"] == "kernel_runtime_seconds"
+        ]
         throttled = sum(
             record["value"]
             for record in snapshot["counters"]
@@ -440,6 +457,7 @@ class VapApp:
             "errors": errors,
             "cache": cache,
             "ops": ops,
+            "kernels": kernels,
             "backpressure": {
                 "inflight": inflight,
                 "throttled_total": throttled,
@@ -548,6 +566,8 @@ class VapApp:
             perplexity=request.param_float("perplexity", 30.0),
             n_iter=request.param_int("n_iter", 500),
             seed=request.param_int("seed", 0),
+            tsne_method=request.param_str("tsne_method", "auto"),
+            theta=request.param_float("theta", 0.5),
         )
         return {
             "method": info.method,
@@ -621,7 +641,11 @@ class VapApp:
 
     def density(self, request: Request) -> dict:
         window = self._window(request, "t")
-        grid = self.session.density(window, bandwidth_m=self._bandwidth(request))
+        grid = self.session.density(
+            window,
+            bandwidth_m=self._bandwidth(request),
+            method=request.param_str("kde_method", "auto"),
+        )
         return {
             "nx": grid.spec.nx,
             "ny": grid.spec.ny,
@@ -638,7 +662,12 @@ class VapApp:
     def shift(self, request: Request) -> dict:
         t1 = self._window(request, "t1")
         t2 = self._window(request, "t2")
-        field = self.session.shift(t1, t2, bandwidth_m=self._bandwidth(request))
+        field = self.session.shift(
+            t1,
+            t2,
+            bandwidth_m=self._bandwidth(request),
+            method=request.param_str("kde_method", "auto"),
+        )
         flows = major_flows(field)
         return {
             "energy": field.energy(),

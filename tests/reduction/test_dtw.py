@@ -75,6 +75,18 @@ class TestDtwMatrix:
         with pytest.raises(ValueError, match="2-D"):
             dtw_distance_matrix(rng.normal(size=10))
 
+    def test_fleet_scale_guard(self, rng):
+        """Oversize inputs are rejected up front with a pointer at the
+        sampled path, not left to run the O(n^2) loop for hours."""
+        feats = rng.normal(size=(600, 8))
+        with pytest.raises(ValueError, match="max_rows"):
+            dtw_distance_matrix(feats)
+        with pytest.raises(ValueError, match="[Ss]ample"):
+            dtw_distance_matrix(feats)
+        # An explicit opt-in raises the ceiling.
+        out = dtw_distance_matrix(feats[:20], max_rows=20)
+        assert out.shape == (20, 20)
+
     def test_usable_by_reducers(self, rng):
         """The DTW matrix plugs straight into t-SNE/MDS as distances."""
         from repro.core.reduction.mds import mds

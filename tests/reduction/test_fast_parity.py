@@ -1,0 +1,131 @@
+"""Parity suite: fast kernels against their exact ground-truth twins.
+
+The exact paths stay the verified reference; every approximation here must
+stay within a quantified distance of them.  These tests are the gate the
+CI perf-smoke job enforces (timings are never asserted — only parity).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.perf import _blob_features, _dtw_row_sweep
+from repro.core.reduction.bh import build_tree, plan_repulsion, repulsion
+from repro.core.reduction.dtw import dtw_distance
+from repro.core.reduction.procrustes import procrustes_align
+from repro.core.reduction.tsne import (
+    _perplexity_search,
+    _perplexity_search_loop,
+    tsne,
+)
+
+
+@pytest.fixture(scope="module")
+def bench_city():
+    """Clustered 24-D features, the regime the paper's view C embeds."""
+    return _blob_features(300, seed=3)
+
+
+class TestBarnesHutParity:
+    def test_theta_zero_matches_exact_repulsion(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(200, 2))
+        rep, z = repulsion(points, theta=0.0)
+        diff = points[:, None, :] - points[None, :, :]
+        d2 = (diff**2).sum(axis=2)
+        q = 1.0 / (1.0 + d2)
+        np.fill_diagonal(q, 0.0)
+        z_exact = q.sum()
+        rep_exact = ((q**2)[:, :, None] * diff).sum(axis=1)
+        assert z == pytest.approx(z_exact, rel=1e-5)
+        np.testing.assert_allclose(rep, rep_exact, rtol=1e-4, atol=1e-7)
+
+    def test_theta_half_repulsion_close(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(500, 2)) * 3.0
+        rep, _ = repulsion(points, theta=0.5)
+        rep_exact, _ = repulsion(points, theta=0.0)
+        scale = np.abs(rep_exact).max()
+        assert np.abs(rep - rep_exact).max() / scale < 0.05
+
+    def test_final_kl_within_5_percent(self, bench_city):
+        exact = tsne(
+            bench_city, metric="euclidean", n_iter=500, seed=0, method="exact"
+        )
+        fast = tsne(
+            bench_city, metric="euclidean", n_iter=500, seed=0, method="bh"
+        )
+        assert fast.kl_divergence <= exact.kl_divergence * 1.05
+        assert fast.method == "bh"
+        assert exact.method == "exact"
+
+    def test_procrustes_disparity_small(self, bench_city):
+        exact = tsne(
+            bench_city, metric="euclidean", n_iter=500, seed=0, method="exact"
+        )
+        fast = tsne(
+            bench_city, metric="euclidean", n_iter=500, seed=0, method="bh"
+        )
+        _, disparity = procrustes_align(fast.embedding, exact.embedding)
+        # Same init, same P: the approximate descent must land on the same
+        # layout up to similarity transform, not merely a same-quality one.
+        assert disparity < 0.25
+
+    def test_auto_threshold_selects_engine(self, bench_city):
+        small = tsne(bench_city[:60], n_iter=20, method="auto")
+        assert small.method == "exact"
+        forced = tsne(bench_city[:60], n_iter=20, method="bh")
+        assert forced.method == "bh"
+
+    def test_tree_mass_conservation(self):
+        rng = np.random.default_rng(4)
+        points = rng.normal(size=(777, 2))
+        tree = build_tree(points)
+        assert tree.count[0] == 777
+        plan = plan_repulsion(points, theta=0.5)
+        # Every point interacts with every other exactly once: far cell
+        # masses plus leaf partners (minus self) must total n-1 per point.
+        partners = np.zeros(777)
+        np.add.at(partners, plan.far_pid, plan.far_mass.astype(np.float64))
+        np.add.at(partners, plan.leaf_pid, plan.leaf_mask.astype(np.float64))
+        np.testing.assert_allclose(partners, 776.0)
+
+    def test_invalid_theta(self, bench_city):
+        with pytest.raises(ValueError, match="theta"):
+            tsne(bench_city, n_iter=10, method="bh", theta=1.5)
+        with pytest.raises(ValueError, match="method"):
+            tsne(bench_city, n_iter=10, method="fft")
+
+
+class TestPerplexityParity:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_betas_match_loop(self, seed):
+        feats = _blob_features(120, seed=seed)
+        diff = feats[:, None, :] - feats[None, :, :]
+        dist = np.sqrt((diff * diff).sum(axis=2))
+        _, betas_loop = _perplexity_search_loop(dist, perplexity=20.0)
+        probs_vec, betas_vec = _perplexity_search(dist, perplexity=20.0)
+        np.testing.assert_allclose(betas_vec, betas_loop, rtol=1e-9)
+        # Row entropies hit the perplexity target.
+        row_sums = probs_vec.sum(axis=1)
+        np.testing.assert_allclose(row_sums, 1.0, rtol=1e-9)
+
+    def test_duplicate_points(self):
+        feats = np.repeat(_blob_features(15, seed=2), 3, axis=0)
+        diff = feats[:, None, :] - feats[None, :, :]
+        dist = np.sqrt((diff * diff).sum(axis=2))
+        probs, betas = _perplexity_search(dist, perplexity=5.0)
+        _, betas_loop = _perplexity_search_loop(dist, perplexity=5.0)
+        np.testing.assert_allclose(betas, betas_loop, rtol=1e-9)
+        assert np.isfinite(probs).all()
+
+
+class TestDtwParity:
+    @pytest.mark.parametrize("shape", [(50, 50, 5), (96, 80, 20), (40, 55, 15)])
+    def test_bit_identical_to_row_sweep(self, shape):
+        n, m, band = shape
+        rng = np.random.default_rng(n + m)
+        a = rng.normal(size=n)
+        b = rng.normal(size=m)
+        want = _dtw_row_sweep(a, b, band)
+        got = dtw_distance(a, b, band=band, normalize=False)
+        assert got == want  # exact same additions in the same order

@@ -125,8 +125,11 @@ class TestTsne:
         )
 
     def test_random_init(self, three_blobs):
+        # Full default-length run: at 300 iterations the outcome sits on
+        # the 2.0 threshold and flips with last-bit arithmetic changes
+        # (t-SNE descent is chaotic); converged runs pass with margin.
         feats, labels = three_blobs
-        result = tsne(feats, perplexity=10, n_iter=300, init="random", seed=5)
+        result = tsne(feats, perplexity=10, n_iter=500, init="random", seed=5)
         assert _cluster_separation(result.embedding, labels) > 2.0
 
     def test_bad_init_name(self, three_blobs):

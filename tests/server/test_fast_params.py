@@ -1,0 +1,69 @@
+"""Fast-kernel query params on the REST API and telemetry kernel stats."""
+
+import pytest
+
+from repro.server import TestClient, VapApp
+
+
+@pytest.fixture(scope="module")
+def client(small_session, small_city):
+    return TestClient(VapApp(small_session, layout=small_city.layout))
+
+
+class TestEmbeddingParams:
+    def test_tsne_method_forced_bh(self, client):
+        data = client.get(
+            "/api/embedding?n_iter=30&tsne_method=bh&theta=0.6"
+        ).json
+        assert len(data["points"]) == len(data["customer_ids"])
+
+    def test_unknown_tsne_method_is_400(self, client):
+        response = client.get("/api/embedding?n_iter=30&tsne_method=fft")
+        assert response.status == 400
+        assert "method" in response.json["error"]
+
+    def test_bad_theta_is_400(self, client):
+        response = client.get("/api/embedding?n_iter=30&tsne_method=bh&theta=7")
+        assert response.status == 400
+
+    def test_engines_cached_separately(self, small_session):
+        exact = small_session.embed(n_iter=30, tsne_method="exact")
+        fast = small_session.embed(n_iter=30, tsne_method="bh")
+        assert exact is not fast
+
+
+class TestDensityParams:
+    def test_kde_method_param(self, client):
+        exact = client.get("/api/density?t_start=0&t_end=24&kde_method=exact")
+        assert exact.ok
+        binned = client.get(
+            "/api/density?t_start=0&t_end=24&kde_method=binned"
+            "&bandwidth_m=2500"
+        )
+        assert binned.ok
+        assert len(binned.json["values"]) == binned.json["ny"]
+
+    def test_unknown_kde_method_is_400(self, client):
+        response = client.get("/api/density?t_start=0&t_end=24&kde_method=fft")
+        assert response.status == 400
+        assert "method" in response.json["error"]
+
+    def test_shift_accepts_kde_method(self, client):
+        response = client.get(
+            "/api/shift?t1_start=24&t1_end=26&t2_start=30&t2_end=32"
+            "&kde_method=exact"
+        )
+        assert response.ok
+        assert "energy" in response.json
+
+
+class TestTelemetryKernels:
+    def test_kernel_runtimes_reported(self, client):
+        client.get("/api/embedding?n_iter=30")
+        client.get("/api/density?t_start=0&t_end=24")
+        data = client.get("/api/telemetry").json
+        kernels = {entry["kernel"] for entry in data["kernels"]}
+        assert {"tsne", "kde"} <= kernels
+        for entry in data["kernels"]:
+            assert entry["count"] >= 1
+            assert entry["mean_seconds"] >= 0.0

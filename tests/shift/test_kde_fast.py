@@ -1,0 +1,100 @@
+"""Parity and dispatch tests for the binned KDE engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.shift.grids import GridSpec
+from repro.core.shift.kde import BINNED_THRESHOLD, kde_density
+
+
+def _random_city(n, seed=0):
+    rng = np.random.default_rng(seed)
+    pos = np.column_stack(
+        [116.0 + rng.random(n) * 0.1, 39.0 + rng.random(n) * 0.1]
+    )
+    return pos, rng.gamma(2.0, 1.0, n)
+
+
+def _clustered_city(n, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.column_stack(
+        [116.0 + rng.random(6) * 0.1, 39.0 + rng.random(6) * 0.1]
+    )
+    pos = centers[rng.integers(0, 6, n)] + rng.normal(0, 0.004, (n, 2))
+    return pos, rng.gamma(2.0, 1.0, n)
+
+
+def _max_rel_error(a, b):
+    return float(np.abs(a.values - b.values).max() / b.values.max())
+
+
+class TestBinnedParity:
+    @pytest.mark.parametrize("maker", [_random_city, _clustered_city])
+    def test_binned_matches_exact(self, maker):
+        pos, weights = maker(4000)
+        spec = GridSpec.covering(pos, nx=96, ny=96)
+        exact = kde_density(pos, weights, spec, method="exact")
+        binned = kde_density(pos, weights, spec, method="binned")
+        assert _max_rel_error(binned, exact) < 1e-3
+
+    def test_unweighted_and_explicit_bandwidth(self):
+        pos, _ = _clustered_city(3000, seed=5)
+        spec = GridSpec.covering(pos, nx=64, ny=64)
+        exact = kde_density(pos, None, spec, bandwidth_m=600.0, method="exact")
+        binned = kde_density(pos, None, spec, bandwidth_m=600.0, method="binned")
+        assert _max_rel_error(binned, exact) < 1e-3
+
+    def test_points_outside_grid_still_contribute(self):
+        # Density grids cover a sub-window; off-grid mass must still flow
+        # into nearby cells under both engines.
+        pos, weights = _random_city(2500, seed=7)
+        inner = GridSpec.covering(pos[:500], nx=48, ny=48)
+        exact = kde_density(pos, weights, inner, method="exact")
+        binned = kde_density(pos, weights, inner, method="binned")
+        assert _max_rel_error(binned, exact) < 1e-3
+
+    def test_mass_conserved(self):
+        pos, weights = _clustered_city(5000, seed=1)
+        spec = GridSpec.covering(pos, nx=96, ny=96)
+        exact = kde_density(pos, weights, spec, method="exact")
+        binned = kde_density(pos, weights, spec, method="binned")
+        assert binned.total_mass() == pytest.approx(
+            exact.total_mass(), rel=1e-3
+        )
+
+
+class TestDispatch:
+    def test_auto_small_is_exact(self):
+        pos, weights = _random_city(300)
+        spec = GridSpec.covering(pos, nx=48, ny=48)
+        auto = kde_density(pos, weights, spec, method="auto")
+        exact = kde_density(pos, weights, spec, method="exact")
+        np.testing.assert_array_equal(auto.values, exact.values)
+
+    def test_auto_large_is_binned(self):
+        pos, weights = _random_city(BINNED_THRESHOLD + 500)
+        spec = GridSpec.covering(pos, nx=64, ny=64)
+        auto = kde_density(pos, weights, spec, method="auto")
+        binned = kde_density(pos, weights, spec, method="binned")
+        np.testing.assert_array_equal(auto.values, binned.values)
+
+    def test_auto_narrow_bandwidth_falls_back_to_exact(self):
+        # A bandwidth under two cells cannot be represented well on the
+        # lattice; auto must not silently pick the binned engine there.
+        pos, weights = _random_city(BINNED_THRESHOLD + 500)
+        spec = GridSpec.covering(pos, nx=64, ny=64)
+        auto = kde_density(pos, weights, spec, bandwidth_m=50.0, method="auto")
+        exact = kde_density(pos, weights, spec, bandwidth_m=50.0, method="exact")
+        np.testing.assert_array_equal(auto.values, exact.values)
+
+    def test_binned_rejects_subcell_bandwidth(self):
+        pos, weights = _random_city(1000)
+        spec = GridSpec.covering(pos, nx=64, ny=64)
+        with pytest.raises(ValueError, match="binned"):
+            kde_density(pos, weights, spec, bandwidth_m=1.0, method="binned")
+
+    def test_unknown_method(self):
+        pos, weights = _random_city(100)
+        spec = GridSpec.covering(pos, nx=32, ny=32)
+        with pytest.raises(ValueError, match="method"):
+            kde_density(pos, weights, spec, method="fft")

@@ -173,3 +173,30 @@ class TestStats:
         root = ET.fromstring(out_svg.read_text())
         assert root.tag.endswith("svg")
         assert "VAP telemetry" in out_svg.read_text()
+
+
+class TestBench:
+    def test_quick_single_kernel_writes_document(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_PERF.json"
+        code = main(["bench", "--quick", "--kernel", "dtw", "--out", str(out)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "dtw" in printed
+        assert f"perf document written to {out}" in printed
+        document = json.loads(out.read_text())
+        assert document["schema"] == 1
+        assert document["quick"] is True
+        run = document["kernels"]["dtw"]["runs"][0]
+        assert run["identical"] is True
+        assert run["exact_seconds"] >= 0.0
+
+    def test_unknown_kernel_rejected(self, tmp_path):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError, match="unknown kernels"):
+            main(
+                ["bench", "--quick", "--kernel", "sorting",
+                 "--out", str(tmp_path / "b.json")]
+            )
