@@ -13,7 +13,8 @@ Six commands cover the tool's operational surface:
   the self-monitoring telemetry panel;
 - ``serve`` — serve the REST API with the threaded WSGI server
   (``--threads``/``--max-inflight``/``--deadline-seconds`` control
-  concurrency and backpressure; same as ``python -m repro.server``);
+  concurrency and backpressure, ``--fault-plan`` arms deterministic
+  chaos injection; same as ``python -m repro.server``);
 - ``bench`` — time the fast kernels against their exact twins and write
   the machine-readable ``BENCH_PERF.json`` perf-trajectory document
   (``--quick`` for the CI smoke variant).
@@ -122,6 +123,15 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--deadline-seconds", type=float, default=None,
         help="per-request time budget for heavy kernel endpoints",
+    )
+    serve.add_argument(
+        "--fault-plan", type=str, default=None, metavar="PLAN",
+        help="arm a deterministic fault-injection plan (chaos demo): "
+             "JSON file, inline JSON, or 'site=kind:rate' pairs",
+    )
+    serve.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the fault plan's injection streams",
     )
     return parser
 
@@ -341,6 +351,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     ]
     if args.deadline_seconds is not None:
         argv += ["--deadline-seconds", str(args.deadline_seconds)]
+    if args.fault_plan is not None:
+        argv += ["--fault-plan", args.fault_plan,
+                 "--fault-seed", str(args.fault_seed)]
     server_main(argv)
     return 0
 

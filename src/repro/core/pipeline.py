@@ -49,8 +49,13 @@ from repro.preprocess.features import FeatureKind, extract_features
 from repro.preprocess.imputation import impute
 from repro.preprocess.normalize import normalize_matrix
 from repro.preprocess.quality import DataQualityReport, assess_quality
+from repro.resilience.breaker import BreakerOpen, CircuitBreaker
 
 EMBED_METHODS = ("tsne", "mds", "mds_classical")
+
+# Kernel operations guarded by a circuit breaker (and therefore able to
+# degrade to their last-good result when the breaker is open).
+BREAKER_OPS = ("embed", "density")
 
 
 @dataclass(slots=True)
@@ -87,6 +92,15 @@ class VapSession:
         not grow without limit.
     max_densities:
         LRU bound on the density-grid cache (windowed KDE surfaces).
+    breakers:
+        Per-operation circuit breakers for the heavy kernels (keys from
+        :data:`BREAKER_OPS`).  Defaults are built when omitted; pass
+        ``{}`` to disable breaking entirely.  While a breaker is open,
+        cache *misses* for its operation return the last successfully
+        computed result with a ``degraded`` marker (see
+        :meth:`embed_degradable`) instead of running the kernel; with no
+        last-good result, :class:`~repro.resilience.breaker.BreakerOpen`
+        propagates and the API layer answers 503 + Retry-After.
     """
 
     def __init__(
@@ -97,6 +111,7 @@ class VapSession:
         metrics: obs.MetricsRegistry | None = None,
         max_embeddings: int = 16,
         max_densities: int = 32,
+        breakers: dict[str, CircuitBreaker] | None = None,
     ) -> None:
         self.db = db
         self._metrics = metrics
@@ -128,6 +143,14 @@ class VapSession:
         )
         self._grid_lock = threading.RLock()
         self._grid: GridSpec | None = None
+        if breakers is None:
+            breakers = {
+                op: CircuitBreaker(name=f"pipeline.{op}", metrics=metrics)
+                for op in BREAKER_OPS
+            }
+        self.breakers = breakers
+        self._last_good: dict[str, object] = {}
+        self._last_good_lock = threading.Lock()
 
     @classmethod
     def from_city(cls, dataset, use_raw: bool = True, **kwargs) -> "VapSession":
@@ -152,7 +175,15 @@ class VapSession:
         self.metrics.counter("pipeline_cache_evictions_total", cache=cache).inc()
 
     def _flight(self, cache: SingleFlightCache, op: str, key, compute):
-        """Run ``compute`` through a cache with single-flight semantics.
+        """Run ``compute`` through a cache with single-flight semantics."""
+        value, _ = self._flight_degradable(cache, op, key, compute)
+        return value
+
+    def _flight_degradable(
+        self, cache: SingleFlightCache, op: str, key, compute
+    ) -> tuple[object, bool]:
+        """Single-flight caching with circuit breaking; returns
+        ``(value, degraded)``.
 
         Leaders count as cache misses, hits and deduplicated waiters as
         hits (they did not compute); both leader and waiter outcomes are
@@ -160,29 +191,55 @@ class VapSession:
         bound request deadline caps how long a waiter blocks and is
         checked before leading a computation.
 
+        When ``op`` has a circuit breaker, the leader computes through
+        it; a refused call (breaker open) degrades to the operation's
+        last-good result — ``degraded`` True — rather than erroring, and
+        propagates :class:`~repro.resilience.breaker.BreakerOpen` only
+        when there is nothing to fall back to.
+
         Raises
         ------
         DeadlineExceeded
             When the bound deadline expired, or elapsed while waiting
             for another thread's in-flight computation.
+        BreakerOpen
+            When the breaker refuses the call and no last-good result
+            exists for this operation.
         """
         deadline = current_deadline()
         timeout = None
         if deadline is not None:
             deadline.check(op)
             timeout = deadline.remaining()
+        breaker = self.breakers.get(op)
+        guarded = compute if breaker is None else (lambda: breaker.call(compute))
         try:
-            value, outcome = cache.get_or_compute(key, compute, timeout=timeout)
+            value, outcome = cache.get_or_compute(key, guarded, timeout=timeout)
         except WaitTimeout:
             raise DeadlineExceeded(
                 f"request deadline exceeded waiting for in-flight {op}"
             ) from None
+        except BreakerOpen:
+            with self._last_good_lock:
+                fallback = self._last_good.get(op)
+            if fallback is None:
+                raise
+            self.metrics.counter("pipeline_degraded_total", op=op).inc()
+            obs.log_event(
+                "pipeline.degraded",
+                level="warning",
+                op=op,
+                reason="breaker_open",
+            )
+            return fallback, True
         self._cache(op, hit=outcome == HIT)
         if outcome != HIT:
             self.metrics.counter(
                 "pipeline_singleflight_total", op=op, result=outcome
             ).inc()
-        return value
+        with self._last_good_lock:
+            self._last_good[op] = value
+        return value, False
 
     # ------------------------------------------------------------------
     # typical patterns (views B and C)
@@ -219,6 +276,43 @@ class VapSession:
         ------
         ValueError
             For an unknown method.
+        """
+        info, _ = self.embed_degradable(
+            method=method,
+            metric=metric,
+            feature_kind=feature_kind,
+            perplexity=perplexity,
+            n_iter=n_iter,
+            seed=seed,
+            tsne_method=tsne_method,
+            theta=theta,
+        )
+        return info
+
+    def embed_degradable(
+        self,
+        method: str = "tsne",
+        metric: str = "pearson",
+        feature_kind: FeatureKind | None = None,
+        perplexity: float = 30.0,
+        n_iter: int = 500,
+        seed: int = 0,
+        tsne_method: str = "auto",
+        theta: float = 0.5,
+    ) -> tuple[EmbeddingInfo, bool]:
+        """:meth:`embed`, reporting degradation: ``(info, degraded)``.
+
+        ``degraded`` is True when the embed circuit breaker refused the
+        computation and ``info`` is the session's last successfully
+        computed embedding (possibly for different parameters) — the
+        serving layer marks such responses instead of failing them.
+
+        Raises
+        ------
+        ValueError
+            For an unknown method.
+        BreakerOpen
+            Breaker open with no last-good embedding to fall back to.
         """
         if method not in EMBED_METHODS:
             raise ValueError(
@@ -276,7 +370,10 @@ class VapSession:
             )
             return info
 
-        return self._flight(self._embeddings, "embed", key, compute)
+        value, degraded = self._flight_degradable(
+            self._embeddings, "embed", key, compute
+        )
+        return value, degraded
 
     def selection_session(
         self, embedding: EmbeddingInfo | None = None
@@ -440,6 +537,30 @@ class VapSession:
         bandwidth, customers, grid, method)`` with single-flight misses,
         so concurrent identical heat-map requests run the KDE kernel once.
         """
+        grid, _ = self.density_degradable(
+            window, bandwidth_m=bandwidth_m, customer_ids=customer_ids,
+            method=method,
+        )
+        return grid
+
+    def density_degradable(
+        self,
+        window: HourWindow,
+        bandwidth_m: float | None = None,
+        customer_ids: list[int] | None = None,
+        method: str = "auto",
+    ) -> tuple[DensityGrid, bool]:
+        """:meth:`density`, reporting degradation: ``(grid, degraded)``.
+
+        ``degraded`` is True when the density circuit breaker refused
+        the computation and ``grid`` is the last successfully computed
+        surface (possibly for a different window).
+
+        Raises
+        ------
+        BreakerOpen
+            Breaker open with no last-good density to fall back to.
+        """
         spec = self.grid()
         ids_key = None if customer_ids is None else tuple(
             int(cid) for cid in customer_ids
@@ -459,7 +580,10 @@ class VapSession:
                     method=method,
                 )
 
-        return self._flight(self._densities, "density", key, compute)
+        value, degraded = self._flight_degradable(
+            self._densities, "density", key, compute
+        )
+        return value, degraded
 
     def shift(
         self,
@@ -470,11 +594,34 @@ class VapSession:
         method: str = "auto",
     ) -> ShiftField:
         """Eq. 4: the density difference between two windows."""
+        field, _ = self.shift_degradable(
+            t1, t2, bandwidth_m=bandwidth_m, customer_ids=customer_ids,
+            method=method,
+        )
+        return field
+
+    def shift_degradable(
+        self,
+        t1: HourWindow,
+        t2: HourWindow,
+        bandwidth_m: float | None = None,
+        customer_ids: list[int] | None = None,
+        method: str = "auto",
+    ) -> tuple[ShiftField, bool]:
+        """:meth:`shift`, reporting degradation: ``(field, degraded)``.
+
+        ``degraded`` is True when either underlying density came from
+        the breaker-open fallback path.
+        """
         with obs.span("pipeline.shift"), \
                 self.metrics.timer("pipeline_seconds", op="shift"):
-            before = self.density(t1, bandwidth_m, customer_ids, method)
-            after = self.density(t2, bandwidth_m, customer_ids, method)
-            return ShiftField.between(before, after)
+            before, degraded_1 = self.density_degradable(
+                t1, bandwidth_m, customer_ids, method
+            )
+            after, degraded_2 = self.density_degradable(
+                t2, bandwidth_m, customer_ids, method
+            )
+            return ShiftField.between(before, after), degraded_1 or degraded_2
 
     def flows(
         self,

@@ -38,6 +38,7 @@ from repro import obs
 from repro.core.reduction.bh import plan_repulsion, repulsion, run_plan
 from repro.core.reduction.distances import pairwise_distances, validate_distance_matrix
 from repro.core.reduction.pca import pca
+from repro.resilience.faults import fault_point
 
 _P_MIN = 1e-12
 
@@ -309,6 +310,7 @@ def tsne(
     ValueError
         On inconsistent inputs.
     """
+    fault_point("kernel.tsne")
     if (features is None) == (distances is None):
         raise ValueError("pass exactly one of features or distances")
     if init not in ("pca", "random"):

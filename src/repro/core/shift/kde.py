@@ -36,6 +36,7 @@ from numpy.lib.stride_tricks import sliding_window_view
 from repro import obs
 from repro.core.shift.grids import DensityGrid, GridSpec
 from repro.db.geo import meters_per_degree
+from repro.resilience.faults import fault_point
 
 KDE_METHODS = ("auto", "exact", "binned")
 
@@ -241,6 +242,7 @@ def kde_density(
         cell), or ``method="binned"`` with a bandwidth too narrow for the
         grid to represent.
     """
+    fault_point("kernel.kde")
     if method not in KDE_METHODS:
         raise ValueError(f"method must be one of {KDE_METHODS}, got {method!r}")
     positions = np.asarray(positions, dtype=np.float64)

@@ -1,0 +1,73 @@
+"""Resilience: retries, circuit breaking, deterministic fault injection.
+
+The production posture of the VAP reproduction (heavy traffic, near-real-
+time replay) requires the storage → stream → serving stack to *survive*
+transient faults rather than crash or serve torn state.  Three parts:
+
+- :class:`~repro.resilience.retry.RetryPolicy` — exponential backoff
+  with full jitter, seeded for replayable chaos runs, deadline-aware via
+  :mod:`repro.core.deadline`, retrying only transient exception classes;
+- :class:`~repro.resilience.breaker.CircuitBreaker` — closed/open/half-
+  open over a rolling failure-rate window; open circuits fail fast with
+  :class:`~repro.resilience.breaker.BreakerOpen` so the serving layer
+  degrades to cached results instead of stacking doomed kernel calls;
+- :mod:`~repro.resilience.faults` — seeded :class:`FaultPlan`s injecting
+  ``OSError``s, latency and torn bytes at named sites in ``db.storage``,
+  ``stream.feed`` and the kernel entry points, so every retry/breaker
+  behaviour is testable deterministically (``repro serve --fault-plan``
+  runs the same chaos against a live server).
+
+Counters and gauges (``retry_attempts_total``, ``breaker_state``,
+``faults_injected_total``) flow through the standard metrics registry
+and surface in ``/api/metrics`` and ``/api/telemetry``.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerOpen,
+    CircuitBreaker,
+)
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    active_injector,
+    disarmed,
+    fault_bytes,
+    fault_point,
+    injected,
+    install,
+)
+from repro.resilience.retry import (
+    DEFAULT_POLICY,
+    DEFAULT_RETRYABLE,
+    RetryExhausted,
+    RetryPolicy,
+)
+
+__all__ = [
+    "CLOSED",
+    "DEFAULT_POLICY",
+    "DEFAULT_RETRYABLE",
+    "HALF_OPEN",
+    "OPEN",
+    "BreakerOpen",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "RetryExhausted",
+    "RetryPolicy",
+    "active_injector",
+    "disarmed",
+    "fault_bytes",
+    "fault_point",
+    "injected",
+    "install",
+]

@@ -1,0 +1,384 @@
+"""Deterministic fault injection for chaos testing the VAP stack.
+
+The near-real-time mode (demo scenario S2) only earns the word
+"production" if the storage, stream and kernel layers survive the faults
+real infrastructure produces: transient I/O errors, latency spikes and
+torn writes.  This module makes those faults *reproducible*: a
+:class:`FaultPlan` is a seed plus a list of :class:`FaultSpec` rules,
+each naming an injection *site* (a string like ``"storage.load.meta"``),
+a fault *kind*, and a probability.  Installing a plan arms every
+:func:`fault_point` call in the code base; two runs with the same plan
+inject the same faults at the same call sequence.
+
+Sites are cheap when no plan is installed — a single module-global
+``None`` check — so instrumented production paths pay nothing.
+
+Kinds
+-----
+``error``
+    Raise an :class:`OSError` (the transient class the retry layer
+    handles) at the site.
+``latency``
+    Sleep ``seconds`` (through the injector's sleeper, patchable in
+    tests) and continue.
+``truncate``
+    Only meaningful at byte-producing sites that route their payload
+    through :func:`fault_bytes`: the payload is cut (and optionally
+    corrupted) so readers see torn data.
+
+Plans can be written as JSON documents or as compact command-line specs
+(``site=kind:rate`` pairs, comma-separated)::
+
+    storage.load.readings=error:0.2,stream.tick=latency:0.1:0.05
+
+meaning: 20% of readings loads raise OSError; 10% of stream ticks sleep
+50 ms.  ``repro serve --fault-plan`` accepts either form.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro import obs
+
+FAULT_KINDS = ("error", "latency", "truncate")
+
+
+class InjectedFault(OSError):
+    """The OSError subclass raised by ``error`` faults.
+
+    Being an :class:`OSError` it is retryable under the default
+    :class:`~repro.resilience.retry.RetryPolicy`; being a distinct type
+    lets tests assert a failure was injected rather than organic.
+    """
+
+    def __init__(self, site: str) -> None:
+        super().__init__(f"injected fault at {site}")
+        self.site = site
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """One injection rule: where, what, how often.
+
+    Parameters
+    ----------
+    site:
+        Injection-point name the rule applies to (exact match).
+    kind:
+        One of :data:`FAULT_KINDS`.
+    rate:
+        Probability in ``[0, 1]`` that an armed call triggers.
+    seconds:
+        Sleep duration for ``latency`` faults (ignored otherwise).
+    max_faults:
+        Stop triggering after this many injections (``None`` = no cap) —
+        lets a test arrange "the first save dies, the retry succeeds".
+    """
+
+    site: str
+    kind: str
+    rate: float = 1.0
+    seconds: float = 0.01
+    max_faults: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; pick one of {FAULT_KINDS}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+        if self.max_faults is not None and self.max_faults < 1:
+            raise ValueError(f"max_faults must be >= 1, got {self.max_faults}")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """A seed plus the fault rules it drives — the unit of chaos replay."""
+
+    specs: tuple[FaultSpec, ...]
+    seed: int = 0
+
+    @classmethod
+    def parse(cls, text: str, seed: int = 0) -> "FaultPlan":
+        """Parse the compact CLI form: ``site=kind:rate[:seconds]`` pairs.
+
+        Pairs are comma-separated; ``rate`` and ``seconds`` are optional
+        (default 1.0 and 0.01).  Raises :class:`ValueError` on malformed
+        specs with the offending fragment named.
+        """
+        specs: list[FaultSpec] = []
+        for fragment in filter(None, (p.strip() for p in text.split(","))):
+            site, eq, rule = fragment.partition("=")
+            if not eq or not site:
+                raise ValueError(
+                    f"bad fault spec {fragment!r}: expected site=kind:rate"
+                )
+            parts = rule.split(":")
+            kind = parts[0]
+            try:
+                rate = float(parts[1]) if len(parts) > 1 else 1.0
+                seconds = float(parts[2]) if len(parts) > 2 else 0.01
+            except ValueError:
+                raise ValueError(
+                    f"bad fault spec {fragment!r}: rate/seconds must be numbers"
+                ) from None
+            if len(parts) > 3:
+                raise ValueError(f"bad fault spec {fragment!r}: too many fields")
+            specs.append(
+                FaultSpec(site=site, kind=kind, rate=rate, seconds=seconds)
+            )
+        if not specs:
+            raise ValueError(f"fault plan {text!r} contains no specs")
+        return cls(specs=tuple(specs), seed=seed)
+
+    @classmethod
+    def from_json(cls, document: str | dict) -> "FaultPlan":
+        """Build a plan from a JSON document (text or parsed).
+
+        Shape::
+
+            {"seed": 7, "faults": [{"site": ..., "kind": ...,
+                                    "rate": 0.1, "seconds": 0.01,
+                                    "max_faults": 3}, ...]}
+        """
+        if isinstance(document, str):
+            document = json.loads(document)
+        if not isinstance(document, dict) or "faults" not in document:
+            raise ValueError('fault plan JSON must be {"faults": [...], ...}')
+        specs = tuple(
+            FaultSpec(
+                site=str(entry["site"]),
+                kind=str(entry["kind"]),
+                rate=float(entry.get("rate", 1.0)),
+                seconds=float(entry.get("seconds", 0.01)),
+                max_faults=entry.get("max_faults"),
+            )
+            for entry in document["faults"]
+        )
+        if not specs:
+            raise ValueError("fault plan JSON lists no faults")
+        return cls(specs=specs, seed=int(document.get("seed", 0)))
+
+    @classmethod
+    def load(cls, source: str, seed: int = 0) -> "FaultPlan":
+        """Load a plan from a JSON file path, inline JSON, or compact spec."""
+        path = Path(source)
+        if path.suffix == ".json" or path.is_file():
+            return cls.from_json(path.read_text())
+        if source.lstrip().startswith("{"):
+            return cls.from_json(source)
+        return cls.parse(source, seed=seed)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "faults": [
+                    {
+                        "site": s.site,
+                        "kind": s.kind,
+                        "rate": s.rate,
+                        "seconds": s.seconds,
+                        "max_faults": s.max_faults,
+                    }
+                    for s in self.specs
+                ],
+            },
+            indent=2,
+        )
+
+
+class FaultInjector:
+    """Armed instance of a :class:`FaultPlan`.
+
+    Per-site RNG streams are derived from ``(plan.seed, site)``, so the
+    decision sequence at each site depends only on the plan and the
+    site's own call order — not on how sites interleave across threads.
+
+    Parameters
+    ----------
+    plan:
+        The rules to arm.
+    sleeper:
+        Callable used by ``latency`` faults; ``time.sleep`` by default,
+        injectable so tests assert latency without waiting.
+    metrics:
+        Registry for ``faults_injected_total{site, kind}``; the process
+        default when omitted.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        sleeper: Callable[[float], None] = time.sleep,
+        metrics: obs.MetricsRegistry | None = None,
+    ) -> None:
+        self.plan = plan
+        self.sleeper = sleeper
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._rngs: dict[str, random.Random] = {}
+        self._fired: dict[int, int] = {}  # spec index -> injections so far
+        self.n_injected = 0
+
+    @property
+    def metrics(self) -> obs.MetricsRegistry:
+        return self._metrics if self._metrics is not None else obs.get_registry()
+
+    def _rng(self, site: str) -> random.Random:
+        rng = self._rngs.get(site)
+        if rng is None:
+            rng = self._rngs[site] = random.Random(f"{self.plan.seed}:{site}")
+        return rng
+
+    def _trigger(self, site: str) -> FaultSpec | None:
+        """Decide (under the lock) whether a fault fires at this call."""
+        with self._lock:
+            for index, spec in enumerate(self.plan.specs):
+                if spec.site != site:
+                    continue
+                fired = self._fired.get(index, 0)
+                if spec.max_faults is not None and fired >= spec.max_faults:
+                    continue
+                if self._rng(site).random() < spec.rate:
+                    self._fired[index] = fired + 1
+                    self.n_injected += 1
+                    return spec
+        return None
+
+    def check(self, site: str) -> None:
+        """Fire any armed ``error``/``latency`` fault at ``site``."""
+        spec = self._trigger(site)
+        if spec is None:
+            return
+        self.metrics.counter(
+            "faults_injected_total", site=site, kind=spec.kind
+        ).inc()
+        obs.log_event(
+            "fault.injected", level="warning", site=site, kind=spec.kind
+        )
+        if spec.kind == "latency":
+            self.sleeper(spec.seconds)
+        elif spec.kind == "error":
+            raise InjectedFault(site)
+        # "truncate" specs only act through fault_bytes.
+
+    def mangle(self, site: str, data: bytes) -> bytes:
+        """Apply any armed ``truncate`` fault at ``site`` to a payload."""
+        spec = self._trigger(site)
+        if spec is None:
+            return data
+        self.metrics.counter(
+            "faults_injected_total", site=site, kind=spec.kind
+        ).inc()
+        obs.log_event(
+            "fault.injected", level="warning", site=site, kind=spec.kind,
+            original_bytes=len(data),
+        )
+        if spec.kind == "latency":
+            self.sleeper(spec.seconds)
+            return data
+        if spec.kind == "error":
+            raise InjectedFault(site)
+        # Truncate to a deterministic fraction (at least one byte gone).
+        keep = min(len(data) // 2, max(len(data) - 1, 0))
+        return data[:keep]
+
+    def counts(self) -> dict[str, int]:
+        """Injections so far, keyed ``site:kind`` (JSON-ready)."""
+        with self._lock:
+            out: dict[str, int] = {}
+            for index, fired in self._fired.items():
+                spec = self.plan.specs[index]
+                key = f"{spec.site}:{spec.kind}"
+                out[key] = out.get(key, 0) + fired
+            return out
+
+
+# The process-wide armed injector; None keeps every fault_point a no-op.
+_active: FaultInjector | None = None
+_install_lock = threading.Lock()
+
+
+def active_injector() -> FaultInjector | None:
+    """The armed injector, if any (for telemetry surfaces)."""
+    return _active
+
+
+def install(
+    plan: FaultPlan | None,
+    sleeper: Callable[[float], None] = time.sleep,
+    metrics: obs.MetricsRegistry | None = None,
+) -> FaultInjector | None:
+    """Arm a plan process-wide (or disarm with ``None``); returns the injector."""
+    global _active
+    with _install_lock:
+        _active = (
+            FaultInjector(plan, sleeper=sleeper, metrics=metrics)
+            if plan is not None
+            else None
+        )
+        return _active
+
+
+@contextmanager
+def injected(
+    plan: FaultPlan,
+    sleeper: Callable[[float], None] = time.sleep,
+    metrics: obs.MetricsRegistry | None = None,
+) -> Iterator[FaultInjector]:
+    """Arm a plan for the duration of a block (tests), restoring the prior."""
+    global _active
+    with _install_lock:
+        previous = _active
+    injector = install(plan, sleeper=sleeper, metrics=metrics)
+    try:
+        yield injector
+    finally:
+        with _install_lock:
+            _active = previous
+
+
+@contextmanager
+def disarmed() -> Iterator[None]:
+    """Suspend any armed plan for the duration of a block.
+
+    The same injector object (with its RNG streams and counts intact) is
+    re-armed on exit, so a clean-baseline run inside a chaos session does
+    not perturb the session's injection sequence.
+    """
+    global _active
+    with _install_lock:
+        previous = _active
+        _active = None
+    try:
+        yield
+    finally:
+        with _install_lock:
+            _active = previous
+
+
+def fault_point(site: str) -> None:
+    """Declare an injection site; a no-op unless a plan is armed."""
+    injector = _active
+    if injector is not None:
+        injector.check(site)
+
+
+def fault_bytes(site: str, data: bytes) -> bytes:
+    """Route a byte payload through an injection site (torn-write faults)."""
+    injector = _active
+    if injector is not None:
+        return injector.mangle(site, data)
+    return data

@@ -1,0 +1,167 @@
+"""Retry with exponential backoff, full jitter, and deadline awareness.
+
+The storage and stream layers see the transient-fault classes
+(:class:`OSError`, :class:`TimeoutError`) that real meters, disks and
+networks produce; a :class:`RetryPolicy` turns "crash on the first
+hiccup" into "retry a bounded number of times, backing off".
+
+Backoff follows the *full jitter* scheme (delay drawn uniformly from
+``[0, min(max_delay, base_delay * multiplier**attempt)]``), which avoids
+synchronised retry storms across clients while keeping the expected
+delay half the capped exponential.  The randomness comes from a seeded
+:class:`random.Random`, so a policy constructed with the same seed
+produces the same delay sequence — chaos runs replay exactly.
+
+A policy is deadline-aware: when the calling context carries a
+:class:`~repro.core.deadline.Deadline` (see
+:func:`~repro.core.deadline.bind_deadline`), the policy stops retrying —
+and never sleeps past — the remaining budget, raising
+:class:`~repro.core.deadline.DeadlineExceeded` instead of burning a
+worker on work nobody is waiting for.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+from repro import obs
+from repro.core.deadline import DeadlineExceeded, current_deadline
+
+T = TypeVar("T")
+
+# The transient-fault classes retried by default: I/O hiccups and
+# timeouts.  ValueError/KeyError and friends are *not* here — bad input
+# stays bad however often you retry it.
+DEFAULT_RETRYABLE: tuple[type[BaseException], ...] = (OSError, TimeoutError)
+
+
+class RetryExhausted(Exception):
+    """Every attempt failed; carries the last underlying error."""
+
+    def __init__(self, site: str, attempts: int, last: BaseException) -> None:
+        super().__init__(
+            f"{site}: gave up after {attempts} attempts; last error: {last!r}"
+        )
+        self.site = site
+        self.attempts = attempts
+        self.last = last
+
+
+@dataclass(slots=True)
+class RetryPolicy:
+    """Bounded exponential backoff with full jitter.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries including the first (so ``1`` disables retrying).
+    base_delay:
+        Backoff cap for the first retry, seconds.
+    max_delay:
+        Absolute cap on any single backoff, seconds.
+    multiplier:
+        Exponential growth factor of the cap per retry.
+    retryable:
+        Exception classes worth retrying; anything else propagates
+        immediately.
+    seed:
+        Seed for the jitter stream (same seed → same delays).
+    sleeper / clock:
+        Injectable ``sleep``/monotonic-seconds callables for tests.
+    metrics:
+        Registry receiving ``retry_attempts_total{site}``; the process
+        default when omitted.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    retryable: tuple[type[BaseException], ...] = DEFAULT_RETRYABLE
+    seed: int = 0
+    sleeper: Callable[[float], None] = time.sleep
+    clock: Callable[[], float] = time.monotonic
+    metrics: obs.MetricsRegistry | None = None
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        self._rng = random.Random(self.seed)
+
+    def _registry(self) -> obs.MetricsRegistry:
+        return self.metrics if self.metrics is not None else obs.get_registry()
+
+    def backoff_cap(self, attempt: int) -> float:
+        """The jitter upper bound before retry ``attempt`` (0-based)."""
+        return min(self.max_delay, self.base_delay * self.multiplier**attempt)
+
+    def next_delay(self, attempt: int) -> float:
+        """Draw the full-jitter delay before retry ``attempt`` (0-based)."""
+        return self._rng.uniform(0.0, self.backoff_cap(attempt))
+
+    def is_retryable(self, error: BaseException) -> bool:
+        return isinstance(error, self.retryable)
+
+    def call(self, fn: Callable[[], T], site: str = "operation") -> T:
+        """Run ``fn``, retrying transient failures under this policy.
+
+        Raises
+        ------
+        RetryExhausted
+            When every attempt failed with a retryable error.
+        DeadlineExceeded
+            When the bound request deadline ran out between attempts.
+        BaseException
+            A non-retryable error, immediately.
+        """
+        registry = self._registry()
+        last: BaseException | None = None
+        for attempt in range(self.max_attempts):
+            if attempt:
+                registry.counter("retry_attempts_total", site=site).inc()
+            try:
+                return fn()
+            except BaseException as exc:
+                if not self.is_retryable(exc):
+                    raise
+                last = exc
+                obs.log_event(
+                    "retry.attempt_failed",
+                    level="warning",
+                    site=site,
+                    attempt=attempt + 1,
+                    max_attempts=self.max_attempts,
+                    error=repr(exc),
+                )
+                if attempt + 1 >= self.max_attempts:
+                    break
+                delay = self.next_delay(attempt)
+                deadline = current_deadline()
+                if deadline is not None:
+                    remaining = deadline.remaining()
+                    if remaining <= delay:
+                        # Not enough budget left to back off and retry.
+                        raise DeadlineExceeded(
+                            f"request deadline exceeded while retrying {site} "
+                            f"(attempt {attempt + 1}/{self.max_attempts})"
+                        ) from exc
+                if delay > 0:
+                    self.sleeper(delay)
+        assert last is not None
+        raise RetryExhausted(site, self.max_attempts, last) from last
+
+
+# The stack-wide default: a handful of quick attempts, capped well under
+# interactive latency budgets.  Storage and stream call sites use this
+# unless handed an explicit policy (or None to disable).
+DEFAULT_POLICY = RetryPolicy()

@@ -20,6 +20,8 @@ import argparse
 
 from repro.core.pipeline import VapSession
 from repro.data.generator.simulate import CityConfig, generate_city
+from repro.resilience import faults
+from repro.resilience.faults import FaultPlan
 from repro.server.app import VapApp
 from repro.server.serving import make_threaded_server
 
@@ -47,7 +49,23 @@ def main(argv: list[str] | None = None) -> None:
         help="per-request time budget for the heavy kernel endpoints "
              "(unset = no deadline)",
     )
+    parser.add_argument(
+        "--fault-plan", type=str, default=None, metavar="PLAN",
+        help="arm a deterministic fault-injection plan for chaos demos: "
+             "a JSON file path, inline JSON, or compact "
+             "'site=kind:rate[:seconds]' pairs (comma-separated); kinds "
+             "are error/latency/truncate",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the fault plan's injection streams (default 0)",
+    )
     args = parser.parse_args(argv)
+
+    injector = None
+    if args.fault_plan is not None:
+        plan = FaultPlan.load(args.fault_plan, seed=args.fault_seed)
+        injector = faults.install(plan)
 
     city = generate_city(
         CityConfig(n_customers=args.customers, n_days=args.days, seed=args.seed)
@@ -68,6 +86,14 @@ def main(argv: list[str] | None = None) -> None:
         )
         print(f"  metrics:   {base}/api/metrics  (?format=prometheus)")
         print(f"  telemetry: {base}/api/telemetry  (?format=svg)")
+        if injector is not None:
+            sites = ", ".join(
+                f"{s.site}={s.kind}:{s.rate}" for s in injector.plan.specs
+            )
+            print(
+                f"  chaos:     fault plan armed (seed "
+                f"{injector.plan.seed}): {sites}"
+            )
         server.serve_forever()
 
 

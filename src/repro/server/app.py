@@ -82,6 +82,9 @@ from repro.data.generator.city import CityLayout
 from repro.data.timeseries import HourWindow
 from repro.db.spatial import BBox
 from repro.server import json_codec
+from repro.resilience.breaker import BreakerOpen
+from repro.resilience.faults import active_injector
+from repro.resilience.retry import RetryExhausted
 from repro.server.middleware import BackpressureMiddleware, MetricsMiddleware
 from repro.server.router import MethodNotAllowed, Router
 
@@ -280,10 +283,28 @@ class VapApp:
             extra_headers.append(
                 ("Retry-After", str(self._backpressure.retry_after))
             )
+        except BreakerOpen as exc:
+            # The kernel's circuit is open and the session had no cached
+            # result to degrade to: shed with an honest Retry-After
+            # instead of queueing calls onto a known-bad path.
+            payload = {"error": str(exc), "breaker": exc.name}
+            status = 503
+            extra_headers.append(
+                ("Retry-After", str(self._backpressure.retry_after))
+            )
         except ValueError as exc:
             # Model-layer validation errors surface as 400s.
             payload = {"error": str(exc)}
             status = 400
+        except (RetryExhausted, OSError) as exc:
+            # A transient infrastructure failure survived the retry
+            # layer: answer 503 so clients back off and try again,
+            # rather than letting the worker die with a 500.
+            payload = {"error": f"transient failure: {exc}"}
+            status = 503
+            extra_headers.append(
+                ("Retry-After", str(self._backpressure.retry_after))
+            )
         if isinstance(payload, RawResponse):
             start_response(
                 _STATUS[payload.status],
@@ -464,6 +485,7 @@ class VapApp:
                 "max_inflight": self._backpressure.max_inflight,
                 "deadline_seconds": self._backpressure.deadline_seconds,
             },
+            "resilience": self._resilience_payload(snapshot),
             "slow_ops": self.slow_log.records()[: max(top, 0)],
         }
         sink = obs.get_tracer().sink
@@ -473,6 +495,44 @@ class VapApp:
                 "dropped": sink.n_dropped,
                 "buffered": len(sink),
                 "capacity": sink.capacity,
+            }
+        return payload
+
+    def _resilience_payload(self, snapshot: dict) -> dict:
+        """Breaker states, retry totals, degraded serves and injected
+        faults — the ``resilience`` block of ``/api/telemetry``."""
+        retries = {
+            record["labels"].get("site", "?"): record["value"]
+            for record in snapshot["counters"]
+            if record["name"] == "retry_attempts_total"
+        }
+        degraded = {
+            record["labels"].get("op", "?"): record["value"]
+            for record in snapshot["counters"]
+            if record["name"] == "pipeline_degraded_total"
+        }
+        faults = {
+            f"{record['labels'].get('site', '?')}:"
+            f"{record['labels'].get('kind', '?')}": record["value"]
+            for record in snapshot["counters"]
+            if record["name"] == "faults_injected_total"
+        }
+        payload: dict = {
+            "breakers": {
+                op: breaker.to_record()
+                for op, breaker in sorted(self.session.breakers.items())
+            },
+            "retry_attempts_total": retries,
+            "degraded_total": degraded,
+            "faults_injected_total": faults,
+        }
+        injector = active_injector()
+        if injector is not None:
+            payload["fault_plan"] = {
+                "seed": injector.plan.seed,
+                "n_specs": len(injector.plan.specs),
+                "n_injected": injector.n_injected,
+                "by_site": injector.counts(),
             }
         return payload
 
@@ -560,7 +620,7 @@ class VapApp:
         }
 
     def embedding(self, request: Request) -> dict:
-        info = self.session.embed(
+        info, degraded = self.session.embed_degradable(
             method=request.param_str("method", "tsne"),
             metric=request.param_str("metric", "pearson"),
             perplexity=request.param_float("perplexity", 30.0),
@@ -569,13 +629,19 @@ class VapApp:
             tsne_method=request.param_str("tsne_method", "auto"),
             theta=request.param_float("theta", 0.5),
         )
-        return {
+        payload = {
             "method": info.method,
             "metric": info.metric,
             "objective": info.objective,
             "customer_ids": self.session.series.customer_ids,
             "points": info.coords,
         }
+        if degraded:
+            # Breaker-open fallback: the last-good embedding, which may
+            # not match the requested parameters — flagged so clients
+            # can render it dimmed and retry later.
+            payload["degraded"] = True
+        return payload
 
     def selection(self, request: Request) -> dict:
         body = request.body
@@ -641,12 +707,12 @@ class VapApp:
 
     def density(self, request: Request) -> dict:
         window = self._window(request, "t")
-        grid = self.session.density(
+        grid, degraded = self.session.density_degradable(
             window,
             bandwidth_m=self._bandwidth(request),
             method=request.param_str("kde_method", "auto"),
         )
-        return {
+        payload = {
             "nx": grid.spec.nx,
             "ny": grid.spec.ny,
             "bbox": [
@@ -658,18 +724,21 @@ class VapApp:
             "values": grid.values,
             "max_cell": list(grid.max_cell()),
         }
+        if degraded:
+            payload["degraded"] = True
+        return payload
 
     def shift(self, request: Request) -> dict:
         t1 = self._window(request, "t1")
         t2 = self._window(request, "t2")
-        field = self.session.shift(
+        field, degraded = self.session.shift_degradable(
             t1,
             t2,
             bandwidth_m=self._bandwidth(request),
             method=request.param_str("kde_method", "auto"),
         )
         flows = major_flows(field)
-        return {
+        payload = {
             "energy": field.energy(),
             "peak_gain": list(field.peak_gain()),
             "peak_loss": list(field.peak_loss()),
@@ -682,6 +751,9 @@ class VapApp:
                 for f in flows
             ],
         }
+        if degraded:
+            payload["degraded"] = True
+        return payload
 
     def proposals(self, request: Request) -> dict:
         """Auto-discovered selection proposals (DBSCAN over view C), each

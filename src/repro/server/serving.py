@@ -39,11 +39,13 @@ class PooledWSGIServer(WSGIServer):
     ) -> None:
         if threads < 1:
             raise ValueError(f"threads must be >= 1, got {threads}")
-        super().__init__(server_address, RequestHandlerClass, bind_and_activate)
         self.threads = threads
+        # Build the pool before binding: a failed bind makes socketserver
+        # call server_close(), which must find _pool already set.
         self._pool = ThreadPoolExecutor(
             max_workers=threads, thread_name_prefix="vap-http"
         )
+        super().__init__(server_address, RequestHandlerClass, bind_and_activate)
 
     def process_request(self, request, client_address) -> None:
         self._pool.submit(self._work, request, client_address)

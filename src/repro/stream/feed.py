@@ -3,6 +3,13 @@
 Each tick carries ``hours_per_tick`` consecutive hourly columns of the
 source :class:`~repro.data.timeseries.SeriesSet` — the simulated equivalent
 of meters reporting in near real time.
+
+Resilience: batch values are **read-only views** of the source matrix
+(a consumer writing through a batch would otherwise silently corrupt
+the database it replays from), each tick declares the ``stream.tick``
+fault-injection site, and tick production retries transient faults
+under a :class:`~repro.resilience.retry.RetryPolicy` — so a replay run
+survives an imperfect feed instead of dying mid-stream.
 """
 
 from __future__ import annotations
@@ -13,6 +20,8 @@ from typing import Iterator
 import numpy as np
 
 from repro.data.timeseries import SeriesSet
+from repro.resilience.faults import fault_point
+from repro.resilience.retry import DEFAULT_POLICY, RetryPolicy
 
 
 @dataclass(slots=True)
@@ -26,7 +35,8 @@ class Batch:
     start_hour:
         First hour offset covered by this batch.
     values:
-        ``(n_customers, hours_in_batch)`` readings (NaN = missing).
+        ``(n_customers, hours_in_batch)`` readings (NaN = missing),
+        read-only.
     """
 
     tick: int
@@ -51,15 +61,24 @@ class ReplayFeed:
         Source readings; customers stay fixed, time advances.
     hours_per_tick:
         How many hourly columns each tick delivers.
+    retry:
+        Policy absorbing transient per-tick faults (the ``stream.tick``
+        injection site); pass ``None`` to propagate the first fault.
     """
 
-    def __init__(self, series_set: SeriesSet, hours_per_tick: int = 1) -> None:
+    def __init__(
+        self,
+        series_set: SeriesSet,
+        hours_per_tick: int = 1,
+        retry: RetryPolicy | None = DEFAULT_POLICY,
+    ) -> None:
         if hours_per_tick < 1:
             raise ValueError(
                 f"hours_per_tick must be >= 1, got {hours_per_tick}"
             )
         self.series_set = series_set
         self.hours_per_tick = hours_per_tick
+        self.retry = retry
 
     @property
     def n_ticks(self) -> int:
@@ -67,14 +86,34 @@ class ReplayFeed:
         steps = self.series_set.n_steps
         return (steps + self.hours_per_tick - 1) // self.hours_per_tick
 
+    def batch(self, tick: int) -> Batch:
+        """Produce one tick's batch (fault-injectable, no retry).
+
+        Raises
+        ------
+        IndexError
+            For a tick outside ``[0, n_ticks)``.
+        """
+        if not 0 <= tick < self.n_ticks:
+            raise IndexError(f"tick must be in [0, {self.n_ticks}), got {tick}")
+        fault_point("stream.tick")
+        a = tick * self.hours_per_tick
+        b = min(a + self.hours_per_tick, self.series_set.n_steps)
+        # A fresh view per batch: consumers get zero-copy access but
+        # cannot write through it into the source matrix.
+        values = self.series_set.matrix[:, a:b].view()
+        values.flags.writeable = False
+        return Batch(
+            tick=tick,
+            start_hour=self.series_set.start_hour + a,
+            values=values,
+        )
+
     def __iter__(self) -> Iterator[Batch]:
-        matrix = self.series_set.matrix
-        start = self.series_set.start_hour
         for tick in range(self.n_ticks):
-            a = tick * self.hours_per_tick
-            b = min(a + self.hours_per_tick, self.series_set.n_steps)
-            yield Batch(
-                tick=tick,
-                start_hour=start + a,
-                values=matrix[:, a:b],
-            )
+            if self.retry is None:
+                yield self.batch(tick)
+            else:
+                yield self.retry.call(
+                    lambda t=tick: self.batch(t), site="stream.tick"
+                )

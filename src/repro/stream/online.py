@@ -16,6 +16,7 @@ import numpy as np
 from repro.core.shift.flow import FlowArrow, ShiftField, major_flows
 from repro.core.shift.grids import GridSpec
 from repro.core.shift.kde import kde_density
+from repro.resilience.retry import RetryPolicy
 from repro.stream.clock import SimulatedClock
 from repro.stream.feed import Batch, ReplayFeed
 
@@ -143,12 +144,17 @@ def run_replay(
     clock: SimulatedClock | None = None,
     max_ticks: int | None = None,
     bandwidth_m: float | None = None,
+    retry: RetryPolicy | None = None,
 ) -> list[ShiftUpdate]:
     """Run a replay end to end; one :class:`ShiftUpdate` per ready tick.
 
     ``max_ticks`` caps the replay for benchmarking; the simulated clock
     advances one tick per batch, so ``clock_seconds`` reports the wall time
     the paper's 10-second feed would have taken.
+
+    ``retry`` additionally guards the per-tick KDE field computation
+    (the ``kernel.kde`` fault site) so a chaos run completes end to end;
+    the feed's own tick production retries under the feed's policy.
     """
     clock = clock or SimulatedClock()
     monitor = OnlineShiftMonitor(
@@ -162,7 +168,10 @@ def run_replay(
         clock.tick()
         if not monitor.ready:
             continue
-        field = monitor.current_field()
+        if retry is None:
+            field = monitor.current_field()
+        else:
+            field = retry.call(monitor.current_field, site="stream.field")
         flows = major_flows(field)
         updates.append(
             ShiftUpdate(

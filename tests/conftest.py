@@ -7,12 +7,35 @@ to mutate build their own).
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.core.pipeline import VapSession
 from repro.data.generator.simulate import CityConfig, generate_city
 from repro.db.engine import EnergyDatabase
+from repro.resilience import faults
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _chaos_plan_from_env():
+    """Arm a fault plan for the whole run when REPRO_FAULT_PLAN is set.
+
+    The CI chaos-smoke job sets it (e.g.
+    ``storage.load.readings=error:0.1,stream.tick=error:0.1``) and
+    re-runs the tier-1 storage/stream suites: the retry layer must
+    absorb the injected faults without any test noticing.  Tests that
+    arm their own plans via ``faults.injected`` temporarily replace (and
+    then restore) this one.
+    """
+    spec = os.environ.get("REPRO_FAULT_PLAN")
+    if not spec:
+        yield None
+        return
+    seed = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+    with faults.injected(faults.FaultPlan.load(spec, seed=seed)) as injector:
+        yield injector
 
 
 @pytest.fixture(scope="session")

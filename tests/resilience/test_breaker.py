@@ -1,0 +1,185 @@
+"""CircuitBreaker state machine under an injected clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    STATE_VALUES,
+    BreakerOpen,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+def _breaker(clock, **kwargs) -> CircuitBreaker:
+    kwargs.setdefault("name", "test")
+    kwargs.setdefault("failure_threshold", 0.5)
+    kwargs.setdefault("min_calls", 4)
+    kwargs.setdefault("open_seconds", 30.0)
+    kwargs.setdefault("metrics", obs.MetricsRegistry())
+    return CircuitBreaker(clock=clock, **kwargs)
+
+
+def _boom():
+    raise OSError("dependency down")
+
+
+class TestClosedToOpen:
+    def test_stays_closed_below_min_calls(self, clock):
+        """A 100% failure rate on too few calls must not trip the breaker."""
+        breaker = _breaker(clock, min_calls=4)
+        for _ in range(3):
+            with pytest.raises(OSError):
+                breaker.call(_boom)
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_opens_at_threshold_with_volume(self, clock):
+        breaker = _breaker(clock, min_calls=4, failure_threshold=0.5)
+        for _ in range(2):
+            breaker.call(lambda: "ok")
+        for _ in range(2):
+            with pytest.raises(OSError):
+                breaker.call(_boom)
+        assert breaker.state == OPEN  # 2/4 = 0.5 >= 0.5
+
+    def test_stays_closed_below_threshold(self, clock):
+        breaker = _breaker(clock, min_calls=4, failure_threshold=0.5)
+        for _ in range(3):
+            breaker.call(lambda: "ok")
+        with pytest.raises(OSError):
+            breaker.call(_boom)
+        assert breaker.state == CLOSED  # 1/4 = 0.25 < 0.5
+
+    def test_uncounted_exceptions_do_not_trip(self, clock):
+        """Input errors pass through without charging the breaker."""
+        breaker = _breaker(clock, min_calls=1, failure_threshold=0.1)
+        for _ in range(10):
+            with pytest.raises(ValueError):
+                breaker.call(lambda: (_ for _ in ()).throw(ValueError("bad")))
+        assert breaker.state == CLOSED
+        assert breaker.failure_rate == 0.0
+
+
+class TestOpenBehaviour:
+    def _tripped(self, clock, **kwargs) -> CircuitBreaker:
+        breaker = _breaker(clock, min_calls=2, **kwargs)
+        for _ in range(2):
+            with pytest.raises(OSError):
+                breaker.call(_boom)
+        assert breaker.state == OPEN
+        return breaker
+
+    def test_open_refuses_without_calling(self, clock):
+        breaker = self._tripped(clock)
+        calls = []
+        with pytest.raises(BreakerOpen) as excinfo:
+            breaker.call(lambda: calls.append(1))
+        assert calls == []
+        assert excinfo.value.name == "test"
+        assert not breaker.allow()
+
+    def test_cooldown_moves_to_half_open(self, clock):
+        breaker = self._tripped(clock, open_seconds=30.0)
+        clock.advance(29.9)
+        assert breaker.state == OPEN
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_budget_limits_trials(self, clock):
+        breaker = self._tripped(clock, open_seconds=30.0, half_open_max_calls=1)
+        clock.advance(31.0)
+        assert breaker.allow()  # the one trial slot
+        assert not breaker.allow()  # budget spent
+
+    def test_half_open_success_closes_and_clears_window(self, clock):
+        breaker = self._tripped(clock, open_seconds=30.0)
+        clock.advance(31.0)
+        assert breaker.call(lambda: "ok") == "ok"
+        assert breaker.state == CLOSED
+        # The window was reset: the old failures no longer poison the rate.
+        assert breaker.failure_rate == 0.0
+
+    def test_half_open_failure_reopens_for_full_cooldown(self, clock):
+        breaker = self._tripped(clock, open_seconds=30.0)
+        clock.advance(31.0)
+        with pytest.raises(OSError):
+            breaker.call(_boom)
+        assert breaker.state == OPEN
+        clock.advance(29.0)
+        assert breaker.state == OPEN  # cooldown restarted at the re-open
+        clock.advance(2.0)
+        assert breaker.state == HALF_OPEN
+
+
+class TestTelemetry:
+    def test_state_gauge_tracks_transitions(self, clock):
+        registry = obs.MetricsRegistry()
+        breaker = _breaker(clock, min_calls=2, metrics=registry)
+        gauge = registry.gauge("breaker_state", breaker="test")
+        assert gauge.value == STATE_VALUES[CLOSED]
+        for _ in range(2):
+            with pytest.raises(OSError):
+                breaker.call(_boom)
+        assert gauge.value == STATE_VALUES[OPEN]
+        clock.advance(31.0)
+        assert breaker.state == HALF_OPEN
+        assert gauge.value == STATE_VALUES[HALF_OPEN]
+        breaker.call(lambda: "ok")
+        assert gauge.value == STATE_VALUES[CLOSED]
+
+    def test_transition_counter(self, clock):
+        registry = obs.MetricsRegistry()
+        breaker = _breaker(clock, min_calls=2, metrics=registry)
+        for _ in range(2):
+            with pytest.raises(OSError):
+                breaker.call(_boom)
+        assert (
+            registry.counter(
+                "breaker_transitions_total", breaker="test", to=OPEN
+            ).value
+            == 1
+        )
+
+    def test_to_record_snapshot(self, clock):
+        breaker = _breaker(clock, min_calls=4)
+        breaker.call(lambda: "ok")
+        with pytest.raises(OSError):
+            breaker.call(_boom)
+        record = breaker.to_record()
+        assert record["name"] == "test"
+        assert record["state"] == CLOSED
+        assert record["windowed_calls"] == 2
+        assert record["failure_rate"] == pytest.approx(0.5)
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self, clock):
+        with pytest.raises(ValueError):
+            _breaker(clock, failure_threshold=0.0)
+        with pytest.raises(ValueError):
+            _breaker(clock, failure_threshold=1.5)
+        with pytest.raises(ValueError):
+            _breaker(clock, min_calls=0)
+        with pytest.raises(ValueError):
+            _breaker(clock, open_seconds=0.0)

@@ -1,0 +1,160 @@
+"""RetryPolicy: backoff bounds, jitter determinism, deadline awareness."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.core.deadline import Deadline, DeadlineExceeded, bind_deadline
+from repro.resilience.retry import (
+    DEFAULT_RETRYABLE,
+    RetryExhausted,
+    RetryPolicy,
+)
+
+
+def _policy(**kwargs) -> RetryPolicy:
+    kwargs.setdefault("sleeper", lambda s: None)
+    kwargs.setdefault("metrics", obs.MetricsRegistry())
+    return RetryPolicy(**kwargs)
+
+
+class TestBackoff:
+    @given(
+        attempt=st.integers(min_value=0, max_value=30),
+        base=st.floats(min_value=1e-4, max_value=1.0),
+        cap=st.floats(min_value=1e-3, max_value=60.0),
+        mult=st.floats(min_value=1.0, max_value=4.0),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_delay_within_bounds(self, attempt, base, cap, mult, seed):
+        """Full jitter: every delay lies in [0, min(cap, base*mult^k)]."""
+        policy = _policy(
+            base_delay=base, max_delay=cap, multiplier=mult, seed=seed
+        )
+        delay = policy.next_delay(attempt)
+        assert 0.0 <= delay <= min(cap, base * mult**attempt)
+
+    def test_cap_grows_exponentially_then_plateaus(self):
+        policy = _policy(base_delay=0.1, max_delay=0.4, multiplier=2.0)
+        assert policy.backoff_cap(0) == pytest.approx(0.1)
+        assert policy.backoff_cap(1) == pytest.approx(0.2)
+        assert policy.backoff_cap(2) == pytest.approx(0.4)
+        assert policy.backoff_cap(10) == pytest.approx(0.4)  # capped
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=50, deadline=None)
+    def test_jitter_deterministic_under_seed(self, seed):
+        """Two policies with the same seed draw identical delay streams."""
+        a = _policy(seed=seed)
+        b = _policy(seed=seed)
+        assert [a.next_delay(i) for i in range(8)] == [
+            b.next_delay(i) for i in range(8)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = [_policy(seed=1).next_delay(i) for i in range(8)]
+        b = [_policy(seed=2).next_delay(i) for i in range(8)]
+        assert a != b
+
+
+class TestCall:
+    def test_success_first_try_records_no_retries(self):
+        registry = obs.MetricsRegistry()
+        policy = _policy(metrics=registry)
+        assert policy.call(lambda: 42, site="op") == 42
+        assert registry.counter("retry_attempts_total", site="op").value == 0
+
+    def test_transient_fault_absorbed(self):
+        registry = obs.MetricsRegistry()
+        policy = _policy(max_attempts=4, metrics=registry)
+        failures = iter([OSError("flaky"), OSError("flaky")])
+
+        def fn():
+            try:
+                raise next(failures)
+            except StopIteration:
+                return "ok"
+
+        assert policy.call(fn, site="op") == "ok"
+        assert registry.counter("retry_attempts_total", site="op").value == 2
+
+    def test_exhaustion_raises_with_last_error(self):
+        policy = _policy(max_attempts=3)
+        with pytest.raises(RetryExhausted) as excinfo:
+            policy.call(lambda: (_ for _ in ()).throw(OSError("dead")), site="x")
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.last, OSError)
+        assert "x" in str(excinfo.value)
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            raise ValueError("bad input")
+
+        policy = _policy(max_attempts=5)
+        with pytest.raises(ValueError):
+            policy.call(fn)
+        assert len(calls) == 1
+
+    def test_default_retryable_classes(self):
+        policy = _policy()
+        assert policy.is_retryable(OSError())
+        assert policy.is_retryable(TimeoutError())
+        assert policy.is_retryable(ConnectionError())  # OSError subclass
+        assert not policy.is_retryable(ValueError())
+        assert not policy.is_retryable(KeyError())
+        assert DEFAULT_RETRYABLE == (OSError, TimeoutError)
+
+    def test_max_attempts_one_never_retries(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            raise OSError("nope")
+
+        with pytest.raises(RetryExhausted):
+            _policy(max_attempts=1).call(fn)
+        assert len(calls) == 1
+
+
+class TestDeadlineAwareness:
+    def test_gives_up_when_deadline_cannot_cover_backoff(self):
+        """A retry whose backoff would outlive the deadline raises
+        DeadlineExceeded instead of sleeping past the budget."""
+        now = [0.0]
+        clock = lambda: now[0]  # noqa: E731
+        slept: list[float] = []
+        policy = RetryPolicy(
+            max_attempts=5,
+            base_delay=10.0,  # backoff certainly exceeds the budget
+            max_delay=10.0,
+            seed=1,
+            sleeper=slept.append,
+            clock=clock,
+            metrics=obs.MetricsRegistry(),
+        )
+        with bind_deadline(Deadline(0.001, clock=clock)):
+            with pytest.raises(DeadlineExceeded):
+                policy.call(lambda: (_ for _ in ()).throw(OSError()), site="op")
+        assert slept == []  # never slept past the deadline
+
+    def test_retries_freely_without_deadline(self):
+        policy = _policy(max_attempts=3)
+        with pytest.raises(RetryExhausted):
+            policy.call(lambda: (_ for _ in ()).throw(OSError()))
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            _policy(max_attempts=0)
+        with pytest.raises(ValueError):
+            _policy(base_delay=-1.0)
+        with pytest.raises(ValueError):
+            _policy(multiplier=0.5)

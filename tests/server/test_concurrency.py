@@ -202,6 +202,18 @@ class TestPooledServer:
         with pytest.raises(ValueError, match="threads"):
             make_threaded_server("127.0.0.1", 0, lambda e, s: [], threads=0)
 
+    def test_bind_failure_raises_oserror(self):
+        """Regression: a failed bind (port in use) used to die with
+        AttributeError in server_close because the worker pool was built
+        only after binding; it must surface the real OSError."""
+        first = make_threaded_server("127.0.0.1", 0, lambda e, s: [])
+        try:
+            port = first.server_address[1]
+            with pytest.raises(OSError):
+                make_threaded_server("127.0.0.1", port, lambda e, s: [])
+        finally:
+            first.server_close()
+
 
 class TestTelemetryBackpressureSection:
     def test_payload_reports_limits(self, conc_city):

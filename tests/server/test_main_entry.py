@@ -53,6 +53,36 @@ def test_main_builds_app_and_serves(monkeypatch, capsys):
     assert "listening" in capsys.readouterr().out
 
 
+def test_main_arms_fault_plan(monkeypatch, capsys):
+    from repro.resilience import faults
+
+    monkeypatch.setattr(server_main, "make_server", _FakeServer)
+    _FakeServer.instances.clear()
+    previous = faults.active_injector()
+    try:
+        with pytest.raises(KeyboardInterrupt):
+            server_main.main(
+                [
+                    "--customers", "10", "--days", "7",
+                    "--fault-plan", "storage.load.readings=error:0.2",
+                    "--fault-seed", "11",
+                ]
+            )
+        injector = faults.active_injector()
+        assert injector is not None
+        assert injector.plan.seed == 11
+        (spec,) = injector.plan.specs
+        assert spec.site == "storage.load.readings"
+        assert spec.rate == pytest.approx(0.2)
+        out = capsys.readouterr().out
+        assert "fault plan armed (seed 11)" in out
+    finally:
+        faults.install(None)
+        if previous is not None:
+            # Restore the session-level env plan if one was armed.
+            faults.install(previous.plan)
+
+
 def test_main_inflight_cap_disabled_with_zero(monkeypatch):
     monkeypatch.setattr(server_main, "make_server", _FakeServer)
     _FakeServer.instances.clear()

@@ -1,0 +1,127 @@
+"""Stream resilience: read-only batches, tick retries, chaos replay."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.shift.grids import GridSpec
+from repro.data.timeseries import SeriesSet
+from repro.resilience import faults
+from repro.resilience.retry import RetryExhausted, RetryPolicy
+from repro.stream.feed import ReplayFeed
+from repro.stream.online import run_replay
+
+
+def _series(n_customers=4, n_hours=25, start=5):
+    matrix = np.arange(n_customers * n_hours, dtype=float).reshape(
+        n_customers, n_hours
+    )
+    return SeriesSet(list(range(n_customers)), start, matrix)
+
+
+def _fast_policy(max_attempts=4) -> RetryPolicy:
+    return RetryPolicy(
+        max_attempts=max_attempts,
+        base_delay=0.0,
+        max_delay=0.0,
+        sleeper=lambda s: None,
+        metrics=obs.MetricsRegistry(),
+    )
+
+
+class TestReadOnlyBatches:
+    def test_batch_values_are_read_only(self):
+        """Regression: batches used to expose writable views into the
+        source matrix, letting one consumer corrupt the replay for all."""
+        ss = _series()
+        batch = next(iter(ReplayFeed(ss, hours_per_tick=3)))
+        with pytest.raises(ValueError, match="read-only"):
+            batch.values[0, 0] = -1.0
+
+    def test_source_matrix_unchanged_by_consumer_attempts(self):
+        ss = _series()
+        original = ss.matrix.copy()
+        for batch in ReplayFeed(ss, hours_per_tick=4):
+            try:
+                batch.values[:] = 0.0
+            except ValueError:
+                pass
+        np.testing.assert_array_equal(ss.matrix, original)
+
+    def test_batches_are_views_not_copies(self):
+        """Read-only protection must not cost a copy per tick."""
+        ss = _series()
+        batch = next(iter(ReplayFeed(ss, hours_per_tick=3)))
+        assert batch.values.base is not None
+        assert np.shares_memory(batch.values, ss.matrix)
+
+
+class TestTickRetry:
+    def test_iteration_retries_through_transient_faults(self):
+        plan = faults.FaultPlan(
+            specs=(
+                faults.FaultSpec(
+                    site="stream.tick", kind="error", rate=1.0, max_faults=3
+                ),
+            )
+        )
+        ss = _series()
+        feed = ReplayFeed(ss, hours_per_tick=4, retry=_fast_policy())
+        with faults.injected(plan, metrics=obs.MetricsRegistry()):
+            batches = list(feed)
+        assert len(batches) == feed.n_ticks
+        assert sum(b.values.shape[1] for b in batches) == 25
+
+    def test_retry_none_fails_fast(self):
+        plan = faults.FaultPlan(
+            specs=(faults.FaultSpec(site="stream.tick", kind="error", rate=1.0),)
+        )
+        feed = ReplayFeed(_series(), hours_per_tick=4, retry=None)
+        with faults.injected(plan, metrics=obs.MetricsRegistry()):
+            with pytest.raises(faults.InjectedFault):
+                list(feed)
+
+    def test_persistent_fault_exhausts_retries(self):
+        plan = faults.FaultPlan(
+            specs=(faults.FaultSpec(site="stream.tick", kind="error", rate=1.0),)
+        )
+        feed = ReplayFeed(_series(), hours_per_tick=4, retry=_fast_policy(3))
+        with faults.injected(plan, metrics=obs.MetricsRegistry()):
+            with pytest.raises(RetryExhausted):
+                list(feed)
+
+
+class TestChaosReplay:
+    def test_replay_completes_under_seeded_fault_plan(self, small_city):
+        """The acceptance scenario: >=10% transient faults on the stream
+        and kernel sites, and a full replay still completes with zero
+        unhandled exceptions and the same updates a clean run produces."""
+        spec = GridSpec.covering(small_city.positions(), nx=16, ny=16)
+
+        def replay(retry):
+            feed = ReplayFeed(
+                small_city.clean, hours_per_tick=2, retry=retry
+            )
+            return run_replay(
+                feed,
+                small_city.positions(),
+                spec,
+                window_hours=4,
+                max_ticks=24,
+                bandwidth_m=500.0,
+                retry=retry,
+            )
+
+        with faults.disarmed():  # baseline must not see an env chaos plan
+            clean = replay(None)
+        plan = faults.FaultPlan.parse(
+            "stream.tick=error:0.15,kernel.kde=error:0.1", seed=1234
+        )
+        with faults.injected(plan, metrics=obs.MetricsRegistry()) as injector:
+            chaotic = replay(_fast_policy(6))
+            n_injected = injector.n_injected
+        assert n_injected > 0, "the plan must actually inject faults"
+        assert len(chaotic) == len(clean)
+        np.testing.assert_allclose(
+            [u.energy for u in chaotic], [u.energy for u in clean]
+        )
