@@ -35,7 +35,7 @@ from repro.data.loader import (
     save_readings_wide,
 )
 from repro.data.timeseries import HourWindow
-from repro.db.engine import EnergyDatabase
+from repro.db import build_database
 from repro.preprocess.quality import assess_quality
 from repro.viz.dashboard import render_dashboard
 
@@ -133,6 +133,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "--fault-seed", type=int, default=0,
         help="seed for the fault plan's injection streams",
     )
+    serve.add_argument(
+        "--shards", type=int, default=None,
+        help="hash-partition the database into N shards with parallel "
+             "scatter-gather queries (default: REPRO_SHARDS env, else 1)",
+    )
+    serve.add_argument(
+        "--tenants", type=str, default=None, metavar="NAMES",
+        help="comma-separated tenant ids, each with an isolated "
+             "database; select per request via X-Tenant / tenant=",
+    )
+    serve.add_argument(
+        "--tenant-quota", type=int, default=None, metavar="N",
+        help="per-tenant request quota (429 beyond it; unset = unlimited)",
+    )
     return parser
 
 
@@ -163,7 +177,7 @@ def _load_or_generate(args: argparse.Namespace):
         return session, city.layout, city.archetype_labels()
     customers = load_customers(args.customers_csv)
     readings = load_readings_wide(args.readings_csv)
-    session = VapSession(EnergyDatabase(customers, readings))
+    session = VapSession(build_database(customers, readings))
     return session, None, None
 
 
@@ -354,6 +368,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.fault_plan is not None:
         argv += ["--fault-plan", args.fault_plan,
                  "--fault-seed", str(args.fault_seed)]
+    if args.shards is not None:
+        argv += ["--shards", str(args.shards)]
+    if args.tenants is not None:
+        argv += ["--tenants", args.tenants]
+    if args.tenant_quota is not None:
+        argv += ["--tenant-quota", str(args.tenant_quota)]
     server_main(argv)
     return 0
 

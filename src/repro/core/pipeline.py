@@ -153,12 +153,29 @@ class VapSession:
         self._last_good_lock = threading.Lock()
 
     @classmethod
-    def from_city(cls, dataset, use_raw: bool = True, **kwargs) -> "VapSession":
+    def from_city(
+        cls,
+        dataset,
+        use_raw: bool = True,
+        shards: int | None = None,
+        **kwargs,
+    ) -> "VapSession":
         """Build a session from a generated
-        :class:`~repro.data.generator.simulate.CityDataset`."""
+        :class:`~repro.data.generator.simulate.CityDataset`.
+
+        ``shards`` picks the data plane: ``None`` consults the
+        ``REPRO_SHARDS`` environment variable (CI runs the whole suite
+        with it set to 4), ``<= 1`` keeps the single-lock engine, and
+        ``> 1`` builds a hash-partitioned
+        :class:`~repro.db.sharding.ShardedEnergyDatabase` with parallel
+        scatter-gather queries.
+        """
+        from repro.db import build_database
+
         readings = dataset.raw if use_raw else dataset.clean
-        db = EnergyDatabase(
-            dataset.customers, readings, metrics=kwargs.get("metrics")
+        db = build_database(
+            dataset.customers, readings, shards=shards,
+            metrics=kwargs.get("metrics"),
         )
         return cls(db, **kwargs)
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-METRICS = ("pearson", "euclidean")
+METRICS = ("pearson", "euclidean", "dtw")
 
 
 def _validated(features: np.ndarray) -> np.ndarray:
@@ -78,6 +78,13 @@ def pairwise_distances(features: np.ndarray, metric: str = "pearson") -> np.ndar
         return pearson_distance_matrix(features)
     if metric == "euclidean":
         return euclidean_distance_matrix(features)
+    if metric == "dtw":
+        # Local import: dtw pulls in the obs/preprocess stack.  DTW is
+        # row-capped (see DtwLimitError) — selections and small fleets
+        # only, with the limit surfaced to the caller.
+        from repro.core.reduction.dtw import dtw_distance_matrix
+
+        return dtw_distance_matrix(features)
     raise ValueError(f"unknown metric {metric!r}; pick one of {METRICS}")
 
 

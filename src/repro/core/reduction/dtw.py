@@ -93,6 +93,27 @@ def dtw_distance(
 MAX_DTW_ROWS = 512
 
 
+class DtwLimitError(ValueError):
+    """Raised when a pairwise DTW request exceeds the row ceiling.
+
+    Subclasses ``ValueError`` so existing error handling (the API layer's
+    ValueError → 400 mapping) keeps working, while callers that want to
+    react specifically — e.g. to suggest sampling — can catch the typed
+    error and read :attr:`n_rows` / :attr:`max_rows`.
+    """
+
+    def __init__(self, n_rows: int, max_rows: int) -> None:
+        super().__init__(
+            f"dtw_distance_matrix got {n_rows} rows; the O(n^2) "
+            f"pairwise DTW is only practical up to max_rows={max_rows}. "
+            "Sample a subset of rows first (or use the euclidean/pearson "
+            "metrics, which scale to full fleets), or pass a larger "
+            "max_rows= explicitly if you really want the long run."
+        )
+        self.n_rows = n_rows
+        self.max_rows = max_rows
+
+
 def dtw_distance_matrix(
     features: np.ndarray,
     band: int | None = None,
@@ -109,8 +130,11 @@ def dtw_distance_matrix(
 
     Raises
     ------
+    DtwLimitError
+        For more than ``max_rows`` rows (a ``ValueError`` subclass
+        carrying ``n_rows`` and ``max_rows``).
     ValueError
-        On malformed input, or more than ``max_rows`` rows.
+        On malformed input.
     """
     features = np.asarray(features, dtype=np.float64)
     if features.ndim != 2:
@@ -118,13 +142,7 @@ def dtw_distance_matrix(
     if features.shape[0] < 2:
         raise ValueError("need at least 2 rows for pairwise distances")
     if features.shape[0] > max_rows:
-        raise ValueError(
-            f"dtw_distance_matrix got {features.shape[0]} rows; the O(n^2) "
-            f"pairwise DTW is only practical up to max_rows={max_rows}. "
-            "Sample a subset of rows first (or use the euclidean/pearson "
-            "metrics, which scale to full fleets), or pass a larger "
-            "max_rows= explicitly if you really want the long run."
-        )
+        raise DtwLimitError(features.shape[0], max_rows)
     if not np.isfinite(features).all():
         raise ValueError("features contain NaN/inf; impute first")
     if normalize:

@@ -64,6 +64,12 @@ class EnergyDatabase:
         Queries slower than this are logged (``db.slow_query``, warning)
         and offered to the process slow-op log with the request ID that
         issued them.
+    metric_labels:
+        Extra labels stamped onto every ``db_query_seconds`` observation
+        — the sharded data plane passes ``{"shard": "<id>"}`` here so
+        per-shard query latency (and therefore per-shard lock
+        contention) is visible in the metrics instead of folding into
+        one anonymous series.
     """
 
     def __init__(
@@ -73,8 +79,10 @@ class EnergyDatabase:
         index_kind: str = "rtree",
         metrics: obs.MetricsRegistry | None = None,
         slow_query_seconds: float = 0.25,
+        metric_labels: dict[str, str] | None = None,
     ) -> None:
         self._metrics = metrics
+        self._metric_labels = dict(metric_labels or {})
         # Serving threads issue composed reads concurrently; a reentrant
         # read lock keeps each query atomic over table + index + readings
         # (the composed demand path nests readings_for inside demand).
@@ -133,7 +141,9 @@ class EnergyDatabase:
         queries over :attr:`slow_query_seconds` are also logged and
         offered to the slow-op log (correlated by request ID)."""
         registry = self.metrics
-        hist = registry.histogram("db_query_seconds", op=op)
+        hist = registry.histogram(
+            "db_query_seconds", op=op, **self._metric_labels
+        )
         start = registry.clock()
         try:
             with self._read_lock:
@@ -172,6 +182,24 @@ class EnergyDatabase:
     def query(self) -> Query:
         """A fresh fluent query over the customers table."""
         return Query(self.table)
+
+    def group_by(
+        self,
+        key: str,
+        aggregates: dict[str, tuple[str, str]],
+        predicate=None,
+    ) -> list[dict[str, object]]:
+        """Grouped aggregates over the (optionally filtered) customers.
+
+        Convenience over :meth:`repro.db.query.Query.group_by`; exists so
+        single-shard and sharded databases expose the same grouped-query
+        entry point.
+        """
+        with self._timed("group_by"):
+            q = self.query()
+            if predicate is not None:
+                q = q.where(predicate)
+            return q.group_by(key, aggregates)
 
     def sql(self, statement: str) -> list[dict[str, object]]:
         """Run a SQL SELECT against the ``customers`` table.
@@ -296,3 +324,100 @@ class EnergyDatabase:
                         stat = np.nanmax(matrix[observed], axis=1)
                 values[observed] = stat
             return self.positions_of(customer_ids), values
+
+    def top_consumers(
+        self,
+        window: HourWindow,
+        k: int = 10,
+        statistic: str = "mean",
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The k heaviest consumers over a window, heaviest first.
+
+        Returns ``(ids, values)``; ties on the statistic break toward the
+        smaller customer id so the ranking is deterministic (and therefore
+        mergeable shard by shard).
+
+        Raises
+        ------
+        ValueError
+            For ``k < 1`` or an unknown statistic.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        with self._timed("topk"):
+            ids = np.asarray(
+                [int(cid) for cid in self.readings.customer_ids],
+                dtype=np.int64,
+            )
+            _, values = self.demand(window, None, statistic)
+            # lexsort: last key is primary — descending value, then id.
+            order = np.lexsort((ids, -values))[:k]
+            return ids[order], values[order]
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def ingest_hours(
+        self,
+        values: np.ndarray,
+        start_hour: int,
+        customer_ids: Sequence[int] | None = None,
+    ) -> int:
+        """Append hourly columns to the readings (the stream write path).
+
+        The batch must start exactly where the stored readings end and
+        cover every customer (``customer_ids`` may reorder the rows; it
+        must be a permutation of the stored ids).  The new
+        :class:`~repro.data.timeseries.SeriesSet` is built off-lock-free
+        reads and swapped in atomically under the write lock, so a
+        concurrent reader sees either the old or the new readings —
+        never a torn matrix.
+
+        Returns the new ``end_hour``.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2:
+            raise ValueError(
+                f"ingest values must be 2-D, got shape {values.shape}"
+            )
+        with self._read_lock:
+            readings = self.readings
+            stored_ids = [int(cid) for cid in readings.customer_ids]
+            if customer_ids is None:
+                rows = values
+            else:
+                batch_ids = [int(cid) for cid in customer_ids]
+                if len(batch_ids) != values.shape[0]:
+                    raise ValueError(
+                        f"got {len(batch_ids)} customer ids for "
+                        f"{values.shape[0]} rows"
+                    )
+                if sorted(batch_ids) != sorted(stored_ids):
+                    raise ValueError(
+                        "ingest batch must cover exactly the stored "
+                        "customers"
+                    )
+                row_of = {cid: i for i, cid in enumerate(batch_ids)}
+                rows = values[[row_of[cid] for cid in stored_ids]]
+            if rows.shape[0] != len(stored_ids):
+                raise ValueError(
+                    f"ingest batch has {rows.shape[0]} rows for "
+                    f"{len(stored_ids)} customers"
+                )
+            if start_hour != readings.end_hour:
+                raise ValueError(
+                    f"ingest batch must start at hour {readings.end_hour} "
+                    f"(the current end), got {start_hour}"
+                )
+            merged = SeriesSet(
+                customer_ids=stored_ids,
+                start_hour=readings.start_hour,
+                matrix=np.hstack([readings.matrix, rows]),
+            )
+            # Atomic swap: readers holding the old reference keep a
+            # consistent snapshot.
+            self.readings = merged
+        self.metrics.counter("db_ingest_hours_total", **self._metric_labels).inc(
+            int(values.shape[1])
+        )
+        return merged.end_hour

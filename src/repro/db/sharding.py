@@ -1,0 +1,660 @@
+"""Sharded data plane: hash-partitioned stores + scatter-gather queries.
+
+:class:`ShardedEnergyDatabase` splits one city across N independent
+:class:`~repro.db.engine.EnergyDatabase` shards, each with its own
+customers table, spatial index, readings matrix and read lock.  Customers
+are assigned to shards by :func:`shard_of` — a stable FNV-1a hash of the
+customer id — so the assignment is identical across processes and
+releases (saved per-shard artifacts and routed stream ticks depend on
+that).
+
+Queries scatter across the owning shards in parallel on a shared
+``ThreadPoolExecutor`` and gather deterministically:
+
+- id sets merge by ascending id (each shard already returns ascending);
+- ``group_by`` scatters the *predicate* and gathers the selected rows in
+  the original table insertion order before recomputing aggregates —
+  recomputing rather than merging per-shard partial sums because
+  floating-point addition is not associative and the contract here is
+  *bit-identical* results, proven by ``tests/db/test_shard_equivalence``;
+- k-nearest-neighbour and top-k consumer queries merge per-shard
+  candidate lists on a total order (``(distance², id)`` respectively
+  ``(-value, id)``);
+- bounding boxes merge by exact min/max union.
+
+Consistency model: every single-shard operation is atomic under that
+shard's lock.  Cross-shard reads take no global lock; instead each shard
+contributes an atomic snapshot and time-dimension gathers trim to the
+common time prefix, so concurrent stream ticks can never surface a torn
+row — only a slightly older, internally consistent column range.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.data.meter import Customer
+from repro.data.timeseries import HourWindow, SeriesSet
+from repro.db.engine import (
+    CUSTOMER_SCHEMA,
+    DEMAND_STATISTICS,
+    EnergyDatabase,
+)
+from repro.db.query import AGG_FUNCS, Predicate, Query
+from repro.db.spatial import BBox, Circle, Polygon
+from repro.db.table import Table
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def shard_of(customer_id: int, n_shards: int) -> int:
+    """Stable shard assignment: FNV-1a over the id's 8 little-endian bytes.
+
+    Deliberately *not* Python's builtin ``hash`` (salted per process for
+    strings, identity for small ints): shard membership must be a pure
+    function of ``(customer_id, n_shards)`` so that routing, storage
+    layout and replayed streams agree across processes.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    h = _FNV_OFFSET
+    for byte in int(customer_id).to_bytes(8, "little", signed=True):
+        h ^= byte
+        h = (h * _FNV_PRIME) & _MASK64
+    return h % n_shards
+
+
+# One process-wide pool for scatter tasks.  Scatter tasks never submit
+# nested scatter tasks (each is a plain single-shard call), so a bounded
+# shared pool cannot deadlock — and sharing avoids thread churn when many
+# short-lived databases exist (e.g. under hypothesis).
+_POOL_WORKERS = 16
+_pool_lock = threading.Lock()
+_pool: ThreadPoolExecutor | None = None
+
+
+def _shared_pool() -> ThreadPoolExecutor:
+    global _pool
+    with _pool_lock:
+        if _pool is None:
+            _pool = ThreadPoolExecutor(
+                max_workers=_POOL_WORKERS, thread_name_prefix="shard-query"
+            )
+        return _pool
+
+
+class ShardedEnergyDatabase:
+    """N independent shards behind the :class:`EnergyDatabase` interface.
+
+    Duck-type compatible with the single-shard engine for every read the
+    rest of the tool issues (sessions, server handlers, storage), plus
+    shard introspection (:attr:`shard_ids`, :meth:`shard`,
+    :meth:`shard_sizes`) and the shard-aware stream write path
+    :meth:`ingest_tick`.
+
+    Parameters mirror :class:`EnergyDatabase`; ``n_shards=1`` is valid
+    (one shard holding everything) and is the degenerate case the
+    differential tests pin against.  ``parallel=False`` forces inline
+    scatter — useful for debugging determinism questions.
+    """
+
+    def __init__(
+        self,
+        customers: Sequence[Customer],
+        readings: SeriesSet,
+        n_shards: int = 4,
+        index_kind: str = "rtree",
+        metrics: obs.MetricsRegistry | None = None,
+        slow_query_seconds: float = 0.25,
+        parallel: bool = True,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        customers = list(customers)
+        if not customers:
+            raise ValueError("a database needs at least one customer")
+        ids = [c.customer_id for c in customers]
+        if len(set(ids)) != len(ids):
+            raise ValueError("customer ids contain duplicates")
+        if set(ids) != {int(cid) for cid in readings.customer_ids}:
+            raise ValueError("customers and readings cover different ids")
+
+        self.n_shards = n_shards
+        self.index_kind = index_kind
+        self._metrics = metrics
+        self._parallel = parallel
+        # Canonical orders for deterministic gathers.  The engine only
+        # requires *set* equality between customers and readings ids, so
+        # the two orders can differ and both must be preserved: table
+        # insertion order drives group_by/sql row order, readings row
+        # order drives SeriesSet reassembly.
+        self._table_order: dict[int, int] = {
+            int(c.customer_id): i for i, c in enumerate(customers)
+        }
+        self._reading_ids: list[int] = [
+            int(cid) for cid in readings.customer_ids
+        ]
+        self._reading_order: dict[int, int] = {
+            cid: i for i, cid in enumerate(self._reading_ids)
+        }
+        self._shard_of_id: dict[int, int] = {
+            int(c.customer_id): shard_of(c.customer_id, n_shards)
+            for c in customers
+        }
+
+        by_shard: dict[int, list[Customer]] = {}
+        for c in customers:
+            by_shard.setdefault(self._shard_of_id[int(c.customer_id)], []).append(c)
+        self._shards: dict[int, EnergyDatabase] = {}
+        for sid in sorted(by_shard):
+            members = by_shard[sid]
+            # Shard readings keep the source row order so per-shard
+            # matrices are verbatim row subsets of the original.
+            sub_ids = sorted(
+                (int(c.customer_id) for c in members),
+                key=self._reading_order.__getitem__,
+            )
+            self._shards[sid] = EnergyDatabase(
+                members,
+                readings.select_customers(sub_ids),
+                index_kind=index_kind,
+                metrics=metrics,
+                slow_query_seconds=slow_query_seconds,
+                metric_labels={"shard": str(sid)},
+            )
+
+        self._gather_lock = threading.Lock()
+        self._table_cache: Table | None = None
+        self._readings_cache: tuple[tuple[int, ...], SeriesSet] | None = None
+
+    # ------------------------------------------------------------------
+    # shard plumbing
+    # ------------------------------------------------------------------
+    @property
+    def metrics(self) -> obs.MetricsRegistry:
+        """This database's registry (the process default unless injected)."""
+        return self._metrics if self._metrics is not None else obs.get_registry()
+
+    @property
+    def shard_ids(self) -> list[int]:
+        """Populated shard ids, ascending (hash gaps are possible)."""
+        return sorted(self._shards)
+
+    def shard(self, shard_id: int) -> EnergyDatabase:
+        """The underlying engine for one shard; ``KeyError`` if empty."""
+        return self._shards[shard_id]
+
+    def shard_sizes(self) -> dict[int, int]:
+        """Customers per populated shard."""
+        return {sid: len(db) for sid, db in sorted(self._shards.items())}
+
+    def shard_of_customer(self, customer_id: int) -> int:
+        """The shard owning a customer; ``KeyError`` if unknown."""
+        cid = int(customer_id)
+        if cid not in self._shard_of_id:
+            raise KeyError(f"unknown customer_id {customer_id}")
+        return self._shard_of_id[cid]
+
+    def _scatter(
+        self,
+        op: str,
+        fn: Callable[[int, EnergyDatabase], object],
+        shard_ids: Sequence[int] | None = None,
+    ) -> list[tuple[int, object]]:
+        """Run ``fn(shard_id, shard_db)`` on the target shards.
+
+        Single-target scatters run inline — they take exactly one shard
+        lock and never touch the pool, which is what lets point queries
+        on different shards proceed fully in parallel.  Multi-target
+        scatters fan out on the shared executor; results come back in
+        ascending shard-id order regardless of completion order.
+        """
+        targets = sorted(self._shards) if shard_ids is None else sorted(shard_ids)
+        self.metrics.counter("db_scatter_total", op=op).inc()
+        self.metrics.counter("db_scatter_fanout_total", op=op).inc(len(targets))
+        if len(targets) <= 1 or not self._parallel:
+            return [(sid, fn(sid, self._shards[sid])) for sid in targets]
+        pool = _shared_pool()
+        futures = [
+            (sid, pool.submit(fn, sid, self._shards[sid])) for sid in targets
+        ]
+        return [(sid, future.result()) for sid, future in futures]
+
+    def _partition(self, customer_ids: Sequence[int]) -> dict[int, list[int]]:
+        """Group requested ids by owning shard (insertion order kept)."""
+        parts: dict[int, list[int]] = {}
+        for cid in customer_ids:
+            cid = int(cid)
+            sid = self._shard_of_id.get(cid)
+            if sid is None:
+                raise KeyError(f"unknown customer_id {cid}")
+            parts.setdefault(sid, []).append(cid)
+        return parts
+
+    # ------------------------------------------------------------------
+    # metadata (engine-compatible)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._shard_of_id)
+
+    @property
+    def customer_ids(self) -> list[int]:
+        """All customer ids, ascending."""
+        return sorted(self._shard_of_id)
+
+    @property
+    def time_span(self) -> HourWindow:
+        """The hour window every shard covers (common prefix under writes)."""
+        spans = [db.time_span for db in self._shards.values()]
+        return HourWindow(
+            spans[0].start_hour, min(s.end_hour for s in spans)
+        )
+
+    def customer(self, customer_id: int) -> Customer:
+        """Look up one customer; raises ``KeyError`` if unknown."""
+        return self._shards[self.shard_of_customer(customer_id)].customer(
+            customer_id
+        )
+
+    @property
+    def readings(self) -> SeriesSet:
+        """All readings, reassembled in the source row order.
+
+        Gathered from per-shard atomic snapshots and trimmed to the
+        common time prefix; cached until any shard's end hour moves.
+        """
+        snaps = [(sid, db.readings) for sid, db in sorted(self._shards.items())]
+        key = tuple(s.end_hour for _, s in snaps)
+        with self._gather_lock:
+            cached = self._readings_cache
+            if cached is not None and cached[0] == key:
+                return cached[1]
+        start = snaps[0][1].start_hour
+        width = min(key) - start
+        matrix = np.empty((len(self._reading_ids), width), dtype=np.float64)
+        for _, series in snaps:
+            rows = [self._reading_order[int(cid)] for cid in series.customer_ids]
+            matrix[rows, :] = series.matrix[:, :width]
+        merged = SeriesSet(
+            customer_ids=list(self._reading_ids),
+            start_hour=start,
+            matrix=matrix,
+        )
+        with self._gather_lock:
+            self._readings_cache = (key, merged)
+        return merged
+
+    @property
+    def table(self) -> Table:
+        """A gathered customers table in the original insertion order.
+
+        Built once (customers are immutable after construction) — this
+        is a *gather-based* view for SQL and fluent queries, not a
+        scatter path.
+        """
+        with self._gather_lock:
+            if self._table_cache is not None:
+                return self._table_cache
+        columns: dict[str, list[np.ndarray]] = {
+            spec.name: [] for spec in CUSTOMER_SCHEMA.columns
+        }
+        orders: list[np.ndarray] = []
+        for _, db in sorted(self._shards.items()):
+            cids = db.table.column("customer_id")
+            orders.append(
+                np.asarray(
+                    [self._table_order[int(c)] for c in cids], dtype=np.int64
+                )
+            )
+            for name in columns:
+                columns[name].append(db.table.column(name))
+        order = np.concatenate(orders)
+        sort_idx = np.argsort(order, kind="stable")
+        table = Table("customers", CUSTOMER_SCHEMA)
+        table.insert_columns(
+            {
+                name: np.concatenate(parts)[sort_idx]
+                for name, parts in columns.items()
+            }
+        )
+        with self._gather_lock:
+            if self._table_cache is None:
+                self._table_cache = table
+            return self._table_cache
+
+    def query(self) -> Query:
+        """A fresh fluent query over the gathered customers table."""
+        return Query(self.table)
+
+    def sql(self, statement: str) -> list[dict[str, object]]:
+        """Run a SQL SELECT against the gathered ``customers`` table."""
+        from repro.db.sql import execute_sql  # local: avoid import cycle
+
+        return execute_sql({"customers": self.table}, statement)
+
+    def bounding_box(self) -> BBox:
+        """Smallest box covering every customer (exact min/max union)."""
+        gathered = self._scatter("bbox_meta", lambda sid, db: db.bounding_box())
+        boxes = [box for _, box in gathered]
+        merged = boxes[0]
+        for box in boxes[1:]:
+            merged = merged.union(box)
+        return merged
+
+    # ------------------------------------------------------------------
+    # spatial queries (scatter → ascending-id merge)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _merge_ids(arrays: list[np.ndarray]) -> np.ndarray:
+        parts = [np.asarray(a, dtype=np.int64) for a in arrays if len(a)]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(parts))
+
+    def ids_in_bbox(self, box: BBox) -> np.ndarray:
+        """Customer ids inside the box, ascending."""
+        gathered = self._scatter("bbox", lambda sid, db: db.ids_in_bbox(box))
+        return self._merge_ids([r for _, r in gathered])
+
+    def ids_in_radius(self, circle: Circle) -> np.ndarray:
+        """Customer ids inside the circle, ascending."""
+        gathered = self._scatter(
+            "radius", lambda sid, db: db.ids_in_radius(circle)
+        )
+        return self._merge_ids([r for _, r in gathered])
+
+    def ids_in_polygon(self, polygon: Polygon) -> np.ndarray:
+        """Customer ids inside the polygon, ascending."""
+        gathered = self._scatter(
+            "polygon", lambda sid, db: db.ids_in_polygon(polygon)
+        )
+        return self._merge_ids([r for _, r in gathered])
+
+    def ids_in_zone(self, zone: str) -> np.ndarray:
+        """Customer ids in a land-use zone, ascending."""
+        gathered = self._scatter("zone", lambda sid, db: db.ids_in_zone(zone))
+        return self._merge_ids([r for _, r in gathered])
+
+    def nearest(self, lon: float, lat: float, k: int = 1) -> np.ndarray:
+        """Ids of the k customers nearest to a point, closest first.
+
+        Per-shard candidate lists merge on the total order
+        ``(distance², id)`` so the result is deterministic even when the
+        single-shard engine's traversal order would not be.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        gathered = self._scatter(
+            "nearest",
+            lambda sid, db: db.nearest(lon, lat, k=min(k, len(db))),
+        )
+        candidates: list[tuple[float, int]] = []
+        for sid, ids in gathered:
+            shard = self._shards[sid]
+            for cid in ids:
+                c = shard.customer(int(cid))
+                d2 = (c.lon - lon) ** 2 + (c.lat - lat) ** 2
+                candidates.append((d2, int(cid)))
+        candidates.sort()
+        top = candidates[: min(k, len(self))]
+        return np.asarray([cid for _, cid in top], dtype=np.int64)
+
+    def positions_of(self, customer_ids: Sequence[int]) -> np.ndarray:
+        """``(n, 2)`` array of (lon, lat) for the given ids, same order."""
+        ids = [int(cid) for cid in customer_ids]
+        out = np.empty((len(ids), 2), dtype=np.float64)
+        parts = self._partition(ids)
+        slots: dict[int, list[int]] = {}
+        for slot, cid in enumerate(ids):
+            slots.setdefault(cid, []).append(slot)
+        gathered = self._scatter(
+            "positions",
+            lambda sid, db: db.positions_of(parts[sid]),
+            shard_ids=list(parts),
+        )
+        for sid, positions in gathered:
+            for row, cid in enumerate(parts[sid]):
+                for slot in slots[cid]:
+                    out[slot] = positions[row]
+        return out
+
+    # ------------------------------------------------------------------
+    # temporal queries (scatter → row reassembly)
+    # ------------------------------------------------------------------
+    def readings_for(
+        self,
+        customer_ids: Sequence[int] | None = None,
+        window: HourWindow | None = None,
+    ) -> SeriesSet:
+        """Readings sliced to a customer subset and/or an hour window."""
+        if customer_ids is None:
+            ids = list(self._reading_ids)
+        else:
+            ids = [int(cid) for cid in customer_ids]
+        span = self.time_span
+        lo = span.start_hour if window is None else max(window.start_hour, span.start_hour)
+        hi = span.end_hour if window is None else min(window.end_hour, span.end_hour)
+        width = max(0, hi - lo)
+        if not ids:
+            return SeriesSet(
+                customer_ids=[],
+                start_hour=lo,
+                matrix=np.empty((0, width), dtype=np.float64),
+            )
+        parts = self._partition(ids)
+        gathered = self._scatter(
+            "readings",
+            lambda sid, db: db.readings_for(parts[sid], window),
+            shard_ids=list(parts),
+        )
+        # Concurrent ticks may leave shards at different end hours; trim
+        # every sub-result to the narrowest so rows stay aligned.
+        width = min(width, *(s.n_steps for _, s in gathered))
+        matrix = np.empty((len(ids), width), dtype=np.float64)
+        slot_of: dict[int, int] = {}
+        for slot, cid in enumerate(ids):
+            if cid in slot_of:
+                # Match the single-shard error: duplicates are rejected
+                # by the SeriesSet constructor.
+                raise ValueError("customer_ids contains duplicates")
+            slot_of[cid] = slot
+        for sid, series in gathered:
+            for row, cid in enumerate(series.customer_ids):
+                matrix[slot_of[int(cid)], :] = series.matrix[row, :width]
+        return SeriesSet(customer_ids=ids, start_hour=lo, matrix=matrix)
+
+    def demand(
+        self,
+        window: HourWindow,
+        customer_ids: Sequence[int] | None = None,
+        statistic: str = "mean",
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-customer demand over a window (see engine docstring)."""
+        if statistic not in DEMAND_STATISTICS:
+            raise ValueError(
+                f"unknown statistic {statistic!r}; pick one of {DEMAND_STATISTICS}"
+            )
+        if customer_ids is None:
+            ids = list(self._reading_ids)
+        else:
+            ids = [int(cid) for cid in customer_ids]
+        positions = np.empty((len(ids), 2), dtype=np.float64)
+        values = np.zeros(len(ids), dtype=np.float64)
+        if ids:
+            parts = self._partition(ids)
+            # Mirror the engine's db.demand span from the caller's
+            # thread: per-shard spans open on pool threads, outside the
+            # caller's trace tree.
+            with obs.span(
+                "db.demand", statistic=statistic, n_shards=len(parts)
+            ):
+                gathered = self._scatter(
+                    "demand",
+                    lambda sid, db: db.demand(window, parts[sid], statistic),
+                    shard_ids=list(parts),
+                )
+            slots: dict[int, list[int]] = {}
+            for slot, cid in enumerate(ids):
+                slots.setdefault(cid, []).append(slot)
+            for sid, (pos, vals) in gathered:
+                for row, cid in enumerate(parts[sid]):
+                    for slot in slots[cid]:
+                        positions[slot] = pos[row]
+                        values[slot] = vals[row]
+        return positions, values
+
+    def top_consumers(
+        self,
+        window: HourWindow,
+        k: int = 10,
+        statistic: str = "mean",
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The k heaviest consumers over a window, heaviest first.
+
+        Classic top-k merge: each shard returns its own top
+        ``min(k, len(shard))`` on the total order ``(-value, id)``; the
+        union of those lists provably contains the global top k, which a
+        second lexsort extracts.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if statistic not in DEMAND_STATISTICS:
+            raise ValueError(
+                f"unknown statistic {statistic!r}; pick one of {DEMAND_STATISTICS}"
+            )
+        gathered = self._scatter(
+            "topk",
+            lambda sid, db: db.top_consumers(
+                window, k=min(k, len(db)), statistic=statistic
+            ),
+        )
+        ids = np.concatenate([r[0] for _, r in gathered])
+        values = np.concatenate([r[1] for _, r in gathered])
+        order = np.lexsort((ids, -values))[:k]
+        return ids[order], values[order]
+
+    # ------------------------------------------------------------------
+    # group-by (scatter the predicate, gather rows, recompute exactly)
+    # ------------------------------------------------------------------
+    def group_by(
+        self,
+        key: str,
+        aggregates: Mapping[str, tuple[str, str]],
+        predicate: Predicate | None = None,
+    ) -> list[dict[str, object]]:
+        """Grouped aggregates over the (optionally filtered) customers.
+
+        Shards evaluate the predicate and ship the *selected raw values*;
+        the gather step re-orders them into table insertion order and
+        recomputes each aggregate with exactly the same numpy reductions
+        as :meth:`repro.db.query.Query.group_by`.  Merging per-shard
+        partial sums instead would be cheaper but not bit-identical
+        (floating-point addition is not associative).
+        """
+        probe = next(iter(self._shards.values())).table
+        probe.schema.column(key)  # raises KeyError on unknown key
+        needed: set[str] = set()
+        for out_name, (column, func) in aggregates.items():
+            if func not in AGG_FUNCS:
+                raise ValueError(
+                    f"aggregate {out_name!r}: unknown func {func!r}; "
+                    f"use {AGG_FUNCS}"
+                )
+            if func != "count":
+                probe.schema.column(column)
+                needed.add(column)
+
+        def per_shard(sid: int, db: EnergyDatabase):
+            q = Query(db.table)
+            if predicate is not None:
+                q = q.where(predicate)
+            pos = q.positions()
+            cids = db.table.column("customer_id")[pos]
+            order = np.asarray(
+                [self._table_order[int(c)] for c in cids], dtype=np.int64
+            )
+            keys = db.table.column(key)[pos]
+            cols = {name: db.table.column(name)[pos] for name in needed}
+            return order, keys, cols
+
+        gathered = self._scatter("group_by", per_shard)
+        orders = [r[0] for _, r in gathered if len(r[0])]
+        if not orders:
+            return []
+        order = np.concatenate(orders)
+        sort_idx = np.argsort(order, kind="stable")
+        keys = np.concatenate([r[1] for _, r in gathered if len(r[1])])[sort_idx]
+        cols = {
+            name: np.concatenate(
+                [r[2][name] for _, r in gathered if len(r[1])]
+            )[sort_idx]
+            for name in needed
+        }
+        rows: list[dict[str, object]] = []
+        for value in np.unique(keys):
+            sel = keys == value
+            row: dict[str, object] = {
+                key: value.item() if hasattr(value, "item") else value
+            }
+            for out_name, (column, func) in aggregates.items():
+                if func == "count":
+                    row[out_name] = int(sel.sum())
+                    continue
+                data = cols[column][sel]
+                if data.size == 0:
+                    row[out_name] = float("nan")
+                elif func == "sum":
+                    row[out_name] = float(data.sum())
+                elif func == "mean":
+                    row[out_name] = float(data.mean())
+                elif func == "min":
+                    row[out_name] = data.min().item()
+                else:  # max
+                    row[out_name] = data.max().item()
+            rows.append(row)
+        return rows
+
+    # ------------------------------------------------------------------
+    # writes (shard-aware stream ingestion)
+    # ------------------------------------------------------------------
+    def ingest_tick(
+        self,
+        customer_ids: Sequence[int],
+        values: np.ndarray,
+        start_hour: int,
+    ) -> int:
+        """Route one stream batch to the owning shards and append it.
+
+        Rows are split by :func:`shard_of` and each shard appends its
+        slice under its own lock (in parallel when several shards are
+        touched).  A batch must cover *every* customer of each shard it
+        touches — partial shard coverage would desynchronise that
+        shard's clock.
+
+        Returns the new common ``end_hour``.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        ids = [int(cid) for cid in customer_ids]
+        if values.ndim != 2 or values.shape[0] != len(ids):
+            raise ValueError(
+                f"tick values must be ({len(ids)}, hours), got shape "
+                f"{values.shape}"
+            )
+        parts = self._partition(ids)
+        row_of = {cid: i for i, cid in enumerate(ids)}
+
+        def per_shard(sid: int, db: EnergyDatabase) -> int:
+            members = parts[sid]
+            rows = values[[row_of[cid] for cid in members]]
+            return db.ingest_hours(rows, start_hour, customer_ids=members)
+
+        gathered = self._scatter("ingest", per_shard, shard_ids=list(parts))
+        self.metrics.counter("db_ingest_ticks_total").inc()
+        return min(end for _, end in gathered)

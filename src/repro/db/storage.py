@@ -37,6 +37,7 @@ import numpy as np
 from repro.data.loader import load_customers, save_customers
 from repro.data.timeseries import SeriesSet
 from repro.db.engine import EnergyDatabase
+from repro.db.sharding import ShardedEnergyDatabase
 from repro.resilience.faults import fault_bytes, fault_point
 from repro.resilience.retry import DEFAULT_POLICY, RetryPolicy
 
@@ -60,7 +61,9 @@ def _stage_dir(directory: Path) -> Path:
     return directory.parent / f".{directory.name}.staging"
 
 
-def _save_once(db: EnergyDatabase, directory: Path) -> Path:
+def _save_once(
+    db: EnergyDatabase | ShardedEnergyDatabase, directory: Path
+) -> Path:
     staging = _stage_dir(directory)
     if staging.exists():
         shutil.rmtree(staging)  # leftover from a previous crashed save
@@ -106,7 +109,7 @@ def _save_once(db: EnergyDatabase, directory: Path) -> Path:
 
 
 def save_database(
-    db: EnergyDatabase,
+    db: EnergyDatabase | ShardedEnergyDatabase,
     directory: str | Path,
     retry: RetryPolicy | None = DEFAULT_POLICY,
 ) -> Path:
@@ -117,6 +120,11 @@ def save_database(
     complete, so readers never observe a partially-updated data set.
     Transient ``OSError``s are retried under ``retry`` (pass ``None``
     to disable).
+
+    A sharded database saves in the same single-directory format as the
+    single-shard engine (its ``readings`` property reassembles the
+    canonical row order), so the on-disk layout is shard-count agnostic:
+    save with one shard count, load with another.
     """
     directory = Path(directory)
     if retry is None:
@@ -124,7 +132,9 @@ def save_database(
     return retry.call(lambda: _save_once(db, directory), site="storage.save")
 
 
-def _load_once(directory: Path) -> EnergyDatabase:
+def _load_once(
+    directory: Path, shards: int | None = None
+) -> EnergyDatabase | ShardedEnergyDatabase:
     meta_path = directory / META_FILE
     fault_point("storage.load.meta")
     if not meta_path.exists():
@@ -201,19 +211,26 @@ def _load_once(directory: Path) -> EnergyDatabase:
             f"{CUSTOMERS_FILE} and {READINGS_FILE} cover different customer "
             f"ids (e.g. {strays}) — the data set is torn"
         )
-    return EnergyDatabase(
-        customers, readings, index_kind=meta.get("index_kind", "rtree")
-    )
+    index_kind = meta.get("index_kind", "rtree")
+    if shards is not None and shards > 1:
+        return ShardedEnergyDatabase(
+            customers, readings, n_shards=shards, index_kind=index_kind
+        )
+    return EnergyDatabase(customers, readings, index_kind=index_kind)
 
 
 def load_database(
     directory: str | Path,
     retry: RetryPolicy | None = DEFAULT_POLICY,
-) -> EnergyDatabase:
+    shards: int | None = None,
+) -> EnergyDatabase | ShardedEnergyDatabase:
     """Load a database saved by :func:`save_database`.
 
     Transient ``OSError``s are retried under ``retry`` (pass ``None`` to
     disable); corrupt or inconsistent data raises immediately.
+    ``shards > 1`` rebuilds the loaded data set as a hash-partitioned
+    :class:`~repro.db.sharding.ShardedEnergyDatabase` (the format on
+    disk is shard-count agnostic).
 
     Raises
     ------
@@ -224,5 +241,59 @@ def load_database(
     """
     directory = Path(directory)
     if retry is None:
-        return _load_once(directory)
-    return retry.call(lambda: _load_once(directory), site="storage.load")
+        return _load_once(directory, shards=shards)
+    return retry.call(
+        lambda: _load_once(directory, shards=shards), site="storage.load"
+    )
+
+
+# ----------------------------------------------------------------------
+# tenant namespaces
+# ----------------------------------------------------------------------
+def tenant_directory(root: str | Path, tenant_id: str) -> Path:
+    """The per-tenant data directory under a storage root.
+
+    The tenant id is validated against the tenancy alphabet before being
+    used as a path component, so a hostile id can never escape the root.
+    """
+    from repro.tenancy import validate_tenant_id  # local: avoid cycle
+
+    return Path(root) / validate_tenant_id(tenant_id)
+
+
+def save_tenant_database(
+    db: EnergyDatabase | ShardedEnergyDatabase,
+    root: str | Path,
+    tenant_id: str,
+    retry: RetryPolicy | None = DEFAULT_POLICY,
+) -> Path:
+    """Save one tenant's database under ``root/<tenant_id>/``.
+
+    Each tenant directory is written with the same staged atomic rename
+    as :func:`save_database`, so tenants never see each other's partial
+    writes — or data."""
+    return save_database(db, tenant_directory(root, tenant_id), retry=retry)
+
+
+def load_tenant_database(
+    root: str | Path,
+    tenant_id: str,
+    retry: RetryPolicy | None = DEFAULT_POLICY,
+    shards: int | None = None,
+) -> EnergyDatabase | ShardedEnergyDatabase:
+    """Load one tenant's database from ``root/<tenant_id>/``."""
+    return load_database(
+        tenant_directory(root, tenant_id), retry=retry, shards=shards
+    )
+
+
+def list_tenant_databases(root: str | Path) -> list[str]:
+    """Tenant ids with a loadable data set under ``root``, sorted."""
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    return sorted(
+        entry.name
+        for entry in root.iterdir()
+        if entry.is_dir() and (entry / META_FILE).exists()
+    )

@@ -24,6 +24,7 @@ from repro.resilience import faults
 from repro.resilience.faults import FaultPlan
 from repro.server.app import VapApp
 from repro.server.serving import make_threaded_server
+from repro.tenancy import TenantQuota, TenantRegistry
 
 # Module-level alias so tests (and embedders) can swap the server factory.
 make_server = make_threaded_server
@@ -60,6 +61,24 @@ def main(argv: list[str] | None = None) -> None:
         "--fault-seed", type=int, default=0,
         help="seed for the fault plan's injection streams (default 0)",
     )
+    parser.add_argument(
+        "--shards", type=int, default=None,
+        help="partition the database into this many hash shards with "
+             "parallel scatter-gather queries (default: REPRO_SHARDS "
+             "env var, else 1)",
+    )
+    parser.add_argument(
+        "--tenants", type=str, default=None, metavar="NAMES",
+        help="comma-separated tenant ids; each gets its own isolated "
+             "city/database/caches, selected per request via the "
+             "X-Tenant header or tenant= parameter (the first listed "
+             "tenant is the default)",
+    )
+    parser.add_argument(
+        "--tenant-quota", type=int, default=None, metavar="N",
+        help="per-tenant request quota; beyond it requests get 429 "
+             "(unset = unlimited)",
+    )
     args = parser.parse_args(argv)
 
     injector = None
@@ -70,12 +89,36 @@ def main(argv: list[str] | None = None) -> None:
     city = generate_city(
         CityConfig(n_customers=args.customers, n_days=args.days, seed=args.seed)
     )
-    session = VapSession.from_city(city)
+    tenants = None
+    if args.tenants:
+        quota = (
+            TenantQuota(max_requests=args.tenant_quota)
+            if args.tenant_quota is not None
+            else None
+        )
+        names = [name.strip() for name in args.tenants.split(",") if name.strip()]
+        tenants = TenantRegistry(default_tenant=names[0])
+        for offset, name in enumerate(names):
+            # Distinct seeds per tenant: isolation is visible, not just
+            # asserted.
+            tenant_city = city if offset == 0 else generate_city(
+                CityConfig(
+                    n_customers=args.customers, n_days=args.days,
+                    seed=args.seed + offset,
+                )
+            )
+            tenants.create_from_city(
+                name, tenant_city, shards=args.shards, quota=quota
+            )
+        session = None
+    else:
+        session = VapSession.from_city(city, shards=args.shards)
     app = VapApp(
         session,
         layout=city.layout,
         max_inflight=args.max_inflight if args.max_inflight > 0 else None,
         deadline_seconds=args.deadline_seconds,
+        tenants=tenants,
     )
     with make_server("127.0.0.1", args.port, app, threads=args.threads) as server:
         base = f"http://127.0.0.1:{args.port}"
@@ -86,6 +129,13 @@ def main(argv: list[str] | None = None) -> None:
         )
         print(f"  metrics:   {base}/api/metrics  (?format=prometheus)")
         print(f"  telemetry: {base}/api/telemetry  (?format=svg)")
+        if args.shards is not None and args.shards > 1:
+            print(f"  sharding:  {args.shards} hash shards (scatter-gather)")
+        if tenants is not None:
+            print(
+                f"  tenants:   {', '.join(tenants.names())} "
+                f"(select with X-Tenant header or tenant= param)"
+            )
         if injector is not None:
             sites = ", ".join(
                 f"{s.site}={s.kind}:{s.rate}" for s in injector.plan.specs

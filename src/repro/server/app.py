@@ -87,15 +87,21 @@ from repro.resilience.faults import active_injector
 from repro.resilience.retry import RetryExhausted
 from repro.server.middleware import BackpressureMiddleware, MetricsMiddleware
 from repro.server.router import MethodNotAllowed, Router
+from repro.tenancy import QuotaExceeded, TenantRegistry
 
 _STATUS = {
     200: "200 OK",
     400: "400 Bad Request",
     404: "404 Not Found",
     405: "405 Method Not Allowed",
+    429: "429 Too Many Requests",
     500: "500 Internal Server Error",
     503: "503 Service Unavailable",
 }
+
+# Observability endpoints are never charged against a tenant quota — an
+# over-quota tenant must stay diagnosable.
+_UNCHARGED_PATHS = ("/api/metrics", "/api/telemetry", "/api/health")
 
 
 @dataclass(slots=True)
@@ -118,7 +124,13 @@ class ApiError(Exception):
 
 
 class Request:
-    """Parsed request: query params and (for POST) JSON body."""
+    """Parsed request: query params, tenant and (for POST) JSON body.
+
+    ``tenant`` and ``session`` are filled in by the dispatcher after
+    tenant resolution; handlers read :attr:`session` instead of the
+    app-level default so every request operates on its own tenant's
+    isolated database and caches.
+    """
 
     def __init__(self, environ: dict) -> None:
         self.method = environ.get("REQUEST_METHOD", "GET").upper()
@@ -126,6 +138,9 @@ class Request:
         self.query: dict[str, str] = {
             k: v[-1] for k, v in parse_qs(environ.get("QUERY_STRING", "")).items()
         }
+        self.tenant_header: str | None = environ.get("HTTP_X_TENANT")
+        self.tenant: str | None = None
+        self.session: VapSession | None = None
         self.body: object = None
         try:
             length = int(environ.get("CONTENT_LENGTH") or 0)
@@ -196,7 +211,7 @@ class VapApp:
 
     def __init__(
         self,
-        session: VapSession,
+        session: VapSession | None = None,
         layout: CityLayout | None = None,
         registry: obs.MetricsRegistry | None = None,
         window_store: obs.TimeWindowStore | None = None,
@@ -204,7 +219,27 @@ class VapApp:
         max_inflight: int | None = None,
         deadline_seconds: float | None = None,
         retry_after_seconds: float = 1.0,
+        tenants: TenantRegistry | None = None,
     ) -> None:
+        if session is None and tenants is None:
+            raise ValueError("VapApp needs a session or a tenant registry")
+        if tenants is None:
+            # Single-tenant deployment: the given session becomes the
+            # registry's default tenant, so the tenant-routing code path
+            # is identical in both shapes.
+            tenants = TenantRegistry(metrics=registry)
+            tenants.add(tenants.default_tenant, session)
+        self.tenants = tenants
+        if session is None:
+            names = tenants.names()
+            if not names:
+                raise ValueError("tenant registry has no tenants")
+            default = (
+                tenants.default_tenant
+                if tenants.default_tenant in tenants
+                else names[0]
+            )
+            session = tenants.session(default)
         self.session = session
         self.layout = layout
         self._metrics = registry
@@ -258,6 +293,28 @@ class VapApp:
     def __call__(self, environ: dict, start_response: Callable) -> Iterable[bytes]:
         return self._pipeline(environ, start_response)
 
+    def _resolve_tenant(self, request: Request) -> None:
+        """Fill ``request.tenant``/``request.session`` from the
+        ``X-Tenant`` header or ``tenant=`` parameter (header wins; a
+        disagreement between the two is a client error), charging the
+        tenant's quota for non-observability endpoints."""
+        header = request.tenant_header
+        param = request.query.get("tenant")
+        if header is not None and param is not None and header != param:
+            raise ApiError(
+                400,
+                f"X-Tenant header ({header!r}) and tenant parameter "
+                f"({param!r}) disagree",
+            )
+        name = header or param or self.tenants.default_tenant
+        try:
+            request.session = self.tenants.session(name)
+        except KeyError:
+            raise ApiError(404, f"unknown tenant {name!r}") from None
+        request.tenant = name
+        if request.path not in _UNCHARGED_PATHS:
+            self.tenants.charge(name)
+
     def _dispatch(self, environ: dict, start_response: Callable) -> Iterable[bytes]:
         extra_headers: list[tuple[str, str]] = []
         try:
@@ -265,12 +322,19 @@ class VapApp:
             matched = self.router.match(request.method, request.path)
             if matched is None:
                 raise ApiError(404, f"no such endpoint: {request.path}")
+            self._resolve_tenant(request)
             handler, params = matched
             payload = handler(request, **params)
             status = 200
         except ApiError as exc:
             payload = {"error": exc.message}
             status = exc.status
+        except QuotaExceeded as exc:
+            payload = {"error": str(exc), "tenant": exc.tenant}
+            status = 429
+            extra_headers.append(
+                ("Retry-After", str(self._backpressure.retry_after))
+            )
         except MethodNotAllowed:
             payload = {"error": "method not allowed"}
             status = 405
@@ -486,6 +550,8 @@ class VapApp:
                 "deadline_seconds": self._backpressure.deadline_seconds,
             },
             "resilience": self._resilience_payload(snapshot),
+            "tenants": self.tenants.to_record(),
+            "sharding": self._sharding_payload(snapshot),
             "slow_ops": self.slow_log.records()[: max(top, 0)],
         }
         sink = obs.get_tracer().sink
@@ -497,6 +563,41 @@ class VapApp:
                 "capacity": sink.capacity,
             }
         return payload
+
+    def _sharding_payload(self, snapshot: dict) -> dict:
+        """Per-shard query load and scatter-gather fan-out counters — the
+        ``sharding`` block of ``/api/telemetry``.
+
+        Shard-labelled ``db_query_seconds`` series exist only when a
+        sharded data plane is active; ``by_shard`` is empty otherwise."""
+        by_shard: dict[str, dict[str, float]] = {}
+        for record in snapshot["histograms"]:
+            if record["name"] != "db_query_seconds":
+                continue
+            shard = record["labels"].get("shard")
+            if shard is None:
+                continue
+            entry = by_shard.setdefault(
+                shard, {"queries": 0.0, "seconds": 0.0}
+            )
+            entry["queries"] += record["count"]
+            entry["seconds"] += record["sum"]
+        scatter = {
+            record["labels"].get("op", "?"): record["value"]
+            for record in snapshot["counters"]
+            if record["name"] == "db_scatter_total"
+        }
+        db = self.session.db
+        return {
+            "n_shards": getattr(db, "n_shards", 1),
+            "shard_sizes": (
+                {str(k): v for k, v in db.shard_sizes().items()}
+                if hasattr(db, "shard_sizes")
+                else {}
+            ),
+            "by_shard": dict(sorted(by_shard.items())),
+            "scatter_queries_total": scatter,
+        }
 
     def _resilience_payload(self, snapshot: dict) -> dict:
         """Breaker states, retry totals, degraded serves and injected
@@ -537,24 +638,25 @@ class VapApp:
         return payload
 
     def health(self, request: Request) -> dict:
-        span = self.session.db.time_span
+        span = request.session.db.time_span
         return {
             "status": "ok",
-            "ready": len(self.session.db) > 0,
+            "tenant": request.tenant,
+            "ready": len(request.session.db) > 0,
             "version": __version__,
             "uptime_seconds": self.uptime_seconds,
-            "n_customers": len(self.session.db),
+            "n_customers": len(request.session.db),
             "start_hour": span.start_hour,
             "end_hour": span.end_hour,
         }
 
     def quality(self, request: Request) -> dict:
-        report = self.session.quality.to_record()
-        if self.session.anomalies is not None:
+        report = request.session.quality.to_record()
+        if request.session.anomalies is not None:
             report["anomalies_removed"] = {
-                "spikes": self.session.anomalies.n_spikes,
-                "negatives": self.session.anomalies.n_negatives,
-                "stuck": self.session.anomalies.n_stuck,
+                "spikes": request.session.anomalies.n_spikes,
+                "negatives": request.session.anomalies.n_negatives,
+                "stuck": request.session.anomalies.n_stuck,
             }
         return report
 
@@ -574,7 +676,7 @@ class VapApp:
         }
 
     def customers(self, request: Request) -> dict:
-        db = self.session.db
+        db = request.session.db
         ids: list[int]
         if "bbox" in request.query:
             parts = request.query["bbox"].split(",")
@@ -598,12 +700,12 @@ class VapApp:
 
     def customer(self, request: Request, customer_id: int) -> dict:
         try:
-            return self.session.db.customer(customer_id).to_record()
+            return request.session.db.customer(customer_id).to_record()
         except KeyError:
             raise ApiError(404, f"unknown customer {customer_id}") from None
 
     def readings(self, request: Request, customer_id: int) -> dict:
-        db = self.session.db
+        db = request.session.db
         span = db.time_span
         start = request.param_int("start", span.start_hour)
         end = request.param_int("end", span.end_hour)
@@ -620,7 +722,7 @@ class VapApp:
         }
 
     def embedding(self, request: Request) -> dict:
-        info, degraded = self.session.embed_degradable(
+        info, degraded = request.session.embed_degradable(
             method=request.param_str("method", "tsne"),
             metric=request.param_str("metric", "pearson"),
             perplexity=request.param_float("perplexity", 30.0),
@@ -633,7 +735,7 @@ class VapApp:
             "method": info.method,
             "metric": info.metric,
             "objective": info.objective,
-            "customer_ids": self.session.series.customer_ids,
+            "customer_ids": request.session.series.customer_ids,
             "points": info.coords,
         }
         if degraded:
@@ -676,20 +778,20 @@ class VapApp:
             if isinstance(exc, ApiError):
                 raise
             raise ApiError(400, f"bad selection geometry: {exc}") from exc
-        info = self.session.embed(
+        info = request.session.embed(
             method=str(body.get("method", "tsne")),
         )
         indices = selector.apply(info.coords)
         if indices.size == 0:
             return {"indices": [], "customer_ids": [], "count": 0}
-        pattern = self.session.pattern_of(indices)
+        pattern = request.session.pattern_of(indices)
         return {
             "indices": indices,
-            "customer_ids": self.session.customers_of(indices),
+            "customer_ids": request.session.customers_of(indices),
             "count": int(indices.size),
             "pattern": pattern.archetype.value,
             "pattern_score": pattern.score,
-            "profile": self.session.profile_of(indices),
+            "profile": request.session.profile_of(indices),
         }
 
     def _window(self, request: Request, prefix: str) -> HourWindow:
@@ -707,7 +809,7 @@ class VapApp:
 
     def density(self, request: Request) -> dict:
         window = self._window(request, "t")
-        grid, degraded = self.session.density_degradable(
+        grid, degraded = request.session.density_degradable(
             window,
             bandwidth_m=self._bandwidth(request),
             method=request.param_str("kde_method", "auto"),
@@ -731,7 +833,7 @@ class VapApp:
     def shift(self, request: Request) -> dict:
         t1 = self._window(request, "t1")
         t2 = self._window(request, "t2")
-        field, degraded = self.session.shift_degradable(
+        field, degraded = request.session.shift_degradable(
             t1,
             t2,
             bandwidth_m=self._bandwidth(request),
@@ -760,7 +862,7 @@ class VapApp:
         labelled with its pattern; params ``min_points``, ``min_size``."""
         from repro.core.patterns.autodiscover import propose_selections
 
-        info = self.session.embed(method=request.param_str("method", "tsne"))
+        info = request.session.embed(method=request.param_str("method", "tsne"))
         proposals = propose_selections(
             info.coords,
             min_points=request.param_int("min_points", 5),
@@ -768,7 +870,7 @@ class VapApp:
         )
         out = []
         for proposal in proposals:
-            label = self.session.pattern_of(proposal.indices)
+            label = request.session.pattern_of(proposal.indices)
             out.append(
                 {
                     "cluster_id": proposal.cluster_id,
@@ -787,13 +889,13 @@ class VapApp:
             raise ApiError(400, "horizon must be between 1 and 336 hours")
         method = request.param_str("method", "profile")
         try:
-            values = self.session.forecast(customer_id, horizon, method)
+            values = request.session.forecast(customer_id, horizon, method)
         except KeyError:
             raise ApiError(404, f"unknown customer {customer_id}") from None
         return {
             "customer_id": customer_id,
             "method": method,
-            "start_hour": self.session.series.end_hour,
+            "start_hour": request.session.series.end_hour,
             "values": values,
         }
 
@@ -805,18 +907,18 @@ class VapApp:
         if not isinstance(body, dict) or not isinstance(body.get("query"), str):
             raise ApiError(400, 'body must be {"query": "SELECT ..."}')
         try:
-            rows = self.session.db.sql(body["query"])
+            rows = request.session.db.sql(body["query"])
         except SqlError as exc:
             raise ApiError(400, f"SQL error: {exc}") from exc
         return {"rows": rows, "count": len(rows)}
 
     def kmeans(self, request: Request) -> dict:
         k = request.param_int("k", 5)
-        result = self.session.kmeans_baseline(k=k, seed=request.param_int("seed", 0))
+        result = request.session.kmeans_baseline(k=k, seed=request.param_int("seed", 0))
         return {
             "k": k,
             "inertia": result.inertia,
             "n_iter": result.n_iter,
             "labels": result.labels,
-            "customer_ids": self.session.series.customer_ids,
+            "customer_ids": request.session.series.customer_ids,
         }

@@ -13,14 +13,17 @@ from repro.stream.alerts import Alert, ShiftAlertMonitor
 from repro.stream.clock import SimulatedClock
 from repro.stream.feed import Batch, ReplayFeed
 from repro.stream.online import OnlineShiftMonitor, ShiftUpdate, run_replay
+from repro.stream.routing import ShardRouter, shard_feed
 
 __all__ = [
     "Alert",
     "Batch",
+    "ShardRouter",
     "ShiftAlertMonitor",
     "OnlineShiftMonitor",
     "ReplayFeed",
     "ShiftUpdate",
     "SimulatedClock",
     "run_replay",
+    "shard_feed",
 ]

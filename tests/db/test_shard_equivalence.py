@@ -1,0 +1,390 @@
+"""Differential equivalence: sharded results are bit-identical to unsharded.
+
+The sharded data plane's contract is not "approximately the same answer"
+but *the same bytes*: for every query family (bbox/radius/zone spatial
+lookups, time-range reads, demand aggregation, group-by, top-k, SQL) a
+:class:`~repro.db.sharding.ShardedEnergyDatabase` at any shard count must
+reproduce the single-shard :class:`~repro.db.engine.EnergyDatabase`
+exactly.  Hypothesis generates the query workloads; the assertions compare
+raw buffer bytes (``tobytes``), which catches even NaN-payload or signed
+zero drift that ``==`` would miss.
+
+Shard counts {1, 2, 3, 8} cover the degenerate single-shard wrapper, a
+count that divides the population unevenly, and one sparse enough to leave
+hash gaps.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.data.generator.simulate import CityConfig, generate_city
+from repro.data.timeseries import HourWindow
+from repro.db.engine import DEMAND_STATISTICS, EnergyDatabase
+from repro.db.query import Between, Compare, IsIn
+from repro.db.sharding import ShardedEnergyDatabase, shard_of
+from repro.db.spatial import BBox, Circle, Point
+
+SHARD_COUNTS = (1, 2, 3, 8)
+
+UNIT = st.floats(0.0, 1.0, allow_nan=False)
+
+
+@functools.lru_cache(maxsize=1)
+def _fixtures():
+    """One city, one reference engine, one sharded db per shard count.
+
+    Built lazily at module level (not as pytest fixtures) so hypothesis
+    can reuse them across examples without function-scoped-fixture
+    health-check noise.  Read-only: mutation tests build their own city.
+    """
+    city = generate_city(CityConfig(n_customers=60, n_days=21, seed=101))
+    ref = EnergyDatabase(city.customers, city.raw)
+    sharded = {
+        n: ShardedEnergyDatabase(city.customers, city.raw, n_shards=n)
+        for n in SHARD_COUNTS
+    }
+    return city, ref, sharded
+
+
+def _bits(array: np.ndarray) -> bytes:
+    return np.ascontiguousarray(array).tobytes()
+
+
+def _assert_same_array(a: np.ndarray, b: np.ndarray) -> None:
+    """Bit-identical: same dtype, same shape, same buffer bytes."""
+    assert a.dtype == b.dtype
+    assert a.shape == b.shape
+    assert _bits(a) == _bits(b)
+
+
+def _bbox_from(fracs) -> BBox:
+    _, ref, _ = _fixtures()
+    full = ref.bounding_box()
+    lons = sorted(
+        full.min_lon + f * (full.max_lon - full.min_lon) for f in fracs[:2]
+    )
+    lats = sorted(
+        full.min_lat + f * (full.max_lat - full.min_lat) for f in fracs[2:]
+    )
+    return BBox(lons[0], lats[0], lons[1], lats[1])
+
+
+def _window_from(fracs, min_width: int = 1) -> HourWindow:
+    _, ref, _ = _fixtures()
+    span = ref.time_span
+    a, b = sorted(
+        span.start_hour + int(f * (span.n_hours - min_width)) for f in fracs
+    )
+    return HourWindow(a, b + min_width)
+
+
+class TestShardAssignment:
+    def test_fnv1a_pinned(self):
+        # Saved shard layouts and replayed streams depend on this hash
+        # never changing — pin concrete values, not just properties.
+        assert [shard_of(i, 8) for i in range(10)] == [
+            5, 4, 7, 6, 1, 0, 3, 2, 5, 4,
+        ]
+        assert [shard_of(i, 3) for i in range(10)] == [
+            1, 0, 0, 2, 0, 2, 2, 1, 2, 1,
+        ]
+        assert shard_of(123456789, 16) == 9
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            shard_of(1, 0)
+
+    def test_shards_partition_the_population(self):
+        _, ref, sharded = _fixtures()
+        for n, db in sharded.items():
+            sizes = db.shard_sizes()
+            assert sum(sizes.values()) == len(ref)
+            gathered: set[int] = set()
+            for sid in db.shard_ids:
+                members = set(db.shard(sid).customer_ids)
+                assert not (gathered & members), "shards overlap"
+                assert all(shard_of(cid, n) == sid for cid in members)
+                gathered |= members
+            assert gathered == set(ref.customer_ids)
+
+
+class TestStaticEquivalence:
+    """Whole-database views, no hypothesis needed."""
+
+    def test_metadata(self):
+        _, ref, sharded = _fixtures()
+        for db in sharded.values():
+            assert len(db) == len(ref)
+            assert db.customer_ids == sorted(ref.customer_ids)
+            assert db.time_span == ref.time_span
+            assert db.bounding_box() == ref.bounding_box()
+
+    def test_readings_bit_identical(self):
+        _, ref, sharded = _fixtures()
+        want = ref.readings
+        assert np.isnan(want.matrix).any(), "raw city should contain gaps"
+        for db in sharded.values():
+            got = db.readings
+            assert list(got.customer_ids) == list(want.customer_ids)
+            assert got.start_hour == want.start_hour
+            _assert_same_array(got.matrix, want.matrix)
+
+    def test_table_keeps_insertion_order(self):
+        _, ref, sharded = _fixtures()
+        for db in sharded.values():
+            for name in ("customer_id", "lon", "lat", "zone", "archetype"):
+                _assert_same_array(db.table.column(name), ref.table.column(name))
+
+    def test_sql(self):
+        _, ref, sharded = _fixtures()
+        statements = [
+            "SELECT customer_id, lon, lat FROM customers WHERE lat > 0 "
+            "ORDER BY customer_id",
+            "SELECT zone, count(*) AS n, avg(lat) AS lat FROM customers "
+            "GROUP BY zone",
+        ]
+        for statement in statements:
+            want = ref.sql(statement)
+            for db in sharded.values():
+                assert db.sql(statement) == want
+
+    def test_customer_lookup_and_errors(self):
+        _, ref, sharded = _fixtures()
+        cid = ref.customer_ids[0]
+        missing = max(ref.customer_ids) + 1
+        for db in sharded.values():
+            assert db.customer(cid) == ref.customer(cid)
+            with pytest.raises(KeyError):
+                db.customer(missing)
+            with pytest.raises(KeyError):
+                db.shard_of_customer(missing)
+
+    def test_parallel_false_matches_parallel_true(self):
+        city, _, sharded = _fixtures()
+        serial = ShardedEnergyDatabase(
+            city.customers, city.raw, n_shards=3, parallel=False
+        )
+        window = HourWindow(0, 24 * 7)
+        _assert_same_array(serial.readings.matrix, sharded[3].readings.matrix)
+        _assert_same_array(
+            serial.demand(window, None, "mean")[1],
+            sharded[3].demand(window, None, "mean")[1],
+        )
+        assert (
+            serial.group_by("zone", {"n": ("customer_id", "count")})
+            == sharded[3].group_by("zone", {"n": ("customer_id", "count")})
+        )
+
+
+class TestSpatialWorkloads:
+    @settings(max_examples=25, deadline=None)
+    @given(fracs=st.tuples(UNIT, UNIT, UNIT, UNIT))
+    def test_bbox(self, fracs):
+        _, ref, sharded = _fixtures()
+        box = _bbox_from(fracs)
+        want = np.sort(np.asarray(ref.ids_in_bbox(box), dtype=np.int64))
+        for db in sharded.values():
+            _assert_same_array(db.ids_in_bbox(box), want)
+
+    @settings(max_examples=25, deadline=None)
+    @given(fracs=st.tuples(UNIT, UNIT), radius=st.floats(1.0, 5000.0))
+    def test_radius(self, fracs, radius):
+        _, ref, sharded = _fixtures()
+        full = ref.bounding_box()
+        center = Point(
+            full.min_lon + fracs[0] * (full.max_lon - full.min_lon),
+            full.min_lat + fracs[1] * (full.max_lat - full.min_lat),
+        )
+        circle = Circle(center, radius)
+        want = np.sort(np.asarray(ref.ids_in_radius(circle), dtype=np.int64))
+        for db in sharded.values():
+            _assert_same_array(db.ids_in_radius(circle), want)
+
+    def test_zone(self):
+        _, ref, sharded = _fixtures()
+        zones = sorted(set(ref.table.column("zone").tolist()))
+        assert zones
+        for zone in zones + ["no-such-zone"]:
+            want = np.sort(np.asarray(ref.ids_in_zone(zone), dtype=np.int64))
+            for db in sharded.values():
+                _assert_same_array(db.ids_in_zone(zone), want)
+
+    @settings(max_examples=25, deadline=None)
+    @given(fracs=st.tuples(UNIT, UNIT), k=st.integers(1, 10))
+    def test_nearest_matches_canonical_order(self, fracs, k):
+        _, ref, sharded = _fixtures()
+        full = ref.bounding_box()
+        lon = full.min_lon + fracs[0] * (full.max_lon - full.min_lon)
+        lat = full.min_lat + fracs[1] * (full.max_lat - full.min_lat)
+        # Canonical answer straight from the data: total order (d², id).
+        ranked = sorted(
+            ((c.lon - lon) ** 2 + (c.lat - lat) ** 2, cid)
+            for cid in ref.customer_ids
+            for c in [ref.customer(cid)]
+        )
+        # A distance tie at the k boundary makes the *set* ambiguous;
+        # the engine breaks such ties by traversal order, so skip them.
+        assume(k >= len(ranked) or ranked[k - 1][0] < ranked[k][0])
+        want = np.asarray([cid for _, cid in ranked[:k]], dtype=np.int64)
+        for db in sharded.values():
+            _assert_same_array(db.nearest(lon, lat, k=k), want)
+        assert set(ref.nearest(lon, lat, k=k).tolist()) == set(want.tolist())
+
+
+class TestTemporalWorkloads:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        fracs=st.tuples(UNIT, UNIT),
+        indices=st.lists(st.integers(0, 59), min_size=1, max_size=20, unique=True),
+    )
+    def test_time_range_reads(self, fracs, indices):
+        _, ref, sharded = _fixtures()
+        window = _window_from(fracs)
+        ids = [ref.readings.customer_ids[i] for i in indices]
+        want = ref.readings_for(ids, window)
+        for db in sharded.values():
+            got = db.readings_for(ids, window)
+            assert list(got.customer_ids) == list(want.customer_ids)
+            assert got.start_hour == want.start_hour
+            _assert_same_array(got.matrix, want.matrix)
+
+    @settings(max_examples=25, deadline=None)
+    @given(fracs=st.tuples(UNIT, UNIT))
+    def test_full_window_reads(self, fracs):
+        _, ref, sharded = _fixtures()
+        window = _window_from(fracs)
+        want = ref.readings_for(None, window)
+        for db in sharded.values():
+            got = db.readings_for(None, window)
+            assert list(got.customer_ids) == list(want.customer_ids)
+            _assert_same_array(got.matrix, want.matrix)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        fracs=st.tuples(UNIT, UNIT),
+        statistic=st.sampled_from(DEMAND_STATISTICS),
+        indices=st.lists(st.integers(0, 59), min_size=0, max_size=15, unique=True),
+    )
+    def test_demand(self, fracs, statistic, indices):
+        _, ref, sharded = _fixtures()
+        window = _window_from(fracs)
+        ids = [ref.readings.customer_ids[i] for i in indices] or None
+        want_pos, want_val = ref.demand(window, ids, statistic)
+        for db in sharded.values():
+            pos, val = db.demand(window, ids, statistic)
+            _assert_same_array(pos, want_pos)
+            _assert_same_array(val, want_val)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        fracs=st.tuples(UNIT, UNIT),
+        k=st.integers(1, 70),
+        statistic=st.sampled_from(DEMAND_STATISTICS),
+    )
+    def test_top_k(self, fracs, k, statistic):
+        _, ref, sharded = _fixtures()
+        window = _window_from(fracs, min_width=24)
+        want_ids, want_vals = ref.top_consumers(window, k=k, statistic=statistic)
+        for db in sharded.values():
+            ids, vals = db.top_consumers(window, k=k, statistic=statistic)
+            _assert_same_array(ids, want_ids)
+            _assert_same_array(vals, want_vals)
+
+
+def _predicates():
+    """A small predicate algebra over the customers table."""
+    _, ref, _ = _fixtures()
+    full = ref.bounding_box()
+    zones = sorted(set(ref.table.column("zone").tolist()))
+    lon = st.floats(full.min_lon, full.max_lon, allow_nan=False)
+    lat = st.floats(full.min_lat, full.max_lat, allow_nan=False)
+    simple = st.one_of(
+        st.builds(Compare, st.just("lon"), st.sampled_from(("<", ">=")), lon),
+        st.builds(Compare, st.just("lat"), st.sampled_from(("<=", ">")), lat),
+        st.builds(
+            IsIn,
+            st.just("zone"),
+            st.lists(st.sampled_from(zones), min_size=0, max_size=3, unique=True),
+        ),
+        st.builds(
+            lambda a, b: Between("lat", *sorted((a, b))), lat, lat
+        ),
+    )
+    combined = st.one_of(
+        simple,
+        st.builds(lambda a, b: a & b, simple, simple),
+        st.builds(lambda a, b: a | b, simple, simple),
+        st.builds(lambda a: ~a, simple),
+    )
+    return st.one_of(st.none(), combined)
+
+
+class TestGroupByWorkloads:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        key=st.sampled_from(("zone", "archetype")),
+        aggregates=st.dictionaries(
+            st.sampled_from(("n", "total", "low", "high", "avg")),
+            st.tuples(
+                st.sampled_from(("lon", "lat", "customer_id")),
+                st.sampled_from(("count", "sum", "mean", "min", "max")),
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        predicate=st.deferred(_predicates),
+    )
+    def test_group_by(self, key, aggregates, predicate):
+        _, ref, sharded = _fixtures()
+        want = (
+            ref.query().where(predicate).group_by(key, aggregates)
+            if predicate is not None
+            else ref.query().group_by(key, aggregates)
+        )
+        for db in sharded.values():
+            got = db.group_by(key, aggregates, predicate=predicate)
+            # Exact comparison, floats included: the gather recomputes
+            # the same numpy reduction over the same operand order.
+            assert got == want
+
+
+class TestIngestEquivalence:
+    def test_ingest_tick_matches_unsharded_append(self):
+        city = generate_city(CityConfig(n_customers=16, n_days=4, seed=5))
+        total = city.raw.n_steps
+        half = total // 2
+        head = city.raw.slice_hours(0, half)
+        ref = EnergyDatabase(city.customers, head)
+        sharded = ShardedEnergyDatabase(city.customers, head, n_shards=3)
+        ids = [int(c) for c in city.raw.customer_ids]
+        for start in range(half, total, 2):
+            chunk = city.raw.matrix[:, start - 0 : start + 2]
+            ref.ingest_hours(chunk, start, customer_ids=ids)
+            end = sharded.ingest_tick(ids, chunk, start)
+            assert end == ref.time_span.end_hour
+        assert sharded.time_span == ref.time_span
+        _assert_same_array(sharded.readings.matrix, ref.readings.matrix)
+        window = HourWindow(half - 3, total)
+        _assert_same_array(
+            sharded.readings_for(ids[:5], window).matrix,
+            ref.readings_for(ids[:5], window).matrix,
+        )
+
+    def test_partial_shard_tick_rejected(self):
+        city = generate_city(CityConfig(n_customers=16, n_days=2, seed=5))
+        sharded = ShardedEnergyDatabase(city.customers, city.raw, n_shards=3)
+        sid = sharded.shard_ids[0]
+        members = sharded.shard(sid).customer_ids
+        assert len(members) > 1
+        with pytest.raises(ValueError, match="cover exactly"):
+            sharded.ingest_tick(
+                members[:1],
+                np.zeros((1, 2)),
+                sharded.time_span.end_hour,
+            )

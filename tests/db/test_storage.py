@@ -234,3 +234,98 @@ class TestCrashSafety:
         assert not staging.exists()
         with faults.disarmed():
             assert len(load_database(target, retry=None)) == len(small_db)
+
+
+class TestShardedRoundTrip:
+    """The on-disk format is shard-count-agnostic.
+
+    A sharded database saves as one flat artifact; loading may pick any
+    shard count (including 1) and must reproduce the same data
+    bit-exactly.  The CI chaos job runs these under an injected fault
+    plan, so the sharded paths also prove they sit on the retrying,
+    crash-safe save/load core.
+    """
+
+    def test_save_sharded_load_any_shard_count(self, small_city, tmp_path):
+        from repro.db.sharding import ShardedEnergyDatabase
+
+        db = ShardedEnergyDatabase(small_city.customers, small_city.raw, n_shards=4)
+        save_database(db, tmp_path / "store")
+        flat = load_database(tmp_path / "store")
+        assert not hasattr(flat, "shard_ids")
+        np.testing.assert_array_equal(flat.readings.matrix, db.readings.matrix)
+        # shards=1 keeps the single-lock engine, like build_database.
+        assert not hasattr(
+            load_database(tmp_path / "store", shards=1), "shard_ids"
+        )
+        for n in (3, 8):
+            loaded = load_database(tmp_path / "store", shards=n)
+            assert loaded.n_shards == n
+            assert loaded.customer_ids == db.customer_ids
+            np.testing.assert_array_equal(
+                np.asarray(loaded.readings.customer_ids),
+                np.asarray(db.readings.customer_ids),
+            )
+            np.testing.assert_array_equal(
+                loaded.readings.matrix, db.readings.matrix
+            )
+
+    def test_save_flat_load_sharded(self, small_db, tmp_path):
+        save_database(small_db, tmp_path / "store")
+        loaded = load_database(tmp_path / "store", shards=2)
+        assert loaded.n_shards == 2
+        assert loaded.index_kind == small_db.index_kind
+        np.testing.assert_array_equal(
+            loaded.readings.matrix, small_db.readings.matrix
+        )
+        box = small_db.bounding_box()
+        assert loaded.bounding_box() == box
+
+
+class TestTenantStorage:
+    def test_tenant_directories_are_isolated(self, small_city, tmp_path):
+        from repro.data.generator.simulate import CityConfig, generate_city
+        from repro.db.engine import EnergyDatabase
+        from repro.db.storage import (
+            list_tenant_databases,
+            load_tenant_database,
+            save_tenant_database,
+        )
+
+        other_city = generate_city(CityConfig(n_customers=30, n_days=7, seed=9))
+        acme = EnergyDatabase(small_city.customers, small_city.raw)
+        globex = EnergyDatabase(other_city.customers, other_city.raw)
+        root = tmp_path / "tenants"
+        save_tenant_database(acme, root, "acme")
+        save_tenant_database(globex, root, "globex")
+        assert list_tenant_databases(root) == ["acme", "globex"]
+
+        back_acme = load_tenant_database(root, "acme")
+        back_globex = load_tenant_database(root, "globex", shards=3)
+        assert len(back_acme) == len(acme)
+        assert len(back_globex) == len(globex)
+        np.testing.assert_array_equal(
+            back_acme.readings.matrix, acme.readings.matrix
+        )
+        np.testing.assert_array_equal(
+            back_globex.readings.matrix, globex.readings.matrix
+        )
+        # Re-saving one tenant never touches the other's files.
+        before = sorted(
+            p.relative_to(root) for p in (root / "globex").rglob("*")
+        )
+        save_tenant_database(acme, root, "acme")
+        after = sorted(
+            p.relative_to(root) for p in (root / "globex").rglob("*")
+        )
+        assert before == after
+
+    def test_hostile_tenant_id_cannot_escape_root(self, small_db, tmp_path):
+        from repro.db.storage import save_tenant_database, tenant_directory
+
+        for bad in ("../evil", "a/b", "", ".hidden", "x" * 65):
+            with pytest.raises(ValueError, match="tenant id"):
+                tenant_directory(tmp_path, bad)
+            with pytest.raises(ValueError, match="tenant id"):
+                save_tenant_database(small_db, tmp_path, bad)
+        assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,104 @@
+"""The DTW row ceiling: typed error, dispatch, and the API mapping.
+
+``dtw_distance_matrix`` is O(n²) DTW evaluations — at fleet scale it
+would run for hours, so oversize inputs raise :class:`DtwLimitError`
+up front.  The error is a ``ValueError`` subclass carrying the offending
+row count and the limit, which the server's ValueError→400 mapping turns
+into a client error that *names the limit* instead of a hung request.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.reduction.distances import METRICS, pairwise_distances
+from repro.core.reduction.dtw import (
+    MAX_DTW_ROWS,
+    DtwLimitError,
+    dtw_distance_matrix,
+)
+
+
+class TestDtwLimitError:
+    def test_typed_error_with_limit_in_message(self):
+        features = np.random.default_rng(0).normal(size=(7, 20))
+        with pytest.raises(DtwLimitError) as excinfo:
+            dtw_distance_matrix(features, max_rows=6)
+        err = excinfo.value
+        assert isinstance(err, ValueError)
+        assert err.n_rows == 7
+        assert err.max_rows == 6
+        assert "max_rows=6" in str(err)
+        assert "7 rows" in str(err)
+
+    def test_default_ceiling(self):
+        assert MAX_DTW_ROWS == 512
+        features = np.zeros((MAX_DTW_ROWS + 1, 4))
+        with pytest.raises(DtwLimitError, match=r"max_rows=512"):
+            dtw_distance_matrix(features)
+
+    def test_at_the_ceiling_is_allowed(self):
+        features = np.random.default_rng(1).normal(size=(5, 16))
+        out = dtw_distance_matrix(features, max_rows=5)
+        assert out.shape == (5, 5)
+        assert np.allclose(np.diag(out), 0.0)
+
+    def test_raised_before_any_dtw_work(self):
+        # NaN input past the guard would raise a different ValueError;
+        # the limit check must fire first (fail fast, not fail late).
+        features = np.full((9, 4), np.nan)
+        with pytest.raises(DtwLimitError):
+            dtw_distance_matrix(features, max_rows=8)
+
+
+class TestMetricDispatch:
+    def test_dtw_is_a_registered_metric(self):
+        assert "dtw" in METRICS
+
+    def test_dispatch_matches_direct_call(self):
+        features = np.random.default_rng(2).normal(size=(6, 24))
+        np.testing.assert_array_equal(
+            pairwise_distances(features, metric="dtw"),
+            dtw_distance_matrix(features),
+        )
+
+    def test_dispatch_propagates_the_limit(self):
+        features = np.zeros((MAX_DTW_ROWS + 1, 3))
+        with pytest.raises(DtwLimitError):
+            pairwise_distances(features, metric="dtw")
+
+
+class TestServerMapping:
+    """Regression: an oversize DTW embedding request is a 400, not a hang."""
+
+    def test_oversize_fleet_gets_400_naming_the_limit(self):
+        from repro.core.pipeline import VapSession
+        from repro.data.generator.simulate import CityConfig, generate_city
+        from repro.server import VapApp
+        from repro.server.client import TestClient
+
+        city = generate_city(
+            CityConfig(n_customers=MAX_DTW_ROWS + 8, n_days=7, seed=3)
+        )
+        client = TestClient(VapApp(VapSession.from_city(city, shards=1)))
+        response = client.get(
+            "/api/embedding?metric=dtw&method=mds_classical"
+        )
+        assert response.status == 400
+        assert f"max_rows={MAX_DTW_ROWS}" in response.json["error"]
+
+    def test_small_fleet_dtw_embedding_succeeds(self):
+        from repro.core.pipeline import VapSession
+        from repro.data.generator.simulate import CityConfig, generate_city
+        from repro.server import VapApp
+        from repro.server.client import TestClient
+
+        city = generate_city(CityConfig(n_customers=12, n_days=7, seed=3))
+        client = TestClient(VapApp(VapSession.from_city(city, shards=1)))
+        response = client.get(
+            "/api/embedding?metric=dtw&method=mds_classical"
+        )
+        assert response.status == 200
+        assert response.json["metric"] == "dtw"
+        assert len(response.json["points"]) == 12

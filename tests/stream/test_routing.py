@@ -1,0 +1,79 @@
+"""Shard-aware routing of replay batches (stream → data plane)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generator.simulate import CityConfig, generate_city
+from repro.db.engine import EnergyDatabase
+from repro.db.sharding import ShardedEnergyDatabase, shard_of
+from repro.stream import ReplayFeed, ShardRouter, shard_feed
+
+
+@pytest.fixture()
+def city():
+    return generate_city(CityConfig(n_customers=20, n_days=4, seed=11))
+
+
+def _split(city):
+    total = city.raw.n_steps
+    half = total // 2
+    return city.raw.slice_hours(0, half), city.raw.slice_hours(half, total)
+
+
+class TestShardRouter:
+    def test_routes_to_plain_engine(self, city):
+        head, rest = _split(city)
+        db = EnergyDatabase(city.customers, head)
+        feed = ReplayFeed(rest, hours_per_tick=6)
+        applied = ShardRouter(db, rest.customer_ids).replay(feed)
+        assert applied == feed.n_ticks
+        assert db.time_span.end_hour == city.raw.n_steps
+        np.testing.assert_array_equal(db.readings.matrix, city.raw.matrix)
+
+    def test_routes_to_sharded_database(self, city):
+        head, rest = _split(city)
+        db = ShardedEnergyDatabase(city.customers, head, n_shards=3)
+        ShardRouter(db, rest.customer_ids).replay(
+            ReplayFeed(rest, hours_per_tick=6)
+        )
+        assert db.time_span.end_hour == city.raw.n_steps
+        got = db.readings
+        rows = {int(c): i for i, c in enumerate(city.raw.customer_ids)}
+        order = [rows[int(c)] for c in got.customer_ids]
+        np.testing.assert_array_equal(got.matrix, city.raw.matrix[order, :])
+
+    def test_max_ticks_stops_early(self, city):
+        head, rest = _split(city)
+        db = EnergyDatabase(city.customers, head)
+        applied = ShardRouter(db, rest.customer_ids).replay(
+            ReplayFeed(rest, hours_per_tick=1), max_ticks=3
+        )
+        assert applied == 3
+        assert db.time_span.end_hour == head.end_hour + 3
+
+
+class TestShardFeed:
+    def test_covers_exactly_one_shard(self, city):
+        n_shards = 3
+        seen: set[int] = set()
+        for sid in range(n_shards):
+            feed = shard_feed(city.raw, sid, n_shards, hours_per_tick=2)
+            if feed is None:
+                continue
+            members = [int(c) for c in feed.series_set.customer_ids]
+            assert all(shard_of(cid, n_shards) == sid for cid in members)
+            assert not (seen & set(members))
+            seen |= set(members)
+        assert seen == {int(c) for c in city.raw.customer_ids}
+
+    def test_empty_shard_returns_none(self):
+        city = generate_city(CityConfig(n_customers=3, n_days=2, seed=1))
+        # 3 customers over 64 shards: most shards must be empty.
+        empties = sum(
+            shard_feed(city.raw, sid, 64) is None for sid in range(64)
+        )
+        assert empties == 64 - len(
+            {shard_of(int(c), 64) for c in city.raw.customer_ids}
+        )
