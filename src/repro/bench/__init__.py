@@ -6,6 +6,6 @@ ground-truth twin and writes a machine-readable ``BENCH_PERF.json`` so the
 perf trajectory is tracked across PRs instead of anecdotally.
 """
 
-from repro.bench.perf import run_bench, write_bench
+from repro.bench.perf import bench_profiler_overhead, run_bench, write_bench
 
-__all__ = ["run_bench", "write_bench"]
+__all__ = ["bench_profiler_overhead", "run_bench", "write_bench"]

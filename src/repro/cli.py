@@ -14,10 +14,14 @@ Six commands cover the tool's operational surface:
 - ``serve`` — serve the REST API with the threaded WSGI server
   (``--threads``/``--max-inflight``/``--deadline-seconds`` control
   concurrency and backpressure, ``--fault-plan`` arms deterministic
-  chaos injection; same as ``python -m repro.server``);
+  chaos injection, ``--profile-hz`` runs the continuous profiler; same
+  as ``python -m repro.server``);
+- ``profile`` — stack-sample a representative in-process workload and
+  write folded stacks or a flamegraph SVG;
 - ``bench`` — time the fast kernels against their exact twins and write
   the machine-readable ``BENCH_PERF.json`` perf-trajectory document
-  (``--quick`` for the CI smoke variant).
+  (``--quick`` for the CI smoke variant; also measures continuous-
+  profiler overhead).
 """
 
 from __future__ import annotations
@@ -103,6 +107,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="restrict to one kernel (repeatable): tsne/kde/perplexity/dtw",
     )
     bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--no-profiler", action="store_true",
+        help="skip the continuous-profiler overhead measurement",
+    )
 
     serve = commands.add_parser(
         "serve", help="serve the REST API (threaded WSGI server)"
@@ -147,6 +155,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "--tenant-quota", type=int, default=None, metavar="N",
         help="per-tenant request quota (429 beyond it; unset = unlimited)",
     )
+    serve.add_argument(
+        "--profile-hz", type=float, default=0.0, metavar="HZ",
+        help="run the continuous stack-sampling profiler at this rate "
+             "(0 disables; /api/profile burst-samples on demand)",
+    )
+
+    profile = commands.add_parser(
+        "profile", help="stack-sample a workload, write folded stacks or SVG"
+    )
+    profile.add_argument("--seconds", type=float, default=5.0,
+                         help="how long to sample (default 5)")
+    profile.add_argument("--hz", type=float, default=100.0,
+                         help="samples per second (default 100)")
+    profile.add_argument(
+        "--out", type=Path, default=Path("profile.svg"),
+        help="output path; .svg renders a flamegraph, anything else "
+             "writes folded-stack text",
+    )
+    profile.add_argument("--customers", type=int, default=60)
+    profile.add_argument("--days", type=int, default=21)
+    profile.add_argument("--seed", type=int, default=7)
     return parser
 
 
@@ -337,7 +366,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     """Time fast kernels vs exact twins; write the perf-trajectory JSON."""
     from repro.bench import run_bench, write_bench
 
-    document = run_bench(quick=args.quick, kernels=args.kernel, seed=args.seed)
+    document = run_bench(
+        quick=args.quick, kernels=args.kernel, seed=args.seed,
+        profiler=not args.no_profiler,
+    )
     write_bench(args.out, document)
     print(f"{'kernel':<12}{'n':>8}{'exact s':>10}{'fast s':>10}{'speedup':>9}")
     for kernel, payload in document["kernels"].items():
@@ -347,7 +379,63 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"{kernel:<12}{size:>8}{run['exact_seconds']:>10.3f}"
                 f"{run['fast_seconds']:>10.3f}{run['speedup']:>8.1f}x"
             )
+    prof = document.get("profiler")
+    if prof is not None:
+        print(
+            f"profiler overhead @ {prof['hz']:g} hz: "
+            f"{prof['baseline_ops_per_s']:.1f} -> "
+            f"{prof['profiled_ops_per_s']:.1f} ops/s "
+            f"({prof['overhead_pct']:.1f}% cost, {prof['samples']} samples)"
+        )
     print(f"perf document written to {args.out}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Sample a representative workload and write the profile."""
+    import threading
+
+    from repro.obs.profiler import StackProfiler, render_folded
+
+    city = generate_city(
+        CityConfig(n_customers=args.customers, n_days=args.days,
+                   seed=args.seed)
+    )
+    session = VapSession.from_city(city)
+    profiler = StackProfiler(hz=args.hz)
+    profiler.start()
+    stop = threading.Event()
+
+    def workload() -> None:
+        # Loop the heavy endpoints until the sampling window closes so
+        # the profile actually contains kernel frames, not idle waits.
+        seed = 0
+        while not stop.is_set():
+            session.embed(n_iter=50, seed=seed)
+            session.kmeans_baseline(k=4, seed=seed)
+            seed += 1
+
+    worker = threading.Thread(target=workload, daemon=True)
+    worker.start()
+    try:
+        counts = profiler.collect(args.seconds)
+    finally:
+        stop.set()
+        worker.join(timeout=10.0)
+        profiler.stop()
+    total = sum(counts.values())
+    if args.out.suffix.lower() == ".svg":
+        from repro.viz.flamegraph import render_flamegraph
+
+        args.out.write_text(render_flamegraph(
+            counts, title=f"repro profile ({args.seconds:g}s @ {args.hz:g}hz)"
+        ))
+    else:
+        args.out.write_text(render_folded(counts))
+    print(
+        f"profiled {args.seconds:g}s at {args.hz:g} hz: {total} samples, "
+        f"{len(counts)} distinct stacks -> {args.out}"
+    )
     return 0
 
 
@@ -374,6 +462,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         argv += ["--tenants", args.tenants]
     if args.tenant_quota is not None:
         argv += ["--tenant-quota", str(args.tenant_quota)]
+    if args.profile_hz:
+        argv += ["--profile-hz", str(args.profile_hz)]
     server_main(argv)
     return 0
 
@@ -385,6 +475,7 @@ _COMMANDS = {
     "sql": _cmd_sql,
     "stats": _cmd_stats,
     "serve": _cmd_serve,
+    "profile": _cmd_profile,
     "bench": _cmd_bench,
 }
 

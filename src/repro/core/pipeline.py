@@ -124,21 +124,23 @@ class VapSession:
         else:
             self.series = db.readings
         self._features: SingleFlightCache[FeatureKind, np.ndarray] = (
-            SingleFlightCache()
+            SingleFlightCache(name="features")
         )
         self._member_labels: SingleFlightCache[str, list[PatternLabel]] = (
-            SingleFlightCache()
+            SingleFlightCache(name="labels")
         )
         self._embeddings: SingleFlightCache[tuple, EmbeddingInfo] = (
             SingleFlightCache(
                 max_entries=max_embeddings,
                 on_evict=lambda key, value: self._evicted("embed"),
+                name="embed",
             )
         )
         self._densities: SingleFlightCache[tuple, DensityGrid] = (
             SingleFlightCache(
                 max_entries=max_densities,
                 on_evict=lambda key, value: self._evicted("density"),
+                name="density",
             )
         )
         self._grid_lock = threading.RLock()

@@ -60,17 +60,24 @@ class SingleFlightCache(Generic[K, V]):
     on_evict:
         ``(key, value) -> None`` called for every evicted entry, outside
         the cache lock (safe to touch metrics or logs).
+    name:
+        Optional cache name.  When set, the leader's computation runs
+        inside a ``cache.<name>.leader`` span, so the one thread that
+        actually pays for a miss shows up in the request's trace (the
+        waiters just block and stay invisible).
     """
 
     def __init__(
         self,
         max_entries: int | None = None,
         on_evict: Callable[[K, V], None] | None = None,
+        name: str | None = None,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self._max = max_entries
         self._on_evict = on_evict
+        self.name = name
         self._lock = threading.Lock()
         self._values: OrderedDict[K, V] = OrderedDict()
         self._calls: dict[K, _Call] = {}
@@ -144,7 +151,13 @@ class SingleFlightCache(Generic[K, V]):
             return call.value, WAITER  # type: ignore[return-value]
 
         try:
-            value = compute()
+            if self.name is not None:
+                from repro import obs  # late: keep core importable alone
+
+                with obs.span(f"cache.{self.name}.leader", key=str(key)):
+                    value = compute()
+            else:
+                value = compute()
         except BaseException as exc:
             call.error = exc
             with self._lock:

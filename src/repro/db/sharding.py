@@ -215,16 +215,27 @@ class ShardedEnergyDatabase:
         on different shards proceed fully in parallel.  Multi-target
         scatters fan out on the shared executor; results come back in
         ascending shard-id order regardless of completion order.
+
+        The caller's :class:`~repro.obs.TraceContext` (request id,
+        tenant, deadline, active span) is captured here and re-bound
+        inside each pool worker, so per-shard spans stitch into the
+        caller's trace and shard-side log/slow-op records keep the
+        originating request id — ContextVars alone do not cross the pool
+        boundary.
         """
         targets = sorted(self._shards) if shard_ids is None else sorted(shard_ids)
         self.metrics.counter("db_scatter_total", op=op).inc()
         self.metrics.counter("db_scatter_fanout_total", op=op).inc(len(targets))
         if len(targets) <= 1 or not self._parallel:
             return [(sid, fn(sid, self._shards[sid])) for sid in targets]
+        ctx = obs.TraceContext.capture()
+
+        def run_shard(sid: int) -> object:
+            with ctx.bind(), obs.span("db.shard", op=op, shard=sid):
+                return fn(sid, self._shards[sid])
+
         pool = _shared_pool()
-        futures = [
-            (sid, pool.submit(fn, sid, self._shards[sid])) for sid in targets
-        ]
+        futures = [(sid, pool.submit(run_shard, sid)) for sid in targets]
         return [(sid, future.result()) for sid, future in futures]
 
     def _partition(self, customer_ids: Sequence[int]) -> dict[int, list[int]]:
@@ -489,9 +500,8 @@ class ShardedEnergyDatabase:
         values = np.zeros(len(ids), dtype=np.float64)
         if ids:
             parts = self._partition(ids)
-            # Mirror the engine's db.demand span from the caller's
-            # thread: per-shard spans open on pool threads, outside the
-            # caller's trace tree.
+            # Open db.demand on the caller's thread; _scatter propagates
+            # the context so per-shard db.shard spans become children.
             with obs.span(
                 "db.demand", statistic=statistic, n_shards=len(parts)
             ):

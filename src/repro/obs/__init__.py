@@ -47,9 +47,12 @@ from typing import Callable
 from repro.obs.logging import (
     JsonLogger,
     bind_request_id,
+    bind_tenant,
     current_request_id,
+    current_tenant,
     new_request_id,
 )
+from repro.obs.profiler import StackProfiler
 from repro.obs.prometheus import render_prometheus
 from repro.obs.registry import (
     COUNT_BUCKETS,
@@ -58,10 +61,19 @@ from repro.obs.registry import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    set_exemplar_provider,
 )
 from repro.obs.sinks import NullSink, RingBufferSink
+from repro.obs.slo import (
+    OBSERVABILITY_ROUTE_PREFIXES,
+    SloEngine,
+    SloSpec,
+    default_slos,
+)
 from repro.obs.spans import SpanRecord, Tracer, span
 from repro.obs.timewindow import SlowOpLog, TimeWindowStore
+from repro.obs.tracecontext import TraceContext, current_remote_parent
+from repro.obs.tracestore import TraceStore
 
 __all__ = [
     "COUNT_BUCKETS",
@@ -73,22 +85,35 @@ __all__ = [
     "MetricsRegistry",
     "NullSink",
     "RingBufferSink",
+    "OBSERVABILITY_ROUTE_PREFIXES",
+    "SloEngine",
+    "SloSpec",
     "SlowOpLog",
     "SpanRecord",
+    "StackProfiler",
     "TimeWindowStore",
+    "TraceContext",
+    "TraceStore",
     "Tracer",
     "bind_request_id",
+    "bind_tenant",
     "configure",
     "current_request_id",
+    "current_remote_parent",
+    "current_tenant",
+    "current_trace_id",
+    "default_slos",
     "get_logger",
     "get_registry",
     "get_slow_log",
+    "get_trace_store",
     "get_tracer",
     "get_window_store",
     "log_event",
     "new_request_id",
     "render_prometheus",
     "reset",
+    "set_exemplar_provider",
     "span",
 ]
 
@@ -99,6 +124,24 @@ _default_window_store = TimeWindowStore()
 _default_slow_log = SlowOpLog()
 
 
+def current_trace_id() -> str | None:
+    """The trace id active on this thread (open span or remote parent).
+
+    Installed as the registry's exemplar provider, so any histogram
+    observation made while a trace is active links back to it.
+    """
+    current = _default_tracer.current()
+    if current is not None and current.trace_id is not None:
+        return current.trace_id
+    remote = current_remote_parent()
+    if remote is not None:
+        return remote[0]
+    return None
+
+
+set_exemplar_provider(current_trace_id)
+
+
 def get_registry() -> MetricsRegistry:
     """The process-wide default registry."""
     return _default_registry
@@ -107,6 +150,12 @@ def get_registry() -> MetricsRegistry:
 def get_tracer() -> Tracer:
     """The process-wide default tracer (NullSink until configured)."""
     return _default_tracer
+
+
+def get_trace_store() -> TraceStore | None:
+    """The default tracer's trace store, if one is attached."""
+    store = _default_tracer.store
+    return store if isinstance(store, TraceStore) else None
 
 
 def get_logger() -> JsonLogger:
@@ -135,6 +184,7 @@ def configure(
     tracer: Tracer | None = None,
     sink: object | None = None,
     clock: Callable[[], float] | None = None,
+    trace_store: TraceStore | None = None,
     logger: JsonLogger | None = None,
     window_store: TimeWindowStore | None = None,
     slow_log: SlowOpLog | None = None,
@@ -142,23 +192,32 @@ def configure(
     """Swap the process-wide defaults; returns ``(registry, tracer)``.
 
     Only the arguments given change: ``tracer`` installs that exact
-    tracer (use it to restore a saved one), ``sink``/``clock`` rebuild
-    the default tracer keeping the other half, and ``registry``,
-    ``logger``, ``window_store`` and ``slow_log`` replace their defaults
-    wholesale.
+    tracer (use it to restore a saved one), ``sink``/``clock``/
+    ``trace_store`` rebuild the default tracer keeping the untouched
+    parts, and ``registry``, ``logger``, ``window_store`` and
+    ``slow_log`` replace their defaults wholesale.
     """
     global _default_registry, _default_tracer, _default_logger
     global _default_window_store, _default_slow_log
-    if tracer is not None and (sink is not None or clock is not None):
-        raise ValueError("pass either tracer or sink/clock, not both")
+    if tracer is not None and (
+        sink is not None or clock is not None or trace_store is not None
+    ):
+        raise ValueError(
+            "pass either tracer or sink/clock/trace_store, not both"
+        )
     if registry is not None:
         _default_registry = registry
     if tracer is not None:
         _default_tracer = tracer
-    elif sink is not None or clock is not None:
+    elif sink is not None or clock is not None or trace_store is not None:
         _default_tracer = Tracer(
             sink=sink if sink is not None else _default_tracer.sink,
             clock=clock if clock is not None else _default_tracer.clock,
+            store=(
+                trace_store
+                if trace_store is not None
+                else _default_tracer.store
+            ),
         )
     if logger is not None:
         _default_logger = logger

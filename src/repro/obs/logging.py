@@ -39,6 +39,7 @@ LEVELS: dict[str, int] = {
 }
 
 _request_id: ContextVar[str | None] = ContextVar("repro_request_id", default=None)
+_tenant: ContextVar[str | None] = ContextVar("repro_tenant", default=None)
 
 
 def new_request_id() -> str:
@@ -64,6 +65,27 @@ def bind_request_id(request_id: str) -> Iterator[str]:
         yield request_id
     finally:
         _request_id.reset(token)
+
+
+def current_tenant() -> str | None:
+    """The tenant bound to the current context, if any."""
+    return _tenant.get()
+
+
+@contextmanager
+def bind_tenant(tenant: str | None) -> Iterator[str | None]:
+    """Bind a tenant id for the block's duration (None binds "no tenant").
+
+    The server binds the resolved tenant around each handler call so
+    spans, slow-op records and log lines emitted while handling the
+    request — including shard tasks on pool threads, which re-bind a
+    captured context — can be attributed per tenant.
+    """
+    token = _tenant.set(tenant)
+    try:
+        yield tenant
+    finally:
+        _tenant.reset(token)
 
 
 class JsonLogger:
@@ -128,6 +150,9 @@ class JsonLogger:
         request_id = _request_id.get()
         if request_id is not None:
             record["request_id"] = request_id
+        tenant = _tenant.get()
+        if tenant is not None:
+            record.setdefault("tenant", tenant)
         record.update(fields)
         line = json.dumps(record, default=str, separators=(",", ":"))
         try:

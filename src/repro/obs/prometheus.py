@@ -13,7 +13,11 @@ Format rules honoured here:
 - one ``# TYPE`` line per metric name, before its first sample;
 - histogram ``_bucket`` samples are *cumulative* over increasing ``le``
   (our internal per-bucket counts are not) and always end with
-  ``le="+Inf"`` equal to ``_count``.
+  ``le="+Inf"`` equal to ``_count``;
+- bucket exemplars use the OpenMetrics suffix syntax
+  ``... # {trace_id="<id>"} <value>`` so a scraped latency bucket links
+  straight to the trace that landed in it.  Plain 0.0.4 scrapers treat
+  everything after ``#`` as a comment, so exemplars degrade gracefully.
 """
 
 from __future__ import annotations
@@ -77,6 +81,14 @@ def _label_str(labels: dict[str, object], extra: list[tuple[str, str]] | None = 
     return "{" + ",".join(f'{k}="{v}"' for k, v in pairs) + "}"
 
 
+def _exemplar_str(exemplar: dict | None) -> str:
+    """OpenMetrics exemplar suffix for a bucket sample, or ``""``."""
+    if not exemplar:
+        return ""
+    trace_id = escape_label_value(str(exemplar["trace_id"]))
+    return f' # {{trace_id="{trace_id}"}} {format_value(exemplar["value"])}'
+
+
 def render_prometheus(snapshot: dict) -> str:
     """Render a registry snapshot dict as Prometheus exposition text.
 
@@ -111,18 +123,21 @@ def render_prometheus(snapshot: dict) -> str:
         type_line(name, "histogram")
         labels = record["labels"]
         running = 0
+        overflow_exemplar = ""
         for bucket in record["buckets"]:
+            exemplar = _exemplar_str(bucket.get("exemplar"))
             if bucket["le"] == "+Inf":
+                overflow_exemplar = exemplar
                 continue
             running += bucket["count"]
             le = format_value(float(bucket["le"]))
             lines.append(
                 f"{name}_bucket{_label_str(labels, extra=[('le', le)])} "
-                f"{running}"
+                f"{running}{exemplar}"
             )
         lines.append(
             f"{name}_bucket{_label_str(labels, extra=[('le', '+Inf')])} "
-            f"{record['count']}"
+            f"{record['count']}{overflow_exemplar}"
         )
         lines.append(
             f"{name}_sum{_label_str(labels)} {format_value(record['sum'])}"

@@ -45,6 +45,20 @@ def _label_key(labels: dict[str, object]) -> Labels:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+# Optional callable returning the current trace id (or None).  Installed
+# by :mod:`repro.obs` at import time; kept as an injection point here so
+# the registry never imports the tracer (that would be a cycle) and so
+# tests can stub it.  When set, histogram observations automatically pick
+# up an exemplar linking the bucket to the trace that produced it.
+_exemplar_provider: Callable[[], str | None] | None = None
+
+
+def set_exemplar_provider(provider: Callable[[], str | None] | None) -> None:
+    """Install (or clear) the process-wide exemplar trace-id provider."""
+    global _exemplar_provider
+    _exemplar_provider = provider
+
+
 class Counter:
     """Monotonically increasing value."""
 
@@ -118,7 +132,8 @@ class Histogram:
     """
 
     __slots__ = (
-        "name", "labels", "buckets", "_counts", "_sum", "_count", "_lock"
+        "name", "labels", "buckets", "_counts", "_sum", "_count",
+        "_exemplars", "_lock",
     )
 
     def __init__(
@@ -139,10 +154,19 @@ class Histogram:
         self._counts = [0] * (len(bounds) + 1)  # +1 = +Inf overflow
         self._sum = 0.0
         self._count = 0
+        # Last (trace_id, value) seen per bucket — OpenMetrics exemplars.
+        self._exemplars: list[tuple[str, float] | None] = [None] * (
+            len(bounds) + 1
+        )
         self._lock = lock
 
-    def observe(self, value: float) -> None:
-        """Record one observation.
+    def observe(self, value: float, trace_id: str | None = None) -> None:
+        """Record one observation, optionally tagged with a trace id.
+
+        When ``trace_id`` is omitted the installed exemplar provider
+        (see :func:`set_exemplar_provider`) is consulted, so any
+        observation made while a trace is active links its bucket to
+        that trace for free.
 
         Raises
         ------
@@ -152,11 +176,15 @@ class Histogram:
         value = float(value)
         if value != value:  # NaN
             raise ValueError("cannot observe NaN")
+        if trace_id is None and _exemplar_provider is not None:
+            trace_id = _exemplar_provider()
         index = bisect_left(self.buckets, value)
         with self._lock:
             self._counts[index] += 1
             self._sum += value
             self._count += 1
+            if trace_id is not None:
+                self._exemplars[index] = (trace_id, value)
 
     @property
     def count(self) -> int:
@@ -199,11 +227,24 @@ class Histogram:
 
     def to_record(self) -> dict:
         with self._lock:
-            edges = [
-                {"le": bound, "count": count}
-                for bound, count in zip(self.buckets, self._counts)
-            ]
-            edges.append({"le": "+Inf", "count": self._counts[-1]})
+            edges = []
+            for i, (bound, count) in enumerate(
+                zip(self.buckets, self._counts)
+            ):
+                edge: dict = {"le": bound, "count": count}
+                exemplar = self._exemplars[i]
+                if exemplar is not None:
+                    edge["exemplar"] = {
+                        "trace_id": exemplar[0], "value": exemplar[1]
+                    }
+                edges.append(edge)
+            last: dict = {"le": "+Inf", "count": self._counts[-1]}
+            overflow = self._exemplars[-1]
+            if overflow is not None:
+                last["exemplar"] = {
+                    "trace_id": overflow[0], "value": overflow[1]
+                }
+            edges.append(last)
             return {
                 "name": self.name,
                 "labels": dict(self.labels),

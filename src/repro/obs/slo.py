@@ -1,0 +1,336 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+An :class:`SloSpec` states an objective over a rolling horizon — "99.9%
+of requests succeed", "99% of requests finish under 500 ms" — optionally
+scoped to one route and/or tenant.  The engine counts good and bad
+events per spec into a :class:`~repro.obs.timewindow.TimeWindowStore`
+and evaluates the Google-SRE multi-window multi-burn-rate rules:
+
+    burn_rate(W) = bad_fraction(W) / (1 - objective)
+
+A burn rate of 1 means the error budget is being consumed exactly at the
+rate that would exhaust it over the SLO horizon; 14.4 means fourteen
+times faster.  Each rule pairs a *short* window (fast reaction) with a
+*long* one (noise suppression) and fires only when **both** exceed the
+threshold — a momentary blip trips the short window but not the long
+one, a long-ago incident keeps the long window hot while the short one
+has recovered, and neither alone pages anyone:
+
+- fast: 5 m / 1 h at 14.4× — budget gone in ~2 days; page now.
+- slow: 1 h / 6 h at 6× — budget gone in ~5 days; ticket.
+
+Windows are clamped to the store's retention, so a freshly started
+process evaluates over the data it actually has instead of silently
+reporting zero.  The remaining error budget is reported from the longest
+window: ``1 - bad_fraction(long) / (1 - objective)``, floored at 0.
+
+Alerts fire on the *edge* (a rule transitioning to firing) through any
+dispatcher with a ``dispatch(alert_dict)`` method — see
+:class:`repro.stream.alerts.AlertDispatcher`, which retries delivery via
+:mod:`repro.resilience`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.obs.timewindow import TimeWindowStore
+
+# (rule name, short window s, long window s, burn-rate threshold)
+DEFAULT_BURN_RULES: tuple[tuple[str, float, float, float], ...] = (
+    ("fast", 300.0, 3600.0, 14.4),
+    ("slow", 3600.0, 21600.0, 6.0),
+)
+
+# Routes that describe the system rather than serve analysts.  The stock
+# SLOs leave them out: a deliberate 10-second ``/api/profile`` burst or a
+# scraper hammering ``/api/metrics`` is not user pain, and must not page
+# the latency SLO.  (The server's quota layer treats the same prefixes
+# as uncharged.)
+OBSERVABILITY_ROUTE_PREFIXES: tuple[str, ...] = (
+    "/api/metrics",
+    "/api/telemetry",
+    "/api/health",
+    "/api/traces",
+    "/api/profile",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class SloSpec:
+    """One service-level objective.
+
+    ``kind`` is ``"availability"`` (bad = HTTP 5xx / handler error) or
+    ``"latency"`` (bad = error or slower than ``latency_threshold``
+    seconds).  ``route``/``tenant`` of ``None`` match every request;
+    ``exclude_route_prefixes`` carves routes out of an otherwise-global
+    scope (the stock SLOs exclude the observability endpoints).
+    """
+
+    name: str
+    kind: str
+    objective: float
+    latency_threshold: float = 0.0
+    route: str | None = None
+    tenant: str | None = None
+    exclude_route_prefixes: tuple[str, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("availability", "latency"):
+            raise ValueError(
+                f"kind must be availability or latency, got {self.kind!r}"
+            )
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"objective must be in (0, 1), got {self.objective}"
+            )
+        if self.kind == "latency" and self.latency_threshold <= 0:
+            raise ValueError("a latency SLO needs latency_threshold > 0")
+
+    def matches(self, route: str, tenant: str | None) -> bool:
+        if self.route is not None and self.route != route:
+            return False
+        if self.tenant is not None and self.tenant != tenant:
+            return False
+        if route.startswith(self.exclude_route_prefixes):
+            return False
+        return True
+
+    def is_bad(self, duration: float, error: bool) -> bool:
+        if self.kind == "availability":
+            return error
+        return error or duration > self.latency_threshold
+
+    @property
+    def budget(self) -> float:
+        """The error budget as a fraction (1 - objective)."""
+        return 1.0 - self.objective
+
+
+def default_slos() -> tuple[SloSpec, ...]:
+    """The stock pair: three-nines availability, 99% under 500 ms.
+
+    Both cover analyst-facing traffic only — observability routes are
+    excluded so profiling or trace-dumping the server never burns its
+    own budget."""
+    return (
+        SloSpec(
+            name="availability",
+            kind="availability",
+            objective=0.999,
+            exclude_route_prefixes=OBSERVABILITY_ROUTE_PREFIXES,
+            description="99.9% of requests succeed",
+        ),
+        SloSpec(
+            name="latency",
+            kind="latency",
+            objective=0.99,
+            latency_threshold=0.5,
+            exclude_route_prefixes=OBSERVABILITY_ROUTE_PREFIXES,
+            description="99% of requests finish under 500ms",
+        ),
+    )
+
+
+class SloEngine:
+    """Counts request outcomes per SLO and evaluates burn-rate rules.
+
+    Parameters
+    ----------
+    specs:
+        SLOs to track; defaults to :func:`default_slos`.
+    store:
+        TimeWindowStore for the good/bad counts.  Defaults to a
+        dedicated store with 60 s windows and 6 h retention (the slow
+        rule's long window); inject a narrow one with a fake clock in
+        tests.
+    rules:
+        (name, short, long, threshold) burn-rate rules.
+    dispatcher:
+        Anything with ``dispatch(alert: dict)``; alerts fire on a rule's
+        transition into the firing state.  ``None`` disables delivery
+        (evaluation still works).
+    registry:
+        MetricsRegistry for ``slo_burn_rate``/``slo_error_budget_remaining``
+        gauges and the ``slo_alerts_total`` counter; defaults to the
+        process-wide registry at first use.
+    check_interval:
+        Minimum seconds between evaluations triggered via
+        :meth:`maybe_check`.
+    """
+
+    def __init__(
+        self,
+        specs: tuple[SloSpec, ...] | list[SloSpec] | None = None,
+        store: TimeWindowStore | None = None,
+        rules: tuple[tuple[str, float, float, float], ...] = DEFAULT_BURN_RULES,
+        dispatcher: object | None = None,
+        registry: object | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        check_interval: float = 5.0,
+    ) -> None:
+        self.specs = tuple(specs) if specs is not None else default_slos()
+        names = [s.name for s in self.specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names: {names}")
+        self.store = store if store is not None else TimeWindowStore(
+            width_seconds=60.0, n_windows=360, clock=clock, max_samples=1
+        )
+        self.rules = rules
+        self.dispatcher = dispatcher
+        self._registry = registry
+        self.clock = clock
+        self.check_interval = check_interval
+        self._lock = threading.Lock()
+        self._firing: set[tuple[str, str]] = set()  # (slo, rule)
+        self._last_check = float("-inf")
+
+    def _reg(self):
+        if self._registry is None:
+            from repro import obs  # late: avoid import cycle
+
+            self._registry = obs.get_registry()
+        return self._registry
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        route: str,
+        tenant: str | None,
+        duration: float,
+        error: bool,
+    ) -> None:
+        """Record one finished request against every matching SLO."""
+        for spec in self.specs:
+            if not spec.matches(route, tenant):
+                continue
+            self.store.record("slo.total", slo=spec.name)
+            if spec.is_bad(duration, error):
+                self.store.record("slo.bad", slo=spec.name)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def _window_counts(self, spec: SloSpec, window_seconds: float) -> tuple[int, int]:
+        """(bad, total) summed over the trailing ``window_seconds``,
+        clamped to the store's retention."""
+        horizon = self.clock() - min(
+            window_seconds, self.store.width_seconds * self.store.n_windows
+        )
+        total = 0
+        bad = 0
+        series = self.store.series("slo.total", slo=spec.name)
+        for entry in series["windows"]:
+            if entry["t"] + self.store.width_seconds > horizon:
+                total += entry["count"]
+        series = self.store.series("slo.bad", slo=spec.name)
+        for entry in series["windows"]:
+            if entry["t"] + self.store.width_seconds > horizon:
+                bad += entry["count"]
+        return bad, total
+
+    def evaluate(self) -> list[dict]:
+        """Burn rates, rule states and budget for every SLO (JSON-ready).
+
+        Side effects: updates the ``slo_burn_rate`` and
+        ``slo_error_budget_remaining`` gauges, and fires edge-triggered
+        alerts through the dispatcher.
+        """
+        registry = self._reg()
+        out: list[dict] = []
+        alerts: list[dict] = []
+        with self._lock:
+            for spec in self.specs:
+                rule_states = []
+                budget_remaining = 1.0
+                for rule_name, short_s, long_s, threshold in self.rules:
+                    short_bad, short_total = self._window_counts(spec, short_s)
+                    long_bad, long_total = self._window_counts(spec, long_s)
+                    short_burn = (
+                        (short_bad / short_total) / spec.budget
+                        if short_total else 0.0
+                    )
+                    long_burn = (
+                        (long_bad / long_total) / spec.budget
+                        if long_total else 0.0
+                    )
+                    firing = (
+                        short_total > 0
+                        and long_total > 0
+                        and short_burn >= threshold
+                        and long_burn >= threshold
+                    )
+                    key = (spec.name, rule_name)
+                    if firing and key not in self._firing:
+                        self._firing.add(key)
+                        alerts.append({
+                            "type": "slo_burn_rate",
+                            "slo": spec.name,
+                            "rule": rule_name,
+                            "kind": spec.kind,
+                            "burn_rate": round(short_burn, 3),
+                            "threshold": threshold,
+                            "route": spec.route,
+                            "tenant": spec.tenant,
+                        })
+                    elif not firing:
+                        self._firing.discard(key)
+                    registry.gauge(
+                        "slo_burn_rate", slo=spec.name, rule=rule_name
+                    ).set(short_burn)
+                    rule_states.append({
+                        "rule": rule_name,
+                        "short_seconds": short_s,
+                        "long_seconds": long_s,
+                        "threshold": threshold,
+                        "short_burn_rate": round(short_burn, 4),
+                        "long_burn_rate": round(long_burn, 4),
+                        "firing": firing,
+                    })
+                    # budget from the longest window seen
+                    if long_total:
+                        budget_remaining = min(
+                            budget_remaining,
+                            1.0 - (long_bad / long_total) / spec.budget,
+                        )
+                budget_remaining = max(0.0, budget_remaining)
+                registry.gauge(
+                    "slo_error_budget_remaining", slo=spec.name
+                ).set(budget_remaining)
+                out.append({
+                    "name": spec.name,
+                    "kind": spec.kind,
+                    "objective": spec.objective,
+                    "latency_threshold_seconds": spec.latency_threshold or None,
+                    "route": spec.route,
+                    "tenant": spec.tenant,
+                    "error_budget_remaining": round(budget_remaining, 4),
+                    "firing": any(r["firing"] for r in rule_states),
+                    "rules": rule_states,
+                })
+        for alert in alerts:
+            registry.counter("slo_alerts_total", slo=alert["slo"]).inc()
+            if self.dispatcher is not None:
+                self.dispatcher.dispatch(alert)
+        return out
+
+    def maybe_check(self) -> list[dict] | None:
+        """Evaluate at most once per ``check_interval`` (request-path hook)."""
+        now = self.clock()
+        with self._lock:
+            if now - self._last_check < self.check_interval:
+                return None
+            self._last_check = now
+        return self.evaluate()
+
+    def reset(self) -> None:
+        with self._lock:
+            self.store.reset()
+            self._firing.clear()
+            self._last_check = float("-inf")

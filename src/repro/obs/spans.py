@@ -19,11 +19,18 @@ from __future__ import annotations
 import functools
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
-from repro.obs.logging import current_request_id
+from repro.obs.logging import current_request_id, current_tenant
 from repro.obs.sinks import NullSink
+from repro.obs.tracecontext import current_remote_parent
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-char span ID."""
+    return uuid.uuid4().hex[:16]
 
 
 @dataclass(slots=True)
@@ -33,7 +40,13 @@ class SpanRecord:
     ``duration`` is wall seconds, filled in when the span closes;
     ``error`` is the exception type name when the block raised;
     ``request_id`` is the correlation ID bound to the context when the
-    span opened (see :mod:`repro.obs.logging`), if any.
+    span opened (see :mod:`repro.obs.logging`), if any; ``tenant`` is
+    the tenant bound when it opened.  ``trace_id``/``span_id``/
+    ``parent_id`` are assigned when a trace store is attached to the
+    tracer: a span opened on a pool worker under a propagated
+    :class:`~repro.obs.tracecontext.TraceContext` records the remote
+    parent's ids, so the store can stitch it back into the caller's
+    tree.
     """
 
     name: str
@@ -42,6 +55,10 @@ class SpanRecord:
     duration: float = 0.0
     error: str | None = None
     request_id: str | None = None
+    tenant: str | None = None
+    trace_id: str | None = None
+    span_id: str | None = None
+    parent_id: str | None = None
     children: list["SpanRecord"] = field(default_factory=list)
 
     def walk(self) -> Iterator["SpanRecord"]:
@@ -58,6 +75,14 @@ class SpanRecord:
         }
         if self.request_id is not None:
             out["request_id"] = self.request_id
+        if self.tenant is not None:
+            out["tenant"] = self.tenant
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+        if self.span_id is not None:
+            out["span_id"] = self.span_id
+        if self.parent_id is not None:
+            out["parent_id"] = self.parent_id
         if self.tags:
             out["tags"] = dict(self.tags)
         if self.error is not None:
@@ -92,25 +117,49 @@ class _SpanContext:
         self._parent: SpanRecord | None = None
 
     def __enter__(self) -> SpanRecord:
-        stack = self._tracer._stack()
+        tracer = self._tracer
+        record = self._record
+        stack = tracer._stack()
         self._parent = stack[-1] if stack else None
-        self._record.request_id = current_request_id()
-        self._record.start = self._tracer.clock()
-        stack.append(self._record)
-        return self._record
+        record.request_id = current_request_id()
+        record.tenant = current_tenant()
+        if tracer.store is not None:
+            record.span_id = new_span_id()
+            if self._parent is not None:
+                record.trace_id = self._parent.trace_id
+                record.parent_id = self._parent.span_id
+            else:
+                remote = current_remote_parent()
+                if remote is not None:
+                    record.trace_id, record.parent_id = remote
+                else:
+                    record.trace_id = new_span_id()
+        record.start = tracer.clock()
+        stack.append(record)
+        return record
 
     def __exit__(self, exc_type, exc, tb) -> None:
         record = self._record
-        record.duration = self._tracer.clock() - record.start
+        tracer = self._tracer
+        record.duration = tracer.clock() - record.start
         if exc_type is not None:
             record.error = exc_type.__name__
-        stack = self._tracer._stack()
+        stack = tracer._stack()
         if stack and stack[-1] is record:
             stack.pop()
         if self._parent is not None:
             self._parent.children.append(record)
-        else:
-            self._tracer.sink.export(record)
+            return
+        # Thread-root span: a detached fragment when it carries a
+        # propagated parent (it belongs inside another thread's tree, so
+        # it goes to the store for stitching, not to the sink), a true
+        # trace root otherwise.
+        if tracer.store is not None and record.parent_id is not None:
+            tracer.store.add_fragment(record)
+            return
+        if tracer.store is not None:
+            tracer.store.add_trace(record)
+        tracer.sink.export(record)
 
 
 class _NoopContext:
@@ -135,24 +184,33 @@ class Tracer:
     ----------
     sink:
         Destination for finished root spans; :class:`NullSink` (the
-        default) disables tracing entirely.
+        default) disables tracing entirely unless a store is attached.
     clock:
         Monotonic-seconds callable; injectable for deterministic tests.
+    store:
+        Optional :class:`~repro.obs.tracestore.TraceStore`.  When set,
+        spans are assigned trace/span/parent ids, finished roots are
+        retained for ``/api/traces``, and detached thread-root spans
+        (opened under a propagated :class:`TraceContext`) are stitched
+        back into the originating trace instead of being exported as
+        their own roots.
     """
 
     def __init__(
         self,
         sink: object | None = None,
         clock: Callable[[], float] = time.perf_counter,
+        store: object | None = None,
     ) -> None:
         self.sink = sink if sink is not None else NullSink()
         self.clock = clock
+        self.store = store
         self._local = threading.local()
 
     @property
     def enabled(self) -> bool:
-        """False when the sink is a :class:`NullSink` (spans are no-ops)."""
-        return not isinstance(self.sink, NullSink)
+        """False when there is neither a real sink nor a trace store."""
+        return self.store is not None or not isinstance(self.sink, NullSink)
 
     def _stack(self) -> list[SpanRecord]:
         stack = getattr(self._local, "stack", None)

@@ -23,7 +23,7 @@ import threading
 import time
 from typing import Callable, Sequence
 
-from repro.obs.logging import current_request_id
+from repro.obs.logging import current_request_id, current_tenant
 from repro.obs.registry import Labels, _label_key
 
 
@@ -187,21 +187,28 @@ class SlowOpLog:
         name: str,
         duration: float,
         request_id: str | None = None,
+        tenant: str | None = None,
         **tags: object,
     ) -> None:
         """Offer one finished operation; kept only if among the K slowest.
 
-        ``request_id`` defaults to the one bound to the current context,
-        so call sites inside a request need not pass it.
+        ``request_id`` and ``tenant`` default to the ones bound to the
+        current context, so call sites inside a request need not pass
+        them — including shard tasks on pool threads, which re-bind the
+        originating request's context before running.
         """
         duration = float(duration)
         if request_id is None:
             request_id = current_request_id()
+        if tenant is None:
+            tenant = current_tenant()
         record = {
             "name": name,
             "duration_ms": duration * 1000.0,
             "request_id": request_id,
         }
+        if tenant is not None:
+            record["tenant"] = tenant
         if tags:
             record["tags"] = {k: str(v) for k, v in tags.items()}
         with self._lock:

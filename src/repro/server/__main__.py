@@ -4,7 +4,8 @@ Usage::
 
     python -m repro.server [--port 8765] [--customers 200] [--days 90]
                            [--threads 8] [--max-inflight 32]
-                           [--deadline-seconds 30]
+                           [--deadline-seconds 30] [--profile-hz 100]
+                           [--trace-capacity 256]
 
 Generates a synthetic city (there is no bundled real data set) and serves
 the REST API for it — the closest headless equivalent of the paper's demo
@@ -18,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 
+from repro import obs
 from repro.core.pipeline import VapSession
 from repro.data.generator.simulate import CityConfig, generate_city
 from repro.resilience import faults
@@ -79,12 +81,34 @@ def main(argv: list[str] | None = None) -> None:
         help="per-tenant request quota; beyond it requests get 429 "
              "(unset = unlimited)",
     )
+    parser.add_argument(
+        "--profile-hz", type=float, default=0.0, metavar="HZ",
+        help="run the continuous stack-sampling profiler at this rate; "
+             "0 disables it (GET /api/profile then burst-samples on "
+             "demand)",
+    )
+    parser.add_argument(
+        "--trace-capacity", type=int, default=256, metavar="N",
+        help="finished traces retained for GET /api/traces (default 256; "
+             "0 disables tracing)",
+    )
     args = parser.parse_args(argv)
 
     injector = None
     if args.fault_plan is not None:
         plan = FaultPlan.load(args.fault_plan, seed=args.fault_seed)
         injector = faults.install(plan)
+
+    # Tracing is on by default for the served deployment: ids + trace
+    # store for /api/traces, ring-buffer sink for /api/metrics spans.
+    trace_store = None
+    if args.trace_capacity > 0:
+        trace_store = obs.TraceStore(max_traces=args.trace_capacity)
+        obs.configure(sink=obs.RingBufferSink(), trace_store=trace_store)
+    profiler = None
+    if args.profile_hz > 0:
+        profiler = obs.StackProfiler(hz=args.profile_hz)
+        profiler.start()
 
     city = generate_city(
         CityConfig(n_customers=args.customers, n_days=args.days, seed=args.seed)
@@ -119,6 +143,7 @@ def main(argv: list[str] | None = None) -> None:
         max_inflight=args.max_inflight if args.max_inflight > 0 else None,
         deadline_seconds=args.deadline_seconds,
         tenants=tenants,
+        profiler=profiler,
     )
     with make_server("127.0.0.1", args.port, app, threads=args.threads) as server:
         base = f"http://127.0.0.1:{args.port}"
@@ -129,6 +154,12 @@ def main(argv: list[str] | None = None) -> None:
         )
         print(f"  metrics:   {base}/api/metrics  (?format=prometheus)")
         print(f"  telemetry: {base}/api/telemetry  (?format=svg)")
+        if trace_store is not None:
+            print(f"  traces:    {base}/api/traces  (/api/traces/<id>)")
+        print(
+            f"  profile:   {base}/api/profile  (?seconds=N&format=svg)"
+            + (f"  [continuous @ {args.profile_hz:g} hz]" if profiler else "")
+        )
         if args.shards is not None and args.shards > 1:
             print(f"  sharding:  {args.shards} hash shards (scatter-gather)")
         if tenants is not None:

@@ -44,9 +44,18 @@ Endpoints mirror what the paper's three views request from the logic layer:
 ``GET  /api/telemetry``               self-monitoring dashboard data:
                                       rolling request-rate and latency
                                       windows, cache hit ratios, per-op
-                                      runtimes, slowest operations with
+                                      runtimes, SLO burn rates and error
+                                      budgets, slowest operations with
                                       request IDs; ``?format=svg``
                                       renders the SVG panel
+``GET  /api/traces``                  finished traces, newest first;
+                                      filters ``request_id``, ``tenant``,
+                                      ``min_duration_ms``, ``limit``
+``GET  /api/traces/<id>``             one assembled trace tree (shard
+                                      tasks appear as child spans)
+``GET  /api/profile``                 stack-sampling profile over
+                                      ``seconds``; ``format`` folded
+                                      (default), svg flamegraph, or json
 ====================================  =======================================
 
 Errors return ``{"error": ...}`` with 400/404/405 status.  The app is a
@@ -100,8 +109,10 @@ _STATUS = {
 }
 
 # Observability endpoints are never charged against a tenant quota — an
-# over-quota tenant must stay diagnosable.
-_UNCHARGED_PATHS = ("/api/metrics", "/api/telemetry", "/api/health")
+# over-quota tenant must stay diagnosable.  Prefix-matched so the trace
+# and profile sub-paths (/api/traces/<id>) are covered too.  Shared with
+# the stock SLOs, which exclude the same routes from their scope.
+_UNCHARGED_PREFIXES = obs.OBSERVABILITY_ROUTE_PREFIXES
 
 
 @dataclass(slots=True)
@@ -220,6 +231,8 @@ class VapApp:
         deadline_seconds: float | None = None,
         retry_after_seconds: float = 1.0,
         tenants: TenantRegistry | None = None,
+        slo_engine: obs.SloEngine | None = None,
+        profiler: obs.StackProfiler | None = None,
     ) -> None:
         if session is None and tenants is None:
             raise ValueError("VapApp needs a session or a tenant registry")
@@ -245,6 +258,13 @@ class VapApp:
         self._metrics = registry
         self._window_store = window_store
         self._slow_log = slow_log
+        # Every app gets an SLO engine (stock availability + latency
+        # objectives) so /api/telemetry's slo block is always present;
+        # pass one with a dispatcher to get burn-rate alert delivery.
+        self.slo_engine = (
+            slo_engine if slo_engine is not None else obs.SloEngine()
+        )
+        self.profiler = profiler
         self.router = Router()
         self._register()
         self._backpressure = BackpressureMiddleware(
@@ -260,6 +280,7 @@ class VapApp:
             route_resolver=self.router.pattern_of,
             window_store=window_store,
             slow_log=slow_log,
+            slo_engine=self.slo_engine,
         )
         self._start_time = self.metrics.clock()
 
@@ -297,9 +318,15 @@ class VapApp:
         """Fill ``request.tenant``/``request.session`` from the
         ``X-Tenant`` header or ``tenant=`` parameter (header wins; a
         disagreement between the two is a client error), charging the
-        tenant's quota for non-observability endpoints."""
+        tenant's quota for non-observability endpoints.
+
+        On ``/api/traces`` the ``tenant=`` parameter stays with the
+        handler as a trace-search filter, so selection there is
+        header-only (other observability endpoints keep the parameter:
+        ``/api/health?tenant=x`` still selects a tenant)."""
         header = request.tenant_header
-        param = request.query.get("tenant")
+        filter_only = request.path.startswith("/api/traces")
+        param = None if filter_only else request.query.get("tenant")
         if header is not None and param is not None and header != param:
             raise ApiError(
                 400,
@@ -312,7 +339,7 @@ class VapApp:
         except KeyError:
             raise ApiError(404, f"unknown tenant {name!r}") from None
         request.tenant = name
-        if request.path not in _UNCHARGED_PATHS:
+        if not request.path.startswith(_UNCHARGED_PREFIXES):
             self.tenants.charge(name)
 
     def _dispatch(self, environ: dict, start_response: Callable) -> Iterable[bytes]:
@@ -323,8 +350,14 @@ class VapApp:
             if matched is None:
                 raise ApiError(404, f"no such endpoint: {request.path}")
             self._resolve_tenant(request)
+            # Expose the resolved tenant to the metrics middleware (for
+            # the span/slow-op/SLO labels) and bind it to the context so
+            # everything the handler runs — including scatter workers
+            # re-binding a captured TraceContext — carries it.
+            environ["repro.tenant"] = request.tenant
             handler, params = matched
-            payload = handler(request, **params)
+            with obs.bind_tenant(request.tenant):
+                payload = handler(request, **params)
             status = 200
         except ApiError as exc:
             payload = {"error": exc.message}
@@ -415,6 +448,9 @@ class VapApp:
         r.add("GET", "/api/proposals", self.proposals)
         r.add("GET", "/api/metrics", self.metrics_snapshot)
         r.add("GET", "/api/telemetry", self.telemetry)
+        r.add("GET", "/api/traces", self.traces)
+        r.add("GET", "/api/traces/<trace_id>", self.trace)
+        r.add("GET", "/api/profile", self.profile)
 
     def metrics_snapshot(self, request: Request) -> dict | RawResponse:
         """Observability snapshot: counters, gauges, histograms, spans.
@@ -450,6 +486,99 @@ class VapApp:
                     r.to_record() for r in sink.records()[-limit:]
                 ]
         return snapshot
+
+    def _trace_store(self) -> obs.TraceStore:
+        store = obs.get_trace_store()
+        if store is None:
+            raise ApiError(
+                404,
+                "tracing is not enabled; configure a trace store "
+                "(repro serve does this by default)",
+            )
+        return store
+
+    def traces(self, request: Request) -> dict:
+        """Finished traces, newest first; filters ``request_id``,
+        ``tenant``, ``min_duration_ms``, ``limit`` (default 50)."""
+        store = self._trace_store()
+        roots = store.traces(
+            request_id=request.query.get("request_id"),
+            tenant=request.query.get("tenant"),
+            min_duration_ms=request.param_float("min_duration_ms", 0.0),
+            limit=request.param_int("limit", 50),
+        )
+        return {
+            "count": len(roots),
+            "stored": len(store),
+            "dropped_fragments": store.dropped_fragments,
+            "traces": [
+                {
+                    "trace_id": root.trace_id,
+                    "name": root.name,
+                    "request_id": root.request_id,
+                    "tenant": root.tenant,
+                    "duration_ms": round(root.duration * 1000.0, 3),
+                    "n_spans": sum(1 for _ in root.walk()),
+                    "error": root.error,
+                }
+                for root in roots
+            ],
+        }
+
+    def trace(self, request: Request, trace_id: str) -> dict:
+        """One assembled trace tree by id."""
+        root = self._trace_store().get(trace_id)
+        if root is None:
+            raise ApiError(404, f"unknown trace {trace_id!r}")
+        return {"trace": root.to_record()}
+
+    def profile(self, request: Request) -> dict | RawResponse:
+        """Sample the process for ``seconds`` and return the profile.
+
+        ``?format=folded`` (default) returns folded-stack text;
+        ``?format=svg`` a standalone flamegraph; ``?format=json`` the
+        raw counts.  With a continuous profiler running (``repro serve
+        --profile-hz``) the window is a delta of its samples; otherwise
+        a burst sampler runs inline at ``hz`` (default 100).
+        """
+        seconds = request.param_float("seconds", 2.0)
+        if not 0 < seconds <= 60:
+            raise ApiError(400, "seconds must be in (0, 60]")
+        hz = request.param_float("hz", 100.0)
+        if not 0 < hz <= 1000:
+            raise ApiError(400, "hz must be in (0, 1000]")
+        fmt = request.param_str("format", "folded")
+        if fmt not in ("folded", "svg", "json"):
+            raise ApiError(
+                400, f"unknown format {fmt!r}; use folded, svg or json"
+            )
+        profiler = (
+            self.profiler
+            if self.profiler is not None
+            else obs.StackProfiler(hz=0.0)
+        )
+        counts = profiler.collect(seconds, hz=hz)
+        if fmt == "json":
+            return {
+                "seconds": seconds,
+                "continuous": profiler.running,
+                "stacks": counts,
+            }
+        if fmt == "svg":
+            from repro.viz.flamegraph import render_flamegraph
+
+            svg = render_flamegraph(
+                counts, title=f"repro profile ({seconds:g}s)"
+            )
+            return RawResponse(
+                svg.encode("utf-8"), content_type="image/svg+xml"
+            )
+        from repro.obs.profiler import render_folded
+
+        return RawResponse(
+            render_folded(counts).encode("utf-8"),
+            content_type="text/plain; charset=utf-8",
+        )
 
     def telemetry(self, request: Request) -> dict | RawResponse:
         """Self-monitoring dashboard data from the rolling window store.
@@ -552,6 +681,7 @@ class VapApp:
             "resilience": self._resilience_payload(snapshot),
             "tenants": self.tenants.to_record(),
             "sharding": self._sharding_payload(snapshot),
+            "slo": {"slos": self.slo_engine.evaluate()},
             "slow_ops": self.slow_log.records()[: max(top, 0)],
         }
         sink = obs.get_tracer().sink

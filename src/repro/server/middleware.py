@@ -76,6 +76,10 @@ class MetricsMiddleware:
     logger:
         :class:`~repro.obs.JsonLogger` for the per-request log line; the
         process-wide default when omitted.
+    slo_engine:
+        Optional :class:`~repro.obs.slo.SloEngine`; every finished
+        request is observed against its SLOs (5xx counts as an error)
+        and burn-rate rules are re-checked on its throttled schedule.
     """
 
     def __init__(
@@ -87,6 +91,7 @@ class MetricsMiddleware:
         window_store: obs.TimeWindowStore | None = None,
         slow_log: obs.SlowOpLog | None = None,
         logger: obs.JsonLogger | None = None,
+        slo_engine: obs.SloEngine | None = None,
     ) -> None:
         self.app = app
         self._registry = registry
@@ -95,6 +100,7 @@ class MetricsMiddleware:
         self._window_store = window_store
         self._slow_log = slow_log
         self._logger = logger
+        self.slo_engine = slo_engine
 
     def _resolve_registry(self) -> obs.MetricsRegistry:
         if self._registry is None:
@@ -152,10 +158,16 @@ class MetricsMiddleware:
                     if closer is not None:
                         closer()
                 status = captured.get("status", "500")
+                tenant = environ.get("repro.tenant")
                 if span_rec is not None:
                     span_rec.tags["status"] = status
+                    # The span opened before the app resolved the tenant;
+                    # stamp it now so traces are searchable per tenant.
+                    if tenant is not None:
+                        span_rec.tenant = tenant
             elapsed = clock() - start
 
+            trace_id = span_rec.trace_id if span_rec is not None else None
             registry.counter(
                 "http_requests_total", method=method, route=route, status=status
             ).inc()
@@ -163,7 +175,9 @@ class MetricsMiddleware:
                 registry.counter(
                     "http_errors_total", route=route, status=status
                 ).inc()
-            registry.histogram("http_request_seconds", route=route).observe(elapsed)
+            registry.histogram("http_request_seconds", route=route).observe(
+                elapsed, trace_id=trace_id
+            )
 
             window = self.window_store
             window.record(WINDOW_SERIES, elapsed)
@@ -171,15 +185,27 @@ class MetricsMiddleware:
             if int(status) >= 400:
                 window.record(WINDOW_ERROR_SERIES, route=route)
             self.slow_log.offer(
-                "http.request", elapsed, method=method, route=route, status=status
-            )
-            self.logger.info(
                 "http.request",
+                elapsed,
+                tenant=tenant,
                 method=method,
                 route=route,
-                status=int(status),
-                duration_ms=round(elapsed * 1000.0, 3),
+                status=status,
             )
+            log_fields: dict[str, object] = {
+                "method": method,
+                "route": route,
+                "status": int(status),
+                "duration_ms": round(elapsed * 1000.0, 3),
+            }
+            if tenant is not None:
+                log_fields["tenant"] = tenant
+            self.logger.info("http.request", **log_fields)
+            if self.slo_engine is not None:
+                self.slo_engine.observe(
+                    route, tenant, elapsed, error=int(status) >= 500
+                )
+                self.slo_engine.maybe_check()
         return [body]
 
 

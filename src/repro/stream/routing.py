@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro import obs
 from repro.data.timeseries import SeriesSet
 from repro.db.engine import EnergyDatabase
 from repro.db.sharding import ShardedEnergyDatabase, shard_of
@@ -44,13 +45,18 @@ class ShardRouter:
 
     def apply(self, batch: Batch) -> int:
         """Ingest one batch; returns the database's new end hour."""
-        if isinstance(self.db, ShardedEnergyDatabase):
-            return self.db.ingest_tick(
-                self.customer_ids, batch.values, batch.start_hour
+        with obs.span(
+            "stream.tick",
+            start_hour=batch.start_hour,
+            rows=len(self.customer_ids),
+        ):
+            if isinstance(self.db, ShardedEnergyDatabase):
+                return self.db.ingest_tick(
+                    self.customer_ids, batch.values, batch.start_hour
+                )
+            return self.db.ingest_hours(
+                batch.values, batch.start_hour, customer_ids=self.customer_ids
             )
-        return self.db.ingest_hours(
-            batch.values, batch.start_hour, customer_ids=self.customer_ids
-        )
 
     def replay(self, feed: ReplayFeed, max_ticks: int | None = None) -> int:
         """Apply consecutive batches from a feed; returns ticks applied."""

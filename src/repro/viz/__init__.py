@@ -21,6 +21,7 @@ colour maps (:mod:`repro.viz.color`) and tick-aware scales
 from repro.viz.choropleth import render_choropleth, zone_demand
 from repro.viz.dashboard import render_dashboard
 from repro.viz.fingerprint import render_fingerprint
+from repro.viz.flamegraph import render_flamegraph
 from repro.viz.flowmap import render_flow_layer
 from repro.viz.heatmap import render_heat_layer
 from repro.viz.scatter import render_scatter
@@ -33,6 +34,7 @@ __all__ = [
     "render_choropleth",
     "render_dashboard",
     "render_fingerprint",
+    "render_flamegraph",
     "render_flow_layer",
     "render_heat_layer",
     "render_scatter",

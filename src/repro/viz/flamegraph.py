@@ -1,0 +1,140 @@
+"""Self-contained flamegraph SVG from folded stack counts.
+
+Turns the profiler's folded stacks (``root;child;leaf -> count``, see
+:mod:`repro.obs.profiler`) into the classic flamegraph layout: one row
+per stack depth, rect width proportional to inclusive sample count,
+children packed left-to-right under their parent in deterministic
+(alphabetical) order.  Colors derive from a stable hash of the frame
+name, so the same function keeps its hue across captures and the output
+is byte-reproducible for identical input.
+
+Pure :mod:`repro.viz.svg` output — a single standalone ``.svg`` file
+with title tooltips on every frame, no JavaScript, no external assets —
+so it can be attached to a CI run or opened from ``/api/profile``
+directly.
+"""
+
+from __future__ import annotations
+
+from repro.viz.svg import SvgDocument
+
+FRAME_HEIGHT = 18
+MIN_FRAME_PX = 0.5  # frames narrower than this are dropped, not drawn
+MARGIN = 8
+TITLE_HEIGHT = 24
+
+
+class _Node:
+    """One frame in the merged stack trie."""
+
+    __slots__ = ("name", "self_count", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.self_count = 0
+        self.children: dict[str, _Node] = {}
+
+    @property
+    def total(self) -> int:
+        return self.self_count + sum(c.total for c in self.children.values())
+
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(c.depth() for c in self.children.values())
+
+
+def _build_trie(counts: dict[str, int]) -> _Node:
+    root = _Node("all")
+    for stack, count in counts.items():
+        if count <= 0:
+            continue
+        node = root
+        for frame in stack.split(";"):
+            child = node.children.get(frame)
+            if child is None:
+                child = node.children[frame] = _Node(frame)
+            node = child
+        node.self_count += count
+    return root
+
+
+def _frame_color(name: str) -> str:
+    """Stable warm color from a frame-name hash (flamegraph convention)."""
+    h = 2166136261
+    for ch in name:
+        h = ((h ^ ord(ch)) * 16777619) & 0xFFFFFFFF
+    red = 205 + (h % 50)
+    green = 60 + ((h >> 8) % 130)
+    blue = (h >> 16) % 60
+    return f"rgb({red},{green},{blue})"
+
+
+def render_flamegraph(
+    counts: dict[str, int],
+    width: int = 1100,
+    title: str = "repro profile",
+) -> str:
+    """Render folded stack counts as a standalone flamegraph SVG.
+
+    An empty profile still renders (a note instead of frames), so the
+    ``/api/profile`` endpoint never 500s on a quiet process.
+    """
+    root = _build_trie(counts)
+    total = root.total
+    inner_width = width - 2 * MARGIN
+    if total == 0:
+        doc = SvgDocument(width, TITLE_HEIGHT + FRAME_HEIGHT + 2 * MARGIN)
+        doc.add_new("rect", x=0, y=0, width=width, height=doc.height,
+                    fill="#ffffff")
+        doc.add_new(
+            "text", x=MARGIN, y=TITLE_HEIGHT, font_size=13,
+            font_family="monospace", fill="#444444",
+        ).set_text(f"{title}: no samples")
+        return doc.render_document()
+
+    depth = root.depth()  # includes the synthetic "all" row
+    height = TITLE_HEIGHT + depth * FRAME_HEIGHT + 2 * MARGIN
+    doc = SvgDocument(width, height)
+    doc.add_new("rect", x=0, y=0, width=width, height=height, fill="#ffffff")
+    doc.add_new(
+        "text", x=MARGIN, y=TITLE_HEIGHT - 8, font_size=13,
+        font_family="monospace", fill="#222222",
+    ).set_text(f"{title} — {total} samples")
+    frames = doc.add_new("g", font_family="monospace", font_size=11)
+
+    def draw(node: _Node, x: float, level: int) -> None:
+        node_total = node.total
+        w = inner_width * node_total / total
+        if w < MIN_FRAME_PX:
+            return
+        # Flames grow upward: deepest frames at the top of the image.
+        y = height - MARGIN - (level + 1) * FRAME_HEIGHT
+        g = frames.add_new("g")
+        fill = "#c8c8c8" if node.name == "all" else _frame_color(node.name)
+        rect = g.add_new(
+            "rect", x=round(x, 2), y=y, width=round(w, 2),
+            height=FRAME_HEIGHT - 1, fill=fill, rx=1,
+        )
+        rect.add_new("title").set_text(
+            f"{node.name} ({node_total} samples, "
+            f"{100.0 * node_total / total:.1f}%)"
+        )
+        # ~6.6px per character of 11px monospace; keep labels inside.
+        max_chars = int(w / 6.6)
+        if max_chars >= 3:
+            label = node.name
+            if len(label) > max_chars:
+                label = label[: max_chars - 1] + "…"
+            g.add_new(
+                "text", x=round(x + 3, 2), y=y + FRAME_HEIGHT - 6,
+                fill="#111111",
+            ).set_text(label)
+        child_x = x
+        for name in sorted(node.children):
+            child = node.children[name]
+            draw(child, child_x, level + 1)
+            child_x += inner_width * child.total / total
+
+    draw(root, float(MARGIN), 0)
+    return doc.render_document()

@@ -1,0 +1,122 @@
+"""Regression tests: scatter-gather workers keep the caller's context.
+
+ContextVars do not follow work into the shared shard pool, so before the
+:class:`~repro.obs.tracecontext.TraceContext` propagation every shard-side
+log line carried ``request_id: None``, shard spans opened as disconnected
+roots, and slow-op records could not be correlated back to the HTTP
+request that caused them.  These tests pin the fixed behaviour at the
+database layer (the HTTP-level acceptance lives in the server tests).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.data.timeseries import HourWindow
+from repro.db.sharding import ShardedEnergyDatabase
+from repro.obs import JsonLogger, SlowOpLog, TraceStore
+
+
+@pytest.fixture()
+def traced_obs():
+    """Fresh defaults: trace store, captured log stream, fresh slow log."""
+    previous_registry, previous_tracer = obs.get_registry(), obs.get_tracer()
+    previous_logger = obs.get_logger()
+    previous_window, previous_slow = obs.get_window_store(), obs.get_slow_log()
+    obs.reset()
+    stream = io.StringIO()
+    store = TraceStore()
+    slow_log = SlowOpLog()
+    obs.configure(
+        trace_store=store,
+        logger=JsonLogger(stream=stream),
+        slow_log=slow_log,
+    )
+    try:
+        yield store, stream, slow_log
+    finally:
+        obs.configure(
+            registry=previous_registry,
+            tracer=previous_tracer,
+            logger=previous_logger,
+            window_store=previous_window,
+            slow_log=previous_slow,
+        )
+
+
+@pytest.fixture(scope="module")
+def city(small_city):
+    return small_city
+
+
+def _sharded(city, **kwargs):
+    kwargs.setdefault("n_shards", 4)
+    return ShardedEnergyDatabase(city.customers, city.raw, **kwargs)
+
+
+def _log_events(stream, event):
+    return [
+        json.loads(line)
+        for line in stream.getvalue().splitlines()
+        if json.loads(line)["event"] == event
+    ]
+
+
+class TestScatterContextPropagation:
+    def test_shard_spans_join_callers_trace(self, traced_obs, city):
+        store, _, _ = traced_obs
+        db = _sharded(city)
+        with obs.span("http.request") as root:
+            db.demand(HourWindow(8, 12))
+        tree = store.get(root.trace_id)
+        assert tree is not None
+        shard_spans = [s for s in tree.walk() if s.name == "db.shard"]
+        assert len(shard_spans) == len(db.shard_ids)
+        assert {s.tags["shard"] for s in shard_spans} == set(db.shard_ids)
+        assert all(s.trace_id == root.trace_id for s in shard_spans)
+
+    def test_shard_slow_query_log_carries_request_id(self, traced_obs, city):
+        _, stream, _ = traced_obs
+        # Near-zero threshold: every shard query logs db.slow_query from
+        # the pool worker — where the request id used to come out None.
+        db = _sharded(city, slow_query_seconds=1e-9)
+        with obs.bind_request_id("req-from-http"), obs.bind_tenant("acme"):
+            db.demand(HourWindow(8, 12))
+        events = _log_events(stream, "db.slow_query")
+        assert events, "expected shard-side slow-query log records"
+        assert all(e["request_id"] == "req-from-http" for e in events)
+        assert all(e["tenant"] == "acme" for e in events)
+
+    def test_shard_slow_op_records_carry_request_id_and_tenant(
+        self, traced_obs, city
+    ):
+        _, _, slow_log = traced_obs
+        db = _sharded(city, slow_query_seconds=1e-9)
+        with obs.bind_request_id("req-slow"), obs.bind_tenant("globex"):
+            db.demand(HourWindow(0, 24))
+        records = [
+            r for r in slow_log.records() if r["name"] == "db.demand"
+        ]
+        assert records
+        assert all(r["request_id"] == "req-slow" for r in records)
+        assert all(r["tenant"] == "globex" for r in records)
+
+    def test_single_shard_path_stays_inline(self, traced_obs, city):
+        store, _, _ = traced_obs
+        db = _sharded(city, n_shards=1)
+        with obs.span("http.request") as root:
+            db.demand(HourWindow(8, 12))
+        tree = store.get(root.trace_id)
+        # Inline execution: no pool hop, so no db.shard fragments.
+        assert all(s.name != "db.shard" for s in tree.walk())
+
+    def test_scatter_without_tracing_still_works(self, city):
+        # No store configured at all: the propagation layer must be
+        # pass-through, not a new requirement.
+        db = _sharded(city)
+        positions, values = db.demand(HourWindow(8, 12))
+        assert len(positions) == len(values) == len(db)

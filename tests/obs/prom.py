@@ -6,6 +6,11 @@ label name character sets, quoted-and-escaped label values, ``# TYPE``
 comment structure, and float sample values (including ``+Inf`` and
 ``NaN``).  Deliberately rejects anything the spec does, so a renderer bug
 fails loudly instead of passing as "some text came back".
+
+Also understands OpenMetrics-style exemplar suffixes on sample lines
+(``name_bucket{...} 3 # {trace_id="..."} 0.017``): the exemplar's label
+block and value must themselves parse, and land on
+:attr:`Sample.exemplar`.
 """
 
 from __future__ import annotations
@@ -19,12 +24,20 @@ _LABEL_NAME = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
 _TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
 
 
+class Exemplar(NamedTuple):
+    """One parsed exemplar suffix (``# {labels} value``)."""
+
+    labels: dict[str, str]
+    value: float
+
+
 class Sample(NamedTuple):
     """One parsed sample line."""
 
     name: str
     labels: dict[str, str]
     value: float
+    exemplar: Exemplar | None = None
 
 
 def _parse_value(token: str) -> float:
@@ -146,11 +159,31 @@ def parse_prometheus(text: str) -> tuple[dict[str, str], list[Sample]]:
             labels = _parse_labels(body)
         if not rest.startswith(" "):
             raise ValueError(f"expected space before value in {line!r}")
+        exemplar: Exemplar | None = None
+        if " # " in rest:
+            rest, _, suffix = rest.partition(" # ")
+            exemplar = _parse_exemplar(suffix, line)
         tokens = rest.strip().split(" ")
         if len(tokens) not in (1, 2):  # optional timestamp
             raise ValueError(f"trailing junk in sample line: {line!r}")
-        samples.append(Sample(name, labels, _parse_value(tokens[0])))
+        samples.append(Sample(name, labels, _parse_value(tokens[0]), exemplar))
     return types, samples
+
+
+def _parse_exemplar(suffix: str, line: str) -> Exemplar:
+    """Parse the ``{labels} value [timestamp]`` part after ``# ``."""
+    if not suffix.startswith("{"):
+        raise ValueError(f"exemplar must start with a label block: {line!r}")
+    body, rest = _split_label_block(suffix)
+    labels = _parse_labels(body)
+    if not labels:
+        raise ValueError(f"exemplar has no labels: {line!r}")
+    if not rest.startswith(" "):
+        raise ValueError(f"expected space before exemplar value in {line!r}")
+    tokens = rest.strip().split(" ")
+    if len(tokens) not in (1, 2):  # optional timestamp
+        raise ValueError(f"trailing junk after exemplar in {line!r}")
+    return Exemplar(labels, _parse_value(tokens[0]))
 
 
 def base_name(sample_name: str) -> str:

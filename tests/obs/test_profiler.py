@@ -1,0 +1,151 @@
+"""Tests for the stack-sampling profiler and folded-stack round trips."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.profiler import (
+    MAX_DEPTH,
+    StackProfiler,
+    _fold,
+    parse_folded,
+    render_folded,
+)
+
+
+def _busy_thread(stop: threading.Event) -> threading.Thread:
+    def spin():
+        while not stop.is_set():
+            sum(i * i for i in range(2000))
+
+    thread = threading.Thread(target=spin, name="busy", daemon=True)
+    thread.start()
+    return thread
+
+
+class TestFold:
+    def test_fold_is_root_first_with_module_stem(self):
+        import sys
+
+        frame = sys._getframe()
+        folded = _fold(frame)
+        parts = folded.split(";")
+        # The leaf is this test function; the path root comes first.
+        assert parts[-1] == "test_profiler.test_fold_is_root_first_with_module_stem"
+        assert all("/" not in p and not p.endswith(".py") for p in parts)
+
+    def test_fold_caps_depth(self):
+        def recurse(n):
+            if n == 0:
+                import sys
+
+                return _fold(sys._getframe())
+            return recurse(n - 1)
+
+        folded = recurse(MAX_DEPTH + 40)
+        assert len(folded.split(";")) == MAX_DEPTH
+
+
+class TestSampling:
+    def test_burst_collect_sees_busy_thread(self):
+        stop = threading.Event()
+        thread = _busy_thread(stop)
+        try:
+            profiler = StackProfiler(hz=0.0)
+            counts = profiler.collect(0.3, hz=200.0)
+        finally:
+            stop.set()
+            thread.join()
+        assert counts, "expected at least one sampled stack"
+        assert any("spin" in stack for stack in counts)
+
+    def test_continuous_collect_returns_delta(self):
+        stop = threading.Event()
+        thread = _busy_thread(stop)
+        profiler = StackProfiler(hz=200.0)
+        profiler.start()
+        try:
+            first = profiler.collect(0.2)
+            second = profiler.collect(0.2)
+        finally:
+            profiler.stop()
+            stop.set()
+            thread.join()
+        # Each collect window reports only its own samples; the
+        # cumulative table covers both windows and then some.
+        total = sum(profiler.snapshot().values())
+        assert sum(first.values()) + sum(second.values()) <= total
+        assert sum(first.values()) > 0
+        assert any("spin" in stack for stack in second)
+
+    def test_start_noop_at_zero_hz(self):
+        profiler = StackProfiler(hz=0.0)
+        profiler.start()
+        assert not profiler.running
+
+    def test_stop_idempotent(self):
+        profiler = StackProfiler(hz=100.0)
+        profiler.start()
+        assert profiler.running
+        profiler.stop()
+        profiler.stop()
+        assert not profiler.running
+
+    def test_negative_hz_rejected(self):
+        with pytest.raises(ValueError, match="hz"):
+            StackProfiler(hz=-1.0)
+
+    def test_collect_validates_inputs(self):
+        profiler = StackProfiler(hz=0.0)
+        with pytest.raises(ValueError, match="seconds"):
+            profiler.collect(0.0)
+        with pytest.raises(ValueError, match="hz"):
+            profiler.collect(0.1, hz=0.0)
+
+    def test_max_stacks_bounds_table(self):
+        profiler = StackProfiler(hz=0.0, max_stacks=1)
+        with profiler._lock:
+            profiler._counts["existing"] = 1
+        # Force the cap path directly: a second distinct stack is dropped.
+        stop = threading.Event()
+        thread = _busy_thread(stop)
+        try:
+            time.sleep(0.05)
+            profiler._sample_once()
+        finally:
+            stop.set()
+            thread.join()
+        assert len(profiler.snapshot()) == 1
+        assert profiler.dropped >= 1
+
+    def test_reset(self):
+        profiler = StackProfiler(hz=0.0)
+        with profiler._lock:
+            profiler._counts["x"] = 3
+            profiler._samples = 5
+        profiler.reset()
+        assert profiler.snapshot() == {}
+        assert profiler.samples == 0
+
+
+class TestFoldedFormat:
+    def test_render_parse_round_trip(self):
+        counts = {"a.f;b.g": 7, "a.f": 2, "c.h;c.h;c.h": 1}
+        assert parse_folded(render_folded(counts)) == counts
+
+    def test_render_orders_heaviest_first(self):
+        text = render_folded({"light.f": 1, "heavy.g": 10})
+        assert text.splitlines()[0] == "heavy.g 10"
+
+    def test_render_empty(self):
+        assert render_folded({}) == ""
+
+    def test_parse_merges_duplicates_and_skips_blanks(self):
+        assert parse_folded("a.f 1\n\na.f 2\n") == {"a.f": 3}
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_folded("justoneword\n")

@@ -1,0 +1,300 @@
+"""Unit tests for the SLO engine: specs, burn-rate math, edge alerts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.slo import DEFAULT_BURN_RULES, SloEngine, SloSpec, default_slos
+from repro.obs.timewindow import TimeWindowStore
+
+from .conftest import FakeClock
+
+
+class RecordingDispatcher:
+    def __init__(self):
+        self.alerts = []
+
+    def dispatch(self, alert):
+        self.alerts.append(alert)
+
+
+def make_engine(clock, **kwargs):
+    """Engine over a fake-clock store with 10 s windows, 1 h retention."""
+    kwargs.setdefault(
+        "store",
+        TimeWindowStore(
+            width_seconds=10.0, n_windows=360, clock=clock, max_samples=1
+        ),
+    )
+    kwargs.setdefault("registry", MetricsRegistry(clock=clock))
+    kwargs.setdefault("clock", clock)
+    return SloEngine(**kwargs)
+
+
+class TestSloSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            SloSpec(name="x", kind="throughput", objective=0.9)
+
+    def test_rejects_objective_out_of_range(self):
+        for bad in (0.0, 1.0, 1.5, -0.1):
+            with pytest.raises(ValueError, match="objective"):
+                SloSpec(name="x", kind="availability", objective=bad)
+
+    def test_latency_slo_requires_threshold(self):
+        with pytest.raises(ValueError, match="latency_threshold"):
+            SloSpec(name="x", kind="latency", objective=0.99)
+
+    def test_matching_scopes(self):
+        spec = SloSpec(
+            name="x", kind="availability", objective=0.99,
+            route="/api/demand", tenant="acme",
+        )
+        assert spec.matches("/api/demand", "acme")
+        assert not spec.matches("/api/demand", "globex")
+        assert not spec.matches("/api/health", "acme")
+        unscoped = SloSpec(name="y", kind="availability", objective=0.99)
+        assert unscoped.matches("/anything", None)
+
+    def test_is_bad_semantics(self):
+        avail = SloSpec(name="a", kind="availability", objective=0.999)
+        assert avail.is_bad(10.0, error=False) is False
+        assert avail.is_bad(0.001, error=True) is True
+        lat = SloSpec(
+            name="l", kind="latency", objective=0.99, latency_threshold=0.5
+        )
+        assert lat.is_bad(0.4, error=False) is False
+        assert lat.is_bad(0.6, error=False) is True
+        assert lat.is_bad(0.1, error=True) is True
+
+    def test_budget(self):
+        spec = SloSpec(name="a", kind="availability", objective=0.999)
+        assert spec.budget == pytest.approx(0.001)
+
+    def test_default_slos(self):
+        specs = default_slos()
+        assert [s.name for s in specs] == ["availability", "latency"]
+        assert specs[1].latency_threshold == 0.5
+
+    def test_exclude_route_prefixes(self):
+        spec = SloSpec(
+            name="x", kind="availability", objective=0.99,
+            exclude_route_prefixes=("/api/profile", "/api/traces"),
+        )
+        assert spec.matches("/api/demand", None)
+        assert not spec.matches("/api/profile", None)
+        assert not spec.matches("/api/traces/<trace_id>", None)
+
+    def test_default_slos_skip_observability_routes(self):
+        # A deliberate 10-second /api/profile burst is not user pain and
+        # must not page the latency SLO.
+        for spec in default_slos():
+            assert not spec.matches("/api/profile", None)
+            assert not spec.matches("/api/traces/<trace_id>", None)
+            assert not spec.matches("/api/metrics", None)
+            assert spec.matches("/api/density", None)
+
+    def test_duplicate_names_rejected(self):
+        spec = SloSpec(name="dup", kind="availability", objective=0.99)
+        with pytest.raises(ValueError, match="duplicate"):
+            SloEngine(specs=[spec, spec])
+
+
+class TestBurnRateMath:
+    def test_burn_rate_is_bad_fraction_over_budget(self):
+        clock = FakeClock(1000.0)
+        spec = SloSpec(name="avail", kind="availability", objective=0.99)
+        engine = make_engine(clock, specs=[spec])
+        # 5 bad out of 100 → bad_fraction 0.05, budget 0.01 → burn 5.0.
+        for i in range(100):
+            engine.observe("/r", None, 0.01, error=i < 5)
+        (result,) = engine.evaluate()
+        fast = result["rules"][0]
+        assert fast["short_burn_rate"] == pytest.approx(5.0)
+        assert fast["long_burn_rate"] == pytest.approx(5.0)
+        assert not fast["firing"]  # 5.0 < 14.4
+
+    def test_healthy_traffic_reports_full_budget(self):
+        clock = FakeClock(1000.0)
+        engine = make_engine(clock)
+        for _ in range(50):
+            engine.observe("/r", None, 0.01, error=False)
+        results = engine.evaluate()
+        assert all(r["error_budget_remaining"] == 1.0 for r in results)
+        assert all(not r["firing"] for r in results)
+
+    def test_no_data_means_no_firing(self):
+        clock = FakeClock(1000.0)
+        engine = make_engine(clock)
+        results = engine.evaluate()
+        assert all(not r["firing"] for r in results)
+        assert all(r["error_budget_remaining"] == 1.0 for r in results)
+
+    def test_latency_slo_counts_slow_requests(self):
+        clock = FakeClock(1000.0)
+        spec = SloSpec(
+            name="lat", kind="latency", objective=0.9, latency_threshold=0.1
+        )
+        engine = make_engine(clock, specs=[spec])
+        for i in range(10):
+            engine.observe("/r", None, 0.5 if i < 5 else 0.01, error=False)
+        (result,) = engine.evaluate()
+        # half the requests were slow: bad_fraction 0.5 / budget 0.1 = 5
+        assert result["rules"][0]["short_burn_rate"] == pytest.approx(5.0)
+
+    def test_windows_clamped_to_retention(self):
+        clock = FakeClock(1000.0)
+        spec = SloSpec(name="avail", kind="availability", objective=0.9)
+        # Store retains only 60 s; the default rules ask for hours.
+        store = TimeWindowStore(
+            width_seconds=10.0, n_windows=6, clock=clock, max_samples=1
+        )
+        engine = make_engine(clock, specs=[spec], store=store)
+        for _ in range(10):
+            engine.observe("/r", None, 0.01, error=True)
+        (result,) = engine.evaluate()
+        # All observed traffic is bad: burn = 1/budget = 10 in every
+        # window the store can actually answer for.
+        fast = result["rules"][0]
+        assert fast["short_burn_rate"] == pytest.approx(10.0)
+        assert fast["long_burn_rate"] == pytest.approx(10.0)
+
+    def test_old_errors_age_out_of_short_window(self):
+        clock = FakeClock(1000.0)
+        spec = SloSpec(name="avail", kind="availability", objective=0.9)
+        rules = (("fast", 30.0, 300.0, 5.0),)
+        engine = make_engine(clock, specs=[spec], rules=rules)
+        for _ in range(10):
+            engine.observe("/r", None, 0.01, error=True)
+        clock.advance(120.0)  # errors leave the 30 s window
+        for _ in range(10):
+            engine.observe("/r", None, 0.01, error=False)
+        (result,) = engine.evaluate()
+        fast = result["rules"][0]
+        assert fast["short_burn_rate"] == pytest.approx(0.0)
+        assert fast["long_burn_rate"] == pytest.approx(5.0)
+        assert not fast["firing"]  # long window alone must not page
+
+
+class TestAlerting:
+    def _burst_engine(self, clock, dispatcher):
+        spec = SloSpec(name="avail", kind="availability", objective=0.9)
+        rules = (("fast", 30.0, 60.0, 2.0),)
+        return make_engine(
+            clock, specs=[spec], rules=rules, dispatcher=dispatcher
+        )
+
+    def test_alert_fires_once_on_edge(self):
+        clock = FakeClock(1000.0)
+        dispatcher = RecordingDispatcher()
+        engine = self._burst_engine(clock, dispatcher)
+        for _ in range(10):
+            engine.observe("/r", None, 0.01, error=True)
+        engine.evaluate()
+        engine.evaluate()  # still firing: no second alert
+        assert len(dispatcher.alerts) == 1
+        alert = dispatcher.alerts[0]
+        assert alert["type"] == "slo_burn_rate"
+        assert alert["slo"] == "avail"
+        assert alert["rule"] == "fast"
+        assert alert["burn_rate"] >= alert["threshold"]
+
+    def test_alert_rearms_after_recovery(self):
+        clock = FakeClock(1000.0)
+        dispatcher = RecordingDispatcher()
+        engine = self._burst_engine(clock, dispatcher)
+        for _ in range(10):
+            engine.observe("/r", None, 0.01, error=True)
+        engine.evaluate()
+        clock.advance(120.0)  # both windows drain
+        for _ in range(10):
+            engine.observe("/r", None, 0.01, error=False)
+        engine.evaluate()  # recovered → rule re-arms
+        for _ in range(10):
+            engine.observe("/r", None, 0.01, error=True)
+        engine.evaluate()
+        assert len(dispatcher.alerts) == 2
+
+    def test_alert_counter_and_gauges(self):
+        clock = FakeClock(1000.0)
+        registry = MetricsRegistry(clock=clock)
+        dispatcher = RecordingDispatcher()
+        spec = SloSpec(name="avail", kind="availability", objective=0.9)
+        rules = (("fast", 30.0, 60.0, 2.0),)
+        engine = make_engine(
+            clock, specs=[spec], rules=rules,
+            dispatcher=dispatcher, registry=registry,
+        )
+        for _ in range(10):
+            engine.observe("/r", None, 0.01, error=True)
+        engine.evaluate()
+        snap = registry.snapshot()
+        counters = {
+            (c["name"], c["labels"].get("slo")): c["value"]
+            for c in snap["counters"]
+        }
+        assert counters[("slo_alerts_total", "avail")] == 1
+        gauges = {
+            (g["name"], tuple(sorted(g["labels"].items()))): g["value"]
+            for g in snap["gauges"]
+        }
+        assert gauges[
+            ("slo_burn_rate", (("rule", "fast"), ("slo", "avail")))
+        ] == pytest.approx(10.0)
+        assert gauges[
+            ("slo_error_budget_remaining", (("slo", "avail"),))
+        ] == 0.0
+
+    def test_budget_depletes_with_errors(self):
+        clock = FakeClock(1000.0)
+        spec = SloSpec(name="avail", kind="availability", objective=0.9)
+        engine = make_engine(clock, specs=[spec])
+        # 5% bad against a 10% budget → half the budget left.
+        for i in range(100):
+            engine.observe("/r", None, 0.01, error=i < 5)
+        (result,) = engine.evaluate()
+        assert result["error_budget_remaining"] == pytest.approx(0.5)
+
+    def test_maybe_check_throttles(self):
+        clock = FakeClock(1000.0)
+        engine = make_engine(clock, check_interval=5.0)
+        assert engine.maybe_check() is not None
+        assert engine.maybe_check() is None
+        clock.advance(5.0)
+        assert engine.maybe_check() is not None
+
+    def test_reset_clears_state(self):
+        clock = FakeClock(1000.0)
+        dispatcher = RecordingDispatcher()
+        engine = self._burst_engine(clock, dispatcher)
+        for _ in range(10):
+            engine.observe("/r", None, 0.01, error=True)
+        engine.evaluate()
+        engine.reset()
+        results = engine.evaluate()
+        assert all(not r["firing"] for r in results)
+
+
+class TestScoping:
+    def test_tenant_scoped_slo_only_counts_its_tenant(self):
+        clock = FakeClock(1000.0)
+        spec = SloSpec(
+            name="acme-avail", kind="availability", objective=0.9,
+            tenant="acme",
+        )
+        engine = make_engine(clock, specs=[spec])
+        for _ in range(10):
+            engine.observe("/r", "globex", 0.01, error=True)
+        (result,) = engine.evaluate()
+        assert result["rules"][0]["short_burn_rate"] == 0.0
+        for _ in range(10):
+            engine.observe("/r", "acme", 0.01, error=True)
+        (result,) = engine.evaluate()
+        assert result["rules"][0]["short_burn_rate"] == pytest.approx(10.0)
+
+    def test_default_rules_are_google_sre_pairs(self):
+        assert DEFAULT_BURN_RULES == (
+            ("fast", 300.0, 3600.0, 14.4),
+            ("slow", 3600.0, 21600.0, 6.0),
+        )

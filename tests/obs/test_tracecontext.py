@@ -1,0 +1,258 @@
+"""Tests for cross-thread trace propagation and the bounded trace store.
+
+Covers the three layers of the stitching story: :class:`TraceContext`
+capture/bind semantics, span-id assignment inside the tracer, and
+:class:`TraceStore` grafting fragments from pool workers back into the
+caller's tree.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import obs
+from repro.core.deadline import Deadline, current_deadline
+from repro.obs.spans import SpanRecord, new_span_id
+from repro.obs.tracecontext import TraceContext, current_remote_parent
+from repro.obs.tracestore import TraceStore
+
+
+@pytest.fixture()
+def traced(fresh_obs):
+    """Fresh defaults with a trace store attached to the tracer."""
+    store = TraceStore()
+    obs.configure(trace_store=store)
+    return store
+
+
+class TestTraceContextCapture:
+    def test_empty_capture_outside_any_request(self, fresh_obs):
+        ctx = TraceContext.capture()
+        assert ctx.trace_id is None
+        assert ctx.span_id is None
+        assert ctx.request_id is None
+        assert ctx.tenant is None
+        assert ctx.deadline is None
+        assert ctx.to_record() == {}
+
+    def test_capture_inside_open_span(self, traced):
+        with obs.span("outer") as rec:
+            ctx = TraceContext.capture()
+            assert ctx.trace_id == rec.trace_id
+            assert ctx.span_id == rec.span_id
+
+    def test_capture_prefers_innermost_span(self, traced):
+        with obs.span("outer"):
+            with obs.span("inner") as inner:
+                ctx = TraceContext.capture()
+                assert ctx.span_id == inner.span_id
+                assert ctx.trace_id == inner.trace_id
+
+    def test_capture_snapshots_request_id_tenant_deadline(self, traced):
+        deadline = Deadline(30.0)
+        with obs.bind_request_id("req-1"), obs.bind_tenant("acme"):
+            from repro.core.deadline import bind_deadline
+
+            with bind_deadline(deadline):
+                ctx = TraceContext.capture()
+        assert ctx.request_id == "req-1"
+        assert ctx.tenant == "acme"
+        assert ctx.deadline is deadline
+
+    def test_capture_falls_back_to_remote_parent(self, traced):
+        parent = TraceContext(trace_id="t" * 16, span_id="s" * 16)
+        with parent.bind():
+            # No local span open: the propagated pair is re-captured, so
+            # a second pool hop still parents to the original span.
+            ctx = TraceContext.capture()
+        assert ctx.trace_id == "t" * 16
+        assert ctx.span_id == "s" * 16
+
+
+class TestTraceContextBind:
+    def test_bind_sets_and_restores_remote_parent(self, fresh_obs):
+        ctx = TraceContext(trace_id="abc", span_id="def")
+        assert current_remote_parent() is None
+        with ctx.bind():
+            assert current_remote_parent() == ("abc", "def")
+        assert current_remote_parent() is None
+
+    def test_bind_rebinds_request_id_and_tenant(self, fresh_obs):
+        ctx = TraceContext(request_id="req-9", tenant="globex")
+        with ctx.bind():
+            assert obs.current_request_id() == "req-9"
+            assert obs.current_tenant() == "globex"
+        assert obs.current_request_id() is None
+
+    def test_empty_bind_does_not_clobber_ambient_bindings(self, fresh_obs):
+        ctx = TraceContext()
+        with obs.bind_request_id("ambient"):
+            with ctx.bind():
+                assert obs.current_request_id() == "ambient"
+
+    def test_bind_propagates_deadline(self, fresh_obs):
+        deadline = Deadline(5.0)
+        ctx = TraceContext(deadline=deadline)
+        with ctx.bind():
+            assert current_deadline() is deadline
+        assert current_deadline() is None
+
+    def test_run_convenience(self, fresh_obs):
+        ctx = TraceContext(request_id="run-req")
+        assert ctx.run(obs.current_request_id) == "run-req"
+
+    def test_to_record_reports_remaining_deadline(self, fresh_obs):
+        ctx = TraceContext(
+            trace_id="t1", request_id="r1", deadline=Deadline(60.0)
+        )
+        record = ctx.to_record()
+        assert record["trace_id"] == "t1"
+        assert record["request_id"] == "r1"
+        assert 0 < record["deadline_remaining_seconds"] <= 60.0
+
+
+class TestCrossThreadStitching:
+    def test_worker_span_grafts_into_callers_tree(self, traced):
+        store = traced
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            with obs.span("request") as root:
+                ctx = TraceContext.capture()
+
+                def shard_task(i):
+                    with ctx.bind(), obs.span("db.shard", shard=i):
+                        return i
+
+                futures = [pool.submit(shard_task, i) for i in range(3)]
+                assert sorted(f.result() for f in futures) == [0, 1, 2]
+        tree = store.get(root.trace_id)
+        assert tree is not None
+        shard_spans = [s for s in tree.walk() if s.name == "db.shard"]
+        assert len(shard_spans) == 3
+        assert {s.parent_id for s in shard_spans} == {root.span_id}
+        assert {s.trace_id for s in shard_spans} == {root.trace_id}
+
+    def test_worker_logs_carry_propagated_request_id(self, traced):
+        store = traced
+        seen: list[str | None] = []
+        with obs.bind_request_id("req-shard"):
+            with obs.span("request") as root:
+                ctx = TraceContext.capture()
+                with ThreadPoolExecutor(max_workers=1) as pool:
+                    def task():
+                        with ctx.bind(), obs.span("work") as rec:
+                            seen.append(obs.current_request_id())
+                            return rec
+
+                    worker_rec = pool.submit(task).result()
+        assert seen == ["req-shard"]
+        assert worker_rec.request_id == "req-shard"
+        tree = store.get(root.trace_id)
+        assert any(s.name == "work" for s in tree.walk())
+
+    def test_nested_scatter_two_hops(self, traced):
+        store = traced
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            with obs.span("request") as root:
+                ctx = TraceContext.capture()
+
+                def outer_task():
+                    with ctx.bind(), obs.span("hop1") as hop1:
+                        inner_ctx = TraceContext.capture()
+                        assert inner_ctx.span_id == hop1.span_id
+
+                        def inner():
+                            with inner_ctx.bind(), obs.span("hop2"):
+                                pass
+
+                        pool.submit(inner).result()
+
+                pool.submit(outer_task).result()
+        tree = store.get(root.trace_id)
+        names = {s.name for s in tree.walk()}
+        assert {"request", "hop1", "hop2"} <= names
+        hop1 = next(s for s in tree.walk() if s.name == "hop1")
+        hop2 = next(s for s in tree.walk() if s.name == "hop2")
+        assert hop2.parent_id == hop1.span_id
+
+
+class TestTraceStore:
+    def _root(self, trace_id, name="root"):
+        rec = SpanRecord(name=name, tags={}, start=0.0)
+        rec.trace_id = trace_id
+        rec.span_id = new_span_id()
+        return rec
+
+    def _fragment(self, root, name="frag"):
+        rec = SpanRecord(name=name, tags={}, start=0.0)
+        rec.trace_id = root.trace_id
+        rec.span_id = new_span_id()
+        rec.parent_id = root.span_id
+        return rec
+
+    def test_late_fragment_grafts_immediately(self):
+        store = TraceStore()
+        root = self._root("t1")
+        store.add_trace(root)
+        frag = self._fragment(root)
+        store.add_fragment(frag)
+        assert frag in store.get("t1").children
+
+    def test_orphan_fragment_attaches_under_root(self):
+        store = TraceStore()
+        frag = SpanRecord(name="orphan", tags={}, start=0.0)
+        frag.trace_id = "t2"
+        frag.span_id = new_span_id()
+        frag.parent_id = "no-such-span"
+        store.add_fragment(frag)
+        root = self._root("t2")
+        store.add_trace(root)
+        assert frag in store.get("t2").children
+
+    def test_eviction_keeps_newest(self):
+        store = TraceStore(max_traces=2)
+        for i in range(4):
+            store.add_trace(self._root(f"t{i}"))
+        assert len(store) == 2
+        assert store.get("t0") is None
+        assert store.get("t3") is not None
+
+    def test_pending_cap_counts_drops(self):
+        store = TraceStore(max_pending=2)
+        root = self._root("t-burst")
+        for _ in range(5):
+            store.add_fragment(self._fragment(root))
+        assert store.dropped_fragments == 3
+        store.add_trace(root)
+        assert len(root.children) == 2
+
+    def test_traces_filters(self):
+        store = TraceStore()
+        a = self._root("ta")
+        a.request_id, a.tenant, a.duration = "req-a", "acme", 0.5
+        b = self._root("tb")
+        b.request_id, b.tenant, b.duration = "req-b", "globex", 0.001
+        store.add_trace(a)
+        store.add_trace(b)
+        assert [r.trace_id for r in store.traces()] == ["tb", "ta"]
+        assert [r.trace_id for r in store.traces(request_id="req-a")] == ["ta"]
+        assert [r.trace_id for r in store.traces(tenant="globex")] == ["tb"]
+        assert [r.trace_id for r in store.traces(min_duration_ms=100)] == ["ta"]
+        assert len(store.traces(limit=1)) == 1
+
+    def test_clear(self):
+        store = TraceStore()
+        store.add_trace(self._root("tc"))
+        store.clear()
+        assert len(store) == 0
+
+    def test_ids_survive_to_record(self):
+        store = TraceStore()
+        root = self._root("tr")
+        frag = self._fragment(root, name="child")
+        store.add_fragment(frag)
+        store.add_trace(root)
+        record = store.get("tr").to_record()
+        assert record["trace_id"] == "tr"
+        assert record["children"][0]["parent_id"] == root.span_id

@@ -2,7 +2,16 @@
 
 import pytest
 
+from repro import obs
 from repro.server import __main__ as server_main
+
+
+@pytest.fixture(autouse=True)
+def _restore_tracer():
+    """main() installs a trace store on the global tracer; undo it."""
+    previous = obs.get_tracer()
+    yield
+    obs.configure(tracer=previous)
 
 
 class _FakeServer:
@@ -92,6 +101,38 @@ def test_main_inflight_cap_disabled_with_zero(monkeypatch):
         )
     app = _FakeServer.instances[0].app
     assert app._backpressure.max_inflight is None
+
+
+def test_main_wires_tracing_and_profiler(monkeypatch, capsys):
+    monkeypatch.setattr(server_main, "make_server", _FakeServer)
+    _FakeServer.instances.clear()
+    with pytest.raises(KeyboardInterrupt):
+        server_main.main(
+            [
+                "--customers", "10", "--days", "7",
+                "--trace-capacity", "64", "--profile-hz", "50",
+            ]
+        )
+    app = _FakeServer.instances[0].app
+    store = obs.get_trace_store()
+    assert store is not None and store.max_traces == 64
+    assert app.profiler is not None
+    assert app.profiler.hz == 50.0
+    assert app.profiler.running
+    app.profiler.stop()
+    out = capsys.readouterr().out
+    assert "/api/traces" in out
+    assert "continuous @ 50 hz" in out
+
+
+def test_main_trace_capacity_zero_disables_tracing(monkeypatch):
+    monkeypatch.setattr(server_main, "make_server", _FakeServer)
+    _FakeServer.instances.clear()
+    with pytest.raises(KeyboardInterrupt):
+        server_main.main(
+            ["--customers", "10", "--days", "7", "--trace-capacity", "0"]
+        )
+    assert obs.get_trace_store() is None
 
 
 def test_main_builds_sharded_multi_tenant_app(monkeypatch, capsys):

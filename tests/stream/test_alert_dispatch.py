@@ -1,0 +1,175 @@
+"""Alert delivery: sinks, per-sink retry, dead-lettering."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro import obs
+from repro.obs import JsonLogger, MetricsRegistry
+from repro.resilience.retry import RetryPolicy
+from repro.stream.alerts import (
+    AlertDispatcher,
+    LogSink,
+    MemorySink,
+    WebhookSink,
+)
+
+ALERT = {"type": "slo_burn_rate", "slo": "availability", "rule": "fast"}
+
+
+def _fast_retry(**kwargs):
+    kwargs.setdefault("max_attempts", 3)
+    kwargs.setdefault("base_delay", 0.0)
+    kwargs.setdefault("max_delay", 0.0)
+    kwargs.setdefault("sleeper", lambda s: None)
+    kwargs.setdefault("metrics", MetricsRegistry())
+    return RetryPolicy(**kwargs)
+
+
+class FlakySink:
+    """Fails transiently N times, then delivers."""
+
+    name = "flaky"
+
+    def __init__(self, failures: int) -> None:
+        self.failures = failures
+        self.delivered: list[dict] = []
+
+    def deliver(self, alert: dict) -> None:
+        if self.failures > 0:
+            self.failures -= 1
+            raise OSError("transient webhook hiccup")
+        self.delivered.append(alert)
+
+
+class BrokenSink:
+    name = "broken"
+
+    def deliver(self, alert: dict) -> None:
+        raise TypeError("sink bug, not transient")
+
+
+class TestSinks:
+    def test_memory_sink_retains_and_caps(self):
+        sink = MemorySink(capacity=2)
+        for i in range(4):
+            sink.deliver({"n": i})
+        assert len(sink) == 2
+        assert [a["n"] for a in sink.alerts()] == [2, 3]
+
+    def test_log_sink_emits_warning_record(self):
+        stream = io.StringIO()
+        previous = obs.get_logger()
+        obs.configure(logger=JsonLogger(stream=stream))
+        try:
+            LogSink().deliver(ALERT)
+        finally:
+            obs.configure(logger=previous)
+        (record,) = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert record["event"] == "alert.delivered"
+        assert record["level"] == "warning"
+        assert record["slo"] == "availability"
+
+    def test_webhook_sink_posts_json(self, monkeypatch):
+        captured = {}
+
+        class _Resp:
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+        def fake_urlopen(request, timeout=None):
+            captured["url"] = request.full_url
+            captured["body"] = json.loads(request.data)
+            captured["timeout"] = timeout
+            return _Resp()
+
+        import urllib.request
+
+        monkeypatch.setattr(urllib.request, "urlopen", fake_urlopen)
+        WebhookSink("http://alerts.example/hook", timeout=2.0).deliver(ALERT)
+        assert captured["url"] == "http://alerts.example/hook"
+        assert captured["body"] == ALERT
+        assert captured["timeout"] == 2.0
+
+
+class TestDispatcher:
+    def test_delivers_to_every_sink(self):
+        a, b = MemorySink(), MemorySink()
+        dispatcher = AlertDispatcher(
+            sinks=[a, b], retry=_fast_retry(), metrics=MetricsRegistry()
+        )
+        assert dispatcher.dispatch(ALERT) == 2
+        assert a.alerts() == [ALERT]
+        assert b.alerts() == [ALERT]
+
+    def test_transient_failure_is_retried_to_success(self):
+        flaky = FlakySink(failures=2)
+        registry = MetricsRegistry()
+        dispatcher = AlertDispatcher(
+            sinks=[flaky], retry=_fast_retry(), metrics=registry
+        )
+        assert dispatcher.dispatch(ALERT) == 1
+        assert flaky.delivered == [ALERT]
+        assert dispatcher.dead_letters == []
+        delivered = {
+            c["labels"]["sink"]: c["value"]
+            for c in registry.snapshot()["counters"]
+            if c["name"] == "alerts_delivered_total"
+        }
+        assert delivered["flaky"] == 1
+
+    def test_exhausted_retries_dead_letter_without_raising(self):
+        always_down = FlakySink(failures=99)
+        healthy = MemorySink()
+        registry = MetricsRegistry()
+        dispatcher = AlertDispatcher(
+            sinks=[always_down, healthy],
+            retry=_fast_retry(),
+            metrics=registry,
+        )
+        assert dispatcher.dispatch(ALERT) == 1  # healthy sink still reached
+        assert healthy.alerts() == [ALERT]
+        (letter,) = dispatcher.dead_letters
+        assert letter["sink"] == "flaky"
+        assert letter["alert"] == ALERT
+        dead = {
+            c["labels"]["sink"]: c["value"]
+            for c in registry.snapshot()["counters"]
+            if c["name"] == "alerts_dead_lettered_total"
+        }
+        assert dead["flaky"] == 1
+
+    def test_non_retryable_sink_bug_counted_not_raised(self):
+        registry = MetricsRegistry()
+        dispatcher = AlertDispatcher(
+            sinks=[BrokenSink()], retry=_fast_retry(), metrics=registry
+        )
+        assert dispatcher.dispatch(ALERT) == 0
+        dead = {
+            c["labels"]["sink"]: c["value"]
+            for c in registry.snapshot()["counters"]
+            if c["name"] == "alerts_dead_lettered_total"
+        }
+        assert dead["broken"] == 1
+        # A sink bug is not transient: nothing lands in the retry queue.
+        assert dispatcher.dead_letters == []
+
+    def test_dead_letter_list_bounded(self):
+        dispatcher = AlertDispatcher(
+            sinks=[FlakySink(failures=10_000)],
+            retry=_fast_retry(max_attempts=1),
+            metrics=MetricsRegistry(),
+            max_dead_letters=3,
+        )
+        for i in range(6):
+            dispatcher.dispatch({"n": i})
+        assert len(dispatcher.dead_letters) == 3
+        assert [d["alert"]["n"] for d in dispatcher.dead_letters] == [3, 4, 5]
+
+    def test_default_sink_is_log(self):
+        dispatcher = AlertDispatcher(metrics=MetricsRegistry())
+        assert isinstance(dispatcher.sinks[0], LogSink)

@@ -192,6 +192,32 @@ class TestBench:
         assert run["identical"] is True
         assert run["exact_seconds"] >= 0.0
 
+    def test_profiler_overhead_block_recorded(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_PERF.json"
+        code = main(["bench", "--quick", "--kernel", "dtw", "--out", str(out)])
+        assert code == 0
+        assert "profiler overhead @ 100 hz" in capsys.readouterr().out
+        prof = json.loads(out.read_text())["profiler"]
+        assert prof["hz"] == 100.0
+        assert prof["baseline_ops_per_s"] > 0
+        assert prof["profiled_ops_per_s"] > 0
+        assert prof["samples"] > 0
+        assert 0.0 <= prof["overhead_pct"] <= 100.0
+
+    def test_no_profiler_flag_skips_overhead_block(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "b.json"
+        code = main(
+            ["bench", "--quick", "--kernel", "dtw", "--no-profiler",
+             "--out", str(out)]
+        )
+        assert code == 0
+        assert "profiler overhead" not in capsys.readouterr().out
+        assert "profiler" not in json.loads(out.read_text())
+
     def test_unknown_kernel_rejected(self, tmp_path):
         import pytest as _pytest
 

@@ -1,0 +1,87 @@
+"""Flamegraph SVG rendering: well-formedness, layout and tooltips."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.viz.flamegraph import render_flamegraph
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def _parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+def _rects(root: ET.Element) -> list[ET.Element]:
+    return [
+        el for el in root.iter(f"{SVG_NS}rect")
+        if el.get("class") != "background"
+    ]
+
+
+class TestRenderFlamegraph:
+    COUNTS = {
+        "main.run;pipeline.embed;kernels.tsne": 60,
+        "main.run;pipeline.embed;kernels.kde": 30,
+        "main.run;db.query": 10,
+    }
+
+    def test_output_is_well_formed_svg(self):
+        root = _parse(render_flamegraph(self.COUNTS))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_every_frame_becomes_a_rect_with_tooltip(self):
+        svg = render_flamegraph(self.COUNTS)
+        root = _parse(svg)
+        titles = [t.text for t in root.iter(f"{SVG_NS}title")]
+        for frame in ("main.run", "pipeline.embed", "kernels.tsne",
+                      "kernels.kde", "db.query"):
+            assert any(frame in (t or "") for t in titles), frame
+        # Tooltips carry sample counts and percentages.
+        run_tip = next(t for t in titles if t and t.startswith("main.run "))
+        assert "100 samples" in run_tip
+        assert "100.0%" in run_tip
+
+    def test_frame_widths_proportional_to_counts(self):
+        root = _parse(render_flamegraph(self.COUNTS))
+        widths = {}
+        for rect in root.iter(f"{SVG_NS}rect"):
+            title = rect.find(f"{SVG_NS}title")
+            if title is not None and title.text:
+                widths[title.text.split(" (")[0]] = float(rect.get("width"))
+        assert widths["pipeline.embed"] > widths["db.query"]
+        ratio = widths["kernels.tsne"] / widths["kernels.kde"]
+        assert abs(ratio - 2.0) < 0.05
+
+    def test_flames_grow_upward(self):
+        root = _parse(render_flamegraph(self.COUNTS))
+        ys = {}
+        for rect in root.iter(f"{SVG_NS}rect"):
+            title = rect.find(f"{SVG_NS}title")
+            if title is not None and title.text:
+                ys[title.text.split(" (")[0]] = float(rect.get("y"))
+        assert ys["kernels.tsne"] < ys["pipeline.embed"] < ys["main.run"]
+
+    def test_empty_profile_renders_note(self):
+        svg = render_flamegraph({})
+        root = _parse(svg)
+        texts = [t.text or "" for t in root.iter(f"{SVG_NS}text")]
+        assert any("no samples" in t for t in texts)
+
+    def test_title_and_width_parameters(self):
+        svg = render_flamegraph(self.COUNTS, width=640, title="hot paths")
+        root = _parse(svg)
+        assert root.get("width") == "640"
+        texts = [t.text or "" for t in root.iter(f"{SVG_NS}text")]
+        assert any("hot paths" in t for t in texts)
+
+    def test_deterministic_output(self):
+        assert render_flamegraph(self.COUNTS) == render_flamegraph(self.COUNTS)
+
+    def test_tiny_frames_elided_but_counted_in_parent(self):
+        counts = {"main.run;big.f": 10_000, "main.run;tiny.g": 1}
+        root = _parse(render_flamegraph(counts, width=300))
+        titles = [t.text or "" for t in root.iter(f"{SVG_NS}title")]
+        parent = next(t for t in titles if t.startswith("main.run "))
+        assert "10001 samples" in parent
