@@ -9,7 +9,11 @@ a wrong answer:
 - t-SNE: exact vs Barnes–Hut gradients — final KL ratio;
 - KDE: exact vs binned Eq. 3 — max relative error over the grid;
 - perplexity search: per-row loop vs array-wide bisection — beta allclose;
-- DTW: row-sweep vs anti-diagonal DP — bit-identical distances.
+- DTW: row-sweep vs anti-diagonal DP — bit-identical distances;
+- rollup: raw granularity sweep vs the warmed rollup-backed sweep — mean
+  energies allclose.  Sized across a 10x span of reading counts so the
+  document shows the rollup path's latency staying flat while the raw
+  path grows with ``n_readings``.
 
 The document also carries a top-level ``profiler`` block: the same KDE
 workload timed with the continuous stack profiler off and sampling at
@@ -37,7 +41,7 @@ from repro.core.reduction.tsne import (
 from repro.core.shift.grids import GridSpec
 from repro.core.shift.kde import kde_density
 
-KERNELS = ("tsne", "kde", "perplexity", "dtw")
+KERNELS = ("tsne", "kde", "perplexity", "dtw", "rollup")
 
 
 def _blob_features(
@@ -193,6 +197,85 @@ def bench_dtw(lengths: list[int], repeats: int = 5, seed: int = 0) -> dict:
     return {"runs": runs}
 
 
+def bench_rollup(
+    n_hours_list: list[int], n_customers: int = 80, seed: int = 0
+) -> dict:
+    """Granularity sweep from raw readings vs materialized rollups.
+
+    The raw path re-resamples the full reading matrix and re-runs Eq. 3
+    from scratch per window pair, so its cost grows with ``n_readings``;
+    the rollup path answers from per-bucket accumulators and cached
+    kernel grids, so its cost is O(cells) per field regardless of how
+    many hours fed the store.  Both sweeps use the store's pinned
+    bandwidth so the results are directly comparable; mean energies
+    ride along as the parity check.
+    """
+    from repro.core.shift.sensitivity import (
+        granularity_sweep,
+        granularity_sweep_from_rollups,
+    )
+    from repro.data.generator.simulate import CityConfig, generate_city
+    from repro.data.timeseries import Resolution
+    from repro.db import build_database
+    from repro.rollup.store import RollupStore
+
+    runs = []
+    for n_hours in n_hours_list:
+        city = generate_city(
+            CityConfig(
+                n_customers=n_customers,
+                n_days=max(1, n_hours // 24),
+                seed=seed,
+            )
+        )
+        db = build_database(city.customers, city.raw)
+        ids = [int(cid) for cid in db.readings.customer_ids]
+        spec = GridSpec.covering(db.positions_of(ids))
+        store = RollupStore(db.positions_of(ids), ids, spec)
+        t0 = time.perf_counter()
+        store.rebuild_from(db)
+        t1 = time.perf_counter()
+        bandwidth = store.bandwidth_m
+        # Warm once so the timed pass measures the steady-state cost —
+        # cached kernel grids, no lazy materialization.
+        granularity_sweep_from_rollups(store, bandwidth_m=bandwidth)
+        t2 = time.perf_counter()
+        raw = granularity_sweep(db, spec=spec, bandwidth_m=bandwidth)
+        t3 = time.perf_counter()
+        rolled = granularity_sweep_from_rollups(store, bandwidth_m=bandwidth)
+        t4 = time.perf_counter()
+        energies_raw = [r.mean_energy for r in raw]
+        energies_rollup = [r.mean_energy for r in rolled]
+        # Direct probe of the O(cells) claim: a single warm field, free of
+        # the per-pair flow statistics both sweeps share.  This number must
+        # stay flat as n grows 10x — it never touches raw readings.
+        probe = store.buckets(Resolution.DAILY)[0]
+        repeats = 50
+        t5 = time.perf_counter()
+        for _ in range(repeats):
+            store.bucket_field(Resolution.DAILY, probe, bandwidth_m=bandwidth)
+        warm_field_ms = (time.perf_counter() - t5) * 1000.0 / repeats
+        runs.append(
+            {
+                "n": n_hours * n_customers,
+                "n_hours": n_hours,
+                "n_customers": n_customers,
+                "build_seconds": round(t1 - t0, 4),
+                "exact_seconds": round(t3 - t2, 4),
+                "fast_seconds": round(t4 - t3, 4),
+                "speedup": round((t3 - t2) / max(t4 - t3, 1e-12), 2),
+                "warm_field_ms": round(warm_field_ms, 4),
+                "energies_allclose": bool(
+                    np.allclose(
+                        energies_raw, energies_rollup,
+                        rtol=1e-6, equal_nan=True,
+                    )
+                ),
+            }
+        )
+    return {"runs": runs}
+
+
 def bench_profiler_overhead(
     repeats: int, hz: float = 100.0, seed: int = 0
 ) -> dict:
@@ -267,6 +350,9 @@ def run_bench(
     if "dtw" in wanted:
         lengths = [168] if quick else [168, 336, 720]
         out["kernels"]["dtw"] = bench_dtw(lengths, seed=seed)
+    if "rollup" in wanted:
+        n_hours = [360, 3600] if quick else [720, 7200]
+        out["kernels"]["rollup"] = bench_rollup(n_hours, seed=seed)
     if profiler:
         out["profiler"] = bench_profiler_overhead(
             repeats=10 if quick else 50, seed=seed

@@ -21,7 +21,12 @@ Six commands cover the tool's operational surface:
 - ``bench`` — time the fast kernels against their exact twins and write
   the machine-readable ``BENCH_PERF.json`` perf-trajectory document
   (``--quick`` for the CI smoke variant; also measures continuous-
-  profiler overhead).
+  profiler overhead);
+- ``rollup`` — rebuild or inspect the materialized rollup layer over a
+  generated workload: ``rebuild`` forces a fresh derived-table build,
+  ``status`` prints staleness (last-applied hour, lag vs the source)
+  and maintenance counters; ``--ticks N`` streams N extra hours through
+  the shard router first to demonstrate incremental maintenance.
 """
 
 from __future__ import annotations
@@ -159,6 +164,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "--profile-hz", type=float, default=0.0, metavar="HZ",
         help="run the continuous stack-sampling profiler at this rate "
              "(0 disables; /api/profile burst-samples on demand)",
+    )
+
+    rollup = commands.add_parser(
+        "rollup",
+        help="rebuild or inspect the materialized rollup layer",
+    )
+    rollup.add_argument(
+        "action", choices=("status", "rebuild"),
+        help="'rebuild' forces a fresh derived-table build; 'status' "
+             "builds lazily and reports staleness",
+    )
+    rollup.add_argument("--customers", type=int, default=60)
+    rollup.add_argument("--days", type=int, default=21)
+    rollup.add_argument("--seed", type=int, default=7)
+    rollup.add_argument(
+        "--ticks", type=int, default=0, metavar="N",
+        help="after the build, stream N extra hourly ticks through the "
+             "shard router so the rollups are maintained incrementally",
+    )
+    rollup.add_argument(
+        "--shards", type=int, default=None,
+        help="hash-partition the database into N shards (default: "
+             "REPRO_SHARDS env, else 1)",
+    )
+    rollup.add_argument(
+        "--json", action="store_true", help="print the raw status JSON"
     )
 
     profile = commands.add_parser(
@@ -439,6 +470,72 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_rollup(args: argparse.Namespace) -> int:
+    """Build/inspect the rollup layer over a generated workload."""
+    import time
+
+    from repro.stream.feed import ReplayFeed
+    from repro.stream.routing import ShardRouter
+
+    hold = max(args.ticks, 0)
+    extra_days = (hold + 23) // 24
+    city = generate_city(
+        CityConfig(
+            n_customers=args.customers,
+            n_days=args.days + extra_days,
+            seed=args.seed,
+        )
+    )
+    series = city.raw
+    head_end = series.start_hour + args.days * 24
+    head = series.slice_hours(series.start_hour, head_end)
+    db = build_database(city.customers, head, shards=args.shards)
+    session = VapSession(db, preprocess=False)
+    start = time.perf_counter()
+    store = session.rollups(rebuild=args.action == "rebuild")
+    build_seconds = time.perf_counter() - start
+    if hold:
+        tail = series.slice_hours(head_end, head_end + hold)
+        router = ShardRouter(
+            db, [int(cid) for cid in tail.customer_ids], rollups=store
+        )
+        router.replay(ReplayFeed(tail, retry=None))
+    status = session.rollup_status()["status"]
+
+    if args.json:
+        from repro.server import json_codec
+
+        print(json_codec.dumps(status))
+        return 0
+
+    print(
+        f"rollup store: {status['n_customers']} customers, "
+        f"bandwidth {status['bandwidth_m']:.1f} m "
+        f"(built in {build_seconds * 1000.0:.1f} ms)"
+    )
+    print(
+        f"  applied through hour {status['last_applied_hour']} "
+        f"(source end {status['source_end_hour']}, "
+        f"lag {status['lag_hours']} h)"
+    )
+    print(
+        f"  rebuilds {status['rebuilds_total']}, "
+        f"hours applied {status['hours_applied_total']}, "
+        f"grids built/added/refolded "
+        f"{status['grid_builds_total']}/"
+        f"{status['grid_adds_total']}/"
+        f"{status['grid_refolds_total']} "
+        f"(refold every {status['refold_every']} h)"
+    )
+    print(f"\n{'resolution':<14}{'buckets':>9}{'grids cached':>14}")
+    for table in status["tables"]:
+        print(
+            f"{table['resolution']:<14}{table['n_buckets']:>9}"
+            f"{table['grids_cached']:>14}"
+        )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Delegate to the ``python -m repro.server`` entry point."""
     from repro.server.__main__ import main as server_main
@@ -477,6 +574,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "profile": _cmd_profile,
     "bench": _cmd_bench,
+    "rollup": _cmd_rollup,
 }
 
 

@@ -41,9 +41,18 @@ from repro.core.reduction.tsne import tsne
 from repro.core.shift.flow import FlowArrow, ShiftField, flow_vectors, major_flows
 from repro.core.shift.grids import DensityGrid, GridSpec
 from repro.core.shift.kde import kde_density
+from repro.core.shift.sensitivity import (
+    GranularityResult,
+    QuantileResult,
+    granularity_sweep as _granularity_sweep_raw,
+    granularity_sweep_from_rollups,
+    quantile_sweep as _quantile_sweep_raw,
+    quantile_sweep_from_rollups,
+)
 from repro.core.singleflight import HIT, SingleFlightCache, WaitTimeout
-from repro.data.timeseries import HourWindow, SeriesSet
+from repro.data.timeseries import HourWindow, Resolution, SeriesSet
 from repro.db.engine import EnergyDatabase
+from repro.rollup.store import RollupMiss, RollupStore
 from repro.preprocess.cleaning import AnomalyReport, remove_anomalies
 from repro.preprocess.features import FeatureKind, extract_features
 from repro.preprocess.imputation import impute
@@ -145,6 +154,8 @@ class VapSession:
         )
         self._grid_lock = threading.RLock()
         self._grid: GridSpec | None = None
+        self._rollups: RollupStore | None = None
+        self._rollups_lock = threading.Lock()
         if breakers is None:
             breakers = {
                 op: CircuitBreaker(name=f"pipeline.{op}", metrics=metrics)
@@ -641,6 +652,151 @@ class VapSession:
                 t2, bandwidth_m, customer_ids, method
             )
             return ShiftField.between(before, after), degraded_1 or degraded_2
+
+    # ------------------------------------------------------------------
+    # rollup-backed sweeps (S2)
+    # ------------------------------------------------------------------
+    def rollups(self, rebuild: bool = False) -> RollupStore:
+        """The session's materialized rollup store, built lazily.
+
+        The store covers every customer on the session grid and is
+        rebuilt from the database on first use (scattering per shard
+        when the data plane supports it).  ``rebuild`` forces a fresh
+        rebuild — the CLI's ``rollup rebuild`` path.
+        """
+        with self._rollups_lock:
+            store = self._rollups
+            if store is None:
+                store = RollupStore(
+                    self.db.positions_of(
+                        [int(cid) for cid in self.db.readings.customer_ids]
+                    ),
+                    [int(cid) for cid in self.db.readings.customer_ids],
+                    self.grid(),
+                    metrics=self._metrics,
+                )
+                store.rebuild_from(self.db)
+                self._rollups = store
+            elif rebuild:
+                store.rebuild_from(self.db)
+            return store
+
+    def rollups_catch_up(self) -> int:
+        """Fold any hours the database ingested since the rollups were
+        last maintained; returns the hours applied.
+
+        True incremental maintenance: only the missing hour range is
+        read, so catching up after ``k`` stream ticks costs O(k · n),
+        not a full rebuild.
+        """
+        store = self.rollups()
+        end = self.db.time_span.end_hour
+        last = store.last_applied_hour
+        if last is None or last >= end:
+            return 0
+        gap = HourWindow(last, end)
+        sliced = self.db.readings_for(None, gap)
+        store.apply_hours(
+            sliced.matrix,
+            gap.start_hour,
+            customer_ids=[int(cid) for cid in sliced.customer_ids],
+        )
+        return end - last
+
+    def rollup_status(self) -> dict[str, object]:
+        """Staleness + maintenance state of the rollup layer.
+
+        ``enabled`` is False (with every other key still present) until
+        the store has been built — the telemetry block stays
+        schema-stable either way.
+        """
+        with self._rollups_lock:
+            store = self._rollups
+        if store is None:
+            return {"enabled": False, "status": None}
+        return {
+            "enabled": True,
+            "status": store.status(source_end_hour=self.db.time_span.end_hour),
+        }
+
+    def _rollup_fallback(self, op: str, reason: str) -> None:
+        self.metrics.counter(
+            "pipeline_rollup_fallback_total", op=op
+        ).inc()
+        obs.log_event(
+            "pipeline.rollup_fallback", level="warning", op=op, reason=reason
+        )
+
+    def granularity_sweep(
+        self,
+        resolutions: tuple[Resolution, ...] = tuple(Resolution),
+        max_pairs_per_resolution: int = 8,
+        bandwidth_m: float | None = None,
+        use_rollups: bool = True,
+    ) -> list[GranularityResult]:
+        """S2's temporal-granularity sweep, answered from the rollup
+        layer when possible.
+
+        The rollup path first catches the store up to the database's end
+        hour (incremental, O(lag)), then answers every bucket field from
+        the materialized tables — latency independent of how many raw
+        readings exist.  Any rollup gap (:class:`~repro.rollup.store
+        .RollupMiss`) falls back to the exact raw-readings sweep and is
+        counted in ``pipeline_rollup_fallback_total``.
+        """
+        with obs.span("pipeline.granularity_sweep"), \
+                self.metrics.timer("pipeline_seconds", op="granularity_sweep"):
+            if use_rollups:
+                try:
+                    self.rollups_catch_up()
+                    return granularity_sweep_from_rollups(
+                        self.rollups(),
+                        resolutions=resolutions,
+                        max_pairs_per_resolution=max_pairs_per_resolution,
+                        bandwidth_m=bandwidth_m,
+                    )
+                except RollupMiss as exc:
+                    self._rollup_fallback("granularity_sweep", str(exc))
+            return _granularity_sweep_raw(
+                self.db,
+                resolutions=resolutions,
+                spec=self.grid(),
+                max_pairs_per_resolution=max_pairs_per_resolution,
+                bandwidth_m=bandwidth_m,
+            )
+
+    def quantile_sweep(
+        self,
+        t1: HourWindow,
+        t2: HourWindow,
+        quantiles: tuple[float, ...] = (0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+        bandwidth_m: float | None = None,
+        use_rollups: bool = True,
+    ) -> list[QuantileResult]:
+        """S2's consumption-intensity sweep, rollup-backed with the same
+        exact-fallback contract as :meth:`granularity_sweep`."""
+        with obs.span("pipeline.quantile_sweep"), \
+                self.metrics.timer("pipeline_seconds", op="quantile_sweep"):
+            if use_rollups:
+                try:
+                    self.rollups_catch_up()
+                    return quantile_sweep_from_rollups(
+                        self.rollups(),
+                        t1,
+                        t2,
+                        quantiles=quantiles,
+                        bandwidth_m=bandwidth_m,
+                    )
+                except RollupMiss as exc:
+                    self._rollup_fallback("quantile_sweep", str(exc))
+            return _quantile_sweep_raw(
+                self.db,
+                t1,
+                t2,
+                quantiles=quantiles,
+                spec=self.grid(),
+                bandwidth_m=bandwidth_m,
+            )
 
     def flows(
         self,

@@ -61,6 +61,27 @@ def bandwidth_silverman(positions_m: np.ndarray) -> float:
     return float(np.sqrt(var) * n ** (-1.0 / 6.0))
 
 
+def planar_frame(
+    positions: np.ndarray, spec: GridSpec
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The local planar frame shared by every KDE engine.
+
+    Returns ``(px, py, gx, gy)`` — point and grid-centre coordinates in
+    metres relative to the grid centre.  The rollup layer's accumulators
+    must agree bit-for-bit with :func:`kde_density` on this frame, which
+    is why it is one function rather than two copies of the same
+    arithmetic.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    center_lat = spec.bbox.center.lat
+    m_per_lon, m_per_lat = meters_per_degree(center_lat)
+    px = (positions[:, 0] - spec.bbox.center.lon) * m_per_lon
+    py = (positions[:, 1] - center_lat) * m_per_lat
+    gx = (spec.lon_centers() - spec.bbox.center.lon) * m_per_lon
+    gy = (spec.lat_centers() - center_lat) * m_per_lat
+    return px, py, gx, gy
+
+
 def normalize_weights(values: np.ndarray) -> np.ndarray:
     """The paper's ``c_i``: average consumption scaled to sum to n.
 
@@ -264,10 +285,7 @@ def kde_density(
         c = normalize_weights(weights)
 
     # Local planar frame centred on the grid.
-    center_lat = spec.bbox.center.lat
-    m_per_lon, m_per_lat = meters_per_degree(center_lat)
-    px = (positions[:, 0] - spec.bbox.center.lon) * m_per_lon
-    py = (positions[:, 1] - center_lat) * m_per_lat
+    px, py, gx, gy = planar_frame(positions, spec)
     if bandwidth_m is None:
         bandwidth_m = bandwidth_silverman(np.column_stack([px, py]))
     else:
@@ -276,9 +294,6 @@ def kde_density(
         raise ValueError(
             f"bandwidth_m must be a positive finite number, got {bandwidth_m}"
         )
-
-    gx = (spec.lon_centers() - spec.bbox.center.lon) * m_per_lon
-    gy = (spec.lat_centers() - center_lat) * m_per_lat
 
     engine = method
     if engine == "auto":

@@ -10,6 +10,13 @@ Demo scenario S2 has attendees learn two sensitivities of the shift maps:
 
 Both sweeps are implemented against :class:`~repro.db.engine.EnergyDatabase`
 so they exercise the same data-layer path the interactive tool would.
+
+Each sweep also has a rollup-backed twin (``*_from_rollups``) answering
+the same question from a :class:`~repro.rollup.store.RollupStore` instead
+of the raw readings: per-bucket demand comes from the materialized tables
+and warm fields cost O(cells), so sweep latency is independent of
+``n_readings``.  The twins return the same result types and match the raw
+paths to float tolerance — the differential suite pins that.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ from repro.core.shift.kde import kde_density
 from repro.data.timeseries import HourWindow, Resolution
 from repro.db.engine import EnergyDatabase
 from repro.preprocess.resample import resample
+from repro.rollup.store import RollupStore
 
 
 @dataclass(slots=True)
@@ -137,6 +145,78 @@ def granularity_sweep(
     return results
 
 
+def granularity_sweep_from_rollups(
+    store: RollupStore,
+    resolutions: tuple[Resolution, ...] | None = None,
+    max_pairs_per_resolution: int = 8,
+    bandwidth_m: float | None = None,
+) -> list[GranularityResult]:
+    """The granularity sweep answered from materialized rollups.
+
+    Mirrors :func:`granularity_sweep` pair for pair — same bucket set
+    (both derive from the shared bucketing primitive), same even spread
+    over the horizon, same statistics — but every field comes from
+    :meth:`~repro.rollup.store.RollupStore.bucket_field`: O(cells) when
+    warm, never touching raw readings.
+
+    Raises
+    ------
+    ValueError
+        If ``max_pairs_per_resolution`` is not positive.
+    RollupMiss
+        If a requested resolution is not tracked by the store.
+    """
+    if max_pairs_per_resolution < 1:
+        raise ValueError(
+            f"max_pairs_per_resolution must be >= 1, got "
+            f"{max_pairs_per_resolution}"
+        )
+    if resolutions is None:
+        resolutions = store.resolutions
+    results: list[GranularityResult] = []
+    for resolution in resolutions:
+        buckets = store.buckets(resolution)
+        pairs = list(zip(buckets, buckets[1:]))
+        if not pairs:
+            results.append(
+                GranularityResult(
+                    resolution=resolution,
+                    n_window_pairs=0,
+                    mean_energy=float("nan"),
+                    mean_flows=float("nan"),
+                    peak_gain=float("nan"),
+                    peak_loss=float("nan"),
+                )
+            )
+            continue
+        if len(pairs) > max_pairs_per_resolution:
+            picks = np.linspace(0, len(pairs) - 1, max_pairs_per_resolution)
+            pairs = [pairs[int(i)] for i in picks]
+        energies: list[float] = []
+        flow_counts: list[int] = []
+        peak_gain = -np.inf
+        peak_loss = np.inf
+        for b1, b2 in pairs:
+            before = store.bucket_field(resolution, b1, bandwidth_m=bandwidth_m)
+            after = store.bucket_field(resolution, b2, bandwidth_m=bandwidth_m)
+            field = ShiftField.between(before, after)
+            energies.append(field.energy())
+            flow_counts.append(len(major_flows(field)))
+            peak_gain = max(peak_gain, field.peak_gain()[2])
+            peak_loss = min(peak_loss, field.peak_loss()[2])
+        results.append(
+            GranularityResult(
+                resolution=resolution,
+                n_window_pairs=len(pairs),
+                mean_energy=float(np.mean(energies)),
+                mean_flows=float(np.mean(flow_counts)),
+                peak_gain=float(peak_gain),
+                peak_loss=float(peak_loss),
+            )
+        )
+    return results
+
+
 def quantile_sweep(
     db: EnergyDatabase,
     t1: HourWindow,
@@ -188,6 +268,65 @@ def quantile_sweep(
             QuantileResult(
                 quantile=q,
                 n_customers=len(selected),
+                energy=field.energy(),
+                n_flows=len(flows),
+                main_flow=flows[0] if flows else None,
+            )
+        )
+    return results
+
+
+def quantile_sweep_from_rollups(
+    store: RollupStore,
+    t1: HourWindow,
+    t2: HourWindow,
+    quantiles: tuple[float, ...] = (0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+    bandwidth_m: float | None = None,
+) -> list[QuantileResult]:
+    """The intensity sweep answered from materialized rollups.
+
+    Mirrors :func:`quantile_sweep`: per-customer totals over ``t1 ∪ t2``
+    come from the hourly rollup instead of the raw matrix, each group's
+    fields from cached kernel factors.  ``bandwidth_m=None`` applies
+    Silverman's rule *per selected subset*, exactly as the raw path does.
+
+    Raises
+    ------
+    ValueError
+        For quantiles outside [0, 1).
+    RollupMiss
+        If the hourly rollup does not cover ``t1 ∪ t2``.
+    """
+    for q in quantiles:
+        if not 0.0 <= q < 1.0:
+            raise ValueError(f"quantiles must be in [0, 1), got {q}")
+    span = HourWindow(
+        min(t1.start_hour, t2.start_hour), max(t1.end_hour, t2.end_hour)
+    )
+    totals = store.window_demand(span, statistic="sum")
+    results: list[QuantileResult] = []
+    for q in quantiles:
+        threshold = float(np.quantile(totals, q))
+        selected = np.flatnonzero(totals >= threshold)
+        if selected.size < 2:
+            results.append(
+                QuantileResult(
+                    quantile=q,
+                    n_customers=int(selected.size),
+                    energy=float("nan"),
+                    n_flows=0,
+                    main_flow=None,
+                )
+            )
+            continue
+        before = store.window_field(t1, rows=selected, bandwidth_m=bandwidth_m)
+        after = store.window_field(t2, rows=selected, bandwidth_m=bandwidth_m)
+        field = ShiftField.between(before, after)
+        flows = major_flows(field)
+        results.append(
+            QuantileResult(
+                quantile=q,
+                n_customers=int(selected.size),
                 energy=field.energy(),
                 n_flows=len(flows),
                 main_flow=flows[0] if flows else None,

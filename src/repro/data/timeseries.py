@@ -71,6 +71,36 @@ class Resolution(enum.Enum):
             return when.year - EPOCH.year
         raise AssertionError(f"unhandled resolution {self}")  # pragma: no cover
 
+    def bucket_bounds(self, bucket: int) -> tuple[int, int]:
+        """Nominal hour span ``[start, end)`` of a bucket ordinal.
+
+        The inverse of :meth:`bucket_of` up to bucket membership: every
+        hour offset ``h`` with ``start <= h < end`` satisfies
+        ``bucket_of(h) == bucket``.  Fixed-width resolutions multiply;
+        calendar resolutions walk the calendar from :data:`EPOCH`.
+        """
+        fixed = self.fixed_hours
+        if fixed is not None:
+            return int(bucket) * fixed, (int(bucket) + 1) * fixed
+        bucket = int(bucket)
+        if self is Resolution.MONTHLY:
+            months = bucket
+            span = 1
+        elif self is Resolution.QUARTERLY:
+            months = bucket * 3
+            span = 3
+        else:  # YEARLY
+            months = bucket * 12
+            span = 12
+
+        def month_start(total_months: int) -> _dt.datetime:
+            year, month0 = divmod(EPOCH.month - 1 + total_months, 12)
+            return _dt.datetime(EPOCH.year + year, month0 + 1, 1)
+
+        start = datetime_to_hour(month_start(months))
+        end = datetime_to_hour(month_start(months + span))
+        return start, end
+
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value
 

@@ -354,6 +354,32 @@ class EnergyDatabase:
             order = np.lexsort((ids, -values))[:k]
             return ids[order], values[order]
 
+    def rollup_partials(
+        self,
+        resolutions: Sequence["Resolution"],
+        window: HourWindow | None = None,
+    ) -> dict["Resolution", "BucketPartials"]:
+        """Per-customer bucket partials for the rollup layer, one entry
+        per requested resolution, rows in readings order.
+
+        The shared bucketing primitive
+        (:func:`~repro.preprocess.resample.bucket_partials`) does the
+        work, so the derived tables a :class:`~repro.rollup.store
+        .RollupStore` rebuilds from here cannot drift from the batch
+        resample path.  ``window`` restricts the partials to an hour
+        range (the sharded engine uses it to pin every shard to the
+        common time prefix).
+        """
+        from repro.preprocess.resample import bucket_partials
+
+        with self._timed("rollup_partials"):
+            readings = self.readings
+            if window is not None:
+                readings = readings.slice_hours(
+                    window.start_hour, window.end_hour
+                )
+            return {res: bucket_partials(readings, res) for res in resolutions}
+
     # ------------------------------------------------------------------
     # writes
     # ------------------------------------------------------------------

@@ -520,6 +520,67 @@ class ShardedEnergyDatabase:
                         values[slot] = vals[row]
         return positions, values
 
+    def rollup_partials(
+        self,
+        resolutions: Sequence["Resolution"],
+        window: HourWindow | None = None,
+    ) -> dict["Resolution", "BucketPartials"]:
+        """Per-shard bucket partials merged into the gathered row order.
+
+        Two phases: first pin the common time prefix across shard
+        snapshots, then scatter the partial computation with that window
+        so every shard buckets the *identical* hour range (and therefore
+        produces the identical bucket set).  Each customer lives in
+        exactly one shard, so the merge is pure row assembly into the
+        canonical reading order — bit-identical to computing the
+        partials over the gathered readings, without ever gathering
+        them.
+        """
+        from repro.preprocess.resample import BucketPartials
+
+        resolutions = tuple(resolutions)
+        if window is None:
+            spans = self._scatter("rollup_span", lambda sid, db: db.time_span)
+            window = HourWindow(
+                spans[0][1].start_hour, min(s.end_hour for _, s in spans)
+            )
+        with obs.span(
+            "db.rollup_partials",
+            n_shards=len(self._shards),
+            resolutions=len(resolutions),
+        ):
+            gathered = self._scatter(
+                "rollup_partials",
+                lambda sid, db: (
+                    [int(cid) for cid in db.readings.customer_ids],
+                    db.rollup_partials(resolutions, window=window),
+                ),
+            )
+        n = len(self._reading_ids)
+        merged: dict[object, object] = {}
+        for res in resolutions:
+            template = gathered[0][1][1][res]
+            sums = np.zeros((n, template.n_buckets))
+            counts = np.zeros((n, template.n_buckets))
+            for _, (ids, parts) in gathered:
+                p = parts[res]
+                if not np.array_equal(p.buckets, template.buckets):
+                    raise RuntimeError(
+                        "shard bucket sets diverged during the gather; "
+                        "retry the rollup rebuild"
+                    )
+                rows = [self._reading_order[cid] for cid in ids]
+                sums[rows, :] = p.sums
+                counts[rows, :] = p.counts
+            merged[res] = BucketPartials(
+                resolution=res,
+                buckets=template.buckets.copy(),
+                edges=template.edges.copy(),
+                sums=sums,
+                counts=counts,
+            )
+        return merged
+
     def top_consumers(
         self,
         window: HourWindow,

@@ -1,0 +1,22 @@
+"""Materialized rollup layer: derived demand tables + additive KDE grids.
+
+The derived-table layer ROADMAP item 2 calls for.  A
+:class:`~repro.rollup.store.RollupStore` holds, per S2 granularity, the
+per-customer demand partials (NaN-aware sums and observed-hour counts per
+epoch-aligned bucket) and lazily materialized *kernel-sum grids* — the
+unnormalised additive part of the paper's Eq. 3 KDE.  Stream ticks
+maintain both incrementally (each fed hour adds its kernel contributions;
+periodic refolds from the demand partials bound float drift), so any
+granularity/quantile sweep is answered from the rollups in O(cells),
+independent of how many raw readings exist.
+"""
+
+from repro.rollup.kde import KdeAccumulator
+from repro.rollup.store import BucketRollup, RollupMiss, RollupStore
+
+__all__ = [
+    "BucketRollup",
+    "KdeAccumulator",
+    "RollupMiss",
+    "RollupStore",
+]

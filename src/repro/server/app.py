@@ -26,6 +26,20 @@ Endpoints mirror what the paper's three views request from the logic layer:
                                       windows (``t1_start`` ... ``t2_end``);
                                       optional ``bandwidth_m``,
                                       ``kde_method``
+``GET  /api/sweep/granularity``       S2 temporal-granularity sweep from
+                                      the rollup layer (``source=raw``
+                                      forces the exact path); params
+                                      ``max_pairs``, ``bandwidth_m``
+``GET  /api/sweep/quantile``          S2 intensity sweep (``t1_start`` ...
+                                      ``t2_end``); rollup-backed with the
+                                      same ``source``/``bandwidth_m``
+``GET  /api/rollups``                 rollup staleness: last-applied tick,
+                                      lag vs the database end hour,
+                                      rebuild/refold counters, per-table
+                                      bucket counts
+``POST /api/rollups/rebuild``         force a full rollup rebuild from
+                                      the data plane (sharded partials
+                                      merged deterministically)
 ``GET  /api/kmeans``                  S1d baseline labels; param ``k``
 ``POST /api/sql``                     ad-hoc SELECT over the customers
                                       table; body ``{"query": ...}``
@@ -440,6 +454,10 @@ class VapApp:
         r.add("POST", "/api/selection", self.selection)
         r.add("GET", "/api/density", self.density)
         r.add("GET", "/api/shift", self.shift)
+        r.add("GET", "/api/sweep/granularity", self.sweep_granularity)
+        r.add("GET", "/api/sweep/quantile", self.sweep_quantile)
+        r.add("GET", "/api/rollups", self.rollups)
+        r.add("POST", "/api/rollups/rebuild", self.rollups_rebuild)
         r.add("GET", "/api/kmeans", self.kmeans)
         r.add("POST", "/api/sql", self.sql)
         r.add(
@@ -681,6 +699,7 @@ class VapApp:
             "resilience": self._resilience_payload(snapshot),
             "tenants": self.tenants.to_record(),
             "sharding": self._sharding_payload(snapshot),
+            "rollup": self._rollup_payload(),
             "slo": {"slos": self.slo_engine.evaluate()},
             "slow_ops": self.slow_log.records()[: max(top, 0)],
         }
@@ -727,6 +746,32 @@ class VapApp:
             ),
             "by_shard": dict(sorted(by_shard.items())),
             "scatter_queries_total": scatter,
+        }
+
+    def _rollup_payload(self, session: VapSession | None = None) -> dict:
+        """Staleness block of the materialized rollup layer — the
+        ``rollup`` block of ``/api/telemetry`` and the ``/api/rollups``
+        body.  Every key is present whether or not the store has been
+        built yet (nullable scalars), so the telemetry schema never
+        flaps."""
+        session = session or self.session
+        info = session.rollup_status()
+        status = info["status"] or {}
+        return {
+            "enabled": info["enabled"],
+            "n_customers": status.get("n_customers"),
+            "bandwidth_m": status.get("bandwidth_m"),
+            "first_hour": status.get("first_hour"),
+            "last_applied_hour": status.get("last_applied_hour"),
+            "source_end_hour": status.get("source_end_hour"),
+            "lag_hours": status.get("lag_hours"),
+            "rebuilds_total": status.get("rebuilds_total"),
+            "hours_applied_total": status.get("hours_applied_total"),
+            "grid_builds_total": status.get("grid_builds_total"),
+            "grid_adds_total": status.get("grid_adds_total"),
+            "grid_refolds_total": status.get("grid_refolds_total"),
+            "refold_every": status.get("refold_every"),
+            "tables": status.get("tables", []),
         }
 
     def _resilience_payload(self, snapshot: dict) -> dict:
@@ -986,6 +1031,76 @@ class VapApp:
         if degraded:
             payload["degraded"] = True
         return payload
+
+    @staticmethod
+    def _num(value: float) -> float | None:
+        """A float JSON-safe: NaN/inf (empty-sweep statistics) become
+        null instead of emitting invalid JSON."""
+        value = float(value)
+        return value if math.isfinite(value) else None
+
+    def sweep_granularity(self, request: Request) -> dict:
+        """S2 step 1 over every tracked granularity, rollup-backed."""
+        results = request.session.granularity_sweep(
+            max_pairs_per_resolution=request.param_int("max_pairs", 8),
+            bandwidth_m=self._bandwidth(request),
+            use_rollups=request.param_str("source", "rollup") != "raw",
+        )
+        return {
+            "results": [
+                {
+                    "resolution": str(r.resolution),
+                    "n_window_pairs": r.n_window_pairs,
+                    "mean_energy": self._num(r.mean_energy),
+                    "mean_flows": self._num(r.mean_flows),
+                    "peak_gain": self._num(r.peak_gain),
+                    "peak_loss": self._num(r.peak_loss),
+                }
+                for r in results
+            ],
+            "count": len(results),
+        }
+
+    def sweep_quantile(self, request: Request) -> dict:
+        """S2 step 2 between two windows, rollup-backed."""
+        t1 = self._window(request, "t1")
+        t2 = self._window(request, "t2")
+        results = request.session.quantile_sweep(
+            t1,
+            t2,
+            bandwidth_m=self._bandwidth(request),
+            use_rollups=request.param_str("source", "rollup") != "raw",
+        )
+        return {
+            "results": [
+                {
+                    "quantile": r.quantile,
+                    "n_customers": r.n_customers,
+                    "energy": self._num(r.energy),
+                    "n_flows": r.n_flows,
+                    "main_flow": (
+                        None
+                        if r.main_flow is None
+                        else {
+                            "from": [r.main_flow.lon, r.main_flow.lat],
+                            "to": list(r.main_flow.tip),
+                            "magnitude": r.main_flow.magnitude,
+                        }
+                    ),
+                }
+                for r in results
+            ],
+            "count": len(results),
+        }
+
+    def rollups(self, request: Request) -> dict:
+        """Rollup staleness + maintenance state."""
+        return self._rollup_payload(request.session)
+
+    def rollups_rebuild(self, request: Request) -> dict:
+        """Force a full rollup rebuild from the data plane."""
+        request.session.rollups(rebuild=True)
+        return self._rollup_payload(request.session)
 
     def proposals(self, request: Request) -> dict:
         """Auto-discovered selection proposals (DBSCAN over view C), each

@@ -51,6 +51,14 @@ class Batch:
     def end_hour(self) -> int:
         return self.start_hour + self.n_hours
 
+    @property
+    def n_nonfinite(self) -> int:
+        """Readings in this batch that are NaN/inf.  Streaming consumers
+        coerce these to zero demand; the count lets them account for the
+        coercion (``stream_nonfinite_dropped_total``) instead of
+        swallowing it silently."""
+        return int((~np.isfinite(self.values)).sum())
+
 
 class ReplayFeed:
     """Iterator over the batches of a historical data set.

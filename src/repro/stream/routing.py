@@ -10,6 +10,14 @@ parallel, which is exactly what the concurrency stress test measures.
 
 :func:`shard_feed` carves a per-shard sub-feed out of a source series so
 independent writer threads can each replay one shard's customers.
+
+A router can also carry a :class:`~repro.rollup.store.RollupStore`: every
+applied batch is then folded into the materialized rollups in the same
+call, so the derived tables never trail the database by more than the
+in-flight tick — the "maintained incrementally by stream ticks" half of
+the rollup layer.
+Per-shard routers sharing one store work too: the store's per-customer
+watermarks let disjoint row subsets advance independently.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ from repro import obs
 from repro.data.timeseries import SeriesSet
 from repro.db.engine import EnergyDatabase
 from repro.db.sharding import ShardedEnergyDatabase, shard_of
+from repro.rollup.store import RollupStore
 from repro.stream.feed import Batch, ReplayFeed
 
 
@@ -33,15 +42,21 @@ class ShardRouter:
         shard; a single-shard engine takes the batch whole.
     customer_ids:
         The batch row order (usually ``feed.series_set.customer_ids``).
+    rollups:
+        Optional rollup store maintained alongside the database: each
+        applied batch updates the derived demand tables (and any warm
+        kernel grids) incrementally, for this router's customer subset.
     """
 
     def __init__(
         self,
         db: EnergyDatabase | ShardedEnergyDatabase,
         customer_ids: Sequence[int],
+        rollups: RollupStore | None = None,
     ) -> None:
         self.db = db
         self.customer_ids = [int(cid) for cid in customer_ids]
+        self.rollups = rollups
 
     def apply(self, batch: Batch) -> int:
         """Ingest one batch; returns the database's new end hour."""
@@ -51,12 +66,20 @@ class ShardRouter:
             rows=len(self.customer_ids),
         ):
             if isinstance(self.db, ShardedEnergyDatabase):
-                return self.db.ingest_tick(
+                end = self.db.ingest_tick(
                     self.customer_ids, batch.values, batch.start_hour
                 )
-            return self.db.ingest_hours(
-                batch.values, batch.start_hour, customer_ids=self.customer_ids
-            )
+            else:
+                end = self.db.ingest_hours(
+                    batch.values,
+                    batch.start_hour,
+                    customer_ids=self.customer_ids,
+                )
+            if self.rollups is not None:
+                self.rollups.apply_batch(
+                    batch, customer_ids=self.customer_ids
+                )
+            return end
 
     def replay(self, feed: ReplayFeed, max_ticks: int | None = None) -> int:
         """Apply consecutive batches from a feed; returns ticks applied."""

@@ -1,0 +1,110 @@
+"""Regression: partial trailing buckets at coarse-resolution boundaries.
+
+An observation window that does not end exactly on a weekly (or monthly,
+...) boundary used to produce a silently short final bucket whose "sum"
+covered a fraction of the nominal span — skewing every sweep that
+compared it against full buckets.  ``resample`` now flags, raises on, or
+trims such buckets; these tests pin the behaviour at the hourly→weekly
+boundary the bug was observed at.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.timeseries import Resolution, SeriesSet
+from repro.preprocess.resample import bucket_partials, resample
+
+
+def _series(n_hours, start=0, n_customers=3, seed=1):
+    rng = np.random.default_rng(seed)
+    matrix = rng.gamma(2.0, 1.0, size=(n_customers, n_hours))
+    return SeriesSet(list(range(n_customers)), start, matrix)
+
+
+class TestFlagMode:
+    def test_trailing_partial_week_is_flagged(self):
+        # 10 days: one complete week + a 3-day tail bucket.
+        series = _series(10 * 24)
+        out = resample(series, Resolution.WEEKLY)
+        assert out.n_buckets == 2
+        assert list(out.partial_buckets) == [1]
+        assert not out.is_partial(0)
+        assert out.is_partial(1)
+
+    def test_leading_partial_week_is_flagged(self):
+        # Start 2 days into a week: short leading bucket, full second week
+        # (hours 48..336 — the second bucket covers exactly 168..336).
+        series = _series(12 * 24, start=2 * 24)
+        out = resample(series, Resolution.WEEKLY)
+        assert out.is_partial(0)
+        assert not out.is_partial(1)
+
+    def test_exact_boundary_has_no_partials(self):
+        series = _series(14 * 24)
+        out = resample(series, Resolution.WEEKLY)
+        assert out.n_buckets == 2
+        assert len(out.partial_buckets) == 0
+
+    def test_hourly_never_partial(self):
+        # Hourly buckets *are* the native grid; no bucket can be short.
+        series = _series(30)
+        out = resample(series, Resolution.HOURLY)
+        assert len(out.partial_buckets) == 0
+
+
+class TestRaiseMode:
+    def test_partial_tail_raises_with_span_details(self):
+        series = _series(10 * 24)
+        with pytest.raises(ValueError, match="covers 72h of 168h"):
+            resample(series, Resolution.WEEKLY, on_partial="raise")
+
+    def test_complete_coverage_passes(self):
+        series = _series(7 * 24)
+        out = resample(series, Resolution.WEEKLY, on_partial="raise")
+        assert out.n_buckets == 1
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="on_partial"):
+            resample(_series(24), Resolution.DAILY, on_partial="explode")
+
+
+class TestTrimMode:
+    def test_trim_drops_short_edges_only(self):
+        series = _series(10 * 24)
+        flagged = resample(series, Resolution.WEEKLY)
+        trimmed = resample(series, Resolution.WEEKLY, on_partial="trim")
+        assert trimmed.n_buckets == 1
+        assert len(trimmed.partial_buckets) == 0
+        np.testing.assert_allclose(
+            trimmed.matrix[:, 0], flagged.matrix[:, 0]
+        )
+
+    def test_trimmed_edges_stay_consistent(self):
+        # Hours 72..528: partial head (72..168), two full weeks, partial
+        # tail (504..528).
+        series = _series(19 * 24, start=3 * 24)
+        trimmed = resample(series, Resolution.WEEKLY, on_partial="trim")
+        assert trimmed.n_buckets == 2
+        widths = np.diff(trimmed.bucket_edges)
+        assert (widths == 168).all()
+
+
+class TestBucketPartialsPrimitive:
+    """The shared primitive the rollup layer builds its tables from."""
+
+    def test_partial_mask_marks_short_span(self):
+        series = _series(10 * 24)
+        partials = bucket_partials(series, Resolution.WEEKLY)
+        np.testing.assert_array_equal(
+            partials.partial_mask(), [False, True]
+        )
+
+    def test_sums_and_counts_are_nan_aware(self):
+        series = _series(48)
+        series.matrix[1, 5] = np.nan
+        partials = bucket_partials(series, Resolution.DAILY)
+        assert partials.counts[1, 0] == 23
+        assert partials.counts[0, 0] == 24
+        np.testing.assert_allclose(
+            partials.sums[0, 0], series.matrix[0, :24].sum()
+        )

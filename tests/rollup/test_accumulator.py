@@ -1,0 +1,131 @@
+"""KdeAccumulator: the additive Eq. 3 decomposition behind the rollups.
+
+The whole rollup layer rests on two algebraic facts, pinned here:
+
+- the raw kernel sum is *additive* over hours (``grid(a + b) ==
+  grid(a) + grid(b)`` up to float associativity), and
+- normalising a summed grid reproduces the batch ``kde_density`` result
+  bit-for-bit on the clean path and to float tolerance otherwise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.shift.grids import GridSpec
+from repro.core.shift.kde import bandwidth_silverman, kde_density, planar_frame
+from repro.rollup.kde import KdeAccumulator
+
+
+@pytest.fixture(scope="module")
+def frame():
+    rng = np.random.default_rng(7)
+    positions = rng.uniform([12.5, 55.6], [12.7, 55.8], size=(40, 2))
+    spec = GridSpec.covering(positions, nx=20, ny=18)
+    return positions, spec
+
+
+class TestGridAdditivity:
+    def test_grid_is_linear_in_values(self, frame):
+        positions, spec = frame
+        acc = KdeAccumulator(positions, spec, bandwidth_m=600.0)
+        rng = np.random.default_rng(1)
+        a = rng.gamma(2.0, 1.0, 40)
+        b = rng.gamma(2.0, 1.0, 40)
+        merged = acc.grid(a + b)
+        split = acc.grid(a) + acc.grid(b)
+        np.testing.assert_allclose(split, merged, rtol=1e-12, atol=1e-15)
+
+    def test_grid_shape_matches_spec(self, frame):
+        positions, spec = frame
+        acc = KdeAccumulator(positions, spec, bandwidth_m=600.0)
+        assert acc.grid(np.ones(40)).shape == (spec.ny, spec.nx)
+
+    def test_grid_rejects_wrong_length(self, frame):
+        positions, spec = frame
+        acc = KdeAccumulator(positions, spec, bandwidth_m=600.0)
+        with pytest.raises(ValueError):
+            acc.grid(np.ones(39))
+
+
+class TestFieldNormalisation:
+    def test_field_matches_batch_kde(self, frame):
+        positions, spec = frame
+        acc = KdeAccumulator(positions, spec, bandwidth_m=600.0)
+        weights = np.random.default_rng(2).gamma(2.0, 1.0, 40)
+        got = acc.field(acc.grid(weights), float(weights.sum()))
+        want = kde_density(positions, weights, spec, bandwidth_m=600.0)
+        np.testing.assert_allclose(got.values, want.values, rtol=1e-12)
+        assert got.spec == want.spec
+
+    def test_zero_total_falls_back_to_uniform(self, frame):
+        positions, spec = frame
+        acc = KdeAccumulator(positions, spec, bandwidth_m=600.0)
+        got = acc.field(acc.grid(np.zeros(40)), 0.0)
+        want = kde_density(positions, np.zeros(40), spec, bandwidth_m=600.0)
+        np.testing.assert_allclose(got.values, want.values, rtol=1e-12)
+
+
+class TestFieldFromWeights:
+    """field_from_weights must be a drop-in for kde_density."""
+
+    def test_bit_identical_at_explicit_bandwidth(self, frame):
+        positions, spec = frame
+        acc = KdeAccumulator(positions, spec, bandwidth_m=600.0)
+        weights = np.random.default_rng(3).gamma(2.0, 1.0, 40)
+        got = acc.field_from_weights(weights, bandwidth_m=600.0)
+        want = kde_density(positions, weights, spec, bandwidth_m=600.0)
+        np.testing.assert_array_equal(got.values, want.values)
+
+    def test_bit_identical_under_silverman(self, frame):
+        positions, spec = frame
+        acc = KdeAccumulator(positions, spec)
+        weights = np.random.default_rng(4).gamma(2.0, 1.0, 40)
+        got = acc.field_from_weights(weights)
+        want = kde_density(positions, weights, spec)
+        np.testing.assert_array_equal(got.values, want.values)
+
+    def test_subset_rows_match_subset_kde(self, frame):
+        positions, spec = frame
+        acc = KdeAccumulator(positions, spec, bandwidth_m=600.0)
+        rng = np.random.default_rng(5)
+        weights = rng.gamma(2.0, 1.0, 40)
+        rows = np.sort(rng.choice(40, size=17, replace=False))
+        got = acc.field_from_weights(
+            weights[rows], rows=rows, bandwidth_m=600.0
+        )
+        want = kde_density(
+            positions[rows], weights[rows], spec, bandwidth_m=600.0
+        )
+        np.testing.assert_array_equal(got.values, want.values)
+
+    def test_subset_silverman_matches_subset_rule(self, frame):
+        positions, spec = frame
+        acc = KdeAccumulator(positions, spec, bandwidth_m=600.0)
+        rng = np.random.default_rng(6)
+        weights = rng.gamma(2.0, 1.0, 40)
+        rows = np.arange(10)
+        got = acc.field_from_weights(weights[rows], rows=rows)
+        want = kde_density(positions[rows], weights[rows], spec)
+        np.testing.assert_array_equal(got.values, want.values)
+
+    def test_nonfinite_weights_rejected(self, frame):
+        positions, spec = frame
+        acc = KdeAccumulator(positions, spec, bandwidth_m=600.0)
+        bad = np.ones(40)
+        bad[3] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            acc.field_from_weights(bad)
+
+
+class TestBandwidthPinning:
+    def test_default_bandwidth_is_full_population_silverman(self, frame):
+        positions, spec = frame
+        acc = KdeAccumulator(positions, spec)
+        px, py, _, _ = planar_frame(positions, spec)
+        assert acc.bandwidth_m == bandwidth_silverman(np.column_stack([px, py]))
+
+    def test_invalid_bandwidth_rejected(self, frame):
+        positions, spec = frame
+        for bad in (0.0, -5.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                KdeAccumulator(positions, spec, bandwidth_m=bad)

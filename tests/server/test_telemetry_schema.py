@@ -102,6 +102,7 @@ def _build_payload(city) -> dict:
         assert client.get("/api/health").ok
         assert client.get("/api/density?t_start=8&t_end=12").ok
         assert client.get("/api/embedding?n_iter=40&perplexity=5").ok
+        assert client.post("/api/rollups/rebuild", {}).ok
         assert client.get("/api/no-such-endpoint").status == 404
         return client.get("/api/telemetry").json
     finally:

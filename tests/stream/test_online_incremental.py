@@ -1,0 +1,139 @@
+"""Regressions for the incremental monitor rewrite.
+
+Three distinct bugs are pinned here:
+
+- the per-tick Silverman recompute (``bandwidth_m=None`` used to resolve
+  the bandwidth inside every ``current_field()`` call — it must be pinned
+  once at construction and stay a stable float);
+- silent coercion of non-finite readings to ``0.0`` (now surfaced via
+  the ``stream_nonfinite_dropped_total`` counter and
+  ``Batch.n_nonfinite``);
+- the incremental/exact mode split (unclean hours must force the exact
+  fallback, and the mode taken must be observable).
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.shift.grids import GridSpec
+from repro.data.timeseries import SeriesSet
+from repro.stream.feed import Batch, ReplayFeed
+from repro.stream.online import OnlineShiftMonitor
+
+
+@pytest.fixture()
+def setup():
+    rng = np.random.default_rng(18)
+    positions = rng.uniform([12.5, 55.6], [12.7, 55.8], size=(20, 2))
+    spec = GridSpec.covering(positions, nx=12, ny=12)
+    return positions, spec, rng
+
+
+@pytest.fixture()
+def fresh_registry():
+    registry = obs.MetricsRegistry()
+    previous = obs.get_registry()
+    obs.configure(registry=registry)
+    try:
+        yield registry
+    finally:
+        obs.configure(registry=previous)
+
+
+class TestBandwidthPinnedOnce:
+    def test_bandwidth_is_concrete_float_without_explicit_value(self, setup):
+        positions, spec, _ = setup
+        monitor = OnlineShiftMonitor(positions, spec)
+        assert isinstance(monitor.bandwidth_m, float)
+        assert monitor.bandwidth_m > 0
+
+    def test_bandwidth_stable_across_ticks(self, setup):
+        """The regression: with ``bandwidth_m=None`` the monitor used to
+        re-run Silverman's rule inside every ``current_field()``.  The
+        pinned value must not move, tick over tick, however the demand
+        values evolve."""
+        positions, spec, rng = setup
+        monitor = OnlineShiftMonitor(positions, spec, window_hours=3)
+        pinned = monitor.bandwidth_m
+        seen = set()
+        for _ in range(12):
+            monitor.feed_hour(rng.gamma(2.0, 10.0, 20))
+            if monitor.ready:
+                monitor.current_field()
+            seen.add(monitor.bandwidth_m)
+        assert seen == {pinned}
+
+    def test_pinned_equals_per_call_silverman(self, setup):
+        """Pinning is exact, not an approximation: Silverman's rule
+        depends only on positions, which never change mid-stream."""
+        positions, spec, rng = setup
+        auto = OnlineShiftMonitor(positions, spec, window_hours=2)
+        explicit = OnlineShiftMonitor(
+            positions, spec, window_hours=2, bandwidth_m=auto.bandwidth_m
+        )
+        for _ in range(4):
+            col = rng.gamma(2.0, 10.0, 20)
+            auto.feed_hour(col)
+            explicit.feed_hour(col)
+        np.testing.assert_array_equal(
+            auto.current_field().values, explicit.current_field().values
+        )
+
+
+class TestNonFiniteAccounting:
+    def test_counter_increments_per_dropped_reading(
+        self, setup, fresh_registry
+    ):
+        positions, spec, _ = setup
+        monitor = OnlineShiftMonitor(positions, spec, window_hours=2)
+        col = np.ones(20)
+        col[3] = np.nan
+        col[7] = np.inf
+        monitor.feed_hour(col)
+        counter = fresh_registry.counter("stream_nonfinite_dropped_total")
+        assert counter.value == 2
+        monitor.feed_hour(np.ones(20))
+        assert counter.value == 2  # clean hours add nothing
+
+    def test_batch_reports_nonfinite_count(self):
+        values = np.ones((4, 3))
+        values[1, 2] = np.nan
+        values[3, 0] = -np.inf
+        batch = Batch(tick=0, start_hour=0, values=values)
+        assert batch.n_nonfinite == 2
+
+    def test_replay_feed_batches_carry_the_count(self):
+        matrix = np.ones((5, 8))
+        matrix[2, 5] = np.nan
+        series = SeriesSet(list(range(5)), 0, matrix)
+        counts = [b.n_nonfinite for b in ReplayFeed(series, hours_per_tick=4)]
+        assert counts == [0, 1]
+
+
+class TestModeObservability:
+    def test_incremental_mode_counted(self, setup, fresh_registry):
+        positions, spec, rng = setup
+        monitor = OnlineShiftMonitor(positions, spec, window_hours=2)
+        for _ in range(4):
+            monitor.feed_hour(rng.gamma(2.0, 10.0, 20))
+        monitor.current_field()
+        assert fresh_registry.counter(
+            "stream_field_total", mode="incremental"
+        ).value == 1
+
+    def test_negative_readings_force_exact_mode(self, setup, fresh_registry):
+        positions, spec, rng = setup
+        monitor = OnlineShiftMonitor(positions, spec, window_hours=2)
+        for _ in range(3):
+            monitor.feed_hour(rng.gamma(2.0, 10.0, 20))
+        negative = rng.gamma(2.0, 10.0, 20)
+        negative[0] = -4.0
+        monitor.feed_hour(negative)
+        got = monitor.current_field()
+        assert fresh_registry.counter(
+            "stream_field_total", mode="exact"
+        ).value == 1
+        np.testing.assert_array_equal(
+            got.values, monitor.current_field_exact().values
+        )

@@ -226,3 +226,41 @@ class TestBench:
                 ["bench", "--quick", "--kernel", "sorting",
                  "--out", str(tmp_path / "b.json")]
             )
+
+
+class TestRollup:
+    def test_status_prints_tables(self, capsys):
+        code = main(
+            ["rollup", "status", "--customers", "15", "--days", "5",
+             "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rollup store: 15 customers" in out
+        assert "lag 0 h" in out
+        assert "hourly" in out and "weekly" in out
+
+    def test_ticks_stream_through_router(self, capsys):
+        code = main(
+            ["rollup", "rebuild", "--customers", "12", "--days", "4",
+             "--seed", "3", "--ticks", "6", "--json"]
+        )
+        assert code == 0
+        import json
+
+        status = json.loads(capsys.readouterr().out.splitlines()[-1])
+        assert status["hours_applied_total"] == 6
+        assert status["last_applied_hour"] == 4 * 24 + 6
+        assert status["lag_hours"] == 0
+
+    def test_sharded_build(self, capsys):
+        code = main(
+            ["rollup", "status", "--customers", "12", "--days", "4",
+             "--seed", "3", "--shards", "2", "--json"]
+        )
+        assert code == 0
+        import json
+
+        status = json.loads(capsys.readouterr().out.splitlines()[-1])
+        assert status["n_customers"] == 12
+        assert status["rebuilds_total"] == 1
