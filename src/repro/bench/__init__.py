@@ -6,6 +6,19 @@ ground-truth twin and writes a machine-readable ``BENCH_PERF.json`` so the
 perf trajectory is tracked across PRs instead of anecdotally.
 """
 
-from repro.bench.perf import bench_profiler_overhead, run_bench, write_bench
+from repro.bench.compare import compare_documents, headline_speedups
+from repro.bench.perf import (
+    bench_landmark,
+    bench_profiler_overhead,
+    run_bench,
+    write_bench,
+)
 
-__all__ = ["bench_profiler_overhead", "run_bench", "write_bench"]
+__all__ = [
+    "bench_landmark",
+    "bench_profiler_overhead",
+    "compare_documents",
+    "headline_speedups",
+    "run_bench",
+    "write_bench",
+]

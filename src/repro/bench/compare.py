@@ -1,0 +1,113 @@
+"""Perf-regression gate: fresh quick-bench vs the committed baseline.
+
+CI runs ``repro bench --quick --json`` and feeds the result here next to
+the committed full-mode ``BENCH_PERF.json``.  Runs are matched by
+``(kernel, size)`` — quick mode deliberately reuses sizes the full
+document also measures — and the *speedup ratios* are compared, not the
+absolute wall times: ratios of two engines timed back-to-back in one
+process survive noisy CI machines, absolute seconds do not.
+
+A headline regresses when its fresh speedup drops more than
+``DEFAULT_THRESHOLD`` (25%) below the committed one.  Any regression
+fails the gate unless ``REPRO_BENCH_ALLOW_REGRESSION=1`` is set — the
+escape hatch for landing a change that knowingly trades speed away (the
+committed document should be regenerated in the same PR).
+
+Usage::
+
+    python -m repro.bench.compare FRESH.json BASELINE.json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+DEFAULT_THRESHOLD = 0.25
+
+
+def _run_key(kernel: str, run: dict) -> tuple | None:
+    """Stable identity of one bench run within its kernel block."""
+    if kernel == "dtw":
+        size = run.get("length")
+    else:
+        size = run.get("n")
+    if size is None:
+        return None
+    return (kernel, int(size))
+
+
+def headline_speedups(document: dict) -> dict[tuple, float]:
+    """``{(kernel, size): speedup}`` for every run carrying a speedup."""
+    out: dict[tuple, float] = {}
+    for kernel, block in document.get("kernels", {}).items():
+        for run in block.get("runs", []):
+            key = _run_key(kernel, run)
+            speedup = run.get("speedup")
+            if key is not None and isinstance(speedup, (int, float)):
+                out[key] = float(speedup)
+    return out
+
+
+def compare_documents(
+    fresh: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD
+) -> list[str]:
+    """Regression messages; empty when every matched headline holds up.
+
+    Only headlines present in *both* documents are compared — a kernel
+    the quick run skips, or a size only the full run measures, is not a
+    regression.
+    """
+    fresh_speedups = headline_speedups(fresh)
+    baseline_speedups = headline_speedups(baseline)
+    problems = []
+    for key in sorted(set(fresh_speedups) & set(baseline_speedups)):
+        have = fresh_speedups[key]
+        want = baseline_speedups[key]
+        if want <= 0:
+            continue
+        if have < want * (1.0 - threshold):
+            kernel, size = key
+            problems.append(
+                f"{kernel} @ {size}: speedup {have:.2f}x is "
+                f"{(1.0 - have / want) * 100.0:.0f}% below the committed "
+                f"{want:.2f}x (threshold {threshold * 100.0:.0f}%)"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 2:
+        print(
+            "usage: python -m repro.bench.compare FRESH.json BASELINE.json",
+            file=sys.stderr,
+        )
+        return 2
+    fresh_path, baseline_path = Path(argv[0]), Path(argv[1])
+    if not baseline_path.exists():
+        # A repo without a committed baseline has nothing to regress.
+        print(f"no baseline at {baseline_path}; skipping comparison")
+        return 0
+    fresh = json.loads(fresh_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+    problems = compare_documents(fresh, baseline)
+    matched = len(
+        set(headline_speedups(fresh)) & set(headline_speedups(baseline))
+    )
+    print(f"compared {matched} headline speedups against {baseline_path}")
+    if not problems:
+        print("no perf regressions")
+        return 0
+    for line in problems:
+        print(f"REGRESSION: {line}")
+    if os.environ.get("REPRO_BENCH_ALLOW_REGRESSION") == "1":
+        print("REPRO_BENCH_ALLOW_REGRESSION=1 set; not failing the gate")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(main())

@@ -116,6 +116,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-profiler", action="store_true",
         help="skip the continuous-profiler overhead measurement",
     )
+    bench.add_argument(
+        "--json", action="store_true",
+        help="print the document to stdout instead of writing --out",
+    )
+    bench.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker-pool budget for blockwise kernels "
+             "(sets REPRO_WORKERS for this run)",
+    )
 
     serve = commands.add_parser(
         "serve", help="serve the REST API (threaded WSGI server)"
@@ -127,6 +136,11 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--threads", type=int, default=8,
         help="worker threads handling requests concurrently",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-wide parallelism budget for blockwise kernels and "
+             "shard scatter (sets REPRO_WORKERS)",
     )
     serve.add_argument(
         "--max-inflight", type=int, default=32,
@@ -395,20 +409,37 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Time fast kernels vs exact twins; write the perf-trajectory JSON."""
+    import json as json_mod
+    import os
+
     from repro.bench import run_bench, write_bench
 
+    if args.workers is not None:
+        os.environ["REPRO_WORKERS"] = str(max(1, args.workers))
     document = run_bench(
         quick=args.quick, kernels=args.kernel, seed=args.seed,
         profiler=not args.no_profiler,
     )
+    if args.json:
+        # Machine-readable mode (CI comparator): document on stdout,
+        # nothing written to disk.
+        print(json_mod.dumps(document, indent=2))
+        return 0
     write_bench(args.out, document)
     print(f"{'kernel':<12}{'n':>8}{'exact s':>10}{'fast s':>10}{'speedup':>9}")
     for kernel, payload in document["kernels"].items():
         for run in payload["runs"]:
             size = run.get("n", run.get("length", "?"))
+            exact = run.get("exact_seconds")
+            speedup = run.get("speedup")
             print(
-                f"{kernel:<12}{size:>8}{run['exact_seconds']:>10.3f}"
-                f"{run['fast_seconds']:>10.3f}{run['speedup']:>8.1f}x"
+                f"{kernel:<12}{size:>8}"
+                + (f"{exact:>10.3f}" if exact is not None else f"{'-':>10}")
+                + f"{run['fast_seconds']:>10.3f}"
+                + (
+                    f"{speedup:>8.1f}x" if speedup is not None
+                    else f"{'-':>9}"
+                )
             )
     prof = document.get("profiler")
     if prof is not None:
@@ -538,8 +569,13 @@ def _cmd_rollup(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Delegate to the ``python -m repro.server`` entry point."""
+    import os
+
     from repro.server.__main__ import main as server_main
 
+    if args.workers is not None:
+        # One budget for kernel pools and shard scatter threads alike.
+        os.environ["REPRO_WORKERS"] = str(max(1, args.workers))
     argv = [
         "--port", str(args.port),
         "--customers", str(args.customers),

@@ -28,7 +28,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import obs
-from repro.cluster.kmeans import KMeansResult, kmeans
+from repro.cluster.kmeans import KMeansResult, kmeans, minibatch_kmeans
+from repro.core.reduction.dtw import MAX_DTW_ROWS_CEILING
 from repro.core.patterns.labeling import (
     PatternLabel,
     label_customers,
@@ -294,18 +295,27 @@ class VapSession:
         seed: int = 0,
         tsne_method: str = "auto",
         theta: float = 0.5,
+        workers: int | None = None,
+        n_landmarks: int | None = None,
+        dtw_max_rows: int | None = None,
     ) -> EmbeddingInfo:
         """Reduce the series to 2-D; cached per parameter set.
 
         ``tsne_method`` selects the t-SNE gradient engine (``"auto"``,
-        ``"exact"`` or ``"bh"`` for Barnes–Hut at opening angle ``theta``);
-        both are part of the cache key so exact and approximate embeddings
-        never alias.
+        ``"exact"``, ``"bh"`` for Barnes–Hut at opening angle ``theta``,
+        or ``"landmark"`` for the out-of-core engine embedding
+        ``n_landmarks`` representatives); every knob that changes the
+        result is part of the cache key so variants never alias.
+        ``workers`` fans blockwise kernel stages out on the shared pool
+        (results are worker-count independent, but the knob stays in the
+        key because it is part of the request identity).
+        ``dtw_max_rows`` lifts the DTW pairwise ceiling, capped at
+        ``MAX_DTW_ROWS_CEILING``.
 
         Raises
         ------
         ValueError
-            For an unknown method.
+            For an unknown method or an out-of-range ``dtw_max_rows``.
         """
         info, _ = self.embed_degradable(
             method=method,
@@ -316,6 +326,9 @@ class VapSession:
             seed=seed,
             tsne_method=tsne_method,
             theta=theta,
+            workers=workers,
+            n_landmarks=n_landmarks,
+            dtw_max_rows=dtw_max_rows,
         )
         return info
 
@@ -329,6 +342,9 @@ class VapSession:
         seed: int = 0,
         tsne_method: str = "auto",
         theta: float = 0.5,
+        workers: int | None = None,
+        n_landmarks: int | None = None,
+        dtw_max_rows: int | None = None,
     ) -> tuple[EmbeddingInfo, bool]:
         """:meth:`embed`, reporting degradation: ``(info, degraded)``.
 
@@ -348,8 +364,18 @@ class VapSession:
             raise ValueError(
                 f"unknown method {method!r}; pick one of {EMBED_METHODS}"
             )
+        if dtw_max_rows is not None and not (
+            1 <= int(dtw_max_rows) <= MAX_DTW_ROWS_CEILING
+        ):
+            raise ValueError(
+                f"dtw_max_rows must be in [1, {MAX_DTW_ROWS_CEILING}], "
+                f"got {dtw_max_rows}"
+            )
         kind = feature_kind or self.feature_kind
-        key = (method, metric, kind, perplexity, n_iter, seed, tsne_method, theta)
+        key = (
+            method, metric, kind, perplexity, n_iter, seed, tsne_method,
+            theta, workers, n_landmarks, dtw_max_rows,
+        )
 
         def compute() -> EmbeddingInfo:
             start = self.metrics.clock()
@@ -365,6 +391,9 @@ class VapSession:
                         seed=seed,
                         method=tsne_method,
                         theta=theta,
+                        workers=workers,
+                        n_landmarks=n_landmarks,
+                        dtw_max_rows=dtw_max_rows,
                     )
                     info = EmbeddingInfo(
                         coords=result.embedding,
@@ -377,7 +406,10 @@ class VapSession:
                     mds_method = (
                         "classical" if method == "mds_classical" else "smacof"
                     )
-                    result = mds(feats, metric=metric, method=mds_method)
+                    result = mds(
+                        feats, metric=metric, method=mds_method,
+                        workers=workers, dtw_max_rows=dtw_max_rows,
+                    )
                     info = EmbeddingInfo(
                         coords=result.embedding,
                         method=method,
@@ -479,21 +511,36 @@ class VapSession:
         return [int(self.series.customer_ids[int(i)]) for i in indices]
 
     def kmeans_baseline(
-        self, k: int = 5, feature_kind: FeatureKind | None = None, seed: int = 0
+        self,
+        k: int = 5,
+        feature_kind: FeatureKind | None = None,
+        seed: int = 0,
+        algorithm: str = "lloyd",
     ) -> KMeansResult:
         """The S1d baseline: k-means on z-scored features.
 
+        ``algorithm`` is ``"lloyd"`` (full-batch, the default) or
+        ``"minibatch"`` (Sculley-style, for fleet-scale feature sets).
+
         Raises
         ------
+        ValueError
+            For an unknown algorithm.
         DeadlineExceeded
             When the bound request deadline is already spent.
         """
+        if algorithm not in ("lloyd", "minibatch"):
+            raise ValueError(
+                f"algorithm must be 'lloyd' or 'minibatch', got {algorithm!r}"
+            )
         deadline = current_deadline()
         if deadline is not None:
             deadline.check("kmeans_baseline")
-        with obs.span("pipeline.kmeans_baseline", k=k), \
+        with obs.span("pipeline.kmeans_baseline", k=k, algorithm=algorithm), \
                 self.metrics.timer("pipeline_seconds", op="kmeans_baseline"):
             feats = normalize_matrix(self.features(feature_kind), "zscore")
+            if algorithm == "minibatch":
+                return minibatch_kmeans(feats, k=k, seed=seed)
             return kmeans(feats, k=k, seed=seed)
 
     def forecast(

@@ -92,6 +92,12 @@ def dtw_distance(
 
 MAX_DTW_ROWS = 512
 
+# Hard ceiling for caller-supplied ``max_rows`` overrides (pipeline and
+# server): a landmark subset legitimately needs more than the default
+# 512, but 4096^2 DTW evaluations is already hours of work — anything
+# beyond that is rejected as abuse rather than queued.
+MAX_DTW_ROWS_CEILING = 4096
+
 
 class DtwLimitError(ValueError):
     """Raised when a pairwise DTW request exceeds the row ceiling.
@@ -159,5 +165,58 @@ def dtw_distance_matrix(
                     )
                     out[i, j] = d
                     out[j, i] = d
+    registry.counter("kernel_runs_total", kernel="dtw").inc()
+    return out
+
+
+def dtw_cross_distance_matrix(
+    queries: np.ndarray,
+    references: np.ndarray,
+    band: int | None = None,
+    normalize: bool = True,
+    max_rows: int | None = None,
+) -> np.ndarray:
+    """``(m, n)`` DTW distances from query rows to reference rows.
+
+    The landmark-placement counterpart of :func:`dtw_distance_matrix`:
+    ``m * n`` pair DPs instead of ``n^2``, budgeted against the same
+    ceiling — the pair count must not exceed ``max_rows ** 2`` (default
+    :data:`MAX_DTW_ROWS`), so placing a big fleet against a small
+    landmark set stays inside the work envelope a square request of
+    ``max_rows`` rows would have been allowed.
+
+    Raises
+    ------
+    DtwLimitError
+        When ``m * n`` exceeds the pair budget.
+    ValueError
+        On malformed input.
+    """
+    limit = MAX_DTW_ROWS if max_rows is None else max_rows
+    queries = np.asarray(queries, dtype=np.float64)
+    references = np.asarray(references, dtype=np.float64)
+    if queries.ndim != 2 or references.ndim != 2:
+        raise ValueError("queries and references must be 2-D")
+    if queries.shape[0] == 0 or references.shape[0] == 0:
+        raise ValueError("need at least 1 query and 1 reference row")
+    pairs = queries.shape[0] * references.shape[0]
+    if pairs > limit * limit:
+        raise DtwLimitError(int(np.ceil(np.sqrt(pairs))), limit)
+    if not (np.isfinite(queries).all() and np.isfinite(references).all()):
+        raise ValueError("series contain NaN/inf; impute first")
+    if normalize:
+        queries = normalize_matrix(queries, "zscore")
+        references = normalize_matrix(references, "zscore")
+    out = np.empty((queries.shape[0], references.shape[0]))
+    registry = obs.get_registry()
+    with obs.span(
+        "kernel.dtw_cross", n_queries=queries.shape[0],
+        n_references=references.shape[0],
+    ), registry.timer("kernel_runtime_seconds", kernel="dtw"):
+        for i in range(queries.shape[0]):
+            for j in range(references.shape[0]):
+                out[i, j] = dtw_distance(
+                    queries[i], references[j], band=band, normalize=False
+                )
     registry.counter("kernel_runs_total", kernel="dtw").inc()
     return out

@@ -123,9 +123,12 @@ def mds(
     method: str = "smacof",
     n_components: int = 2,
     max_iter: int = 300,
+    workers: int | None = None,
+    dtw_max_rows: int | None = None,
 ) -> MDSResult:
     """Embed rows with MDS; mirrors the :func:`~repro.core.reduction.tsne.tsne`
-    calling convention.
+    calling convention (including the ``workers`` fan-out and the DTW
+    row-ceiling override for the distance stage).
 
     Raises
     ------
@@ -138,7 +141,10 @@ def mds(
         raise ValueError(f"unknown method {method!r}; pick one of {METHODS}")
     if distances is None:
         assert features is not None
-        dist = pairwise_distances(features, metric=metric)
+        dist = pairwise_distances(
+            features, metric=metric, workers=workers,
+            dtw_max_rows=dtw_max_rows,
+        )
     else:
         dist = validate_distance_matrix(distances)
     if dist.shape[0] < 3:

@@ -7,13 +7,89 @@ the distance-weighted barycentre of its ``k`` nearest *training* points'
 embedding coordinates.  Distances use the same metric as the original
 embedding (Pearson by default), so new points land inside their pattern's
 cluster.
+
+This is also the placement stage of landmark t-SNE
+(:func:`repro.core.reduction.tsne.tsne` with ``method="landmark"``): the
+training set is the embedded landmarks and *every other point* is
+out-of-sample, so the kernel must scale — distances come from the
+blockwise cross-distance kernels (never a stacked ``(n + m)^2`` matrix),
+the top-k selection is a vectorised ``argpartition`` per block, and
+blocks fan out on the shared-memory pool when ``workers`` asks for
+cores.  Block boundaries are fixed (worker-count independent), so the
+projection is bit-identical across ``REPRO_WORKERS`` settings.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.reduction.distances import pairwise_distances
+from repro.core.reduction.distances import (
+    METRICS,
+    cross_distances,
+    pearson_cross_distance_matrix,
+    pearson_normalize,
+)
+from repro.parallel import map_blocks, row_blocks
+
+# Placement block size: big enough to amortise the cross-distance
+# matmul, small enough that a block's (rows, n_train) scratch stays a
+# few MB at the 4096-landmark cap.
+PROJECT_BLOCK_ROWS = 4096
+
+
+def barycentric_from_cross(
+    cross: np.ndarray, embedding: np.ndarray, k: int
+) -> np.ndarray:
+    """kNN barycentric placement from a ``(m, n_train)`` cross matrix.
+
+    For each query row: pick its ``k`` nearest training points, order
+    them deterministically by ``(distance, index)`` (argpartition's tie
+    order is implementation-defined), and return the inverse-distance
+    weighted barycentre of their embedding coordinates.  An exact
+    duplicate of a training row lands on that row's coordinates.
+    """
+    cross = np.asarray(cross, dtype=np.float64)
+    m, n_train = cross.shape
+    if k < n_train:
+        nearest = np.argpartition(cross, k - 1, axis=1)[:, :k]
+    else:
+        nearest = np.broadcast_to(np.arange(n_train), (m, n_train))
+    d = np.take_along_axis(cross, nearest, axis=1)
+    order = np.lexsort((nearest, d), axis=1)
+    nearest = np.take_along_axis(nearest, order, axis=1)
+    d = np.take_along_axis(d, order, axis=1)
+    weights = 1.0 / (d + 1e-12)
+    weights /= weights.sum(axis=1, keepdims=True)
+    out = np.einsum("ij,ijc->ic", weights, embedding[nearest])
+    dup = d[:, 0] == 0.0
+    if dup.any():
+        out[dup] = embedding[nearest[dup, 0]]
+    return out
+
+
+def _project_block(
+    block: tuple[int, int],
+    arrays: dict[str, np.ndarray],
+    *,
+    metric: str,
+    k: int,
+    dtw_max_rows: int | None = None,
+) -> np.ndarray:
+    """Place one block of new rows: cross distances -> kNN barycentre."""
+    start, stop = block
+    if metric == "pearson":
+        # The training side is pre-normalised once in the parent.
+        cross = pearson_cross_distance_matrix(
+            arrays["new"][start:stop],
+            reference_unit=arrays["train_unit"],
+            workers=1,
+        )
+    else:
+        cross = cross_distances(
+            arrays["new"][start:stop], arrays["train"], metric=metric,
+            workers=1, dtw_max_rows=dtw_max_rows,
+        )
+    return barycentric_from_cross(cross, arrays["embedding"], k)
 
 
 class EmbeddingProjector:
@@ -40,9 +116,17 @@ class EmbeddingProjector:
     ) -> None:
         self.features = np.asarray(train_features, dtype=np.float64)
         self.embedding = np.asarray(train_embedding, dtype=np.float64)
+        if metric not in METRICS:
+            raise ValueError(
+                f"unknown metric {metric!r}; pick one of {METRICS}"
+            )
         if self.features.ndim != 2:
             raise ValueError(
                 f"train_features must be 2-D, got {self.features.shape}"
+            )
+        if not np.isfinite(self.features).all():
+            raise ValueError(
+                "train_features contain NaN/inf; run preprocessing first"
             )
         if (
             self.embedding.ndim != 2
@@ -58,36 +142,61 @@ class EmbeddingProjector:
             )
         self.k = k
         self.metric = metric
+        # Pearson: normalise the training side once; every projected
+        # block then needs only its own normalisation plus one matmul.
+        self._train_unit = (
+            pearson_normalize(self.features) if metric == "pearson" else None
+        )
 
-    def project(self, new_features: np.ndarray) -> np.ndarray:
+    def project(
+        self,
+        new_features: np.ndarray,
+        *,
+        workers: int | None = None,
+        dtw_max_rows: int | None = None,
+    ) -> np.ndarray:
         """Project new rows; returns ``(m, dim)`` coordinates.
+
+        Blockwise and optionally parallel (``workers`` /
+        ``REPRO_WORKERS``); the result is independent of worker count.
 
         Raises
         ------
         ValueError
-            If the new rows' width differs from the training features.
+            If the new rows' width differs from the training features,
+            or contain NaN/inf.
         """
         new_features = np.asarray(new_features, dtype=np.float64)
         if new_features.ndim == 1:
             new_features = new_features[None, :]
+        if new_features.ndim != 2:
+            raise ValueError(
+                f"new features must be 1-D or 2-D, got {new_features.shape}"
+            )
         if new_features.shape[1] != self.features.shape[1]:
             raise ValueError(
                 f"new features have width {new_features.shape[1]}, "
                 f"training features have {self.features.shape[1]}"
             )
-        n_train = self.features.shape[0]
-        stacked = np.vstack([self.features, new_features])
-        dist = pairwise_distances(stacked, metric=self.metric)
-        cross = dist[n_train:, :n_train]  # (m, n_train)
-        out = np.empty((new_features.shape[0], self.embedding.shape[1]))
-        for i in range(cross.shape[0]):
-            order = np.argsort(cross[i], kind="stable")[: self.k]
-            d = cross[i, order]
-            if d[0] == 0.0:
-                # Exact duplicate of a training row: land on it.
-                out[i] = self.embedding[order[0]]
-                continue
-            weights = 1.0 / (d + 1e-12)
-            weights /= weights.sum()
-            out[i] = weights @ self.embedding[order]
-        return out
+        if not np.isfinite(new_features).all():
+            raise ValueError(
+                "new features contain NaN/inf; run preprocessing (impute) "
+                "first"
+            )
+        if new_features.shape[0] == 0:
+            return np.empty((0, self.embedding.shape[1]))
+        arrays = {"new": new_features, "embedding": self.embedding}
+        if self._train_unit is not None:
+            arrays["train_unit"] = self._train_unit
+        else:
+            arrays["train"] = self.features
+        blocks = row_blocks(new_features.shape[0], PROJECT_BLOCK_ROWS)
+        parts = map_blocks(
+            _project_block, blocks, arrays=arrays,
+            kwargs={
+                "metric": self.metric, "k": self.k,
+                "dtw_max_rows": dtw_max_rows,
+            },
+            workers=workers, name="project",
+        )
+        return parts[0] if len(parts) == 1 else np.concatenate(parts, axis=0)

@@ -21,8 +21,15 @@ Two gradient engines share step 3:
   and the attractive term runs over a sparse k-nearest-neighbour subset
   of P (k = 3 * perplexity), for O(n log n) iterations.
 
+A third, out-of-core engine sits on top of both: ``method="landmark"``
+embeds only ``n_landmarks`` k-means++-selected rows with Barnes–Hut and
+interpolates every other point into that map (kNN barycentre over
+blockwise cross distances) — the only path that never materialises the
+n² distance matrix, which is what makes n = 50k practical.
+
 ``method="auto"`` (the default) picks Barnes–Hut above
-``BH_THRESHOLD`` points and the exact engine below it.
+``BH_THRESHOLD`` points and the exact engine below it (never landmark —
+that approximation is explicit opt-in).
 
 Distances default to the paper's Pearson metric; any precomputed
 dissimilarity is accepted too.
@@ -30,7 +37,9 @@ dissimilarity is accepted too.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
@@ -38,6 +47,8 @@ from repro import obs
 from repro.core.reduction.bh import plan_repulsion, repulsion, run_plan
 from repro.core.reduction.distances import pairwise_distances, validate_distance_matrix
 from repro.core.reduction.pca import pca
+from repro.core.reduction.project import EmbeddingProjector, barycentric_from_cross
+from repro.parallel import DEFAULT_BLOCK_ROWS, map_blocks, row_blocks
 from repro.resilience.faults import fault_point
 
 _P_MIN = 1e-12
@@ -49,12 +60,27 @@ _P_MIN = 1e-12
 # classification goes slightly stale between rebuilds.
 _REPLAN_EVERY = 4
 
-TSNE_METHODS = ("auto", "exact", "bh")
+TSNE_METHODS = ("auto", "exact", "bh", "landmark")
 
 # ``method="auto"`` switches to Barnes–Hut at this many points: below it
 # the dense gradient's vectorisation beats the tree overhead, above it
 # the O(n^2) inner loop dominates.
 BH_THRESHOLD = 1000
+
+# ``method="landmark"`` never embeds more than this many points directly;
+# above it the k x k landmark matrices stop being "small".  Explicit
+# opt-in only — ``auto`` never picks landmark, because the placement
+# stage is an approximation the caller should knowingly accept.
+MAX_LANDMARKS = 4096
+
+# Default landmark count: enough to cover the cluster structure of a
+# city-scale fleet while keeping selection + the inner Barnes–Hut run in
+# seconds.
+DEFAULT_LANDMARKS = 1024
+
+# Neighbours used when interpolating non-landmark points into the
+# landmark embedding.
+_LANDMARK_KNN = 8
 
 
 @dataclass(slots=True)
@@ -79,40 +105,49 @@ class TSNEResult:
     kl_trace: list[float]
     method: str = "exact"
     effective_init: str = "pca"
+    # Per-stage wall time, filled by the landmark path ("select_seconds",
+    # "embed_seconds", "place_seconds") for bench breakdowns; None for
+    # the single-stage engines.
+    stages: dict[str, float] | None = None
 
 
-def _perplexity_search(
-    dist: np.ndarray, perplexity: float, tol: float = 1e-5, max_tries: int = 64
+def _perplexity_block(
+    block: tuple[int, int],
+    arrays: Mapping[str, np.ndarray],
+    *,
+    perplexity: float,
+    tol: float,
+    max_tries: int,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Row-stochastic P(j|i) and precisions, all rows bisected at once.
+    """Bisect the rows ``[start, stop)`` of the distance matrix.
 
-    Binary search on the precision ``beta_i`` of ``exp(-beta_i * d_ij^2)``
-    until the row entropy equals ``log(perplexity)``.  Every row carries
-    its own ``(lo, hi)`` bracket; converged rows keep their beta while the
-    stragglers keep halving, so the result matches the per-row loop
-    (:func:`_perplexity_search_loop`) to floating-point noise without the
-    n x 64 Python-level iteration count.
-
-    Returns ``(cond, beta)`` — the conditional matrix (zero diagonal) and
-    the per-row precisions.
+    Every operation here is row-local (the bisection of row ``i`` reads
+    only row ``i``), so splitting the rows into blocks returns exactly
+    the same bits as one all-rows pass — the property that lets
+    :func:`_perplexity_search` fan blocks out on the worker pool without
+    changing results.
     """
-    n = dist.shape[0]
+    start, stop = block
+    dist = arrays["dist"]
+    n = dist.shape[1]
+    rows = stop - start
     target_entropy = np.log(perplexity)
-    d2 = np.where(np.eye(n, dtype=bool), np.inf, dist.astype(np.float64) ** 2)
+    d2 = dist[start:stop].astype(np.float64) ** 2
     # Shift each row by its off-diagonal min: exp(0) = 1 guarantees a
     # positive normaliser, and the diagonal's exp(-inf) = 0 removes it.
+    d2[np.arange(rows), np.arange(start, stop)] = np.inf
     d2 -= d2.min(axis=1, keepdims=True)
-    beta = np.ones(n)
-    beta_lo = np.zeros(n)
-    beta_hi = np.full(n, np.inf)
-    probs = np.full((n, n), 1.0 / max(n - 1, 1))
+    beta = np.ones(rows)
+    beta_lo = np.zeros(rows)
+    beta_hi = np.full(rows, np.inf)
+    probs = np.full((rows, n), 1.0 / max(n - 1, 1))
     # Two savings over the naive max_tries full-matrix passes: only
     # still-bisecting rows are recomputed each round, and the row entropy
     # comes from the Gibbs identity H = ln S + beta * E[d^2] (with
     # S = sum_j w_j, E = sum_j w_j d2_j / S), so the bisection needs no
     # n^2 log/divide — probability rows materialise once, on convergence.
     finite_d2 = np.where(np.isfinite(d2), d2, 0.0)  # 0 * w = 0 on the diagonal
-    active = np.arange(n)
+    active = np.arange(rows)
     for _ in range(max_tries):
         with np.errstate(invalid="ignore"):
             weights = np.exp(-beta[active, None] * d2[active])
@@ -146,7 +181,45 @@ def _perplexity_search(
         with np.errstate(invalid="ignore"):
             weights = np.exp(-beta[active, None] * d2[active])
         probs[active] = weights / weights.sum(axis=1, keepdims=True)
-    np.fill_diagonal(probs, 0.0)
+    probs[np.arange(rows), np.arange(start, stop)] = 0.0
+    return probs, beta
+
+
+def _perplexity_search(
+    dist: np.ndarray,
+    perplexity: float,
+    tol: float = 1e-5,
+    max_tries: int = 64,
+    workers: int | None = None,
+    block_rows: int = DEFAULT_BLOCK_ROWS,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-stochastic P(j|i) and precisions, all rows bisected at once.
+
+    Binary search on the precision ``beta_i`` of ``exp(-beta_i * d_ij^2)``
+    until the row entropy equals ``log(perplexity)``.  Every row carries
+    its own ``(lo, hi)`` bracket; converged rows keep their beta while the
+    stragglers keep halving, so the result matches the per-row loop
+    (:func:`_perplexity_search_loop`) to floating-point noise without the
+    n x 64 Python-level iteration count.
+
+    The bisection is row-local, so rows run in fixed blocks that can fan
+    out on the shared-memory pool (``workers`` / ``REPRO_WORKERS``); the
+    result is bit-identical for any worker count.
+
+    Returns ``(cond, beta)`` — the conditional matrix (zero diagonal) and
+    the per-row precisions.
+    """
+    dist = np.asarray(dist)
+    blocks = row_blocks(dist.shape[0], block_rows)
+    parts = map_blocks(
+        _perplexity_block, blocks, arrays={"dist": dist},
+        kwargs={"perplexity": perplexity, "tol": tol, "max_tries": max_tries},
+        workers=workers, name="perplexity",
+    )
+    if len(parts) == 1:
+        return parts[0]
+    probs = np.concatenate([part[0] for part in parts], axis=0)
+    beta = np.concatenate([part[1] for part in parts])
     return probs, beta
 
 
@@ -191,21 +264,29 @@ def _perplexity_search_loop(
 
 
 def _conditional_probabilities(
-    dist: np.ndarray, perplexity: float, tol: float = 1e-5, max_tries: int = 64
+    dist: np.ndarray,
+    perplexity: float,
+    tol: float = 1e-5,
+    max_tries: int = 64,
+    workers: int | None = None,
 ) -> np.ndarray:
     """Row-stochastic P(j|i) with per-row bandwidth matched to perplexity."""
-    cond, _ = _perplexity_search(dist, perplexity, tol=tol, max_tries=max_tries)
+    cond, _ = _perplexity_search(
+        dist, perplexity, tol=tol, max_tries=max_tries, workers=workers
+    )
     return cond
 
 
-def joint_probabilities(dist: np.ndarray, perplexity: float) -> np.ndarray:
+def joint_probabilities(
+    dist: np.ndarray, perplexity: float, workers: int | None = None
+) -> np.ndarray:
     """Symmetrised joint P of the t-SNE objective (sums to 1, zero diag)."""
     n = dist.shape[0]
     if not 1.0 < perplexity < n:
         raise ValueError(
             f"perplexity must be in (1, n_points={n}), got {perplexity}"
         )
-    cond = _conditional_probabilities(dist, perplexity)
+    cond = _conditional_probabilities(dist, perplexity, workers=workers)
     joint = (cond + cond.T) / (2.0 * n)
     return np.clip(joint, _P_MIN, None)
 
@@ -276,6 +357,156 @@ def _descend(
     return y, kl_trace
 
 
+def _select_landmarks(
+    k: int,
+    seed: int,
+    features: np.ndarray | None = None,
+    dist: np.ndarray | None = None,
+) -> np.ndarray:
+    """k-means++-style D²-sampled landmark indices (sorted, unique).
+
+    Greedy coverage: a seeded uniform first pick, then each subsequent
+    landmark is sampled proportionally to the squared distance from the
+    nearest landmark chosen so far (the k-means++ seeding rule), which
+    spreads landmarks across the cluster structure instead of sampling
+    dense regions over and over.  Works from raw features (squared
+    Euclidean, one O(n·dim) pass per landmark — never an n² matrix) or
+    from the columns of a precomputed distance matrix.  Deterministic
+    per seed.
+    """
+    if features is not None:
+        features = np.asarray(features, dtype=np.float64)
+        n = features.shape[0]
+        sq = np.einsum("ij,ij->i", features, features)
+    else:
+        assert dist is not None
+        n = dist.shape[0]
+    rng = np.random.default_rng(seed)
+    chosen = np.empty(min(k, n), dtype=np.int64)
+    pick = int(rng.integers(n))
+    chosen[0] = pick
+    d2: np.ndarray | None = None
+    for i in range(1, chosen.size):
+        if features is not None:
+            new = sq + sq[pick] - 2.0 * (features @ features[pick])
+            np.clip(new, 0.0, None, out=new)
+        else:
+            new = dist[pick].astype(np.float64) ** 2
+        d2 = new if d2 is None else np.minimum(d2, new)
+        total = float(d2.sum())
+        if total > 0.0:
+            pick = int(rng.choice(n, p=d2 / total))
+        else:
+            # Every remaining point coincides with a landmark; any pick
+            # is as good as any other (unique() below deduplicates).
+            pick = int(rng.integers(n))
+        chosen[i] = pick
+    return np.unique(chosen)
+
+
+def _landmark_tsne(
+    features: np.ndarray | None,
+    distances: np.ndarray | None,
+    *,
+    metric: str,
+    perplexity: float,
+    n_iter: int,
+    learning_rate: float,
+    early_exaggeration: float,
+    exaggeration_iter: int,
+    init: str,
+    seed: int,
+    theta: float,
+    workers: int | None,
+    n_landmarks: int | None,
+    dtype: str | None,
+    dtw_max_rows: int | None,
+) -> TSNEResult:
+    """Out-of-core t-SNE: embed k landmarks, interpolate the rest.
+
+    The n² distance matrix is never materialised when features are
+    given: only the k x k landmark block (for the inner Barnes–Hut run)
+    and blockwise (rest, k) cross distances (for placement) exist at any
+    time.  The reported ``kl_divergence`` is the landmark subproblem's
+    objective — the placement stage is an interpolation with no KL of
+    its own.
+    """
+    if distances is not None:
+        dist = validate_distance_matrix(distances)
+        feats = None
+        n = dist.shape[0]
+    else:
+        dist = None
+        feats = np.asarray(features, dtype=np.float64)
+        if feats.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {feats.shape}")
+        n = feats.shape[0]
+    k = DEFAULT_LANDMARKS if n_landmarks is None else int(n_landmarks)
+    if not 4 <= k <= MAX_LANDMARKS:
+        raise ValueError(
+            f"n_landmarks must be in [4, {MAX_LANDMARKS}], got {k}"
+        )
+    registry = obs.get_registry()
+    stages: dict[str, float] = {}
+    with obs.span(
+        "kernel.tsne_landmark", n_points=n, n_landmarks=min(k, n)
+    ):
+        started = time.perf_counter()
+        idx = _select_landmarks(
+            k, seed, features=feats, dist=dist if feats is None else None
+        )
+        stages["select_seconds"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        inner_kwargs = dict(
+            metric=metric, perplexity=perplexity, n_iter=n_iter,
+            learning_rate=learning_rate,
+            early_exaggeration=early_exaggeration,
+            exaggeration_iter=exaggeration_iter, n_components=2,
+            init=init, seed=seed, method="bh", theta=theta,
+            workers=workers, dtype=dtype, dtw_max_rows=dtw_max_rows,
+        )
+        if feats is not None:
+            inner = tsne(feats[idx], **inner_kwargs)
+        else:
+            inner = tsne(distances=dist[np.ix_(idx, idx)], **inner_kwargs)
+        stages["embed_seconds"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        rest = np.setdiff1d(np.arange(n), idx, assume_unique=True)
+        out = np.empty((n, 2))
+        out[idx] = inner.embedding
+        if rest.size:
+            knn = min(_LANDMARK_KNN, idx.size)
+            if feats is not None:
+                projector = EmbeddingProjector(
+                    feats[idx], inner.embedding, k=knn, metric=metric
+                )
+                out[rest] = projector.project(
+                    feats[rest], workers=workers, dtw_max_rows=dtw_max_rows
+                )
+            else:
+                out[rest] = barycentric_from_cross(
+                    dist[np.ix_(rest, idx)], inner.embedding, k=knn
+                )
+        stages["place_seconds"] = time.perf_counter() - started
+    # The inner run already counted kernel_runs_total / iterations; the
+    # outer layer records which public method the caller asked for.
+    registry.counter(
+        "kernel_method_total", kernel="tsne", method="landmark"
+    ).inc()
+    return TSNEResult(
+        embedding=out,
+        kl_divergence=inner.kl_divergence,
+        n_iter=inner.n_iter,
+        perplexity=inner.perplexity,
+        kl_trace=inner.kl_trace,
+        method="landmark",
+        effective_init=inner.effective_init,
+        stages=stages,
+    )
+
+
 def tsne(
     features: np.ndarray | None = None,
     *,
@@ -291,6 +522,10 @@ def tsne(
     seed: int = 0,
     method: str = "auto",
     theta: float = 0.5,
+    workers: int | None = None,
+    n_landmarks: int | None = None,
+    dtype: str | None = None,
+    dtw_max_rows: int | None = None,
 ) -> TSNEResult:
     """Embed rows into ``n_components`` dimensions.
 
@@ -302,8 +537,19 @@ def tsne(
     ``(n - 1) / 3`` when the data set is small, the standard guardrail.
 
     ``method`` selects the gradient engine: ``"exact"`` (dense, ground
-    truth), ``"bh"`` (Barnes–Hut at accuracy knob ``theta``, 2-D only) or
-    ``"auto"`` (Barnes–Hut from ``BH_THRESHOLD`` points up).
+    truth), ``"bh"`` (Barnes–Hut at accuracy knob ``theta``, 2-D only),
+    ``"landmark"`` (embed ``n_landmarks`` k-means++-selected rows with
+    Barnes–Hut, interpolate the rest — the only engine that never
+    materialises the n² distance matrix; explicit opt-in, 2-D only) or
+    ``"auto"`` (Barnes–Hut from ``BH_THRESHOLD`` points up; never
+    landmark).
+
+    ``workers`` (default ``REPRO_WORKERS``, else serial) fans the
+    distance and perplexity stages out over the shared-memory pool;
+    results are bit-identical for any worker count.  ``dtype`` selects
+    the distance compute precision (``"float32"`` halves bandwidth;
+    reductions still accumulate in float64).  ``dtw_max_rows``
+    overrides the DTW pairwise row ceiling.
 
     Raises
     ------
@@ -323,9 +569,25 @@ def tsne(
         )
     if not 0.0 < theta <= 1.0:
         raise ValueError(f"theta must be in (0, 1], got {theta}")
+    if method == "landmark":
+        if n_components != 2:
+            raise ValueError(
+                f"landmark t-SNE is 2-D only, got n_components={n_components}"
+            )
+        return _landmark_tsne(
+            features, distances, metric=metric, perplexity=perplexity,
+            n_iter=n_iter, learning_rate=learning_rate,
+            early_exaggeration=early_exaggeration,
+            exaggeration_iter=exaggeration_iter, init=init, seed=seed,
+            theta=theta, workers=workers, n_landmarks=n_landmarks,
+            dtype=dtype, dtw_max_rows=dtw_max_rows,
+        )
     if distances is None:
         assert features is not None
-        dist = pairwise_distances(features, metric=metric)
+        dist = pairwise_distances(
+            features, metric=metric, dtype=dtype, workers=workers,
+            dtw_max_rows=dtw_max_rows,
+        )
     else:
         dist = validate_distance_matrix(distances)
     effective_init = init
@@ -355,7 +617,7 @@ def tsne(
     with obs.span(
         "kernel.tsne", n_points=n, n_iter=n_iter, method=engine
     ), registry.timer("kernel_runtime_seconds", kernel="tsne"):
-        p = joint_probabilities(dist, perplexity)
+        p = joint_probabilities(dist, perplexity, workers=workers)
         rng = np.random.default_rng(seed)
         if effective_init == "pca":
             assert features is not None

@@ -39,6 +39,7 @@ import numpy as np
 
 from repro import obs
 from repro.data.meter import Customer
+from repro.parallel import scatter_budget
 from repro.data.timeseries import HourWindow, SeriesSet
 from repro.db.engine import (
     CUSTOMER_SCHEMA,
@@ -74,8 +75,10 @@ def shard_of(customer_id: int, n_shards: int) -> int:
 # One process-wide pool for scatter tasks.  Scatter tasks never submit
 # nested scatter tasks (each is a plain single-shard call), so a bounded
 # shared pool cannot deadlock — and sharing avoids thread churn when many
-# short-lived databases exist (e.g. under hypothesis).
-_POOL_WORKERS = 16
+# short-lived databases exist (e.g. under hypothesis).  The width comes
+# from the same ``REPRO_WORKERS`` budget the kernel pool obeys
+# (:func:`repro.parallel.scatter_budget`), read once at first use, so
+# one knob bounds both the kernel processes and the scatter threads.
 _pool_lock = threading.Lock()
 _pool: ThreadPoolExecutor | None = None
 
@@ -85,7 +88,8 @@ def _shared_pool() -> ThreadPoolExecutor:
     with _pool_lock:
         if _pool is None:
             _pool = ThreadPoolExecutor(
-                max_workers=_POOL_WORKERS, thread_name_prefix="shard-query"
+                max_workers=scatter_budget(),
+                thread_name_prefix="shard-query",
             )
         return _pool
 

@@ -210,6 +210,13 @@ class Request:
             )
         return value
 
+    def param_opt_int(self, name: str) -> int | None:
+        """Optional integer parameter: ``None`` when absent, 400 when
+        present but unparsable."""
+        if name not in self.query:
+            return None
+        return self.param_int(name)
+
     def param_str(self, name: str, default: str | None = None) -> str:
         if name not in self.query:
             if default is None:
@@ -698,6 +705,7 @@ class VapApp:
             },
             "resilience": self._resilience_payload(snapshot),
             "tenants": self.tenants.to_record(),
+            "parallel": self._parallel_payload(snapshot),
             "sharding": self._sharding_payload(snapshot),
             "rollup": self._rollup_payload(),
             "slo": {"slos": self.slo_engine.evaluate()},
@@ -712,6 +720,43 @@ class VapApp:
                 "capacity": sink.capacity,
             }
         return payload
+
+    def _parallel_payload(self, snapshot: dict) -> dict:
+        """Worker-pool usage per blockwise kernel — the ``parallel``
+        block of ``/api/telemetry``.
+
+        ``budget`` is the process-wide ``REPRO_WORKERS`` setting;
+        ``pools`` aggregates the ``parallel_*`` counters per pool name
+        (runs, tasks, and how many runs actually forked); ``fallbacks``
+        counts serial downgrades by reason."""
+        from repro.parallel import pool_budget
+
+        pools: dict[str, dict[str, float]] = {}
+        fallbacks: dict[str, float] = {}
+        for record in snapshot["counters"]:
+            name = record["name"]
+            if name == "parallel_pool_runs_total":
+                pool = record["labels"].get("pool", "?")
+                entry = pools.setdefault(
+                    pool, {"runs": 0.0, "tasks": 0.0, "fork_runs": 0.0}
+                )
+                entry["runs"] += record["value"]
+                if record["labels"].get("mode") == "fork":
+                    entry["fork_runs"] += record["value"]
+            elif name == "parallel_tasks_total":
+                pool = record["labels"].get("pool", "?")
+                entry = pools.setdefault(
+                    pool, {"runs": 0.0, "tasks": 0.0, "fork_runs": 0.0}
+                )
+                entry["tasks"] += record["value"]
+            elif name == "parallel_fallback_total":
+                reason = record["labels"].get("reason", "?")
+                fallbacks[reason] = fallbacks.get(reason, 0.0) + record["value"]
+        return {
+            "budget": pool_budget(1),
+            "pools": pools,
+            "fallbacks": fallbacks,
+        }
 
     def _sharding_payload(self, snapshot: dict) -> dict:
         """Per-shard query load and scatter-gather fan-out counters — the
@@ -897,6 +942,9 @@ class VapApp:
         }
 
     def embedding(self, request: Request) -> dict:
+        workers = request.param_opt_int("workers")
+        if workers is not None and workers < 1:
+            raise ApiError(400, "parameter 'workers' must be >= 1")
         info, degraded = request.session.embed_degradable(
             method=request.param_str("method", "tsne"),
             metric=request.param_str("metric", "pearson"),
@@ -905,6 +953,9 @@ class VapApp:
             seed=request.param_int("seed", 0),
             tsne_method=request.param_str("tsne_method", "auto"),
             theta=request.param_float("theta", 0.5),
+            workers=workers,
+            n_landmarks=request.param_opt_int("n_landmarks"),
+            dtw_max_rows=request.param_opt_int("dtw_max_rows"),
         )
         payload = {
             "method": info.method,
@@ -1159,9 +1210,13 @@ class VapApp:
 
     def kmeans(self, request: Request) -> dict:
         k = request.param_int("k", 5)
-        result = request.session.kmeans_baseline(k=k, seed=request.param_int("seed", 0))
+        algorithm = request.param_str("algorithm", "lloyd")
+        result = request.session.kmeans_baseline(
+            k=k, seed=request.param_int("seed", 0), algorithm=algorithm
+        )
         return {
             "k": k,
+            "algorithm": algorithm,
             "inertia": result.inertia,
             "n_iter": result.n_iter,
             "labels": result.labels,

@@ -1,0 +1,66 @@
+"""Mini-batch k-means: determinism, quality vs Lloyd's, and validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.kmeans import kmeans, minibatch_kmeans
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(11)
+    centers = rng.normal(scale=10.0, size=(4, 6))
+    labels = rng.integers(0, 4, size=800)
+    return centers[labels] + rng.normal(scale=0.6, size=(800, 6)), labels
+
+
+class TestMiniBatchKMeans:
+    def test_deterministic_per_seed(self, blobs):
+        feats, _ = blobs
+        a = minibatch_kmeans(feats, k=4, seed=3)
+        b = minibatch_kmeans(feats, k=4, seed=3)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        np.testing.assert_array_equal(a.centroids, b.centroids)
+        assert a.inertia == b.inertia
+
+    def test_inertia_close_to_lloyd(self, blobs):
+        feats, _ = blobs
+        exact = kmeans(feats, k=4, seed=0)
+        fast = minibatch_kmeans(feats, k=4, seed=0, batch_size=256)
+        # The Sculley trade: a few percent of inertia for O(batch) steps.
+        assert fast.inertia <= exact.inertia * 1.10
+
+    def test_recovers_generative_clusters(self, blobs):
+        feats, truth = blobs
+        result = minibatch_kmeans(feats, k=4, seed=0)
+        # Each found cluster should be label-pure wrt the generator.
+        for c in range(4):
+            members = truth[result.labels == c]
+            assert members.size > 0
+            purity = (members == np.bincount(members).argmax()).mean()
+            assert purity > 0.95
+
+    def test_trace_is_estimated_inertia_exact_is_returned(self, blobs):
+        feats, _ = blobs
+        result = minibatch_kmeans(feats, k=4, seed=0, batch_size=128)
+        assert len(result.inertia_trace) == result.n_iter
+        # Batch-scaled estimates hover around the exact value.
+        assert result.inertia_trace[-1] == pytest.approx(
+            result.inertia, rel=0.5
+        )
+
+    def test_batch_larger_than_n_is_clamped(self, blobs):
+        feats, _ = blobs
+        result = minibatch_kmeans(feats[:50], k=3, batch_size=10_000, seed=0)
+        assert result.labels.shape == (50,)
+
+    def test_validation(self, blobs):
+        feats, _ = blobs
+        with pytest.raises(ValueError, match="batch_size"):
+            minibatch_kmeans(feats, k=3, batch_size=0)
+        with pytest.raises(ValueError, match="k must be"):
+            minibatch_kmeans(feats, k=0)
+        with pytest.raises(ValueError, match="NaN"):
+            minibatch_kmeans(np.full((10, 3), np.nan), k=2)

@@ -1,0 +1,135 @@
+"""The perf-regression gate: speedup-ratio comparison and the CLI paths."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.compare import (
+    DEFAULT_THRESHOLD,
+    compare_documents,
+    headline_speedups,
+    main,
+)
+from repro.cli import main as cli_main
+
+
+def _doc(**kernels):
+    return {
+        "schema": 1,
+        "kernels": {
+            name: {"runs": runs} for name, runs in kernels.items()
+        },
+    }
+
+
+class TestHeadlineSpeedups:
+    def test_keyed_by_kernel_and_size(self):
+        doc = _doc(
+            tsne=[{"n": 500, "speedup": 3.0}, {"n": 1000, "speedup": 5.0}],
+            dtw=[{"length": 168, "speedup": 40.0}],
+        )
+        assert headline_speedups(doc) == {
+            ("tsne", 500): 3.0,
+            ("tsne", 1000): 5.0,
+            ("dtw", 168): 40.0,
+        }
+
+    def test_runs_without_speedup_skipped(self):
+        doc = _doc(landmark=[{"n": 50_000, "fast_seconds": 30.0}])
+        assert headline_speedups(doc) == {}
+
+
+class TestCompareDocuments:
+    def test_no_regression_when_ratios_hold(self):
+        base = _doc(tsne=[{"n": 500, "speedup": 4.0}])
+        fresh = _doc(tsne=[{"n": 500, "speedup": 3.5}])
+        assert compare_documents(fresh, base) == []
+
+    def test_regression_beyond_threshold_reported(self):
+        base = _doc(tsne=[{"n": 500, "speedup": 4.0}])
+        fresh = _doc(tsne=[{"n": 500, "speedup": 2.0}])
+        problems = compare_documents(fresh, base)
+        assert len(problems) == 1
+        assert "tsne @ 500" in problems[0]
+
+    def test_boundary_is_exactly_the_threshold(self):
+        base = _doc(kde=[{"n": 10_000, "speedup": 10.0}])
+        at = _doc(kde=[{"n": 10_000, "speedup": 10.0 * (1 - DEFAULT_THRESHOLD)}])
+        assert compare_documents(at, base) == []
+        below = _doc(kde=[{"n": 10_000, "speedup": 7.4}])
+        assert len(compare_documents(below, base)) == 1
+
+    def test_only_intersecting_keys_compared(self):
+        # A size only the full document measures is not a regression.
+        base = _doc(tsne=[{"n": 500, "speedup": 4.0}, {"n": 2000, "speedup": 9.0}])
+        fresh = _doc(tsne=[{"n": 500, "speedup": 4.0}])
+        assert compare_documents(fresh, base) == []
+
+    def test_faster_is_never_a_regression(self):
+        base = _doc(dtw=[{"length": 168, "speedup": 10.0}])
+        fresh = _doc(dtw=[{"length": 168, "speedup": 90.0}])
+        assert compare_documents(fresh, base) == []
+
+
+class TestCompareMain:
+    def _write(self, path, doc):
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_clean_comparison_exits_zero(self, tmp_path, capsys):
+        base = self._write(tmp_path / "b.json", _doc(tsne=[{"n": 500, "speedup": 4.0}]))
+        fresh = self._write(tmp_path / "f.json", _doc(tsne=[{"n": 500, "speedup": 4.2}]))
+        assert main([fresh, base]) == 0
+        assert "no perf regressions" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        base = self._write(tmp_path / "b.json", _doc(tsne=[{"n": 500, "speedup": 4.0}]))
+        fresh = self._write(tmp_path / "f.json", _doc(tsne=[{"n": 500, "speedup": 1.0}]))
+        assert main([fresh, base]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_escape_hatch_env(self, tmp_path, monkeypatch, capsys):
+        base = self._write(tmp_path / "b.json", _doc(tsne=[{"n": 500, "speedup": 4.0}]))
+        fresh = self._write(tmp_path / "f.json", _doc(tsne=[{"n": 500, "speedup": 1.0}]))
+        monkeypatch.setenv("REPRO_BENCH_ALLOW_REGRESSION", "1")
+        assert main([fresh, base]) == 0
+        assert "not failing the gate" in capsys.readouterr().out
+
+    def test_missing_baseline_is_not_an_error(self, tmp_path, capsys):
+        fresh = self._write(tmp_path / "f.json", _doc())
+        assert main([fresh, str(tmp_path / "absent.json")]) == 0
+        assert "no baseline" in capsys.readouterr().out
+
+    def test_usage_error(self, capsys):
+        assert main(["one.json"]) == 2
+
+
+class TestBenchJsonFlag:
+    def test_json_goes_to_stdout_not_disk(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        code = cli_main(
+            ["bench", "--quick", "--kernel", "dtw", "--no-profiler", "--json"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        document = json.loads(out)
+        assert document["schema"] == 1
+        assert "dtw" in document["kernels"]
+        assert list(tmp_path.iterdir()) == []  # nothing written
+
+    def test_json_document_feeds_the_comparator(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(
+            ["bench", "--quick", "--kernel", "dtw", "--no-profiler", "--json"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps(document))
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps(document))
+        # A document always passes against itself.
+        assert main([str(fresh), str(baseline)]) == 0
