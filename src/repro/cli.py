@@ -16,6 +16,9 @@ Six commands cover the tool's operational surface:
   concurrency and backpressure, ``--fault-plan`` arms deterministic
   chaos injection, ``--profile-hz`` runs the continuous profiler; same
   as ``python -m repro.server``);
+- ``jobs`` — drive a running server's async job API:
+  ``submit <kind> --param k=v``, ``status <id>``, ``wait <id>
+  [--artifact out]``, ``cancel <id>``;
 - ``profile`` — stack-sample a representative in-process workload and
   write folded stacks or a flamegraph SVG;
 - ``bench`` — time the fast kernels against their exact twins and write
@@ -204,6 +207,47 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     rollup.add_argument(
         "--json", action="store_true", help="print the raw status JSON"
+    )
+
+    jobs = commands.add_parser(
+        "jobs", help="drive the async job API of a running server"
+    )
+    jobs.add_argument(
+        "action", choices=("submit", "status", "wait", "cancel"),
+        help="submit a job, poll one, block until it finishes, or cancel",
+    )
+    jobs.add_argument(
+        "target", nargs="?", default=None,
+        help="job kind for 'submit' (embed/render/export), job id otherwise",
+    )
+    jobs.add_argument(
+        "--url", type=str, default="http://127.0.0.1:8765",
+        help="base URL of the running server (default http://127.0.0.1:8765)",
+    )
+    jobs.add_argument(
+        "--tenant", type=str, default=None,
+        help="tenant to act as (X-Tenant header; server default when unset)",
+    )
+    jobs.add_argument(
+        "--param", action="append", default=None, metavar="KEY=VALUE",
+        help="job parameter for 'submit' (repeatable); values parse as "
+             "JSON when possible, else stay strings",
+    )
+    jobs.add_argument(
+        "--priority", type=int, default=0,
+        help="submission priority (higher runs first; default 0)",
+    )
+    jobs.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="'wait' gives up after this many seconds (default 600)",
+    )
+    jobs.add_argument(
+        "--interval", type=float, default=0.5,
+        help="'wait' polling interval in seconds (default 0.5)",
+    )
+    jobs.add_argument(
+        "--artifact", type=Path, default=None, metavar="OUT",
+        help="after a successful 'wait', download the artifact here",
     )
 
     profile = commands.add_parser(
@@ -567,6 +611,148 @@ def _cmd_rollup(args: argparse.Namespace) -> int:
     return 0
 
 
+def _jobs_http(
+    method: str,
+    url: str,
+    tenant: str | None,
+    body: dict | None = None,
+) -> tuple[int, dict, bytes, dict[str, str]]:
+    """One HTTP round trip to the jobs API; returns (status, json-or-{},
+    raw body, headers).  4xx/5xx are returned, not raised, so callers
+    can print the server's error document."""
+    import json as json_mod
+    import urllib.error
+    import urllib.request
+
+    data = None if body is None else json_mod.dumps(body).encode("utf-8")
+    request = urllib.request.Request(url, data=data, method=method)
+    request.add_header("Content-Type", "application/json")
+    if tenant is not None:
+        request.add_header("X-Tenant", tenant)
+    try:
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            raw = response.read()
+            status = response.status
+            headers = dict(response.headers.items())
+    except urllib.error.HTTPError as exc:
+        raw = exc.read()
+        status = exc.code
+        headers = dict(exc.headers.items())
+    try:
+        payload = json_mod.loads(raw)
+    except ValueError:
+        payload = {}
+    return status, payload if isinstance(payload, dict) else {}, raw, headers
+
+
+def _parse_job_params(pairs: list[str] | None) -> dict:
+    """``KEY=VALUE`` pairs to a params dict; values parse as JSON when
+    they can (so ``n_iter=500`` is an int) and stay strings otherwise."""
+    import json as json_mod
+
+    params: dict = {}
+    for pair in pairs or []:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--param must be KEY=VALUE, got {pair!r}")
+        try:
+            params[key] = json_mod.loads(value)
+        except ValueError:
+            params[key] = value
+    return params
+
+
+def _print_job(record: dict) -> None:
+    line = (
+        f"job {record.get('job_id')}  kind={record.get('kind')}  "
+        f"state={record.get('state')}  "
+        f"progress={record.get('progress', 0.0):.1%}"
+    )
+    eta = record.get("eta_seconds")
+    if eta is not None:
+        line += f"  eta={eta:.1f}s"
+    if record.get("message"):
+        line += f"  ({record['message']})"
+    print(line)
+    if record.get("error"):
+        print(f"  error: {record['error']}")
+    artifact = record.get("artifact")
+    if artifact:
+        print(
+            f"  artifact: {artifact['digest']} "
+            f"({artifact['size']} bytes, {artifact['content_type']})"
+        )
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    """Drive a running server's async job API over HTTP."""
+    import time
+
+    base = args.url.rstrip("/")
+    if args.action == "submit":
+        if args.target is None:
+            raise SystemExit("jobs submit needs a kind (embed/render/export)")
+        status, payload, _, _ = _jobs_http(
+            "POST", f"{base}/api/jobs", args.tenant,
+            body={
+                "kind": args.target,
+                "params": _parse_job_params(args.param),
+                "priority": args.priority,
+            },
+        )
+        if status != 202:
+            print(f"submit failed ({status}): {payload.get('error', '?')}",
+                  file=sys.stderr)
+            return 1
+        _print_job(payload)
+        return 0
+
+    if args.target is None:
+        raise SystemExit(f"jobs {args.action} needs a job id")
+    job_url = f"{base}/api/jobs/{args.target}"
+
+    if args.action == "cancel":
+        status, payload, _, _ = _jobs_http("DELETE", job_url, args.tenant)
+        if status != 200:
+            print(f"cancel failed ({status}): {payload.get('error', '?')}",
+                  file=sys.stderr)
+            return 1
+        _print_job(payload)
+        return 0
+
+    deadline = time.monotonic() + args.timeout
+    while True:
+        status, payload, _, _ = _jobs_http("GET", job_url, args.tenant)
+        if status != 200:
+            print(f"poll failed ({status}): {payload.get('error', '?')}",
+                  file=sys.stderr)
+            return 1
+        _print_job(payload)
+        if args.action == "status":
+            return 0
+        if payload.get("state") in ("succeeded", "failed", "cancelled"):
+            break
+        if time.monotonic() >= deadline:
+            print(f"gave up after {args.timeout:g}s", file=sys.stderr)
+            return 1
+        time.sleep(args.interval)
+    if payload.get("state") != "succeeded":
+        return 1
+    if args.artifact is not None:
+        status, _, raw, headers = _jobs_http(
+            "GET", f"{job_url}/artifact", args.tenant
+        )
+        if status != 200:
+            print(f"artifact fetch failed ({status})", file=sys.stderr)
+            return 1
+        args.artifact.write_bytes(raw)
+        print(
+            f"artifact written to {args.artifact} "
+            f"({len(raw)} bytes, {headers.get('Content-Type', '?')})"
+        )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Delegate to the ``python -m repro.server`` entry point."""
     import os
@@ -608,6 +794,7 @@ _COMMANDS = {
     "sql": _cmd_sql,
     "stats": _cmd_stats,
     "serve": _cmd_serve,
+    "jobs": _cmd_jobs,
     "profile": _cmd_profile,
     "bench": _cmd_bench,
     "rollup": _cmd_rollup,

@@ -163,7 +163,12 @@ class VapSession:
                 for op in BREAKER_OPS
             }
         self.breakers = breakers
-        self._last_good: dict[str, object] = {}
+        # Most recent successful (cache_key, value) per op — the
+        # degrade-to-last-good fallback.  Tagging the value with the
+        # single-flight cache key it was computed under lets a
+        # breaker-open response say exactly *which* parameters the
+        # served result belongs to (it may not match the request's).
+        self._last_good: dict[str, tuple[object, object]] = {}
         self._last_good_lock = threading.Lock()
 
     @classmethod
@@ -212,9 +217,16 @@ class VapSession:
 
     def _flight_degradable(
         self, cache: SingleFlightCache, op: str, key, compute
-    ) -> tuple[object, bool]:
+    ) -> tuple[object, dict | bool]:
         """Single-flight caching with circuit breaking; returns
         ``(value, degraded)``.
+
+        ``degraded`` is ``False`` on the healthy path.  On a
+        breaker-open fallback it is a dict describing exactly what was
+        served: ``served_key`` (the cache key the last-good value was
+        computed under), ``requested_key``, and ``exact`` (whether they
+        match) — so a response built from parameters other than the
+        request's is never silent.
 
         Leaders count as cache misses, hits and deduplicated waiters as
         hits (they did not compute); both leader and waiter outcomes are
@@ -251,25 +263,43 @@ class VapSession:
                 f"request deadline exceeded waiting for in-flight {op}"
             ) from None
         except BreakerOpen:
-            with self._last_good_lock:
-                fallback = self._last_good.get(op)
-            if fallback is None:
-                raise
+            # Prefer the exact cached value for this key (the breaker
+            # only guards *misses*); otherwise fall back to the op's
+            # last-good value, reporting whose parameters it carries.
+            exact = cache.peek(key)
+            if exact is not None:
+                served_key = key
+                fallback = exact
+            else:
+                with self._last_good_lock:
+                    last = self._last_good.get(op)
+                if last is None:
+                    raise
+                served_key, fallback = last
+            degraded = {
+                "reason": "breaker_open",
+                "served_key": str(served_key),
+                "requested_key": str(key),
+                "exact": served_key == key,
+            }
             self.metrics.counter("pipeline_degraded_total", op=op).inc()
             obs.log_event(
                 "pipeline.degraded",
                 level="warning",
                 op=op,
                 reason="breaker_open",
+                served_key=str(served_key),
+                requested_key=str(key),
+                exact=served_key == key,
             )
-            return fallback, True
+            return fallback, degraded
         self._cache(op, hit=outcome == HIT)
         if outcome != HIT:
             self.metrics.counter(
                 "pipeline_singleflight_total", op=op, result=outcome
             ).inc()
         with self._last_good_lock:
-            self._last_good[op] = value
+            self._last_good[op] = (key, value)
         return value, False
 
     # ------------------------------------------------------------------
@@ -345,12 +375,14 @@ class VapSession:
         workers: int | None = None,
         n_landmarks: int | None = None,
         dtw_max_rows: int | None = None,
-    ) -> tuple[EmbeddingInfo, bool]:
+    ) -> tuple[EmbeddingInfo, dict | bool]:
         """:meth:`embed`, reporting degradation: ``(info, degraded)``.
 
-        ``degraded`` is True when the embed circuit breaker refused the
-        computation and ``info`` is the session's last successfully
-        computed embedding (possibly for different parameters) — the
+        ``degraded`` is falsy on the healthy path.  When the embed
+        circuit breaker refused the computation and ``info`` is the
+        session's last successfully computed embedding, ``degraded`` is
+        a (truthy) dict recording the ``served_key`` vs the
+        ``requested_key`` — possibly different parameters — so the
         serving layer marks such responses instead of failing them.
 
         Raises
@@ -626,12 +658,13 @@ class VapSession:
         bandwidth_m: float | None = None,
         customer_ids: list[int] | None = None,
         method: str = "auto",
-    ) -> tuple[DensityGrid, bool]:
+    ) -> tuple[DensityGrid, dict | bool]:
         """:meth:`density`, reporting degradation: ``(grid, degraded)``.
 
-        ``degraded`` is True when the density circuit breaker refused
-        the computation and ``grid`` is the last successfully computed
-        surface (possibly for a different window).
+        ``degraded`` is falsy on the healthy path, or a (truthy) dict
+        recording the served vs requested cache key when the density
+        circuit breaker refused the computation and ``grid`` is the last
+        successfully computed surface (possibly for a different window).
 
         Raises
         ------
@@ -684,11 +717,12 @@ class VapSession:
         bandwidth_m: float | None = None,
         customer_ids: list[int] | None = None,
         method: str = "auto",
-    ) -> tuple[ShiftField, bool]:
+    ) -> tuple[ShiftField, dict | bool]:
         """:meth:`shift`, reporting degradation: ``(field, degraded)``.
 
-        ``degraded`` is True when either underlying density came from
-        the breaker-open fallback path.
+        ``degraded`` is falsy unless either underlying density came from
+        the breaker-open fallback path (then it is that density's
+        served/requested-key record).
         """
         with obs.span("pipeline.shift"), \
                 self.metrics.timer("pipeline_seconds", op="shift"):

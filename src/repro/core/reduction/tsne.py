@@ -84,6 +84,28 @@ _LANDMARK_KNN = 8
 
 
 @dataclass(slots=True)
+class DescentCheckpoint:
+    """Resumable state of the t-SNE gradient descent.
+
+    Captured between iterations: ``iteration`` is the *next* iteration
+    to run, and ``y``/``velocity``/``gains`` are the carried arrays at
+    that boundary (``kl_trace`` holds the objective samples recorded so
+    far).  Everything else the descent touches — the momentum schedule,
+    the exaggeration switch, the trace cadence — is a pure function of
+    the iteration index, and the Barnes–Hut traversal plan is rebuilt
+    whenever ``iteration % _REPLAN_EVERY == 0``, so resuming from a
+    checkpoint aligned to that cadence replays the remaining iterations
+    bit-identically.
+    """
+
+    iteration: int
+    y: np.ndarray
+    velocity: np.ndarray
+    gains: np.ndarray
+    kl_trace: list[float]
+
+
+@dataclass(slots=True)
 class TSNEResult:
     """Embedding plus convergence diagnostics.
 
@@ -334,16 +356,33 @@ def _sparse_joint(
 def _descend(
     grad_fn, y: np.ndarray, n_iter: int, learning_rate: float,
     exaggeration_iter: int, trace_fn,
+    checkpoint_every: int | None = None,
+    checkpoint_fn=None,
+    resume_from: DescentCheckpoint | None = None,
 ) -> tuple[np.ndarray, list[float]]:
     """Shared gradient-descent loop: momentum switching + adaptive gains.
 
     ``grad_fn(y, iteration)`` returns the (possibly exaggerated) gradient;
     ``trace_fn(y)`` the objective sample recorded every 50 iterations.
+
+    When ``checkpoint_fn`` is given it receives a
+    :class:`DescentCheckpoint` after every ``checkpoint_every``-th
+    iteration (never after the last — the finished result supersedes
+    it).  ``resume_from`` restarts the loop from a previous checkpoint's
+    carried state instead of iteration 0.
     """
-    velocity = np.zeros_like(y)
-    gains = np.ones_like(y)
-    kl_trace: list[float] = []
-    for iteration in range(n_iter):
+    if resume_from is not None:
+        start = int(resume_from.iteration)
+        y = np.array(resume_from.y, dtype=y.dtype, copy=True)
+        velocity = np.array(resume_from.velocity, dtype=y.dtype, copy=True)
+        gains = np.array(resume_from.gains, dtype=y.dtype, copy=True)
+        kl_trace = list(resume_from.kl_trace)
+    else:
+        start = 0
+        velocity = np.zeros_like(y)
+        gains = np.ones_like(y)
+        kl_trace = []
+    for iteration in range(start, n_iter):
         grad = grad_fn(y, iteration)
         momentum = 0.5 if iteration < exaggeration_iter else 0.8
         same_sign = np.sign(grad) == np.sign(velocity)
@@ -354,7 +393,46 @@ def _descend(
         y = y - y.mean(axis=0, keepdims=True)
         if iteration % 50 == 0 or iteration == n_iter - 1:
             kl_trace.append(trace_fn(y))
+        done = iteration + 1
+        if (
+            checkpoint_fn is not None
+            and checkpoint_every is not None
+            and done % checkpoint_every == 0
+            and done < n_iter
+        ):
+            checkpoint_fn(
+                DescentCheckpoint(
+                    iteration=done,
+                    y=y.copy(),
+                    velocity=velocity.copy(),
+                    gains=gains.copy(),
+                    kl_trace=list(kl_trace),
+                )
+            )
     return y, kl_trace
+
+
+def _check_bh_checkpoint_alignment(
+    checkpoint_every: int | None, resume_from: DescentCheckpoint | None
+) -> None:
+    """Reject checkpoint cadences the Barnes–Hut engine cannot replay.
+
+    The traversal plan is rebuilt whenever ``iteration % _REPLAN_EVERY
+    == 0`` and starts empty on resume, so a resumed run is bit-identical
+    only when it restarts exactly at a rebuild boundary.
+    """
+    if checkpoint_every is not None and checkpoint_every % _REPLAN_EVERY:
+        raise ValueError(
+            f"Barnes–Hut checkpoints must align with the traversal-plan "
+            f"rebuild cadence: checkpoint_every must be a multiple of "
+            f"{_REPLAN_EVERY}, got {checkpoint_every}"
+        )
+    if resume_from is not None and resume_from.iteration % _REPLAN_EVERY:
+        raise ValueError(
+            f"Barnes–Hut resume must start at a traversal-plan rebuild "
+            f"boundary (iteration % {_REPLAN_EVERY} == 0), got iteration "
+            f"{resume_from.iteration}"
+        )
 
 
 def _select_landmarks(
@@ -421,6 +499,9 @@ def _landmark_tsne(
     n_landmarks: int | None,
     dtype: str | None,
     dtw_max_rows: int | None,
+    checkpoint_every: int | None = None,
+    checkpoint_fn=None,
+    resume_from: DescentCheckpoint | None = None,
 ) -> TSNEResult:
     """Out-of-core t-SNE: embed k landmarks, interpolate the rest.
 
@@ -465,6 +546,11 @@ def _landmark_tsne(
             exaggeration_iter=exaggeration_iter, n_components=2,
             init=init, seed=seed, method="bh", theta=theta,
             workers=workers, dtype=dtype, dtw_max_rows=dtw_max_rows,
+            # Landmark selection and placement are deterministic per
+            # seed, so checkpointing the inner embed is enough to make
+            # the whole landmark run resumable.
+            checkpoint_every=checkpoint_every, checkpoint_fn=checkpoint_fn,
+            resume_from=resume_from,
         )
         if feats is not None:
             inner = tsne(feats[idx], **inner_kwargs)
@@ -526,6 +612,9 @@ def tsne(
     n_landmarks: int | None = None,
     dtype: str | None = None,
     dtw_max_rows: int | None = None,
+    checkpoint_every: int | None = None,
+    checkpoint_fn=None,
+    resume_from: DescentCheckpoint | None = None,
 ) -> TSNEResult:
     """Embed rows into ``n_components`` dimensions.
 
@@ -551,6 +640,14 @@ def tsne(
     reductions still accumulate in float64).  ``dtw_max_rows``
     overrides the DTW pairwise row ceiling.
 
+    ``checkpoint_every``/``checkpoint_fn`` emit a
+    :class:`DescentCheckpoint` every k descent iterations and
+    ``resume_from`` restarts from one — the job service's crash-recovery
+    hook.  For the Barnes–Hut engines the cadence must align with the
+    ``_REPLAN_EVERY`` traversal-plan rebuild so a resumed run rebuilds
+    its plan exactly where an uninterrupted run would, keeping the
+    output bit-identical.
+
     Raises
     ------
     ValueError
@@ -569,11 +666,21 @@ def tsne(
         )
     if not 0.0 < theta <= 1.0:
         raise ValueError(f"theta must be in (0, 1], got {theta}")
+    if checkpoint_every is not None and checkpoint_every < 1:
+        raise ValueError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every}"
+        )
+    if resume_from is not None and not 0 <= resume_from.iteration <= n_iter:
+        raise ValueError(
+            f"resume_from.iteration must be in [0, {n_iter}], "
+            f"got {resume_from.iteration}"
+        )
     if method == "landmark":
         if n_components != 2:
             raise ValueError(
                 f"landmark t-SNE is 2-D only, got n_components={n_components}"
             )
+        _check_bh_checkpoint_alignment(checkpoint_every, resume_from)
         return _landmark_tsne(
             features, distances, metric=metric, perplexity=perplexity,
             n_iter=n_iter, learning_rate=learning_rate,
@@ -581,6 +688,8 @@ def tsne(
             exaggeration_iter=exaggeration_iter, init=init, seed=seed,
             theta=theta, workers=workers, n_landmarks=n_landmarks,
             dtype=dtype, dtw_max_rows=dtw_max_rows,
+            checkpoint_every=checkpoint_every, checkpoint_fn=checkpoint_fn,
+            resume_from=resume_from,
         )
     if distances is None:
         assert features is not None
@@ -611,6 +720,8 @@ def tsne(
         method == "auto" and n >= BH_THRESHOLD and n_components == 2
     )
     engine = "bh" if use_bh else "exact"
+    if use_bh:
+        _check_bh_checkpoint_alignment(checkpoint_every, resume_from)
     perplexity = float(min(perplexity, max(2.0, (n - 1) / 3.0)))
 
     registry = obs.get_registry()
@@ -691,7 +802,9 @@ def tsne(
                 return _kl(p, q)
 
         y, kl_trace = _descend(
-            grad_fn, y, n_iter, learning_rate, exaggeration_iter, trace_fn
+            grad_fn, y, n_iter, learning_rate, exaggeration_iter, trace_fn,
+            checkpoint_every=checkpoint_every, checkpoint_fn=checkpoint_fn,
+            resume_from=resume_from,
         )
         q, _ = _q_matrix(y)
         kl = _kl(p, q)

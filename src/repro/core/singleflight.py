@@ -35,7 +35,16 @@ WAITER = "waiter"
 
 
 class WaitTimeout(TimeoutError):
-    """A single-flight waiter gave up before the leader finished."""
+    """A single-flight waiter gave up before the leader finished.
+
+    ``bound`` names which limit fired: ``"timeout"`` when the caller's
+    fixed wait elapsed, ``"deadline"`` when the caller's bound request
+    :class:`~repro.core.deadline.Deadline` expired first.
+    """
+
+    def __init__(self, message: str, bound: str = "timeout") -> None:
+        super().__init__(message)
+        self.bound = bound
 
 
 class _Call:
@@ -141,10 +150,22 @@ class SingleFlightCache(Generic[K, V]):
                 leading = False
 
         if not leading:
-            if not call.event.wait(timeout):
+            # A waiter must never outlive the caller's own request
+            # deadline: clamp the wait to whichever bound is tighter and
+            # report which one fired.
+            from repro.core.deadline import current_deadline
+
+            deadline = current_deadline()
+            wait, bound = timeout, "timeout"
+            if deadline is not None:
+                remaining = deadline.remaining()
+                if wait is None or remaining < wait:
+                    wait, bound = max(0.0, remaining), "deadline"
+            if not call.event.wait(wait):
                 raise WaitTimeout(
-                    f"timed out after {timeout!r}s waiting for in-flight "
-                    f"computation of {key!r}"
+                    f"gave up after {wait!r}s ({bound} bound) waiting for "
+                    f"in-flight computation of {key!r}",
+                    bound=bound,
                 )
             if call.error is not None:
                 raise call.error

@@ -1,0 +1,79 @@
+"""Async job service: submit → poll → artifact for heavy work.
+
+The interactive API keeps its strict deadlines; anything that cannot fit
+inside one — full t-SNE descents, dashboard renders, bulk CSV exports —
+is submitted here instead, executed on a worker pool against the owning
+tenant's session, and retrieved as a content-addressable artifact.
+Embedding jobs checkpoint their descent so a crashed worker resumes
+bit-identically.  See DESIGN.md §15.
+"""
+
+from repro.jobs.artifacts import (
+    ArtifactError,
+    ArtifactStore,
+    deterministic_npz,
+    load_npz,
+)
+from repro.jobs.checkpoint import (
+    CHECKPOINT_VERSION,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.jobs.handlers import (
+    DEFAULT_CHECKPOINT_EVERY,
+    HANDLERS,
+    JOB_KINDS,
+    JobContext,
+)
+from repro.jobs.model import (
+    ACTIVE_STATES,
+    CANCELLED,
+    FAILED,
+    JOB_STATES,
+    QUEUED,
+    RUNNING,
+    SUCCEEDED,
+    TERMINAL_STATES,
+    ArtifactRef,
+    CancelToken,
+    Job,
+    JobCancelled,
+    JobQueueFull,
+    JobQuotaExceeded,
+)
+from repro.jobs.service import (
+    DEFAULT_MAX_QUEUE,
+    DEFAULT_WORKERS,
+    JobService,
+)
+
+__all__ = [
+    "ACTIVE_STATES",
+    "CANCELLED",
+    "CHECKPOINT_VERSION",
+    "DEFAULT_CHECKPOINT_EVERY",
+    "DEFAULT_MAX_QUEUE",
+    "DEFAULT_WORKERS",
+    "FAILED",
+    "HANDLERS",
+    "JOB_KINDS",
+    "JOB_STATES",
+    "QUEUED",
+    "RUNNING",
+    "SUCCEEDED",
+    "TERMINAL_STATES",
+    "ArtifactError",
+    "ArtifactRef",
+    "ArtifactStore",
+    "CancelToken",
+    "Job",
+    "JobCancelled",
+    "JobContext",
+    "JobQueueFull",
+    "JobQuotaExceeded",
+    "JobService",
+    "deterministic_npz",
+    "load_checkpoint",
+    "load_npz",
+    "save_checkpoint",
+]

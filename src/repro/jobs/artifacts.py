@@ -1,0 +1,173 @@
+"""Content-addressable artifact store for job results.
+
+Artifacts live under each tenant's storage namespace
+(``<root>/<tenant>/artifacts/<aa>/<digest>``, the first two hex digits
+fanning the directory out), addressed by the SHA-256 of their bytes, so
+
+- identical results deduplicate to one file (resubmitting an embedding
+  job with the same parameters and seed stores nothing new — the job
+  payloads are serialized deterministically, see
+  :func:`deterministic_npz`);
+- a digest can be verified end-to-end: :meth:`ArtifactStore.get` hashes
+  what it read and refuses to serve torn bytes.
+
+Writes follow the same crash-safety discipline as
+:func:`repro.db.storage.save_database` — stage into a hidden temp
+sibling, fsync-free atomic ``os.replace`` — wrapped in the resilience
+retry policy with ``jobs.artifact.*`` fault-injection sites, so a chaos
+plan can tear writes and watch the retry layer heal them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.db.storage import tenant_directory
+from repro.resilience.faults import fault_bytes, fault_point
+from repro.resilience.retry import DEFAULT_POLICY, RetryPolicy
+
+from repro.jobs.model import ArtifactRef
+
+_ARTIFACTS_DIR = "artifacts"
+
+
+class ArtifactError(ValueError):
+    """A stored artifact is missing or does not match its digest."""
+
+
+def deterministic_npz(arrays: dict[str, np.ndarray]) -> bytes:
+    """Serialize named arrays as npz bytes that are a pure function of
+    their content.
+
+    ``np.savez_compressed`` stamps zip entries with the current time, so
+    two runs producing identical arrays yield different bytes — which
+    would defeat content addressing.  This writer pins every entry's
+    timestamp to the zip epoch and sorts names, so identical arrays ⇒
+    identical bytes ⇒ identical digest.  The output is a regular npz:
+    ``np.load`` reads it back unchanged.
+    """
+    buf = io.BytesIO()
+    with zipfile.ZipFile(buf, "w", zipfile.ZIP_DEFLATED) as archive:
+        for name in sorted(arrays):
+            payload = io.BytesIO()
+            np.lib.format.write_array(
+                payload, np.asarray(arrays[name]), allow_pickle=False
+            )
+            info = zipfile.ZipInfo(f"{name}.npy", date_time=(1980, 1, 1, 0, 0, 0))
+            info.compress_type = zipfile.ZIP_DEFLATED
+            archive.writestr(info, payload.getvalue())
+    return buf.getvalue()
+
+
+def load_npz(data: bytes) -> dict[str, np.ndarray]:
+    """Decode npz bytes (from :func:`deterministic_npz` or numpy) to a
+    name → array dict."""
+    with np.load(io.BytesIO(data)) as payload:
+        return {name: payload[name] for name in payload.files}
+
+
+class ArtifactStore:
+    """SHA-256-addressed blob store under per-tenant namespaces.
+
+    Parameters
+    ----------
+    root:
+        Storage root; each tenant's artifacts live under
+        ``root/<tenant>/artifacts/`` (tenant ids are validated before
+        becoming path components).
+    retry:
+        Policy wrapped around every write (pass ``None`` to fail fast).
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        retry: RetryPolicy | None = DEFAULT_POLICY,
+    ) -> None:
+        self.root = Path(root)
+        self.retry = retry
+
+    def path_of(self, tenant: str, digest: str) -> Path:
+        """Where the artifact's bytes live (whether or not they exist)."""
+        if not digest or any(c not in "0123456789abcdef" for c in digest):
+            raise ArtifactError(f"malformed artifact digest {digest!r}")
+        return (
+            tenant_directory(self.root, tenant)
+            / _ARTIFACTS_DIR
+            / digest[:2]
+            / digest
+        )
+
+    def put(self, tenant: str, data: bytes, content_type: str) -> ArtifactRef:
+        """Store ``data`` under its content digest; returns the ref.
+
+        Idempotent: bytes already present are not rewritten.  The write
+        is staged + atomically renamed, verified by re-hashing what
+        landed on disk, and retried under the store's policy — so an
+        injected truncation (``jobs.artifact.bytes``) is detected and
+        healed rather than served later.
+        """
+        digest = hashlib.sha256(data).hexdigest()
+        path = self.path_of(tenant, digest)
+        ref = ArtifactRef(
+            digest=digest, size=len(data), content_type=content_type
+        )
+
+        def write_once() -> None:
+            fault_point("jobs.artifact.write")
+            if path.exists():
+                return
+            path.parent.mkdir(parents=True, exist_ok=True)
+            staging = path.parent / f".{path.name}.staging"
+            payload = fault_bytes("jobs.artifact.bytes", data)
+            staging.write_bytes(payload)
+            if hashlib.sha256(staging.read_bytes()).hexdigest() != digest:
+                staging.unlink(missing_ok=True)
+                raise OSError(
+                    f"artifact {digest} was torn while being written"
+                )
+            os.replace(staging, path)
+            # Sidecar with the content type, so the store can serve an
+            # artifact after a restart without the in-memory job table.
+            meta = path.parent / f"{path.name}.meta.json"
+            meta.write_text(
+                json.dumps({"content_type": content_type, "size": len(data)})
+            )
+
+        if self.retry is None:
+            write_once()
+        else:
+            self.retry.call(write_once, site="jobs.artifact")
+        return ref
+
+    def get(self, tenant: str, digest: str) -> bytes:
+        """The artifact's bytes, digest-verified.
+
+        Raises
+        ------
+        ArtifactError
+            When missing, or when the stored bytes do not hash to the
+            requested digest (torn file).
+        """
+        path = self.path_of(tenant, digest)
+        fault_point("jobs.artifact.read")
+        if not path.exists():
+            raise ArtifactError(
+                f"no artifact {digest} for tenant {tenant!r}"
+            )
+        data = path.read_bytes()
+        if hashlib.sha256(data).hexdigest() != digest:
+            raise ArtifactError(
+                f"artifact {digest} is corrupt on disk (digest mismatch)"
+            )
+        return data
+
+    def exists(self, tenant: str, digest: str) -> bool:
+        return self.path_of(tenant, digest).exists()

@@ -1,0 +1,84 @@
+"""Durable t-SNE descent checkpoints for crash-resumable embedding jobs.
+
+A checkpoint is one compressed npz holding a
+:class:`~repro.core.reduction.tsne.DescentCheckpoint` (iteration, the
+carried ``y``/``velocity``/``gains`` arrays, the KL trace so far) plus a
+*fingerprint* of the job parameters that produced it.  The fingerprint
+gates resumption: a checkpoint written under different parameters (or a
+different code's idea of them) is ignored rather than silently resumed
+into a wrong embedding.
+
+Saves are staged + atomically renamed (one file, so a plain
+``os.replace`` suffices) with a ``jobs.checkpoint.save`` fault site —
+the chaos suite tears checkpoint writes and asserts a resumed job still
+reproduces the uninterrupted result bit-for-bit from the last complete
+checkpoint.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from pathlib import Path
+from zipfile import BadZipFile
+
+import numpy as np
+
+from repro.core.reduction.tsne import DescentCheckpoint
+from repro.resilience.faults import fault_point
+
+CHECKPOINT_VERSION = 1
+
+
+def save_checkpoint(
+    path: str | Path, checkpoint: DescentCheckpoint, fingerprint: str
+) -> Path:
+    """Atomically persist a descent checkpoint; returns its path."""
+    path = Path(path)
+    fault_point("jobs.checkpoint.save")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    buf = io.BytesIO()
+    np.savez_compressed(
+        buf,
+        version=np.int64(CHECKPOINT_VERSION),
+        iteration=np.int64(checkpoint.iteration),
+        y=checkpoint.y,
+        velocity=checkpoint.velocity,
+        gains=checkpoint.gains,
+        kl_trace=np.asarray(checkpoint.kl_trace, dtype=np.float64),
+        fingerprint=np.str_(fingerprint),
+    )
+    staging = path.parent / f".{path.name}.staging"
+    staging.write_bytes(buf.getvalue())
+    os.replace(staging, path)
+    return path
+
+
+def load_checkpoint(
+    path: str | Path, fingerprint: str
+) -> DescentCheckpoint | None:
+    """Load a checkpoint if one exists *and* matches the fingerprint.
+
+    Returns ``None`` (start from iteration 0) when the file is absent,
+    unreadable, from another format version, or written under different
+    parameters — a stale or torn checkpoint must never poison a resume.
+    """
+    path = Path(path)
+    fault_point("jobs.checkpoint.load")
+    if not path.exists():
+        return None
+    try:
+        with np.load(path) as payload:
+            if int(payload["version"]) != CHECKPOINT_VERSION:
+                return None
+            if str(payload["fingerprint"]) != fingerprint:
+                return None
+            return DescentCheckpoint(
+                iteration=int(payload["iteration"]),
+                y=np.array(payload["y"], dtype=np.float64),
+                velocity=np.array(payload["velocity"], dtype=np.float64),
+                gains=np.array(payload["gains"], dtype=np.float64),
+                kl_trace=[float(v) for v in payload["kl_trace"]],
+            )
+    except (OSError, KeyError, ValueError, BadZipFile):
+        return None

@@ -1,0 +1,187 @@
+"""Job model: states, cancellation token, quota/queue errors.
+
+A :class:`Job` is one unit of heavy asynchronous work — an embedding, a
+dashboard render, a bulk export — owned by exactly one tenant.  Its
+lifecycle is::
+
+    queued ──> running ──> succeeded
+       │          │    └──> failed  ──(resume)──> queued
+       └──────────┴──────> cancelled
+
+Cancellation rides the deadline rails: a :class:`CancelToken` is a
+:class:`~repro.core.deadline.Deadline` whose budget "expires" the moment
+the job's cancel event is set, so every existing deadline checkpoint —
+``map_blocks`` block boundaries, single-flight waits, t-SNE checkpoint
+callbacks — doubles as a cancellation point with no new plumbing.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.deadline import Deadline, DeadlineExceeded
+from repro.tenancy import QuotaExceeded
+
+# Lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+SUCCEEDED = "succeeded"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+JOB_STATES = (QUEUED, RUNNING, SUCCEEDED, FAILED, CANCELLED)
+
+#: States a job can still leave.
+ACTIVE_STATES = (QUEUED, RUNNING)
+
+#: States a job never leaves (except ``failed``, which ``resume`` may
+#: re-queue from its last checkpoint).
+TERMINAL_STATES = (SUCCEEDED, FAILED, CANCELLED)
+
+
+class JobCancelled(DeadlineExceeded):
+    """The job's cancel event fired at a cancellation point.
+
+    Subclasses :class:`~repro.core.deadline.DeadlineExceeded` so the
+    kernel layers' deadline checkpoints propagate it without knowing
+    about jobs.
+    """
+
+
+class JobQueueFull(Exception):
+    """The bounded job queue refused a submission (API layer: 503)."""
+
+    def __init__(self, depth: int, limit: int) -> None:
+        super().__init__(
+            f"job queue is full ({depth}/{limit} jobs queued or running)"
+        )
+        self.depth = depth
+        self.limit = limit
+
+
+class JobQuotaExceeded(QuotaExceeded):
+    """A tenant crossed its active-job quota (API layer: 429)."""
+
+    def __init__(self, tenant: str, limit: int) -> None:
+        # Bypass QuotaExceeded.__init__ to carry a job-specific message
+        # while staying catchable as the generic quota error.
+        Exception.__init__(
+            self,
+            f"tenant {tenant!r} already has {limit} active job(s), "
+            f"its active-job quota",
+        )
+        self.tenant = tenant
+        self.limit = limit
+
+
+class CancelToken(Deadline):
+    """A deadline that expires when (and only when) a job is cancelled.
+
+    ``remaining()`` is ``+inf`` while the job is live — single-flight
+    waits keep their own timeouts — and goes negative the instant the
+    cancel event is set, so the next deadline checkpoint anywhere under
+    the job raises :class:`JobCancelled`.
+    """
+
+    __slots__ = ("event",)
+
+    def __init__(
+        self,
+        event: threading.Event,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.event = event
+        self.clock = clock
+        self.expires_at = math.inf
+
+    def remaining(self) -> float:
+        return -1.0 if self.event.is_set() else math.inf
+
+    @property
+    def expired(self) -> bool:
+        return self.event.is_set()
+
+    def check(self, what: str = "operation") -> None:
+        if self.event.is_set():
+            raise JobCancelled(f"job cancelled before {what}")
+
+
+@dataclass(slots=True)
+class ArtifactRef:
+    """Pointer to a stored job result: content digest + type + size."""
+
+    digest: str
+    size: int
+    content_type: str
+
+    def to_record(self) -> dict:
+        return {
+            "digest": self.digest,
+            "size": self.size,
+            "content_type": self.content_type,
+        }
+
+
+@dataclass(slots=True)
+class Job:
+    """One asynchronous unit of work and its observable state.
+
+    Mutable fields are guarded by the owning
+    :class:`~repro.jobs.service.JobService`'s lock; handlers report
+    progress only through the service so monotonicity is enforced in one
+    place.
+    """
+
+    job_id: str
+    tenant: str
+    kind: str
+    params: dict
+    priority: int = 0
+    state: str = QUEUED
+    progress: float = 0.0
+    message: str = ""
+    error: str | None = None
+    created_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    attempts: int = 0
+    checkpoint_iteration: int | None = None
+    artifact: ArtifactRef | None = None
+    trace: dict = field(default_factory=dict)
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+
+    def eta_seconds(self, now: float) -> float | None:
+        """Remaining-time estimate from progress so far (None when the
+        job is not running or has made no measurable progress)."""
+        if self.state != RUNNING or self.started_at is None:
+            return None
+        if not 0.0 < self.progress < 1.0:
+            return None
+        elapsed = max(now - self.started_at, 0.0)
+        if elapsed <= 0.0:
+            return None
+        return elapsed * (1.0 - self.progress) / self.progress
+
+    def to_record(self, now: float) -> dict:
+        """JSON-ready status document (the ``GET /api/jobs/<id>`` body)."""
+        eta = self.eta_seconds(now)
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "kind": self.kind,
+            "params": self.params,
+            "priority": self.priority,
+            "state": self.state,
+            "progress": round(self.progress, 6),
+            "message": self.message,
+            "error": self.error,
+            "eta_seconds": None if eta is None else round(eta, 3),
+            "attempts": self.attempts,
+            "checkpoint_iteration": self.checkpoint_iteration,
+            "artifact": None if self.artifact is None else self.artifact.to_record(),
+            "trace": self.trace,
+        }

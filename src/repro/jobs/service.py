@@ -1,0 +1,507 @@
+"""The in-process job service: bounded priority queue + worker pool.
+
+Heavy operations are *submitted* (returning immediately with a job id),
+executed by daemon worker threads against the owning tenant's isolated
+session, and their results stored as content-addressable artifacts —
+the submit → poll → artifact shape of every production export API.
+
+Integration with the existing rails, rather than new machinery:
+
+- **Tracing** — the submitting request's :class:`TraceContext` is
+  captured at submit time and re-bound on the worker, so one stitched
+  trace covers submit + execution (the worker's ``jobs.run`` span
+  parents under the submitting request's span).
+- **Cancellation** — a :class:`~repro.jobs.model.CancelToken` (a
+  :class:`~repro.core.deadline.Deadline` tied to the job's cancel
+  event) is bound as the worker's deadline, so every deadline
+  checkpoint in the kernels (``map_blocks`` block boundaries,
+  single-flight waits, checkpoint callbacks) doubles as a cancellation
+  point.
+- **Quotas** — per-tenant active-job ceilings via
+  :class:`~repro.tenancy.TenantQuota.max_active_jobs` (429 past them).
+- **Backpressure** — the queue is bounded; a full queue sheds with
+  :class:`~repro.jobs.model.JobQueueFull` (503 + Retry-After) and feeds
+  the ``jobs_rejected_total`` counters.
+- **Resilience** — artifact writes retry under the storage policy, and
+  a failed job resumes from its last t-SNE checkpoint via
+  :meth:`JobService.resume`, bit-identically.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import heapq
+import threading
+import time
+import uuid
+from dataclasses import replace
+from pathlib import Path
+from typing import Callable
+
+from repro import obs
+from repro.db.storage import tenant_directory
+from repro.tenancy import TenantRegistry
+
+from repro.jobs.artifacts import ArtifactStore
+from repro.jobs.handlers import (
+    DEFAULT_CHECKPOINT_EVERY,
+    HANDLERS,
+    JOB_KINDS,
+    JobContext,
+)
+from repro.jobs.model import (
+    ACTIVE_STATES,
+    CANCELLED,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    SUCCEEDED,
+    TERMINAL_STATES,
+    CancelToken,
+    Job,
+    JobCancelled,
+    JobQueueFull,
+    JobQuotaExceeded,
+)
+
+DEFAULT_WORKERS = 2
+DEFAULT_MAX_QUEUE = 64
+
+_CHECKPOINTS_DIR = "checkpoints"
+
+
+class JobService:
+    """Priority job queue + worker pool over a tenant registry.
+
+    Parameters
+    ----------
+    tenants:
+        The registry whose sessions jobs run against (and whose quotas
+        gate submission).
+    artifacts:
+        Content-addressable result store (also hosts per-job checkpoint
+        files under each tenant's namespace).
+    workers:
+        Worker thread count; threads start lazily on first submit and
+        are daemons (they never block interpreter exit).
+    max_queue:
+        Ceiling on queued-or-running jobs across all tenants; past it,
+        submission sheds with :class:`JobQueueFull`.
+    checkpoint_every:
+        Default t-SNE checkpoint cadence for embedding jobs.
+    """
+
+    def __init__(
+        self,
+        tenants: TenantRegistry,
+        artifacts: ArtifactStore,
+        workers: int = DEFAULT_WORKERS,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        metrics: obs.MetricsRegistry | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        id_factory: Callable[[], str] | None = None,
+        layout=None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self.tenants = tenants
+        self.artifacts = artifacts
+        self.n_workers = workers
+        self.max_queue = max_queue
+        self.checkpoint_every = checkpoint_every
+        self.clock = clock
+        self.layout = layout
+        self._metrics = metrics
+        self._id_factory = id_factory or (lambda: uuid.uuid4().hex[:12])
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._jobs: dict[str, Job] = {}
+        # Live trace contexts keyed by job id (kept out of the Job
+        # dataclass so Job stays a plain serializable record).
+        self._trace_contexts: dict[str, obs.TraceContext] = {}
+        # Min-heap of (-priority, sequence, job_id): highest priority
+        # first, FIFO within a priority level.
+        self._queue: list[tuple[int, int, str]] = []
+        self._seq = 0
+        self._threads: list[threading.Thread] = []
+        self._shutdown = False
+
+    @property
+    def metrics(self) -> obs.MetricsRegistry:
+        return self._metrics if self._metrics is not None else obs.get_registry()
+
+    # ------------------------------------------------------------------
+    # submission / lifecycle
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        tenant: str,
+        kind: str,
+        params: dict | None = None,
+        priority: int = 0,
+    ) -> Job:
+        """Queue a job; returns it immediately (state ``queued``).
+
+        Raises
+        ------
+        KeyError
+            Unknown tenant.
+        ValueError
+            Unknown job kind.
+        JobQuotaExceeded
+            The tenant is at its ``max_active_jobs`` ceiling (429).
+        JobQueueFull
+            The global queue bound is hit (503 + Retry-After).
+        """
+        if kind not in HANDLERS:
+            raise ValueError(
+                f"unknown job kind {kind!r}; pick one of {JOB_KINDS}"
+            )
+        self.tenants.session(tenant)  # KeyError for unknown tenants
+        quota = self.tenants.quota(tenant)
+        job = Job(
+            job_id=self._id_factory(),
+            tenant=tenant,
+            kind=kind,
+            params=dict(params or {}),
+            priority=int(priority),
+            created_at=self.clock(),
+            trace=obs.TraceContext.capture().to_record(),
+        )
+        # The full context object (with the live span linkage) rides
+        # outside the JSON-ready record.
+        job_ctx = obs.TraceContext.capture()
+        with self._lock:
+            active = sum(
+                1
+                for j in self._jobs.values()
+                if j.tenant == tenant and j.state in ACTIVE_STATES
+            )
+            limit = quota.max_active_jobs
+            if limit is not None and active >= limit:
+                self.metrics.counter(
+                    "jobs_rejected_total", reason="quota"
+                ).inc()
+                raise JobQuotaExceeded(tenant, limit)
+            depth = sum(
+                1 for j in self._jobs.values() if j.state in ACTIVE_STATES
+            )
+            if depth >= self.max_queue:
+                self.metrics.counter(
+                    "jobs_rejected_total", reason="queue_full"
+                ).inc()
+                raise JobQueueFull(depth, self.max_queue)
+            self._jobs[job.job_id] = job
+            self._trace_contexts[job.job_id] = job_ctx
+            self._push_locked(job)
+            self._ensure_workers_locked()
+            self._wake.notify()
+        self.metrics.counter(
+            "jobs_submitted_total", kind=kind, tenant=tenant
+        ).inc()
+        self._export_depth()
+        obs.log_event(
+            "jobs.submitted",
+            job_id=job.job_id,
+            kind=kind,
+            tenant=tenant,
+            priority=job.priority,
+        )
+        return job
+
+    def _push_locked(self, job: Job) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (-job.priority, self._seq, job.job_id))
+
+    def _ensure_workers_locked(self) -> None:
+        if self._shutdown:
+            raise RuntimeError("job service is shut down")
+        while len(self._threads) < self.n_workers:
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-jobs-{len(self._threads)}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def get(self, tenant: str, job_id: str) -> Job:
+        """The tenant's job by id.
+
+        Visibility is tenant-scoped: another tenant's job id raises the
+        same ``KeyError`` as a nonexistent one (no existence oracle).
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.tenant != tenant:
+                raise KeyError(f"unknown job {job_id!r}")
+            return job
+
+    def list_jobs(self, tenant: str) -> list[Job]:
+        """The tenant's jobs, newest first."""
+        with self._lock:
+            jobs = [j for j in self._jobs.values() if j.tenant == tenant]
+        return sorted(jobs, key=lambda j: j.created_at, reverse=True)
+
+    def cancel(self, tenant: str, job_id: str) -> Job:
+        """Cancel a queued or running job.
+
+        A queued job is finalised immediately; a running one has its
+        cancel event set and stops at its next cancellation point (a
+        block boundary, wait, or checkpoint).  Cancelling a finished job
+        is a no-op returning its final state.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.tenant != tenant:
+                raise KeyError(f"unknown job {job_id!r}")
+            job.cancel_event.set()
+            if job.state == QUEUED:
+                self._finish_locked(job, CANCELLED, message="cancelled while queued")
+        self._export_depth()
+        obs.log_event("jobs.cancelled", job_id=job_id, tenant=tenant)
+        return job
+
+    def resume(self, tenant: str, job_id: str) -> Job:
+        """Re-queue a failed job; it restarts from its last checkpoint.
+
+        Only ``failed`` jobs are resumable (succeeded/cancelled are
+        final; queued/running are already in flight).
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.tenant != tenant:
+                raise KeyError(f"unknown job {job_id!r}")
+            if job.state != FAILED:
+                raise ValueError(
+                    f"job {job_id} is {job.state}; only failed jobs resume"
+                )
+            job.state = QUEUED
+            job.error = None
+            job.finished_at = None
+            job.cancel_event = threading.Event()
+            self._push_locked(job)
+            self._ensure_workers_locked()
+            self._wake.notify()
+        self.metrics.counter("jobs_resumed_total", kind=job.kind).inc()
+        self._export_depth()
+        obs.log_event("jobs.resumed", job_id=job_id, tenant=tenant)
+        return job
+
+    def wait(
+        self, tenant: str, job_id: str, timeout: float | None = None
+    ) -> Job:
+        """Block until the job reaches a terminal state (or timeout)."""
+        deadline = None if timeout is None else self.clock() + timeout
+        with self._lock:
+            while True:
+                job = self._jobs.get(job_id)
+                if job is None or job.tenant != tenant:
+                    raise KeyError(f"unknown job {job_id!r}")
+                if job.state in TERMINAL_STATES:
+                    return job
+                remaining = (
+                    None if deadline is None else deadline - self.clock()
+                )
+                if remaining is not None and remaining <= 0:
+                    return job
+                self._wake.wait(
+                    0.05 if remaining is None else min(0.05, remaining)
+                )
+
+    def shutdown(self) -> None:
+        """Stop accepting work and wake the workers to exit.
+
+        Running jobs get their cancel events set; workers drain and
+        exit.  Meant for tests and orderly process teardown — the
+        threads are daemons either way.
+        """
+        with self._lock:
+            self._shutdown = True
+            for job in self._jobs.values():
+                if job.state in ACTIVE_STATES:
+                    job.cancel_event.set()
+            self._wake.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # progress / bookkeeping
+    # ------------------------------------------------------------------
+    def _report(self, job: Job, progress: float, message: str) -> None:
+        """Record handler progress, clamped into [0, 1] and monotonic —
+        polling clients must never see progress move backwards."""
+        with self._lock:
+            job.progress = min(1.0, max(job.progress, float(progress)))
+            job.message = message
+            self._wake.notify_all()
+
+    def _set_checkpoint(self, job: Job, iteration: int) -> None:
+        with self._lock:
+            job.checkpoint_iteration = iteration
+        self.metrics.counter("jobs_checkpoints_total", kind=job.kind).inc()
+
+    def _finish_locked(
+        self, job: Job, state: str, message: str = "", error: str | None = None
+    ) -> None:
+        job.state = state
+        job.finished_at = self.clock()
+        if message:
+            job.message = message
+        job.error = error
+        if state == SUCCEEDED:
+            job.progress = 1.0
+        self._wake.notify_all()
+
+    def _export_depth(self) -> None:
+        with self._lock:
+            depth = sum(
+                1 for j in self._jobs.values() if j.state == QUEUED
+            )
+            running = sum(
+                1 for j in self._jobs.values() if j.state == RUNNING
+            )
+        self.metrics.gauge("jobs_queue_depth").set(depth)
+        self.metrics.gauge("jobs_running").set(running)
+
+    def checkpoint_path(self, job: Job) -> Path:
+        """The job's durable checkpoint file under its tenant's
+        storage namespace."""
+        return (
+            tenant_directory(self.artifacts.root, job.tenant)
+            / _CHECKPOINTS_DIR
+            / f"{job.job_id}.npz"
+        )
+
+    # ------------------------------------------------------------------
+    # worker loop
+    # ------------------------------------------------------------------
+    def _next_job(self) -> Job | None:
+        """Block until a runnable job or shutdown; claims the job."""
+        with self._lock:
+            while True:
+                while self._queue:
+                    _, _, job_id = heapq.heappop(self._queue)
+                    job = self._jobs.get(job_id)
+                    if job is None or job.state != QUEUED:
+                        continue  # cancelled or resumed-stale entry
+                    job.state = RUNNING
+                    job.started_at = self.clock()
+                    job.attempts += 1
+                    return job
+                if self._shutdown:
+                    return None
+                self._wake.wait(0.1)
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._next_job()
+            if job is None:
+                return
+            self._export_depth()
+            self._run_one(job)
+            self._export_depth()
+
+    def _run_one(self, job: Job) -> None:
+        token = CancelToken(job.cancel_event)
+        ctx = JobContext(
+            token=token,
+            report=lambda p, m: self._report(job, p, m),
+            checkpoint_path=self.checkpoint_path(job),
+            checkpoint_every=self.checkpoint_every,
+            layout=self.layout,
+            on_checkpoint=lambda i: self._set_checkpoint(job, i),
+        )
+        trace_ctx = self._trace_contexts.get(job.job_id, obs.TraceContext())
+        # Re-bind the submitting request's trace/tenant/request-id on
+        # this worker, with the cancel token as the ambient deadline so
+        # every kernel deadline checkpoint is a cancellation point.
+        bound = replace(trace_ctx, deadline=token)
+        started = self.clock()
+        try:
+            with bound.bind(), obs.span(
+                "jobs.run",
+                kind=job.kind,
+                job_id=job.job_id,
+                tenant=job.tenant,
+                attempt=job.attempts,
+            ):
+                token.check("job start")
+                session = self.tenants.session(job.tenant)
+                handler = HANDLERS[job.kind]
+                data, content_type = handler(job, session, ctx)
+                token.check("artifact write")
+                ref = self.artifacts.put(job.tenant, data, content_type)
+        except JobCancelled as exc:
+            with self._lock:
+                self._finish_locked(job, CANCELLED, message=str(exc))
+            self.metrics.counter(
+                "jobs_completed_total", kind=job.kind, result="cancelled"
+            ).inc()
+            obs.log_event(
+                "jobs.finished", level="warning", job_id=job.job_id,
+                state=CANCELLED, reason=str(exc),
+            )
+        except BaseException as exc:  # noqa: BLE001 - a job must never kill its worker
+            with self._lock:
+                self._finish_locked(
+                    job, FAILED,
+                    message=f"failed after {job.attempts} attempt(s)",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            self.metrics.counter(
+                "jobs_completed_total", kind=job.kind, result="failed"
+            ).inc()
+            obs.log_event(
+                "jobs.finished", level="error", job_id=job.job_id,
+                state=FAILED, error=str(exc),
+            )
+        else:
+            # The descent finished: its checkpoint has served its
+            # purpose and must not linger on disk.
+            with contextlib.suppress(OSError):
+                ctx.checkpoint_path.unlink(missing_ok=True)
+            with self._lock:
+                job.artifact = ref
+                self._finish_locked(job, SUCCEEDED, message="done")
+            self.metrics.counter(
+                "jobs_completed_total", kind=job.kind, result="succeeded"
+            ).inc()
+            self.metrics.histogram(
+                "jobs_runtime_seconds", kind=job.kind
+            ).observe(self.clock() - started)
+            obs.log_event(
+                "jobs.finished", job_id=job.job_id, state=SUCCEEDED,
+                digest=ref.digest, size=ref.size,
+            )
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def to_record(self) -> dict:
+        """The ``jobs`` block of ``/api/telemetry`` (stable shape)."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+            queued = sum(1 for j in jobs if j.state == QUEUED)
+            running = sum(1 for j in jobs if j.state == RUNNING)
+        states = {state: 0 for state in (SUCCEEDED, FAILED, CANCELLED)}
+        by_kind: dict[str, int] = {kind: 0 for kind in JOB_KINDS}
+        for job in jobs:
+            if job.state in states:
+                states[job.state] += 1
+            by_kind[job.kind] = by_kind.get(job.kind, 0) + 1
+        return {
+            "workers": self.n_workers,
+            "queue_depth": queued,
+            "running": running,
+            "max_queue": self.max_queue,
+            "checkpoint_every": self.checkpoint_every,
+            "total_jobs": len(jobs),
+            "succeeded": states[SUCCEEDED],
+            "failed": states[FAILED],
+            "cancelled": states[CANCELLED],
+            "by_kind": by_kind,
+        }

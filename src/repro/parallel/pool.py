@@ -39,6 +39,7 @@ from typing import Callable, Mapping, Sequence
 import numpy as np
 
 from repro import obs
+from repro.core.deadline import current_deadline
 from repro.obs.spans import SpanRecord, new_span_id
 
 # Default row granularity for blockwise kernels: small enough that 4
@@ -241,9 +242,12 @@ def map_blocks(
         "parallel.map", pool=name, mode=mode,
         workers=1 if mode == "serial" else n_workers, tasks=len(items),
     ) as rec:
+        deadline = current_deadline()
         if mode == "serial":
             results = []
             for index, item in enumerate(items):
+                if deadline is not None:
+                    deadline.check(f"parallel.map[{name}] block {index}")
                 with obs.span("parallel.task", index=index):
                     results.append(fn(item, arrays, **kwargs))
             return results
@@ -259,11 +263,20 @@ def map_blocks(
                 initializer=_init_worker,
                 initargs=(shared,),
             ) as pool:
-                raw = pool.map(_run_task, payloads, chunksize=1)
+                # imap preserves submission order and yields results as
+                # they complete, giving a block-boundary deadline check;
+                # raising out of the ``with`` terminates the workers.
+                raw = []
+                for entry in pool.imap(_run_task, payloads, chunksize=1):
+                    raw.append(entry)
+                    if deadline is not None:
+                        deadline.check(
+                            f"parallel.map[{name}] block {entry[0]}"
+                        )
         finally:
             for handle in shared.values():
                 handle.release()
-        # pool.map already preserves submission order; the index ride-along
+        # imap already preserves submission order; the index ride-along
         # makes the in-order assembly explicit (and asserts it).
         raw.sort(key=lambda entry: entry[0])
         _graft_task_spans(rec, [(i, dt) for i, _, dt in raw])

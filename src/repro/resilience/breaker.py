@@ -51,11 +51,17 @@ DEFAULT_FAILURE_TYPES: tuple[type[BaseException], ...] = (
 
 
 class BreakerOpen(Exception):
-    """The circuit is open; the guarded operation was not attempted."""
+    """The circuit is open; the guarded operation was not attempted.
 
-    def __init__(self, name: str) -> None:
+    ``retry_after`` is the breaker's remaining open window in seconds
+    when known (None for breakers that cannot say), so the serving layer
+    can derive an honest ``Retry-After`` instead of a constant.
+    """
+
+    def __init__(self, name: str, retry_after: float | None = None) -> None:
         super().__init__(f"circuit breaker {name!r} is open")
         self.name = name
+        self.retry_after = retry_after
 
 
 class CircuitBreaker:
@@ -176,6 +182,19 @@ class CircuitBreaker:
                 self._transition(HALF_OPEN)
             return self._state
 
+    def remaining_open_seconds(self) -> float:
+        """Seconds until an open breaker starts admitting probes.
+
+        0.0 when the breaker is not open (closed, or already half-open —
+        a probe could be admitted immediately).
+        """
+        with self._lock:
+            if self.state != OPEN:
+                return 0.0
+            return max(
+                0.0, self.open_seconds - (self.clock() - self._opened_at)
+            )
+
     @property
     def failure_rate(self) -> float:
         """Windowed failure rate (0.0 when the window is empty)."""
@@ -240,7 +259,7 @@ class CircuitBreaker:
             is in ``failure_types``).
         """
         if not self.allow():
-            raise BreakerOpen(self.name)
+            raise BreakerOpen(self.name, retry_after=self.remaining_open_seconds())
         try:
             value = fn()
         except BaseException as exc:

@@ -92,6 +92,15 @@ def main(argv: list[str] | None = None) -> None:
         help="finished traces retained for GET /api/traces (default 256; "
              "0 disables tracing)",
     )
+    parser.add_argument(
+        "--jobs-root", type=str, default=None, metavar="DIR",
+        help="directory for async-job artifacts and checkpoints "
+             "(default: a throwaway temp directory)",
+    )
+    parser.add_argument(
+        "--job-workers", type=int, default=2, metavar="N",
+        help="worker threads for the async job service (default 2)",
+    )
     args = parser.parse_args(argv)
 
     injector = None
@@ -144,6 +153,8 @@ def main(argv: list[str] | None = None) -> None:
         deadline_seconds=args.deadline_seconds,
         tenants=tenants,
         profiler=profiler,
+        jobs_root=args.jobs_root,
+        job_workers=args.job_workers,
     )
     with make_server("127.0.0.1", args.port, app, threads=args.threads) as server:
         base = f"http://127.0.0.1:{args.port}"
@@ -159,6 +170,10 @@ def main(argv: list[str] | None = None) -> None:
         print(
             f"  profile:   {base}/api/profile  (?seconds=N&format=svg)"
             + (f"  [continuous @ {args.profile_hz:g} hz]" if profiler else "")
+        )
+        print(
+            f"  jobs:      {base}/api/jobs  "
+            f"({args.job_workers} job workers; POST to submit)"
         )
         if args.shards is not None and args.shards > 1:
             print(f"  sharding:  {args.shards} hash shards (scatter-gather)")

@@ -48,6 +48,18 @@ Endpoints mirror what the paper's three views request from the logic layer:
                                       (profile/seasonal/naive)
 ``GET  /api/proposals``               auto-discovered selection proposals
                                       (DBSCAN over view C), labelled
+``POST /api/jobs``                    submit heavy work asynchronously;
+                                      body ``{"kind": embed|render|export,
+                                      "params": {...}, "priority": n}``;
+                                      answers 202 + job id immediately
+``GET  /api/jobs``                    the tenant's jobs, newest first
+``GET  /api/jobs/<id>``               job status: state, progress, ETA,
+                                      attempts, checkpoint, artifact ref
+``DELETE /api/jobs/<id>``             cancel a queued or running job
+``POST /api/jobs/<id>/resume``        re-queue a failed job; embedding
+                                      jobs resume their last checkpoint
+``GET  /api/jobs/<id>/artifact``      the finished job's result bytes
+                                      (``ETag`` is the content digest)
 ``GET  /api/metrics``                 observability snapshot: request
                                       counters/latency histograms per
                                       route, pipeline cache hit/miss,
@@ -104,6 +116,12 @@ from repro.core.shift.flow import major_flows
 from repro.data.generator.city import CityLayout
 from repro.data.timeseries import HourWindow
 from repro.db.spatial import BBox
+from repro.jobs import (
+    ArtifactError,
+    ArtifactStore,
+    JobQueueFull,
+    JobService,
+)
 from repro.server import json_codec
 from repro.resilience.breaker import BreakerOpen
 from repro.resilience.faults import active_injector
@@ -114,6 +132,7 @@ from repro.tenancy import QuotaExceeded, TenantRegistry
 
 _STATUS = {
     200: "200 OK",
+    202: "202 Accepted",
     400: "400 Bad Request",
     404: "404 Not Found",
     405: "405 Method Not Allowed",
@@ -254,6 +273,9 @@ class VapApp:
         tenants: TenantRegistry | None = None,
         slo_engine: obs.SloEngine | None = None,
         profiler: obs.StackProfiler | None = None,
+        jobs: JobService | None = None,
+        jobs_root: str | None = None,
+        job_workers: int = 2,
     ) -> None:
         if session is None and tenants is None:
             raise ValueError("VapApp needs a session or a tenant registry")
@@ -286,6 +308,22 @@ class VapApp:
             slo_engine if slo_engine is not None else obs.SloEngine()
         )
         self.profiler = profiler
+        # The async job service shares the app's tenant registry (same
+        # quotas, same sessions).  When none is injected, one is built
+        # over a throwaway artifact root — worker threads start lazily
+        # on first submit, so an app that never sees a job pays nothing.
+        if jobs is None:
+            import tempfile
+
+            root = jobs_root or tempfile.mkdtemp(prefix="repro-jobs-")
+            jobs = JobService(
+                self.tenants,
+                ArtifactStore(root),
+                workers=job_workers,
+                metrics=registry,
+                layout=layout,
+            )
+        self.jobs = jobs
         self.router = Router()
         self._register()
         self._backpressure = BackpressureMiddleware(
@@ -403,9 +441,22 @@ class VapApp:
             )
         except BreakerOpen as exc:
             # The kernel's circuit is open and the session had no cached
-            # result to degrade to: shed with an honest Retry-After
-            # instead of queueing calls onto a known-bad path.
-            payload = {"error": str(exc), "breaker": exc.name}
+            # result to degrade to: shed with an honest Retry-After —
+            # the breaker's remaining open window when it can say, the
+            # backpressure constant otherwise.
+            retry_after = self._breaker_retry_after(exc)
+            payload = {
+                "error": str(exc),
+                "breaker": exc.name,
+                "retry_after_seconds": retry_after,
+            }
+            status = 503
+            extra_headers.append(("Retry-After", str(retry_after)))
+        except JobQueueFull as exc:
+            # The job queue is a shedding bound like request inflight:
+            # tell the client to resubmit later rather than queueing
+            # unboundedly.
+            payload = {"error": str(exc), "depth": exc.depth, "limit": exc.limit}
             status = 503
             extra_headers.append(
                 ("Retry-After", str(self._backpressure.retry_after))
@@ -444,6 +495,18 @@ class VapApp:
         )
         return [body]
 
+    def _breaker_retry_after(self, exc: BreakerOpen) -> int:
+        """``Retry-After`` seconds for a breaker-open 503.
+
+        Derived from the breaker's remaining open window (rounded up, at
+        least 1s so clients always back off); the backpressure constant
+        when the breaker could not say (e.g. a half-open trial-budget
+        refusal, where a probe slot frees up almost immediately).
+        """
+        if exc.retry_after is not None and exc.retry_after > 0:
+            return max(1, math.ceil(exc.retry_after))
+        return self._backpressure.retry_after
+
     # ------------------------------------------------------------------
     # handlers
     # ------------------------------------------------------------------
@@ -471,6 +534,12 @@ class VapApp:
             "GET", "/api/customers/<int:customer_id>/forecast", self.forecast
         )
         r.add("GET", "/api/proposals", self.proposals)
+        r.add("POST", "/api/jobs", self.jobs_submit)
+        r.add("GET", "/api/jobs", self.jobs_list)
+        r.add("GET", "/api/jobs/<job_id>", self.job_status)
+        r.add("DELETE", "/api/jobs/<job_id>", self.job_cancel)
+        r.add("POST", "/api/jobs/<job_id>/resume", self.job_resume)
+        r.add("GET", "/api/jobs/<job_id>/artifact", self.job_artifact)
         r.add("GET", "/api/metrics", self.metrics_snapshot)
         r.add("GET", "/api/telemetry", self.telemetry)
         r.add("GET", "/api/traces", self.traces)
@@ -708,6 +777,7 @@ class VapApp:
             "parallel": self._parallel_payload(snapshot),
             "sharding": self._sharding_payload(snapshot),
             "rollup": self._rollup_payload(),
+            "jobs": self.jobs.to_record(),
             "slo": {"slos": self.slo_engine.evaluate()},
             "slow_ops": self.slow_log.records()[: max(top, 0)],
         }
@@ -966,10 +1036,19 @@ class VapApp:
         }
         if degraded:
             # Breaker-open fallback: the last-good embedding, which may
-            # not match the requested parameters — flagged so clients
-            # can render it dimmed and retry later.
-            payload["degraded"] = True
+            # not match the requested parameters — flagged (with the
+            # served vs requested cache keys) so clients can render it
+            # dimmed and retry later.
+            self._mark_degraded(payload, degraded)
         return payload
+
+    @staticmethod
+    def _mark_degraded(payload: dict, degraded: dict | bool) -> None:
+        """Flag a breaker-open fallback response, recording which cache
+        key the served value was actually computed under."""
+        payload["degraded"] = True
+        if isinstance(degraded, dict):
+            payload["degraded_served"] = degraded
 
     def selection(self, request: Request) -> dict:
         body = request.body
@@ -1053,7 +1132,7 @@ class VapApp:
             "max_cell": list(grid.max_cell()),
         }
         if degraded:
-            payload["degraded"] = True
+            self._mark_degraded(payload, degraded)
         return payload
 
     def shift(self, request: Request) -> dict:
@@ -1080,7 +1159,7 @@ class VapApp:
             ],
         }
         if degraded:
-            payload["degraded"] = True
+            self._mark_degraded(payload, degraded)
         return payload
 
     @staticmethod
@@ -1178,6 +1257,98 @@ class VapApp:
                 }
             )
         return {"proposals": out, "count": len(out)}
+
+    # ------------------------------------------------------------------
+    # async jobs: submit → poll → artifact
+    # ------------------------------------------------------------------
+    def jobs_submit(self, request: Request) -> RawResponse:
+        """Submit heavy work; answers ``202 Accepted`` immediately.
+
+        Body: ``{"kind": "embed"|"render"|"export", "params": {...},
+        "priority": n}``.  The response carries the job record plus a
+        ``Location`` header to poll; quota and queue bounds answer 429 /
+        503 like the synchronous endpoints."""
+        body = request.body if request.body is not None else {}
+        if not isinstance(body, dict):
+            raise ApiError(400, "job submission body must be a JSON object")
+        kind = body.get("kind")
+        if not isinstance(kind, str):
+            raise ApiError(400, 'body must carry "kind" (embed/render/export)')
+        params = body.get("params", {})
+        if not isinstance(params, dict):
+            raise ApiError(400, '"params" must be a JSON object')
+        try:
+            priority = int(body.get("priority", 0))
+        except (TypeError, ValueError):
+            raise ApiError(400, '"priority" must be an integer') from None
+        job = self.jobs.submit(request.tenant, kind, params, priority=priority)
+        record = job.to_record(self.jobs.clock())
+        record["poll"] = f"/api/jobs/{job.job_id}"
+        return RawResponse(
+            json_codec.dumps(record).encode("utf-8"),
+            content_type="application/json",
+            status=202,
+            headers=[("Location", f"/api/jobs/{job.job_id}")],
+        )
+
+    def jobs_list(self, request: Request) -> dict:
+        """The tenant's jobs, newest first."""
+        now = self.jobs.clock()
+        records = [
+            job.to_record(now) for job in self.jobs.list_jobs(request.tenant)
+        ]
+        return {"jobs": records, "count": len(records)}
+
+    def _job(self, request: Request, job_id: str):
+        try:
+            return self.jobs.get(request.tenant, job_id)
+        except KeyError:
+            raise ApiError(404, f"unknown job {job_id!r}") from None
+
+    def job_status(self, request: Request, job_id: str) -> dict:
+        """Poll one job: state, monotonic progress, ETA, artifact ref."""
+        return self._job(request, job_id).to_record(self.jobs.clock())
+
+    def job_cancel(self, request: Request, job_id: str) -> dict:
+        """Cancel a job.  Queued jobs finalise immediately; running ones
+        stop at their next cancellation point.  Idempotent."""
+        self._job(request, job_id)  # tenant-scoped 404 before acting
+        return self.jobs.cancel(request.tenant, job_id).to_record(
+            self.jobs.clock()
+        )
+
+    def job_resume(self, request: Request, job_id: str) -> dict:
+        """Re-queue a failed job; embedding jobs pick up from their last
+        descent checkpoint (bit-identically)."""
+        self._job(request, job_id)
+        return self.jobs.resume(request.tenant, job_id).to_record(
+            self.jobs.clock()
+        )
+
+    def job_artifact(self, request: Request, job_id: str) -> RawResponse:
+        """The finished job's result bytes; 404 until it succeeds.
+
+        ``ETag`` carries the content digest (strong validator — the
+        store is content-addressed) and ``X-Job-Id`` ties the bytes back
+        to the producing job."""
+        job = self._job(request, job_id)
+        if job.artifact is None:
+            raise ApiError(
+                404,
+                f"job {job_id!r} has no artifact (state: {job.state})",
+            )
+        try:
+            data = self.jobs.artifacts.get(request.tenant, job.artifact.digest)
+        except ArtifactError as exc:
+            raise ApiError(404, str(exc)) from None
+        return RawResponse(
+            data,
+            content_type=job.artifact.content_type,
+            headers=[
+                ("ETag", f'"{job.artifact.digest}"'),
+                ("X-Job-Id", job.job_id),
+            ],
+        )
 
     def forecast(self, request: Request, customer_id: int) -> dict:
         horizon = request.param_int("horizon", 24)

@@ -101,3 +101,7 @@ class TestClient:
         """Issue a POST request with a JSON body."""
         body = json_codec.dumps(json).encode("utf-8") if json is not None else None
         return self._request("POST", url, body, headers=headers)
+
+    def delete(self, url: str, headers: dict[str, str] | None = None) -> Response:
+        """Issue a DELETE request."""
+        return self._request("DELETE", url, headers=headers)

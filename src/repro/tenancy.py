@@ -47,14 +47,24 @@ class QuotaExceeded(Exception):
 
 @dataclass(frozen=True, slots=True)
 class TenantQuota:
-    """Resource ceilings for one tenant; ``None`` means unlimited."""
+    """Resource ceilings for one tenant; ``None`` means unlimited.
+
+    ``max_requests`` caps served synchronous requests;
+    ``max_active_jobs`` caps how many queued-or-running async jobs the
+    tenant may hold at once (the job service answers 429 past it).
+    """
 
     max_requests: int | None = None
+    max_active_jobs: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_requests is not None and self.max_requests < 0:
             raise ValueError(
                 f"max_requests must be >= 0, got {self.max_requests}"
+            )
+        if self.max_active_jobs is not None and self.max_active_jobs < 0:
+            raise ValueError(
+                f"max_active_jobs must be >= 0, got {self.max_active_jobs}"
             )
 
 
@@ -157,6 +167,13 @@ class TenantRegistry:
             if tenant_id not in self._tenants:
                 raise KeyError(f"unknown tenant {tenant_id!r}")
             return self._tenants[tenant_id].session
+
+    def quota(self, tenant_id: str) -> TenantQuota:
+        """The tenant's quota; raises ``KeyError`` for unknown tenants."""
+        with self._lock:
+            if tenant_id not in self._tenants:
+                raise KeyError(f"unknown tenant {tenant_id!r}")
+            return self._tenants[tenant_id].quota
 
     # ------------------------------------------------------------------
     # accounting

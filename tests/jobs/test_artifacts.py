@@ -1,0 +1,104 @@
+"""Content-addressable artifact store: determinism, dedup, fault healing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.jobs import ArtifactStore, deterministic_npz, load_npz
+from repro.jobs.artifacts import ArtifactError
+from repro.obs import MetricsRegistry
+from repro.resilience import faults
+from repro.resilience.retry import RetryExhausted, RetryPolicy
+
+
+@pytest.fixture()
+def arrays():
+    rng = np.random.default_rng(3)
+    return {
+        "coords": rng.normal(size=(20, 2)),
+        "ids": np.arange(20, dtype=np.int64),
+        "objective": np.float64(1.25),
+    }
+
+
+class TestDeterministicNpz:
+    def test_identical_arrays_identical_bytes(self, arrays):
+        """The property content addressing rests on: no timestamps, no
+        ordering nondeterminism — same arrays, same bytes."""
+        assert deterministic_npz(arrays) == deterministic_npz(dict(arrays))
+
+    def test_round_trips_through_numpy(self, arrays):
+        out = load_npz(deterministic_npz(arrays))
+        assert set(out) == set(arrays)
+        for name in arrays:
+            np.testing.assert_array_equal(out[name], arrays[name])
+
+    def test_different_content_different_bytes(self, arrays):
+        other = dict(arrays)
+        other["coords"] = arrays["coords"] + 1e-12
+        assert deterministic_npz(arrays) != deterministic_npz(other)
+
+
+class TestArtifactStore:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        ref = store.put("acme", b"hello artifact", "text/plain")
+        assert ref.size == 14
+        assert store.get("acme", ref.digest) == b"hello artifact"
+        assert store.exists("acme", ref.digest)
+
+    def test_identical_bytes_deduplicate(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        first = store.put("acme", b"same", "text/plain")
+        second = store.put("acme", b"same", "text/plain")
+        assert first.digest == second.digest
+        assert store.path_of("acme", first.digest).read_bytes() == b"same"
+
+    def test_tenants_are_isolated(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        ref = store.put("acme", b"private", "text/plain")
+        with pytest.raises(ArtifactError):
+            store.get("globex", ref.digest)
+
+    def test_missing_artifact_raises(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(ArtifactError, match="no artifact"):
+            store.get("acme", "ab" * 32)
+
+    def test_malformed_digest_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(ArtifactError, match="malformed"):
+            store.path_of("acme", "../../etc/passwd")
+
+    def test_corrupt_bytes_refused_on_read(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        ref = store.put("acme", b"good bytes", "text/plain")
+        store.path_of("acme", ref.digest).write_bytes(b"tampered")
+        with pytest.raises(ArtifactError, match="corrupt"):
+            store.get("acme", ref.digest)
+
+    def test_torn_write_healed_by_retry(self, tmp_path):
+        """An injected truncation on the write path is detected by the
+        digest re-check and healed by the retry layer."""
+        store = ArtifactStore(
+            tmp_path, retry=RetryPolicy(max_attempts=5, base_delay=0.0)
+        )
+        plan = faults.FaultPlan.parse(
+            "jobs.artifact.bytes=truncate:0.5", seed=3
+        )
+        with faults.injected(plan, metrics=MetricsRegistry()) as injector:
+            for index in range(8):
+                data = f"payload {index}".encode()
+                ref = store.put("acme", data, "text/plain")
+                assert store.get("acme", ref.digest) == data
+            assert injector.n_injected > 0
+
+    def test_write_fault_without_retry_surfaces(self, tmp_path):
+        store = ArtifactStore(
+            tmp_path, retry=RetryPolicy(max_attempts=2, base_delay=0.0)
+        )
+        plan = faults.FaultPlan.parse("jobs.artifact.write=error:1.0")
+        with faults.injected(plan, metrics=MetricsRegistry()):
+            with pytest.raises(RetryExhausted):
+                store.put("acme", b"doomed", "text/plain")

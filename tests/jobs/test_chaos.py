@@ -1,0 +1,101 @@
+"""Chaos: a worker killed mid-t-SNE resumes from its checkpoint and
+reproduces the uninterrupted artifact bit for bit.
+
+The ``jobs.worker.crash`` fault site fires inside the checkpoint callback
+*after* the checkpoint is durably on disk, so every attempt makes at
+least one checkpoint interval of progress — resuming until success is
+guaranteed to terminate under any fault rate below 1.  Because artifacts
+are serialized deterministically, "bit-identical" is literal: the crashed
+run's bytes (and hence its content digest) equal the clean run's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.resilience import faults
+
+EMBED_PARAMS = {"method": "tsne", "n_iter": 60, "seed": 9}
+MAX_RESUMES = 25
+
+
+def _run_clean(service, params):
+    job = service.submit("acme", "embed", dict(params))
+    done = service.wait("acme", job.job_id, timeout=120)
+    assert done.state == "succeeded", done.error
+    return service.artifacts.get("acme", done.artifact.digest), done
+
+
+@pytest.mark.parametrize("tsne_method", ["exact", "bh"])
+def test_crash_at_every_checkpoint_resumes_bit_identically(
+    make_service, tsne_method
+):
+    """Deterministic worst case: the worker dies at the first checkpoint
+    of every attempt; each resume still advances one interval, and the
+    final artifact is byte-equal to an uninterrupted run."""
+    service = make_service(checkpoint_every=20)
+    params = dict(EMBED_PARAMS, tsne_method=tsne_method)
+    baseline, _ = _run_clean(service, params)
+
+    plan = faults.FaultPlan.parse("jobs.worker.crash=error:1.0", seed=1)
+    with faults.injected(plan, metrics=MetricsRegistry()):
+        crashed = service.submit("acme", "embed", dict(params))
+        done = service.wait("acme", crashed.job_id, timeout=60)
+        assert done.state == "failed"
+        assert "jobs.worker.crash" in done.error
+        assert done.checkpoint_iteration == 20
+        # Still armed: the resumed attempt crashes at the *next*
+        # checkpoint, proving forward progress under sustained faults.
+        service.resume("acme", crashed.job_id)
+        done = service.wait("acme", crashed.job_id, timeout=60)
+        assert done.state == "failed"
+        assert done.checkpoint_iteration == 40
+
+    service.resume("acme", crashed.job_id)
+    done = service.wait("acme", crashed.job_id, timeout=120)
+    assert done.state == "succeeded", done.error
+    assert done.attempts == 3
+    recovered = service.artifacts.get("acme", done.artifact.digest)
+    assert recovered == baseline
+
+
+def test_seeded_crash_rate_resume_until_success(make_service):
+    """Production shape: a seeded sub-1.0 crash rate; resuming until the
+    job succeeds converges and stays bit-identical."""
+    service = make_service(checkpoint_every=20)
+    baseline, _ = _run_clean(service, EMBED_PARAMS)
+
+    plan = faults.FaultPlan.parse("jobs.worker.crash=error:0.6", seed=13)
+    with faults.injected(plan, metrics=MetricsRegistry()) as injector:
+        job = service.submit("acme", "embed", dict(EMBED_PARAMS))
+        done = service.wait("acme", job.job_id, timeout=120)
+        for _ in range(MAX_RESUMES):
+            if done.state == "succeeded":
+                break
+            assert done.state == "failed", done.state
+            service.resume("acme", job.job_id)
+            done = service.wait("acme", job.job_id, timeout=120)
+        assert done.state == "succeeded", done.error
+        assert injector.n_injected > 0, "the chaos plan never fired"
+
+    recovered = service.artifacts.get("acme", done.artifact.digest)
+    assert recovered == baseline
+
+
+def test_failed_job_survives_cancel_and_still_resumes(make_service):
+    """Cancelling an already-failed job is a no-op (terminal state is
+    kept), and the job remains resumable afterwards — the checkpoint on
+    disk is untouched."""
+    service = make_service(checkpoint_every=20)
+    baseline, _ = _run_clean(service, EMBED_PARAMS)
+    plan = faults.FaultPlan.parse("jobs.worker.crash=error:1.0", seed=2)
+    with faults.injected(plan, metrics=MetricsRegistry()):
+        job = service.submit("acme", "embed", dict(EMBED_PARAMS))
+        done = service.wait("acme", job.job_id, timeout=60)
+        assert done.state == "failed"
+    assert service.cancel("acme", job.job_id).state == "failed"
+    service.resume("acme", job.job_id)
+    done = service.wait("acme", job.job_id, timeout=120)
+    assert done.state == "succeeded", done.error
+    assert service.artifacts.get("acme", done.artifact.digest) == baseline

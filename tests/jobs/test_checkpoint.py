@@ -1,0 +1,98 @@
+"""Durable descent checkpoints: round trip, fingerprint gating, torn files."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.reduction.tsne import DescentCheckpoint
+from repro.jobs import load_checkpoint, save_checkpoint
+
+
+@pytest.fixture()
+def checkpoint():
+    rng = np.random.default_rng(7)
+    return DescentCheckpoint(
+        iteration=40,
+        y=rng.normal(size=(12, 2)),
+        velocity=rng.normal(size=(12, 2)),
+        gains=np.ones((12, 2)),
+        kl_trace=[2.0, 1.5, 1.2],
+    )
+
+
+FP = '{"params": {"seed": 1}}'
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path, checkpoint):
+        path = tmp_path / "job.npz"
+        save_checkpoint(path, checkpoint, FP)
+        loaded = load_checkpoint(path, FP)
+        assert loaded is not None
+        assert loaded.iteration == 40
+        np.testing.assert_array_equal(loaded.y, checkpoint.y)
+        np.testing.assert_array_equal(loaded.velocity, checkpoint.velocity)
+        np.testing.assert_array_equal(loaded.gains, checkpoint.gains)
+        assert loaded.kl_trace == checkpoint.kl_trace
+
+    def test_save_creates_parents_and_replaces(self, tmp_path, checkpoint):
+        path = tmp_path / "nested" / "dir" / "job.npz"
+        save_checkpoint(path, checkpoint, FP)
+        later = DescentCheckpoint(
+            iteration=80,
+            y=checkpoint.y * 2,
+            velocity=checkpoint.velocity,
+            gains=checkpoint.gains,
+            kl_trace=checkpoint.kl_trace + [1.0],
+        )
+        save_checkpoint(path, later, FP)
+        loaded = load_checkpoint(path, FP)
+        assert loaded.iteration == 80
+
+
+class TestGating:
+    """A checkpoint that cannot be trusted is ignored, never half-used."""
+
+    def test_missing_file_is_none(self, tmp_path):
+        assert load_checkpoint(tmp_path / "absent.npz", FP) is None
+
+    def test_fingerprint_mismatch_is_none(self, tmp_path, checkpoint):
+        path = tmp_path / "job.npz"
+        save_checkpoint(path, checkpoint, FP)
+        assert load_checkpoint(path, '{"params": {"seed": 2}}') is None
+
+    def test_torn_file_is_none(self, tmp_path):
+        path = tmp_path / "job.npz"
+        path.write_bytes(b"\x00garbage that is not a zip")
+        assert load_checkpoint(path, FP) is None
+
+    def test_truncated_npz_is_none(self, tmp_path, checkpoint):
+        path = tmp_path / "job.npz"
+        save_checkpoint(path, checkpoint, FP)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        assert load_checkpoint(path, FP) is None
+
+    def test_version_mismatch_is_none(self, tmp_path, checkpoint):
+        path = tmp_path / "job.npz"
+        buf = io.BytesIO()
+        np.savez_compressed(
+            buf,
+            version=np.int64(99),
+            iteration=np.int64(checkpoint.iteration),
+            y=checkpoint.y,
+            velocity=checkpoint.velocity,
+            gains=checkpoint.gains,
+            kl_trace=np.asarray(checkpoint.kl_trace),
+            fingerprint=np.str_(FP),
+        )
+        path.write_bytes(buf.getvalue())
+        assert load_checkpoint(path, FP) is None
+
+    def test_no_staging_residue(self, tmp_path, checkpoint):
+        path = tmp_path / "job.npz"
+        save_checkpoint(path, checkpoint, FP)
+        assert [p.name for p in tmp_path.iterdir()] == ["job.npz"]

@@ -1,0 +1,204 @@
+"""JobService lifecycle: submit → run → artifact, quotas, priorities,
+cancellation, resume semantics."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.jobs import (
+    JobQueueFull,
+    JobQuotaExceeded,
+    load_npz,
+)
+from repro.jobs.handlers import HANDLERS
+
+EMBED_PARAMS = {"method": "tsne", "n_iter": 60, "seed": 5}
+
+
+@pytest.fixture()
+def gate():
+    """Register a 'block' job kind whose handler parks on an event,
+    checking the cancel token while it waits; removed at teardown."""
+    release = threading.Event()
+    started = threading.Event()
+
+    def run_block(job, session, ctx):
+        started.set()
+        while not release.wait(0.01):
+            ctx.token.check("blocked handler")
+        return b"unblocked", "text/plain"
+
+    HANDLERS["block"] = run_block
+    yield type("Gate", (), {"release": release, "started": started})
+    release.set()
+    HANDLERS.pop("block", None)
+
+
+class TestLifecycle:
+    def test_embed_job_matches_synchronous_embed(self, make_service, registry):
+        service = make_service()
+        job = service.submit("acme", "embed", dict(EMBED_PARAMS))
+        assert job.state == "queued" or job.state == "running"
+        done = service.wait("acme", job.job_id, timeout=120)
+        assert done.state == "succeeded", done.error
+        assert done.progress == 1.0
+        arrays = load_npz(service.artifacts.get("acme", done.artifact.digest))
+        sync = registry.session("acme").embed(
+            method="tsne", n_iter=60, seed=5
+        )
+        np.testing.assert_array_equal(arrays["coords"], sync.coords)
+        assert float(arrays["objective"]) == sync.objective
+
+    def test_checkpoint_removed_after_success(self, make_service):
+        service = make_service()
+        job = service.submit("acme", "embed", dict(EMBED_PARAMS))
+        done = service.wait("acme", job.job_id, timeout=120)
+        assert done.state == "succeeded", done.error
+        assert not service.checkpoint_path(done).exists()
+
+    def test_export_job_produces_csv(self, make_service, registry):
+        service = make_service()
+        job = service.submit("acme", "export", {})
+        done = service.wait("acme", job.job_id, timeout=60)
+        assert done.state == "succeeded", done.error
+        text = service.artifacts.get("acme", done.artifact.digest).decode()
+        lines = text.splitlines()
+        assert lines[0].startswith("customer_id,h")
+        assert len(lines) == 1 + len(registry.session("acme").db)
+
+    def test_render_job_produces_svg(self, make_service):
+        service = make_service()
+        job = service.submit("acme", "render", {"format": "svg"})
+        done = service.wait("acme", job.job_id, timeout=60)
+        assert done.state == "succeeded", done.error
+        body = service.artifacts.get("acme", done.artifact.digest)
+        assert b"<svg" in body[:200]
+        assert done.artifact.content_type == "image/svg+xml"
+
+    def test_unknown_kind_rejected(self, make_service):
+        service = make_service()
+        with pytest.raises(ValueError, match="unknown job kind"):
+            service.submit("acme", "mine-bitcoin", {})
+
+    def test_unknown_tenant_rejected(self, make_service):
+        service = make_service()
+        with pytest.raises(KeyError):
+            service.submit("nobody", "export", {})
+
+    def test_bad_params_fail_the_job_not_the_worker(self, make_service):
+        service = make_service()
+        job = service.submit("acme", "embed", {"method": "astrology"})
+        done = service.wait("acme", job.job_id, timeout=60)
+        assert done.state == "failed"
+        assert "astrology" in done.error
+        # The worker survived: the next job still runs.
+        ok = service.submit("acme", "export", {})
+        assert service.wait("acme", ok.job_id, timeout=60).state == "succeeded"
+
+
+class TestVisibility:
+    def test_get_is_tenant_scoped(self, make_service):
+        service = make_service()
+        job = service.submit("acme", "export", {})
+        with pytest.raises(KeyError):
+            service.get("globex", job.job_id)
+        service.wait("acme", job.job_id, timeout=60)
+
+    def test_list_newest_first(self, make_service, gate):
+        service = make_service()
+        first = service.submit("acme", "block", {})
+        second = service.submit("acme", "block", {})
+        ids = [j.job_id for j in service.list_jobs("acme")]
+        assert ids == [second.job_id, first.job_id]
+        gate.release.set()
+
+
+class TestBounds:
+    def test_queue_full_sheds(self, make_service, gate):
+        service = make_service(max_queue=1)
+        service.submit("acme", "block", {})
+        gate.started.wait(5.0)
+        with pytest.raises(JobQueueFull):
+            service.submit("acme", "block", {})
+        gate.release.set()
+
+    def test_tenant_job_quota(self, make_service, quota_registry, gate):
+        service = make_service(tenants=quota_registry)
+        job = service.submit("acme", "block", {})
+        gate.started.wait(5.0)
+        with pytest.raises(JobQuotaExceeded):
+            service.submit("acme", "block", {})
+        gate.release.set()
+        service.wait("acme", job.job_id, timeout=30)
+        # Quota frees up once the job reaches a terminal state.
+        again = service.submit("acme", "export", {})
+        assert service.wait("acme", again.job_id, timeout=60).state == "succeeded"
+
+    def test_priority_orders_the_queue(self, make_service, gate):
+        service = make_service()  # one worker: strict serial execution
+        head = service.submit("acme", "block", {})
+        gate.started.wait(5.0)
+        low = service.submit("acme", "export", {}, priority=0)
+        high = service.submit("acme", "export", {"start": 0}, priority=5)
+        gate.release.set()
+        service.wait("acme", low.job_id, timeout=60)
+        service.wait("acme", high.job_id, timeout=60)
+        assert high.started_at < low.started_at
+        service.wait("acme", head.job_id, timeout=30)
+
+
+class TestCancellation:
+    def test_cancel_queued_job_finalises_immediately(self, make_service, gate):
+        service = make_service()
+        head = service.submit("acme", "block", {})
+        gate.started.wait(5.0)
+        queued = service.submit("acme", "export", {})
+        cancelled = service.cancel("acme", queued.job_id)
+        assert cancelled.state == "cancelled"
+        gate.release.set()
+        service.wait("acme", head.job_id, timeout=30)
+
+    def test_cancel_running_job_stops_at_cancellation_point(
+        self, make_service, gate
+    ):
+        service = make_service()
+        job = service.submit("acme", "block", {})
+        gate.started.wait(5.0)
+        service.cancel("acme", job.job_id)
+        done = service.wait("acme", job.job_id, timeout=30)
+        assert done.state == "cancelled"
+        assert done.artifact is None
+
+    def test_resume_requires_failed_state(self, make_service):
+        service = make_service()
+        job = service.submit("acme", "export", {})
+        done = service.wait("acme", job.job_id, timeout=60)
+        assert done.state == "succeeded"
+        with pytest.raises(ValueError, match="only failed jobs"):
+            service.resume("acme", job.job_id)
+
+
+class TestRecords:
+    def test_record_shape_is_stable(self, make_service):
+        service = make_service()
+        job = service.submit("acme", "export", {})
+        record = job.to_record(service.clock())
+        assert set(record) == {
+            "job_id", "tenant", "kind", "params", "priority", "state",
+            "progress", "message", "error", "eta_seconds", "attempts",
+            "checkpoint_iteration", "artifact", "trace",
+        }
+        service.wait("acme", job.job_id, timeout=60)
+
+    def test_telemetry_block_counts(self, make_service):
+        service = make_service()
+        job = service.submit("acme", "export", {})
+        service.wait("acme", job.job_id, timeout=60)
+        block = service.to_record()
+        assert block["total_jobs"] == 1
+        assert block["succeeded"] == 1
+        assert block["by_kind"]["export"] == 1
+        assert set(block["by_kind"]) >= {"embed", "render", "export"}

@@ -1,0 +1,82 @@
+"""Single-flight waiters clamp their wait to the request deadline.
+
+The bugfix sweep: a waiter with a 30s timeout but 50ms of deadline left
+must give up after ~50ms, and :class:`WaitTimeout` reports *which* bound
+fired so the serving layer can tell a slow leader from an exhausted
+request budget.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.deadline import Deadline, bind_deadline
+from repro.core.singleflight import SingleFlightCache, WaitTimeout
+
+
+@pytest.fixture()
+def leader_gate():
+    """A cache with one in-flight leader parked on an event."""
+    cache = SingleFlightCache()
+    release = threading.Event()
+    leading = threading.Event()
+
+    def compute():
+        leading.set()
+        release.wait(10.0)
+        return "value"
+
+    thread = threading.Thread(
+        target=cache.get_or_compute, args=("key", compute), daemon=True
+    )
+    thread.start()
+    assert leading.wait(5.0), "leader never started"
+    yield cache
+    release.set()
+    thread.join(timeout=5.0)
+
+
+class TestWaiterDeadlineClamp:
+    def test_deadline_tighter_than_timeout_fires_first(self, leader_gate):
+        deadline = Deadline(0.05)
+        start = time.monotonic()
+        with bind_deadline(deadline):
+            with pytest.raises(WaitTimeout) as excinfo:
+                leader_gate.get_or_compute("key", lambda: "x", timeout=30.0)
+        elapsed = time.monotonic() - start
+        assert excinfo.value.bound == "deadline"
+        assert elapsed < 5.0, "waiter ignored the deadline clamp"
+
+    def test_deadline_bounds_an_unbounded_wait(self, leader_gate):
+        with bind_deadline(Deadline(0.05)):
+            with pytest.raises(WaitTimeout) as excinfo:
+                leader_gate.get_or_compute("key", lambda: "x", timeout=None)
+        assert excinfo.value.bound == "deadline"
+
+    def test_expired_deadline_waits_zero_not_negative(self, leader_gate):
+        deadline = Deadline(0.001)
+        time.sleep(0.01)
+        assert deadline.expired
+        with bind_deadline(deadline):
+            with pytest.raises(WaitTimeout) as excinfo:
+                leader_gate.get_or_compute("key", lambda: "x", timeout=30.0)
+        assert excinfo.value.bound == "deadline"
+
+    def test_timeout_tighter_than_deadline_reports_timeout(self, leader_gate):
+        with bind_deadline(Deadline(30.0)):
+            with pytest.raises(WaitTimeout) as excinfo:
+                leader_gate.get_or_compute("key", lambda: "x", timeout=0.05)
+        assert excinfo.value.bound == "timeout"
+
+    def test_no_deadline_keeps_plain_timeout(self, leader_gate):
+        with pytest.raises(WaitTimeout) as excinfo:
+            leader_gate.get_or_compute("key", lambda: "x", timeout=0.05)
+        assert excinfo.value.bound == "timeout"
+
+    def test_message_names_the_bound(self, leader_gate):
+        with bind_deadline(Deadline(0.05)):
+            with pytest.raises(WaitTimeout, match="deadline bound"):
+                leader_gate.get_or_compute("key", lambda: "x", timeout=30.0)
